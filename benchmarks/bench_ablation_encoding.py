@@ -1,0 +1,13 @@
+"""Ablation — categorical-encoding influence on the Section IV analysis."""
+
+from conftest import report
+
+from repro.experiments import encoding_study
+
+
+def test_ablation_encoding_influence(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: encoding_study.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

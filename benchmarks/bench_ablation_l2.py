@@ -1,0 +1,82 @@
+"""Ablation — the paper's claim that caches act as streaming buffers.
+
+Section III: "Data reuse only happens within a single thread ... Caches
+only serve the purpose of streaming buffers."  We drive the L2 simulator
+with the interleaved kernel's actual address stream and show the hit rate
+collapsing once the batch's working set exceeds the 4 MiB L2 — i.e. for
+every realistic batch size.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.core.config import KernelConfig
+from repro.core.trace import build_trace
+from repro.experiments.common import ExperimentResult
+from repro.gpusim.arch import P100
+from repro.gpusim.cache import SetAssociativeCache
+from repro.layouts.base import BatchSpec
+from repro.layouts.chunked import ChunkedInterleavedLayout
+
+
+def l2_hit_rate(n: int, batch: int, nb: int = 4) -> float:
+    """Simulated L2 hit rate of one full kernel pass over the batch.
+
+    The address stream interleaves the per-thread tile accesses across
+    chunks the way concurrently resident blocks would issue them (chunk
+    by chunk round-robin at tile-op granularity).
+    """
+    layout = ChunkedInterleavedLayout(32)
+    spec = BatchSpec(batch=batch, n=n)
+    trace = build_trace(KernelConfig(n=n, nb=nb))
+    cache = SetAssociativeCache(P100.l2_bytes, P100.line_bytes, ways=16)
+    nchunks = layout.padded_batch(spec) // 32
+    per_chunk = n * n * 32
+    # One 128-byte transaction per warp access: address = line of lane 0.
+    for op in trace.ops:
+        if not op.is_memory:
+            continue
+        mt, nt = op.target
+        base = (mt * (nb if nb <= n else n) + nt * (nb if nb <= n else n) * n) * 32
+        for chunk in range(nchunks):
+            for e in range(op.elems):
+                cache.access((chunk * per_chunk + base + e * 32) * 4)
+    return cache.stats.hit_rate
+
+
+def run_ablation() -> ExperimentResult:
+    n = 16
+    rows = []
+    rates = {}
+    for batch in (64, 512, 4096, 16384):
+        rate = l2_hit_rate(n, batch)
+        rates[batch] = rate
+        working_set = batch * n * n * 4
+        rows.append([batch, f"{working_set // 1024} KiB", round(rate, 3)])
+    checks = {
+        "small batches enjoy L2 reuse": rates[64] > 0.5,
+        # The kernels' tile-reuse distances are short, so hits survive
+        # until the inter-reuse footprint itself outgrows the 4 MiB L2 —
+        # which happens right at the paper's 16384-matrix batch.
+        "hit rate collapses at the paper's batch size": rates[16384] < 0.2,
+        "monotone degradation": list(rates.values())
+        == sorted(rates.values(), reverse=True),
+    }
+    result = ExperimentResult(
+        experiment="ablation_l2",
+        title="L2 as a streaming buffer: hit rate vs batch working set",
+        table=(["batch", "working set", "L2 hit rate"], rows),
+        checks=checks,
+    )
+    result.notes.append(
+        "paper batch 16384 at n=16: 16 MiB working set against 4 MiB L2 — "
+        "reuse in registers only, exactly the paper's observation"
+    )
+    return result
+
+
+def test_ablation_l2_streaming(benchmark, results_dir):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1, warmup_rounds=0)
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,68 @@
+"""Ablation — exhaustive sweep versus guided search (Section IV's trade-off).
+
+The paper deliberately pays for an exhaustive sweep because guided search
+"represents a form of selection bias".  This ablation quantifies the other
+side: how much of the exhaustive optimum random search and greedy
+coordinate descent recover with a small fraction of the evaluations.
+"""
+
+from conftest import report
+
+from repro.autotune.search import coordinate_descent, exhaustive_best, random_search
+from repro.autotune.space import ParameterSpace
+from repro.core.config import KernelConfig
+from repro.experiments.common import ExperimentResult
+
+SPACE = ParameterSpace(
+    ns=(24,),
+    nbs=(1, 2, 3, 4, 6, 8),
+    chunkings=(None, 32, 64, 256),
+    cache_prefs=("l1",),
+)
+
+
+def run_ablation() -> ExperimentResult:
+    full = exhaustive_best(SPACE, batch=16384)
+    rnd = random_search(SPACE, budget=24, seed=3, batch=16384)
+    start = KernelConfig(
+        n=24, nb=1, looking="right", chunked=False, unroll="partial"
+    )
+    greedy = coordinate_descent(SPACE, start, batch=16384)
+
+    rows = [
+        ["exhaustive", full.evaluations, round(full.best.gflops, 1), "1.00"],
+        [
+            "random(24)",
+            rnd.evaluations,
+            round(rnd.best.gflops, 1),
+            f"{rnd.best.gflops / full.best.gflops:.2f}",
+        ],
+        [
+            "coordinate descent",
+            greedy.evaluations,
+            round(greedy.best.gflops, 1),
+            f"{greedy.best.gflops / full.best.gflops:.2f}",
+        ],
+    ]
+    checks = {
+        "guided searches use far fewer evaluations": greedy.evaluations
+        < full.evaluations / 2
+        and rnd.evaluations < full.evaluations / 2,
+        "random search recovers most of the optimum": rnd.best.gflops
+        > 0.7 * full.best.gflops,
+        "coordinate descent recovers most of the optimum": greedy.best.gflops
+        > 0.85 * full.best.gflops,
+        "neither is guaranteed the exhaustive optimum": True,
+    }
+    return ExperimentResult(
+        experiment="ablation_search",
+        title="Exhaustive sweep vs guided search (n=24)",
+        table=(["method", "evaluations", "best gflops", "fraction of optimum"], rows),
+        checks=checks,
+    )
+
+
+def test_ablation_guided_search(benchmark, results_dir):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1, warmup_rounds=0)
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

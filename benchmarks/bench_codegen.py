@@ -1,0 +1,40 @@
+"""Wall-clock benchmarks of the kernel-generation pipeline.
+
+The paper's autotuner compiles one kernel per configuration; generation
+throughput bounds how fast a sweep can go.  These timings cover template
+expansion, whole-kernel assembly (both unroll modes) and trace building.
+"""
+
+from repro.codegen.compile import clear_kernel_cache, compiled_kernel
+from repro.codegen.kernel import generate_kernel_source
+from repro.core.config import KernelConfig
+from repro.core.schedule import build_schedule
+
+
+def test_bench_generate_partial_n32(benchmark):
+    cfg = KernelConfig(n=32, nb=8, unroll="partial", looking="top")
+    gk = benchmark(generate_kernel_source, cfg)
+    assert gk.static_statements > 0
+
+
+def test_bench_generate_full_n24(benchmark):
+    cfg = KernelConfig(n=24, nb=4, unroll="full", looking="left")
+    gk = benchmark(generate_kernel_source, cfg)
+    assert gk.static_statements > 1000
+
+
+def test_bench_schedule_n48(benchmark):
+    cfg = KernelConfig(n=48, nb=8, looking="right")
+    ops = benchmark(build_schedule, cfg)
+    assert len(ops) > 0
+
+
+def test_bench_compile_cold(benchmark):
+    cfg = KernelConfig(n=16, nb=4, unroll="full")
+
+    def cold():
+        clear_kernel_cache()
+        return compiled_kernel(cfg)
+
+    kernel = benchmark(cold)
+    assert callable(kernel)

@@ -1,0 +1,64 @@
+"""Wall-clock benchmarks of the Python executors themselves.
+
+The paper's Gflop/s figures come from the GPU model (see DESIGN.md), but
+the generated kernels really execute — vectorised over the batch with
+NumPy — and these benchmarks time that execution, the layout packing, and
+the batch solves, guarding against performance regressions in the library
+itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.magma import magma_cholesky_batch
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky
+from repro.core.solve import batch_solve
+from repro.layouts.base import BatchSpec
+from repro.layouts.chunked import ChunkedInterleavedLayout
+from repro.utils.spd import random_rhs_batch, random_spd_batch
+
+BATCH = 2048
+
+
+@pytest.fixture(scope="module")
+def spd16():
+    return random_spd_batch(BATCH, 16, seed=0)
+
+
+@pytest.mark.parametrize("unroll", ["partial", "full"])
+def test_bench_batch_cholesky_n16(benchmark, spd16, unroll):
+    cfg = KernelConfig(n=16, nb=4, looking="top", unroll=unroll)
+    l = benchmark(batch_cholesky, spd16, cfg)
+    assert np.isfinite(l).all()
+
+
+@pytest.mark.parametrize("looking", ["right", "left", "top"])
+def test_bench_batch_cholesky_lookings_n8(benchmark, looking):
+    a = random_spd_batch(BATCH, 8, seed=1)
+    cfg = KernelConfig(n=8, nb=4, looking=looking)
+    l = benchmark(batch_cholesky, a, cfg)
+    assert np.isfinite(l).all()
+
+
+def test_bench_pack_unpack_chunked(benchmark, spd16):
+    layout = ChunkedInterleavedLayout(64)
+    spec = BatchSpec(batch=BATCH, n=16)
+
+    def round_trip():
+        return layout.unpack(layout.pack(spd16), spec)
+
+    out = benchmark(round_trip)
+    assert np.array_equal(out, spd16)
+
+
+def test_bench_batch_solve(benchmark, spd16):
+    l = batch_cholesky(spd16, KernelConfig(n=16, nb=4))
+    b = random_rhs_batch(BATCH, 16, seed=2)
+    x = benchmark(batch_solve, l, b)
+    assert np.isfinite(x).all()
+
+
+def test_bench_magma_numeric_baseline(benchmark, spd16):
+    l = benchmark(magma_cholesky_batch, spd16)
+    assert np.isfinite(l).all()

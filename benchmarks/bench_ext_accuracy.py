@@ -1,0 +1,13 @@
+"""Extension — float32 accuracy vs conditioning (the paper never measures it)."""
+
+from conftest import report
+
+from repro.experiments import accuracy_study
+
+
+def test_ext_accuracy_study(benchmark, results_dir):
+    result = benchmark.pedantic(
+        accuracy_study.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,13 @@
+"""Extension — batch-size scaling study (the paper fixes batch = 16384)."""
+
+from conftest import report
+
+from repro.experiments import batch_scaling
+
+
+def test_ext_batch_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        batch_scaling.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,13 @@
+"""Extension — tuning portability between GPU generations."""
+
+from conftest import report
+
+from repro.experiments import portability_study
+
+
+def test_ext_portability_study(benchmark, results_dir):
+    result = benchmark.pedantic(
+        portability_study.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,13 @@
+"""Extension — calibration sensitivity of the reproduced conclusions."""
+
+from conftest import report
+
+from repro.experiments import sensitivity_study
+
+
+def test_ext_sensitivity_study(benchmark, results_dir):
+    result = benchmark.pedantic(
+        sensitivity_study.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,18 @@
+"""Figure 13 — top performance, IEEE vs fast-math, batch 16384.
+
+Regenerates the figure's two series (best Gflop/s per matrix size under
+each arithmetic mode) from the exhaustive sweep and asserts the paper's
+qualitative shape.
+"""
+
+from conftest import report
+
+from repro.experiments import fig13
+
+
+def test_fig13_top_performance(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig13.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

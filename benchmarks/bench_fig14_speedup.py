@@ -1,0 +1,13 @@
+"""Figure 14 — speedup of the interleaved implementation over MAGMA."""
+
+from conftest import report
+
+from repro.experiments import fig14
+
+
+def test_fig14_speedup_over_magma(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig14.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

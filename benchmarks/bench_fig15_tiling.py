@@ -1,0 +1,13 @@
+"""Figure 15 — best performance for different tiling factors."""
+
+from conftest import report
+
+from repro.experiments import fig15
+
+
+def test_fig15_tiling_factors(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig15.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,13 @@
+"""Figure 16 — best performance for the three looking variants."""
+
+from conftest import report
+
+from repro.experiments import fig16
+
+
+def test_fig16_looking_order(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig16.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

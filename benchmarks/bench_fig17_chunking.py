@@ -1,0 +1,13 @@
+"""Figure 17 — best performance with and without chunking."""
+
+from conftest import report
+
+from repro.experiments import fig17
+
+
+def test_fig17_chunking(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig17.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

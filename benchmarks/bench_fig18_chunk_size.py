@@ -1,0 +1,13 @@
+"""Figure 18 — best performance per chunk size (= thread-block size)."""
+
+from conftest import report
+
+from repro.experiments import fig18
+
+
+def test_fig18_chunk_sizes(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig18.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

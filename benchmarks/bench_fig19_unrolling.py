@@ -1,0 +1,13 @@
+"""Figure 19 — partial versus full unrolling."""
+
+from conftest import report
+
+from repro.experiments import fig19
+
+
+def test_fig19_unrolling(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig19.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,11 @@
+"""Figure 20 — every kernel variant at n = 24 and n = 48, chunk size 64."""
+
+from conftest import report
+
+from repro.experiments import fig20
+
+
+def test_fig20_all_kernels(benchmark, results_dir):
+    result = benchmark.pedantic(fig20.run, rounds=1, iterations=1, warmup_rounds=0)
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

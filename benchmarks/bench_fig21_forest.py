@@ -1,0 +1,13 @@
+"""Figure 21 — accuracy of the random-forest model of the landscape."""
+
+from conftest import report
+
+from repro.experiments import fig21
+
+
+def test_fig21_forest_accuracy(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig21.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

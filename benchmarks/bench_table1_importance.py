@@ -1,0 +1,13 @@
+"""Table I — predictive power of the tuning parameters (%IncMSE)."""
+
+from conftest import report
+
+from repro.experiments import table1
+
+
+def test_table1_parameter_importance(benchmark, sweep, results_dir):
+    result = benchmark.pedantic(
+        lambda: table1.run(sweep), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(result, results_dir)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure/table benchmarks all consume the standard exhaustive sweep;
+it is built once (≈10 minutes on first run) and cached as CSV under
+``results/``, so subsequent benchmark runs are fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import RESULTS_DIR, standard_sweep
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    return standard_sweep(progress=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def report(result, results_dir) -> None:
+    """Print the experiment's rows and persist them under results/."""
+    text = result.render()
+    print()
+    print(text)
+    (results_dir / f"{result.experiment}.txt").write_text(text + "\n")

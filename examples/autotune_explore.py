@@ -1,0 +1,79 @@
+"""Explore the autotuning space: sweep, winners, importances, search.
+
+A compact version of the paper's Section II.D + IV workflow:
+
+1. exhaustively sweep a small region of the tuning space,
+2. print the best configuration per matrix size,
+3. fit a random forest and report Table-I-style parameter importances,
+4. compare against guided search (random + coordinate descent).
+
+Run:  python examples/autotune_explore.py
+"""
+
+from repro.autotune import (
+    ParameterSpace,
+    coordinate_descent,
+    parameter_importance,
+    random_search,
+    run_sweep,
+)
+from repro.core.config import KernelConfig
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    space = ParameterSpace(
+        ns=(8, 16, 24, 32, 48),
+        nbs=(1, 2, 4, 8),
+        chunkings=(None, 32, 64, 256),
+        cache_prefs=("l1", "shared"),
+    )
+    print(f"sweeping {space.size()} configurations ...")
+    dataset = run_sweep(space, batch=16384)
+    ok = dataset.successful()
+    print(f"{len(ok)} successful / {len(dataset)} total\n")
+
+    print("best configuration per matrix size:")
+    rows = []
+    for n, rec in sorted(dataset.best_per_n().items()):
+        rows.append(
+            [
+                n,
+                round(rec.gflops, 1),
+                rec.nb,
+                rec.looking,
+                rec.unroll,
+                rec.chunk_size if rec.chunked else "-",
+                rec.bound,
+            ]
+        )
+    print(format_table(["n", "gflops", "nb", "looking", "unroll", "chunk", "bound"], rows))
+
+    print("\nparameter importances (%IncMSE, Table I style):")
+    imp = parameter_importance(dataset, n_estimators=80)
+    rows = [[k, round(v, 1)] for k, v in sorted(imp.items(), key=lambda kv: -kv[1])]
+    print(format_table(["parameter", "importance"], rows))
+
+    print("\nguided search vs the exhaustive optimum at n=32:")
+    sub = space.with_ns((32,))
+    best = max(r.gflops for r in ok if r.n == 32)
+    rnd = random_search(sub, budget=20, seed=0)
+    greedy = coordinate_descent(
+        sub, KernelConfig(n=32, nb=1, looking="right", chunked=False)
+    )
+    print(
+        format_table(
+            ["method", "evaluations", "gflops", "fraction of optimum"],
+            [
+                ["exhaustive", sub.size(), round(best, 1), 1.0],
+                ["random(20)", rnd.evaluations, round(rnd.best.gflops, 1),
+                 round(rnd.best.gflops / best, 2)],
+                ["coordinate descent", greedy.evaluations,
+                 round(greedy.best.gflops, 1), round(greedy.best.gflops / best, 2)],
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Batched BLAS and the Figure 6 tile Cholesky.
+
+The paper composes its factorization from four BLAS-named tile operations
+(POTRF / TRSM / SYRK / GEMM); this example uses the same operations as
+*standalone batched routines* — the library surface cuBLAS/MKL/MAGMA
+expose — and then lets the Figure 6 tile algorithm assemble them into a
+blocked batch factorization for matrices beyond the single-kernel sweet
+spot.
+
+Run:  python examples/batchblas_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    batched_gemm,
+    batched_syrk,
+    batched_trsm,
+    random_spd_batch,
+    tile_cholesky,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    batch = 512
+
+    # --- standalone batched BLAS --------------------------------------
+    print("batched BLAS on", batch, "matrices:")
+    a = rng.standard_normal((batch, 6, 4)).astype(np.float32)
+    b = rng.standard_normal((batch, 4, 5)).astype(np.float32)
+    c = np.zeros((batch, 6, 5), dtype=np.float32)
+    c = batched_gemm(a, b, c, alpha=1.0, beta=0.0)
+    ref = a.astype(np.float64) @ b.astype(np.float64)
+    print(f"  gemm  C = A@B          max err {np.abs(c - ref).max():.1e}")
+
+    gram = np.zeros((batch, 6, 6), dtype=np.float32)
+    gram = batched_syrk(a, gram, alpha=1.0, beta=0.0)
+    ref = np.tril(a.astype(np.float64) @ a.astype(np.float64).transpose(0, 2, 1))
+    print(f"  syrk  C = A@A^T (lower) max err {np.abs(np.tril(gram) - ref).max():.1e}")
+
+    spd = random_spd_batch(batch, 4, seed=1)
+    l = np.linalg.cholesky(spd.astype(np.float64)).astype(np.float32)
+    x = batched_trsm(l, b, side="left")  # B is (batch, 4, 5): L X = B
+    resid = np.tril(l.astype(np.float64)) @ x.astype(np.float64) - b
+    print(f"  trsm  L X = B           max err {np.abs(resid).max():.1e}")
+
+    # --- Figure 6: tile Cholesky over batched BLAS --------------------
+    n, tile = 32, 8
+    spd = random_spd_batch(batch, n, seed=2)
+    lt = tile_cholesky(spd, tile=tile)
+    ref = np.linalg.cholesky(spd.astype(np.float64))
+    err = np.abs(np.tril(lt.astype(np.float64)) - ref).max()
+    print(
+        f"\ntile Cholesky: {batch} matrices of {n}x{n} in {tile}x{tile} tiles "
+        f"(POTRF+TRSM+SYRK+GEMM), max err vs LAPACK {err:.1e}"
+    )
+    print(
+        "every arithmetic operation above ran through generated, fully "
+        "unrolled interleaved kernels."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Batch element solves from a finite-element discretisation.
+
+Section I.A lists finite element methods among the applications producing
+"large sets of small linear solves that call for batch processing".  This
+example assembles tens of thousands of p-th order 1-D element systems
+(genuine stiffness + mass matrices) and solves them all through the
+interleaved batch Cholesky pipeline, cross-checking against LAPACK.
+
+Run:  python examples/fem_batch_solve.py
+"""
+
+import numpy as np
+
+from repro import KernelConfig, estimate_performance
+from repro.apps.fem import element_stiffness_batch, solve_element_systems
+from repro.baselines.lapack import lapack_solve_batch
+
+
+def main() -> None:
+    n_elements = 20000
+    for order in (2, 4, 7):
+        n = order + 1
+        a, rhs = element_stiffness_batch(n_elements, order=order, seed=order)
+        config = KernelConfig(n=n, nb=min(4, n), looking="top", chunked=True)
+
+        x = solve_element_systems(a, rhs, config)
+
+        # Verify a sample against LAPACK.
+        sample = slice(0, 200)
+        ref = lapack_solve_batch(a[sample], rhs[sample])
+        err = np.max(np.abs(x[sample] - ref))
+        est = estimate_performance(config, batch=n_elements)
+        print(
+            f"order {order}: {n_elements} element systems of size {n}x{n} — "
+            f"max |x - x_lapack| = {err:.2e}; modelled P100 factorization "
+            f"{est.seconds * 1e6:.0f} us ({est.gflops:.0f} Gflop/s)"
+        )
+
+    print(
+        "\nEach element system is independent — exactly the batch workload "
+        "the interleaved layout was designed for."
+    )
+
+
+if __name__ == "__main__":
+    main()

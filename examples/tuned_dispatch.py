@@ -1,0 +1,52 @@
+"""Shipping the autotuner's result: a tuned dispatch table.
+
+What a user of an autotuned library actually touches is not the sweep —
+it is the dispatch table the sweep produced.  This example tunes over a
+few sizes, saves the table like a deployment would, reloads it, and
+routes factorizations through it (including sizes the sweep never
+measured, which borrow the nearest winner's parameters).
+
+Run:  python examples/tuned_dispatch.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import TunedDispatcher, random_spd_batch
+from repro.utils import factorization_error
+
+
+def main() -> None:
+    print("tuning over n in (8, 16, 32, 48) ...")
+    dispatcher = TunedDispatcher.tune(
+        (8, 16, 32, 48), nbs=(1, 2, 4, 8), chunkings=(None, 32, 64, 512)
+    )
+    print("\nwinning configurations:")
+    print(dispatcher.summary())
+
+    for n in (8, 32):
+        print(
+            f"\nmodelled speedup of the tuned config over the library "
+            f"default at n={n}: {dispatcher.speedup_over_default(n):.2f}x"
+        )
+
+    # Persist the table the way a deployment would ship it.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "tuned_table.json"
+        dispatcher.save(path)
+        reloaded = TunedDispatcher.load(path)
+        print(f"\ntable saved and reloaded from {path.name}")
+
+        for n in (16, 24):  # 24 was never tuned: nearest-size interpolation
+            a = random_spd_batch(256, n, seed=n)
+            l = reloaded.batch_cholesky(a)
+            err = factorization_error(a, l)
+            cfg = reloaded.config_for(n)
+            print(
+                f"n={n:2d}: dispatched to [{cfg.describe()}], "
+                f"factorization error {err:.1e}"
+            )
+
+
+if __name__ == "__main__":
+    main()

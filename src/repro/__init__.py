@@ -1,0 +1,85 @@
+"""repro — reproduction of *Autotuning Batch Cholesky Factorization in CUDA
+with Interleaved Layout of Matrices* (Gates, Kurzak, Luszczek, Pei,
+Dongarra; IPDPS workshops 2017).
+
+The package implements the paper's batch Cholesky factorization for very
+small single-precision matrices with interleaved data layouts, the
+pyexpander-style kernel generator it is built on, an exhaustive autotuner
+over the five kernel parameters, the random-forest analysis of the tuning
+dataset, and — in place of the P100 the paper measured — a trace-driven
+analytic GPU performance model that reproduces the paper's findings from
+the same mechanisms (coalescing, DRAM row locality, register residency,
+occupancy, instruction-cache pressure).
+
+Quick start::
+
+    import numpy as np
+    from repro import batch_cholesky, random_spd_batch
+
+    a = random_spd_batch(1024, 16)          # (batch, n, n) SPD matrices
+    l = batch_cholesky(a, nb=4, looking="top", chunked=True, chunk_size=32)
+    lt = np.tril(l[0])
+    assert np.allclose(lt @ lt.T, a[0], atol=1e-3)
+"""
+
+from repro.core.config import KernelConfig, Looking, Precision, Unrolling, Uplo
+from repro.core.factorize import batch_cholesky, factorize_buffer
+from repro.core.solve import batch_solve, batch_spd_solve
+from repro.core.solve_kernels import batch_solve_kernel
+from repro.layouts import (
+    BatchSpec,
+    CanonicalLayout,
+    ChunkedInterleavedLayout,
+    InterleavedLayout,
+    get_layout,
+)
+from repro.gpusim import P100, GPUArchitecture, estimate_performance
+from repro.baselines import estimate_magma_performance
+from repro.autotune import (
+    ParameterSpace,
+    SweepDataset,
+    TunedDispatcher,
+    default_space,
+    quick_space,
+    run_sweep,
+)
+from repro.batchblas import batched_gemm, batched_syrk, batched_trsm, tile_cholesky
+from repro.ml import RandomForestRegressor
+from repro.utils import random_spd_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KernelConfig",
+    "Looking",
+    "Unrolling",
+    "Uplo",
+    "Precision",
+    "batch_cholesky",
+    "factorize_buffer",
+    "batch_solve",
+    "batch_spd_solve",
+    "batch_solve_kernel",
+    "batched_gemm",
+    "batched_syrk",
+    "batched_trsm",
+    "tile_cholesky",
+    "TunedDispatcher",
+    "BatchSpec",
+    "CanonicalLayout",
+    "ChunkedInterleavedLayout",
+    "InterleavedLayout",
+    "get_layout",
+    "P100",
+    "GPUArchitecture",
+    "estimate_performance",
+    "estimate_magma_performance",
+    "ParameterSpace",
+    "SweepDataset",
+    "default_space",
+    "quick_space",
+    "run_sweep",
+    "RandomForestRegressor",
+    "random_spd_batch",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Motivating applications (Section I.A).
+
+"Numerous applications deal with large sets of small linear solves that
+call for batch processing on GPUs: finite element methods, computational
+lithography, and collaborative filtering, to name a few.  The direct
+motivation for this work came from the Alternating Least Squares (ALS)
+algorithm for recommender systems."
+
+* :mod:`repro.apps.als` — ALS collaborative filtering built on the batch
+  Cholesky factorization + solve: every user (and every item) update is
+  one small SPD solve, and one ALS half-step is exactly the batch
+  workload the paper optimises.
+* :mod:`repro.apps.fem` — batches of small SPD element systems from a
+  1-D finite-element discretisation, solved independently per element
+  (the static-condensation-style workload of the paper's FEM motivation).
+"""
+
+from repro.apps.als import ALSRecommender, generate_ratings
+from repro.apps.fem import element_stiffness_batch, solve_element_systems
+from repro.apps.kalman import (
+    BatchKalmanFilter,
+    constant_velocity_model,
+    simulate_tracks,
+)
+
+__all__ = [
+    "ALSRecommender",
+    "generate_ratings",
+    "element_stiffness_batch",
+    "solve_element_systems",
+    "BatchKalmanFilter",
+    "constant_velocity_model",
+    "simulate_tracks",
+]

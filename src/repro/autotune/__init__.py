@@ -1,0 +1,45 @@
+"""Autotuning framework (Sections II.D and IV of the paper).
+
+* :mod:`repro.autotune.space` — the tunable-parameter space: tile size,
+  looking, chunking, chunk size, unrolling, plus arithmetic mode and the
+  L1/shared carve-out.
+* :mod:`repro.autotune.runner` — evaluate one configuration: generate the
+  kernel, optionally validate it numerically against LAPACK, and price it
+  with the GPU model.
+* :mod:`repro.autotune.sweep` — the exhaustive sweep ("our goal is not the
+  minimal search time but rather meaningful exploration of the parameter
+  configurations"), producing the dataset Section IV analyses.
+* :mod:`repro.autotune.dataset` — sweep records with CSV/JSON persistence
+  and best-per-n queries.
+* :mod:`repro.autotune.analysis` — Table I (per-parameter predictive
+  power via random-forest permutation importance) and the Figure 21
+  predicted-vs-observed study.
+* :mod:`repro.autotune.search` — the "workable heuristics" counterpoint:
+  random search and greedy coordinate descent, to quantify how much of
+  the exhaustive sweep's optimum a guided search recovers.
+"""
+
+from repro.autotune.space import ParameterSpace, default_space, quick_space
+from repro.autotune.runner import SweepRecord, evaluate_config
+from repro.autotune.sweep import run_sweep
+from repro.autotune.dataset import SweepDataset
+from repro.autotune.analysis import parameter_importance, forest_fit_quality
+from repro.autotune.search import random_search, coordinate_descent, exhaustive_best
+from repro.autotune.dispatch import TableEntry, TunedDispatcher
+
+__all__ = [
+    "ParameterSpace",
+    "default_space",
+    "quick_space",
+    "SweepRecord",
+    "evaluate_config",
+    "run_sweep",
+    "SweepDataset",
+    "parameter_importance",
+    "forest_fit_quality",
+    "random_search",
+    "coordinate_descent",
+    "exhaustive_best",
+    "TableEntry",
+    "TunedDispatcher",
+]

@@ -1,0 +1,102 @@
+"""Postmortem analysis of the autotuning dataset (Section IV).
+
+Two products:
+
+* **Table I** — the predictive power of each tuning parameter, measured
+  as random-forest permutation importance (R ``randomForest``'s
+  ``%IncMSE``).  The expected shape: chunking and the tile size carry the
+  most signal, chunk size little, and the L1/shared cache knob none (it
+  may legitimately come out negative).
+* **Figure 21** — the quality of a regression forest of the performance
+  landscape, reported as the correlation between out-of-bag predictions
+  and observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.dataset import FEATURE_NAMES, SweepDataset
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import mse, pearson_r, r2_score
+
+#: Table I's human-readable parameter descriptions, keyed like
+#: :data:`repro.autotune.dataset.FEATURE_NAMES`.
+PARAMETER_EXPLANATIONS = {
+    "n": ("integer", "size of single matrix"),
+    "nb": ("integer", "internal blocking"),
+    "looking": ("ternary", "Left, Right, or Top"),
+    "chunked": ("binary", "yes or no"),
+    "chunk_size": ("integer", "matrix count in chunk"),
+    "unroll": ("binary", "use unrolling?"),
+    "cache_pref": ("binary", "more L1 or shared mem."),
+}
+
+
+def fit_forest(
+    dataset: SweepDataset,
+    n_estimators: int = 500,
+    max_depth: int | None = None,
+    min_samples_leaf: int = 5,
+    seed: int = 0,
+) -> tuple[RandomForestRegressor, np.ndarray, np.ndarray]:
+    """Fit the Section IV regression forest; returns (forest, X, y)."""
+    x, y = dataset.feature_matrix()
+    forest = RandomForestRegressor(
+        n_estimators=n_estimators,
+        max_depth=max_depth,
+        min_samples_leaf=min_samples_leaf,
+        seed=seed,
+    )
+    forest.fit(x, y)
+    return forest, x, y
+
+
+def parameter_importance(
+    dataset: SweepDataset,
+    n_estimators: int = 200,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Table I: ``%IncMSE`` permutation importance per tuning parameter."""
+    forest, _, _ = fit_forest(dataset, n_estimators=n_estimators, seed=seed)
+    scores = forest.permutation_importance(seed=seed + 1)
+    return dict(zip(FEATURE_NAMES, (float(s) for s in scores)))
+
+
+@dataclass(frozen=True)
+class ForestFitQuality:
+    """Figure 21 summary: how well the forest models the landscape."""
+
+    oob_r: float  # Pearson r between OOB prediction and observation
+    oob_r2: float
+    oob_mse: float
+    train_r: float
+    average_depth: float
+    n_trees: int
+    n_samples: int
+    observed: np.ndarray
+    predicted_oob: np.ndarray
+
+
+def forest_fit_quality(
+    dataset: SweepDataset,
+    n_estimators: int = 200,
+    seed: int = 0,
+) -> ForestFitQuality:
+    """Fit the forest and report the Figure 21 predicted-vs-observed study."""
+    forest, x, y = fit_forest(dataset, n_estimators=n_estimators, seed=seed)
+    oob = forest.oob_prediction()
+    train = forest.predict(x)
+    return ForestFitQuality(
+        oob_r=pearson_r(y, oob),
+        oob_r2=r2_score(y, oob),
+        oob_mse=mse(y, oob),
+        train_r=pearson_r(y, train),
+        average_depth=forest.average_depth(),
+        n_trees=n_estimators,
+        n_samples=y.shape[0],
+        observed=y,
+        predicted_oob=oob,
+    )

@@ -1,0 +1,187 @@
+"""The autotuning dataset: sweep records, persistence, and queries.
+
+Section IV calls its sweep output "a data-rich view of the performance
+landscape [that] allows a postmortem analysis".  :class:`SweepDataset`
+is that object: an ordered collection of :class:`SweepRecord` rows with
+CSV/JSON persistence, filtering, best-per-size queries, and the
+feature-matrix encoding the random-forest analysis consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.autotune.runner import SweepRecord
+
+#: Feature columns used for the Table I / Figure 21 analysis, in the order
+#: of the paper's Table I.
+FEATURE_NAMES = (
+    "n",
+    "nb",
+    "looking",
+    "chunked",
+    "chunk_size",
+    "unroll",
+    "cache_pref",
+)
+
+_LOOKING_CODES = {"left": 0, "right": 1, "top": 2}
+_UNROLL_CODES = {"partial": 0, "full": 1}
+_CACHE_CODES = {"l1": 0, "shared": 1}
+
+
+class SweepDataset:
+    """An ordered, queryable collection of sweep records."""
+
+    def __init__(self, records: Iterable[SweepRecord] = ()) -> None:
+        self.records: list[SweepRecord] = list(records)
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SweepRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def append(self, record: SweepRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[SweepRecord]) -> None:
+        self.records.extend(records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def successful(self) -> "SweepDataset":
+        """Only the rows whose evaluation succeeded."""
+        return SweepDataset(r for r in self.records if r.ok)
+
+    def failed(self) -> "SweepDataset":
+        return SweepDataset(r for r in self.records if not r.ok)
+
+    def filter(self, predicate: Callable[[SweepRecord], bool]) -> "SweepDataset":
+        return SweepDataset(r for r in self.records if predicate(r))
+
+    def sizes(self) -> list[int]:
+        """Sorted distinct matrix sizes present."""
+        return sorted({r.n for r in self.records})
+
+    def best_per_n(
+        self, predicate: Callable[[SweepRecord], bool] | None = None
+    ) -> dict[int, SweepRecord]:
+        """The fastest successful record for each matrix size.
+
+        ``predicate`` restricts candidates — e.g. only chunked, only a
+        given tile size — which is exactly how the paper's "best
+        performance ... for different X" figures are built.
+        """
+        best: dict[int, SweepRecord] = {}
+        for r in self.records:
+            if not r.ok:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            cur = best.get(r.n)
+            if cur is None or r.gflops > cur.gflops:
+                best[r.n] = r
+        return best
+
+    def best_series(
+        self, predicate: Callable[[SweepRecord], bool] | None = None
+    ) -> dict[int, float]:
+        """``{n: best gflops}`` under an optional predicate."""
+        return {n: rec.gflops for n, rec in sorted(self.best_per_n(predicate).items())}
+
+    # ------------------------------------------------------------------
+    # ML encoding
+    # ------------------------------------------------------------------
+
+    def feature_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """(X, y) over successful rows for the Section IV analysis.
+
+        Mixed discrete/categorical variables are integer-coded (the paper
+        notes "encoding of the categories may adversely influence the
+        classification outcome"; trees are invariant to monotone coding of
+        binaries, and the looking ternary uses a fixed arbitrary order).
+        """
+        rows = [r for r in self.records if r.ok]
+        if not rows:
+            raise ValueError("dataset has no successful records to encode")
+        x = np.empty((len(rows), len(FEATURE_NAMES)), dtype=np.float64)
+        y = np.empty(len(rows), dtype=np.float64)
+        for i, r in enumerate(rows):
+            # Non-chunked rows have no chunk size; they are encoded at the
+            # baseline value (32) so the chunk_size column only carries
+            # within-chunked variation and the layout signal stays
+            # attributed to the `chunked` binary.
+            chunk_size = r.chunk_size if r.chunked else 32
+            x[i] = (
+                r.n,
+                r.nb,
+                _LOOKING_CODES[r.looking],
+                1.0 if r.chunked else 0.0,
+                chunk_size,
+                _UNROLL_CODES[r.unroll],
+                _CACHE_CODES[r.cache_pref],
+            )
+            y[i] = r.gflops
+        return x, y
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_csv(self, path: str | Path) -> None:
+        path = Path(path)
+        fields = list(SweepRecord.__dataclass_fields__)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer.writeheader()
+            for r in self.records:
+                writer.writerow(r.as_dict())
+
+    @classmethod
+    def load_csv(cls, path: str | Path) -> "SweepDataset":
+        path = Path(path)
+        records = []
+        with path.open(newline="") as fh:
+            for row in csv.DictReader(fh):
+                records.append(
+                    SweepRecord(
+                        n=int(row["n"]),
+                        nb=int(row["nb"]),
+                        looking=row["looking"],
+                        chunked=row["chunked"] == "True",
+                        chunk_size=int(row["chunk_size"]),
+                        unroll=row["unroll"],
+                        fast_math=row["fast_math"] == "True",
+                        cache_pref=row["cache_pref"],
+                        batch=int(row["batch"]),
+                        ok=row["ok"] == "True",
+                        gflops=float(row["gflops"]),
+                        seconds=float(row["seconds"]),
+                        bound=row["bound"],
+                        error=row["error"],
+                    )
+                )
+        return cls(records)
+
+    def save_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps([r.as_dict() for r in self.records], indent=1))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "SweepDataset":
+        rows = json.loads(Path(path).read_text())
+        return cls(SweepRecord(**row) for row in rows)

@@ -1,0 +1,159 @@
+"""Tuned dispatch: turning sweep results into a production entry point.
+
+An autotuning paper's deliverable, in practice, is a dispatch table: for
+each problem shape, the configuration the sweep crowned.  This module
+packages that step — build (or load) a table of winners per matrix size,
+interpolate for sizes the sweep never measured, and expose a
+``batch_cholesky``-shaped call that routes through the winner.
+
+The table persists as JSON so a deployment tunes once per machine and
+ships the table, exactly how MAGMA/ATLAS-style tuning results are used.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.autotune.dataset import SweepDataset
+from repro.autotune.runner import evaluate_config
+from repro.autotune.space import ParameterSpace
+from repro.autotune.sweep import run_sweep
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """The tuned parameters for one matrix size."""
+
+    n: int
+    nb: int
+    looking: str
+    chunked: bool
+    chunk_size: int
+    unroll: str
+    gflops: float  # modelled performance at tuning time
+
+    def config(self, fast_math: bool = False) -> KernelConfig:
+        return KernelConfig(
+            n=self.n,
+            nb=self.nb,
+            looking=self.looking,
+            chunked=self.chunked,
+            chunk_size=self.chunk_size if self.chunked else 32,
+            unroll=self.unroll,
+            fast_math=fast_math,
+        )
+
+
+class TunedDispatcher:
+    """Routes batch factorizations through sweep-tuned configurations."""
+
+    def __init__(self, entries: dict[int, TableEntry]) -> None:
+        if not entries:
+            raise ValueError("dispatch table is empty")
+        self.entries = dict(sorted(entries.items()))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dataset(cls, dataset: SweepDataset) -> "TunedDispatcher":
+        """Build the table from a sweep's per-size winners."""
+        entries = {}
+        for n, rec in dataset.best_per_n().items():
+            entries[n] = TableEntry(
+                n=n,
+                nb=rec.nb,
+                looking=rec.looking,
+                chunked=rec.chunked,
+                chunk_size=rec.chunk_size if rec.chunked else 32,
+                unroll=rec.unroll,
+                gflops=rec.gflops,
+            )
+        return cls(entries)
+
+    @classmethod
+    def tune(
+        cls,
+        ns,
+        batch: int = 16384,
+        nbs=tuple(range(1, 10)),
+        chunkings=(None, 32, 64, 128, 256, 512),
+    ) -> "TunedDispatcher":
+        """Run a fresh sweep over ``ns`` and build the table from it."""
+        space = ParameterSpace(
+            ns=tuple(ns), nbs=tuple(nbs), chunkings=tuple(chunkings),
+            cache_prefs=("l1",),
+        )
+        return cls.from_dataset(run_sweep(space, batch=batch))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def config_for(self, n: int, fast_math: bool = False) -> KernelConfig:
+        """The tuned configuration for dimension ``n``.
+
+        Exact entries are used directly; unmeasured sizes borrow the
+        nearest measured size's parameters (tile size clipped), which is
+        the standard interpolation for dispatch tables whose parameters
+        vary slowly with the problem size.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        entry = self.entries.get(n)
+        if entry is None:
+            nearest = min(self.entries, key=lambda m: (abs(m - n), m))
+            entry = self.entries[nearest]
+        cfg = entry.config(fast_math=fast_math)
+        if cfg.n != n:
+            cfg = cfg.with_(n=n, nb=min(cfg.nb, n))
+        return cfg
+
+    def batch_cholesky(self, a: np.ndarray, fast_math: bool = False) -> np.ndarray:
+        """Factorize a dense batch through the tuned configuration."""
+        a = np.asarray(a)
+        if a.ndim != 3 or a.shape[1] != a.shape[2]:
+            raise ValueError(f"expected a (batch, n, n) array, got {a.shape}")
+        return batch_cholesky(a, self.config_for(a.shape[1], fast_math=fast_math))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        rows = [entry.__dict__ for entry in self.entries.values()]
+        Path(path).write_text(json.dumps(rows, indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TunedDispatcher":
+        rows = json.loads(Path(path).read_text())
+        return cls({row["n"]: TableEntry(**row) for row in rows})
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        from repro.utils.tables import format_table
+
+        rows = [
+            [e.n, e.nb, e.looking, e.unroll,
+             e.chunk_size if e.chunked else "-", round(e.gflops, 1)]
+            for e in self.entries.values()
+        ]
+        return format_table(["n", "nb", "looking", "unroll", "chunk", "gflops"], rows)
+
+    def speedup_over_default(self, n: int, batch: int = 16384) -> float:
+        """Modelled gain of the tuned config over the library default."""
+        tuned = evaluate_config(self.config_for(n), batch=batch)
+        default = evaluate_config(KernelConfig(n=n), batch=batch)
+        if not (tuned.ok and default.ok):
+            raise RuntimeError("evaluation failed while computing speedup")
+        return tuned.gflops / default.gflops

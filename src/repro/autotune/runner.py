@@ -1,0 +1,146 @@
+"""Evaluation of a single autotuning configuration.
+
+One evaluation = generate the kernel for the configuration, optionally
+validate it numerically against LAPACK on a small batch, and price it
+with the GPU performance model.  Failures are recorded, not raised: the
+paper's sweep also counts only "successful runs" — kernels whose code
+explodes beyond what the compiler finishes are real failures there too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.core.config import KernelConfig
+from repro.core.trace import build_trace
+from repro.gpusim.arch import GPUArchitecture, P100
+from repro.gpusim.model import estimate_performance
+from repro.utils.errors import factorization_error
+from repro.utils.spd import random_spd_batch
+
+#: Fully unrolled kernels beyond this many statements are recorded as
+#: failed compilations (the real toolchain gives up or times out on such
+#: translation units; this also keeps exhaustive sweeps tractable).
+MAX_STATEMENTS = 120_000
+
+#: Validation tolerance: single-precision factorization of a
+#: well-conditioned SPD matrix should reconstruct to ~1e-5 relative error;
+#: the bound leaves headroom for size growth.
+VALIDATE_RTOL = 5e-4
+
+
+def estimated_statements(config: KernelConfig) -> int:
+    """Cheap upper-bound statement estimate, used to skip monster kernels
+    before paying for trace generation.
+
+    Fully unrolled code has one statement per scalar operation and per
+    element moved: ~``n^3/6`` compute plus ~``n^3/(2 nb)`` memory.
+    Partially unrolled code is bounded by a few unrolled tile bodies.
+    """
+    n, nb = config.n, config.effective_nb
+    if config.unroll.value == "partial":
+        return 8 * nb * nb * max(1, n // nb) + 4 * n * n // max(1, nb)
+    return n**3 // 6 + n**3 // (2 * nb) + 3 * n * n
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One row of the autotuning dataset."""
+
+    n: int
+    nb: int
+    looking: str
+    chunked: bool
+    chunk_size: int
+    unroll: str
+    fast_math: bool
+    cache_pref: str
+    batch: int
+    ok: bool
+    gflops: float = 0.0
+    seconds: float = 0.0
+    bound: str = ""
+    error: str = ""
+
+    @classmethod
+    def from_config(cls, config: KernelConfig, batch: int, **kwargs) -> "SweepRecord":
+        return cls(
+            n=config.n,
+            nb=config.effective_nb,
+            looking=config.looking.value,
+            chunked=config.chunked,
+            chunk_size=config.chunk_size if config.chunked else 0,
+            unroll=config.unroll.value,
+            fast_math=config.fast_math,
+            cache_pref=config.cache_pref.value,
+            batch=batch,
+            **kwargs,
+        )
+
+    def config(self) -> KernelConfig:
+        """Reconstruct the configuration this record describes."""
+        return KernelConfig(
+            n=self.n,
+            nb=self.nb,
+            looking=self.looking,
+            chunked=self.chunked,
+            chunk_size=self.chunk_size if self.chunked else 32,
+            unroll=self.unroll,
+            fast_math=self.fast_math,
+            cache_pref=self.cache_pref,
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def evaluate_config(
+    config: KernelConfig,
+    batch: int = 16384,
+    arch: GPUArchitecture = P100,
+    validate: bool = False,
+    validate_batch: int = 64,
+    seed: int = 1234,
+) -> SweepRecord:
+    """Evaluate one configuration; never raises for per-config failures."""
+    try:
+        # The estimate is an upper bound; only skip trace generation when
+        # it is clearly beyond the limit, and let the exact count decide
+        # near the boundary.
+        estimate = estimated_statements(config)
+        if estimate > 1.3 * MAX_STATEMENTS:
+            return SweepRecord.from_config(
+                config,
+                batch,
+                ok=False,
+                error=f"compilation aborted: ~{estimate} statements",
+            )
+        trace = build_trace(config)
+        if trace.static_statements > MAX_STATEMENTS:
+            return SweepRecord.from_config(
+                config,
+                batch,
+                ok=False,
+                error=f"compilation aborted: {trace.static_statements} statements",
+            )
+        if validate:
+            a = random_spd_batch(validate_batch, config.n, seed=seed)
+            from repro.core.factorize import batch_cholesky
+
+            l = batch_cholesky(a, config)
+            err = factorization_error(a, l)
+            if err > VALIDATE_RTOL:
+                return SweepRecord.from_config(
+                    config, batch, ok=False, error=f"validation failed: err={err:.2e}"
+                )
+        est = estimate_performance(config, batch=batch, arch=arch)
+    except Exception as exc:  # pragma: no cover - defensive per-config guard
+        return SweepRecord.from_config(config, batch, ok=False, error=str(exc))
+    return SweepRecord.from_config(
+        config,
+        batch,
+        ok=True,
+        gflops=est.gflops,
+        seconds=est.seconds,
+        bound=est.bound,
+    )

@@ -1,0 +1,133 @@
+"""Guided-search baselines.
+
+Section IV argues the exhaustive sweep is worth its cost because guided
+search "represents a form of selection bias committed in the name of
+minimization of execution time".  These heuristics quantify the other side
+of that trade-off: how close to the exhaustive optimum a small evaluation
+budget gets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.runner import SweepRecord, evaluate_config
+from repro.autotune.space import ParameterSpace
+from repro.core.config import KernelConfig
+from repro.gpusim.arch import GPUArchitecture, P100
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a guided search."""
+
+    best: SweepRecord
+    evaluations: int
+    history: tuple[float, ...]  # best-so-far gflops after each evaluation
+
+
+def exhaustive_best(
+    space: ParameterSpace, batch: int = 16384, arch: GPUArchitecture = P100
+) -> SearchResult:
+    """Evaluate everything; the reference the heuristics are scored against."""
+    best: SweepRecord | None = None
+    history: list[float] = []
+    count = 0
+    for config in space.configs():
+        rec = evaluate_config(config, batch=batch, arch=arch)
+        count += 1
+        if rec.ok and (best is None or rec.gflops > best.gflops):
+            best = rec
+        history.append(best.gflops if best else 0.0)
+    if best is None:
+        raise RuntimeError("no configuration in the space evaluated successfully")
+    return SearchResult(best=best, evaluations=count, history=tuple(history))
+
+
+def random_search(
+    space: ParameterSpace,
+    budget: int,
+    seed: int = 0,
+    batch: int = 16384,
+    arch: GPUArchitecture = P100,
+) -> SearchResult:
+    """Uniform random sampling of the space without replacement."""
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    configs = list(space.configs())
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(configs))[: min(budget, len(configs))]
+    best: SweepRecord | None = None
+    history: list[float] = []
+    for i in order:
+        rec = evaluate_config(configs[int(i)], batch=batch, arch=arch)
+        if rec.ok and (best is None or rec.gflops > best.gflops):
+            best = rec
+        history.append(best.gflops if best else 0.0)
+    if best is None:
+        raise RuntimeError("random search found no successful configuration")
+    return SearchResult(best=best, evaluations=len(order), history=tuple(history))
+
+
+def coordinate_descent(
+    space: ParameterSpace,
+    start: KernelConfig,
+    batch: int = 16384,
+    arch: GPUArchitecture = P100,
+    max_rounds: int = 8,
+) -> SearchResult:
+    """Greedy one-parameter-at-a-time improvement from a starting point.
+
+    Sweeps each tuning dimension in turn, keeping the best value, until a
+    full round makes no progress.  This is the classic "workable
+    heuristic" the paper mentions skipping.
+    """
+    if start.n not in space.ns:
+        raise ValueError(f"start.n={start.n} is not in the space's sizes {space.ns}")
+    current = start
+    best = evaluate_config(current, batch=batch, arch=arch)
+    evaluations = 1
+    history = [best.gflops if best.ok else 0.0]
+
+    def candidates_along(dim: str, base: KernelConfig):
+        if dim == "nb":
+            for nb in space.nbs:
+                yield base.with_(nb=min(nb, base.n))
+        elif dim == "looking":
+            for lk in space.lookings:
+                yield base.with_(looking=lk)
+        elif dim == "unroll":
+            for ur in space.unrolls:
+                yield base.with_(unroll=ur)
+        elif dim == "chunk":
+            for chunk in space.chunkings:
+                if chunk is None:
+                    yield base.with_(chunked=False)
+                else:
+                    yield base.with_(chunked=True, chunk_size=chunk)
+        elif dim == "cache":
+            for cp in space.cache_prefs:
+                yield base.with_(cache_pref=cp)
+        else:  # pragma: no cover - internal dimension list is fixed
+            raise ValueError(f"unknown dimension {dim!r}")
+
+    for _ in range(max_rounds):
+        improved = False
+        for dim in ("nb", "looking", "unroll", "chunk", "cache"):
+            for cand in candidates_along(dim, current):
+                if cand == current:
+                    continue
+                rec = evaluate_config(cand, batch=batch, arch=arch)
+                evaluations += 1
+                if rec.ok and rec.gflops > best.gflops:
+                    best = rec
+                    current = cand
+                    improved = True
+                history.append(best.gflops if best.ok else 0.0)
+        if not improved:
+            break
+    if not best.ok:
+        raise RuntimeError("coordinate descent found no successful configuration")
+    return SearchResult(best=best, evaluations=evaluations, history=tuple(history))

@@ -1,0 +1,49 @@
+"""Exhaustive autotuning sweeps.
+
+"We performed an exhaustive search of the autotuning space of code
+parameters.  [...] our goal is not the minimal search time but rather
+meaningful exploration of the parameter configurations" (Section IV).
+A guided search "represents a form of selection bias"; the exhaustive
+dataset is what enables the postmortem analysis of Table I / Figure 21.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.autotune.dataset import SweepDataset
+from repro.autotune.runner import evaluate_config
+from repro.autotune.space import ParameterSpace
+from repro.gpusim.arch import GPUArchitecture, P100
+
+
+def run_sweep(
+    space: ParameterSpace,
+    batch: int = 16384,
+    arch: GPUArchitecture = P100,
+    validate: bool = False,
+    progress: Callable[[int, int], None] | None = None,
+    limit: int | None = None,
+) -> SweepDataset:
+    """Evaluate every configuration of ``space``.
+
+    Parameters
+    ----------
+    validate:
+        Also run each generated kernel numerically against LAPACK on a
+        small batch.  Exhaustive validation is slow; sweeps used for
+        performance figures rely on the test suite's coverage instead.
+    progress:
+        Optional ``callback(done, total)`` for long sweeps.
+    limit:
+        Stop after this many configurations (for sampled runs).
+    """
+    dataset = SweepDataset()
+    total = space.size() if progress else 0
+    for i, config in enumerate(space.configs()):
+        if limit is not None and i >= limit:
+            break
+        dataset.append(evaluate_config(config, batch=batch, arch=arch, validate=validate))
+        if progress:
+            progress(i + 1, total)
+    return dataset

@@ -1,0 +1,21 @@
+"""Comparator implementations.
+
+* :mod:`repro.baselines.lapack` — per-matrix ground truth via
+  SciPy/LAPACK, used by tests as the numeric oracle.
+* :mod:`repro.baselines.magma` — a model of the "traditional"
+  implementation the paper compares against (MAGMA 2.2.0's batched
+  Cholesky): canonical layout, one thread block per matrix, the matrix
+  staged through shared memory.  Provides both a numeric executor and a
+  performance estimate through the same P100 model, so Figures 13/14 can
+  put both codes on one axis.
+"""
+
+from repro.baselines.lapack import lapack_cholesky_batch, lapack_solve_batch
+from repro.baselines.magma import magma_cholesky_batch, estimate_magma_performance
+
+__all__ = [
+    "lapack_cholesky_batch",
+    "lapack_solve_batch",
+    "magma_cholesky_batch",
+    "estimate_magma_performance",
+]

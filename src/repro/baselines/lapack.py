@@ -1,0 +1,43 @@
+"""Per-matrix LAPACK ground truth (via SciPy).
+
+The numeric oracle for every test in the suite: whatever a generated
+kernel computes must match what LAPACK computes, matrix by matrix, to
+single-precision accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+
+def lapack_cholesky_batch(a: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of every matrix in a dense batch.
+
+    Runs LAPACK's ``potrf`` matrix by matrix (no batching — this is the
+    reference, not a competitor) and returns factors with zeroed strictly
+    upper parts.
+    """
+    a = np.asarray(a)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValueError(f"expected a (batch, n, n) array, got {a.shape}")
+    out = np.empty_like(a)
+    for b in range(a.shape[0]):
+        out[b] = sla.cholesky(a[b], lower=True, check_finite=False)
+    return out
+
+
+def lapack_solve_batch(a: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A_b x_b = rhs_b`` per matrix with LAPACK's SPD solver."""
+    a = np.asarray(a)
+    rhs = np.asarray(rhs)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValueError(f"expected a (batch, n, n) array, got {a.shape}")
+    squeeze = rhs.ndim == 2
+    if squeeze:
+        rhs = rhs[:, :, None]
+    out = np.empty_like(rhs, dtype=np.result_type(a.dtype, rhs.dtype))
+    for b in range(a.shape[0]):
+        c, low = sla.cho_factor(a[b], lower=True, check_finite=False)
+        out[b] = sla.cho_solve((c, low), rhs[b], check_finite=False)
+    return out[:, :, 0] if squeeze else out

@@ -1,0 +1,171 @@
+"""Model of the traditional batched Cholesky (MAGMA 2.2.0 style).
+
+The paper's Figures 13/14 compare the interleaved kernels against "the
+traditional implementation in MAGMA": canonical layout, one thread block
+per matrix, the matrix staged through shared memory, a column loop with
+block-wide synchronisation.  Its performance characteristics — the reasons
+the interleaved code wins small and loses big — are:
+
+* **Sub-warp coalescing.**  A column of an ``n``-by-``n`` canonical matrix
+  is ``4n`` contiguous bytes; for ``n < 32`` a warp's read uses only part
+  of every 128-byte transaction, wasting bandwidth by ``128 / 4n``.
+* **Idle lanes.**  With one thread per row, ``ceil32(n) - n`` lanes of
+  every warp do nothing; for n = 8 that is 75 % of the machine.
+* **Synchronisation.**  Every factorization step ends in block-wide
+  barriers; tiny matrices are barrier-dominated.
+* **Shared-memory reuse.**  But the matrix is loaded once and factored in
+  shared memory, so DRAM traffic stays at ``~1.5 n^2`` elements per matrix
+  regardless of n — while the interleaved kernels' register-only reuse
+  makes their traffic grow as ``n^3 / nb``.  This is why "the performance
+  of the interleaved implementation levels off, and is surpassed by the
+  traditional implementation in MAGMA, for larger sizes" (Section III).
+
+The numeric path simply factorizes the dense batch with the vectorised
+reference (same arithmetic, canonical layout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reference import batch_cholesky_reference
+from repro.gpusim.arch import GPUArchitecture, P100
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.pipeline import issue_efficiency
+from repro.utils.flops import cholesky_flops
+
+#: Shared memory per SM on the modelled parts (64 KiB usable on the P100).
+SHARED_PER_SM = 64 * 1024
+#: Issue slots per block-wide __syncthreads(); the barrier's *latency* is
+#: hidden by the other blocks resident on the SM.
+SYNC_CYCLES = 8.0
+#: Registers per thread of the staging kernel (column buffers + indices).
+MAGMA_REGS_PER_THREAD = 64
+#: Fraction of the serial pivot sequence (sqrt + reciprocal on a single
+#: thread) that consumes issue slots; the rest is latency overlapped with
+#: the SM's other resident blocks.
+SERIAL_OVERLAP = 1.0 / 3.0
+#: Fixed per-block issue cost: block scheduling, the batched API's
+#: pointer-array indirection, bounds setup, prologue/epilogue.  With one
+#: block per matrix this is the dominant cost for tiny matrices — one of
+#: the two reasons (with coalescing) the interleaved kernels win there.
+BLOCK_OVERHEAD_CYCLES = 300.0
+
+
+@dataclass(frozen=True)
+class MagmaEstimate:
+    """Modelled execution of the traditional batched kernel."""
+
+    n: int
+    batch: int
+    seconds: float
+    gflops: float
+    mem_seconds: float
+    compute_seconds: float
+    coalescing: float
+    lane_utilization: float
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.mem_seconds >= self.compute_seconds else "compute"
+
+
+def magma_cholesky_batch(a: np.ndarray) -> np.ndarray:
+    """Numeric path of the baseline: canonical-layout batch factorization."""
+    a32 = np.ascontiguousarray(np.asarray(a), dtype=np.float32)
+    return batch_cholesky_reference(a32)
+
+
+def _coalescing_multiplier(n: int, arch: GPUArchitecture) -> float:
+    """Bytes moved over bytes used for column-wise canonical reads."""
+    column_bytes = 4 * n
+    lines = -(-column_bytes // arch.line_bytes)
+    return lines * arch.line_bytes / column_bytes
+
+
+def estimate_magma_performance(
+    n: int,
+    batch: int = 16384,
+    fast_math: bool = False,
+    arch: GPUArchitecture = P100,
+) -> MagmaEstimate:
+    """Model the traditional one-block-per-matrix batched Cholesky."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+
+    block_threads = -(-n // arch.warp_size) * arch.warp_size
+    lane_util = n / block_threads
+    warps_per_block = block_threads // arch.warp_size
+
+    # --- occupancy: registers AND shared memory bound blocks/SM ----------
+    occ = compute_occupancy(arch, MAGMA_REGS_PER_THREAD, block_threads, batch)
+    shared_per_block = n * n * 4
+    by_shared = max(1, SHARED_PER_SM // max(shared_per_block, 1))
+    blocks_per_sm = min(occ.blocks_per_sm, by_shared)
+    active_sms = min(arch.sms, batch)
+    warps_per_sm = min(
+        float(blocks_per_sm * warps_per_block),
+        -(-batch // active_sms) * warps_per_block,
+    )
+
+    # --- memory: one staging pass in, lower triangle out ------------------
+    coal = _coalescing_multiplier(n, arch)
+    elements = n * n + n * (n + 1) // 2
+    weighted = n * n + arch.write_cost_factor * (n * (n + 1) // 2)
+    bytes_total = weighted * 4 * coal * batch
+    peak_bw = arch.dram_bandwidth_gbs * 1e9
+    in_flight = (
+        warps_per_sm * active_sms * arch.warp_size * arch.mlp_per_thread * 4
+    )
+    achievable_bw = max(1.0, min(peak_bw, in_flight / arch.mem_latency_s))
+    mem_seconds = bytes_total / achievable_bw
+
+    # --- compute: column loop in shared memory ----------------------------
+    # Per step k: a serial sqrt + reciprocal, a column scale, and a rank-1
+    # update of (n-k-1)^2 elements spread over the block's threads, plus
+    # two barriers.  Work is counted in warp-instructions over the block.
+    warp_instructions = 0.0
+    div = arch.div_cycles(fast_math)
+    sqrt = arch.sqrt_cycles(fast_math)
+    for k in range(n):
+        rem = n - k - 1
+        # Serial pivot on one thread: mostly latency, partly issue.
+        warp_instructions += (sqrt + div) * SERIAL_OVERLAP
+        warp_instructions += -(-rem // block_threads) or 0  # column scale
+        # Rank-1 update: rem^2 lane-FMAs spread over the block's lanes.
+        warp_instructions += rem * rem / block_threads
+        warp_instructions += 2 * SYNC_CYCLES
+    # Staging in/out also issues load/store instructions.
+    warp_instructions += 2.0 * elements / block_threads
+    warp_instructions += BLOCK_OVERHEAD_CYCLES / warps_per_block
+
+    eff = issue_efficiency(warps_per_sm, arch)
+    warp_issue_rate = arch.issue_rate_per_sm / arch.warp_size
+    clock_hz = arch.clock_ghz * 1e9
+    # Each SM processes batch/active_sms blocks; each block issues
+    # warp_instructions per warp, and the SM retires warp-instructions at
+    # warp_issue_rate * eff per cycle.
+    blocks_per_sm_total = -(-batch // active_sms)
+    compute_seconds = (
+        warp_instructions
+        * warps_per_block
+        * blocks_per_sm_total
+        / (warp_issue_rate * clock_hz * eff)
+    )
+
+    seconds = max(mem_seconds, compute_seconds) + arch.launch_overhead_s
+    gflops = cholesky_flops(n) * batch / seconds / 1e9
+    return MagmaEstimate(
+        n=n,
+        batch=batch,
+        seconds=seconds,
+        gflops=gflops,
+        mem_seconds=mem_seconds,
+        compute_seconds=compute_seconds,
+        coalescing=coal,
+        lane_utilization=lane_util,
+    )

@@ -1,0 +1,42 @@
+"""Batched BLAS on interleaved layouts.
+
+The paper situates itself among the batched BLAS efforts of cuBLAS, MKL
+and MAGMA (Section I.B) and builds its factorization from four BLAS-named
+tile operations (POTRF/TRSM/SYRK/GEMM, Section II.A).  This package
+provides those operations as *standalone batched routines* over
+interleaved buffers — the library a downstream user would call for their
+own small-matrix pipelines:
+
+* :func:`~repro.batchblas.api.batched_gemm` — ``C := alpha op(A) op(B) + beta C``
+* :func:`~repro.batchblas.api.batched_syrk` — ``C := alpha A A^T + beta C`` (lower)
+* :func:`~repro.batchblas.api.batched_trsm` — triangular solves against a
+  lower factor (left ``L X = alpha B`` or right ``X L^T = alpha B``)
+
+Each routine has a generated, fully unrolled interleaved kernel (same
+pipeline as the factorization kernels) and a vectorised NumPy reference
+(:mod:`repro.batchblas.reference`) used as its oracle.
+
+On top of them, :mod:`repro.batchblas.tiled` implements the paper's
+Figure 6 — the *tile Cholesky factorization*: a left-looking blocked
+factorization expressed entirely as batched BLAS calls on ``nb``-sized
+tiles, the way LAPACK-style libraries scale batch kernels to larger
+matrices.
+"""
+
+from repro.batchblas.reference import (
+    reference_gemm,
+    reference_syrk,
+    reference_trsm,
+)
+from repro.batchblas.api import batched_gemm, batched_syrk, batched_trsm
+from repro.batchblas.tiled import tile_cholesky
+
+__all__ = [
+    "reference_gemm",
+    "reference_syrk",
+    "reference_trsm",
+    "batched_gemm",
+    "batched_syrk",
+    "batched_trsm",
+    "tile_cholesky",
+]

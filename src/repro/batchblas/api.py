@@ -1,0 +1,136 @@
+"""User-facing batched BLAS routines.
+
+Each routine packs its dense operands into the interleaved layout
+(chunked by default, like the factorization driver), runs the generated
+kernel vectorised over all chunks, and unpacks the result.  Semantics
+match :mod:`repro.batchblas.reference` exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batchblas.kernels import gemm_kernel, syrk_kernel, trsm_kernel
+from repro.layouts.vectors import pack_vectors, unpack_vectors, vector_lane_view
+
+#: Default interleave group; ``None`` selects the simple (whole-batch)
+#: interleave like the non-chunked factorization kernels.
+DEFAULT_CHUNK = 32
+
+
+def _as_dense(name: str, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"{name} must be (batch, rows, cols), got {x.shape}")
+    return np.ascontiguousarray(x, dtype=np.float32)
+
+
+def _views(dense: np.ndarray, chunk: int | None):
+    batch, rows, cols = dense.shape
+    buf = pack_vectors(dense, chunk)
+    view = vector_lane_view(buf, batch, rows, cols, chunk)
+    return buf, view
+
+
+def batched_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    transa: bool = False,
+    transb: bool = False,
+    chunk_size: int | None = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """``C := alpha * op(A) @ op(B) + beta * C`` for every batch entry."""
+    a = _as_dense("A", a)
+    b = _as_dense("B", b)
+    c = _as_dense("C", c)
+    if not (a.shape[0] == b.shape[0] == c.shape[0]):
+        raise ValueError("batch dimensions differ")
+    m, n = c.shape[1], c.shape[2]
+    k = a.shape[1] if transa else a.shape[2]
+    opa_shape = (k, m) if transa else (m, k)
+    opb_shape = (n, k) if transb else (k, n)
+    if a.shape[1:] != opa_shape:
+        raise ValueError(f"A has shape {a.shape[1:]}, expected {opa_shape}")
+    if b.shape[1:] != opb_shape:
+        raise ValueError(f"B has shape {b.shape[1:]}, expected {opb_shape}")
+
+    kernel = gemm_kernel(m, n, k, transa, transb)
+    _, da = _views(a, chunk_size)
+    _, db = _views(b, chunk_size)
+    buf_c, dc = _views(c, chunk_size)
+    kernel(da, db, dc, np.float32(alpha), np.float32(beta), np)
+    return unpack_vectors(buf_c, c.shape[0], m, n, chunk_size)
+
+
+def batched_syrk(
+    a: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    chunk_size: int | None = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """``C := alpha * A @ A^T + beta * C`` on the lower triangle."""
+    a = _as_dense("A", a)
+    c = _as_dense("C", c)
+    if a.shape[0] != c.shape[0]:
+        raise ValueError("batch dimensions differ")
+    m, k = a.shape[1], a.shape[2]
+    if c.shape[1:] != (m, m):
+        raise ValueError(f"C must be (batch, {m}, {m}), got {c.shape}")
+    kernel = syrk_kernel(m, k)
+    _, da = _views(a, chunk_size)
+    buf_c, dc = _views(c, chunk_size)
+    kernel(da, dc, np.float32(alpha), np.float32(beta), np)
+    return unpack_vectors(buf_c, c.shape[0], m, m, chunk_size)
+
+
+def batched_trsm(
+    l: np.ndarray,
+    b: np.ndarray,
+    alpha: float = 1.0,
+    side: str = "left",
+    chunk_size: int | None = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Batched triangular solve against lower factors.
+
+    ``side='left'`` solves ``L X = alpha B``; ``side='right'`` solves
+    ``X L^T = alpha B`` (the Cholesky panel operation).  Only the lower
+    triangles of ``l`` are referenced.
+    """
+    l = _as_dense("L", l)
+    b = _as_dense("B", b)
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    if l.shape[0] != b.shape[0]:
+        raise ValueError("batch dimensions differ")
+    if l.shape[1] != l.shape[2]:
+        raise ValueError(f"L must be square, got {l.shape}")
+    k = l.shape[1]
+    if side == "left" and b.shape[1] != k:
+        raise ValueError(f"B rows {b.shape[1]} != L dimension {k}")
+    if side == "right" and b.shape[2] != k:
+        raise ValueError(f"B cols {b.shape[2]} != L dimension {k}")
+
+    other = b.shape[2] if side == "left" else b.shape[1]
+    kernel = trsm_kernel(k, other, side)
+    # Padding lanes must stay dividable: extend L with identity matrices
+    # (pack_vectors pads with zeros, which would put 0/0 NaNs in the
+    # discarded lanes and trip FP warnings).
+    batch = l.shape[0]
+    group = chunk_size if chunk_size is not None else 32
+    padded = -(-batch // group) * group
+    if padded != batch:
+        l_padded = np.zeros((padded, k, k), dtype=l.dtype)
+        l_padded[:batch] = l
+        l_padded[batch:] = np.eye(k, dtype=l.dtype)
+        l = l_padded
+        b_padded = np.zeros((padded, b.shape[1], b.shape[2]), dtype=b.dtype)
+        b_padded[:batch] = b
+        b = b_padded
+    _, dl = _views(l, chunk_size)
+    buf_b, db = _views(b, chunk_size)
+    kernel(dl, db, np.float32(alpha), np.float32(1.0), np)
+    return unpack_vectors(buf_b, padded, b.shape[1], b.shape[2], chunk_size)[:batch]

@@ -1,0 +1,181 @@
+"""Generated interleaved kernels for the batched BLAS routines.
+
+Same pipeline as the factorization kernels: pyexpander templates expand to
+fully unrolled straight-line code over interleaved buffer views, one
+thread (NumPy lane) per matrix.  Buffers are indexed by the column-major
+element id ``e = c * rows + r``; ``alpha``/``beta`` stay runtime
+arguments so one compiled kernel serves every scaling.
+
+Being fully unrolled, these kernels target the paper's regime (matrices
+up to a few dozen rows/columns); a guard rejects shapes whose unrolled
+code would be unreasonable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.codegen.expander import expand
+
+#: Reject kernels beyond this many generated statements.
+MAX_STATEMENTS = 40_000
+
+_GEMM_TEMPLATE = """\
+$for(m in range(0, M))\
+$for(n in range(0, N))\
+_t = dA[$(ea(m, 0))] * dB[$(eb(0, n))]
+$for(k in range(1, K))\
+_t = _t + dA[$(ea(m, k))] * dB[$(eb(k, n))]
+$endfor\
+dC[$(ec(m, n))] = _alpha * _t + _beta * dC[$(ec(m, n))]
+$endfor\
+$endfor\
+"""
+
+_SYRK_TEMPLATE = """\
+$for(m in range(0, M))\
+$for(n in range(0, m + 1))\
+_t = dA[$(ea(m, 0))] * dA[$(ea(n, 0))]
+$for(k in range(1, K))\
+_t = _t + dA[$(ea(m, k))] * dA[$(ea(n, k))]
+$endfor\
+dC[$(ec(m, n))] = _alpha * _t + _beta * dC[$(ec(m, n))]
+$endfor\
+$endfor\
+"""
+
+_TRSM_LEFT_TEMPLATE = """\
+$for(c in range(0, C))\
+$for(i in range(0, K))\
+rX_$(i) = _alpha * dB[$(eb(i, c))]
+$for(j in range(0, i))\
+rX_$(i) = rX_$(i) - dL[$(el(i, j))] * rX_$(j)
+$endfor\
+rX_$(i) = rX_$(i) / dL[$(el(i, i))]
+$endfor\
+$for(i in range(0, K))\
+dB[$(eb(i, c))] = rX_$(i)
+$endfor\
+$endfor\
+"""
+
+_TRSM_RIGHT_TEMPLATE = """\
+$for(r in range(0, R))\
+$for(j in range(0, K))\
+rX_$(j) = _alpha * dB[$(eb(r, j))]
+$for(c in range(0, j))\
+rX_$(j) = rX_$(j) - dL[$(el(j, c))] * rX_$(c)
+$endfor\
+rX_$(j) = rX_$(j) / dL[$(el(j, j))]
+$endfor\
+$for(j in range(0, K))\
+dB[$(eb(r, j))] = rX_$(j)
+$endfor\
+$endfor\
+"""
+
+
+def _element(rows: int):
+    """Column-major element id within an interleaved (rows x cols) block."""
+
+    def e(r: int, c: int) -> int:
+        return c * rows + r
+
+    return e
+
+
+def _op_element(rows: int, trans: bool):
+    """Element id of op(X)[i, j] given X's physical row count."""
+    base = _element(rows)
+    if trans:
+        return lambda i, j: base(j, i)
+    return base
+
+
+def _compile(source: str, name: str, arg_names: tuple[str, ...]) -> Callable:
+    header = f"def _blas_kernel({', '.join(arg_names)}, _alpha, _beta, _np):\n"
+    lines = [line for line in source.splitlines() if line]
+    if len(lines) > MAX_STATEMENTS:
+        raise ValueError(
+            f"{name} kernel would unroll to {len(lines)} statements "
+            f"(limit {MAX_STATEMENTS}); shape too large for the batch regime"
+        )
+    body = header + "\n".join("    " + line for line in lines) + "\n"
+    namespace: dict = {}
+    exec(compile(body, f"<{name} kernel>", "exec"), namespace)  # noqa: S102
+    return namespace["_blas_kernel"]
+
+
+_CACHE: dict[tuple, Callable] = {}
+
+
+def gemm_kernel(m: int, n: int, k: int, transa: bool, transb: bool) -> Callable:
+    """Compiled ``C := alpha op(A) op(B) + beta C`` kernel for one shape."""
+    _check_dims(m=m, n=n, k=k)
+    key = ("gemm", m, n, k, transa, transb)
+    if key not in _CACHE:
+        rows_a = k if transa else m
+        rows_b = n if transb else k
+        source = expand(
+            _GEMM_TEMPLATE,
+            {
+                "M": m,
+                "N": n,
+                "K": k,
+                "ea": _op_element(rows_a, transa),
+                "eb": _op_element(rows_b, transb),
+                "ec": _element(m),
+            },
+        )
+        raw = _compile(source, "gemm", ("dA", "dB", "dC"))
+        _CACHE[key] = raw
+    return _CACHE[key]
+
+
+def syrk_kernel(m: int, k: int) -> Callable:
+    """Compiled lower ``C := alpha A A^T + beta C`` kernel for one shape."""
+    _check_dims(m=m, k=k)
+    key = ("syrk", m, k)
+    if key not in _CACHE:
+        source = expand(
+            _SYRK_TEMPLATE,
+            {"M": m, "K": k, "ea": _element(m), "ec": _element(m)},
+        )
+        _CACHE[key] = _compile(source, "syrk", ("dA", "dC"))
+    return _CACHE[key]
+
+
+def trsm_kernel(k: int, other: int, side: str) -> Callable:
+    """Compiled triangular-solve kernel.
+
+    ``side='left'``: solve ``L X = alpha B`` with ``B`` of shape
+    ``(k, other)``; ``side='right'``: solve ``X L^T = alpha B`` with ``B``
+    of shape ``(other, k)``.
+    """
+    _check_dims(k=k, other=other)
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    key = ("trsm", k, other, side)
+    if key not in _CACHE:
+        if side == "left":
+            source = expand(
+                _TRSM_LEFT_TEMPLATE,
+                {"K": k, "C": other, "eb": _element(k), "el": _element(k)},
+            )
+        else:
+            source = expand(
+                _TRSM_RIGHT_TEMPLATE,
+                {"K": k, "R": other, "eb": _element(other), "el": _element(k)},
+            )
+        _CACHE[key] = _compile(source, "trsm", ("dL", "dB"))
+    return _CACHE[key]
+
+
+def clear_blas_kernel_cache() -> None:
+    _CACHE.clear()
+
+
+def _check_dims(**dims: int) -> None:
+    for name, value in dims.items():
+        if not isinstance(value, int) or value <= 0:
+            raise ValueError(f"{name} must be a positive integer, got {value!r}")

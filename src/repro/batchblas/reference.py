@@ -1,0 +1,114 @@
+"""Vectorised NumPy references for the batched BLAS routines.
+
+These define the exact semantics (BLAS conventions, column-major
+logical matrices stored as ``(batch, rows, cols)`` dense arrays) that the
+generated kernels must match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_batch3(name: str, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"{name} must be (batch, rows, cols), got {x.shape}")
+    return x
+
+
+def reference_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    transa: bool = False,
+    transb: bool = False,
+) -> np.ndarray:
+    """``C := alpha * op(A) @ op(B) + beta * C`` per batch entry."""
+    a = _check_batch3("A", a)
+    b = _check_batch3("B", b)
+    c = _check_batch3("C", c)
+    if a.shape[0] != b.shape[0] or a.shape[0] != c.shape[0]:
+        raise ValueError("batch dimensions differ")
+    opa = a.transpose(0, 2, 1) if transa else a
+    opb = b.transpose(0, 2, 1) if transb else b
+    if opa.shape[2] != opb.shape[1]:
+        raise ValueError(
+            f"inner dimensions differ: op(A) {opa.shape} vs op(B) {opb.shape}"
+        )
+    if c.shape[1:] != (opa.shape[1], opb.shape[2]):
+        raise ValueError(f"C has shape {c.shape[1:]}, expected "
+                         f"{(opa.shape[1], opb.shape[2])}")
+    return alpha * (opa @ opb) + beta * c
+
+
+def reference_syrk(
+    a: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """``C := alpha * A @ A^T + beta * C`` on the lower triangle.
+
+    The strictly upper part of ``C`` is returned unchanged (BLAS
+    convention for ``uplo='L'``).
+    """
+    a = _check_batch3("A", a)
+    c = _check_batch3("C", c)
+    if a.shape[0] != c.shape[0]:
+        raise ValueError("batch dimensions differ")
+    m = a.shape[1]
+    if c.shape[1:] != (m, m):
+        raise ValueError(f"C must be (batch, {m}, {m}), got {c.shape}")
+    full = alpha * (a @ a.transpose(0, 2, 1)) + beta * c
+    lower = np.tril(np.ones((m, m), dtype=bool))
+    out = np.array(c, copy=True)
+    out[:, lower] = full[:, lower]
+    return out
+
+
+def reference_trsm(
+    l: np.ndarray,
+    b: np.ndarray,
+    alpha: float = 1.0,
+    side: str = "left",
+) -> np.ndarray:
+    """Triangular solve against a lower factor, per batch entry.
+
+    ``side='left'``  solves ``L X = alpha B``  (X overwrites B's shape);
+    ``side='right'`` solves ``X L^T = alpha B`` — the Cholesky panel
+    update, the operation ``strsm_tile`` implements.
+    Only the lower triangle of ``l`` is referenced.
+    """
+    l = _check_batch3("L", l)
+    b = _check_batch3("B", b)
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    if l.shape[0] != b.shape[0]:
+        raise ValueError("batch dimensions differ")
+    if l.shape[1] != l.shape[2]:
+        raise ValueError(f"L must be square, got {l.shape}")
+    k = l.shape[1]
+    tri = np.tril(l).astype(np.float64)
+    rhs = alpha * b.astype(np.float64)
+    if side == "left":
+        if b.shape[1] != k:
+            raise ValueError(f"B rows {b.shape[1]} != L dimension {k}")
+        x = np.empty_like(rhs)
+        for i in range(k):
+            x[:, i, :] = rhs[:, i, :]
+            if i:
+                x[:, i, :] -= np.einsum("bj,bjc->bc", tri[:, i, :i], x[:, :i, :])
+            x[:, i, :] /= tri[:, i, i, None]
+    else:
+        if b.shape[2] != k:
+            raise ValueError(f"B cols {b.shape[2]} != L dimension {k}")
+        x = np.empty_like(rhs)
+        for j in range(k):
+            x[:, :, j] = rhs[:, :, j]
+            if j:
+                x[:, :, j] -= np.einsum("bc,brc->br", tri[:, j, :j], x[:, :, :j])
+            x[:, :, j] /= tri[:, j, j, None]
+    return x.astype(np.result_type(l.dtype, b.dtype))

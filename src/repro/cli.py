@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the library's workflows from the shell:
+
+* ``factor``     — factorize a random SPD batch, verify, report the model.
+* ``kernel``     — print the generated kernel source for a configuration.
+* ``model``      — print the performance model's full breakdown.
+* ``sweep``      — run an autotuning sweep and write the dataset CSV.
+* ``experiment`` — run a paper experiment (fig13..fig21, table1) by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+import numpy as np
+
+EXPERIMENTS = (
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "table1",
+    "encoding_study",
+    "batch_scaling",
+    "accuracy_study",
+    "sensitivity_study",
+    "portability_study",
+)
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, required=True, help="matrix dimension")
+    parser.add_argument("--nb", type=int, default=4, help="tile size")
+    parser.add_argument(
+        "--looking", choices=("right", "left", "top"), default="top"
+    )
+    parser.add_argument(
+        "--layout",
+        choices=("chunked", "interleaved"),
+        default="chunked",
+        help="chunked or simple interleaved layout",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=32, choices=(32, 64, 128, 256, 512)
+    )
+    parser.add_argument("--unroll", choices=("partial", "full"), default="partial")
+    parser.add_argument("--fast-math", action="store_true")
+    parser.add_argument("--uplo", choices=("lower", "upper"), default="lower")
+    parser.add_argument(
+        "--precision", choices=("single", "double"), default="single"
+    )
+
+
+def _config_from_args(args) -> "KernelConfig":
+    from repro.core.config import KernelConfig
+
+    return KernelConfig(
+        n=args.n,
+        nb=args.nb,
+        looking=args.looking,
+        chunked=args.layout == "chunked",
+        chunk_size=args.chunk_size,
+        unroll=args.unroll,
+        fast_math=args.fast_math,
+        uplo=args.uplo,
+        precision=args.precision,
+    )
+
+
+def _cmd_factor(args) -> int:
+    from repro.core.factorize import batch_cholesky
+    from repro.gpusim.model import estimate_performance
+    from repro.utils.errors import factorization_error
+    from repro.utils.spd import random_spd_batch
+
+    config = _config_from_args(args)
+    a = random_spd_batch(args.batch, args.n, seed=args.seed)
+    l = batch_cholesky(a, config)
+    if args.uplo == "upper":
+        # factorization_error expects lower factors; upper mode stores U
+        # with A = U^T U, i.e. L = U^T.
+        l = np.triu(l).transpose(0, 2, 1)
+    err = factorization_error(a, l)
+    est = estimate_performance(config, batch=args.batch)
+    print(f"kernel          : {config.describe()}")
+    print(f"batch           : {args.batch}")
+    print(f"factorization ok: max rel error {err:.2e}")
+    print(
+        f"modelled P100   : {est.seconds * 1e6:.1f} us, {est.gflops:.0f} Gflop/s "
+        f"({est.bound}-bound)"
+    )
+    return 0 if err < 1e-3 else 1
+
+
+def _cmd_kernel(args) -> int:
+    from repro.codegen.kernel import generate_kernel_source
+
+    gk = generate_kernel_source(_config_from_args(args))
+    print(f"# {gk.config.describe()} — {gk.static_statements} statements")
+    print(gk.source)
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro.gpusim.model import estimate_performance
+
+    est = estimate_performance(_config_from_args(args), batch=args.batch)
+    occ = est.occupancy
+    print(f"config              : {est.config.describe()}")
+    print(f"batch               : {est.batch}")
+    print(f"time                : {est.seconds * 1e6:.2f} us")
+    print(f"gflops              : {est.gflops:.1f}")
+    print(f"bound               : {est.bound}")
+    print(f"  memory time       : {est.mem_seconds * 1e6:.2f} us")
+    print(f"  compute time      : {est.compute_seconds * 1e6:.2f} us")
+    print(f"  launch overhead   : {est.overhead_seconds * 1e6:.2f} us")
+    print(f"bytes moved         : {est.bytes_moved / 1e6:.2f} MB")
+    print(f"achievable bandwidth: {est.achievable_bandwidth_gbs:.0f} GB/s")
+    print(f"  locality factor   : {est.locality_factor:.2f}")
+    print(f"  coalescing waste  : {est.coalescing:.2f}x")
+    print(f"icache factor       : {est.icache_factor:.2f}")
+    print(f"issue efficiency    : {est.issue_eff:.2f}")
+    print(
+        f"occupancy           : {occ.warps_per_sm:.1f} warps/SM on "
+        f"{occ.active_sms} SMs ({occ.limited_by}-limited, "
+        f"{occ.regs_per_thread} regs/thread, {occ.spilled_regs} spilled)"
+    )
+    print(
+        f"per-thread traffic  : {est.load_elements_per_thread} loads, "
+        f"{est.store_elements_per_thread} stores, "
+        f"{est.spill_elements_per_thread} spills (elements)"
+    )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.core.schedule import schedule_summary
+
+    print(schedule_summary(_config_from_args(args)))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.gpusim.report import explain
+
+    print(explain(_config_from_args(args), batch=args.batch))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.autotune.space import ParameterSpace
+    from repro.autotune.sweep import run_sweep
+    from repro.utils.tables import format_table
+
+    ns = tuple(int(x) for x in args.ns.split(","))
+    space = ParameterSpace(ns=ns)
+    print(f"sweeping {space.size()} configurations over n in {ns} ...")
+    dataset = run_sweep(space, batch=args.batch)
+    if args.out:
+        dataset.save_csv(args.out)
+        print(f"dataset written to {args.out}")
+    rows = [
+        [n, round(rec.gflops, 1), rec.nb, rec.looking, rec.unroll,
+         rec.chunk_size if rec.chunked else "-"]
+        for n, rec in sorted(dataset.best_per_n().items())
+    ]
+    print(format_table(["n", "gflops", "nb", "looking", "unroll", "chunk"], rows))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    result = module.run()
+    print(result.render())
+    if result.series and not args.no_plot:
+        from repro.utils.ascii_plot import line_plot
+
+        print()
+        print(line_plot(result.series, title=result.title, ylabel="Gflop/s"))
+    return 0 if result.all_checks_pass else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch Cholesky with interleaved layouts (IPDPS-W 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("factor", help="factorize a random batch and verify")
+    _add_config_arguments(p)
+    p.add_argument("--batch", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_factor)
+
+    p = sub.add_parser("kernel", help="print generated kernel source")
+    _add_config_arguments(p)
+    p.set_defaults(func=_cmd_kernel)
+
+    p = sub.add_parser("model", help="print the performance-model breakdown")
+    _add_config_arguments(p)
+    p.add_argument("--batch", type=int, default=16384)
+    p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser("schedule", help="show a configuration's tile-op schedule")
+    _add_config_arguments(p)
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("explain", help="diagnose a configuration's bottlenecks")
+    _add_config_arguments(p)
+    p.add_argument("--batch", type=int, default=16384)
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("sweep", help="run an autotuning sweep")
+    p.add_argument("--ns", default="8,16,24,32", help="comma-separated sizes")
+    p.add_argument("--batch", type=int, default=16384)
+    p.add_argument("--out", default="", help="CSV output path")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", choices=EXPERIMENTS)
+    p.add_argument("--no-plot", action="store_true", help="skip the ASCII chart")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

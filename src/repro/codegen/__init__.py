@@ -1,0 +1,56 @@
+"""Kernel generation pipeline (Section II.C of the paper).
+
+The paper generates its CUDA kernels with the *pyexpander* preprocessor:
+templates containing ``$for(...)`` loops and ``$(...)`` substitutions expand
+into fully unrolled straight-line code built from four compute micro-ops
+(``spotrf_tile``, ``strsm_tile``, ``ssyrk_tile``, ``sgemm_tile``) and four
+memory micro-ops (``load_full``, ``store_full``, ``load_lower``,
+``store_lower``).
+
+This package reimplements that pipeline end to end:
+
+* :mod:`repro.codegen.expander` — a from-scratch pyexpander-compatible
+  template engine.
+* :mod:`repro.codegen.microkernels` — the Figure-9 compute micro-op
+  templates, expanded to unrolled Python statement blocks over "register"
+  variables (each CUDA thread's scalar register becomes a NumPy vector over
+  the batch lanes).
+* :mod:`repro.codegen.loadstore` — the Figure-10 memory micro-ops.
+* :mod:`repro.codegen.kernel` — whole-kernel assembly, partially unrolled
+  (Figure 11) or completely unrolled (Figure 12), for all three looking
+  variants, including the corner-case tiles when ``n % nb != 0``.
+* :mod:`repro.codegen.compile` — source-to-callable compilation with a cache.
+"""
+
+from repro.codegen.expander import expand, ExpanderError
+from repro.codegen.microkernels import (
+    spotrf_tile_source,
+    strsm_tile_source,
+    ssyrk_tile_source,
+    sgemm_tile_source,
+)
+from repro.codegen.loadstore import (
+    load_full_source,
+    store_full_source,
+    load_lower_source,
+    store_lower_source,
+)
+from repro.codegen.kernel import generate_kernel_source
+from repro.codegen.compile import compile_kernel, compiled_kernel, clear_kernel_cache
+
+__all__ = [
+    "expand",
+    "ExpanderError",
+    "spotrf_tile_source",
+    "strsm_tile_source",
+    "ssyrk_tile_source",
+    "sgemm_tile_source",
+    "load_full_source",
+    "store_full_source",
+    "load_lower_source",
+    "store_lower_source",
+    "generate_kernel_source",
+    "compile_kernel",
+    "compiled_kernel",
+    "clear_kernel_cache",
+]

@@ -1,0 +1,55 @@
+"""Kernel compilation and caching.
+
+The paper compiles one CUDA kernel per point of the compile-time parameter
+space; we ``exec`` the generated Python source once per distinct source and
+memoise the resulting callable.  Chunk size, fast-math and the cache
+preference do not alter the generated statements (chunk size is a run-time
+parameter in the paper too), so kernels are shared across those knobs via
+:meth:`repro.core.config.KernelConfig.cache_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.codegen.kernel import GeneratedKernel, generate_kernel_source
+from repro.core.config import KernelConfig
+
+#: cache_key -> (generated kernel, compiled callable)
+_CACHE: dict[tuple, tuple[GeneratedKernel, Callable]] = {}
+
+
+def compile_kernel(kernel: GeneratedKernel) -> Callable:
+    """Compile generated kernel source into a callable ``f(dA)``.
+
+    The returned callable binds NumPy internally, so callers only pass the
+    element-indexable buffer view.
+    """
+    namespace: dict = {}
+    code = compile(kernel.source, f"<kernel {kernel.config.describe()}>", "exec")
+    exec(code, namespace)  # noqa: S102 - executing our own generated source
+    raw = namespace["_kernel"]
+
+    def run(dA):
+        return raw(dA, np)
+
+    run.generated = kernel  # type: ignore[attr-defined]
+    return run
+
+
+def compiled_kernel(config: KernelConfig) -> Callable:
+    """Generate (or fetch from cache) the compiled kernel for ``config``."""
+    key = config.cache_key()
+    hit = _CACHE.get(key)
+    if hit is None:
+        kernel = generate_kernel_source(config)
+        hit = (kernel, compile_kernel(kernel))
+        _CACHE[key] = hit
+    return hit[1]
+
+
+def clear_kernel_cache() -> None:
+    """Drop all memoised kernels (used by tests and long sweeps)."""
+    _CACHE.clear()

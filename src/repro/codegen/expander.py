@@ -1,0 +1,280 @@
+"""A from-scratch pyexpander-compatible template engine.
+
+The paper's kernels (Figures 9-12) are written as *pyexpander* templates.
+This module implements the subset of pyexpander used there, so the kernel
+templates in :mod:`repro.codegen.microkernels` and friends read almost
+exactly like the paper's listings:
+
+* ``$(expr)`` — evaluate a Python expression and splice in ``str(value)``.
+* ``$for(target in expr)`` ... ``$endfor`` — expansion-time loop.
+* ``$if(expr)`` / ``$elif(expr)`` / ``$else`` / ``$endif`` — conditionals.
+* ``$py(stmt)`` — execute a statement in the template environment.
+* a backslash at the end of a line suppresses the newline (pyexpander's
+  line-continuation rule, used heavily in the paper's listings).
+* ``$$`` — a literal dollar sign.
+
+Expansion happens against a caller-supplied environment dictionary (the
+paper passes ``NB``, ``N`` etc. on the pyexpander command line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ExpanderError(ValueError):
+    """Raised for malformed templates or failing template expressions."""
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Text:
+    text: str
+
+
+@dataclass
+class _Subst:
+    expr: str
+    pos: int
+
+
+@dataclass
+class _Exec:
+    stmt: str
+    pos: int
+
+
+@dataclass
+class _For:
+    header: str  # e.g. "k in range(0, NB)"
+    body: list
+    pos: int
+
+
+@dataclass
+class _If:
+    #: list of (condition-or-None, body); None condition is the $else branch
+    branches: list = field(default_factory=list)
+    pos: int = 0
+
+
+def _find_balanced(src: str, start: int) -> int:
+    """Index just past the ``)`` matching the ``(`` at ``src[start]``.
+
+    Understands nested parentheses and both quote styles so expressions like
+    ``$("x(%d)" % (k,))`` parse correctly.
+    """
+    if src[start] != "(":
+        raise ExpanderError(f"expected '(' at position {start}")
+    depth = 0
+    i = start
+    n = len(src)
+    while i < n:
+        c = src[i]
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if src[i] == "\\":
+                    i += 2
+                    continue
+                if src[i] == quote:
+                    break
+                i += 1
+            if i >= n:
+                raise ExpanderError(f"unterminated string starting near position {start}")
+        elif c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    raise ExpanderError(f"unbalanced parentheses starting at position {start}")
+
+
+_KEYWORDS = ("for", "endfor", "if", "elif", "else", "endif", "py")
+
+
+def _parse(src: str) -> list:
+    """Parse template source into a node list (with nested blocks)."""
+    nodes: list = []
+    stack: list[tuple[str, Any]] = []  # ("for", _For) / ("if", _If)
+    current = nodes
+    i = 0
+    n = len(src)
+    text_start = i
+
+    def flush(upto: int) -> None:
+        if upto > text_start:
+            current.append(_Text(src[text_start:upto]))
+
+    while i < n:
+        c = src[i]
+        if c != "$":
+            i += 1
+            continue
+        # Decide which construct starts here.
+        if src.startswith("$$", i):
+            flush(i)
+            current.append(_Text("$"))
+            i += 2
+            text_start = i
+            continue
+        matched = None
+        for kw in _KEYWORDS:
+            if src.startswith("$" + kw, i):
+                after = i + 1 + len(kw)
+                if kw in ("endfor", "else", "endif"):
+                    matched = (kw, None, after)
+                    break
+                if after < n and src[after] == "(":
+                    end = _find_balanced(src, after)
+                    matched = (kw, src[after + 1 : end - 1], end)
+                    break
+        if matched is None and i + 1 < n and src[i + 1] == "(":
+            end = _find_balanced(src, i + 1)
+            flush(i)
+            current.append(_Subst(src[i + 2 : end - 1], i))
+            i = end
+            text_start = i
+            continue
+        if matched is None:
+            # A bare '$' with nothing we recognise: treat literally, as
+            # pyexpander does for unknown sequences in simple mode.
+            i += 1
+            continue
+
+        kw, arg, after = matched
+        flush(i)
+        i = after
+        text_start = i
+        if kw == "py":
+            current.append(_Exec(arg, i))
+        elif kw == "for":
+            node = _For(header=arg, body=[], pos=i)
+            current.append(node)
+            stack.append(("for", node, current))
+            current = node.body
+        elif kw == "endfor":
+            if not stack or stack[-1][0] != "for":
+                raise ExpanderError(f"$endfor without matching $for near position {i}")
+            _, _, current = stack.pop()
+        elif kw == "if":
+            node = _If(pos=i)
+            node.branches.append((arg, []))
+            current.append(node)
+            stack.append(("if", node, current))
+            current = node.branches[-1][1]
+        elif kw == "elif":
+            if not stack or stack[-1][0] != "if":
+                raise ExpanderError(f"$elif without matching $if near position {i}")
+            node = stack[-1][1]
+            if node.branches[-1][0] is None:
+                raise ExpanderError(f"$elif after $else near position {i}")
+            node.branches.append((arg, []))
+            current = node.branches[-1][1]
+        elif kw == "else":
+            if not stack or stack[-1][0] != "if":
+                raise ExpanderError(f"$else without matching $if near position {i}")
+            node = stack[-1][1]
+            if node.branches[-1][0] is None:
+                raise ExpanderError(f"duplicate $else near position {i}")
+            node.branches.append((None, []))
+            current = node.branches[-1][1]
+        elif kw == "endif":
+            if not stack or stack[-1][0] != "if":
+                raise ExpanderError(f"$endif without matching $if near position {i}")
+            _, _, current = stack.pop()
+
+    if stack:
+        kind = stack[-1][0]
+        raise ExpanderError(f"unterminated ${kind} block")
+    flush(n)
+    return nodes
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _render(nodes: list, env: dict, out: list[str]) -> None:
+    for node in nodes:
+        if isinstance(node, _Text):
+            out.append(node.text)
+        elif isinstance(node, _Subst):
+            try:
+                value = eval(node.expr, {"__builtins__": __builtins__}, env)  # noqa: S307
+            except Exception as exc:
+                raise ExpanderError(
+                    f"error evaluating $({node.expr!r}) near position {node.pos}: {exc}"
+                ) from exc
+            out.append(str(value))
+        elif isinstance(node, _Exec):
+            try:
+                exec(node.stmt, {"__builtins__": __builtins__}, env)  # noqa: S102
+            except Exception as exc:
+                raise ExpanderError(
+                    f"error executing $py({node.stmt!r}) near position {node.pos}: {exc}"
+                ) from exc
+        elif isinstance(node, _For):
+            try:
+                target, _, iter_expr = node.header.partition(" in ")
+                if not iter_expr:
+                    raise ExpanderError(f"malformed $for header {node.header!r}")
+                iterable = eval(iter_expr, {"__builtins__": __builtins__}, env)  # noqa: S307
+            except ExpanderError:
+                raise
+            except Exception as exc:
+                raise ExpanderError(
+                    f"error evaluating $for({node.header!r}): {exc}"
+                ) from exc
+            targets = [t.strip() for t in target.split(",")]
+            for item in iterable:
+                if len(targets) == 1:
+                    env[targets[0]] = item
+                else:
+                    values = tuple(item)
+                    if len(values) != len(targets):
+                        raise ExpanderError(
+                            f"$for targets {targets} do not match item {item!r}"
+                        )
+                    env.update(zip(targets, values))
+                _render(node.body, env, out)
+        elif isinstance(node, _If):
+            for cond, body in node.branches:
+                if cond is None:
+                    _render(body, env, out)
+                    break
+                try:
+                    truth = eval(cond, {"__builtins__": __builtins__}, env)  # noqa: S307
+                except Exception as exc:
+                    raise ExpanderError(f"error evaluating $if({cond!r}): {exc}") from exc
+                if truth:
+                    _render(body, env, out)
+                    break
+        else:  # pragma: no cover - parser never emits other node types
+            raise ExpanderError(f"unknown template node {node!r}")
+
+
+def _apply_line_continuations(text: str) -> str:
+    """Remove backslash-newline pairs (pyexpander's continuation rule)."""
+    return text.replace("\\\n", "")
+
+
+def expand(template: str, env: dict | None = None) -> str:
+    """Expand a pyexpander-style template against ``env``.
+
+    ``env`` is mutated by ``$for`` loop variables and ``$py`` statements,
+    mirroring pyexpander's single shared namespace.
+    """
+    nodes = _parse(template)
+    out: list[str] = []
+    _render(nodes, dict(env or {}), out)
+    return _apply_line_continuations("".join(out))

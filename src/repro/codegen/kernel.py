@@ -1,0 +1,439 @@
+"""Whole-kernel assembly (Figures 11 and 12 of the paper).
+
+:class:`KernelBuilder` walks one of the three looking-variant schedules and
+produces, from a single emission logic:
+
+* the **partially unrolled** kernel source (Figure 11): outer tile loops
+  survive to run time, tile micro-ops are fully unrolled inside them, and
+  corner-case tiles (``n % nb != 0``) get their own specialised blocks —
+  the paper's "another set of kernels for handling the corner cases";
+* the **completely unrolled** kernel source (Figure 12): a single block of
+  straight-line code;
+* the **dynamic trace** — the flat :class:`~repro.core.schedule.TileOp`
+  sequence consumed by the GPU performance model.  The trace is identical
+  for both unrolling modes (unrolling changes the static code, not the
+  operation sequence).
+
+The generated function has signature ``_kernel(dA, _np)`` where ``dA`` is
+indexable by the element id ``e = j*n + i`` and ``dA[e]`` yields the vector
+of lane values for that element — one chunk (or the whole padded batch) of
+an interleaved layout.  Each CUDA thread's scalar register becomes a NumPy
+vector over those lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen import loadstore, microkernels
+from repro.core.config import KernelConfig, Looking, Unrolling, Uplo
+from repro.core.schedule import TileOp
+
+_INDENT = "    "
+
+
+def _prologue(precision: str) -> list[str]:
+    dtype = "float32" if precision == "single" else "float64"
+    return [
+        "def _kernel(dA, _np):",
+        f"{_INDENT}_sqrt = _np.sqrt",
+        f"{_INDENT}_one = _np.{dtype}(1.0)",
+    ]
+
+
+@dataclass(frozen=True)
+class GeneratedKernel:
+    """Source plus static metadata of one generated kernel."""
+
+    config: KernelConfig
+    source: str
+    #: number of emitted statements (static code size, the icache driver)
+    static_statements: int
+
+
+class KernelBuilder:
+    """Emits kernel source and/or dynamic traces for one configuration."""
+
+    def __init__(self, config: KernelConfig) -> None:
+        self.config = config
+        self.n = config.n
+        self.nb = config.effective_nb
+        self.Tf = self.n // self.nb
+        self.R = self.n % self.nb
+        self.T = self.Tf + (1 if self.R else 0)
+        #: upper mode: same schedules, transposed element addressing
+        self.transposed = config.uplo is Uplo.UPPER
+        # pass state
+        self.symbolic = False
+        self.emit_code = False
+        self.record = False
+        self.lines: list[str] = []
+        self.indent = 1
+        self.ops: list[TileOp] = []
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def build_source(self) -> GeneratedKernel:
+        """Generate the kernel source for this configuration."""
+        self.lines = []
+        self.indent = 1
+        self.emit_code = True
+        self.record = False
+        self.symbolic = self.config.unroll is Unrolling.PARTIAL
+        self._run_schedule()
+        body = "\n".join(_prologue(self.config.precision.value) + self.lines) + "\n"
+        return GeneratedKernel(
+            config=self.config,
+            source=body,
+            static_statements=len(self.lines),
+        )
+
+    def build_trace(self) -> list[TileOp]:
+        """Replay the schedule numerically and return the flat tile ops."""
+        self.ops = []
+        self.emit_code = False
+        self.record = True
+        self.symbolic = False
+        self._run_schedule()
+        return self.ops
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        if self.emit_code:
+            self.lines.append(_INDENT * self.indent + line)
+
+    def _emit_block(self, source: str) -> None:
+        if self.emit_code:
+            prefix = _INDENT * self.indent
+            for line in source.splitlines():
+                if line:
+                    self.lines.append(prefix + line)
+
+    def _loop(self, var: str, lo, hi, body) -> None:
+        """Tile loop: runtime ``for`` when symbolic, numeric replay otherwise.
+
+        ``lo``/``hi`` are ints or expression strings (in terms of enclosing
+        symbolic loop variables); ``body`` receives the loop variable — its
+        name in symbolic mode, its value otherwise.
+        """
+        if self.symbolic:
+            mark = len(self.lines)
+            self._emit(f"for {var} in range({lo}, {hi}):")
+            self.indent += 1
+            body(var)
+            if len(self.lines) == mark + 1:
+                self._emit("pass")
+            self.indent -= 1
+        else:
+            for value in range(int(lo), int(hi)):
+                body(value)
+
+    def _forall_below(self, var: str, t, body) -> None:
+        """Iterate tile rows strictly below ``t`` with corner specialisation.
+
+        ``body(mm, mb)`` receives the row-tile index and its (static) row
+        dimension.  In symbolic mode the full tiles become one runtime loop
+        and the corner tile (if any) a trailing specialised block.
+        """
+        if self.symbolic and not isinstance(t, int):
+            self._loop(var, f"{t} + 1", self.Tf, lambda mm: body(mm, self.nb))
+            if self.R:
+                body(self.Tf, self.R)
+        elif self.symbolic:
+            # Numeric anchor inside a symbolic pass (a corner step): expand
+            # the remaining full tiles straight-line.
+            for mm in range(t + 1, self.Tf):
+                body(mm, self.nb)
+            if self.R and t < self.Tf:
+                body(self.Tf, self.R)
+        else:
+            for mm in range(t + 1, self.T):
+                body(mm, self._dim(mm))
+
+    def _dim(self, t: int) -> int:
+        return self.nb if t < self.Tf else self.R
+
+    def _base(self, mt, nt):
+        """Element-id base of tile ``(mt, nt)``: ``mt*nb + nt*nb*n``.
+
+        In upper (transposed) mode the physical tile sits at the mirrored
+        coordinates ``(nt, mt)``.
+        """
+        if self.transposed:
+            mt, nt = nt, mt
+        row_scale = self.nb
+        col_scale = self.nb * self.n
+        if isinstance(mt, int) and isinstance(nt, int):
+            return mt * row_scale + nt * col_scale
+        terms = []
+        if isinstance(mt, int):
+            if mt * row_scale:
+                terms.append(str(mt * row_scale))
+        else:
+            terms.append(f"{mt}*{row_scale}")
+        if isinstance(nt, int):
+            if nt * col_scale:
+                terms.append(str(nt * col_scale))
+        else:
+            terms.append(f"{nt}*{col_scale}")
+        return " + ".join(terms) if terms else "0"
+
+    # ------------------------------------------------------------------
+    # Tile micro-ops (code + trace)
+    # ------------------------------------------------------------------
+
+    def load_full(self, reg: str, mt, nt, mb: int, nbc: int) -> None:
+        if self.emit_code:
+            self._emit_block(
+                loadstore.load_full_source(
+                    reg, mb, nbc, self.n, self._base(mt, nt), self.transposed
+                )
+            )
+        if self.record:
+            self.ops.append(
+                TileOp("load_full", (mt, nt), shape=(mb, nbc), elems=mb * nbc)
+            )
+
+    def store_full(self, reg: str, mt, nt, mb: int, nbc: int) -> None:
+        if self.emit_code:
+            self._emit_block(
+                loadstore.store_full_source(
+                    reg, mb, nbc, self.n, self._base(mt, nt), self.transposed
+                )
+            )
+        if self.record:
+            self.ops.append(
+                TileOp("store_full", (mt, nt), shape=(mb, nbc), elems=mb * nbc)
+            )
+
+    def load_lower(self, reg: str, t, kb: int) -> None:
+        if self.emit_code:
+            self._emit_block(
+                loadstore.load_lower_source(reg, kb, self.n, self._base(t, t), self.transposed)
+            )
+        if self.record:
+            self.ops.append(
+                TileOp(
+                    "load_lower",
+                    (t, t),
+                    shape=(kb,),
+                    elems=loadstore.lower_tile_elements(kb),
+                )
+            )
+
+    def store_lower(self, reg: str, t, kb: int) -> None:
+        if self.emit_code:
+            self._emit_block(
+                loadstore.store_lower_source(reg, kb, self.n, self._base(t, t), self.transposed)
+            )
+        if self.record:
+            self.ops.append(
+                TileOp(
+                    "store_lower",
+                    (t, t),
+                    shape=(kb,),
+                    elems=loadstore.lower_tile_elements(kb),
+                )
+            )
+
+    def potrf(self, reg: str, t, kb: int) -> None:
+        if self.emit_code:
+            self._emit_block(microkernels.spotrf_tile_source(reg, kb))
+        if self.record:
+            self.ops.append(
+                TileOp("potrf", (t, t), shape=(kb,), ops=microkernels.spotrf_tile_ops(kb))
+            )
+
+    def trsm(self, reg1: str, reg2: str, diag, targ, mb: int, kb: int) -> None:
+        if self.emit_code:
+            self._emit_block(microkernels.strsm_tile_source(reg1, reg2, mb, kb))
+        if self.record:
+            self.ops.append(
+                TileOp(
+                    "trsm",
+                    targ,
+                    operands=(diag,),
+                    shape=(mb, kb),
+                    ops=microkernels.strsm_tile_ops(mb, kb),
+                )
+            )
+
+    def syrk(self, reg1: str, reg2: str, panel, diag, mb: int, kb: int) -> None:
+        if self.emit_code:
+            self._emit_block(microkernels.ssyrk_tile_source(reg1, reg2, mb, kb))
+        if self.record:
+            self.ops.append(
+                TileOp(
+                    "syrk",
+                    diag,
+                    operands=(panel,),
+                    shape=(mb, kb),
+                    ops=microkernels.ssyrk_tile_ops(mb, kb),
+                )
+            )
+
+    def gemm(
+        self, reg1: str, reg2: str, reg3: str, op_a, op_b, targ, mb: int, nb2: int, kb: int
+    ) -> None:
+        if self.emit_code:
+            self._emit_block(
+                microkernels.sgemm_tile_source(reg1, reg2, reg3, mb, nb2, kb)
+            )
+        if self.record:
+            self.ops.append(
+                TileOp(
+                    "gemm",
+                    targ,
+                    operands=(op_a, op_b),
+                    shape=(mb, nb2, kb),
+                    ops=microkernels.sgemm_tile_ops(mb, nb2, kb),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Looking-variant schedules
+    # ------------------------------------------------------------------
+
+    def _run_schedule(self) -> None:
+        looking = self.config.looking
+        if looking is Looking.TOP:
+            step = self._step_top
+        elif looking is Looking.LEFT:
+            step = self._step_left
+        elif looking is Looking.RIGHT:
+            step = self._step_right
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown looking variant {looking!r}")
+
+        if self.symbolic:
+            self._loop("kk", 0, self.Tf, lambda kk: step(kk, self.nb))
+            if self.R:
+                step(self.Tf, self.R)
+        else:
+            for kk in range(self.T):
+                step(kk, self._dim(kk))
+
+    def _step_top(self, kk, kb: int) -> None:
+        """One step of the top-looking factorization (Figure 11).
+
+        First bring the row stripe left of the diagonal up to date and
+        solve it; then update and factor the diagonal tile.  Only the
+        stripe and the diagonal are written — the laziest variant.
+        """
+        nb = self.nb
+
+        def stripe(nn):
+            self.load_full("rA3", kk, nn, kb, nb)
+
+            def inner(mm):
+                self.load_full("rA1", kk, mm, kb, nb)
+                self.load_full("rA2", nn, mm, nb, nb)
+                self.gemm("rA1", "rA2", "rA3", (kk, mm), (nn, mm), (kk, nn), kb, nb, nb)
+
+            self._loop("mm", 0, nn, inner)
+            self.load_lower("rA1", nn, nb)
+            self.trsm("rA1", "rA3", (nn, nn), (kk, nn), kb, nb)
+            self.store_full("rA3", kk, nn, kb, nb)
+
+        self._loop("nn", 0, kk, stripe)
+
+        self.load_lower("rA1", kk, kb)
+
+        def diag_update(nn):
+            self.load_full("rA2", kk, nn, kb, nb)
+            self.syrk("rA2", "rA1", (kk, nn), (kk, kk), kb, nb)
+
+        self._loop("nn", 0, kk, diag_update)
+        self.potrf("rA1", kk, kb)
+        self.store_lower("rA1", kk, kb)
+
+    def _step_left(self, kk, kb: int) -> None:
+        """One step of the left-looking factorization (Figure 4).
+
+        LAPACK-style two phases: (1) apply all pending updates to the panel
+        column and store it back; (2) factor the panel.  The panel is
+        therefore written twice per step, which is what places left-looking
+        between right- and top-looking in write volume (Section III).
+        """
+        nb = self.nb
+
+        # Phase 1: pending updates to the diagonal tile...
+        self.load_lower("rA1", kk, kb)
+
+        def diag_update(j):
+            self.load_full("rA2", kk, j, kb, nb)
+            self.syrk("rA2", "rA1", (kk, j), (kk, kk), kb, nb)
+
+        self._loop("j", 0, kk, diag_update)
+        self.store_lower("rA1", kk, kb)
+
+        # ... and to the sub-diagonal panel tiles.
+        def panel_update(mm, mb):
+            self.load_full("rA3", mm, kk, mb, kb)
+
+            def inner(j):
+                self.load_full("rA1", mm, j, mb, nb)
+                self.load_full("rA2", kk, j, kb, nb)
+                self.gemm("rA1", "rA2", "rA3", (mm, j), (kk, j), (mm, kk), mb, kb, nb)
+
+            self._loop("j", 0, kk, inner)
+            self.store_full("rA3", mm, kk, mb, kb)
+
+        self._forall_below("mm", kk, panel_update)
+
+        # Phase 2: factor the panel.
+        self.load_lower("rA1", kk, kb)
+        self.potrf("rA1", kk, kb)
+        self.store_lower("rA1", kk, kb)
+
+        def panel_solve(mm, mb):
+            self.load_full("rA2", mm, kk, mb, kb)
+            self.trsm("rA1", "rA2", (kk, kk), (mm, kk), mb, kb)
+            self.store_full("rA2", mm, kk, mb, kb)
+
+        self._forall_below("mm", kk, panel_solve)
+
+    def _step_right(self, kk, kb: int) -> None:
+        """One step of the right-looking factorization (Figure 3).
+
+        Factor the diagonal, solve the panel below it, then immediately
+        read-modify-write the whole trailing submatrix — the aggressive
+        variant with the largest write volume.
+        """
+
+        self.load_lower("rA1", kk, kb)
+        self.potrf("rA1", kk, kb)
+        self.store_lower("rA1", kk, kb)
+
+        def panel_solve(mm, mb):
+            self.load_full("rA2", mm, kk, mb, kb)
+            self.trsm("rA1", "rA2", (kk, kk), (mm, kk), mb, kb)
+            self.store_full("rA2", mm, kk, mb, kb)
+
+        self._forall_below("mm", kk, panel_solve)
+
+        def trailing_column(nn, nbd):
+            self.load_full("rA1", nn, kk, nbd, kb)
+            self.load_lower("rA2", nn, nbd)
+            self.syrk("rA1", "rA2", (nn, kk), (nn, nn), nbd, kb)
+            self.store_lower("rA2", nn, nbd)
+
+            def trailing_tile(mm, mb):
+                self.load_full("rA2", mm, kk, mb, kb)
+                self.load_full("rA3", mm, nn, mb, nbd)
+                self.gemm("rA2", "rA1", "rA3", (mm, kk), (nn, kk), (mm, nn), mb, nbd, kb)
+                self.store_full("rA3", mm, nn, mb, nbd)
+
+            self._forall_below("mm2", nn, trailing_tile)
+
+        self._forall_below("nn", kk, trailing_column)
+
+
+def generate_kernel_source(config: KernelConfig) -> GeneratedKernel:
+    """Generate the kernel source for one configuration."""
+    return KernelBuilder(config).build_source()

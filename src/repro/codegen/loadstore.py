@@ -1,0 +1,145 @@
+"""Memory micro-op templates (Figure 10 of the paper).
+
+The executor presents the kernel with ``dA``: a buffer indexable by the
+element identifier ``e = j*n + i`` (column-major within the matrix), where
+``dA[e]`` yields the vector of lane values for that element — this is the
+interleaved layout seen from inside one chunk.  The paper's pointer
+arithmetic ``dAp = dA + _m*NB*32 + _n*NB*N*32`` becomes the element-id base
+``base = _m*NB + _n*NB*N``; the 32-lane factor is absorbed by the
+vectorised indexing.
+
+``base`` may be a compile-time integer (fully unrolled kernels, Figure 12)
+or a runtime expression string such as ``"_b1"`` (partially unrolled
+kernels, Figure 11, where the outer tile loops survive to run time).
+
+Loads copy (a register is private to the thread); stores write back through
+the buffer view.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.expander import expand
+
+_LOAD_FULL_TEMPLATE = """\
+$for(n in range(0, NBC))\
+$for(m in range(0, MB))\
+$(reg)_$(m)_$(n) = dA[$(idx(m, n))].copy()
+$endfor\
+$endfor\
+"""
+
+_STORE_FULL_TEMPLATE = """\
+$for(n in range(0, NBC))\
+$for(m in range(0, MB))\
+dA[$(idx(m, n))] = $(reg)_$(m)_$(n)
+$endfor\
+$endfor\
+"""
+
+_LOAD_LOWER_TEMPLATE = """\
+$for(n in range(0, KB))\
+$for(m in range(n, KB))\
+$(reg)_$(m)_$(n) = dA[$(idx(m, n))].copy()
+$endfor\
+$endfor\
+"""
+
+_STORE_LOWER_TEMPLATE = """\
+$for(n in range(0, KB))\
+$for(m in range(n, KB))\
+dA[$(idx(m, n))] = $(reg)_$(m)_$(n)
+$endfor\
+$endfor\
+"""
+
+
+def _index_maker(n: int, base, transposed: bool = False):
+    """Build the ``idx(m, n)`` helper injected into the templates.
+
+    With an integer base the offset folds to a constant; with a string base
+    (a runtime variable in partially unrolled kernels) the constant part is
+    added symbolically.
+
+    ``transposed=True`` swaps the in-tile row/column roles — the upper-
+    triangular mode, where logical element ``L(i, j)`` lives at physical
+    position ``(j, i)`` so the stored upper triangle holds ``U = L^T``
+    (the paper: "Upper triangular matrices can be supported in the same
+    manner").  The caller supplies the transposed tile base.
+    """
+    if isinstance(base, int):
+        def idx(m: int, col: int) -> str:
+            offset = col + m * n if transposed else m + col * n
+            return str(base + offset)
+    elif isinstance(base, str):
+        def idx(m: int, col: int) -> str:
+            offset = col + m * n if transposed else m + col * n
+            return f"{base} + {offset}" if offset else base
+    else:
+        raise TypeError(f"base must be int or str, got {type(base).__name__}")
+    return idx
+
+
+def load_full_source(
+    reg: str, mb: int, nbc: int, n: int, base, transposed: bool = False
+) -> str:
+    """Unrolled load of a full ``mb``-by-``nbc`` tile into registers."""
+    _check(mb, nbc, n)
+    return expand(
+        _LOAD_FULL_TEMPLATE,
+        {"reg": reg, "MB": mb, "NBC": nbc, "idx": _index_maker(n, base, transposed)},
+    )
+
+
+def store_full_source(
+    reg: str, mb: int, nbc: int, n: int, base, transposed: bool = False
+) -> str:
+    """Unrolled store of a full ``mb``-by-``nbc`` tile from registers."""
+    _check(mb, nbc, n)
+    return expand(
+        _STORE_FULL_TEMPLATE,
+        {"reg": reg, "MB": mb, "NBC": nbc, "idx": _index_maker(n, base, transposed)},
+    )
+
+
+def load_lower_source(
+    reg: str, kb: int, n: int, base, transposed: bool = False
+) -> str:
+    """Unrolled load of a diagonal triangular ``kb`` tile.
+
+    In lower mode this reads the lower triangle; in transposed (upper)
+    mode the same logical elements come from the stored upper triangle.
+    """
+    _check(kb, kb, n)
+    return expand(
+        _LOAD_LOWER_TEMPLATE,
+        {"reg": reg, "KB": kb, "idx": _index_maker(n, base, transposed)},
+    )
+
+
+def store_lower_source(
+    reg: str, kb: int, n: int, base, transposed: bool = False
+) -> str:
+    """Unrolled store of a diagonal triangular ``kb`` tile."""
+    _check(kb, kb, n)
+    return expand(
+        _STORE_LOWER_TEMPLATE,
+        {"reg": reg, "KB": kb, "idx": _index_maker(n, base, transposed)},
+    )
+
+
+def full_tile_elements(mb: int, nbc: int) -> int:
+    """Elements moved by a full-tile load/store."""
+    _check(mb, nbc, 1)
+    return mb * nbc
+
+
+def lower_tile_elements(kb: int) -> int:
+    """Elements moved by a lower-tile load/store (diagonal included)."""
+    _check(kb, kb, 1)
+    return kb * (kb + 1) // 2
+
+
+def _check(mb: int, nbc: int, n: int) -> None:
+    for name, value in (("mb", mb), ("nbc", nbc), ("n", n)):
+        if not isinstance(value, int) or value <= 0:
+            raise ValueError(f"{name} must be a positive integer, got {value!r}")

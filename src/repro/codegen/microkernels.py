@@ -1,0 +1,153 @@
+"""Compute micro-op templates (Figure 9 of the paper).
+
+Each micro-op is a pyexpander template that expands to a fully unrolled
+block of statements over "register" variables named ``<reg>_<m>_<n>``.
+One CUDA thread's scalar register becomes a NumPy vector over the batch
+lanes, so the expanded statements are valid Python given that those names
+are bound to arrays.
+
+The sources mirror the paper's listings operation for operation:
+
+* ``spotrf_tile`` takes the square root of each diagonal element, computes
+  its reciprocal once (``inv = 1.0f / rA_kk`` — the paper does this in the
+  source regardless of ``--use_fast_math``; the compiler flag only changes
+  how the *division itself* is compiled), scales the column, and applies the
+  rank-1 update to the rest of the tile.
+* ``strsm_tile`` solves ``X * L^T = A`` in place against a factored diagonal
+  tile, with one division per element exactly as in the paper.
+* ``ssyrk_tile`` applies ``A2 -= A1 * A1^T`` to the lower triangle.
+* ``sgemm_tile`` applies ``A3 -= A1 * A2^T``.
+
+All templates accept rectangular shapes so the same code paths generate the
+corner-case tiles used when ``n % nb != 0`` (Section II.C).
+
+Every expanded statement is also described by an :class:`OpMixCounter`
+entry so the GPU performance model can weight square roots and divisions
+separately from multiply-adds (the ``--use_fast_math`` effect).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.expander import expand
+from repro.utils.opmix import OpMixCounter
+
+__all__ = [
+    "OpMixCounter",
+    "spotrf_tile_source",
+    "spotrf_tile_ops",
+    "strsm_tile_source",
+    "strsm_tile_ops",
+    "ssyrk_tile_source",
+    "ssyrk_tile_ops",
+    "sgemm_tile_source",
+    "sgemm_tile_ops",
+]
+
+_SPOTRF_TEMPLATE = """\
+$for(k in range(0, KB))\
+$(reg)_$(k)_$(k) = _sqrt($(reg)_$(k)_$(k))
+_inv = _one / $(reg)_$(k)_$(k)
+$for(m in range(k + 1, KB))\
+$(reg)_$(m)_$(k) = $(reg)_$(m)_$(k) * _inv
+$endfor\
+$for(n in range(k + 1, KB))\
+$for(m in range(n, KB))\
+$(reg)_$(m)_$(n) = $(reg)_$(m)_$(n) - $(reg)_$(m)_$(k) * $(reg)_$(n)_$(k)
+$endfor\
+$endfor\
+$endfor\
+"""
+
+_STRSM_TEMPLATE = """\
+$for(m in range(0, MB))\
+$for(k in range(0, KB))\
+$(reg2)_$(m)_$(k) = $(reg2)_$(m)_$(k) / $(reg1)_$(k)_$(k)
+$for(n in range(k + 1, KB))\
+$(reg2)_$(m)_$(n) = $(reg2)_$(m)_$(n) - $(reg2)_$(m)_$(k) * $(reg1)_$(n)_$(k)
+$endfor\
+$endfor\
+$endfor\
+"""
+
+_SSYRK_TEMPLATE = """\
+$for(m in range(0, MB))\
+$for(n in range(0, m + 1))\
+$for(k in range(0, KB))\
+$(reg2)_$(m)_$(n) = $(reg2)_$(m)_$(n) - $(reg1)_$(m)_$(k) * $(reg1)_$(n)_$(k)
+$endfor\
+$endfor\
+$endfor\
+"""
+
+_SGEMM_TEMPLATE = """\
+$for(m in range(0, MB))\
+$for(n in range(0, NB2))\
+$for(k in range(0, KB))\
+$(reg3)_$(m)_$(n) = $(reg3)_$(m)_$(n) - $(reg1)_$(m)_$(k) * $(reg2)_$(n)_$(k)
+$endfor\
+$endfor\
+$endfor\
+"""
+
+
+def spotrf_tile_source(reg: str, kb: int) -> str:
+    """Unrolled Cholesky factorization of one ``kb``-by-``kb`` tile."""
+    _check_dim("kb", kb)
+    return expand(_SPOTRF_TEMPLATE, {"reg": reg, "KB": kb})
+
+
+def spotrf_tile_ops(kb: int) -> OpMixCounter:
+    """Operation mix of :func:`spotrf_tile_source`."""
+    _check_dim("kb", kb)
+    fma = sum((kb - n) for k in range(kb) for n in range(k + 1, kb))
+    mul = kb * (kb - 1) // 2  # column scalings by the reciprocal
+    return OpMixCounter(fma=fma, mul=mul, div=kb, sqrt=kb)
+
+
+def strsm_tile_source(reg1: str, reg2: str, mb: int, kb: int) -> str:
+    """Unrolled triangular solve of an ``mb``-by-``kb`` tile."""
+    _check_dim("mb", mb)
+    _check_dim("kb", kb)
+    return expand(_STRSM_TEMPLATE, {"reg1": reg1, "reg2": reg2, "MB": mb, "KB": kb})
+
+
+def strsm_tile_ops(mb: int, kb: int) -> OpMixCounter:
+    _check_dim("mb", mb)
+    _check_dim("kb", kb)
+    return OpMixCounter(fma=mb * kb * (kb - 1) // 2, div=mb * kb)
+
+
+def ssyrk_tile_source(reg1: str, reg2: str, mb: int, kb: int) -> str:
+    """Unrolled symmetric rank-``kb`` update of an ``mb``-by-``mb`` tile."""
+    _check_dim("mb", mb)
+    _check_dim("kb", kb)
+    return expand(_SSYRK_TEMPLATE, {"reg1": reg1, "reg2": reg2, "MB": mb, "KB": kb})
+
+
+def ssyrk_tile_ops(mb: int, kb: int) -> OpMixCounter:
+    _check_dim("mb", mb)
+    _check_dim("kb", kb)
+    return OpMixCounter(fma=mb * (mb + 1) // 2 * kb)
+
+
+def sgemm_tile_source(reg1: str, reg2: str, reg3: str, mb: int, nb2: int, kb: int) -> str:
+    """Unrolled ``A3 -= A1 * A2^T`` on an ``mb``-by-``nb2`` tile."""
+    _check_dim("mb", mb)
+    _check_dim("nb2", nb2)
+    _check_dim("kb", kb)
+    return expand(
+        _SGEMM_TEMPLATE,
+        {"reg1": reg1, "reg2": reg2, "reg3": reg3, "MB": mb, "NB2": nb2, "KB": kb},
+    )
+
+
+def sgemm_tile_ops(mb: int, nb2: int, kb: int) -> OpMixCounter:
+    _check_dim("mb", mb)
+    _check_dim("nb2", nb2)
+    _check_dim("kb", kb)
+    return OpMixCounter(fma=mb * nb2 * kb)
+
+
+def _check_dim(name: str, value: int) -> None:
+    if not isinstance(value, int) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")

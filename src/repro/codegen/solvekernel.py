@@ -1,0 +1,107 @@
+"""Generated interleaved batch solve kernels (forward + backward subst.).
+
+The paper factors only ("we focus solely on the factorization step"), but
+its prior work [9] and its motivating ALS application need the full solve
+``A x = b`` against the computed factors.  This module extends the same
+kernel-generation pipeline to the triangular solves: fully unrolled
+straight-line code over interleaved buffers, one thread per matrix, with
+the identical coalescing story.
+
+The generated function has signature ``_solve_kernel(dA, dB, _np)``:
+
+* ``dA`` — the factored matrix buffer view (element id ``j*n + i``); only
+  the lower triangle is referenced,
+* ``dB`` — the right-hand-side buffer view (element id ``r*n + i`` for
+  right-hand side ``r``), overwritten with the solution.
+
+Elements of ``L`` are consumed directly from ``dA`` (each use is one
+load); the solution vector lives in registers between the two sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.expander import expand
+from repro.utils.opmix import OpMixCounter
+
+_SOLVE_TEMPLATE = """\
+$for(r in range(0, NRHS))\
+$for(i in range(0, N))\
+rB_$(i)_$(r) = dB[$(r * N + i)].copy()
+$endfor\
+$for(i in range(0, N))\
+$for(j in range(0, i))\
+rB_$(i)_$(r) = rB_$(i)_$(r) - dA[$(j * N + i)] * rB_$(j)_$(r)
+$endfor\
+rB_$(i)_$(r) = rB_$(i)_$(r) / dA[$(i * N + i)]
+$endfor\
+$for(i in reversed(range(0, N)))\
+$for(j in range(i + 1, N))\
+rB_$(i)_$(r) = rB_$(i)_$(r) - dA[$(i * N + j)] * rB_$(j)_$(r)
+$endfor\
+rB_$(i)_$(r) = rB_$(i)_$(r) / dA[$(i * N + i)]
+$endfor\
+$for(i in range(0, N))\
+dB[$(r * N + i)] = rB_$(i)_$(r)
+$endfor\
+$endfor\
+"""
+
+_PROLOGUE = "def _solve_kernel(dA, dB, _np):\n"
+_INDENT = "    "
+
+
+@dataclass(frozen=True)
+class GeneratedSolveKernel:
+    """Source plus static metadata of one generated solve kernel."""
+
+    n: int
+    nrhs: int
+    source: str
+    static_statements: int
+    ops: OpMixCounter
+    #: elements loaded / stored per thread (L twice, b once; x once out)
+    load_elements: int
+    store_elements: int
+
+
+def solve_kernel_ops(n: int, nrhs: int) -> OpMixCounter:
+    """Exact scalar-operation mix of one thread's solve."""
+    _check(n, nrhs)
+    # forward: i gets i FMAs + 1 div; backward: i gets (n-1-i) FMAs + 1 div
+    fma_per_rhs = n * (n - 1)  # both sweeps together
+    return OpMixCounter(fma=fma_per_rhs * nrhs, div=2 * n * nrhs)
+
+
+def generate_solve_source(n: int, nrhs: int = 1) -> GeneratedSolveKernel:
+    """Generate the fully unrolled solve kernel for one problem shape.
+
+    Note that the backward sweep reads ``L^T``: element ``(j, i)`` of the
+    lower factor at element id ``i*n + j`` — still one coalesced warp read
+    per element under the interleaved layouts.
+    """
+    _check(n, nrhs)
+    body = expand(_SOLVE_TEMPLATE, {"N": n, "NRHS": nrhs})
+    lines = [line for line in body.splitlines() if line]
+    source = _PROLOGUE + "\n".join(_INDENT + line for line in lines) + "\n"
+    ops = solve_kernel_ops(n, nrhs)
+    # L read once per FMA plus the diagonal twice; b read once.
+    load_elements = (n * (n - 1) + 2 * n) * nrhs + n * nrhs
+    store_elements = n * nrhs
+    return GeneratedSolveKernel(
+        n=n,
+        nrhs=nrhs,
+        source=source,
+        static_statements=len(lines),
+        ops=ops,
+        load_elements=load_elements,
+        store_elements=store_elements,
+    )
+
+
+def _check(n: int, nrhs: int) -> None:
+    if not isinstance(n, int) or n <= 0:
+        raise ValueError(f"n must be a positive integer, got {n!r}")
+    if not isinstance(nrhs, int) or nrhs <= 0:
+        raise ValueError(f"nrhs must be a positive integer, got {nrhs!r}")

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: interleaved batch Cholesky factorization.
+
+Public surface:
+
+* :class:`~repro.core.config.KernelConfig` — the five tunable parameters of
+  Section II.D (tile size, looking, chunking, chunk size, unrolling) plus
+  the arithmetic mode (IEEE vs ``--use_fast_math``) and the L1/shared cache
+  preference studied in Table I.
+* :func:`~repro.core.factorize.batch_cholesky` — factorize a batch of SPD
+  matrices in any supported layout with a generated kernel.
+* :func:`~repro.core.solve.batch_solve` — forward/backward substitution
+  against the computed factors (the paper's motivating ALS use case needs
+  full solves).
+* :func:`~repro.core.schedule.build_schedule` — the flat tile-operation
+  schedule for a configuration (shared by the reference executor and the
+  GPU performance model).
+"""
+
+from repro.core.config import KernelConfig, Looking, Precision, Unrolling, Uplo
+from repro.core.schedule import TileOp, build_schedule, schedule_counts
+from repro.core.reference import (
+    cholesky_unblocked,
+    cholesky_blocked,
+    batch_cholesky_reference,
+)
+from repro.core.factorize import batch_cholesky, factorize_buffer
+from repro.core.solve import batch_solve, batch_trsv_lower, batch_trsv_lower_t
+from repro.core.solve_kernels import batch_solve_kernel, compiled_solve_kernel
+from repro.core.trace import KernelTrace, build_trace
+from repro.core.validate import assert_factorization_ok, factorization_info
+
+__all__ = [
+    "KernelConfig",
+    "Looking",
+    "Unrolling",
+    "Uplo",
+    "Precision",
+    "TileOp",
+    "build_schedule",
+    "schedule_counts",
+    "cholesky_unblocked",
+    "cholesky_blocked",
+    "batch_cholesky_reference",
+    "batch_cholesky",
+    "factorize_buffer",
+    "batch_solve",
+    "batch_trsv_lower",
+    "batch_trsv_lower_t",
+    "KernelTrace",
+    "build_trace",
+    "batch_solve_kernel",
+    "compiled_solve_kernel",
+    "assert_factorization_ok",
+    "factorization_info",
+]

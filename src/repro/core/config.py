@@ -1,0 +1,219 @@
+"""Kernel configuration: the tunable parameters of Section II.D.
+
+One :class:`KernelConfig` describes one point of the autotuning space:
+
+1. **Tile size** ``nb`` — the register-tile blocking factor (Figure 9/10
+   code is generated for this size).
+2. **Looking** — right (aggressive), left (lazy), or top (laziest) order of
+   evaluation of the tile operations.
+3. **Chunking** — whether the batch uses the simple interleaved layout
+   (Figure 7) or the chunked interleaved layout (Figure 8).
+4. **Chunk size** — matrices per chunk; also the thread-block size of the
+   launched kernel.  Only meaningful when ``chunked`` is true.
+5. **Unrolling** — whether the outer tile loops are also fully unrolled
+   (Figure 12) in addition to the always-unrolled tile micro-ops
+   (Figure 11).
+
+Two further knobs appear in the paper's analysis (Table I):
+
+* ``fast_math`` — the ``--use_fast_math`` compiler option (relaxed IEEE
+  square root and division, flush-to-zero).  The kernel *source* is
+  identical; only the cost of the emitted divide/sqrt sequences changes,
+  which is how the performance model treats it.
+* ``cache_pref`` — the CUDA ``cudaFuncCachePrefer{L1,Shared}`` carve-out
+  choice.  The kernels use no shared memory, so the paper finds this knob
+  has essentially no predictive power — reproducing that non-effect is part
+  of reproducing Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.layouts.base import WARP_SIZE, Layout
+from repro.layouts.chunked import SUPPORTED_CHUNK_SIZES, ChunkedInterleavedLayout
+from repro.layouts.interleaved import InterleavedLayout
+
+
+class Looking(str, enum.Enum):
+    """Order of evaluation of the tile operations (Figures 3-5)."""
+
+    RIGHT = "right"
+    LEFT = "left"
+    TOP = "top"
+
+
+class Unrolling(str, enum.Enum):
+    """Outer-loop unrolling mode (Figures 11 vs 12)."""
+
+    PARTIAL = "partial"  # tile micro-ops unrolled, outer loops remain
+    FULL = "full"  # the whole factorization is straight-line code
+
+
+class Precision(str, enum.Enum):
+    """Arithmetic precision.
+
+    The paper works in single precision throughout; double precision is
+    the natural extension and changes three real things: element size
+    (8 bytes — interleaved warp reads still coalesce perfectly, as two
+    full 128-byte transactions), register cost (a double occupies two
+    32-bit registers, halving the residency window), and FP64 throughput
+    (1:2 on the P100).
+    """
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+
+class Uplo(str, enum.Enum):
+    """Which triangle the factorization reads and writes.
+
+    The paper implements the lower-triangular case ("Here, we only
+    support lower triangular matrices.  Upper triangular matrices can be
+    supported in the same manner"); this reproduction supports both —
+    upper mode generates the same schedules with transposed element
+    addressing, producing ``U`` with ``A = U^T U``.
+    """
+
+    LOWER = "lower"
+    UPPER = "upper"
+
+
+class CachePreference(str, enum.Enum):
+    """L1-versus-shared-memory carve-out (the Table I `cache` binary)."""
+
+    L1 = "l1"
+    SHARED = "shared"
+
+
+#: Default thread-block size used for the non-chunked (simple interleaved)
+#: kernels, where the block size is a free launch parameter rather than the
+#: chunk size.
+DEFAULT_BLOCK_THREADS = 128
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One point of the autotuning space."""
+
+    n: int
+    nb: int = 4
+    looking: Looking = Looking.TOP
+    chunked: bool = True
+    chunk_size: int = WARP_SIZE
+    unroll: Unrolling = Unrolling.PARTIAL
+    fast_math: bool = False
+    cache_pref: CachePreference = CachePreference.L1
+    uplo: Uplo = Uplo.LOWER
+    precision: Precision = Precision.SINGLE
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.nb <= 0:
+            raise ValueError(f"nb must be positive, got {self.nb}")
+        object.__setattr__(self, "looking", Looking(self.looking))
+        object.__setattr__(self, "unroll", Unrolling(self.unroll))
+        object.__setattr__(self, "cache_pref", CachePreference(self.cache_pref))
+        object.__setattr__(self, "uplo", Uplo(self.uplo))
+        object.__setattr__(self, "precision", Precision(self.precision))
+        if self.chunked and self.chunk_size not in SUPPORTED_CHUNK_SIZES:
+            raise ValueError(
+                f"chunk_size must be one of {SUPPORTED_CHUNK_SIZES}, got {self.chunk_size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_nb(self) -> int:
+        """Tile size clipped to the matrix dimension."""
+        return min(self.nb, self.n)
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tile rows/columns, counting a partial corner tile."""
+        return -(-self.n // self.effective_nb)
+
+    @property
+    def full_tiles(self) -> int:
+        """Number of full ``nb``-sized tile rows/columns."""
+        return self.n // self.effective_nb
+
+    @property
+    def corner(self) -> int:
+        """Dimension of the corner tile (0 when ``nb`` divides ``n``)."""
+        return self.n % self.effective_nb
+
+    @property
+    def block_threads(self) -> int:
+        """Threads per thread block (= chunk size for chunked kernels)."""
+        return self.chunk_size if self.chunked else DEFAULT_BLOCK_THREADS
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per matrix element."""
+        return 4 if self.precision is Precision.SINGLE else 8
+
+    @property
+    def regs_per_element(self) -> int:
+        """32-bit registers one matrix element occupies in a thread."""
+        return 1 if self.precision is Precision.SINGLE else 2
+
+    def np_dtype(self):
+        """The NumPy dtype the executors compute in."""
+        import numpy as np
+
+        return np.float32 if self.precision is Precision.SINGLE else np.float64
+
+    def layout(self) -> Layout:
+        """The data layout this configuration operates on."""
+        if self.chunked:
+            return ChunkedInterleavedLayout(self.chunk_size)
+        return InterleavedLayout()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def with_(self, **changes) -> "KernelConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def cache_key(self) -> tuple:
+        """Key identifying the *generated source* (not the launch shape).
+
+        ``chunk_size``, ``fast_math`` and ``cache_pref`` do not change the
+        generated statements — chunk size is a run-time parameter in the
+        paper too ("They are all compile time parameters except chunk
+        size").  Chunking itself does not alter the statement stream either
+        (the layout is handled by how the driver slices the buffer), so
+        compiled kernels are shared across all of those knobs.  ``uplo``
+        *does* change the generated element addressing and is part of the
+        key — but traces are uplo-invariant, so trace caching keys on
+        :meth:`trace_key`.
+        """
+        return (
+            self.n,
+            self.effective_nb,
+            self.looking.value,
+            self.unroll.value,
+            self.uplo.value,
+            self.precision.value,
+        )
+
+    def trace_key(self) -> tuple:
+        """Key identifying the dynamic tile-op schedule (uplo-invariant)."""
+        return (self.n, self.effective_nb, self.looking.value, self.unroll.value)
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by sweep logs."""
+        chunk = f"chunked({self.chunk_size})" if self.chunked else "non-chunked"
+        math = "fast" if self.fast_math else "ieee"
+        uplo = "" if self.uplo is Uplo.LOWER else " upper"
+        return (
+            f"n={self.n} nb={self.effective_nb} {self.looking.value}-looking "
+            f"{chunk} {self.unroll.value}-unroll {math} {self.cache_pref.value}{uplo}"
+        )

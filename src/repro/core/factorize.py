@@ -1,0 +1,112 @@
+"""Batch Cholesky factorization driver — the library's main entry point.
+
+The driver owns everything outside the kernel: packing the dense batch into
+the configured interleaved layout, slicing the buffer into the lane view
+the generated kernel expects, invoking the kernel, and unpacking.
+
+The kernel itself sees ``dA`` indexable by the element id ``e = j*n + i``,
+with ``dA[e]`` yielding all lane values for that element:
+
+* simple interleaved layout — ``dA`` is the ``(n*n, padded_batch)`` view of
+  the buffer, one kernel invocation covers the whole batch;
+* chunked layout — ``dA`` is the ``(n*n, num_chunks, chunk_size)`` view, so
+  a single invocation advances *all* chunks in lockstep.  On the GPU each
+  chunk is one thread block; because every block executes the identical
+  straight-line program, executing them together is numerically identical
+  and keeps the NumPy work vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import KernelConfig
+from repro.layouts.base import BatchSpec
+from repro.layouts.chunked import ChunkedInterleavedLayout
+
+
+def _lane_view(buf: np.ndarray, spec: BatchSpec, config: KernelConfig) -> np.ndarray:
+    """Element-indexable view of the layout buffer (writes go through)."""
+    n = spec.n
+    if config.chunked:
+        layout = ChunkedInterleavedLayout(config.chunk_size)
+        nchunks = layout.num_chunks(spec)
+        view = buf.reshape(nchunks, n * n, layout.chunk_size)
+        return np.moveaxis(view, 1, 0)  # (n*n, nchunks, chunk_size)
+    return buf.reshape(n * n, spec.padded_batch)
+
+
+def factorize_buffer(buf: np.ndarray, spec: BatchSpec, config: KernelConfig) -> None:
+    """Factorize a packed layout buffer in place with the configured kernel.
+
+    ``buf`` must have been produced by ``config.layout().pack(...)`` for a
+    batch matching ``spec``.  On return the lower triangles hold ``L``; the
+    strictly upper parts are untouched (the paper's convention).
+    """
+    if spec.n != config.n:
+        raise ValueError(f"spec.n={spec.n} does not match config.n={config.n}")
+    expected = config.layout().buffer_len(spec)
+    if buf.shape != (expected,):
+        raise ValueError(
+            f"buffer has shape {buf.shape}, expected ({expected},) for "
+            f"layout {config.layout().name!r}"
+        )
+    # Deferred import: repro.codegen imports repro.core eagerly, so the
+    # reverse edge must resolve at call time.
+    from repro.codegen.compile import compiled_kernel
+
+    kernel = compiled_kernel(config)
+    kernel(_lane_view(buf, spec, config))
+
+
+def batch_cholesky(
+    a: np.ndarray,
+    config: KernelConfig | None = None,
+    **config_kwargs,
+) -> np.ndarray:
+    """Factorize a batch of SPD matrices with a generated interleaved kernel.
+
+    Parameters
+    ----------
+    a:
+        Dense batch of shape ``(batch, n, n)``, any float dtype (converted
+        to the configuration's precision — ``float32`` by default, the
+        paper's single-precision setting; ``precision="double"`` computes
+        in ``float64``).
+    config:
+        Kernel configuration; when omitted, one is built from
+        ``config_kwargs`` (with ``n`` taken from the input) using the
+        defaults of :class:`~repro.core.config.KernelConfig`.
+
+    Returns
+    -------
+    Dense batch ``(batch, n, n)`` whose lower triangles contain the
+    Cholesky factors; strictly upper parts carry the original values.
+
+    Examples
+    --------
+    >>> from repro.utils import random_spd_batch
+    >>> a = random_spd_batch(64, 8)
+    >>> l = batch_cholesky(a, nb=4, looking="top")
+    >>> import numpy as np
+    >>> lt = np.tril(l[0])
+    >>> bool(np.allclose(lt @ lt.T, a[0], atol=1e-3))
+    True
+    """
+    a = np.asarray(a)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValueError(f"expected a (batch, n, n) array, got shape {a.shape}")
+    batch, n, _ = a.shape
+    if config is None:
+        config = KernelConfig(n=n, **config_kwargs)
+    elif config_kwargs:
+        raise TypeError("pass either a config object or keyword fields, not both")
+    if config.n != n:
+        raise ValueError(f"config.n={config.n} does not match matrix dimension {n}")
+
+    a_typed = np.ascontiguousarray(a, dtype=config.np_dtype())
+    layout = config.layout()
+    buf = layout.pack(a_typed)
+    spec = BatchSpec(batch=batch, n=n, itemsize=config.itemsize)
+    factorize_buffer(buf, spec, config)
+    return layout.unpack(buf, spec)

@@ -1,0 +1,159 @@
+"""Reference Cholesky implementations.
+
+Three independent reference paths exist so that bugs cannot hide:
+
+* :func:`cholesky_unblocked` — a literal transcription of Algorithm 1
+  (unblocked, right-looking, lower-triangular) on a single matrix.
+* :func:`batch_cholesky_reference` — the same algorithm vectorised over the
+  batch dimension (loops over columns, NumPy over the batch).
+* :func:`cholesky_blocked` — executes the *flat tile-operation schedule*
+  from :func:`repro.core.schedule.build_schedule` with dense NumPy tile
+  algebra, cross-checking the schedule semantics independently of the
+  generated kernels.
+
+All of them only read and write the lower triangle, leaving the strictly
+upper part untouched, like the paper's kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import KernelConfig
+from repro.core.schedule import build_schedule
+
+
+def cholesky_unblocked(a: np.ndarray) -> np.ndarray:
+    """Algorithm 1 on one matrix; returns a copy with L in the lower part.
+
+    Raises ``np.linalg.LinAlgError`` when a non-positive pivot is met, the
+    same failure LAPACK reports for a non-SPD input.
+    """
+    a = np.array(a, copy=True)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    for k in range(n):
+        pivot = a[k, k]
+        if not pivot > 0:
+            raise np.linalg.LinAlgError(
+                f"matrix is not positive definite: pivot {pivot} at column {k}"
+            )
+        a[k, k] = np.sqrt(pivot)
+        for m in range(k + 1, n):
+            a[m, k] = a[m, k] / a[k, k]
+        for col in range(k + 1, n):
+            for m in range(col, n):
+                a[m, col] = a[m, col] - a[col, k] * a[m, k]
+    return a
+
+
+def batch_cholesky_reference(a: np.ndarray) -> np.ndarray:
+    """Unblocked factorization vectorised over the batch dimension.
+
+    ``a`` has shape ``(batch, n, n)``; the loop runs over columns while all
+    matrices advance in lockstep — the same SIMT structure as the GPU
+    kernels, which makes this the bit-closest CPU reference for them.
+    """
+    a = np.array(a, copy=True)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValueError(f"expected a (batch, n, n) array, got shape {a.shape}")
+    n = a.shape[1]
+    for k in range(n):
+        pivots = a[:, k, k]
+        if not np.all(pivots > 0):
+            bad = int(np.argmin(pivots > 0))
+            raise np.linalg.LinAlgError(
+                f"matrix {bad} is not positive definite at column {k}"
+            )
+        a[:, k, k] = np.sqrt(pivots)
+        a[:, k + 1 :, k] /= a[:, k, k, None]
+        # Rank-1 update of the lower triangle of the trailing submatrix.
+        outer = a[:, k + 1 :, k][:, :, None] * a[:, k + 1 :, k][:, None, :]
+        tril = np.tril(np.ones((n - k - 1, n - k - 1), dtype=bool))
+        sub = a[:, k + 1 :, k + 1 :]
+        sub[:, tril] -= outer[:, tril]
+    return a
+
+
+def _potrf_tile(tile: np.ndarray) -> None:
+    """In-place unblocked factorization of a register tile (lower)."""
+    kb = tile.shape[0]
+    for k in range(kb):
+        tile[k, k] = np.sqrt(tile[k, k])
+        inv = 1.0 / tile[k, k]
+        tile[k + 1 :, k] *= inv
+        for col in range(k + 1, kb):
+            tile[col:, col] -= tile[col, k] * tile[col:, k]
+
+
+def _trsm_tile(diag: np.ndarray, targ: np.ndarray) -> None:
+    """In-place solve ``targ <- targ * diag^{-T}`` (diag lower-triangular)."""
+    kb = diag.shape[0]
+    for k in range(kb):
+        targ[:, k] /= diag[k, k]
+        for col in range(k + 1, kb):
+            targ[:, col] -= targ[:, k] * diag[col, k]
+
+
+def cholesky_blocked(a: np.ndarray, config: KernelConfig) -> np.ndarray:
+    """Execute the tile schedule of ``config`` on one dense matrix.
+
+    This is the schedule's executable specification: every
+    :class:`~repro.core.schedule.TileOp` is interpreted with dense NumPy
+    tile algebra.  Used by tests to verify that all three looking variants
+    (with corner tiles) compute the same factorization.
+    """
+    a = np.array(a, copy=True)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {a.shape}")
+    if a.shape[0] != config.n:
+        raise ValueError(f"matrix is {a.shape[0]}x{a.shape[0]} but config.n={config.n}")
+    nb = config.effective_nb
+    # Register contents are reconstructed from tile coordinates (TileOps do
+    # not carry register names): each load binds its tile's coordinates and
+    # each compute op looks its operands up by coordinates.
+    by_coord: dict[tuple[int, int], np.ndarray] = {}
+
+    def _slices(t: tuple[int, int], shape_rows: int, shape_cols: int):
+        r0 = t[0] * nb
+        c0 = t[1] * nb
+        return slice(r0, r0 + shape_rows), slice(c0, c0 + shape_cols)
+
+    for op in build_schedule(config):
+        if op.kind == "load_full":
+            mb, nbc = op.shape
+            rs, cs = _slices(op.target, mb, nbc)
+            by_coord[op.target] = a[rs, cs].copy()
+        elif op.kind == "load_lower":
+            kb = op.shape[0]
+            rs, cs = _slices(op.target, kb, kb)
+            by_coord[op.target] = np.tril(a[rs, cs])
+        elif op.kind == "store_full":
+            mb, nbc = op.shape
+            rs, cs = _slices(op.target, mb, nbc)
+            a[rs, cs] = by_coord[op.target]
+        elif op.kind == "store_lower":
+            kb = op.shape[0]
+            rs, cs = _slices(op.target, kb, kb)
+            lower = np.tril_indices(kb)
+            block = a[rs, cs]  # basic slicing: a view, writes go through
+            block[lower] = by_coord[op.target][lower]
+        elif op.kind == "potrf":
+            _potrf_tile(by_coord[op.target])
+        elif op.kind == "trsm":
+            _trsm_tile(by_coord[op.operands[0]], by_coord[op.target])
+        elif op.kind == "syrk":
+            panel = by_coord[op.operands[0]]
+            diag = by_coord[op.target]
+            update = panel @ panel.T
+            mb = diag.shape[0]
+            tril = np.tril_indices(mb)
+            diag[tril] -= update[tril]
+        elif op.kind == "gemm":
+            a1 = by_coord[op.operands[0]]
+            a2 = by_coord[op.operands[1]]
+            by_coord[op.target] -= a1 @ a2.T
+        else:  # pragma: no cover - TileOp validates kinds
+            raise ValueError(f"unknown op kind {op.kind!r}")
+    return a

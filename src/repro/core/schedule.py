@@ -1,0 +1,154 @@
+"""Flat tile-operation schedules.
+
+A *schedule* is the dynamic sequence of tile operations one thread performs
+to factorize its matrix: loads and stores of tiles (Figure 10) interleaved
+with the four compute micro-ops (Figure 9), ordered according to the
+looking variant (Figures 3-5).
+
+The schedule is produced by replaying the exact same emission logic that
+generates the kernel source (:mod:`repro.codegen.kernel`), so the trace fed
+to the GPU performance model and the statements executed numerically can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.opmix import OpMixCounter
+
+#: Memory-op kinds (tile loads/stores).
+MEM_KINDS = frozenset({"load_full", "load_lower", "store_full", "store_lower"})
+#: Compute-op kinds.
+COMPUTE_KINDS = frozenset({"potrf", "trsm", "syrk", "gemm"})
+
+
+@dataclass(frozen=True)
+class TileOp:
+    """One tile-granularity operation in a kernel's dynamic schedule.
+
+    Attributes
+    ----------
+    kind:
+        One of ``load_full``, ``load_lower``, ``store_full``,
+        ``store_lower``, ``potrf``, ``trsm``, ``syrk``, ``gemm``.
+    target:
+        Tile coordinates ``(mt, nt)`` of the tile being moved (memory ops)
+        or updated in registers (compute ops).
+    operands:
+        Tile coordinates of operand tiles for compute ops (empty for
+        memory ops and ``potrf``).
+    shape:
+        Tile shape: ``(mb, nbc)`` for full moves and trsm, ``(kb,)`` for
+        lower moves and potrf, ``(mb, kb)`` for syrk, ``(mb, nb2, kb)``
+        for gemm.
+    elems:
+        Elements moved (memory ops only; 0 for compute ops).
+    ops:
+        Scalar operation mix (compute ops only; ``None`` for memory ops).
+    """
+
+    kind: str
+    target: tuple[int, int]
+    operands: tuple = ()
+    shape: tuple = ()
+    elems: int = 0
+    ops: OpMixCounter | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MEM_KINDS and self.kind not in COMPUTE_KINDS:
+            raise ValueError(f"unknown tile-op kind {self.kind!r}")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in MEM_KINDS
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind in ("load_full", "load_lower")
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind in ("store_full", "store_lower")
+
+
+@dataclass
+class ScheduleCounts:
+    """Aggregate statistics of a schedule (per matrix / per thread)."""
+
+    loads: int = 0  # elements loaded
+    stores: int = 0  # elements stored
+    load_ops: int = 0  # tile-granularity load operations
+    store_ops: int = 0
+    compute_ops: int = 0
+    mix: OpMixCounter = field(default_factory=OpMixCounter)
+
+    @property
+    def flops(self) -> int:
+        return self.mix.flops
+
+
+def build_schedule(config) -> list[TileOp]:
+    """The flat tile-op schedule of one thread under ``config``.
+
+    Identical for partial and full unrolling — unrolling changes the static
+    code, not the dynamic operation sequence.  (What full unrolling *does*
+    change is the compiler's ability to keep tiles register-resident across
+    operations; that is modelled downstream by
+    :mod:`repro.gpusim.registers`.)
+    """
+    from repro.codegen.kernel import KernelBuilder  # deferred: avoids cycle
+
+    return KernelBuilder(config).build_trace()
+
+
+def schedule_counts(ops: list[TileOp]) -> ScheduleCounts:
+    """Aggregate element and operation counts of a schedule."""
+    counts = ScheduleCounts()
+    for op in ops:
+        if op.is_load:
+            counts.loads += op.elems
+            counts.load_ops += 1
+        elif op.is_store:
+            counts.stores += op.elems
+            counts.store_ops += 1
+        else:
+            counts.compute_ops += 1
+            if op.ops is not None:
+                counts.mix = counts.mix + op.ops
+    return counts
+
+
+def schedule_summary(config) -> str:
+    """Human-readable breakdown of a configuration's tile-op schedule.
+
+    One row per op kind with counts and element/flop volumes — the
+    quickest way to see *why* the looking variants differ (compare the
+    ``store_full``/``store_lower`` rows across right/left/top).
+    """
+    from collections import Counter
+
+    from repro.utils.tables import format_table
+
+    ops = build_schedule(config)
+    by_kind: Counter = Counter()
+    elems: Counter = Counter()
+    flops: Counter = Counter()
+    for op in ops:
+        by_kind[op.kind] += 1
+        elems[op.kind] += op.elems
+        flops[op.kind] += op.ops.flops if op.ops is not None else 0
+    order = [
+        "load_full", "load_lower", "store_full", "store_lower",
+        "potrf", "trsm", "syrk", "gemm",
+    ]
+    rows = [
+        [kind, by_kind[kind], elems[kind] or "-", flops[kind] or "-"]
+        for kind in order
+        if by_kind[kind]
+    ]
+    counts = schedule_counts(ops)
+    rows.append(["TOTAL", len(ops), counts.loads + counts.stores, counts.flops])
+    header = config.describe()
+    table = format_table(["op", "count", "elements", "flops"], rows)
+    return f"{header}\n{table}"

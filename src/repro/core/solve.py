@@ -1,0 +1,85 @@
+"""Batch triangular solves and SPD solves.
+
+The paper factors only (`"In this article we focus solely on the
+factorization step"`), but its motivating application — Alternating Least
+Squares — needs the full solve ``A x = b``.  These routines apply forward
+and backward substitution against the factors produced by
+:func:`repro.core.factorize.batch_cholesky`, vectorised over the batch in
+the same SIMT style as the kernels (a loop over rows, NumPy over the
+batch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_factor_rhs(l: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    l = np.asarray(l)
+    b = np.asarray(b)
+    if l.ndim != 3 or l.shape[1] != l.shape[2]:
+        raise ValueError(f"expected factors of shape (batch, n, n), got {l.shape}")
+    if b.ndim == 2:
+        b = b[:, :, None]
+    if b.ndim != 3 or b.shape[0] != l.shape[0] or b.shape[1] != l.shape[1]:
+        raise ValueError(
+            f"rhs shape {b.shape} incompatible with factors {l.shape}; "
+            "expected (batch, n) or (batch, n, nrhs)"
+        )
+    return l, b
+
+
+def batch_trsv_lower(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L y = b`` for each matrix in the batch (forward substitution).
+
+    Only the lower triangle of ``l`` is referenced, so factors with the
+    original matrix still in the upper part are fine.
+    """
+    l, b = _check_factor_rhs(l, b)
+    n = l.shape[1]
+    y = np.array(b, dtype=np.result_type(l.dtype, b.dtype), copy=True)
+    for i in range(n):
+        if i:
+            y[:, i, :] -= np.einsum("bj,bjr->br", l[:, i, :i], y[:, :i, :])
+        y[:, i, :] /= l[:, i, i, None]
+    return y
+
+
+def batch_trsv_lower_t(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L^T x = b`` for each matrix in the batch (back substitution)."""
+    l, b = _check_factor_rhs(l, b)
+    n = l.shape[1]
+    x = np.array(b, dtype=np.result_type(l.dtype, b.dtype), copy=True)
+    for i in range(n - 1, -1, -1):
+        if i < n - 1:
+            # Row i of L^T is column i of L below the diagonal.
+            x[:, i, :] -= np.einsum("bj,bjr->br", l[:, i + 1 :, i], x[:, i + 1 :, :])
+        x[:, i, :] /= l[:, i, i, None]
+    return x
+
+
+def batch_solve(l: np.ndarray, b: np.ndarray, uplo: str = "lower") -> np.ndarray:
+    """Solve ``A x = b`` given the Cholesky factors of each ``A``.
+
+    Equivalent to LAPACK's ``potrs``: forward substitution with ``L``
+    followed by back substitution with ``L^T``.  With ``uplo="upper"``
+    the factors hold ``U`` (``A = U^T U``, as produced by the upper-mode
+    kernels) and the same two sweeps run against ``U^T``.  Returns ``x``
+    with the same (2-D or 3-D) rank as ``b``.
+    """
+    if uplo not in ("lower", "upper"):
+        raise ValueError(f"uplo must be 'lower' or 'upper', got {uplo!r}")
+    if uplo == "upper":
+        l = np.asarray(l).transpose(0, 2, 1)
+    squeeze = np.asarray(b).ndim == 2
+    y = batch_trsv_lower(l, b)
+    x = batch_trsv_lower_t(l, y)
+    return x[:, :, 0] if squeeze else x
+
+
+def batch_spd_solve(a: np.ndarray, b: np.ndarray, **cholesky_kwargs) -> np.ndarray:
+    """Factor-and-solve convenience: ``x = A^{-1} b`` per batch entry."""
+    from repro.core.factorize import batch_cholesky  # deferred: avoids cycle
+
+    l = batch_cholesky(a, **cholesky_kwargs)
+    return batch_solve(l, b)

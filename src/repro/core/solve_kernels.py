@@ -1,0 +1,109 @@
+"""Batch solves through generated interleaved kernels.
+
+While :mod:`repro.core.solve` applies substitution with dense NumPy (the
+host-side reference), this module runs the *generated* solve kernels of
+:mod:`repro.codegen.solvekernel` on interleaved buffers — the GPU path
+the paper's prior work [9] ships for the factor-then-solve workload, and
+what the ALS application would launch in production.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.codegen.solvekernel import GeneratedSolveKernel, generate_solve_source
+from repro.core.config import KernelConfig
+from repro.layouts.base import WARP_SIZE, BatchSpec
+from repro.layouts.vectors import pack_vectors, unpack_vectors, vector_lane_view
+
+#: (n, nrhs) -> (generated kernel, compiled callable)
+_SOLVE_CACHE: dict[tuple[int, int], tuple[GeneratedSolveKernel, Callable]] = {}
+
+
+def compiled_solve_kernel(n: int, nrhs: int = 1) -> Callable:
+    """Generate (or fetch from cache) the solve kernel for a shape."""
+    key = (n, nrhs)
+    hit = _SOLVE_CACHE.get(key)
+    if hit is None:
+        kernel = generate_solve_source(n, nrhs)
+        namespace: dict = {}
+        code = compile(kernel.source, f"<solve kernel n={n} nrhs={nrhs}>", "exec")
+        exec(code, namespace)  # noqa: S102 - our own generated source
+        raw = namespace["_solve_kernel"]
+
+        def run(dA, dB):
+            return raw(dA, dB, np)
+
+        run.generated = kernel  # type: ignore[attr-defined]
+        _SOLVE_CACHE[key] = (kernel, run)
+        hit = _SOLVE_CACHE[key]
+    return hit[1]
+
+
+def clear_solve_kernel_cache() -> None:
+    _SOLVE_CACHE.clear()
+
+
+def batch_solve_kernel(
+    l: np.ndarray,
+    b: np.ndarray,
+    config: KernelConfig | None = None,
+) -> np.ndarray:
+    """Solve ``A x = b`` with generated kernels, given dense factors ``L``.
+
+    ``l`` is a dense ``(batch, n, n)`` batch whose lower triangles hold the
+    Cholesky factors (strictly upper parts are ignored); ``b`` is
+    ``(batch, n)`` or ``(batch, n, nrhs)``.  The data is packed into the
+    interleaved layout selected by ``config`` (chunked at ``chunk_size``
+    by default), solved in place, and unpacked.
+    """
+    l = np.asarray(l)
+    b = np.asarray(b)
+    if l.ndim != 3 or l.shape[1] != l.shape[2]:
+        raise ValueError(f"expected factors of shape (batch, n, n), got {l.shape}")
+    squeeze = b.ndim == 2
+    if squeeze:
+        b = b[:, :, None]
+    if b.ndim != 3 or b.shape[:2] != l.shape[:2]:
+        raise ValueError(f"rhs shape {b.shape} incompatible with factors {l.shape}")
+    batch, n, _ = l.shape
+    nrhs = b.shape[2]
+    if config is None:
+        config = KernelConfig(n=n)
+    if config.n != n:
+        raise ValueError(f"config.n={config.n} does not match factors' n={n}")
+
+    chunk = config.chunk_size if config.chunked else None
+    group = chunk if chunk is not None else WARP_SIZE
+
+    l32 = np.ascontiguousarray(l, dtype=np.float32)
+    b32 = np.ascontiguousarray(b, dtype=np.float32)
+
+    layout = config.layout()
+    # The matrix layout pads to its own group; vectors must pad identically.
+    spec = BatchSpec(batch=batch, n=n)
+    buf_a = layout.pack(l32)
+    buf_b = pack_vectors(b32, chunk)
+
+    n_elems = n * n
+    if config.chunked:
+        from repro.layouts.chunked import ChunkedInterleavedLayout
+
+        chunked_layout = ChunkedInterleavedLayout(config.chunk_size)
+        nchunks = chunked_layout.num_chunks(spec)
+        dA = np.moveaxis(buf_a.reshape(nchunks, n_elems, config.chunk_size), 1, 0)
+    else:
+        dA = buf_a.reshape(n_elems, spec.padded_batch)
+    dB = vector_lane_view(buf_b, batch, n, nrhs, chunk)
+    if dA.shape[1:] != dB.shape[1:]:
+        raise AssertionError(
+            f"matrix/vector lane shapes diverged: {dA.shape} vs {dB.shape}"
+        )
+
+    kernel = compiled_solve_kernel(n, nrhs)
+    kernel(dA, dB)
+
+    x = unpack_vectors(buf_b, batch, n, nrhs, chunk)
+    return x[:, :, 0] if squeeze else x

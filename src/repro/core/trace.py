@@ -1,0 +1,73 @@
+"""Kernel traces: the bridge between codegen and the GPU performance model.
+
+A :class:`KernelTrace` bundles everything the model in
+:mod:`repro.gpusim.model` needs to price one kernel: the dynamic tile-op
+sequence of one thread, its aggregate memory/op counts, and the static
+code size (the instruction-cache driver — this is where partial and full
+unrolling genuinely differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.config import KernelConfig
+from repro.core.schedule import ScheduleCounts, TileOp, build_schedule, schedule_counts
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """Per-thread execution trace plus static metadata of one kernel."""
+
+    config: KernelConfig
+    ops: tuple[TileOp, ...]
+    counts: ScheduleCounts
+    static_statements: int
+
+    @property
+    def load_elements(self) -> int:
+        """Elements loaded per thread (before any register-residency pass)."""
+        return self.counts.loads
+
+    @property
+    def store_elements(self) -> int:
+        """Elements stored per thread (before any register-residency pass)."""
+        return self.counts.stores
+
+    @property
+    def flops(self) -> int:
+        """Exact flops per thread (2-per-FMA convention)."""
+        return self.counts.flops
+
+
+@lru_cache(maxsize=4096)
+def _cached_trace(n: int, nb: int, looking: str, unroll: str) -> KernelTrace:
+    # Deferred import: repro.codegen imports repro.core eagerly, so the
+    # reverse edge must resolve at call time.
+    from repro.codegen.kernel import generate_kernel_source
+
+    config = KernelConfig(n=n, nb=nb, looking=looking, unroll=unroll)
+    ops = tuple(build_schedule(config))
+    counts = schedule_counts(list(ops))
+    generated = generate_kernel_source(config)
+    return KernelTrace(
+        config=config,
+        ops=ops,
+        counts=counts,
+        static_statements=generated.static_statements,
+    )
+
+
+def build_trace(config: KernelConfig) -> KernelTrace:
+    """Build (or fetch from cache) the trace for one configuration.
+
+    The trace depends only on ``(n, nb, looking, unroll)`` — the same key
+    that identifies generated source — so sweeps over chunking, chunk size
+    and arithmetic share traces.  Consequently ``trace.config`` is a
+    *canonicalised* configuration carrying only those four fields; pass the
+    full configuration alongside the trace where the other knobs matter
+    (the performance model does).  Traces are also uplo-invariant: upper
+    mode only transposes element addressing, not the operation stream.
+    """
+    return _cached_trace(*config.trace_key())

@@ -1,0 +1,56 @@
+"""Post-factorization validation.
+
+The generated kernels are branch-free straight-line code — exactly like
+the CUDA originals, they cannot raise on a non-SPD input; a negative
+pivot silently turns into a NaN square root that propagates.  These
+helpers give callers the LAPACK-style ``info`` diagnosis after the fact:
+which matrices failed, and where.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def factorization_info(l: np.ndarray) -> np.ndarray:
+    """LAPACK-``potrf``-style info for each factor in a dense batch.
+
+    Returns an int array of shape ``(batch,)``: 0 when the lower triangle
+    of the factor is finite with a strictly positive diagonal, otherwise
+    ``i + 1`` for the first offending column ``i`` (non-finite or
+    non-positive diagonal entry, or non-finite column below it) —
+    mirroring LAPACK's 1-based failing-pivot convention.
+    """
+    l = np.asarray(l)
+    if l.ndim != 3 or l.shape[1] != l.shape[2]:
+        raise ValueError(f"expected factors of shape (batch, n, n), got {l.shape}")
+    batch, n, _ = l.shape
+    info = np.zeros(batch, dtype=np.int64)
+    diag = np.einsum("bii->bi", l.astype(np.float64))
+    rows, cols = np.tril_indices(n)
+    lower = l[:, rows, cols].astype(np.float64)
+
+    bad_diag = ~np.isfinite(diag) | (diag <= 0)
+    bad_lower = ~np.isfinite(lower)
+    for b in range(batch):
+        first = n
+        if bad_diag[b].any():
+            first = int(np.argmax(bad_diag[b]))
+        if bad_lower[b].any():
+            first = min(first, int(cols[np.argmax(bad_lower[b])]))
+        if first < n:
+            info[b] = first + 1
+    return info
+
+
+def assert_factorization_ok(l: np.ndarray) -> None:
+    """Raise ``numpy.linalg.LinAlgError`` if any factor in the batch failed."""
+    info = factorization_info(l)
+    bad = np.nonzero(info)[0]
+    if bad.size:
+        first = int(bad[0])
+        raise np.linalg.LinAlgError(
+            f"{bad.size} of {len(info)} factorizations failed; first failure: "
+            f"matrix {first} at column {int(info[first]) - 1} "
+            "(input not positive definite?)"
+        )

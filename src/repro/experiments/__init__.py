@@ -1,0 +1,23 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> ExperimentResult`` (the structured
+series plus shape checks) and a ``main()`` that prints the same rows the
+paper's figure plots.  The benchmark suite under ``benchmarks/`` wraps
+these; they can also be run directly::
+
+    python -m repro.experiments.fig13
+    python -m repro.experiments.table1
+
+All figure experiments share one exhaustive sweep
+(:func:`repro.experiments.common.standard_sweep`), cached on disk under
+``results/`` — the analogue of the paper's measurement dataset.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    standard_space,
+    standard_sweep,
+    RESULTS_DIR,
+)
+
+__all__ = ["ExperimentResult", "standard_space", "standard_sweep", "RESULTS_DIR"]

@@ -1,0 +1,102 @@
+"""Extension experiment: single-precision accuracy vs conditioning.
+
+The paper computes in float32 throughout and never quantifies the
+numerical cost.  This study charts the factorization's backward error
+``||A - L L^T|| / ||A||`` against the input condition number, for both
+the float32 kernels (the paper's setting) and the double-precision
+extension, confirming the textbook expectation: Cholesky is backward
+stable, so the error tracks machine epsilon — *not* kappa — until the
+matrix is numerically indefinite at the working precision, at which
+point float32 factorizations start failing outright while float64
+continues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky
+from repro.core.validate import factorization_info
+from repro.experiments.common import ExperimentResult
+from repro.utils.condition import conditioned_spd_batch
+from repro.utils.errors import factorization_error
+
+CONDITIONS = (1e1, 1e3, 1e5, 1e6, 1e7, 1e8)
+N = 16
+BATCH = 64
+
+
+def _measure(precision: str):
+    errors = {}
+    failures = {}
+    cfg = KernelConfig(n=N, nb=4, looking="top", precision=precision)
+    for kappa in CONDITIONS:
+        a = conditioned_spd_batch(BATCH, N, kappa, seed=int(np.log10(kappa)))
+        l = batch_cholesky(a.astype(np.float64), cfg)
+        info = factorization_info(l)
+        ok = info == 0
+        failures[int(np.log10(kappa))] = int((~ok).sum())
+        if ok.any():
+            errors[int(np.log10(kappa))] = factorization_error(a[ok], l[ok])
+        else:
+            errors[int(np.log10(kappa))] = float("nan")
+    return errors, failures
+
+
+def run() -> ExperimentResult:
+    err32, fail32 = _measure("single")
+    err64, fail64 = _measure("double")
+
+    rows = []
+    for kappa in CONDITIONS:
+        k = int(np.log10(kappa))
+        rows.append(
+            [
+                f"1e{k}",
+                f"{err32[k]:.1e}",
+                fail32[k],
+                f"{err64[k]:.1e}",
+                fail64[k],
+            ]
+        )
+
+    eps32 = float(np.finfo(np.float32).eps)
+    well = [err32[int(np.log10(k))] for k in CONDITIONS if k <= 1e5]
+    checks = {
+        "float32 backward error tracks eps for kappa <= 1e5": all(
+            e < 100 * eps32 for e in well
+        ),
+        "float64 is uniformly more accurate": all(
+            err64[int(np.log10(k))] < err32[int(np.log10(k))]
+            for k in CONDITIONS
+            if not np.isnan(err32[int(np.log10(k))])
+        ),
+        "float64 never fails on these inputs": all(v == 0 for v in fail64.values()),
+        "float32 failures appear only near eps^-1 conditioning": all(
+            fail32[int(np.log10(k))] == 0 for k in CONDITIONS if k <= 1e5
+        ),
+    }
+    result = ExperimentResult(
+        experiment="accuracy_study",
+        title=f"Backward error vs condition number (n={N}, batch {BATCH})",
+        table=(
+            ["kappa", "fp32 error", "fp32 failures", "fp64 error", "fp64 failures"],
+            rows,
+        ),
+        checks=checks,
+    )
+    result.notes.append(
+        "Cholesky is backward stable: the relative residual sits near the "
+        "working precision's epsilon regardless of kappa, until the matrix "
+        "is numerically indefinite (kappa ~ 1/eps) and factorization fails"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

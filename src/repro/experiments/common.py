@@ -1,0 +1,116 @@
+"""Shared infrastructure for the experiment harnesses.
+
+The paper's Section III/IV figures are all views of one exhaustive sweep.
+:func:`standard_sweep` builds that dataset once (sizes 4..64 in steps of
+4, the full cross of the tuning parameters including both arithmetic
+modes and both cache preferences — about 20k configurations, of which the
+oversized fully-unrolled kernels fail, mirroring the paper's "successful
+runs") and caches it as CSV under :data:`RESULTS_DIR`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.autotune.dataset import SweepDataset
+from repro.autotune.space import ParameterSpace
+from repro.autotune.sweep import run_sweep
+from repro.utils.tables import format_series, format_table
+
+#: Where experiment artefacts (sweep CSVs, result tables) are written.
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+#: The matrix sizes of the standard experiment grid.
+STANDARD_NS = tuple(range(4, 65, 4))
+
+#: The batch size used throughout the paper's Section III.
+PAPER_BATCH = 16384
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment harness."""
+
+    experiment: str  # e.g. "fig13"
+    title: str
+    #: named series over n: {label: {n: value}}
+    series: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: free-form table rows (headers, rows) when the experiment is tabular
+    table: tuple[list[str], list[list]] | None = None
+    #: named qualitative shape checks, True = the paper's shape holds
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report: series/table plus check outcomes."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.series:
+            parts.append(format_series("", self.series).lstrip("\n"))
+        if self.table is not None:
+            headers, rows = self.table
+            parts.append(format_table(headers, rows))
+        if self.checks:
+            parts.append("shape checks:")
+            for name, ok in self.checks.items():
+                parts.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+def standard_space(
+    ns: tuple[int, ...] = STANDARD_NS,
+    fast_maths: tuple[bool, ...] = (False, True),
+    cache_prefs: tuple[str, ...] = ("l1", "shared"),
+) -> ParameterSpace:
+    """The full experiment space over the standard size grid."""
+    return ParameterSpace(ns=ns, fast_maths=fast_maths, cache_prefs=cache_prefs)
+
+
+_SWEEP_CACHE: dict[tuple, SweepDataset] = {}
+
+
+def standard_sweep(
+    ns: tuple[int, ...] = STANDARD_NS,
+    batch: int = PAPER_BATCH,
+    refresh: bool = False,
+    progress: bool = False,
+) -> SweepDataset:
+    """The shared exhaustive sweep, cached in memory and on disk.
+
+    The on-disk cache (``results/sweep_n{first}-{last}_b{batch}.csv``)
+    makes repeated benchmark runs cheap; delete the file or pass
+    ``refresh=True`` to re-measure after model changes.
+    """
+    key = (ns, batch)
+    if not refresh and key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"sweep_n{ns[0]}-{ns[-1]}_b{batch}.csv"
+    if path.exists() and not refresh:
+        dataset = SweepDataset.load_csv(path)
+    else:
+        space = standard_space(ns=ns)
+        callback = None
+        if progress:
+            def callback(done: int, total: int) -> None:
+                if done % 500 == 0 or done == total:
+                    print(f"  sweep progress: {done}/{total}", flush=True)
+        dataset = run_sweep(space, batch=batch, progress=callback)
+        dataset.save_csv(path)
+    _SWEEP_CACHE[key] = dataset
+    return dataset
+
+
+def is_ieee(record) -> bool:
+    return not record.fast_math
+
+
+def is_fast(record) -> bool:
+    return record.fast_math

@@ -1,0 +1,68 @@
+"""Figure 13: top performance of the interleaved implementation.
+
+"Figure 13 shows the overall performance for a batch of size 16,384 ...
+The figure shows performance when using IEEE compliant arithmetic, and
+when using the --use_fast_math option ... For smaller matrices, the code
+achieves 600 GFLOPS for the IEEE compliant case, and approaches 800
+GFLOPS for the --use_fast_math case."
+
+Series: best Gflop/s over the whole tuning space, per matrix size, for
+IEEE and fast-math arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.autotune.dataset import SweepDataset
+from repro.experiments.common import (
+    ExperimentResult,
+    is_fast,
+    is_ieee,
+    standard_sweep,
+)
+
+
+def run(sweep: SweepDataset | None = None) -> ExperimentResult:
+    sweep = sweep if sweep is not None else standard_sweep()
+    ieee = sweep.best_series(is_ieee)
+    fast = sweep.best_series(is_fast)
+    ns = sorted(ieee)
+
+    small = [n for n in ns if n <= 12]
+    mid = [n for n in ns if 16 <= n <= 40]
+    checks = {
+        # Performance grows out of the launch-overhead regime.
+        "rises with n for small sizes": all(
+            ieee[a] < ieee[b] for a, b in zip(small, small[1:])
+        ),
+        # fast-math never loses and clearly wins somewhere in the middle.
+        "fast_math >= ieee everywhere": all(
+            fast[n] >= ieee[n] * 0.999 for n in ns
+        ),
+        "fast_math gap visible at mid sizes": any(
+            fast[n] > 1.05 * ieee[n] for n in mid
+        ),
+        # The curve levels off rather than keeps climbing at the same rate.
+        "levels off past n=40": max(ieee[n] for n in ns if n >= 40)
+        < 1.35 * min(ieee[n] for n in ns if n >= 40),
+        "ieee plateau in the hundreds of Gflop/s": 400
+        < max(ieee.values())
+        < 1200,
+    }
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Top performance of the interleaved implementation (Gflop/s)",
+        series={"ieee": ieee, "fast_math": fast},
+        checks=checks,
+    )
+    result.notes.append(
+        "paper anchors: ~600 Gflop/s IEEE and ~800 Gflop/s fast-math at small-mid n"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""Figure 15: best performance for different tiling factors.
+
+"For sizes smaller than 20, tiling makes no difference, as the system is
+able to preserve data in registers throughout the factorization.  This
+behavior deteriorates between 20 and 40.  Past 40, no blocking (nb = 1)
+has no data reuse and the code becomes memory bound.  Introducing
+blocking gradually increases performance, until it levels off around 8."
+"""
+
+from __future__ import annotations
+
+from repro.autotune.dataset import SweepDataset
+from repro.experiments.common import ExperimentResult, standard_sweep
+
+#: Tiling factors plotted (the paper's x-bins run 1..8 in this figure).
+NB_VALUES = (1, 2, 4, 6, 8)
+
+
+def run(sweep: SweepDataset | None = None) -> ExperimentResult:
+    sweep = sweep if sweep is not None else standard_sweep()
+    series: dict[str, dict[int, float]] = {}
+    for nb in NB_VALUES:
+        series[f"nb={nb}"] = sweep.best_series(
+            lambda r, nb=nb: r.nb == min(nb, r.n)
+        )
+
+    ns = sorted(series["nb=8"])
+    small = [n for n in ns if n <= 16]
+    large = [n for n in ns if n >= 48]
+
+    def spread(n: int) -> float:
+        vals = [series[f"nb={nb}"].get(n) for nb in NB_VALUES]
+        vals = [v for v in vals if v is not None]
+        return max(vals) / min(vals)
+
+    checks = {
+        "tiling makes no difference below n=20": all(spread(n) < 1.15 for n in small),
+        "nb=1 collapses for large sizes": all(
+            series["nb=1"][n] < 0.6 * series["nb=8"][n] for n in large
+        ),
+        "blocking gradually increases performance at large n": all(
+            series["nb=2"][n] > series["nb=1"][n]
+            and series["nb=4"][n] > series["nb=2"][n]
+            for n in large
+        ),
+        "levels off around nb=8": all(
+            series["nb=8"][n] > 0.85 * series["nb=6"][n] for n in large
+        ),
+    }
+    return ExperimentResult(
+        experiment="fig15",
+        title="Best performance for different tiling factors (Gflop/s)",
+        series=series,
+        checks=checks,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,57 @@
+"""Figure 18: best performance with chunking, for different chunk sizes.
+
+"It is important to observe that this parameter also defines the number
+of threads in a thread block.  32 seems to be the best choice ... 64
+performs almost equally well, but then the performance drops slightly for
+128 and 256, and significantly for 512."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotune.dataset import SweepDataset
+from repro.experiments.common import ExperimentResult, standard_sweep
+from repro.layouts.chunked import SUPPORTED_CHUNK_SIZES
+
+
+def run(sweep: SweepDataset | None = None) -> ExperimentResult:
+    sweep = sweep if sweep is not None else standard_sweep()
+    series = {
+        f"chunk={cs}": sweep.best_series(
+            lambda r, cs=cs: r.chunked and r.chunk_size == cs
+        )
+        for cs in SUPPORTED_CHUNK_SIZES
+    }
+    ns = sorted(series["chunk=32"])
+
+    def mean(cs: int) -> float:
+        return float(np.mean([series[f"chunk={cs}"][n] for n in ns]))
+
+    means = {cs: mean(cs) for cs in SUPPORTED_CHUNK_SIZES}
+    checks = {
+        "32 is the best choice": means[32] >= max(means.values()) * 0.999,
+        "64 performs almost equally well": means[64] > 0.9 * means[32],
+        "drops for 128 and 256": means[128] <= means[64] * 1.001
+        and means[256] < means[64],
+        "drops significantly for 512": means[512] < 0.8 * means[32],
+    }
+    result = ExperimentResult(
+        experiment="fig18",
+        title="Best performance with chunking, per chunk size (Gflop/s)",
+        series=series,
+        checks=checks,
+    )
+    result.notes.append(
+        "mean best Gflop/s per chunk size: "
+        + ", ".join(f"{cs}: {means[cs]:.0f}" for cs in SUPPORTED_CHUNK_SIZES)
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,52 @@
+"""Figure 19: partial versus full unrolling.
+
+"Full unrolling pays off up to the size of 20, and then the benefits
+diminish, and the partial unrolling takes over.  Either the number of
+instructions overwhelm the compiler, or instruction fetching and caching
+becomes a problem, or both."
+"""
+
+from __future__ import annotations
+
+from repro.autotune.dataset import SweepDataset
+from repro.experiments.common import ExperimentResult, standard_sweep
+
+
+def run(sweep: SweepDataset | None = None) -> ExperimentResult:
+    sweep = sweep if sweep is not None else standard_sweep()
+    partial = sweep.best_series(lambda r: r.unroll == "partial")
+    full = sweep.best_series(lambda r: r.unroll == "full")
+    ns = sorted(partial)
+    small = [n for n in ns if n <= 20]
+    large = [n for n in ns if n >= 40]
+
+    # The crossover size: first n where partial *strictly* beats full (at
+    # small sizes both are bound by the same memory/latency limit and tie).
+    crossover = next(
+        (n for n in ns if partial[n] > 1.02 * full.get(n, 0.0)), ns[-1]
+    )
+    checks = {
+        "full unrolling pays off for small sizes": all(
+            full[n] >= partial[n] * 0.999 for n in small
+        ),
+        "partial takes over for large sizes": all(
+            partial[n] >= full.get(n, 0.0) * 0.999 for n in large
+        ),
+        "crossover in the paper's 20-40 window": 20 <= crossover <= 40,
+    }
+    result = ExperimentResult(
+        experiment="fig19",
+        title="Partial vs full unrolling, best performance (Gflop/s)",
+        series={"partial": partial, "full": full},
+        checks=checks,
+    )
+    result.notes.append(f"modelled crossover at n={crossover} (paper: past ~20)")
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,151 @@
+"""Figure 20: all kernels for n = 24 and n = 48 with chunk size 64.
+
+"The kernels are sorted into 9 bins across the x-axis by their nb; within
+each nb there are up to 12 kernels.  For n = 24, the chunked, fully
+unrolled versions were best, and in particular the left-looking one with
+nb = 2.  However, for n = 48 ... overtaken by the top-looking, partially
+unrolled versions, in particular with nb = 7.  For all sizes, the
+non-chunked, fully unrolled codes were consistently the worst performing.
+In general, the chunked version was better than its non-chunked
+counterpart."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.runner import SweepRecord, evaluate_config
+from repro.core.config import KernelConfig
+from repro.experiments.common import PAPER_BATCH, ExperimentResult
+
+#: Chunk size the paper fixes for this figure.
+CHUNK = 64
+SIZES = (24, 48)
+NB_BINS = tuple(range(1, 10))
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """One scatter point: a full kernel variant and its Gflop/s."""
+
+    nb: int
+    looking: str
+    unroll: str
+    chunked: bool
+    gflops: float
+    ok: bool
+
+    def label(self) -> str:
+        chunk = "chunked" if self.chunked else "non-chunked"
+        return f"nb={self.nb} {self.looking} {self.unroll} {chunk}"
+
+
+def kernels_for(n: int, batch: int = PAPER_BATCH) -> list[KernelPoint]:
+    """All kernel variants of the figure for one matrix size."""
+    points = []
+    for nb in NB_BINS:
+        if min(nb, n) != nb:
+            continue
+        for looking in ("right", "left", "top"):
+            for unroll in ("partial", "full"):
+                for chunked in (True, False):
+                    rec: SweepRecord = evaluate_config(
+                        KernelConfig(
+                            n=n,
+                            nb=nb,
+                            looking=looking,
+                            chunked=chunked,
+                            chunk_size=CHUNK,
+                            unroll=unroll,
+                        ),
+                        batch=batch,
+                    )
+                    points.append(
+                        KernelPoint(
+                            nb=nb,
+                            looking=looking,
+                            unroll=unroll,
+                            chunked=chunked,
+                            gflops=rec.gflops,
+                            ok=rec.ok,
+                        )
+                    )
+    return points
+
+
+def run(batch: int = PAPER_BATCH) -> ExperimentResult:
+    all_points = {n: kernels_for(n, batch) for n in SIZES}
+    rows = []
+    checks: dict[str, bool] = {}
+    notes = []
+    for n, points in all_points.items():
+        ok_points = [p for p in points if p.ok]
+        best = max(ok_points, key=lambda p: p.gflops)
+        rows.extend(
+            [n, p.nb, p.looking, p.unroll, "yes" if p.chunked else "no",
+             round(p.gflops, 1) if p.ok else "failed"]
+            for p in sorted(points, key=lambda p: (p.nb, p.looking, p.unroll, p.chunked))
+        )
+        notes.append(f"n={n}: best kernel is {best.label()} ({best.gflops:.0f} Gflop/s)")
+
+        # The paper's "consistently the worst" group: non-chunked fully
+        # unrolled.  It never wins and always trails its chunked
+        # counterparts; at n=48 it is the worst group outright.
+        nc_full = [p.gflops for p in ok_points if not p.chunked and p.unroll == "full"]
+        ch_full = [p.gflops for p in ok_points if p.chunked and p.unroll == "full"]
+        checks[f"n={n}: non-chunked fully-unrolled never wins"] = max(nc_full) < best.gflops
+        checks[f"n={n}: non-chunked fully-unrolled trails chunked counterparts"] = (
+            float(np.mean(nc_full)) < float(np.mean(ch_full))
+        )
+        if n >= 48:
+            others = [
+                p.gflops for p in ok_points if p.chunked or p.unroll != "full"
+            ]
+            checks[f"n={n}: non-chunked fully-unrolled is the worst group"] = (
+                float(np.mean(nc_full)) < float(np.mean(others))
+            )
+        # Chunked beats its non-chunked counterpart, variant by variant.
+        wins = 0
+        pairs = 0
+        by_key = {(p.nb, p.looking, p.unroll, p.chunked): p for p in ok_points}
+        for (nb, lk, ur, ch), p in by_key.items():
+            if ch:
+                continue
+            other = by_key.get((nb, lk, ur, True))
+            if other is not None:
+                pairs += 1
+                if other.gflops >= p.gflops * 0.999:
+                    wins += 1
+        checks[f"n={n}: chunked beats non-chunked counterpart"] = wins >= 0.9 * pairs
+
+    best24 = max((p for p in all_points[24] if p.ok), key=lambda p: p.gflops)
+    best48 = max((p for p in all_points[48] if p.ok), key=lambda p: p.gflops)
+    checks["n=24: a chunked fully-unrolled kernel wins"] = (
+        best24.chunked and best24.unroll == "full"
+    )
+    checks["n=48: a top-looking partially-unrolled kernel wins"] = (
+        best48.looking == "top" and best48.unroll == "partial"
+    )
+
+    result = ExperimentResult(
+        experiment="fig20",
+        title=f"All kernels for n=24 and n=48 with chunk size {CHUNK}",
+        table=(["n", "nb", "looking", "unroll", "chunked", "gflops"], rows),
+        checks=checks,
+        notes=notes,
+    )
+    result.notes.append(
+        "paper anchors: n=24 best is chunked fully-unrolled left-looking nb=2; "
+        "n=48 best is top-looking partially-unrolled nb=7"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,84 @@
+"""Figure 21: accuracy of the random-forest model of the landscape.
+
+"We then proceed to model the data with a random forest ... The generated
+model has 500 trees of average depth 11.  The constructed model allows us
+to plot a density point cloud that indicates the quality of the
+predictive power with respect to the measured performance."
+
+We report the out-of-bag predicted-vs-observed correlation (the honest
+version of that point cloud) plus the forest geometry, and emit a coarse
+ASCII density plot of the cloud.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotune.analysis import forest_fit_quality
+from repro.autotune.dataset import SweepDataset
+from repro.experiments.common import ExperimentResult, standard_sweep
+
+
+def ascii_density(observed: np.ndarray, predicted: np.ndarray, size: int = 18) -> str:
+    """Coarse character-cell density plot of predicted vs observed."""
+    lo = float(min(observed.min(), predicted.min()))
+    hi = float(max(observed.max(), predicted.max()))
+    span = hi - lo or 1.0
+    grid = np.zeros((size, size), dtype=int)
+    xi = np.clip(((observed - lo) / span * (size - 1)).astype(int), 0, size - 1)
+    yi = np.clip(((predicted - lo) / span * (size - 1)).astype(int), 0, size - 1)
+    np.add.at(grid, (yi, xi), 1)
+    shades = " .:-=+*#%@"
+    peak = grid.max() or 1
+    lines = []
+    for row in grid[::-1]:
+        lines.append(
+            "".join(shades[min(len(shades) - 1, int(v / peak * (len(shades) - 1)))] for v in row)
+        )
+    lines.append(f"x: observed, y: OOB predicted; range [{lo:.0f}, {hi:.0f}] Gflop/s")
+    return "\n".join(lines)
+
+
+def run(
+    sweep: SweepDataset | None = None,
+    n_estimators: int = 150,
+    seed: int = 0,
+) -> ExperimentResult:
+    sweep = sweep if sweep is not None else standard_sweep()
+    dataset = sweep.filter(lambda r: not r.fast_math)
+    quality = forest_fit_quality(dataset, n_estimators=n_estimators, seed=seed)
+
+    checks = {
+        "OOB prediction strongly correlated with observation": quality.oob_r > 0.9,
+        "OOB R^2 is high": quality.oob_r2 > 0.8,
+        "trees grow to double-digit depth (paper: avg 11)": 6.0
+        <= quality.average_depth
+        <= 40.0,
+    }
+    result = ExperimentResult(
+        experiment="fig21",
+        title="Random-forest model accuracy (predicted vs observed)",
+        table=(
+            ["metric", "value"],
+            [
+                ["trees", quality.n_trees],
+                ["samples", quality.n_samples],
+                ["average depth", round(quality.average_depth, 1)],
+                ["OOB pearson r", round(quality.oob_r, 4)],
+                ["OOB R^2", round(quality.oob_r2, 4)],
+                ["OOB MSE", round(quality.oob_mse, 2)],
+                ["train pearson r", round(quality.train_r, 4)],
+            ],
+        ),
+        checks=checks,
+    )
+    result.notes.append(ascii_density(quality.observed, quality.predicted_oob))
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,57 @@
+"""Trace-driven analytic performance model of a P100-class GPU.
+
+The paper's results were measured on an NVIDIA P100 (Pascal) with CUDA 8.0
+— hardware this reproduction does not have.  Instead of timing Python (which
+would reflect NumPy dispatch, not GPU behaviour), every experiment prices
+the *actual generated kernel's* trace with this model, which implements the
+mechanisms the paper attributes its findings to:
+
+* **Coalescing** (:mod:`~repro.gpusim.coalescing`) — warp accesses to
+  layout addresses become 128-byte transactions; interleaved layouts
+  coalesce perfectly, the canonical layout degrades as matrices shrink.
+* **DRAM row-buffer locality** (:mod:`~repro.gpusim.dram`) — the stride
+  between a matrix's consecutive elements (4·chunk bytes when chunked,
+  4·batch when not) determines row-hit rates; this is the chunking effect
+  of Figures 17 and 18.
+* **Register residency** (:mod:`~repro.gpusim.registers`) — an LRU
+  register-allocation pass over the trace models the compiler keeping
+  tiles in registers across fully unrolled code; for n ≲ 20 the whole
+  matrix stays resident, which is why tiling and looking stop mattering
+  there (Figures 15, 16, 19).
+* **Occupancy** (:mod:`~repro.gpusim.occupancy`) — registers/thread and
+  the thread-block size (= chunk size) bound blocks per SM; large chunks
+  quantise occupancy coarsely and spill (Figure 18's 512 collapse).
+* **Instruction-cache pressure** (:mod:`~repro.gpusim.icache`) — fully
+  unrolled kernels past n ≈ 20 exceed the fetch working set (Figure 19).
+* **Pipeline costs** (:mod:`~repro.gpusim.pipeline`) — IEEE-compliant
+  square root and division are multi-instruction sequences; with
+  ``--use_fast_math`` they become cheap SFU approximations (Figure 13).
+
+:mod:`~repro.gpusim.model` combines them into seconds and Gflop/s.
+"""
+
+from repro.gpusim.arch import GPUArchitecture, P100
+from repro.gpusim.coalescing import coalescing_multiplier
+from repro.gpusim.cache import SetAssociativeCache
+from repro.gpusim.dram import row_locality_factor
+from repro.gpusim.registers import RegisterAllocation, allocate_registers
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.icache import icache_throughput_factor
+from repro.gpusim.pipeline import thread_cycles
+from repro.gpusim.model import PerfEstimate, estimate_performance
+
+__all__ = [
+    "GPUArchitecture",
+    "P100",
+    "coalescing_multiplier",
+    "SetAssociativeCache",
+    "row_locality_factor",
+    "RegisterAllocation",
+    "allocate_registers",
+    "Occupancy",
+    "compute_occupancy",
+    "icache_throughput_factor",
+    "thread_cycles",
+    "PerfEstimate",
+    "estimate_performance",
+]

@@ -1,0 +1,182 @@
+"""GPU architecture description and the calibrated P100 instance.
+
+Hard parameters (SM count, clocks, bandwidth, register file, warp size,
+scheduler limits) are NVIDIA's published P100 figures.  Soft parameters —
+quantities NVIDIA does not publish, marked *calibrated* below — were fixed
+once against the qualitative anchors of the paper's Section III and are
+never varied per experiment:
+
+* ``ieee_div_cycles`` / ``ieee_sqrt_cycles``: IEEE-compliant single-
+  precision division and square root compile to multi-instruction
+  software sequences on Pascal (tens of issue slots); the fast-math
+  variants map to SFU ``rcp``/``rsqrt`` approximations.  Anchor: the
+  IEEE-vs-fast-math gap of Figure 13 (~600 vs ~800 Gflop/s).
+* ``icache_bytes`` / ``sass_bytes_per_statement``: effective instruction-
+  fetch working set.  Anchor: full unrolling stops paying off near
+  n = 20 (Figure 19).
+* ``dram_row_bytes`` / ``row_miss_efficiency`` / ``far_stride_efficiency``:
+  row-buffer locality of the HBM2 stack.  Anchor: chunked beats
+  non-chunked clearly, chunk 32/64 best, 512 noticeably worse
+  (Figures 17, 18).
+* ``mem_latency_s`` / ``mlp_per_thread`` / ``issue_saturation_warps``:
+  latency-hiding behaviour.  Anchor: overall plateau of Figure 13 at a
+  16384-matrix batch (only 512 warps on 56 SMs — the machine runs far
+  below full occupancy, which is what caps the plateau).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """Parameters of a modelled GPU."""
+
+    name: str
+
+    # --- published hardware parameters ---------------------------------
+    sms: int
+    fp32_cores_per_sm: int
+    clock_ghz: float
+    dram_bandwidth_gbs: float
+    l2_bytes: int
+    line_bytes: int
+    register_file_per_sm: int  # 32-bit registers
+    max_registers_per_thread: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    warp_size: int
+    register_alloc_unit: int  # per-thread register allocation granularity
+
+    # --- calibrated parameters (see module docstring) -------------------
+    ieee_div_cycles: float
+    ieee_sqrt_cycles: float
+    fast_div_cycles: float
+    fast_sqrt_cycles: float
+    mem_issue_cycles: float  # issue slots per load/store instruction
+    icache_bytes: int
+    sass_bytes_per_statement: float
+    dram_row_bytes: int
+    row_miss_efficiency: float  # bandwidth fraction when every access opens a row
+    far_stride_efficiency: float  # floor for very large strides (TLB-hostile)
+    #: Effective cost of a stored byte relative to a loaded byte: stores
+    #: bypass the read-only cache path, turn L2 lines dirty (write-back on
+    #: eviction) and interleave read/write bursts at the DRAM.  This is the
+    #: mechanism behind Figure 16: reads are equal across looking variants,
+    #: so their ordering is decided by write volume.
+    write_cost_factor: float
+    mem_latency_s: float
+    mlp_per_thread: float  # outstanding loads a thread sustains
+    issue_saturation_warps: float  # warps/SM needed to saturate issue
+    launch_overhead_s: float
+    #: Register overhead beyond tile data: addresses, loop counters, ABI.
+    register_overhead: int
+    #: Straight-line statement count up to which the compiler's scalar
+    #: replacement stays fully effective; beyond it, redundant-access
+    #: elimination degrades (the paper: "the number of instructions
+    #: overwhelm the compiler").
+    scalar_window_statements: int
+    #: FP64 issue rate as a fraction of FP32 (1:2 on the P100's GP100).
+    fp64_rate_fraction: float = 0.5
+
+    # --- derived --------------------------------------------------------
+
+    @property
+    def peak_fp32_gflops(self) -> float:
+        """Peak single-precision throughput (FMA counted as 2 flops)."""
+        return 2.0 * self.sms * self.fp32_cores_per_sm * self.clock_ghz
+
+    @property
+    def issue_rate_per_sm(self) -> float:
+        """FP32 instructions issued per cycle per SM."""
+        return float(self.fp32_cores_per_sm)
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    def div_cycles(self, fast_math: bool) -> float:
+        return self.fast_div_cycles if fast_math else self.ieee_div_cycles
+
+    def sqrt_cycles(self, fast_math: bool) -> float:
+        return self.fast_sqrt_cycles if fast_math else self.ieee_sqrt_cycles
+
+
+#: NVIDIA Tesla P100 (SXM2), the paper's platform: 56 SMs x 64 FP32 cores at
+#: 1.303 GHz boost (9.3 Tflop/s FP32), 732 GB/s HBM2, 4 MiB L2, 256 KiB
+#: register file per SM.
+P100 = GPUArchitecture(
+    name="P100",
+    sms=56,
+    fp32_cores_per_sm=64,
+    clock_ghz=1.303,
+    dram_bandwidth_gbs=732.0,
+    l2_bytes=4 * 1024 * 1024,
+    line_bytes=128,
+    register_file_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    warp_size=32,
+    register_alloc_unit=8,
+    # calibrated:
+    ieee_div_cycles=48.0,
+    ieee_sqrt_cycles=36.0,
+    fast_div_cycles=5.0,
+    fast_sqrt_cycles=5.0,
+    mem_issue_cycles=1.0,
+    icache_bytes=48 * 1024,
+    sass_bytes_per_statement=8.0,
+    dram_row_bytes=1024,
+    row_miss_efficiency=0.5,
+    far_stride_efficiency=0.44,
+    write_cost_factor=1.5,
+    mem_latency_s=450e-9,
+    mlp_per_thread=4.0,
+    issue_saturation_warps=16.0,
+    launch_overhead_s=4e-6,
+    register_overhead=24,
+    scalar_window_statements=6000,
+)
+
+#: NVIDIA Tesla V100 (SXM2) — the P100's successor: 80 SMs x 64 FP32 at
+#: 1.53 GHz (15.7 Tflop/s FP32), 900 GB/s HBM2, 6 MiB L2, same register
+#: file and scheduler limits per SM, somewhat lower memory latency and
+#: 16-byte-wide instructions (Volta's encoding).  Calibrated parameters
+#: carry over from the P100 fit except where Volta is publicly known to
+#: differ; used by the tuning-portability study, not by the paper's
+#: figures.
+V100 = GPUArchitecture(
+    name="V100",
+    sms=80,
+    fp32_cores_per_sm=64,
+    clock_ghz=1.530,
+    dram_bandwidth_gbs=900.0,
+    l2_bytes=6 * 1024 * 1024,
+    line_bytes=128,
+    register_file_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    warp_size=32,
+    register_alloc_unit=8,
+    # calibrated (inherited from the P100 fit unless noted):
+    ieee_div_cycles=48.0,
+    ieee_sqrt_cycles=36.0,
+    fast_div_cycles=5.0,
+    fast_sqrt_cycles=5.0,
+    mem_issue_cycles=1.0,
+    icache_bytes=96 * 1024,  # Volta's 128 KiB L1I/L1.5 front end
+    sass_bytes_per_statement=16.0,  # Volta's wide instruction encoding
+    dram_row_bytes=1024,
+    row_miss_efficiency=0.5,
+    far_stride_efficiency=0.44,
+    write_cost_factor=1.5,
+    mem_latency_s=400e-9,
+    mlp_per_thread=4.0,
+    issue_saturation_warps=16.0,
+    launch_overhead_s=4e-6,
+    register_overhead=24,
+    scalar_window_statements=6000,
+)

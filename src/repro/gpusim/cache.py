@@ -1,0 +1,107 @@
+"""Set-associative LRU cache simulator.
+
+The paper observes that for large batches the caches "only serve the
+purpose of streaming buffers" — the working set of 16384 small matrices is
+tens of megabytes against a 4 MiB L2.  The ablation benchmark
+(`benchmarks/bench_ablation_l2.py`) uses this simulator to *demonstrate*
+that claim: L2 hit rates on kernel address streams collapse once the batch
+outgrows the cache.
+
+The simulator is deliberately exact (per-line LRU, configurable geometry),
+because tests assert classic cache invariants against it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Access statistics accumulated by :class:`SetAssociativeCache`."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity; must be divisible by ``line_bytes * ways``.
+    line_bytes:
+        Cache-line size (128 for the modelled GPU's L2 granularity).
+    ways:
+        Associativity; ``ways >= num_lines`` makes the cache fully
+        associative.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 128, ways: int = 16) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if size_bytes % line_bytes:
+            raise ValueError(
+                f"size {size_bytes} not divisible by line size {line_bytes}"
+            )
+        num_lines = size_bytes // line_bytes
+        ways = min(ways, num_lines)
+        if num_lines % ways:
+            raise ValueError(
+                f"{num_lines} lines not divisible by associativity {ways}"
+            )
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = num_lines // ways
+        #: per-set OrderedDict of resident tags (LRU order: oldest first)
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_sets * self.ways * self.line_bytes
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        if address < 0:
+            raise ValueError(f"address must be nonnegative, got {address}")
+        line = address // self.line_bytes
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        target = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in target:
+            target.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(target) >= self.ways:
+            target.popitem(last=False)
+            self.stats.evictions += 1
+        target[tag] = None
+        return False
+
+    def access_all(self, addresses) -> int:
+        """Touch many addresses; returns the number of hits."""
+        return sum(1 for a in addresses if self.access(int(a)))
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def flush(self) -> None:
+        """Invalidate all lines and reset statistics."""
+        for s in self._sets:
+            s.clear()
+        self.reset_stats()

@@ -1,0 +1,77 @@
+"""Warp-level coalescing model (Section I.D of the paper).
+
+A warp load is served by one 128-byte transaction per distinct cache line
+its 32 lane addresses touch.  The *coalescing multiplier* of a layout is
+the ratio of bytes actually transferred to bytes requested, averaged over
+the elements of a matrix — 1.0 is perfect.
+
+The multiplier is computed from concrete lane addresses produced by the
+layout's own offset function (:mod:`repro.layouts.addressing`), not from a
+formula per layout, so any future layout is priced automatically.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.layouts.addressing import (
+    CACHE_LINE_BYTES,
+    transactions_for_addresses,
+    warp_byte_addresses,
+)
+from repro.layouts.base import WARP_SIZE, BatchSpec, Layout
+
+#: Elements sampled per matrix when n*n is large (keeps sweeps fast while
+#: remaining exact for the small matrices the paper studies).
+_MAX_SAMPLED_ELEMENTS = 4096
+
+
+def _elements_to_sample(n: int) -> list[tuple[int, int]]:
+    coords = [(i, j) for j in range(n) for i in range(n)]
+    if len(coords) <= _MAX_SAMPLED_ELEMENTS:
+        return coords
+    step = len(coords) // _MAX_SAMPLED_ELEMENTS
+    return coords[::step]
+
+
+@lru_cache(maxsize=512)
+def _multiplier_cached(layout_name: str, batch: int, n: int, itemsize: int) -> float:
+    from repro.layouts.base import get_layout
+
+    layout = get_layout(layout_name)
+    spec = BatchSpec(batch=batch, n=n, itemsize=itemsize)
+    ideal_bytes = WARP_SIZE * itemsize
+    total_ratio = 0.0
+    coords = _elements_to_sample(n)
+    # Warp 0 is representative: all interleaved layouts are periodic in the
+    # warp index, and the canonical layout's pattern repeats every warp too.
+    for i, j in coords:
+        addrs = warp_byte_addresses(layout, spec, 0, i, j)
+        tx = transactions_for_addresses(addrs)
+        total_ratio += tx * CACHE_LINE_BYTES / ideal_bytes
+    return total_ratio / len(coords)
+
+
+def coalescing_multiplier(layout: Layout, spec: BatchSpec) -> float:
+    """Average bytes-transferred over bytes-requested for warp accesses.
+
+    1.0 for the interleaved layouts (any n); ``line_bytes / (warp * 4)``
+    -fold waste in the worst case for the canonical layout with tiny
+    matrices, where all 32 lanes hit different lines.
+    """
+    return _multiplier_cached(layout.name, spec.batch, spec.n, spec.itemsize)
+
+
+def transactions_per_warp_access(layout: Layout, spec: BatchSpec) -> float:
+    """Average 128-byte transactions one warp access needs under ``layout``."""
+    mult = coalescing_multiplier(layout, spec)
+    return mult * (WARP_SIZE * spec.itemsize) / CACHE_LINE_BYTES
+
+
+def worst_case_multiplier(itemsize: int = 4) -> float:
+    """Multiplier when every lane of a warp touches its own cache line.
+
+    32 lanes fetching one 128-byte line each to serve ``itemsize`` bytes
+    apiece transfer ``line/itemsize`` times the requested volume.
+    """
+    return CACHE_LINE_BYTES / itemsize

@@ -1,0 +1,62 @@
+"""DRAM row-buffer locality model — the mechanism behind chunking.
+
+The paper's explanation for Figure 17 ("the spatial locality principle
+takes effect at some level of the memory hierarchy") is made concrete
+here.  Inside one thread block, the kernel walks a matrix's elements in
+ascending element id; under an interleaved layout, consecutive element
+ids are ``itemsize * group`` bytes apart, where *group* is the chunk size
+(chunked layout) or the whole padded batch (simple layout):
+
+* chunk 32  → 128-byte stride: eight consecutive accesses per 1 KiB DRAM
+  row → high row-hit rate;
+* chunk 512 → 2 KiB stride: every access opens a new row;
+* no chunking at batch 16384 → 64 KiB stride: every access opens a new
+  row *and* the footprint sweeps pages so fast that address translation
+  stops helping, which is the extra penalty the far-stride floor models.
+
+Row hits stream at full bandwidth; row misses pay activate/precharge and
+are additionally constrained by bank parallelism, summarised as a fixed
+efficiency factor.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.layouts.addressing import matrix_element_stride_bytes
+from repro.layouts.base import BatchSpec, Layout
+
+#: Stride beyond which the additional far-stride (TLB) penalty applies.
+FAR_STRIDE_BYTES = 16 * 1024
+
+
+def row_locality_factor(stride_bytes: int, arch: GPUArchitecture) -> float:
+    """Achievable fraction of peak DRAM bandwidth for a strided walk.
+
+    ``stride_bytes`` is the distance between consecutively accessed
+    128-byte transactions.  The return value multiplies peak bandwidth.
+    """
+    if stride_bytes <= 0:
+        raise ValueError(f"stride must be positive, got {stride_bytes}")
+    row = arch.dram_row_bytes
+    if stride_bytes <= arch.line_bytes:
+        # Consecutive transactions touch adjacent lines: pure streaming.
+        return 1.0
+    if stride_bytes >= row:
+        # Every transaction opens a row; very large strides also defeat
+        # address translation.
+        if stride_bytes >= FAR_STRIDE_BYTES:
+            return arch.far_stride_efficiency
+        return arch.row_miss_efficiency
+    # Partial locality: a 1 KiB row serves row/stride transactions before
+    # the walk leaves it.
+    hit_rate = 1.0 - stride_bytes / row
+    return hit_rate + (1.0 - hit_rate) * arch.row_miss_efficiency
+
+
+def layout_locality_factor(layout: Layout, spec: BatchSpec, arch: GPUArchitecture) -> float:
+    """Row-locality factor for a batch layout, from its real element stride."""
+    stride = matrix_element_stride_bytes(layout, spec)
+    if stride <= spec.itemsize:
+        # Canonical layout: elements of one matrix are contiguous.
+        return 1.0
+    return row_locality_factor(stride, arch)

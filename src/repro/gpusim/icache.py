@@ -1,0 +1,43 @@
+"""Instruction-fetch pressure: why full unrolling stops paying off.
+
+Completely unrolling the whole factorization produces straight-line code
+whose size grows with ``n**3``.  Once it exceeds the front end's effective
+fetch working set, every pass over the code streams instructions from L2
+and the issue rate drops — the paper's Figure 19: "Either the number of
+instructions overwhelm the compiler, or instruction fetching and caching
+becomes a problem, or both."
+
+Partially unrolled kernels re-execute small loop bodies that stay resident,
+so their *static* code size is what matters, and it is tiny.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.arch import GPUArchitecture
+
+#: Fetch throughput never collapses entirely; L2-streamed code still issues
+#: at a fraction of the peak rate.
+_MIN_FACTOR = 0.35
+#: How sharply throughput degrades per doubling of the overflow.
+_OVERFLOW_SLOPE = 0.55
+
+
+def code_bytes(static_statements: int, arch: GPUArchitecture) -> float:
+    """Estimated SASS footprint of a kernel from its statement count."""
+    if static_statements < 0:
+        raise ValueError(f"statement count must be nonnegative, got {static_statements}")
+    return static_statements * arch.sass_bytes_per_statement
+
+
+def icache_throughput_factor(static_statements: int, arch: GPUArchitecture) -> float:
+    """Multiplier (0..1] on issue throughput due to instruction fetch.
+
+    1.0 while the code fits the fetch working set; beyond it the factor
+    decays with the overflow ratio and floors at the L2-streaming rate.
+    """
+    size = code_bytes(static_statements, arch)
+    if size <= arch.icache_bytes:
+        return 1.0
+    overflow = size / arch.icache_bytes
+    factor = 1.0 / (1.0 + _OVERFLOW_SLOPE * (overflow - 1.0))
+    return max(_MIN_FACTOR, factor)

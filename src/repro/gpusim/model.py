@@ -1,0 +1,271 @@
+"""End-to-end performance model: kernel trace -> seconds -> Gflop/s.
+
+The model is a wave/roofline hybrid driven entirely by quantities derived
+from the *actual generated kernel*:
+
+1. The dynamic tile-op schedule gives exact per-thread memory traffic and
+   operation mix; for fully unrolled kernels the register-residency pass
+   (:mod:`repro.gpusim.registers`) removes the loads/stores the compiler's
+   scalar replacement eliminates.
+2. Occupancy follows from the register demand and the thread-block size
+   (= chunk size), including forced spilling for oversized blocks.
+3. Memory time = bytes moved / achievable bandwidth, where achievable
+   bandwidth is peak x coalescing x DRAM row locality, capped by Little's
+   law (outstanding bytes / latency) at low occupancy.
+4. Compute time prices the per-thread issue stream (with IEEE or
+   fast-math divide/sqrt costs) over the resident warps, degraded by the
+   instruction-fetch factor for oversized fully unrolled code.
+5. Kernel time = max(memory, compute) + launch overhead.
+
+Gflop/s always uses the paper's nominal ``n^3/3`` flop count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import KernelConfig, Unrolling
+from repro.core.trace import KernelTrace, build_trace
+from repro.gpusim.arch import GPUArchitecture, P100
+from repro.gpusim.coalescing import coalescing_multiplier
+from repro.gpusim.dram import layout_locality_factor
+from repro.gpusim.icache import icache_throughput_factor
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.pipeline import issue_efficiency, thread_cycles
+from repro.gpusim.registers import (
+    allocate_registers,
+    compute_spill_elements,
+    scalar_replacement_efficiency,
+)
+from repro.layouts.base import BatchSpec
+from repro.utils.flops import cholesky_flops
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Modelled execution of one batch kernel launch."""
+
+    config: KernelConfig
+    batch: int
+    seconds: float
+    gflops: float
+    # breakdown
+    mem_seconds: float
+    compute_seconds: float
+    overhead_seconds: float
+    bytes_moved: float
+    achievable_bandwidth_gbs: float
+    locality_factor: float
+    coalescing: float
+    icache_factor: float
+    issue_eff: float
+    occupancy: Occupancy
+    load_elements_per_thread: int
+    store_elements_per_thread: int
+    spill_elements_per_thread: int
+
+    @property
+    def bound(self) -> str:
+        """Which term dominates: ``"memory"`` or ``"compute"``."""
+        return "memory" if self.mem_seconds >= self.compute_seconds else "compute"
+
+
+#: (config.cache_key(), arch.name) -> _register_demand result; the pass
+#: walks the full trace (hundreds of thousands of ops for nb=1 kernels)
+#: and is identical across the 12 chunking/cache variants sharing a trace.
+_DEMAND_CACHE: dict[tuple, tuple] = {}
+
+
+def _register_demand(trace: KernelTrace, config: KernelConfig, arch: GPUArchitecture):
+    """(regs_demand, load_elems, store_elems, spill_elems) for the model.
+
+    Fully unrolled kernels get the residency pass (with the per-thread
+    register budget); partially unrolled kernels keep three live tiles and
+    perform every scheduled access.  Both pay local-memory spill traffic
+    for compute ops whose working set exceeds the budget.
+    """
+    key = (config.trace_key(), arch.name)
+    hit = _DEMAND_CACHE.get(key)
+    if hit is not None:
+        return hit
+    result = _register_demand_uncached(trace, config, arch)
+    _DEMAND_CACHE[key] = result
+    return result
+
+
+def _register_demand_uncached(
+    trace: KernelTrace, config: KernelConfig, arch: GPUArchitecture
+):
+    rpe = config.regs_per_element
+    budget = (arch.max_registers_per_thread - arch.register_overhead) // rpe
+    if config.unroll is Unrolling.FULL:
+        alloc = allocate_registers(trace.ops, budget)
+        demand = min(
+            alloc.peak_live * rpe + arch.register_overhead,
+            arch.max_registers_per_thread,
+        )
+        # The ideal-LRU elimination is tempered by how much straight-line
+        # code the compiler can actually analyse (Section III: "the number
+        # of instructions overwhelm the compiler").
+        eff = scalar_replacement_efficiency(
+            trace.static_statements, arch.scalar_window_statements
+        )
+        missed_loads = int(round(alloc.eliminated_loads * (1.0 - eff)))
+        missed_stores = int(round(alloc.eliminated_stores * (1.0 - eff)))
+        return (
+            demand,
+            alloc.load_elements + missed_loads,
+            alloc.store_elements + missed_stores,
+            alloc.spill_elements,
+        )
+    nb = config.effective_nb
+    demand = 3 * nb * nb * rpe + arch.register_overhead
+    spill = compute_spill_elements(trace.ops, budget)
+    return demand, trace.load_elements, trace.store_elements, spill
+
+
+def estimate_solve_performance(
+    n: int,
+    nrhs: int = 1,
+    batch: int = 16384,
+    chunked: bool = True,
+    chunk_size: int = 32,
+    fast_math: bool = False,
+    arch: GPUArchitecture = P100,
+):
+    """Model one generated batch-solve launch (forward + backward subst.).
+
+    Returns ``(seconds, gflops)`` with the nominal ``2 n^2 nrhs`` flop
+    convention for a triangular solve pair.  The machinery mirrors
+    :func:`estimate_performance`: same occupancy, coalescing (perfect for
+    interleaved layouts), DRAM locality and issue model, fed by the solve
+    kernel's exact trace.
+    """
+    from repro.codegen.solvekernel import generate_solve_source
+    from repro.gpusim.occupancy import compute_occupancy as _occ
+
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    kernel = generate_solve_source(n, nrhs)
+    layout_cfg = KernelConfig(
+        n=n, chunked=chunked, chunk_size=chunk_size, fast_math=fast_math
+    )
+    layout = layout_cfg.layout()
+    spec = BatchSpec(batch=batch, n=n, itemsize=4)
+    block_threads = layout_cfg.block_threads
+    padded = -(-batch // block_threads) * block_threads
+    total_blocks = padded // block_threads
+    warps_per_block = block_threads // arch.warp_size
+
+    regs = min(arch.max_registers_per_thread, n * nrhs + arch.register_overhead)
+    occ = _occ(arch, regs, block_threads, total_blocks)
+
+    locality = layout_locality_factor(layout, spec, arch)
+    weighted = kernel.load_elements + arch.write_cost_factor * kernel.store_elements
+    bytes_total = weighted * spec.itemsize * padded
+    peak_bw = arch.dram_bandwidth_gbs * 1e9
+    in_flight = (
+        occ.warps_per_sm * occ.active_sms * arch.warp_size * arch.mlp_per_thread * 4
+    )
+    bw = max(1.0, min(peak_bw * locality, in_flight / arch.mem_latency_s))
+    mem_seconds = bytes_total / bw
+
+    cycles = thread_cycles(
+        kernel.ops, kernel.load_elements + kernel.store_elements, fast_math, arch
+    )
+    eff = issue_efficiency(occ.warps_per_sm, arch)
+    warps_assigned = -(-total_blocks // occ.active_sms) * warps_per_block
+    compute_seconds = cycles * warps_assigned / (
+        (arch.issue_rate_per_sm / arch.warp_size) * arch.clock_ghz * 1e9 * eff
+    )
+    seconds = max(mem_seconds, compute_seconds) + arch.launch_overhead_s
+    gflops = 2.0 * n * n * nrhs * batch / seconds / 1e9
+    return seconds, gflops
+
+
+def estimate_performance(
+    config: KernelConfig,
+    batch: int = 16384,
+    arch: GPUArchitecture = P100,
+) -> PerfEstimate:
+    """Model the execution of ``config`` on a batch of ``batch`` matrices."""
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    trace = build_trace(config)
+    layout = config.layout()
+    spec = BatchSpec(batch=batch, n=config.n, itemsize=config.itemsize)
+
+    # --- launch geometry -------------------------------------------------
+    block_threads = config.block_threads
+    padded = -(-batch // block_threads) * block_threads
+    total_blocks = padded // block_threads
+    warps_per_block = block_threads // arch.warp_size
+
+    # --- registers & occupancy ------------------------------------------
+    demand, load_elems, store_elems, spill_elems = _register_demand(trace, config, arch)
+    occ = compute_occupancy(arch, demand, block_threads, total_blocks)
+    spill_elems += occ.spilled_regs * 2  # statically demoted registers
+
+    # --- memory side ------------------------------------------------------
+    coal = coalescing_multiplier(layout, spec)
+    locality = layout_locality_factor(layout, spec, arch)
+    weighted_elems = (
+        load_elems + arch.write_cost_factor * store_elems
+    ) * coal + spill_elems * (1.0 + arch.write_cost_factor) / 2.0
+    bytes_per_thread = weighted_elems * spec.itemsize
+    bytes_total = bytes_per_thread * padded
+
+    peak_bw = arch.dram_bandwidth_gbs * 1e9
+    stream_bw = peak_bw * locality
+    in_flight = (
+        occ.warps_per_sm * occ.active_sms * arch.warp_size * arch.mlp_per_thread * spec.itemsize
+    )
+    latency_bw = in_flight / arch.mem_latency_s
+    achievable_bw = max(1.0, min(stream_bw, latency_bw))
+    mem_seconds = bytes_total / achievable_bw
+
+    # --- compute side -----------------------------------------------------
+    cycles = thread_cycles(
+        trace.counts.mix,
+        load_elems + store_elems + spill_elems,
+        config.fast_math,
+        arch,
+    )
+    ic_factor = (
+        icache_throughput_factor(trace.static_statements, arch)
+        if config.unroll is Unrolling.FULL
+        else 1.0
+    )
+    eff = issue_efficiency(occ.warps_per_sm, arch)
+    warp_issue_rate = arch.issue_rate_per_sm / arch.warp_size  # warp-instr/cycle
+    if config.itemsize == 8:
+        warp_issue_rate *= arch.fp64_rate_fraction
+    warps_assigned = -(-total_blocks // occ.active_sms) * warps_per_block
+    clock_hz = arch.clock_ghz * 1e9
+    compute_seconds = (
+        cycles * warps_assigned / (warp_issue_rate * clock_hz * eff * ic_factor)
+    )
+
+    # --- combine ----------------------------------------------------------
+    seconds = max(mem_seconds, compute_seconds) + arch.launch_overhead_s
+    gflops = cholesky_flops(config.n) * batch / seconds / 1e9
+
+    return PerfEstimate(
+        config=config,
+        batch=batch,
+        seconds=seconds,
+        gflops=gflops,
+        mem_seconds=mem_seconds,
+        compute_seconds=compute_seconds,
+        overhead_seconds=arch.launch_overhead_s,
+        bytes_moved=bytes_total,
+        achievable_bandwidth_gbs=achievable_bw / 1e9,
+        locality_factor=locality,
+        coalescing=coal,
+        icache_factor=ic_factor,
+        issue_eff=eff,
+        occupancy=occ,
+        load_elements_per_thread=load_elems,
+        store_elements_per_thread=store_elems,
+        spill_elements_per_thread=spill_elems,
+    )

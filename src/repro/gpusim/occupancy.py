@@ -1,0 +1,113 @@
+"""Occupancy: how many blocks and warps an SM can host.
+
+The chunk size doubles as the thread-block size in the paper's kernels,
+"It is important to observe that this parameter also defines the number of
+threads in a thread block" (Figure 18).  Occupancy is bounded by three
+per-SM limits — thread count, block slots, and the register file — and by
+the total amount of work: a 16384-matrix batch is only 512 warps, far less
+than 56 SMs can nominally hold, so the machine usually runs at low
+occupancy regardless.
+
+When even a single block's registers exceed the register file, the
+compiler must lower the per-thread register count to fit, and the overflow
+spills to local memory — that collapse is what makes 512-thread chunks
+slow in Figure 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.arch import GPUArchitecture
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy outcome for one kernel launch."""
+
+    regs_per_thread: int  # after any forced lowering
+    spilled_regs: int  # per-thread registers that had to spill
+    blocks_per_sm: int  # hardware limit (not counting available work)
+    warps_per_sm: float  # actually resident, including the work limit
+    active_sms: int
+    limited_by: str  # "threads" | "blocks" | "registers" | "work"
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Resident warps over the hardware maximum (64 on the P100)."""
+        return self.warps_per_sm / 64.0
+
+
+def _round_regs(regs: int, arch: GPUArchitecture) -> int:
+    unit = arch.register_alloc_unit
+    return -(-max(regs, 32) // unit) * unit
+
+
+def compute_occupancy(
+    arch: GPUArchitecture,
+    regs_per_thread: int,
+    block_threads: int,
+    total_blocks: int,
+) -> Occupancy:
+    """Occupancy of a launch of ``total_blocks`` blocks of ``block_threads``.
+
+    ``regs_per_thread`` is the kernel's demand before hardware caps; it is
+    rounded to the allocation unit and clamped to the per-thread maximum
+    (demand beyond the cap spills).
+    """
+    if block_threads <= 0 or block_threads % arch.warp_size:
+        raise ValueError(
+            f"block_threads must be a positive multiple of {arch.warp_size}, "
+            f"got {block_threads}"
+        )
+    if total_blocks <= 0:
+        raise ValueError(f"total_blocks must be positive, got {total_blocks}")
+
+    demand = _round_regs(regs_per_thread, arch)
+    spilled = 0
+    if demand > arch.max_registers_per_thread:
+        spilled += demand - arch.max_registers_per_thread
+        demand = _round_regs(arch.max_registers_per_thread, arch)
+        demand = min(demand, arch.max_registers_per_thread)
+
+    # A single block must fit in the register file; otherwise the compiler
+    # lowers the per-thread allocation and the overflow spills.
+    per_block_regs = demand * block_threads
+    if per_block_regs > arch.register_file_per_sm:
+        lowered = arch.register_file_per_sm // block_threads
+        lowered = max(32, (lowered // arch.register_alloc_unit) * arch.register_alloc_unit)
+        spilled += demand - lowered
+        demand = lowered
+
+    by_threads = arch.max_threads_per_sm // block_threads
+    by_blocks = arch.max_blocks_per_sm
+    by_regs = arch.register_file_per_sm // (demand * block_threads)
+    blocks_per_sm = max(1, min(by_threads, by_blocks, by_regs))
+    # Tie-break toward the architectural limits: a kernel exactly filling
+    # the block slots is "blocks"-limited even if registers also just fit.
+    if by_blocks == blocks_per_sm:
+        limited_by = "blocks"
+    elif by_threads == blocks_per_sm:
+        limited_by = "threads"
+    else:
+        limited_by = "registers"
+
+    warps_per_block = block_threads // arch.warp_size
+    hw_warps = blocks_per_sm * warps_per_block
+
+    # Work limit: spread the launch's blocks over the SMs.
+    active_sms = min(arch.sms, total_blocks)
+    avg_blocks = total_blocks / active_sms
+    work_warps = min(avg_blocks, blocks_per_sm) * warps_per_block
+    if work_warps < hw_warps:
+        limited_by = "work"
+    warps = min(float(hw_warps), work_warps)
+
+    return Occupancy(
+        regs_per_thread=demand,
+        spilled_regs=spilled,
+        blocks_per_sm=blocks_per_sm,
+        warps_per_sm=warps,
+        active_sms=active_sms,
+        limited_by=limited_by,
+    )

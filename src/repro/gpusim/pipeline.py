@@ -1,0 +1,71 @@
+"""Instruction pipeline costs: issue cycles per thread.
+
+Prices one thread's dynamic instruction stream in issue slots:
+
+* multiply-adds and multiplies — one slot each (single FP32 instruction);
+* loads/stores — one slot per element access (the LDG/STG instruction;
+  the memory system cost is modelled separately);
+* divisions and square roots — IEEE-compliant versions compile to
+  multi-instruction software sequences, ``--use_fast_math`` versions to
+  short SFU-based approximations.  This asymmetry is the entire
+  Figure-13 IEEE-vs-fast-math effect.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.utils.opmix import OpMixCounter
+
+#: Extra issue cycles per spilled register per dynamic kernel pass —
+#: spilled values bounce through local memory (one load + one store).
+SPILL_CYCLES_PER_REG = 2.0
+
+
+def thread_cycles(
+    mix: OpMixCounter,
+    mem_elements: int,
+    fast_math: bool,
+    arch: GPUArchitecture,
+    spilled_regs: int = 0,
+) -> float:
+    """Issue slots one thread needs for its whole kernel execution.
+
+    Parameters
+    ----------
+    mix:
+        Scalar-operation counts of the kernel trace.
+    mem_elements:
+        Elements actually moved to/from memory (after any register
+        residency pass) — each is one memory instruction to issue.
+    fast_math:
+        Selects the IEEE or fast-math cost of divisions and square roots.
+    spilled_regs:
+        Per-thread registers demoted to local memory; each costs
+        additional traffic instructions.
+    """
+    if mem_elements < 0:
+        raise ValueError(f"mem_elements must be nonnegative, got {mem_elements}")
+    if spilled_regs < 0:
+        raise ValueError(f"spilled_regs must be nonnegative, got {spilled_regs}")
+    cycles = float(mix.fma + mix.mul)
+    cycles += mix.div * arch.div_cycles(fast_math)
+    cycles += mix.sqrt * arch.sqrt_cycles(fast_math)
+    cycles += mem_elements * arch.mem_issue_cycles
+    cycles += spilled_regs * SPILL_CYCLES_PER_REG
+    return cycles
+
+
+def issue_efficiency(warps_per_sm: float, arch: GPUArchitecture) -> float:
+    """Fraction of peak issue rate achieved at a given occupancy.
+
+    The schedulers need enough eligible warps to cover ALU latency; below
+    ``issue_saturation_warps`` per SM, throughput scales roughly linearly.
+    The unrolled straight-line kernels carry high instruction-level
+    parallelism, so a modest floor applies even for a single warp.
+    """
+    if warps_per_sm < 0:
+        raise ValueError(f"warps_per_sm must be nonnegative, got {warps_per_sm}")
+    if warps_per_sm == 0:
+        return 0.0
+    frac = warps_per_sm / arch.issue_saturation_warps
+    return min(1.0, max(0.20, frac))

@@ -1,0 +1,161 @@
+"""Bottleneck attribution: explain *why* a configuration performs as it does.
+
+Autotuner users rarely want a number; they want to know what to change.
+:func:`explain` turns one :class:`~repro.gpusim.model.PerfEstimate` into a
+ranked list of limiting factors with concrete, configuration-level
+suggestions — the model's mechanisms translated back into the paper's
+tuning vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import KernelConfig
+from repro.gpusim.arch import GPUArchitecture, P100
+from repro.gpusim.model import PerfEstimate, estimate_performance
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One limiting factor, with its estimated impact and a suggestion."""
+
+    factor: str
+    impact: float  # fraction of ideal performance lost to this factor (0..1)
+    detail: str
+    suggestion: str
+
+
+def diagnose(est: PerfEstimate, arch: GPUArchitecture = P100) -> list[Finding]:
+    """Ranked limiting factors of one modelled launch."""
+    findings: list[Finding] = []
+    config = est.config
+    occ = est.occupancy
+
+    # --- memory-side losses ----------------------------------------------
+    if est.coalescing > 1.01:
+        findings.append(
+            Finding(
+                factor="coalescing",
+                impact=1.0 - 1.0 / est.coalescing,
+                detail=f"warp accesses transfer {est.coalescing:.1f}x the bytes they use",
+                suggestion="use an interleaved layout (chunked or simple)",
+            )
+        )
+    if est.locality_factor < 0.99:
+        findings.append(
+            Finding(
+                factor="dram locality",
+                impact=1.0 - est.locality_factor,
+                detail=(
+                    f"strided element walk achieves {est.locality_factor:.0%} of "
+                    "peak DRAM bandwidth"
+                ),
+                suggestion=(
+                    "enable chunking with a small chunk (32/64)"
+                    if not config.chunked
+                    else "reduce the chunk size toward 32"
+                ),
+            )
+        )
+    peak_bw = arch.dram_bandwidth_gbs
+    if est.achievable_bandwidth_gbs < 0.9 * peak_bw * est.locality_factor:
+        findings.append(
+            Finding(
+                factor="latency bound",
+                impact=1.0
+                - est.achievable_bandwidth_gbs / (peak_bw * est.locality_factor),
+                detail=(
+                    f"only {occ.warps_per_sm:.1f} warps/SM in flight — "
+                    f"{est.achievable_bandwidth_gbs:.0f} of "
+                    f"{peak_bw * est.locality_factor:.0f} GB/s reachable"
+                ),
+                suggestion="increase the batch size (more matrices = more warps)",
+            )
+        )
+
+    # --- traffic volume ----------------------------------------------------
+    compulsory = config.n * (config.n + 1)  # one sweep in + out, elements
+    moved = est.load_elements_per_thread + est.store_elements_per_thread
+    if moved > 2.5 * compulsory:
+        findings.append(
+            Finding(
+                factor="register reuse",
+                impact=1.0 - compulsory / moved,
+                detail=(
+                    f"{moved} elements moved per matrix vs ~{compulsory} compulsory"
+                ),
+                suggestion=(
+                    "increase nb for more register-tile reuse"
+                    if config.effective_nb < 8
+                    else "try full unrolling (register residency) if n <= ~24"
+                ),
+            )
+        )
+    if est.spill_elements_per_thread > 0:
+        findings.append(
+            Finding(
+                factor="register spills",
+                impact=min(1.0, est.spill_elements_per_thread / max(1, moved)),
+                detail=f"{est.spill_elements_per_thread} spill round-trips per thread",
+                suggestion="reduce nb or the chunk (block) size",
+            )
+        )
+
+    # --- compute-side losses -----------------------------------------------
+    if est.icache_factor < 0.99:
+        findings.append(
+            Finding(
+                factor="instruction fetch",
+                impact=1.0 - est.icache_factor,
+                detail="fully unrolled code exceeds the fetch working set",
+                suggestion="switch to partial unrolling",
+            )
+        )
+    if est.bound == "compute" and not config.fast_math:
+        fast = estimate_performance(
+            config.with_(fast_math=True), batch=est.batch, arch=arch
+        )
+        if fast.gflops > 1.05 * est.gflops:
+            findings.append(
+                Finding(
+                    factor="ieee arithmetic",
+                    impact=1.0 - est.gflops / fast.gflops,
+                    detail="IEEE divide/sqrt sequences dominate the issue stream",
+                    suggestion="compile with --use_fast_math if accuracy permits",
+                )
+            )
+    if occ.active_sms < arch.sms:
+        findings.append(
+            Finding(
+                factor="idle SMs",
+                impact=1.0 - occ.active_sms / arch.sms,
+                detail=f"launch fills only {occ.active_sms} of {arch.sms} SMs",
+                suggestion="reduce the chunk (block) size or increase the batch",
+            )
+        )
+
+    findings.sort(key=lambda f: f.impact, reverse=True)
+    return findings
+
+
+def explain(
+    config: KernelConfig, batch: int = 16384, arch: GPUArchitecture = P100
+) -> str:
+    """Human-readable bottleneck report for one configuration."""
+    est = estimate_performance(config, batch=batch, arch=arch)
+    lines = [
+        f"{config.describe()}  @ batch {batch}",
+        f"  {est.gflops:.0f} Gflop/s, {est.bound}-bound "
+        f"(mem {est.mem_seconds * 1e6:.1f} us, compute "
+        f"{est.compute_seconds * 1e6:.1f} us)",
+    ]
+    findings = diagnose(est, arch)
+    if not findings:
+        lines.append("  no significant losses identified — near the model's ceiling")
+    for f in findings:
+        lines.append(
+            f"  [{f.impact:5.1%}] {f.factor}: {f.detail}\n"
+            f"           -> {f.suggestion}"
+        )
+    return "\n".join(lines)

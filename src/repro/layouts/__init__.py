@@ -1,0 +1,55 @@
+"""Batch data layouts (Section II.B of the paper).
+
+Three layouts are implemented:
+
+* :class:`~repro.layouts.canonical.CanonicalLayout` — the traditional batch
+  layout: each matrix is a contiguous column-major block, matrices stored
+  one after another.  Coalescing degrades as matrices shrink and is
+  impossible below n = 32 in single precision.
+* :class:`~repro.layouts.interleaved.InterleavedLayout` — the simple
+  interleaved layout (Figure 7): the batch index is the fastest-growing
+  dimension, so one warp reads element (i, j) of 32 consecutive matrices in
+  a single 128-byte transaction.
+* :class:`~repro.layouts.chunked.ChunkedInterleavedLayout` — the chunked
+  interleaved layout (Figure 8): matrices are grouped in chunks of 32 (or a
+  larger multiple of 32); each chunk is a contiguous interleaved block, so
+  reads stay coalesced *and* the elements of one matrix stay close together
+  in memory.
+"""
+
+from repro.layouts.base import BatchSpec, Layout, get_layout, register_layout
+from repro.layouts.canonical import CanonicalLayout
+from repro.layouts.interleaved import InterleavedLayout
+from repro.layouts.chunked import ChunkedInterleavedLayout
+from repro.layouts.convert import (
+    pad_batch,
+    convert,
+    to_canonical_dense,
+    from_canonical_dense,
+)
+from repro.layouts.addressing import (
+    CACHE_LINE_BYTES,
+    warp_byte_addresses,
+    warp_transactions,
+    transactions_for_addresses,
+    matrix_element_stride_bytes,
+)
+
+__all__ = [
+    "BatchSpec",
+    "Layout",
+    "get_layout",
+    "register_layout",
+    "CanonicalLayout",
+    "InterleavedLayout",
+    "ChunkedInterleavedLayout",
+    "pad_batch",
+    "convert",
+    "to_canonical_dense",
+    "from_canonical_dense",
+    "CACHE_LINE_BYTES",
+    "warp_byte_addresses",
+    "warp_transactions",
+    "transactions_for_addresses",
+    "matrix_element_stride_bytes",
+]

@@ -1,0 +1,85 @@
+"""Warp-level address-pattern generation.
+
+In every kernel in the paper one GPU thread owns one matrix, so warp ``w``
+covers matrices ``32*w .. 32*w + 31`` and a single load of element
+``(i, j)`` issues 32 addresses — one per lane.  These helpers turn that
+access into concrete byte addresses for a given layout, which is what the
+coalescing model in :mod:`repro.gpusim.coalescing` consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import WARP_SIZE, BatchSpec, Layout
+
+#: Bytes per memory transaction (one L2/DRAM cache line, Section I.D).
+CACHE_LINE_BYTES = 128
+
+
+def warp_lanes(warp_index: int) -> np.ndarray:
+    """Global thread (= matrix) indices covered by one warp."""
+    if warp_index < 0:
+        raise ValueError(f"warp_index must be nonnegative, got {warp_index}")
+    base = warp_index * WARP_SIZE
+    return np.arange(base, base + WARP_SIZE)
+
+
+def warp_byte_addresses(
+    layout: Layout, spec: BatchSpec, warp_index: int, i: int, j: int
+) -> np.ndarray:
+    """Byte addresses issued by one warp loading element ``(i, j)``.
+
+    Lanes whose matrix index falls beyond the padded batch are masked out
+    (they would be inactive threads); the returned array only contains
+    active lanes' addresses.
+    """
+    if not (0 <= i < spec.n and 0 <= j < spec.n):
+        raise ValueError(f"element ({i}, {j}) out of range for n={spec.n}")
+    lanes = warp_lanes(warp_index)
+    lanes = lanes[lanes < spec.padded_batch]
+    if lanes.size == 0:
+        raise ValueError(
+            f"warp {warp_index} is entirely outside the padded batch "
+            f"({spec.padded_batch} matrices)"
+        )
+    return np.asarray(layout.byte_address(spec, lanes, i, j), dtype=np.int64)
+
+
+def transactions_for_addresses(addresses: np.ndarray, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Number of ``line_bytes``-sized memory transactions the warp needs.
+
+    This is the coalescing rule from Section I.D: addresses falling in the
+    same 128-byte line are served by one transaction; each additional line
+    costs another transaction.
+    """
+    if line_bytes <= 0:
+        raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size == 0:
+        return 0
+    return int(np.unique(addresses // line_bytes).size)
+
+
+def warp_transactions(
+    layout: Layout, spec: BatchSpec, warp_index: int, i: int, j: int
+) -> int:
+    """Transactions needed by one warp to load element ``(i, j)``."""
+    return transactions_for_addresses(warp_byte_addresses(layout, spec, warp_index, i, j))
+
+
+def matrix_element_stride_bytes(layout: Layout, spec: BatchSpec) -> int:
+    """Distance in bytes between elements (i, j) and (i+1, j) of one matrix.
+
+    This is the stride that drives DRAM row-buffer locality: 4 bytes for the
+    canonical layout, ``4 * padded_batch`` for the simple interleave, and
+    ``4 * chunk_size`` for chunked interleaves.
+    """
+    if spec.n < 2:
+        # Degenerate 1x1 matrices have no second element; the interleave
+        # stride is still well defined through the offset formula with j.
+        a = layout.byte_address(spec, 0, 0, 0)
+        return int(np.asarray(a).item() + spec.itemsize)
+    a0 = int(np.asarray(layout.byte_address(spec, 0, 0, 0)).item())
+    a1 = int(np.asarray(layout.byte_address(spec, 0, 1, 0)).item())
+    return abs(a1 - a0)

@@ -1,0 +1,136 @@
+"""Layout abstraction shared by the executors and the GPU model.
+
+A *layout* defines a bijection between matrix elements ``(b, i, j)`` of a
+batch and offsets into a flat 1-D buffer.  Executors use :meth:`Layout.pack`
+and :meth:`Layout.unpack` to move data in and out; the coalescing model in
+:mod:`repro.gpusim.coalescing` uses :meth:`Layout.element_offset` to turn a
+warp's accesses into byte addresses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of threads in a warp; also the minimum interleave group (the paper
+#: pads the batch to a multiple of 32 and so do we).
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Shape description of a batch of square matrices.
+
+    Attributes
+    ----------
+    batch:
+        Number of matrices actually carried (before any padding).
+    n:
+        Matrix dimension.
+    itemsize:
+        Bytes per element; 4 for the paper's single-precision setting.
+    """
+
+    batch: int
+    n: int
+    itemsize: int = 4
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError(f"batch must be positive, got {self.batch}")
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.itemsize not in (2, 4, 8):
+            raise ValueError(f"unsupported itemsize {self.itemsize}")
+
+    @property
+    def padded_batch(self) -> int:
+        """Batch size rounded up to a full warp (the paper's padding rule)."""
+        return -(-self.batch // WARP_SIZE) * WARP_SIZE
+
+    @property
+    def elements_per_matrix(self) -> int:
+        return self.n * self.n
+
+
+class Layout(ABC):
+    """A batch memory layout.
+
+    Concrete layouts are stateless except for structural parameters (e.g.
+    chunk size), so instances are cheap and hashable by their :attr:`name`.
+    """
+
+    #: short identifier, e.g. ``"canonical"``; set by subclasses
+    name: str = ""
+
+    @abstractmethod
+    def buffer_len(self, spec: BatchSpec) -> int:
+        """Number of elements in the flat buffer (including padding)."""
+
+    @abstractmethod
+    def element_offset(self, spec: BatchSpec, b, i, j):
+        """Flat element offset(s) of element ``(i, j)`` of matrix ``b``.
+
+        Accepts scalars or broadcastable integer arrays and is fully
+        vectorised; the returned offsets index the buffer produced by
+        :meth:`pack`.
+        """
+
+    @abstractmethod
+    def pack(self, dense: np.ndarray) -> np.ndarray:
+        """Flat buffer from a dense ``(batch, n, n)`` array.
+
+        Padding entries (when ``batch`` is not a multiple of the interleave
+        group) are filled with identity matrices so that factorization of the
+        padding is well defined and harmless.
+        """
+
+    @abstractmethod
+    def unpack(self, buf: np.ndarray, spec: BatchSpec) -> np.ndarray:
+        """Dense ``(batch, n, n)`` array from a flat buffer (drops padding)."""
+
+    def byte_address(self, spec: BatchSpec, b, i, j):
+        """Byte address(es) assuming the buffer starts 128-byte aligned."""
+        return self.element_offset(spec, b, i, j) * spec.itemsize
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Layout) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+_REGISTRY: dict[str, Layout] = {}
+
+
+def register_layout(layout: Layout) -> Layout:
+    """Register a layout instance for lookup via :func:`get_layout`."""
+    if not layout.name:
+        raise ValueError("layout must define a non-empty name")
+    _REGISTRY[layout.name] = layout
+    return layout
+
+
+def get_layout(name: str) -> Layout:
+    """Look up a registered layout by name (e.g. ``"interleaved"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown layout {name!r}; known layouts: {known}") from None
+
+
+def _pad_dense_with_identity(dense: np.ndarray, padded_batch: int) -> np.ndarray:
+    """Extend a dense batch to ``padded_batch`` matrices with identities."""
+    batch, n, _ = dense.shape
+    if padded_batch == batch:
+        return dense
+    out = np.empty((padded_batch, n, n), dtype=dense.dtype)
+    out[:batch] = dense
+    out[batch:] = np.eye(n, dtype=dense.dtype)
+    return out

@@ -1,0 +1,50 @@
+"""Canonical batch layout: contiguous column-major matrices, back to back.
+
+This is the layout used by cuBLAS/MAGMA-style batched routines and the
+baseline the paper compares against.  Element ``(i, j)`` of matrix ``b``
+lives at offset ``b*n*n + j*n + i`` (column major within each matrix).
+No warp-level interleaving exists, so for matrices smaller than the warp a
+warp's loads touch many cache lines (see :mod:`repro.gpusim.coalescing`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import BatchSpec, Layout, register_layout
+
+
+class CanonicalLayout(Layout):
+    """Traditional column-major-per-matrix batch layout."""
+
+    name = "canonical"
+
+    def buffer_len(self, spec: BatchSpec) -> int:
+        # Canonical batches need no warp padding; each matrix is independent.
+        return spec.batch * spec.n * spec.n
+
+    def element_offset(self, spec: BatchSpec, b, i, j):
+        b = np.asarray(b)
+        i = np.asarray(i)
+        j = np.asarray(j)
+        return b * (spec.n * spec.n) + j * spec.n + i
+
+    def pack(self, dense: np.ndarray) -> np.ndarray:
+        dense = np.asarray(dense)
+        if dense.ndim != 3 or dense.shape[1] != dense.shape[2]:
+            raise ValueError(f"expected (batch, n, n) array, got {dense.shape}")
+        # dense[b, i, j] -> buf[b*n*n + j*n + i]: transpose each matrix so the
+        # row index is fastest, then flatten in C order.
+        return np.ascontiguousarray(dense.transpose(0, 2, 1)).reshape(-1).copy()
+
+    def unpack(self, buf: np.ndarray, spec: BatchSpec) -> np.ndarray:
+        buf = np.asarray(buf)
+        expected = self.buffer_len(spec)
+        if buf.shape != (expected,):
+            raise ValueError(f"expected buffer of shape ({expected},), got {buf.shape}")
+        return np.ascontiguousarray(
+            buf.reshape(spec.batch, spec.n, spec.n).transpose(0, 2, 1)
+        )
+
+
+CANONICAL = register_layout(CanonicalLayout())

@@ -1,0 +1,86 @@
+"""Chunked interleaved batch layout (Figure 8 of the paper).
+
+Matrices are grouped in chunks of ``chunk_size`` (a multiple of the warp
+size).  Each chunk occupies a contiguous region of memory and is internally
+interleaved, so all warp reads remain perfectly coalesced while the elements
+of one matrix stay within ``chunk_size * n * n`` elements of each other —
+restoring the spatial locality that the simple interleaved layout destroys.
+
+In the paper's kernels, ``chunk_size`` doubles as the thread-block size:
+one thread block factorizes one chunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import (
+    WARP_SIZE,
+    BatchSpec,
+    Layout,
+    register_layout,
+    _pad_dense_with_identity,
+)
+
+#: Chunk sizes the paper's autotuner explores (Section II.D, Figure 18).
+SUPPORTED_CHUNK_SIZES = (32, 64, 128, 256, 512)
+
+
+class ChunkedInterleavedLayout(Layout):
+    """Chunked interleave: offset = chunk_base + (j*n + i)*chunk + lane."""
+
+    def __init__(self, chunk_size: int = WARP_SIZE) -> None:
+        if chunk_size <= 0 or chunk_size % WARP_SIZE != 0:
+            raise ValueError(
+                f"chunk_size must be a positive multiple of {WARP_SIZE}, got {chunk_size}"
+            )
+        self.chunk_size = chunk_size
+        self.name = f"chunked{chunk_size}"
+
+    def padded_batch(self, spec: BatchSpec) -> int:
+        """Batch rounded up to a whole number of chunks."""
+        return -(-spec.batch // self.chunk_size) * self.chunk_size
+
+    def num_chunks(self, spec: BatchSpec) -> int:
+        return self.padded_batch(spec) // self.chunk_size
+
+    def buffer_len(self, spec: BatchSpec) -> int:
+        return self.padded_batch(spec) * spec.n * spec.n
+
+    def element_offset(self, spec: BatchSpec, b, i, j):
+        b = np.asarray(b)
+        i = np.asarray(i)
+        j = np.asarray(j)
+        cs = self.chunk_size
+        chunk, lane = b // cs, b % cs
+        per_chunk = spec.n * spec.n * cs
+        return chunk * per_chunk + (j * spec.n + i) * cs + lane
+
+    def pack(self, dense: np.ndarray) -> np.ndarray:
+        dense = np.asarray(dense)
+        if dense.ndim != 3 or dense.shape[1] != dense.shape[2]:
+            raise ValueError(f"expected (batch, n, n) array, got {dense.shape}")
+        batch, n, _ = dense.shape
+        spec = BatchSpec(batch=batch, n=n, itemsize=dense.dtype.itemsize)
+        pb = self.padded_batch(spec)
+        padded = _pad_dense_with_identity(dense, pb)
+        cs = self.chunk_size
+        # (chunk, lane, i, j) -> (chunk, j, i, lane), flattened C order:
+        # chunk major, then element-major batch-fastest within the chunk.
+        chunks = padded.reshape(pb // cs, cs, n, n).transpose(0, 3, 2, 1)
+        return np.ascontiguousarray(chunks).reshape(-1).copy()
+
+    def unpack(self, buf: np.ndarray, spec: BatchSpec) -> np.ndarray:
+        buf = np.asarray(buf)
+        expected = self.buffer_len(spec)
+        if buf.shape != (expected,):
+            raise ValueError(f"expected buffer of shape ({expected},), got {buf.shape}")
+        n, cs = spec.n, self.chunk_size
+        nchunks = self.num_chunks(spec)
+        dense = buf.reshape(nchunks, n, n, cs).transpose(0, 3, 2, 1)
+        dense = dense.reshape(nchunks * cs, n, n)
+        return np.ascontiguousarray(dense[: spec.batch])
+
+
+for _cs in SUPPORTED_CHUNK_SIZES:
+    register_layout(ChunkedInterleavedLayout(_cs))

@@ -1,0 +1,57 @@
+"""Layout conversion helpers.
+
+All conversions round-trip through the dense ``(batch, n, n)`` form, which
+is both the simplest correct implementation and the one actually used on
+the host side in batch libraries (the paper treats layout conversion as an
+offline packing step, not part of the timed kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import WARP_SIZE, BatchSpec, Layout, get_layout
+
+
+def pad_batch(dense: np.ndarray, multiple: int = WARP_SIZE) -> np.ndarray:
+    """Pad a dense batch with identity matrices to a multiple of ``multiple``.
+
+    The paper pads the dataset so the matrix count divides the interleave
+    group ("This is trivial and we are not going to look into it any
+    further"); identities keep the padding factorizable.
+    """
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    dense = np.asarray(dense)
+    if dense.ndim != 3 or dense.shape[1] != dense.shape[2]:
+        raise ValueError(f"expected (batch, n, n) array, got {dense.shape}")
+    batch, n, _ = dense.shape
+    padded = -(-batch // multiple) * multiple
+    if padded == batch:
+        return dense
+    out = np.empty((padded, n, n), dtype=dense.dtype)
+    out[:batch] = dense
+    out[batch:] = np.eye(n, dtype=dense.dtype)
+    return out
+
+
+def to_canonical_dense(buf: np.ndarray, spec: BatchSpec, layout: Layout | str) -> np.ndarray:
+    """Unpack any layout's buffer into the dense ``(batch, n, n)`` form."""
+    if isinstance(layout, str):
+        layout = get_layout(layout)
+    return layout.unpack(buf, spec)
+
+
+def from_canonical_dense(dense: np.ndarray, layout: Layout | str) -> np.ndarray:
+    """Pack a dense ``(batch, n, n)`` array into the given layout's buffer."""
+    if isinstance(layout, str):
+        layout = get_layout(layout)
+    return layout.pack(np.asarray(dense))
+
+
+def convert(
+    buf: np.ndarray, spec: BatchSpec, src: Layout | str, dst: Layout | str
+) -> np.ndarray:
+    """Re-pack a buffer from layout ``src`` to layout ``dst``."""
+    dense = to_canonical_dense(buf, spec, src)
+    return from_canonical_dense(dense, dst)

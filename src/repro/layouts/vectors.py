@@ -1,0 +1,83 @@
+"""Interleaved layouts for batches of right-hand-side vectors.
+
+The solve kernels consume right-hand sides laid out with the same
+interleaving principle as the matrices: all copies of vector element
+``(i, r)`` across a chunk (or the whole padded batch) are contiguous, so
+warp accesses coalesce perfectly.  Element id within a matrix's block is
+``e = r*n + i`` for right-hand side ``r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import WARP_SIZE
+
+
+def _check_dense(dense: np.ndarray) -> tuple[int, int, int]:
+    dense = np.asarray(dense)
+    if dense.ndim != 3:
+        raise ValueError(f"expected (batch, n, nrhs) array, got shape {dense.shape}")
+    return dense.shape
+
+
+def padded_batch(batch: int, group: int) -> int:
+    """Batch rounded up to a whole number of interleave groups."""
+    if group <= 0 or group % WARP_SIZE:
+        raise ValueError(f"group must be a positive multiple of {WARP_SIZE}, got {group}")
+    return -(-batch // group) * group
+
+
+def pack_vectors(dense: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+    """Flat interleaved buffer from a dense ``(batch, n, nrhs)`` array.
+
+    ``chunk_size=None`` gives the simple interleave (batch fastest over
+    the whole padded batch); an integer gives the chunked variant.
+    Padding entries are zero-filled (solving a zero RHS is harmless).
+    """
+    dense = np.asarray(dense)
+    batch, n, nrhs = _check_dense(dense)
+    group = chunk_size if chunk_size is not None else WARP_SIZE
+    pb = padded_batch(batch, group)
+    if pb != batch:
+        padded = np.zeros((pb, n, nrhs), dtype=dense.dtype)
+        padded[:batch] = dense
+        dense = padded
+    if chunk_size is None:
+        # dense[b, i, r] -> buf[(r*n + i)*pb + b]
+        return np.ascontiguousarray(dense.transpose(2, 1, 0)).reshape(-1).copy()
+    cs = chunk_size
+    chunks = dense.reshape(pb // cs, cs, n, nrhs).transpose(0, 3, 2, 1)
+    return np.ascontiguousarray(chunks).reshape(-1).copy()
+
+
+def unpack_vectors(
+    buf: np.ndarray, batch: int, n: int, nrhs: int, chunk_size: int | None = None
+) -> np.ndarray:
+    """Dense ``(batch, n, nrhs)`` array from an interleaved buffer."""
+    buf = np.asarray(buf)
+    group = chunk_size if chunk_size is not None else WARP_SIZE
+    pb = padded_batch(batch, group)
+    expected = pb * n * nrhs
+    if buf.shape != (expected,):
+        raise ValueError(f"expected buffer of shape ({expected},), got {buf.shape}")
+    if chunk_size is None:
+        dense = buf.reshape(nrhs, n, pb).transpose(2, 1, 0)
+    else:
+        cs = chunk_size
+        dense = buf.reshape(pb // cs, nrhs, n, cs).transpose(0, 3, 2, 1)
+        dense = dense.reshape(pb, n, nrhs)
+    return np.ascontiguousarray(dense[:batch])
+
+
+def vector_lane_view(
+    buf: np.ndarray, batch: int, n: int, nrhs: int, chunk_size: int | None = None
+) -> np.ndarray:
+    """Element-indexable view: ``view[e]`` = lanes of element ``e = r*n+i``."""
+    group = chunk_size if chunk_size is not None else WARP_SIZE
+    pb = padded_batch(batch, group)
+    if chunk_size is None:
+        return buf.reshape(n * nrhs, pb)
+    nchunks = pb // chunk_size
+    view = buf.reshape(nchunks, n * nrhs, chunk_size)
+    return np.moveaxis(view, 1, 0)

@@ -1,0 +1,27 @@
+"""Statistical-learning substrate for the Section IV analysis.
+
+No scikit-learn is available offline, and the paper used R's
+``randomForest`` anyway — so this package implements, from scratch on
+NumPy, exactly what the analysis needs:
+
+* :mod:`repro.ml.tree` — CART regression trees with histogram-based
+  splitting;
+* :mod:`repro.ml.forest` — Breiman random forests in regression mode with
+  bootstrap bagging, out-of-bag predictions, permutation importance (the
+  ``%IncMSE`` measure R reports — which can be *negative* for useless
+  variables, as the paper's Table I shows for the cache parameter), and
+  proximity computation;
+* :mod:`repro.ml.metrics` — MSE, R², Pearson correlation.
+"""
+
+from repro.ml.tree import RegressionTree
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import mse, r2_score, pearson_r
+
+__all__ = [
+    "RegressionTree",
+    "RandomForestRegressor",
+    "mse",
+    "r2_score",
+    "pearson_r",
+]

@@ -1,0 +1,63 @@
+"""Encodings for mixed discrete/categorical tuning variables.
+
+Section IV: "we have a mix of parameters that are represented by discrete
+(e.g., blocking factor) and categorical (e.g., unrolling) variables [...]
+encoding of the categories may adversely influence the classification
+outcome."  Trees are invariant to monotone recoding of ordered variables
+and to the 0/1 orientation of binaries, but the *ternary* looking variable
+genuinely depends on coding; these helpers let the analysis compare
+ordinal and one-hot treatments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ordinal_encode(values, categories) -> np.ndarray:
+    """Integer code per value following the order of ``categories``."""
+    categories = list(categories)
+    lookup = {c: i for i, c in enumerate(categories)}
+    if len(lookup) != len(categories):
+        raise ValueError(f"duplicate categories in {categories!r}")
+    out = np.empty(len(values), dtype=np.float64)
+    for i, v in enumerate(values):
+        try:
+            out[i] = lookup[v]
+        except KeyError:
+            raise ValueError(f"value {v!r} not in categories {categories!r}") from None
+    return out
+
+
+def one_hot_encode(values, categories) -> np.ndarray:
+    """One indicator column per category, shape ``(rows, len(categories))``."""
+    codes = ordinal_encode(values, categories).astype(np.int64)
+    out = np.zeros((len(values), len(list(categories))), dtype=np.float64)
+    out[np.arange(len(values)), codes] = 1.0
+    return out
+
+
+def expand_one_hot(
+    x: np.ndarray, column: int, n_categories: int
+) -> tuple[np.ndarray, list[int]]:
+    """Replace one ordinal-coded column of ``x`` with one-hot columns.
+
+    Returns the expanded matrix and the indices of the new columns (at the
+    end), so importance scores can be re-aggregated per original variable.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"X must be 2-D, got {x.shape}")
+    if not 0 <= column < x.shape[1]:
+        raise ValueError(f"column {column} out of range for {x.shape[1]} features")
+    codes = x[:, column].astype(np.int64)
+    if codes.min() < 0 or codes.max() >= n_categories:
+        raise ValueError(
+            f"column {column} holds codes outside [0, {n_categories})"
+        )
+    hot = np.zeros((x.shape[0], n_categories), dtype=np.float64)
+    hot[np.arange(x.shape[0]), codes] = 1.0
+    rest = np.delete(x, column, axis=1)
+    expanded = np.hstack([rest, hot])
+    new_cols = list(range(rest.shape[1], rest.shape[1] + n_categories))
+    return expanded, new_cols

@@ -1,0 +1,235 @@
+"""CART regression trees with histogram-based split search.
+
+Split quality is the classic variance-reduction criterion.  Candidate
+thresholds are the boundaries of (at most) ``max_bins`` quantile bins of
+the node's data, which makes split search ``O(m · bins)`` per feature
+instead of ``O(m log m)`` — the standard trick that keeps a 500-tree
+forest on a 15k-row autotuning dataset cheap, and exact for the low-
+cardinality tuning parameters (every distinct value gets its own bin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    n_samples: int = 0
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """A CART regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit (root = depth 0); ``None`` grows until purity or
+        ``min_samples_leaf`` stops it.
+    min_samples_leaf:
+        Minimum rows on each side of a split.
+    max_features:
+        Features considered per split: an int, or ``None`` for all —
+        random forests pass ~p/3 here (R's regression default).
+    max_bins:
+        Cap on candidate thresholds per feature.
+    rng:
+        Random generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 5,
+        max_features: int | None = None,
+        max_bins: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if max_depth is not None and max_depth < 0:
+            raise ValueError(f"max_depth must be nonnegative, got {max_depth}")
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.rng = rng or np.random.default_rng()
+        self.root: _Node | None = None
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {x.shape[0]} rows but y has {y.shape[0]}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features_ = x.shape[1]
+        self.root = self._grow(x, y, depth=0)
+        return self
+
+    def _candidate_features(self) -> np.ndarray:
+        p = self.n_features_
+        k = self.max_features if self.max_features is not None else p
+        k = max(1, min(k, p))
+        if k == p:
+            return np.arange(p)
+        return self.rng.choice(p, size=k, replace=False)
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """(feature, threshold, score) of the best variance-reducing split."""
+        m = y.shape[0]
+        total_sum = y.sum()
+        total_sq = float(y @ y)
+        base_sse = total_sq - total_sum**2 / m
+        best = (None, 0.0, 0.0)  # feature, threshold, sse_reduction
+        for feature in self._candidate_features():
+            col = x[:, feature]
+            values = np.unique(col)
+            if values.size < 2:
+                continue
+            if values.size > self.max_bins:
+                qs = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+                edges = np.unique(np.quantile(col, qs))
+            else:
+                edges = (values[:-1] + values[1:]) / 2.0
+            if edges.size == 0:
+                continue
+            # Histogram pass: per-bin counts and y-sums, then prefix scans.
+            bins = np.searchsorted(edges, col, side="right")
+            nbins = edges.size + 1
+            counts = np.bincount(bins, minlength=nbins).astype(np.float64)
+            sums = np.bincount(bins, weights=y, minlength=nbins)
+            sqs = np.bincount(bins, weights=y * y, minlength=nbins)
+            cleft = np.cumsum(counts)[:-1]
+            sleft = np.cumsum(sums)[:-1]
+            qleft = np.cumsum(sqs)[:-1]
+            cright = m - cleft
+            sright = total_sum - sleft
+            qright = total_sq - qleft
+            valid = (cleft >= self.min_samples_leaf) & (cright >= self.min_samples_leaf)
+            if not np.any(valid):
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sse = (qleft - sleft**2 / cleft) + (qright - sright**2 / cright)
+            sse = np.where(valid, sse, np.inf)
+            idx = int(np.argmin(sse))
+            reduction = base_sse - sse[idx]
+            if reduction > best[2] + 1e-12:
+                best = (int(feature), float(edges[idx]), float(reduction))
+        return best
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()), n_samples=y.shape[0], depth=depth)
+        if self.max_depth is not None and depth >= self.max_depth:
+            return node
+        if y.shape[0] < 2 * self.min_samples_leaf:
+            return node
+        if np.all(y == y[0]):
+            return node
+        feature, threshold, reduction = self._best_split(x, y)
+        if feature is None or reduction <= 0.0:
+            return node
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    # Prediction / introspection
+    # ------------------------------------------------------------------
+
+    def _check_fitted(self) -> _Node:
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return self.root
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted values, shape ``(rows,)``."""
+        root = self._check_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_} features, got {x.shape}"
+            )
+        out = np.empty(x.shape[0], dtype=np.float64)
+        # Iterative vectorised descent: route row-index sets down the tree.
+        stack = [(root, np.arange(x.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.prediction
+                continue
+            mask = x[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Leaf identifier of each row (used for proximity computation)."""
+        root = self._check_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(x.shape[0], dtype=np.int64)
+        leaf_ids: dict[int, int] = {}
+        stack = [(root, np.arange(x.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = leaf_ids.setdefault(id(node), len(leaf_ids))
+                continue
+            mask = x[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def depth(self) -> int:
+        """Maximum leaf depth (the paper reports forests of avg depth 11)."""
+        root = self._check_fitted()
+        best = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                stack.extend((node.left, node.right))
+        return best
+
+    def node_count(self) -> int:
+        root = self._check_fitted()
+        count = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend((node.left, node.right))
+        return count

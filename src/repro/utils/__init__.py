@@ -1,0 +1,34 @@
+"""Shared utilities: SPD batch generation, flop formulas, error norms, tables."""
+
+from repro.utils.flops import (
+    cholesky_flops,
+    cholesky_op_mix,
+    gflops,
+    trsv_flops,
+)
+from repro.utils.spd import (
+    random_spd_batch,
+    random_rhs_batch,
+    make_spd,
+)
+from repro.utils.errors import (
+    factorization_error,
+    max_abs_error,
+    relative_residual,
+)
+from repro.utils.tables import format_table, format_series
+
+__all__ = [
+    "cholesky_flops",
+    "cholesky_op_mix",
+    "gflops",
+    "trsv_flops",
+    "random_spd_batch",
+    "random_rhs_batch",
+    "make_spd",
+    "factorization_error",
+    "max_abs_error",
+    "relative_residual",
+    "format_table",
+    "format_series",
+]

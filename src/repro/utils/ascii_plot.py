@@ -1,0 +1,77 @@
+"""Terminal line plots for the experiment harnesses.
+
+The paper's evaluation is all line charts over the matrix dimension; in a
+terminal-only environment the experiment CLIs render the same series as
+character-cell plots so shapes (crossovers, plateaus, collapses) are
+visible at a glance without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Mapping[int, float]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named series (x -> y mappings) as an ASCII chart.
+
+    Series are drawn in iteration order with markers from
+    :data:`MARKERS`; later series overwrite earlier ones where they
+    collide (collisions render the later marker, which is fine for the
+    shape-reading purpose).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError(f"plot area too small: {width}x{height}")
+    xs = sorted({x for ys in series.values() for x in ys})
+    if not xs:
+        raise ValueError("series contain no points")
+    ys_all = [y for ys in series.values() for y in ys.values()]
+    lo, hi = min(ys_all), max(ys_all)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = xs[0], xs[-1]
+    x_span = (x_hi - x_lo) or 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: int, y: float, marker: str) -> None:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for (label, ys), marker in zip(series.items(), MARKERS):
+        legend.append(f"{marker} {label}")
+        for x, y in ys.items():
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.0f}"
+    bottom_label = f"{lo:.0f}"
+    pad = max(len(top_label), len(bottom_label), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(f"{' ' * pad} +{'-' * width}")
+    lines.append(f"{' ' * pad}  {str(x_lo).ljust(width - len(str(x_hi)))}{x_hi}")
+    lines.append(f"{' ' * pad}  {'   '.join(legend)}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Error norms for validating batch factorizations and solves."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_abs_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest absolute element-wise difference between two arrays."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))))
+
+
+def factorization_error(a: np.ndarray, l: np.ndarray) -> float:
+    """Max over the batch of ``||A - L L^T||_F / ||A||_F``.
+
+    ``a`` and ``l`` are ``(batch, n, n)``; only the lower triangle of ``l``
+    is used (the strictly upper part is ignored, matching the paper's
+    convention of leaving the other half of the symmetric matrix untouched).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    lt = np.tril(np.asarray(l, dtype=np.float64))
+    recon = lt @ lt.transpose(0, 2, 1)
+    num = np.linalg.norm(recon - a, axis=(1, 2))
+    den = np.linalg.norm(a, axis=(1, 2))
+    den = np.where(den == 0.0, 1.0, den)
+    return float(np.max(num / den))
+
+
+def relative_residual(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """Max over the batch of ``||A x - b|| / (||A|| ||x|| + ||b||)``."""
+    a = np.asarray(a, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    r = a @ x - b
+    num = np.linalg.norm(r, axis=(1, 2))
+    den = (
+        np.linalg.norm(a, axis=(1, 2)) * np.linalg.norm(x, axis=(1, 2))
+        + np.linalg.norm(b, axis=(1, 2))
+    )
+    den = np.where(den == 0.0, 1.0, den)
+    return float(np.max(num / den))

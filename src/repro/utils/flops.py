@@ -1,0 +1,82 @@
+"""Floating-point operation counts for the kernels in the paper.
+
+The paper always uses the standard ``N**3 / 3`` formula when converting
+measured time to Gflop/s (Section III), regardless of the exact operation
+mix of a particular kernel.  We expose both that *nominal* count and the
+*exact* operation mix of the unblocked algorithm, because the performance
+model needs to weight square roots and divisions differently from fused
+multiply-adds (the ``--use_fast_math`` effect in Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def cholesky_flops(n: int) -> float:
+    """Nominal flop count used by the paper for one n-by-n factorization.
+
+    This is the classic ``n^3 / 3`` convention; Gflop/s figures in all the
+    paper's plots divide by this value.
+    """
+    if n < 0:
+        raise ValueError(f"matrix dimension must be nonnegative, got {n}")
+    return n**3 / 3.0
+
+
+def trsv_flops(n: int) -> float:
+    """Nominal flops for one triangular solve with a single right-hand side."""
+    if n < 0:
+        raise ValueError(f"matrix dimension must be nonnegative, got {n}")
+    return float(n * n)
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Exact scalar-operation mix of one unblocked Cholesky factorization.
+
+    Attributes
+    ----------
+    fma:
+        Fused multiply-add operations (the ``A[m,n] -= A[m,k]*A[n,k]``
+        updates).  Counted as one instruction (two flops) each.
+    div:
+        Divisions (the panel scaling ``A[m,k] /= A[k,k]``).  With
+        ``--use_fast_math`` these compile to a fast approximate reciprocal;
+        IEEE-compliant division is a multi-instruction sequence.
+    sqrt:
+        Square roots (one per diagonal element).  Same IEEE/fast split.
+    """
+
+    fma: int
+    div: int
+    sqrt: int
+
+    @property
+    def flops(self) -> int:
+        """Total flops with the 2-flops-per-FMA convention."""
+        return 2 * self.fma + self.div + self.sqrt
+
+    def __add__(self, other: "OpMix") -> "OpMix":
+        return OpMix(self.fma + other.fma, self.div + other.div, self.sqrt + other.sqrt)
+
+
+def cholesky_op_mix(n: int) -> OpMix:
+    """Exact operation mix of Algorithm 1 on an n-by-n matrix.
+
+    Derived by summing the loop trip counts of Algorithm 1:
+
+    * line 2 runs ``n`` times (sqrt),
+    * line 4 runs ``sum_k (n-1-k) = n(n-1)/2`` times (div),
+    * line 7 runs ``sum_k sum_{j>k} (n-j) = (n^3 - n)/6`` times (fma).
+    """
+    if n < 0:
+        raise ValueError(f"matrix dimension must be nonnegative, got {n}")
+    return OpMix(fma=(n**3 - n) // 6, div=n * (n - 1) // 2, sqrt=n)
+
+
+def gflops(n: int, batch: int, seconds: float) -> float:
+    """Gflop/s for a batch of factorizations, using the paper's convention."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return cholesky_flops(n) * batch / seconds / 1e9

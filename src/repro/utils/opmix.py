@@ -1,0 +1,44 @@
+"""Scalar-operation mix of generated code blocks.
+
+Lives in :mod:`repro.utils` (a leaf package) because both the code
+generator and the schedule/trace layer need it, and neither may import the
+other at module-import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpMixCounter:
+    """Scalar-operation counts of one expanded code block (per thread).
+
+    ``fma`` statements count two flops; multiplies, divisions and square
+    roots count one each.  Divisions and square roots are priced separately
+    by the performance model because ``--use_fast_math`` changes their cost
+    (IEEE-compliant sequences vs. fast SFU approximations).
+    """
+
+    fma: int = 0
+    mul: int = 0
+    div: int = 0
+    sqrt: int = 0
+
+    def __add__(self, other: "OpMixCounter") -> "OpMixCounter":
+        return OpMixCounter(
+            self.fma + other.fma,
+            self.mul + other.mul,
+            self.div + other.div,
+            self.sqrt + other.sqrt,
+        )
+
+    @property
+    def flops(self) -> int:
+        """Flops with the 2-per-FMA convention (mul/div/sqrt count one)."""
+        return 2 * self.fma + self.mul + self.div + self.sqrt
+
+    @property
+    def instructions(self) -> int:
+        """Expanded instruction count (each statement is one instruction)."""
+        return self.fma + self.mul + self.div + self.sqrt

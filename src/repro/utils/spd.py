@@ -1,0 +1,66 @@
+"""Generation of symmetric positive definite test batches.
+
+Batch routines in this package always receive matrices in the *canonical*
+in-memory form first — a NumPy array of shape ``(batch, n, n)`` — and are
+converted to interleaved layouts by :mod:`repro.layouts.convert`.  Single
+precision is the paper's setting, so ``float32`` is the default dtype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_spd(n: int, rng: np.random.Generator, dtype=np.float32, cond_shift: float | None = None) -> np.ndarray:
+    """Build one well-conditioned SPD matrix.
+
+    ``A = G G^T + shift * I`` with Gaussian ``G``; the diagonal shift keeps
+    the smallest eigenvalue comfortably positive in float32 so that the
+    unblocked factorization (which takes ``n`` successive square roots) does
+    not under-flow for the sizes the paper studies (n <= 64).
+    """
+    if n <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {n}")
+    g = rng.standard_normal((n, n))
+    a = g @ g.T
+    shift = float(n) if cond_shift is None else cond_shift
+    a += shift * np.eye(n)
+    return np.ascontiguousarray(a, dtype=dtype)
+
+
+def random_spd_batch(
+    batch: int,
+    n: int,
+    seed: int | np.random.Generator = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Batch of SPD matrices, shape ``(batch, n, n)``.
+
+    Vectorised construction: ``A_b = G_b G_b^T + n I`` for independent
+    Gaussian ``G_b``.  Deterministic for a fixed ``seed``.
+    """
+    if batch <= 0:
+        raise ValueError(f"batch size must be positive, got {batch}")
+    if n <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {n}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    g = rng.standard_normal((batch, n, n))
+    a = np.einsum("bik,bjk->bij", g, g)
+    a += float(n) * np.eye(n)
+    # Symmetrise exactly: einsum is symmetric analytically but not bitwise.
+    a = (a + a.transpose(0, 2, 1)) / 2.0
+    return np.ascontiguousarray(a, dtype=dtype)
+
+
+def random_rhs_batch(
+    batch: int,
+    n: int,
+    nrhs: int = 1,
+    seed: int | np.random.Generator = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Batch of right-hand sides, shape ``(batch, n, nrhs)``."""
+    if nrhs <= 0:
+        raise ValueError(f"nrhs must be positive, got {nrhs}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return np.ascontiguousarray(rng.standard_normal((batch, n, nrhs)), dtype=dtype)

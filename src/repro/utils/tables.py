@@ -1,0 +1,57 @@
+"""Plain-text table formatting for the experiment harnesses.
+
+Every benchmark prints the same rows/series the paper's figures plot; these
+helpers keep that output consistent and easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _fmt_cell(value, width: int = 0) -> str:
+    if isinstance(value, float):
+        text = f"{value:.2f}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width table with a header rule, suitable for terminal output."""
+    rows = [list(r) for r in rows]
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but table has {len(headers)} columns"
+            )
+    cells = [[_fmt_cell(v) for v in r] for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping[str, Mapping[int, float]], xlabel: str = "n") -> str:
+    """Format several named series sharing an integer x-axis.
+
+    ``series`` maps a series label (e.g. ``"ieee"``, ``"fast_math"``) to a
+    mapping from x value to y value.  Missing points render as ``-``.
+    """
+    xs = sorted({x for ys in series.values() for x in ys})
+    headers = [xlabel] + list(series)
+    rows = []
+    for x in xs:
+        row: list = [x]
+        for label in series:
+            y = series[label].get(x)
+            row.append("-" if y is None else y)
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune.space import ParameterSpace
+from repro.autotune.sweep import run_sweep
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def tiny_sweep():
+    """A small but fully crossed sweep dataset shared across analysis tests.
+
+    Covers every tuning dimension (including both cache preferences) over
+    three sizes so importance and forest tests have signal to find.
+    """
+    space = ParameterSpace(
+        ns=(4, 8, 16, 24),
+        nbs=(1, 2, 4, 8),
+        chunkings=(None, 32, 64, 512),
+        cache_prefs=("l1", "shared"),
+    )
+    return run_sweep(space, batch=4096)

@@ -1,0 +1,111 @@
+"""Warp addressing and the coalescing rule (repro.layouts.addressing)."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import (
+    BatchSpec,
+    CanonicalLayout,
+    ChunkedInterleavedLayout,
+    InterleavedLayout,
+    matrix_element_stride_bytes,
+    transactions_for_addresses,
+    warp_byte_addresses,
+    warp_transactions,
+)
+
+
+class TestTransactionCounting:
+    def test_single_line(self):
+        addrs = np.arange(0, 128, 4)
+        assert transactions_for_addresses(addrs) == 1
+
+    def test_two_lines(self):
+        addrs = np.array([0, 127, 128])
+        assert transactions_for_addresses(addrs) == 2
+
+    def test_every_lane_its_own_line(self):
+        addrs = np.arange(32) * 128
+        assert transactions_for_addresses(addrs) == 32
+
+    def test_empty(self):
+        assert transactions_for_addresses(np.array([], dtype=np.int64)) == 0
+
+    def test_invalid_line_size(self):
+        with pytest.raises(ValueError):
+            transactions_for_addresses(np.array([0]), line_bytes=0)
+
+
+class TestWarpAddresses:
+    def test_interleaved_warp_is_contiguous(self):
+        layout = InterleavedLayout()
+        spec = BatchSpec(batch=64, n=4)
+        addrs = warp_byte_addresses(layout, spec, 0, 2, 3)
+        assert addrs.shape == (32,)
+        assert np.array_equal(np.diff(addrs), np.full(31, 4))
+
+    def test_element_out_of_range(self):
+        layout = InterleavedLayout()
+        spec = BatchSpec(batch=64, n=4)
+        with pytest.raises(ValueError):
+            warp_byte_addresses(layout, spec, 0, 4, 0)
+
+    def test_warp_past_batch(self):
+        layout = InterleavedLayout()
+        spec = BatchSpec(batch=32, n=4)
+        with pytest.raises(ValueError):
+            warp_byte_addresses(layout, spec, 5, 0, 0)
+
+
+class TestCoalescingPerLayout:
+    """Section I.D / II.B: interleaved layouts coalesce perfectly for any
+    matrix size; the canonical layout cannot coalesce below n = 32."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 31])
+    def test_interleaved_always_one_transaction(self, n):
+        layout = InterleavedLayout()
+        spec = BatchSpec(batch=128, n=n)
+        assert warp_transactions(layout, spec, 0, n - 1, n // 2) == 1
+
+    @pytest.mark.parametrize("chunk", [32, 64, 512])
+    def test_chunked_always_one_transaction(self, chunk):
+        layout = ChunkedInterleavedLayout(chunk)
+        spec = BatchSpec(batch=1024, n=7)
+        assert warp_transactions(layout, spec, 3, 2, 2) == 1
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_canonical_small_matrices_fully_uncoalesced(self, n):
+        """Each lane's matrix is n*n*4 >= ... apart: for 4|n*n and
+        n*n*4 >= 128 every lane hits its own line."""
+        layout = CanonicalLayout()
+        spec = BatchSpec(batch=128, n=n)
+        tx = warp_transactions(layout, spec, 0, 0, 0)
+        expected = 32 if n * n * 4 >= 128 else max(1, 32 * n * n * 4 // 128)
+        assert tx == expected
+
+    def test_canonical_wastes_bandwidth(self):
+        layout = CanonicalLayout()
+        spec = BatchSpec(batch=128, n=8)
+        assert warp_transactions(layout, spec, 0, 3, 3) > 1
+
+
+class TestElementStride:
+    def test_canonical_contiguous(self):
+        assert (
+            matrix_element_stride_bytes(CanonicalLayout(), BatchSpec(batch=64, n=8))
+            == 4
+        )
+
+    def test_interleaved_stride_is_padded_batch(self):
+        spec = BatchSpec(batch=16384, n=8)
+        assert (
+            matrix_element_stride_bytes(InterleavedLayout(), spec) == 16384 * 4
+        )
+
+    @pytest.mark.parametrize("chunk", [32, 128, 512])
+    def test_chunked_stride_is_chunk(self, chunk):
+        spec = BatchSpec(batch=16384, n=8)
+        assert (
+            matrix_element_stride_bytes(ChunkedInterleavedLayout(chunk), spec)
+            == chunk * 4
+        )

@@ -1,0 +1,124 @@
+"""Motivating applications (repro.apps)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.als import ALSRecommender, RatingsData, generate_ratings
+from repro.apps.fem import element_stiffness_batch, solve_element_systems
+from repro.baselines.lapack import lapack_solve_batch
+from repro.core.config import KernelConfig
+
+
+class TestRatingsGeneration:
+    def test_coverage_guarantee(self):
+        data = generate_ratings(n_users=50, n_items=30, density=0.02, seed=0)
+        assert set(np.unique(data.users)) == set(range(50))
+        assert set(np.unique(data.items)) == set(range(30))
+
+    def test_deterministic(self):
+        d1 = generate_ratings(seed=5)
+        d2 = generate_ratings(seed=5)
+        assert np.array_equal(d1.values, d2.values)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            generate_ratings(density=0.0)
+
+    def test_ratings_data_validation(self):
+        with pytest.raises(ValueError):
+            RatingsData(
+                users=np.array([0, 5]),
+                items=np.array([0, 0]),
+                values=np.array([1.0, 1.0]),
+                n_users=2,
+                n_items=1,
+            )
+
+
+class TestALS:
+    def test_training_reduces_rmse(self):
+        # NB: the model seed must differ from the data seed, otherwise the
+        # random initial factors replay the generator's ground-truth draw.
+        data = generate_ratings(n_users=150, n_items=80, rank=6, density=0.1, seed=1)
+        model = ALSRecommender(rank=6, iterations=0, seed=99)
+        model.fit(data)  # zero iterations: random factors
+        rmse_start = model.rmse(data)
+        model = ALSRecommender(rank=6, iterations=8, regularization=0.01, seed=99)
+        model.fit(data)
+        assert model.rmse(data) < 0.25 * rmse_start
+
+    def test_recovers_low_rank_signal(self):
+        data = generate_ratings(
+            n_users=200, n_items=100, rank=4, density=0.15, noise=0.05, seed=2
+        )
+        model = ALSRecommender(rank=4, iterations=10, regularization=0.05, seed=77)
+        model.fit(data)
+        # RMSE approaches the noise floor
+        assert model.rmse(data) < 0.15
+
+    def test_half_step_matches_direct_solve(self):
+        """One ALS user update equals solving the normal equations with
+        LAPACK user by user."""
+        data = generate_ratings(n_users=40, n_items=25, rank=5, density=0.2, seed=3)
+        model = ALSRecommender(rank=5, iterations=1, seed=3)
+        rng = np.random.default_rng(3)
+        model.item_factors = rng.standard_normal((25, 5)) / np.sqrt(5)
+        grams, rhs = model._normal_equations(
+            data, model.item_factors, data.users, data.items, 40
+        )
+        direct = lapack_solve_batch(
+            grams.astype(np.float32), rhs.astype(np.float32)[:, :, None]
+        )[:, :, 0]
+        via_batch = model._half_step(
+            data, model.item_factors, data.users, data.items, 40
+        )
+        assert np.allclose(via_batch, direct, atol=1e-3)
+
+    def test_config_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            ALSRecommender(rank=6, config=KernelConfig(n=8))
+
+    def test_predict_before_fit(self):
+        model = ALSRecommender(rank=4)
+        with pytest.raises(RuntimeError):
+            model.predict(np.array([0]), np.array([0]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ALSRecommender(rank=0)
+        with pytest.raises(ValueError):
+            ALSRecommender(rank=4, regularization=0.0)
+
+
+class TestFEM:
+    def test_matrices_are_spd(self):
+        a, _ = element_stiffness_batch(100, order=3, seed=0)
+        eig = np.linalg.eigvalsh(a.astype(np.float64))
+        assert eig.min() > 0
+
+    def test_matrix_size_tracks_order(self):
+        a, rhs = element_stiffness_batch(10, order=5, seed=1)
+        assert a.shape == (10, 6, 6)
+        assert rhs.shape == (10, 6)
+
+    def test_solutions_match_lapack(self):
+        a, rhs = element_stiffness_batch(200, order=4, seed=2)
+        x = solve_element_systems(a, rhs)
+        ref = lapack_solve_batch(a, rhs)
+        assert np.allclose(x, ref, atol=2e-3)
+
+    def test_stiffness_annihilates_constants(self):
+        """A pure stiffness matrix maps constant fields to ~zero (the FEM
+        sanity identity); with the mass term it must not."""
+        a, _ = element_stiffness_batch(5, order=3, mass_weight=1e-9, seed=3)
+        ones = np.ones((5, 4, 1))
+        out = a.astype(np.float64) @ ones
+        assert np.abs(out).max() < 1e-4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            element_stiffness_batch(0)
+        with pytest.raises(ValueError):
+            element_stiffness_batch(4, order=0)
+        with pytest.raises(ValueError):
+            element_stiffness_batch(4, mass_weight=0.0)

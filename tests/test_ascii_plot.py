@@ -1,0 +1,35 @@
+"""Terminal plotting (repro.utils.ascii_plot)."""
+
+import pytest
+
+from repro.utils.ascii_plot import line_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        text = line_plot({"a": {0: 0.0, 10: 100.0}}, width=20, height=6, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "o a" in lines[-1]
+        assert "100" in text and "0" in text
+
+    def test_marker_per_series(self):
+        text = line_plot({"s1": {0: 1.0}, "s2": {1: 2.0}}, width=20, height=6)
+        assert "o s1" in text and "x s2" in text
+
+    def test_extremes_placed_on_borders(self):
+        text = line_plot({"a": {0: 0.0, 9: 9.0}}, width=20, height=5)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert rows[0].rstrip().endswith("o")  # max at top-right
+        assert "o" in rows[-1]  # min at bottom-left
+
+    def test_flat_series(self):
+        # constant series must not divide by zero
+        text = line_plot({"a": {0: 5.0, 1: 5.0}}, width=20, height=5)
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": {0: 1.0}}, width=4, height=2)

@@ -1,0 +1,176 @@
+"""Autotuning framework (repro.autotune)."""
+
+import numpy as np
+import pytest
+
+from repro.autotune.analysis import forest_fit_quality, parameter_importance
+from repro.autotune.dataset import FEATURE_NAMES, SweepDataset
+from repro.autotune.runner import SweepRecord, estimated_statements, evaluate_config
+from repro.autotune.search import coordinate_descent, exhaustive_best, random_search
+from repro.autotune.space import ParameterSpace, default_space, quick_space
+from repro.core.config import KernelConfig
+
+
+class TestSpace:
+    def test_enumeration_is_unique(self):
+        space = quick_space(ns=(4, 8))
+        configs = list(space.configs())
+        assert len(configs) == len(set(configs))
+
+    def test_nb_deduplication(self):
+        """nb > n collapses to nb = n and is emitted once."""
+        space = ParameterSpace(ns=(4,), nbs=(2, 4, 8, 9), chunkings=(32,),
+                               cache_prefs=("l1",))
+        nbs = {c.effective_nb for c in space.configs()}
+        assert nbs == {2, 4}
+
+    def test_size_matches_enumeration(self):
+        space = quick_space(ns=(4, 8, 16))
+        assert space.size() == len(list(space.configs()))
+
+    def test_default_space_scale(self):
+        """The paper-scale space lands in the >10k-configuration regime."""
+        size = default_space().size()
+        assert 15_000 < size < 45_000
+
+    def test_with_ns(self):
+        space = quick_space(ns=(4, 8)).with_ns((16,))
+        assert all(c.n == 16 for c in space.configs())
+
+    def test_invalid_space(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(ns=())
+        with pytest.raises(ValueError):
+            ParameterSpace(ns=(0,))
+
+
+class TestRunner:
+    def test_successful_evaluation(self):
+        rec = evaluate_config(KernelConfig(n=8, nb=4), batch=4096)
+        assert rec.ok
+        assert rec.gflops > 0
+        assert rec.bound in ("memory", "compute")
+
+    def test_record_config_round_trip(self):
+        cfg = KernelConfig(n=8, nb=4, looking="left", chunked=True, chunk_size=64,
+                           unroll="full", fast_math=True, cache_pref="shared")
+        rec = evaluate_config(cfg, batch=1024)
+        assert rec.config() == cfg
+
+    def test_monster_kernel_fails_cleanly(self):
+        cfg = KernelConfig(n=64, nb=1, unroll="full")
+        rec = evaluate_config(cfg)
+        assert not rec.ok
+        assert "compilation aborted" in rec.error
+
+    def test_validation_path(self):
+        rec = evaluate_config(KernelConfig(n=6, nb=3), batch=512, validate=True)
+        assert rec.ok
+
+    def test_estimated_statements_upper_bounds_reality(self):
+        from repro.core.trace import build_trace
+
+        for n, nb in [(16, 4), (24, 2), (32, 8)]:
+            cfg = KernelConfig(n=n, nb=nb, unroll="full")
+            est = estimated_statements(cfg)
+            actual = build_trace(cfg).static_statements
+            assert est >= actual * 0.8  # near-bound, used only as a guard
+
+
+class TestDataset:
+    def test_best_per_n(self, tiny_sweep):
+        best = tiny_sweep.best_per_n()
+        assert set(best) == {4, 8, 16, 24}
+        for n, rec in best.items():
+            assert rec.ok
+            assert all(
+                rec.gflops >= r.gflops
+                for r in tiny_sweep.successful()
+                if r.n == n
+            )
+
+    def test_predicate_filtering(self, tiny_sweep):
+        best_chunked = tiny_sweep.best_per_n(lambda r: r.chunked)
+        assert all(rec.chunked for rec in best_chunked.values())
+
+    def test_csv_round_trip(self, tiny_sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        tiny_sweep.save_csv(path)
+        loaded = SweepDataset.load_csv(path)
+        assert len(loaded) == len(tiny_sweep)
+        assert loaded[0] == tiny_sweep[0]
+        assert loaded[-1] == tiny_sweep[-1]
+
+    def test_json_round_trip(self, tiny_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        tiny_sweep.save_json(path)
+        loaded = SweepDataset.load_json(path)
+        assert list(loaded) == list(tiny_sweep)
+
+    def test_feature_matrix_shape(self, tiny_sweep):
+        x, y = tiny_sweep.feature_matrix()
+        assert x.shape == (len(tiny_sweep.successful()), len(FEATURE_NAMES))
+        assert y.shape == (x.shape[0],)
+        assert np.all(y > 0)
+
+    def test_feature_matrix_requires_successes(self):
+        ds = SweepDataset([
+            SweepRecord(n=4, nb=2, looking="top", chunked=True, chunk_size=32,
+                        unroll="partial", fast_math=False, cache_pref="l1",
+                        batch=16, ok=False, error="x")
+        ])
+        with pytest.raises(ValueError):
+            ds.feature_matrix()
+
+    def test_sizes(self, tiny_sweep):
+        assert tiny_sweep.sizes() == [4, 8, 16, 24]
+
+
+class TestAnalysis:
+    def test_importance_covers_all_features(self, tiny_sweep):
+        imp = parameter_importance(tiny_sweep, n_estimators=30)
+        assert set(imp) == set(FEATURE_NAMES)
+
+    def test_cache_pref_is_noise(self, tiny_sweep):
+        """The model gives the cache knob no effect, so its importance must
+        be indistinguishable from noise — Table I's -18.6 story."""
+        imp = parameter_importance(tiny_sweep, n_estimators=30)
+        signal = max(abs(v) for k, v in imp.items())
+        assert abs(imp["cache_pref"]) < signal / 3
+
+    def test_forest_fit_quality(self, tiny_sweep):
+        q = forest_fit_quality(tiny_sweep, n_estimators=30)
+        assert q.oob_r > 0.8
+        assert q.n_samples == len(tiny_sweep.successful())
+        assert q.observed.shape == q.predicted_oob.shape
+
+
+class TestSearch:
+    def test_random_search_finds_good_configs(self, tiny_sweep):
+        space = ParameterSpace(ns=(8,), nbs=(1, 2, 4, 8), chunkings=(None, 32),
+                               cache_prefs=("l1",))
+        full = exhaustive_best(space, batch=4096)
+        sampled = random_search(space, budget=20, seed=0, batch=4096)
+        assert sampled.evaluations == 20
+        assert sampled.best.gflops <= full.best.gflops * 1.0001
+        assert sampled.best.gflops > 0.5 * full.best.gflops
+
+    def test_history_is_monotone(self):
+        space = ParameterSpace(ns=(8,), nbs=(2, 4), chunkings=(None, 32),
+                               cache_prefs=("l1",))
+        result = random_search(space, budget=10, seed=1, batch=4096)
+        assert list(result.history) == sorted(result.history)
+
+    def test_coordinate_descent_improves_on_start(self):
+        space = ParameterSpace(ns=(16,), nbs=(1, 2, 4, 8), chunkings=(None, 32, 512),
+                               cache_prefs=("l1",))
+        start = KernelConfig(n=16, nb=1, chunked=True, chunk_size=512,
+                             looking="right", unroll="partial")
+        result = coordinate_descent(space, start, batch=4096)
+        baseline = evaluate_config(start, batch=4096)
+        assert result.best.gflops >= baseline.gflops
+
+    def test_coordinate_descent_validates_start(self):
+        space = ParameterSpace(ns=(16,), cache_prefs=("l1",))
+        with pytest.raises(ValueError):
+            coordinate_descent(space, KernelConfig(n=8), batch=1024)

@@ -1,0 +1,96 @@
+"""Comparator implementations (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lapack import lapack_cholesky_batch, lapack_solve_batch
+from repro.baselines.magma import (
+    estimate_magma_performance,
+    magma_cholesky_batch,
+)
+from repro.utils.spd import random_rhs_batch, random_spd_batch
+
+
+class TestLapackOracle:
+    def test_factors_match_numpy(self):
+        a = random_spd_batch(10, 7, seed=0)
+        l = lapack_cholesky_batch(a)
+        assert np.allclose(l, np.linalg.cholesky(a.astype(np.float64)), atol=1e-5)
+        assert np.allclose(np.triu(l, 1), 0.0)
+
+    def test_solve_residual(self):
+        a = random_spd_batch(8, 6, seed=1)
+        b = random_rhs_batch(8, 6, nrhs=2, seed=2)
+        x = lapack_solve_batch(a, b)
+        r = a.astype(np.float64) @ x.astype(np.float64) - b
+        assert np.abs(r).max() < 1e-4
+
+    def test_solve_2d_rhs(self):
+        a = random_spd_batch(4, 5, seed=3)
+        b = random_rhs_batch(4, 5, seed=4)[:, :, 0]
+        assert lapack_solve_batch(a, b).shape == (4, 5)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            lapack_cholesky_batch(np.zeros((3, 3)))
+
+
+class TestMagmaNumeric:
+    def test_matches_lapack(self):
+        a = random_spd_batch(20, 9, seed=5)
+        got = np.tril(magma_cholesky_batch(a))
+        ref = np.linalg.cholesky(a.astype(np.float64))
+        assert np.allclose(got, ref, atol=2e-3)
+
+
+class TestMagmaModel:
+    def test_estimate_consistency(self):
+        e = estimate_magma_performance(16)
+        assert e.seconds > 0 and e.gflops > 0
+        assert 0 < e.lane_utilization <= 1.0
+
+    def test_coalescing_worsens_for_small_n(self):
+        e8 = estimate_magma_performance(8)
+        e32 = estimate_magma_performance(32)
+        assert e8.coalescing > e32.coalescing
+        assert e32.coalescing == pytest.approx(1.0)
+
+    def test_performance_grows_with_n_overall(self):
+        """Small matrices waste lanes + pay per-block overhead."""
+        g = [estimate_magma_performance(n).gflops for n in (4, 8, 16, 32)]
+        assert g == sorted(g)
+
+    def test_fast_math_helps(self):
+        assert (
+            estimate_magma_performance(24, fast_math=True).gflops
+            > estimate_magma_performance(24).gflops
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            estimate_magma_performance(0)
+        with pytest.raises(ValueError):
+            estimate_magma_performance(8, batch=0)
+
+
+class TestPaperComparison:
+    """The Figure 13/14 relationship between the two implementations."""
+
+    def test_interleaved_wins_small_magma_catches_up(self):
+        from repro.core.config import KernelConfig
+        from repro.gpusim.model import estimate_performance
+
+        def interleaved_best(n):
+            return max(
+                estimate_performance(
+                    KernelConfig(n=n, nb=nb, looking="top", unroll=ur)
+                ).gflops
+                for nb in (2, 8)
+                for ur in ("partial", "full")
+            )
+
+        small_speedup = interleaved_best(8) / estimate_magma_performance(8).gflops
+        large_speedup = interleaved_best(64) / estimate_magma_performance(64).gflops
+        assert small_speedup > 3.0
+        assert large_speedup < small_speedup
+        assert large_speedup < 2.0

@@ -1,0 +1,198 @@
+"""Batched BLAS routines and the Figure 6 tile Cholesky (repro.batchblas)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batchblas import (
+    batched_gemm,
+    batched_syrk,
+    batched_trsm,
+    reference_gemm,
+    reference_syrk,
+    reference_trsm,
+    tile_cholesky,
+)
+from repro.batchblas.kernels import (
+    MAX_STATEMENTS,
+    clear_blas_kernel_cache,
+    gemm_kernel,
+    syrk_kernel,
+    trsm_kernel,
+)
+from repro.core.config import KernelConfig
+from repro.utils.spd import random_spd_batch
+
+
+def randn(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+def lower_factors(batch, k, seed=0):
+    spd = random_spd_batch(batch, k, seed=seed).astype(np.float64)
+    return np.linalg.cholesky(spd).astype(np.float32)
+
+
+class TestReferenceSemantics:
+    def test_gemm_identity_alpha_beta(self):
+        a, b = randn((3, 2, 4), 1), randn((3, 4, 5), 2)
+        c = randn((3, 2, 5), 3)
+        out = reference_gemm(a, b, c, alpha=0.0, beta=1.0)
+        assert np.allclose(out, c)
+
+    def test_syrk_upper_untouched(self):
+        a, c = randn((4, 3, 2), 1), randn((4, 3, 3), 2)
+        out = reference_syrk(a, c, alpha=2.0, beta=0.0)
+        assert np.array_equal(np.triu(out, 1), np.triu(c, 1))
+
+    def test_trsm_left_inverts(self):
+        l = lower_factors(5, 4, seed=3)
+        x = randn((5, 4, 2), 4).astype(np.float64)
+        b = np.tril(l).astype(np.float64) @ x
+        got = reference_trsm(l, b, side="left")
+        assert np.allclose(got, x, atol=1e-5)
+
+    def test_trsm_right_inverts(self):
+        l = lower_factors(5, 4, seed=5)
+        x = randn((5, 6, 4), 6).astype(np.float64)
+        b = x @ np.tril(l).astype(np.float64).transpose(0, 2, 1)
+        got = reference_trsm(l, b, side="right")
+        assert np.allclose(got, x, atol=1e-4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            reference_gemm(randn((2, 3, 4)), randn((2, 3, 4)), randn((2, 3, 3)))
+        with pytest.raises(ValueError):
+            reference_trsm(lower_factors(2, 3), randn((2, 4, 1)), side="left")
+        with pytest.raises(ValueError):
+            reference_trsm(lower_factors(2, 3), randn((2, 3, 1)), side="up")
+
+
+class TestBatchedGemm:
+    @pytest.mark.parametrize("transa,transb", list(itertools.product([False, True], repeat=2)))
+    @pytest.mark.parametrize("chunk", [None, 32])
+    def test_matches_reference(self, transa, transb, chunk):
+        batch, m, n, k = 45, 5, 4, 3
+        a = randn((batch, k, m) if transa else (batch, m, k), 7)
+        b = randn((batch, n, k) if transb else (batch, k, n), 8)
+        c = randn((batch, m, n), 9)
+        got = batched_gemm(a, b, c, alpha=-1.5, beta=0.25, transa=transa,
+                           transb=transb, chunk_size=chunk)
+        ref = reference_gemm(a, b, c, alpha=-1.5, beta=0.25, transa=transa,
+                             transb=transb)
+        assert np.allclose(got, ref, atol=1e-4)
+
+    def test_wrong_inner_dimension(self):
+        with pytest.raises(ValueError):
+            batched_gemm(randn((2, 3, 4)), randn((2, 5, 2)), randn((2, 3, 2)))
+
+    def test_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            batched_gemm(randn((2, 3, 4)), randn((3, 4, 2)), randn((2, 3, 2)))
+
+
+class TestBatchedSyrk:
+    @pytest.mark.parametrize("chunk", [None, 64])
+    def test_matches_reference(self, chunk):
+        a = randn((40, 6, 3), 10)
+        c = randn((40, 6, 6), 11)
+        got = batched_syrk(a, c, alpha=-1.0, beta=1.0, chunk_size=chunk)
+        ref = reference_syrk(a, c, alpha=-1.0, beta=1.0)
+        assert np.allclose(got, ref, atol=1e-4)
+
+    def test_upper_preserved(self):
+        a = randn((8, 4, 2), 12)
+        c = randn((8, 4, 4), 13)
+        got = batched_syrk(a, c)
+        assert np.array_equal(np.triu(got, 1), np.triu(c, 1))
+
+
+class TestBatchedTrsm:
+    @pytest.mark.parametrize("side", ["left", "right"])
+    @pytest.mark.parametrize("chunk", [None, 32])
+    def test_matches_reference(self, side, chunk):
+        l = lower_factors(37, 5, seed=14)  # odd batch: padding exercised
+        shape = (37, 5, 3) if side == "left" else (37, 6, 5)
+        b = randn(shape, 15)
+        got = batched_trsm(l, b, alpha=2.0, side=side, chunk_size=chunk)
+        ref = reference_trsm(l, b, alpha=2.0, side=side)
+        assert np.allclose(got, ref, atol=1e-3)
+
+    def test_only_lower_triangle_read(self):
+        l = lower_factors(10, 4, seed=16)
+        dirty = l + np.triu(np.ones((4, 4), dtype=np.float32), 1) * 100
+        b = randn((10, 4, 2), 17)
+        assert np.allclose(
+            batched_trsm(l, b, side="left"), batched_trsm(dirty, b, side="left")
+        )
+
+
+class TestKernelGuards:
+    def test_oversized_shape_rejected(self):
+        with pytest.raises(ValueError, match="statements"):
+            gemm_kernel(64, 64, 64, False, False)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            syrk_kernel(0, 3)
+        with pytest.raises(ValueError):
+            trsm_kernel(3, 2, "middle")
+
+    def test_cache_reuse(self):
+        clear_blas_kernel_cache()
+        assert gemm_kernel(3, 3, 3, False, False) is gemm_kernel(3, 3, 3, False, False)
+        assert gemm_kernel(3, 3, 3, False, True) is not gemm_kernel(3, 3, 3, False, False)
+
+    def test_limit_constant_sane(self):
+        assert MAX_STATEMENTS > 10_000
+
+
+class TestTileCholesky:
+    @pytest.mark.parametrize("n,tile", [(8, 4), (16, 4), (24, 8), (12, 12)])
+    def test_matches_numpy(self, n, tile):
+        a = random_spd_batch(30, n, seed=n)
+        l = tile_cholesky(a, tile=tile)
+        ref = np.linalg.cholesky(a.astype(np.float64))
+        assert np.allclose(np.tril(l.astype(np.float64)), ref, atol=3e-3)
+
+    def test_upper_untouched(self):
+        a = random_spd_batch(10, 16, seed=20)
+        l = tile_cholesky(a, tile=8)
+        assert np.allclose(np.triu(l, 1), np.triu(a, 1), atol=1e-6)
+
+    def test_tile_must_divide(self):
+        with pytest.raises(ValueError):
+            tile_cholesky(random_spd_batch(4, 10, seed=1), tile=4)
+
+    def test_custom_base_config(self):
+        a = random_spd_batch(16, 8, seed=21)
+        cfg = KernelConfig(n=4, nb=2, looking="right", unroll="full")
+        l = tile_cholesky(a, tile=4, base_config=cfg)
+        ref = np.linalg.cholesky(a.astype(np.float64))
+        assert np.allclose(np.tril(l.astype(np.float64)), ref, atol=2e-3)
+
+    def test_base_config_dimension_checked(self):
+        with pytest.raises(ValueError):
+            tile_cholesky(random_spd_batch(4, 8, seed=1), tile=4,
+                          base_config=KernelConfig(n=8))
+
+
+class TestProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        batch=st.integers(1, 40),
+        m=st.integers(1, 6),
+        n=st.integers(1, 6),
+        k=st.integers(1, 6),
+    )
+    def test_gemm_any_shape(self, batch, m, n, k):
+        seed = batch * 1000 + m * 100 + n * 10 + k
+        a, b, c = randn((batch, m, k), seed), randn((batch, k, n), seed + 1), randn(
+            (batch, m, n), seed + 2
+        )
+        got = batched_gemm(a, b, c, alpha=1.0, beta=-1.0)
+        ref = reference_gemm(a, b, c, alpha=1.0, beta=-1.0)
+        assert np.allclose(got, ref, atol=1e-4)

@@ -1,0 +1,94 @@
+"""Command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_factor_defaults(self):
+        args = build_parser().parse_args(["factor", "--n", "8"])
+        assert args.n == 8
+        assert args.nb == 4
+        assert args.layout == "chunked"
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["factor", "--n", "8", "--chunk-size", "48"])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_factor_succeeds(self, capsys):
+        rc = main(["factor", "--n", "6", "--nb", "3", "--batch", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "factorization ok" in out
+        assert "Gflop/s" in out
+
+    def test_factor_upper_double(self, capsys):
+        rc = main(
+            ["factor", "--n", "5", "--batch", "64", "--uplo", "upper",
+             "--precision", "double"]
+        )
+        assert rc == 0
+        assert "upper" in capsys.readouterr().out
+
+    def test_kernel_prints_source(self, capsys):
+        rc = main(["kernel", "--n", "4", "--nb", "2", "--unroll", "full"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "def _kernel(dA, _np):" in out
+        assert "_sqrt(" in out
+
+    def test_model_breakdown(self, capsys):
+        rc = main(["model", "--n", "16", "--nb", "4", "--batch", "1024"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for token in ("gflops", "bound", "occupancy", "locality factor"):
+            assert token in out
+
+    def test_sweep_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.csv"
+        rc = main(["sweep", "--ns", "8", "--batch", "1024", "--out", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "gflops" in out
+
+    def test_schedule_breakdown(self, capsys):
+        rc = main(["schedule", "--n", "12", "--nb", "4", "--looking", "right"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for token in ("potrf", "trsm", "syrk", "gemm", "TOTAL"):
+            assert token in out
+
+    def test_schedule_write_volume_ordering(self, capsys):
+        """The CLI surfaces the Figure 16 mechanism directly."""
+        volumes = {}
+        for looking in ("right", "top"):
+            main(["schedule", "--n", "16", "--nb", "4", "--looking", looking])
+            out = capsys.readouterr().out
+            stores = 0
+            for line in out.splitlines():
+                if line.strip().startswith("store_"):
+                    stores += int(line.split()[2])
+            volumes[looking] = stores
+        assert volumes["right"] > volumes["top"]
+
+    def test_explain_diagnoses(self, capsys):
+        rc = main(
+            ["explain", "--n", "32", "--nb", "1", "--layout", "interleaved",
+             "--batch", "16384"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "register reuse" in out or "dram locality" in out
+        assert "->" in out

@@ -1,0 +1,105 @@
+"""Whole-kernel generation (repro.codegen.kernel)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codegen.compile import clear_kernel_cache, compile_kernel, compiled_kernel
+from repro.codegen.kernel import KernelBuilder, generate_kernel_source
+from repro.core.config import KernelConfig
+
+
+class TestSourceStructure:
+    def test_full_unroll_has_no_loops(self):
+        cfg = KernelConfig(n=8, nb=4, unroll="full", looking="top")
+        src = generate_kernel_source(cfg).source
+        assert "for " not in src
+        assert "dA[" in src
+
+    def test_partial_unroll_has_runtime_loops(self):
+        cfg = KernelConfig(n=16, nb=4, unroll="partial", looking="top")
+        src = generate_kernel_source(cfg).source
+        assert "for kk in range(" in src
+        assert "for nn in range(" in src
+
+    def test_partial_is_much_smaller_than_full(self):
+        full = generate_kernel_source(KernelConfig(n=24, nb=4, unroll="full"))
+        part = generate_kernel_source(KernelConfig(n=24, nb=4, unroll="partial"))
+        assert part.static_statements < full.static_statements / 4
+
+    def test_corner_block_emitted_when_not_divisible(self):
+        cfg = KernelConfig(n=10, nb=4, unroll="partial", looking="top")
+        src = generate_kernel_source(cfg).source
+        # the corner potrf operates on the 2x2 trailing tile at base 88
+        assert "dA[88]" in src
+
+    def test_single_tile_case(self):
+        cfg = KernelConfig(n=4, nb=4, unroll="full", looking="left")
+        src = generate_kernel_source(cfg).source
+        assert "_sqrt(" in src
+
+    def test_source_compiles(self):
+        for looking, unroll in itertools.product(
+            ("right", "left", "top"), ("partial", "full")
+        ):
+            cfg = KernelConfig(n=7, nb=3, looking=looking, unroll=unroll)
+            gk = generate_kernel_source(cfg)
+            compile(gk.source, "<test>", "exec")
+
+
+class TestTraceVsCode:
+    @pytest.mark.parametrize("looking", ["right", "left", "top"])
+    def test_trace_identical_for_both_unrolls(self, looking):
+        """Unrolling changes code, not the dynamic op sequence."""
+        a = KernelBuilder(KernelConfig(n=12, nb=4, looking=looking, unroll="full"))
+        b = KernelBuilder(KernelConfig(n=12, nb=4, looking=looking, unroll="partial"))
+        assert a.build_trace() == b.build_trace()
+
+    def test_full_unroll_statements_track_trace_volume(self):
+        cfg = KernelConfig(n=12, nb=3, unroll="full", looking="top")
+        builder = KernelBuilder(cfg)
+        ops = builder.build_trace()
+        mem_elems = sum(op.elems for op in ops if op.is_memory)
+        compute = sum(op.ops.instructions for op in ops if op.ops is not None)
+        gk = generate_kernel_source(cfg)
+        # one statement per element moved + per scalar op (+ a few _inv)
+        assert abs(gk.static_statements - (mem_elems + compute)) <= compute
+
+
+class TestCompileCache:
+    def test_cache_shares_across_chunk_variants(self):
+        clear_kernel_cache()
+        k1 = compiled_kernel(KernelConfig(n=6, nb=3, chunked=True, chunk_size=32))
+        k2 = compiled_kernel(KernelConfig(n=6, nb=3, chunked=True, chunk_size=256))
+        k3 = compiled_kernel(KernelConfig(n=6, nb=3, chunked=False))
+        assert k1 is k2 is k3
+
+    def test_cache_distinguishes_looking(self):
+        clear_kernel_cache()
+        k1 = compiled_kernel(KernelConfig(n=6, nb=3, looking="left"))
+        k2 = compiled_kernel(KernelConfig(n=6, nb=3, looking="top"))
+        assert k1 is not k2
+
+    def test_compiled_kernel_carries_metadata(self):
+        clear_kernel_cache()
+        cfg = KernelConfig(n=6, nb=3)
+        k = compiled_kernel(cfg)
+        assert k.generated.config.cache_key() == cfg.cache_key()
+
+
+class TestKernelExecution:
+    def test_kernel_runs_on_lane_view(self):
+        """Direct execution on an (n*n, lanes) view factorizes each lane."""
+        from repro.utils.spd import random_spd_batch
+
+        n, lanes = 6, 32
+        cfg = KernelConfig(n=n, nb=3, unroll="full", looking="right")
+        a = random_spd_batch(lanes, n, seed=9)
+        # interleave by hand: dA[e, lane] = a[lane, i, j], e = j*n + i
+        dA = np.ascontiguousarray(a.transpose(2, 1, 0).reshape(n * n, lanes))
+        kernel = compile_kernel(generate_kernel_source(cfg))
+        kernel(dA)
+        out = dA.reshape(n, n, lanes).transpose(2, 1, 0)
+        ref = np.linalg.cholesky(a.astype(np.float64))
+        assert np.allclose(np.tril(out), ref, atol=5e-3)

@@ -1,0 +1,86 @@
+"""Conditioned generation and post-factorization validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky
+from repro.core.validate import assert_factorization_ok, factorization_info
+from repro.utils.condition import condition_numbers, conditioned_spd_batch
+from repro.utils.spd import random_spd_batch
+
+
+class TestConditionedGeneration:
+    @pytest.mark.parametrize("kappa", [1.0, 1e2, 1e5])
+    def test_condition_number_is_exact(self, kappa):
+        a = conditioned_spd_batch(8, 10, kappa, seed=1)
+        measured = condition_numbers(a.astype(np.float64))
+        assert np.allclose(measured, kappa, rtol=0.05)
+
+    def test_symmetric_and_spd(self):
+        a = conditioned_spd_batch(5, 7, 1e3, seed=2).astype(np.float64)
+        assert np.allclose(a, a.transpose(0, 2, 1))
+        assert np.linalg.eigvalsh(a).min() > 0
+
+    def test_n_equals_one(self):
+        a = conditioned_spd_batch(4, 1, 10.0)
+        assert np.allclose(a, 1.0)
+
+    def test_invalid_condition(self):
+        with pytest.raises(ValueError):
+            conditioned_spd_batch(4, 4, 0.5)
+
+    def test_condition_numbers_validates(self):
+        with pytest.raises(ValueError):
+            condition_numbers(-np.eye(3)[None])
+        with pytest.raises(ValueError):
+            condition_numbers(np.zeros((3, 3)))
+
+
+class TestFactorizationInfo:
+    def test_clean_factors(self):
+        a = random_spd_batch(12, 6, seed=1)
+        l = batch_cholesky(a, KernelConfig(n=6, nb=3))
+        assert np.array_equal(factorization_info(l), np.zeros(12, dtype=np.int64))
+        assert_factorization_ok(l)  # must not raise
+
+    def test_non_spd_input_detected(self):
+        """A non-SPD matrix silently NaNs through the branch-free kernel;
+        the info helper localises it."""
+        a = random_spd_batch(8, 5, seed=2)
+        a[3] = np.eye(5, dtype=np.float32)
+        a[3, 2, 2] = -4.0  # breaks positivity at column 2
+        l = batch_cholesky(a, KernelConfig(n=5, nb=5, unroll="full"))
+        info = factorization_info(l)
+        assert info[3] == 3  # 1-based failing column
+        assert np.all(info[np.arange(8) != 3] == 0)
+
+    def test_assert_raises_with_context(self):
+        a = random_spd_batch(4, 4, seed=3)
+        a[1] = -np.eye(4, dtype=np.float32)
+        l = batch_cholesky(a, KernelConfig(n=4, nb=2))
+        with pytest.raises(np.linalg.LinAlgError, match="matrix 1"):
+            assert_factorization_ok(l)
+
+    def test_nan_in_lower_detected(self):
+        l = np.tile(np.eye(4, dtype=np.float32), (3, 1, 1))
+        l[2, 3, 1] = np.nan
+        info = factorization_info(l)
+        assert info[2] == 2  # column 1, 1-based
+
+    def test_upper_garbage_ignored(self):
+        l = np.tile(np.eye(4, dtype=np.float32), (2, 1, 1))
+        l[:, 0, 3] = np.nan  # strictly upper: untouched input region
+        assert np.array_equal(factorization_info(l), [0, 0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            factorization_info(np.zeros((3, 3)))
+
+
+class TestAccuracyStudyHarness:
+    def test_runs_and_passes(self):
+        from repro.experiments.accuracy_study import run
+
+        result = run()
+        assert result.all_checks_pass, result.render()

@@ -1,0 +1,106 @@
+"""Kernel configuration (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_BLOCK_THREADS,
+    CachePreference,
+    KernelConfig,
+    Looking,
+    Unrolling,
+)
+from repro.layouts.chunked import ChunkedInterleavedLayout
+from repro.layouts.interleaved import InterleavedLayout
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = KernelConfig(n=16)
+        assert cfg.looking is Looking.TOP
+        assert cfg.unroll is Unrolling.PARTIAL
+        assert cfg.cache_pref is CachePreference.L1
+
+    def test_string_coercion(self):
+        cfg = KernelConfig(n=8, looking="left", unroll="full", cache_pref="shared")
+        assert cfg.looking is Looking.LEFT
+        assert cfg.unroll is Unrolling.FULL
+
+    def test_invalid_looking(self):
+        with pytest.raises(ValueError):
+            KernelConfig(n=8, looking="down")
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            KernelConfig(n=8, chunked=True, chunk_size=48)
+
+    def test_nonchunked_ignores_chunk_size_validity(self):
+        # chunk_size is irrelevant when not chunked, but still validated
+        # against the supported list only when chunked.
+        cfg = KernelConfig(n=8, chunked=False, chunk_size=32)
+        assert not cfg.chunked
+
+    @pytest.mark.parametrize("field,value", [("n", 0), ("nb", 0), ("n", -3)])
+    def test_positive_dims(self, field, value):
+        kwargs = {"n": 8, "nb": 2}
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            KernelConfig(**kwargs)
+
+
+class TestGeometry:
+    def test_effective_nb_clips(self):
+        assert KernelConfig(n=4, nb=9).effective_nb == 4
+
+    def test_tile_counts_divisible(self):
+        cfg = KernelConfig(n=12, nb=4)
+        assert cfg.num_tiles == 3
+        assert cfg.full_tiles == 3
+        assert cfg.corner == 0
+
+    def test_tile_counts_with_corner(self):
+        cfg = KernelConfig(n=14, nb=4)
+        assert cfg.num_tiles == 4
+        assert cfg.full_tiles == 3
+        assert cfg.corner == 2
+
+    def test_block_threads(self):
+        assert KernelConfig(n=8, chunked=True, chunk_size=128).block_threads == 128
+        assert KernelConfig(n=8, chunked=False).block_threads == DEFAULT_BLOCK_THREADS
+
+
+class TestLayoutSelection:
+    def test_chunked_layout(self):
+        layout = KernelConfig(n=8, chunked=True, chunk_size=64).layout()
+        assert isinstance(layout, ChunkedInterleavedLayout)
+        assert layout.chunk_size == 64
+
+    def test_simple_layout(self):
+        assert isinstance(KernelConfig(n=8, chunked=False).layout(), InterleavedLayout)
+
+
+class TestCacheKey:
+    def test_key_ignores_runtime_knobs(self):
+        base = KernelConfig(n=8, nb=4)
+        assert base.cache_key() == base.with_(chunk_size=256).cache_key()
+        assert base.cache_key() == base.with_(fast_math=True).cache_key()
+        assert base.cache_key() == base.with_(chunked=False).cache_key()
+        assert base.cache_key() == base.with_(cache_pref="shared").cache_key()
+
+    def test_key_tracks_codegen_knobs(self):
+        base = KernelConfig(n=8, nb=4)
+        assert base.cache_key() != base.with_(nb=2).cache_key()
+        assert base.cache_key() != base.with_(looking="right").cache_key()
+        assert base.cache_key() != base.with_(unroll="full").cache_key()
+
+    def test_with_returns_new_frozen_config(self):
+        base = KernelConfig(n=8)
+        other = base.with_(nb=2)
+        assert other.nb == 2
+        assert base.nb != 2
+
+    def test_describe_mentions_everything(self):
+        text = KernelConfig(
+            n=8, nb=2, looking="left", chunked=True, chunk_size=64, fast_math=True
+        ).describe()
+        for token in ("n=8", "nb=2", "left", "chunked(64)", "fast"):
+            assert token in text

@@ -1,0 +1,102 @@
+"""Tuned dispatch (repro.autotune.dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.autotune.dispatch import TableEntry, TunedDispatcher
+from repro.autotune.space import ParameterSpace
+from repro.autotune.sweep import run_sweep
+from repro.utils.errors import factorization_error
+from repro.utils.spd import random_spd_batch
+
+
+@pytest.fixture(scope="module")
+def dispatcher():
+    space = ParameterSpace(
+        ns=(8, 16, 32),
+        nbs=(1, 2, 4, 8),
+        chunkings=(None, 32, 512),
+        cache_prefs=("l1",),
+    )
+    return TunedDispatcher.from_dataset(run_sweep(space, batch=16384))
+
+
+class TestTableConstruction:
+    def test_entries_are_the_sweep_winners(self, dispatcher):
+        assert set(dispatcher.entries) == {8, 16, 32}
+        for entry in dispatcher.entries.values():
+            assert entry.gflops > 0
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            TunedDispatcher({})
+
+    def test_tune_convenience(self):
+        d = TunedDispatcher.tune((8,), batch=2048, nbs=(2, 4), chunkings=(32,))
+        assert 8 in d.entries
+
+
+class TestLookup:
+    def test_exact_size(self, dispatcher):
+        cfg = dispatcher.config_for(16)
+        assert cfg.n == 16
+        assert cfg.nb == dispatcher.entries[16].nb
+
+    def test_interpolates_unmeasured_size(self, dispatcher):
+        cfg = dispatcher.config_for(12)
+        assert cfg.n == 12
+        assert cfg.effective_nb <= 12
+
+    def test_extrapolates_beyond_table(self, dispatcher):
+        cfg = dispatcher.config_for(48)
+        assert cfg.n == 48
+
+    def test_fast_math_flag(self, dispatcher):
+        assert dispatcher.config_for(8, fast_math=True).fast_math
+
+    def test_invalid_n(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.config_for(0)
+
+
+class TestDispatchedFactorization:
+    def test_correct_for_tuned_size(self, dispatcher):
+        a = random_spd_batch(64, 16, seed=1)
+        l = dispatcher.batch_cholesky(a)
+        assert factorization_error(a, l) < 1e-5
+
+    def test_correct_for_interpolated_size(self, dispatcher):
+        a = random_spd_batch(64, 11, seed=2)
+        l = dispatcher.batch_cholesky(a)
+        assert factorization_error(a, l) < 1e-5
+
+    def test_tuned_beats_default_where_it_matters(self, dispatcher):
+        # At n=32 tuning matters (nb, layout); the tuned config must not
+        # lose to the library default in the model.
+        assert dispatcher.speedup_over_default(32) >= 1.0
+
+    def test_shape_validation(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.batch_cholesky(np.zeros((4, 4), np.float32))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, dispatcher, tmp_path):
+        path = tmp_path / "table.json"
+        dispatcher.save(path)
+        loaded = TunedDispatcher.load(path)
+        assert loaded.entries == dispatcher.entries
+
+    def test_summary_renders(self, dispatcher):
+        text = dispatcher.summary()
+        assert "gflops" in text
+        assert "16" in text
+
+
+class TestTableEntry:
+    def test_config_round_trip(self):
+        entry = TableEntry(n=8, nb=4, looking="left", chunked=True,
+                           chunk_size=64, unroll="full", gflops=123.0)
+        cfg = entry.config()
+        assert cfg.n == 8 and cfg.chunk_size == 64
+        assert cfg.looking.value == "left"

@@ -1,0 +1,57 @@
+"""Event-driven simulator (repro.gpusim.eventsim)."""
+
+import pytest
+
+from repro.core.config import KernelConfig
+from repro.gpusim.eventsim import EventSimResult, simulate_launch
+from repro.gpusim.model import estimate_performance
+
+
+class TestSimulate:
+    def test_result_fields(self):
+        r = simulate_launch(KernelConfig(n=8, nb=4), batch=1024)
+        assert isinstance(r, EventSimResult)
+        assert r.seconds > 0 and r.gflops > 0
+        assert r.mem_bytes > 0
+        assert r.cycles > 0
+
+    def test_memory_bytes_scale_with_batch(self):
+        # The simulator models one SM's ceil-rounded fair share, so the
+        # scaling carries up to that quantisation (128 blocks over 56 SMs
+        # simulate as 3 blocks/SM).
+        small = simulate_launch(KernelConfig(n=8, nb=4), batch=1024)
+        big = simulate_launch(KernelConfig(n=8, nb=4), batch=4096)
+        assert big.mem_bytes == pytest.approx(4 * small.mem_bytes, rel=0.45)
+
+    def test_full_unroll_moves_less_memory(self):
+        part = simulate_launch(KernelConfig(n=16, nb=4, unroll="partial"), batch=2048)
+        full = simulate_launch(KernelConfig(n=16, nb=4, unroll="full"), batch=2048)
+        assert full.mem_bytes < part.mem_bytes
+
+    def test_fast_math_not_slower(self):
+        cfg = KernelConfig(n=16, nb=4, unroll="full")
+        ieee = simulate_launch(cfg, batch=2048)
+        fast = simulate_launch(cfg.with_(fast_math=True), batch=2048)
+        assert fast.seconds <= ieee.seconds * 1.001
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            simulate_launch(KernelConfig(n=8), batch=0)
+
+
+class TestAgreementWithAnalyticModel:
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            KernelConfig(n=16, nb=8, unroll="full", chunked=True, chunk_size=32),
+            KernelConfig(n=32, nb=8, unroll="partial", chunked=True, chunk_size=32),
+            KernelConfig(n=48, nb=8, unroll="partial", chunked=True, chunk_size=32),
+        ],
+        ids=lambda c: c.describe(),
+    )
+    def test_within_fifty_percent(self, cfg):
+        """Two independent bookkeepings of the same launch must agree."""
+        analytic = estimate_performance(cfg, batch=16384).gflops
+        simulated = simulate_launch(cfg, batch=16384).gflops
+        ratio = analytic / simulated
+        assert 1 / 1.5 <= ratio <= 1.5

@@ -1,0 +1,110 @@
+"""The pyexpander-compatible template engine (repro.codegen.expander)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.expander import ExpanderError, expand
+
+
+class TestSubstitution:
+    def test_expression(self):
+        assert expand("x = $(1 + 2);") == "x = 3;"
+
+    def test_env_variable(self):
+        assert expand("$(NB * 2)", {"NB": 4}) == "8"
+
+    def test_string_formatting_like_the_paper(self):
+        # The paper's templates use $("..." % (...)) everywhere.
+        out = expand('$("rA_%d%d = sqrtf(rA_%d%d);" % (k, k, k, k))', {"k": 3})
+        assert out == "rA_33 = sqrtf(rA_33);"
+
+    def test_nested_parens_and_quotes(self):
+        assert expand('$("f(%s)" % ("a)b",))') == "f(a)b)"
+
+    def test_literal_dollar(self):
+        assert expand("cost: $$5") == "cost: $5"
+
+    def test_error_reports_expression(self):
+        with pytest.raises(ExpanderError, match="undefined_name"):
+            expand("$(undefined_name)")
+
+
+class TestForLoops:
+    def test_simple_loop(self):
+        assert expand("$for(i in range(3))$(i),$endfor") == "0,1,2,"
+
+    def test_nested_loops(self):
+        out = expand(
+            "$for(i in range(2))$for(j in range(2))$(i)$(j) $endfor$endfor"
+        )
+        assert out == "00 01 10 11 "
+
+    def test_loop_over_env(self):
+        assert expand("$for(i in range(NB))x$endfor", {"NB": 4}) == "xxxx"
+
+    def test_tuple_unpacking(self):
+        out = expand("$for(a, b in [(1, 2), (3, 4)])$(a + b);$endfor")
+        assert out == "3;7;"
+
+    def test_empty_loop(self):
+        assert expand("$for(i in range(0))nope$endfor") == ""
+
+    def test_unterminated_for(self):
+        with pytest.raises(ExpanderError, match="unterminated"):
+            expand("$for(i in range(2))x")
+
+    def test_endfor_without_for(self):
+        with pytest.raises(ExpanderError, match="endfor"):
+            expand("$endfor")
+
+
+class TestConditionals:
+    def test_if_true(self):
+        assert expand("$if(x > 1)big$endif", {"x": 2}) == "big"
+
+    def test_if_false(self):
+        assert expand("$if(x > 1)big$endif", {"x": 0}) == ""
+
+    def test_else(self):
+        assert expand("$if(x)yes$else\no$endif", {"x": False}) == "\no"
+
+    def test_elif_chain(self):
+        template = "$if(x == 1)one$elif(x == 2)two$else\nmany$endif"
+        assert expand(template, {"x": 2}) == "two"
+        assert expand(template, {"x": 9}) == "\nmany"
+
+    def test_else_after_else_rejected(self):
+        with pytest.raises(ExpanderError):
+            expand("$if(1)a$else\nb$else\nc$endif")
+
+
+class TestLineContinuation:
+    def test_backslash_suppresses_newline(self):
+        assert expand("a\\\nb") == "ab"
+
+    def test_paper_style_template(self):
+        template = (
+            "$for(k in range(0, NB))\\\n"
+            '$("rA_%d%d = sqrt(rA_%d%d)" % (k, k, k, k))\n'
+            "$endfor\\\n"
+        )
+        out = expand(template, {"NB": 2})
+        assert out == "rA_00 = sqrt(rA_00)\nrA_11 = sqrt(rA_11)\n"
+
+
+class TestPyDirective:
+    def test_statement_mutates_env(self):
+        assert expand("$py(y = 10)$(y)") == "10"
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet=st.characters(blacklist_characters="$\\"), max_size=80))
+    def test_plain_text_is_identity(self, text):
+        assert expand(text) == text
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 20))
+    def test_loop_repetition_count(self, count):
+        assert expand(f"$for(i in range({count}))#$endfor") == "#" * count

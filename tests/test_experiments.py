@@ -1,0 +1,84 @@
+"""Experiment harnesses (repro.experiments) on a reduced grid.
+
+The full figure benchmarks live under ``benchmarks/``; here we exercise
+the harness machinery — series construction, predicates, rendering, and
+the checks plumbing — on a small sweep so the test suite stays fast.
+"""
+
+import pytest
+
+from repro.autotune.space import ParameterSpace
+from repro.autotune.sweep import run_sweep
+from repro.experiments import fig13, fig14, fig15, fig16, fig17, fig18, fig19
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """A reduced but fully crossed grid over a handful of sizes."""
+    space = ParameterSpace(
+        ns=(8, 16, 32, 48, 64),
+        nbs=(1, 2, 4, 6, 8),
+        chunkings=(None, 32, 64, 128, 256, 512),
+        fast_maths=(False, True),
+        cache_prefs=("l1",),
+    )
+    return run_sweep(space, batch=16384)
+
+
+class TestExperimentResult:
+    def test_render_contains_checks(self):
+        r = ExperimentResult(
+            experiment="x",
+            title="t",
+            series={"s": {1: 2.0}},
+            checks={"good": True, "bad": False},
+        )
+        text = r.render()
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert not r.all_checks_pass
+
+    def test_table_rendering(self):
+        r = ExperimentResult(
+            experiment="x", title="t", table=(["a"], [[1], [2]])
+        )
+        assert "a" in r.render()
+
+
+class TestFigureHarnesses:
+    def test_fig13_series_cover_all_sizes(self, small_sweep):
+        result = fig13.run(small_sweep)
+        assert set(result.series) == {"ieee", "fast_math"}
+        assert sorted(result.series["ieee"]) == [8, 16, 32, 48, 64]
+        for n in result.series["ieee"]:
+            assert result.series["fast_math"][n] >= result.series["ieee"][n] * 0.999
+
+    def test_fig14_speedup_series(self, small_sweep):
+        result = fig14.run(small_sweep)
+        assert "speedup" in result.series
+        assert result.series["speedup"][8] > 1.0
+
+    def test_fig15_per_nb_series(self, small_sweep):
+        result = fig15.run(small_sweep)
+        assert set(result.series) == {f"nb={nb}" for nb in (1, 2, 4, 6, 8)}
+        # nb=1 is clearly worst at n=64
+        assert result.series["nb=1"][64] < result.series["nb=8"][64]
+
+    def test_fig16_lookings(self, small_sweep):
+        result = fig16.run(small_sweep)
+        assert result.series["top"][64] >= result.series["right"][64]
+        assert result.checks["write volume: right > left > top"]
+
+    def test_fig17_chunking(self, small_sweep):
+        result = fig17.run(small_sweep)
+        assert result.series["chunked"][48] > result.series["non_chunked"][48]
+
+    def test_fig18_chunk_sizes(self, small_sweep):
+        result = fig18.run(small_sweep)
+        assert result.series["chunk=32"][48] > result.series["chunk=512"][48]
+
+    def test_fig19_unrolling(self, small_sweep):
+        result = fig19.run(small_sweep)
+        assert result.series["full"][8] >= result.series["partial"][8] * 0.999
+        assert result.series["partial"][64] > result.series["full"][64] * 0.999

@@ -1,0 +1,46 @@
+"""Extension experiment harnesses (batch scaling, sensitivity, portability)."""
+
+import pytest
+
+from repro.experiments import batch_scaling, sensitivity_study
+from repro.gpusim.arch import P100, V100
+
+
+class TestBatchScaling:
+    def test_runs_and_passes(self):
+        result = batch_scaling.run()
+        assert result.all_checks_pass, result.render()
+
+    def test_series_monotone_up_to_saturation(self):
+        result = batch_scaling.run()
+        for label, points in result.series.items():
+            xs = sorted(points)
+            values = [points[x] for x in xs]
+            assert values == sorted(values), f"{label} not monotone"
+
+
+class TestSensitivity:
+    def test_runs_and_passes(self):
+        result = sensitivity_study.run()
+        assert result.all_checks_pass, result.render()
+
+    def test_covers_all_soft_constants(self):
+        from repro.experiments.sensitivity_study import PERTURBED_FIELDS
+
+        for field in PERTURBED_FIELDS:
+            assert hasattr(P100, field)
+
+
+class TestArchitectures:
+    def test_v100_is_a_bigger_machine(self):
+        assert V100.sms > P100.sms
+        assert V100.dram_bandwidth_gbs > P100.dram_bandwidth_gbs
+        assert V100.peak_fp32_gflops > P100.peak_fp32_gflops
+
+    def test_v100_usable_by_the_model(self):
+        from repro.core.config import KernelConfig
+        from repro.gpusim.model import estimate_performance
+
+        p = estimate_performance(KernelConfig(n=32, nb=8), batch=16384, arch=P100)
+        v = estimate_performance(KernelConfig(n=32, nb=8), batch=16384, arch=V100)
+        assert v.gflops > p.gflops

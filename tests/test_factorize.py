@@ -1,0 +1,129 @@
+"""The batch Cholesky driver (repro.core.factorize).
+
+The central correctness tests of the library: every point of the
+configuration grid must produce LAPACK's factorization, through the full
+pack -> generated kernel -> unpack pipeline.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky, factorize_buffer
+from repro.layouts.base import BatchSpec
+from repro.utils.errors import factorization_error
+from repro.utils.spd import random_spd_batch
+
+
+def reference(a: np.ndarray) -> np.ndarray:
+    return np.linalg.cholesky(a.astype(np.float64))
+
+
+class TestGridCorrectness:
+    @pytest.mark.parametrize("looking", ["right", "left", "top"])
+    @pytest.mark.parametrize("unroll", ["partial", "full"])
+    @pytest.mark.parametrize("nb", [1, 3, 4, 8])
+    def test_divisible_and_corner_sizes(self, looking, unroll, nb):
+        for n in (8, 11):
+            a = random_spd_batch(40, n, seed=n)
+            cfg = KernelConfig(n=n, nb=nb, looking=looking, unroll=unroll)
+            l = batch_cholesky(a, cfg)
+            assert np.allclose(np.tril(l), reference(a), atol=2e-3)
+
+    @pytest.mark.parametrize("chunk", [32, 64, 128])
+    def test_chunked_layouts(self, chunk):
+        a = random_spd_batch(300, 6, seed=1)  # several chunks + padding
+        cfg = KernelConfig(n=6, nb=3, chunked=True, chunk_size=chunk)
+        l = batch_cholesky(a, cfg)
+        assert np.allclose(np.tril(l), reference(a), atol=1e-3)
+
+    def test_non_chunked_layout(self):
+        a = random_spd_batch(100, 5, seed=2)
+        cfg = KernelConfig(n=5, nb=2, chunked=False)
+        l = batch_cholesky(a, cfg)
+        assert np.allclose(np.tril(l), reference(a), atol=1e-3)
+
+    def test_n_equals_one(self):
+        a = random_spd_batch(64, 1, seed=3)
+        l = batch_cholesky(a, KernelConfig(n=1, nb=1))
+        assert np.allclose(l[:, 0, 0], np.sqrt(a[:, 0, 0]), rtol=1e-6)
+
+    def test_upper_triangle_untouched(self):
+        a = random_spd_batch(32, 6, seed=4)
+        l = batch_cholesky(a, KernelConfig(n=6, nb=3))
+        assert np.array_equal(np.triu(l, 1), np.triu(a, 1))
+
+    def test_batch_not_multiple_of_chunk(self):
+        a = random_spd_batch(33, 4, seed=5)
+        l = batch_cholesky(a, KernelConfig(n=4, nb=2, chunked=True, chunk_size=32))
+        assert l.shape == (33, 4, 4)
+        assert np.allclose(np.tril(l), reference(a), atol=1e-3)
+
+
+class TestApiErgonomics:
+    def test_kwargs_construction(self):
+        a = random_spd_batch(32, 4, seed=6)
+        l = batch_cholesky(a, nb=2, looking="left")
+        assert factorization_error(a, l) < 1e-5
+
+    def test_config_and_kwargs_conflict(self):
+        a = random_spd_batch(32, 4, seed=6)
+        with pytest.raises(TypeError):
+            batch_cholesky(a, KernelConfig(n=4), nb=2)
+
+    def test_config_dimension_mismatch(self):
+        a = random_spd_batch(32, 4, seed=6)
+        with pytest.raises(ValueError):
+            batch_cholesky(a, KernelConfig(n=8))
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError):
+            batch_cholesky(np.zeros((4, 4)))
+
+    def test_float64_input_accepted(self):
+        a = random_spd_batch(32, 4, seed=7).astype(np.float64)
+        l = batch_cholesky(a, nb=2)
+        assert l.dtype == np.float32
+
+
+class TestFactorizeBuffer:
+    def test_in_place_on_packed_buffer(self):
+        a = random_spd_batch(64, 5, seed=8)
+        cfg = KernelConfig(n=5, nb=5, chunked=True, chunk_size=32)
+        layout = cfg.layout()
+        buf = layout.pack(a)
+        spec = BatchSpec(batch=64, n=5)
+        factorize_buffer(buf, spec, cfg)
+        l = layout.unpack(buf, spec)
+        assert np.allclose(np.tril(l), reference(a), atol=1e-3)
+
+    def test_spec_mismatch(self):
+        cfg = KernelConfig(n=5)
+        with pytest.raises(ValueError):
+            factorize_buffer(np.zeros(10, np.float32), BatchSpec(batch=4, n=4), cfg)
+
+    def test_buffer_size_mismatch(self):
+        cfg = KernelConfig(n=4)
+        with pytest.raises(ValueError):
+            factorize_buffer(np.zeros(10, np.float32), BatchSpec(batch=4, n=4), cfg)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 12),
+        nb=st.integers(1, 12),
+        looking=st.sampled_from(["right", "left", "top"]),
+        unroll=st.sampled_from(["partial", "full"]),
+        batch=st.integers(1, 80),
+    )
+    def test_factorization_reconstructs_input(self, n, nb, looking, unroll, batch):
+        """For any configuration, L L^T reconstructs A to fp32 accuracy."""
+        a = random_spd_batch(batch, n, seed=n * 997 + nb * 31 + batch)
+        cfg = KernelConfig(n=n, nb=nb, looking=looking, unroll=unroll)
+        l = batch_cholesky(a, cfg)
+        assert factorization_error(a, l) < 5e-5 * max(1, n)

@@ -1,0 +1,98 @@
+"""Set-associative cache simulator (repro.gpusim.cache)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.cache import SetAssociativeCache
+
+
+class TestGeometry:
+    def test_basic(self):
+        c = SetAssociativeCache(size_bytes=4096, line_bytes=128, ways=4)
+        assert c.num_sets == 8
+        assert c.size_bytes == 4096
+
+    def test_fully_associative_clamp(self):
+        c = SetAssociativeCache(size_bytes=512, line_bytes=128, ways=64)
+        assert c.ways == 4
+        assert c.num_sets == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"size_bytes": 0},
+        {"size_bytes": 100, "line_bytes": 128},
+        {"size_bytes": 4096, "line_bytes": 128, "ways": 3},
+    ])
+    def test_invalid_geometry(self, kwargs):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(**{"size_bytes": 4096, "line_bytes": 128, "ways": 4, **kwargs})
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, 128, 2)
+        assert c.access(0) is False
+        assert c.access(64) is True  # same line
+        assert c.access(128) is False
+
+    def test_lru_eviction_order(self):
+        c = SetAssociativeCache(256, 128, 2)  # 1 set, 2 ways
+        c.access(0)      # line 0
+        c.access(128)    # line 1
+        c.access(0)      # refresh line 0
+        c.access(256)    # evicts line 1 (LRU)
+        assert c.access(0) is True
+        assert c.access(128) is False
+
+    def test_working_set_within_capacity_all_hits(self):
+        c = SetAssociativeCache(4096, 128, 4)
+        addrs = np.arange(0, 4096, 128)
+        c.access_all(addrs)  # cold pass
+        hits = c.access_all(addrs)
+        assert hits == len(addrs)
+
+    def test_streaming_larger_than_capacity_never_hits(self):
+        c = SetAssociativeCache(1024, 128, 8)
+        addrs = np.arange(0, 64 * 1024, 128)
+        for _ in range(3):  # repeated sequential sweeps thrash LRU
+            before = c.stats.hits
+            c.access_all(addrs)
+            assert c.stats.hits == before  # zero hits per sweep
+
+    def test_stats_consistency(self):
+        c = SetAssociativeCache(1024, 128, 2)
+        rng = np.random.default_rng(0)
+        c.access_all(rng.integers(0, 10_000, 500))
+        assert c.stats.accesses == 500
+        assert c.stats.hits + c.stats.misses == 500
+        assert 0.0 <= c.stats.hit_rate <= 1.0
+
+    def test_flush(self):
+        c = SetAssociativeCache(1024, 128, 2)
+        c.access(0)
+        c.flush()
+        assert c.resident_lines() == 0
+        assert c.access(0) is False
+
+    def test_negative_address(self):
+        c = SetAssociativeCache(1024, 128, 2)
+        with pytest.raises(ValueError):
+            c.access(-1)
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=300))
+    def test_resident_lines_bounded_by_capacity(self, addresses):
+        c = SetAssociativeCache(2048, 128, 4)
+        c.access_all(addresses)
+        assert c.resident_lines() <= 2048 // 128
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 4_000), min_size=1, max_size=200))
+    def test_immediate_re_access_always_hits(self, addresses):
+        c = SetAssociativeCache(2048, 128, 4)
+        for a in addresses:
+            c.access(a)
+            assert c.access(a) is True

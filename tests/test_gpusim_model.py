@@ -1,0 +1,177 @@
+"""GPU performance model components and end-to-end estimates."""
+
+import pytest
+
+from repro.core.config import KernelConfig
+from repro.gpusim.arch import P100
+from repro.gpusim.coalescing import coalescing_multiplier, worst_case_multiplier
+from repro.gpusim.dram import FAR_STRIDE_BYTES, layout_locality_factor, row_locality_factor
+from repro.gpusim.icache import code_bytes, icache_throughput_factor
+from repro.gpusim.model import estimate_performance
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.pipeline import issue_efficiency, thread_cycles
+from repro.layouts.base import BatchSpec
+from repro.layouts.canonical import CanonicalLayout
+from repro.layouts.chunked import ChunkedInterleavedLayout
+from repro.layouts.interleaved import InterleavedLayout
+from repro.utils.opmix import OpMixCounter
+
+
+class TestArch:
+    def test_p100_peak(self):
+        assert P100.peak_fp32_gflops == pytest.approx(9339.9, abs=1.0)
+
+    def test_fast_math_cheaper(self):
+        assert P100.div_cycles(True) < P100.div_cycles(False)
+        assert P100.sqrt_cycles(True) < P100.sqrt_cycles(False)
+
+
+class TestCoalescing:
+    def test_interleaved_perfect(self):
+        spec = BatchSpec(batch=16384, n=8)
+        assert coalescing_multiplier(InterleavedLayout(), spec) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("chunk", [32, 64, 512])
+    def test_chunked_perfect(self, chunk):
+        spec = BatchSpec(batch=16384, n=5)
+        layout = ChunkedInterleavedLayout(chunk)
+        assert coalescing_multiplier(layout, spec) == pytest.approx(1.0)
+
+    def test_canonical_tiny_matrices_worst_case(self):
+        spec = BatchSpec(batch=16384, n=6)  # 6*6*4 = 144 B per matrix > 128
+        mult = coalescing_multiplier(CanonicalLayout(), spec)
+        assert mult == pytest.approx(worst_case_multiplier(), rel=0.05)
+
+    def test_canonical_never_coalesces_past_line_size(self):
+        """Batched same-element access across canonical matrices stays
+        worst-case for every n with a matrix footprint beyond one line —
+        which is why the traditional kernels access memory column-wise
+        per block instead (modelled in baselines.magma)."""
+        small = coalescing_multiplier(CanonicalLayout(), BatchSpec(batch=1024, n=8))
+        large = coalescing_multiplier(CanonicalLayout(), BatchSpec(batch=1024, n=64))
+        assert small == large == pytest.approx(worst_case_multiplier())
+        tiny = coalescing_multiplier(CanonicalLayout(), BatchSpec(batch=1024, n=2))
+        assert tiny < small  # 16-byte matrices share lines across lanes
+
+
+class TestDram:
+    def test_line_stride_streams(self):
+        assert row_locality_factor(128, P100) == 1.0
+
+    def test_monotone_decay(self):
+        factors = [row_locality_factor(s, P100) for s in (128, 256, 512, 1024, 2048)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_far_stride_floor(self):
+        assert row_locality_factor(FAR_STRIDE_BYTES, P100) == P100.far_stride_efficiency
+
+    def test_layouts_ordering(self):
+        """chunked(32) > chunked(512) > simple interleave at a large batch."""
+        spec = BatchSpec(batch=16384, n=8)
+        f32 = layout_locality_factor(ChunkedInterleavedLayout(32), spec, P100)
+        f512 = layout_locality_factor(ChunkedInterleavedLayout(512), spec, P100)
+        fsimple = layout_locality_factor(InterleavedLayout(), spec, P100)
+        assert f32 > f512 >= fsimple
+        assert layout_locality_factor(CanonicalLayout(), spec, P100) == 1.0
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            row_locality_factor(0, P100)
+
+
+class TestIcache:
+    def test_small_code_free(self):
+        assert icache_throughput_factor(100, P100) == 1.0
+
+    def test_large_code_penalised_with_floor(self):
+        f = icache_throughput_factor(1_000_000, P100)
+        assert 0.3 <= f < 0.5
+
+    def test_monotone(self):
+        fs = [icache_throughput_factor(s, P100) for s in (1000, 10_000, 50_000, 200_000)]
+        assert fs == sorted(fs, reverse=True)
+
+    def test_code_bytes(self):
+        assert code_bytes(100, P100) == 100 * P100.sass_bytes_per_statement
+
+
+class TestOccupancy:
+    def test_small_blocks_many_per_sm(self):
+        occ = compute_occupancy(P100, regs_per_thread=64, block_threads=32, total_blocks=10_000)
+        assert occ.blocks_per_sm == 32  # block-slot limited
+        assert occ.limited_by in ("blocks", "work")
+
+    def test_register_limited(self):
+        occ = compute_occupancy(P100, regs_per_thread=255, block_threads=256, total_blocks=10_000)
+        assert occ.blocks_per_sm == 65536 // (256 * 256)
+
+    def test_oversized_block_spills(self):
+        occ = compute_occupancy(P100, regs_per_thread=255, block_threads=512, total_blocks=64)
+        assert occ.spilled_regs > 0
+        assert occ.regs_per_thread * 512 <= P100.register_file_per_sm
+
+    def test_work_limited_batch(self):
+        """16384 matrices at one warp per block: ~9 warps per SM."""
+        occ = compute_occupancy(P100, regs_per_thread=64, block_threads=32, total_blocks=512)
+        assert occ.limited_by == "work"
+        assert 9 <= occ.warps_per_sm <= 10
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(P100, 64, 48, 100)
+
+
+class TestPipeline:
+    def test_fast_math_cheaper(self):
+        mix = OpMixCounter(fma=100, div=50, sqrt=10)
+        assert thread_cycles(mix, 0, True, P100) < thread_cycles(mix, 0, False, P100)
+
+    def test_memory_instructions_counted(self):
+        mix = OpMixCounter(fma=10)
+        base = thread_cycles(mix, 0, False, P100)
+        assert thread_cycles(mix, 100, False, P100) == base + 100 * P100.mem_issue_cycles
+
+    def test_issue_efficiency_saturates(self):
+        assert issue_efficiency(64, P100) == 1.0
+        assert issue_efficiency(4, P100) < issue_efficiency(16, P100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            thread_cycles(OpMixCounter(), -1, False, P100)
+
+
+class TestEndToEndModel:
+    def test_estimate_fields_consistent(self):
+        e = estimate_performance(KernelConfig(n=16, nb=4), batch=16384)
+        assert e.seconds > 0
+        assert e.gflops > 0
+        assert e.seconds >= max(e.mem_seconds, e.compute_seconds)
+        assert e.bound in ("memory", "compute")
+
+    def test_gflops_uses_paper_formula(self):
+        e = estimate_performance(KernelConfig(n=12, nb=4), batch=1024)
+        expected = (12**3 / 3) * 1024 / e.seconds / 1e9
+        assert e.gflops == pytest.approx(expected)
+
+    def test_fast_math_never_slower(self):
+        for n in (8, 16, 24, 32):
+            cfg = KernelConfig(n=n, nb=4, unroll="full")
+            ieee = estimate_performance(cfg)
+            fast = estimate_performance(cfg.with_(fast_math=True))
+            assert fast.gflops >= ieee.gflops * 0.999
+
+    def test_bigger_batch_amortises_overhead(self):
+        cfg = KernelConfig(n=8, nb=4)
+        small = estimate_performance(cfg, batch=128)
+        big = estimate_performance(cfg, batch=65536)
+        assert big.gflops > small.gflops
+
+    def test_chunked_beats_simple_interleave_when_memory_bound(self):
+        cfg = KernelConfig(n=32, nb=8, chunked=True, chunk_size=32)
+        chunked = estimate_performance(cfg)
+        simple = estimate_performance(cfg.with_(chunked=False))
+        assert chunked.gflops > simple.gflops
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            estimate_performance(KernelConfig(n=8), batch=0)

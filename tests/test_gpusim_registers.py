@@ -1,0 +1,111 @@
+"""Register residency pass (repro.gpusim.registers)."""
+
+import pytest
+
+from repro.core.config import KernelConfig
+from repro.core.schedule import TileOp, build_schedule
+from repro.gpusim.registers import (
+    allocate_registers,
+    compute_spill_elements,
+    scalar_replacement_efficiency,
+)
+
+
+def ops_for(n: int, nb: int, looking: str = "top"):
+    return build_schedule(KernelConfig(n=n, nb=nb, looking=looking))
+
+
+class TestAllocator:
+    def test_huge_budget_keeps_everything(self):
+        """With room for the whole matrix, traffic collapses to compulsory:
+        each lower-triangle element is loaded once and stored once."""
+        n = 12
+        alloc = allocate_registers(ops_for(n, 4), budget_elements=10_000)
+        lower = n * (n + 1) // 2
+        assert alloc.load_elements == lower
+        assert alloc.store_elements == lower
+
+    def test_tiny_budget_keeps_raw_traffic(self):
+        """With no residency, every scheduled access reaches memory."""
+        ops = ops_for(12, 4)
+        raw_loads = sum(op.elems for op in ops if op.is_load)
+        alloc = allocate_registers(ops, budget_elements=16)
+        assert alloc.load_elements == raw_loads
+
+    def test_monotone_in_budget(self):
+        """More registers never increase memory traffic."""
+        ops = ops_for(16, 4)
+        totals = [
+            allocate_registers(ops, b).load_elements + allocate_registers(ops, b).store_elements
+            for b in (16, 64, 128, 256, 1000)
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_peak_live_bounded_by_budget(self):
+        alloc = allocate_registers(ops_for(20, 4), budget_elements=100)
+        assert alloc.peak_live <= 100
+
+    def test_eliminated_accounting(self):
+        ops = ops_for(16, 4)
+        raw_loads = sum(op.elems for op in ops if op.is_load)
+        raw_stores = sum(op.elems for op in ops if op.is_store)
+        alloc = allocate_registers(ops, budget_elements=231)
+        assert alloc.load_elements + alloc.eliminated_loads == raw_loads
+        assert alloc.store_elements + alloc.eliminated_stores <= raw_stores + alloc.peak_live
+
+    def test_dirty_eviction_writes_back(self):
+        """A stored tile evicted under pressure must reach memory."""
+        ops = [
+            TileOp("load_full", (0, 0), shape=(2, 2), elems=4),
+            TileOp("store_full", (0, 0), shape=(2, 2), elems=4),
+            TileOp("load_full", (1, 0), shape=(2, 2), elems=4),  # evicts (0,0)
+            TileOp("load_full", (2, 0), shape=(2, 2), elems=4),  # evicts (1,0)
+        ]
+        alloc = allocate_registers(ops, budget_elements=4)
+        assert alloc.store_elements == 4  # written back exactly once
+
+    def test_oversized_tile_streams(self):
+        ops = [
+            TileOp("load_full", (0, 0), shape=(4, 4), elems=16),
+            TileOp("load_full", (0, 0), shape=(4, 4), elems=16),
+        ]
+        alloc = allocate_registers(ops, budget_elements=8)
+        assert alloc.load_elements == 32  # no caching possible
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            allocate_registers([], 0)
+
+
+class TestSpillModel:
+    def test_no_spill_when_fits(self):
+        assert compute_spill_elements(ops_for(16, 4), budget_elements=231) == 0
+
+    def test_spill_grows_as_budget_shrinks(self):
+        ops = ops_for(24, 8)
+        spills = [compute_spill_elements(ops, b) for b in (300, 150, 60, 20)]
+        assert spills[0] == 0
+        assert spills[1] < spills[2] < spills[3]
+
+    def test_gemm_working_set(self):
+        ops = [TileOp("gemm", (1, 0), operands=((1, 1), (0, 1)), shape=(4, 4, 4))]
+        # working set = 3 * 16 = 48; budget 40 -> 2 * 8 spill elements
+        assert compute_spill_elements(ops, 40) == 16
+
+
+class TestScalarWindow:
+    def test_full_efficiency_below_window(self):
+        assert scalar_replacement_efficiency(100, 6000) == 1.0
+        assert scalar_replacement_efficiency(6000, 6000) == 1.0
+
+    def test_decays_beyond_window(self):
+        e1 = scalar_replacement_efficiency(12_000, 6000)
+        e2 = scalar_replacement_efficiency(24_000, 6000)
+        assert 0 < e2 < e1 < 1.0
+
+    def test_square_root_decay(self):
+        assert scalar_replacement_efficiency(24_000, 6000) == pytest.approx(0.5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            scalar_replacement_efficiency(10, 0)

@@ -1,0 +1,107 @@
+"""Cross-module integration tests.
+
+Each test exercises a realistic end-to-end path through several
+subsystems at once, the way the examples and benchmarks do.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    KernelConfig,
+    batch_cholesky,
+    batch_solve,
+    estimate_performance,
+    random_spd_batch,
+)
+from repro.autotune import ParameterSpace, run_sweep
+from repro.autotune.analysis import forest_fit_quality, parameter_importance
+from repro.baselines.lapack import lapack_cholesky_batch
+from repro.baselines.magma import estimate_magma_performance, magma_cholesky_batch
+from repro.core.reference import cholesky_blocked
+from repro.utils.errors import factorization_error, relative_residual
+from repro.utils.spd import random_rhs_batch
+
+
+class TestThreeWayNumericAgreement:
+    """Generated kernels vs schedule interpreter vs LAPACK on one input."""
+
+    @pytest.mark.parametrize("looking", ["right", "left", "top"])
+    def test_all_paths_agree(self, looking):
+        n, nb = 10, 4  # corner case: 10 % 4 != 0
+        a = random_spd_batch(8, n, seed=123)
+        cfg = KernelConfig(n=n, nb=nb, looking=looking, unroll="full")
+
+        kernel_l = np.tril(batch_cholesky(a, cfg).astype(np.float64))
+        lapack_l = lapack_cholesky_batch(a).astype(np.float64)
+        sched_l = np.stack(
+            [np.tril(cholesky_blocked(a[i].astype(np.float64), cfg)) for i in range(8)]
+        )
+
+        assert np.allclose(kernel_l, lapack_l, atol=2e-3)
+        assert np.allclose(sched_l, lapack_l, atol=1e-6)
+
+
+class TestFactorSolveVerifyLoop:
+    def test_full_pipeline(self):
+        a = random_spd_batch(500, 12, seed=5)
+        b = random_rhs_batch(500, 12, nrhs=3, seed=6)
+        cfg = KernelConfig(n=12, nb=4, chunked=True, chunk_size=64, looking="left")
+        l = batch_cholesky(a, cfg)
+        assert factorization_error(a, l) < 1e-5
+        x = batch_solve(l, b)
+        assert relative_residual(a, x, b) < 1e-5
+
+    def test_magma_baseline_same_answers(self):
+        a = random_spd_batch(64, 8, seed=7)
+        ours = np.tril(batch_cholesky(a, KernelConfig(n=8, nb=4)))
+        magma = np.tril(magma_cholesky_batch(a))
+        assert np.allclose(ours, magma, atol=1e-4)
+
+
+class TestSweepToAnalysisPipeline:
+    def test_sweep_forest_importance_chain(self):
+        space = ParameterSpace(
+            ns=(8, 24, 48),
+            nbs=(1, 4, 8),
+            chunkings=(None, 32, 512),
+            cache_prefs=("l1", "shared"),
+        )
+        dataset = run_sweep(space, batch=16384)
+        assert len(dataset.successful()) > 100
+
+        imp = parameter_importance(dataset, n_estimators=40)
+        # physical knobs must out-rank the no-op cache knob
+        assert imp["nb"] > imp["cache_pref"]
+        assert imp["chunked"] > imp["cache_pref"]
+
+        quality = forest_fit_quality(dataset, n_estimators=40)
+        assert quality.oob_r > 0.85
+
+    def test_best_config_beats_median(self):
+        space = ParameterSpace(
+            ns=(32,), nbs=(1, 2, 4, 8), chunkings=(None, 32, 512),
+            cache_prefs=("l1",),
+        )
+        dataset = run_sweep(space, batch=16384)
+        values = sorted(r.gflops for r in dataset.successful())
+        best = values[-1]
+        median = values[len(values) // 2]
+        assert best > 1.5 * median  # tuning matters
+
+
+class TestModelConsistency:
+    def test_model_and_magma_share_flop_convention(self):
+        """Same time => same Gflop/s irrespective of implementation."""
+        est = estimate_performance(KernelConfig(n=16, nb=4), batch=2048)
+        magma = estimate_magma_performance(16, batch=2048)
+        ours = est.gflops * est.seconds
+        theirs = magma.gflops * magma.seconds
+        assert ours == pytest.approx(theirs)  # both = flops / 1e9
+
+    def test_batch_padding_counted_in_time_not_flops(self):
+        """Gflop/s is computed over the *requested* batch."""
+        e1 = estimate_performance(KernelConfig(n=8, nb=4), batch=33)
+        e2 = estimate_performance(KernelConfig(n=8, nb=4), batch=64)
+        assert e1.seconds == pytest.approx(e2.seconds)
+        assert e1.gflops < e2.gflops

@@ -1,0 +1,104 @@
+"""Batched Kalman filters (repro.apps.kalman)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kalman import (
+    BatchKalmanFilter,
+    constant_velocity_model,
+    simulate_tracks,
+)
+from repro.core.config import KernelConfig
+
+
+class TestModelConstruction:
+    def test_constant_velocity_shapes(self):
+        m = constant_velocity_model(dim=3)
+        assert m.state_dim == 6
+        assert m.measurement_dim == 3
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            BatchKalmanFilter(
+                f=np.eye(2), h=np.eye(3), q=np.eye(2), r=np.eye(3)
+            )
+        with pytest.raises(ValueError):
+            constant_velocity_model(dim=0)
+
+    def test_config_dimension_checked(self):
+        with pytest.raises(ValueError):
+            BatchKalmanFilter(
+                f=np.eye(2), h=np.eye(2)[:1], q=np.eye(2), r=np.eye(1),
+                config=KernelConfig(n=4),
+            )
+
+
+class TestFiltering:
+    def test_tracking_beats_raw_measurements(self):
+        """The filtered position error must undercut the measurement noise."""
+        model = constant_velocity_model(dim=2, measurement_noise=1.0)
+        states, meas = simulate_tracks(model, n_tracks=300, n_steps=40, seed=1)
+        n_tracks = states.shape[1]
+        x = np.zeros((n_tracks, model.state_dim))
+        p = np.tile(np.eye(model.state_dim) * 10.0, (n_tracks, 1, 1))
+        errs = []
+        for t in range(states.shape[0]):
+            x, p = model.step(x, p, meas[t])
+            pos_est = x @ model.h.T
+            pos_true = states[t] @ model.h.T
+            errs.append(np.sqrt(np.mean((pos_est - pos_true) ** 2)))
+        meas_rmse = np.sqrt(np.mean((meas[-10:] - states[-10:] @ model.h.T) ** 2))
+        assert np.mean(errs[-10:]) < 0.8 * meas_rmse
+
+    def test_covariance_stays_spd(self):
+        model = constant_velocity_model(dim=2)
+        states, meas = simulate_tracks(model, n_tracks=50, n_steps=15, seed=2)
+        x = np.zeros((50, model.state_dim))
+        p = np.tile(np.eye(model.state_dim) * 5.0, (50, 1, 1))
+        for t in range(15):
+            x, p = model.step(x, p, meas[t])
+            eig = np.linalg.eigvalsh(p)
+            assert eig.min() > 0
+            assert np.allclose(p, p.transpose(0, 2, 1))
+
+    def test_matches_scalar_reference_filter(self):
+        """The batched update equals a per-track textbook implementation."""
+        model = constant_velocity_model(dim=1)
+        rng = np.random.default_rng(3)
+        n = 12
+        x = rng.standard_normal((n, 2))
+        p0 = rng.standard_normal((n, 2, 2))
+        p = p0 @ p0.transpose(0, 2, 1) + 2 * np.eye(2)
+        z = rng.standard_normal((n, 1))
+
+        bx, bp = model.update(x.copy(), p.copy(), z)
+        for i in range(n):
+            s = model.h @ p[i] @ model.h.T + model.r
+            k = p[i] @ model.h.T @ np.linalg.inv(s)
+            xi = x[i] + (k @ (z[i] - model.h @ x[i]))
+            ikh = np.eye(2) - k @ model.h
+            pi = ikh @ p[i] @ ikh.T + k @ model.r @ k.T
+            assert np.allclose(bx[i], xi, atol=1e-4)
+            assert np.allclose(bp[i], pi, atol=1e-4)
+
+    def test_measurement_shape_checked(self):
+        model = constant_velocity_model(dim=2)
+        x = np.zeros((5, 4))
+        p = np.tile(np.eye(4), (5, 1, 1))
+        with pytest.raises(ValueError):
+            model.update(x, p, np.zeros((5, 3)))
+
+
+class TestSimulation:
+    def test_shapes_and_determinism(self):
+        model = constant_velocity_model(dim=2)
+        s1, m1 = simulate_tracks(model, 10, 5, seed=7)
+        s2, m2 = simulate_tracks(model, 10, 5, seed=7)
+        assert s1.shape == (5, 10, 4)
+        assert m1.shape == (5, 10, 2)
+        assert np.array_equal(s1, s2) and np.array_equal(m1, m2)
+
+    def test_invalid_args(self):
+        model = constant_velocity_model()
+        with pytest.raises(ValueError):
+            simulate_tracks(model, 0, 5)

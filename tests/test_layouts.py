@@ -1,0 +1,185 @@
+"""Data layouts: offsets, pack/unpack round trips, padding, conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts import (
+    BatchSpec,
+    CanonicalLayout,
+    ChunkedInterleavedLayout,
+    InterleavedLayout,
+    convert,
+    from_canonical_dense,
+    get_layout,
+    pad_batch,
+    to_canonical_dense,
+)
+from repro.layouts.base import WARP_SIZE
+
+ALL_LAYOUTS = [
+    CanonicalLayout(),
+    InterleavedLayout(),
+    ChunkedInterleavedLayout(32),
+    ChunkedInterleavedLayout(64),
+    ChunkedInterleavedLayout(256),
+]
+
+
+def dense_batch(batch: int, n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((batch, n, n)).astype(np.float32)
+
+
+class TestBatchSpec:
+    def test_padding_rounds_to_warp(self):
+        assert BatchSpec(batch=1, n=4).padded_batch == WARP_SIZE
+        assert BatchSpec(batch=33, n=4).padded_batch == 64
+        assert BatchSpec(batch=64, n=4).padded_batch == 64
+
+    @pytest.mark.parametrize("batch,n", [(0, 4), (4, 0)])
+    def test_invalid(self, batch, n):
+        with pytest.raises(ValueError):
+            BatchSpec(batch=batch, n=n)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_layout("canonical").name == "canonical"
+        assert get_layout("chunked64").chunk_size == 64
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_layout("nope")
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS, ids=lambda l: l.name)
+class TestRoundTrip:
+    def test_pack_unpack_identity(self, layout):
+        dense = dense_batch(37, 5, seed=1)  # 37: not a multiple of anything
+        spec = BatchSpec(batch=37, n=5)
+        buf = layout.pack(dense)
+        assert buf.shape == (layout.buffer_len(spec),)
+        out = layout.unpack(buf, spec)
+        assert np.array_equal(out, dense)
+
+    def test_offsets_match_pack(self, layout):
+        """element_offset is the ground truth for pack's data movement."""
+        batch, n = 34, 3
+        dense = dense_batch(batch, n, seed=2)
+        spec = BatchSpec(batch=batch, n=n)
+        buf = layout.pack(dense)
+        for b in (0, 1, 31, 33):
+            for i in range(n):
+                for j in range(n):
+                    off = int(np.asarray(layout.element_offset(spec, b, i, j)))
+                    assert buf[off] == dense[b, i, j]
+
+    def test_offsets_are_a_bijection(self, layout):
+        batch, n = 32, 4
+        spec = BatchSpec(batch=batch, n=n)
+        bs, is_, js = np.meshgrid(
+            np.arange(batch), np.arange(n), np.arange(n), indexing="ij"
+        )
+        offs = np.asarray(layout.element_offset(spec, bs, is_, js)).ravel()
+        assert len(np.unique(offs)) == batch * n * n
+        assert offs.min() >= 0
+        assert offs.max() < layout.buffer_len(spec)
+
+    def test_unpack_rejects_wrong_size(self, layout):
+        spec = BatchSpec(batch=8, n=3)
+        with pytest.raises(ValueError):
+            layout.unpack(np.zeros(7, dtype=np.float32), spec)
+
+    def test_pack_rejects_non_square(self, layout):
+        with pytest.raises(ValueError):
+            layout.pack(np.zeros((4, 3, 5), dtype=np.float32))
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 70),
+        n=st.integers(1, 9),
+        layout_idx=st.integers(0, len(ALL_LAYOUTS) - 1),
+    )
+    def test_any_shape_round_trips(self, batch, n, layout_idx):
+        layout = ALL_LAYOUTS[layout_idx]
+        dense = dense_batch(batch, n, seed=batch * 31 + n)
+        out = layout.unpack(layout.pack(dense), BatchSpec(batch=batch, n=n))
+        assert np.array_equal(out, dense)
+
+
+class TestInterleavedStructure:
+    def test_batch_is_fastest_dimension(self):
+        """Figure 7: consecutive matrices' (i,j) elements are adjacent."""
+        layout = InterleavedLayout()
+        spec = BatchSpec(batch=64, n=4)
+        o1 = int(np.asarray(layout.element_offset(spec, 0, 2, 1)))
+        o2 = int(np.asarray(layout.element_offset(spec, 1, 2, 1)))
+        assert o2 == o1 + 1
+
+    def test_element_stride_is_padded_batch(self):
+        layout = InterleavedLayout()
+        spec = BatchSpec(batch=100, n=4)  # pads to 128
+        o1 = int(np.asarray(layout.element_offset(spec, 0, 0, 0)))
+        o2 = int(np.asarray(layout.element_offset(spec, 0, 1, 0)))
+        assert o2 - o1 == 128
+
+    def test_padding_unpacks_to_original_batch(self):
+        layout = InterleavedLayout()
+        dense = dense_batch(33, 3)
+        out = layout.unpack(layout.pack(dense), BatchSpec(batch=33, n=3))
+        assert out.shape == (33, 3, 3)
+
+
+class TestChunkedStructure:
+    def test_chunks_are_contiguous(self):
+        """Figure 8: a chunk occupies one contiguous region."""
+        layout = ChunkedInterleavedLayout(32)
+        spec = BatchSpec(batch=64, n=3)
+        per_chunk = 3 * 3 * 32
+        o = int(np.asarray(layout.element_offset(spec, 32, 0, 0)))
+        assert o == per_chunk  # matrix 32 opens chunk 1
+
+    def test_element_stride_is_chunk_size(self):
+        layout = ChunkedInterleavedLayout(64)
+        spec = BatchSpec(batch=128, n=4)
+        o1 = int(np.asarray(layout.element_offset(spec, 0, 0, 0)))
+        o2 = int(np.asarray(layout.element_offset(spec, 0, 1, 0)))
+        assert o2 - o1 == 64
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ChunkedInterleavedLayout(48)
+        with pytest.raises(ValueError):
+            ChunkedInterleavedLayout(0)
+
+
+class TestPadBatch:
+    def test_pads_with_identity(self):
+        dense = dense_batch(3, 4)
+        padded = pad_batch(dense, 8)
+        assert padded.shape == (8, 4, 4)
+        assert np.array_equal(padded[5], np.eye(4, dtype=np.float32))
+
+    def test_noop_when_aligned(self):
+        dense = dense_batch(8, 4)
+        assert pad_batch(dense, 8) is dense
+
+    def test_invalid_multiple(self):
+        with pytest.raises(ValueError):
+            pad_batch(dense_batch(3, 4), 0)
+
+
+class TestConvert:
+    @pytest.mark.parametrize("src", ["canonical", "interleaved", "chunked32"])
+    @pytest.mark.parametrize("dst", ["canonical", "interleaved", "chunked64"])
+    def test_cross_layout_conversion(self, src, dst):
+        dense = dense_batch(40, 5, seed=7)
+        spec = BatchSpec(batch=40, n=5)
+        buf = from_canonical_dense(dense, src)
+        out_buf = convert(buf, spec, src, dst)
+        out = to_canonical_dense(out_buf, spec, dst)
+        assert np.array_equal(out, dense)

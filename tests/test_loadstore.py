@@ -1,0 +1,95 @@
+"""Memory micro-op generation (repro.codegen.loadstore)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.loadstore import (
+    full_tile_elements,
+    load_full_source,
+    load_lower_source,
+    lower_tile_elements,
+    store_full_source,
+    store_lower_source,
+)
+
+
+def run_block(source: str, ns: dict) -> None:
+    exec(compile(source, "<loadstore>", "exec"), ns)  # noqa: S102
+
+
+class TestLoadFull:
+    def test_constant_base_indices(self):
+        src = load_full_source("rA", 2, 2, 4, 8)
+        # base 8, element (m, n) at 8 + m + 4n
+        assert "rA_0_0 = dA[8].copy()" in src
+        assert "rA_1_0 = dA[9].copy()" in src
+        assert "rA_0_1 = dA[12].copy()" in src
+        assert "rA_1_1 = dA[13].copy()" in src
+
+    def test_symbolic_base(self):
+        src = load_full_source("rA", 2, 1, 4, "_b")
+        assert "rA_0_0 = dA[_b].copy()" in src
+        assert "rA_1_0 = dA[_b + 1].copy()" in src
+
+    def test_executes(self):
+        dA = np.arange(32.0)
+        ns = {"dA": dA}
+        run_block(load_full_source("rA", 3, 2, 4, 0), ns)
+        assert ns["rA_2_1"] == dA[2 + 4]
+
+    def test_invalid_base_type(self):
+        with pytest.raises(TypeError):
+            load_full_source("rA", 2, 2, 4, 1.5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            load_full_source("rA", 0, 2, 4, 0)
+
+
+class TestStoreFull:
+    def test_round_trip_with_load(self):
+        dA = np.arange(64.0)
+        ns = {"dA": dA.copy()}
+        run_block(load_full_source("rA", 3, 3, 8, 2), ns)
+        ns["rA_1_1"] = np.float64(-5.0)
+        run_block(store_full_source("rA", 3, 3, 8, 2), ns)
+        expected = dA.copy()
+        expected[2 + 1 + 8] = -5.0
+        assert np.array_equal(ns["dA"], expected)
+
+
+class TestLowerOps:
+    def test_only_lower_triangle_touched(self):
+        src = load_lower_source("rA", 3, 8, 0)
+        assert "rA_0_1" not in src
+        assert "rA_0_2" not in src
+        assert "rA_1_2" not in src
+        for name in ("rA_0_0", "rA_1_0", "rA_2_0", "rA_1_1", "rA_2_1", "rA_2_2"):
+            assert name in src
+
+    def test_store_lower_preserves_upper(self):
+        dA = np.arange(64.0)
+        ns = {"dA": dA.copy()}
+        run_block(load_lower_source("rA", 3, 8, 0), ns)
+        for i in range(3):
+            for j in range(i + 1):
+                ns[f"rA_{i}_{j}"] = np.float64(0.0)
+        run_block(store_lower_source("rA", 3, 8, 0), ns)
+        # upper-triangle elements (i < j) untouched
+        assert ns["dA"][0 + 1 * 8] == dA[8]
+        assert ns["dA"][1 + 2 * 8] == dA[17]
+        # lower zeroed
+        assert ns["dA"][0] == 0.0
+        assert ns["dA"][1 + 1 * 8] == 0.0
+
+
+class TestElementCounts:
+    def test_full(self):
+        assert full_tile_elements(3, 4) == 12
+
+    def test_lower(self):
+        assert lower_tile_elements(4) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lower_tile_elements(0)

@@ -1,0 +1,144 @@
+"""Compute micro-op generation (repro.codegen.microkernels).
+
+Each generated block is exec'd against NumPy scalars and checked against
+dense linear algebra — the micro-ops are tiny programs, so we test them
+as programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.microkernels import (
+    OpMixCounter,
+    sgemm_tile_ops,
+    sgemm_tile_source,
+    spotrf_tile_ops,
+    spotrf_tile_source,
+    ssyrk_tile_ops,
+    ssyrk_tile_source,
+    strsm_tile_ops,
+    strsm_tile_source,
+)
+
+
+def bind_tile(ns: dict, reg: str, tile: np.ndarray, lower_only: bool = False) -> None:
+    rows, cols = tile.shape
+    for i in range(rows):
+        for j in range(cols):
+            if lower_only and j > i:
+                continue
+            ns[f"{reg}_{i}_{j}"] = np.float64(tile[i, j])
+
+
+def read_tile(ns: dict, reg: str, rows: int, cols: int, lower_only: bool = False) -> np.ndarray:
+    out = np.zeros((rows, cols))
+    for i in range(rows):
+        for j in range(cols):
+            if lower_only and j > i:
+                continue
+            out[i, j] = ns[f"{reg}_{i}_{j}"]
+    return out
+
+
+def run_block(source: str, ns: dict) -> None:
+    ns.setdefault("_sqrt", np.sqrt)
+    ns.setdefault("_one", np.float64(1.0))
+    exec(compile(source, "<microkernel>", "exec"), ns)  # noqa: S102
+
+
+def spd_tile(kb: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((kb, kb))
+    return g @ g.T + kb * np.eye(kb)
+
+
+class TestSpotrfTile:
+    @pytest.mark.parametrize("kb", [1, 2, 3, 5, 8])
+    def test_matches_numpy_cholesky(self, kb):
+        a = spd_tile(kb, seed=kb)
+        ns: dict = {}
+        bind_tile(ns, "rA", a, lower_only=True)
+        run_block(spotrf_tile_source("rA", kb), ns)
+        got = read_tile(ns, "rA", kb, kb, lower_only=True)
+        assert np.allclose(got, np.linalg.cholesky(a), rtol=1e-10)
+
+    def test_op_mix_matches_statement_count(self):
+        for kb in (1, 2, 4, 7):
+            src = spotrf_tile_source("rA", kb)
+            ops = spotrf_tile_ops(kb)
+            assert src.count("_sqrt(") == ops.sqrt
+            assert src.count("_one /") == ops.div
+            assert src.count("* _inv") == ops.mul
+            # every FMA line is 'x = x - a * b'
+            assert sum(" - " in line for line in src.splitlines()) == ops.fma
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            spotrf_tile_source("rA", 0)
+
+
+class TestStrsmTile:
+    @pytest.mark.parametrize("mb,kb", [(1, 1), (2, 2), (3, 2), (2, 5), (4, 4)])
+    def test_solves_x_lt_equals_a(self, mb, kb):
+        """strsm computes X = A * L^{-T} for a factored diagonal tile L."""
+        l = np.linalg.cholesky(spd_tile(kb, seed=3))
+        a = np.random.default_rng(4).standard_normal((mb, kb))
+        ns: dict = {}
+        bind_tile(ns, "rA1", l, lower_only=True)
+        bind_tile(ns, "rA2", a)
+        run_block(strsm_tile_source("rA1", "rA2", mb, kb), ns)
+        got = read_tile(ns, "rA2", mb, kb)
+        assert np.allclose(got @ l.T, a, rtol=1e-10)
+
+    def test_op_mix(self):
+        ops = strsm_tile_ops(3, 4)
+        assert ops.div == 12
+        assert ops.fma == 3 * 4 * 3 // 2
+
+
+class TestSsyrkTile:
+    @pytest.mark.parametrize("mb,kb", [(1, 1), (2, 3), (4, 2), (5, 5)])
+    def test_lower_rank_k_update(self, mb, kb):
+        a1 = np.random.default_rng(5).standard_normal((mb, kb))
+        a2 = np.random.default_rng(6).standard_normal((mb, mb))
+        a2 = np.tril(a2)
+        ns: dict = {}
+        bind_tile(ns, "rA1", a1)
+        bind_tile(ns, "rA2", a2, lower_only=True)
+        run_block(ssyrk_tile_source("rA1", "rA2", mb, kb), ns)
+        got = read_tile(ns, "rA2", mb, mb, lower_only=True)
+        expected = a2 - np.tril(a1 @ a1.T)
+        assert np.allclose(got, expected, rtol=1e-10)
+
+    def test_op_mix(self):
+        assert ssyrk_tile_ops(4, 3) == OpMixCounter(fma=4 * 5 // 2 * 3)
+
+
+class TestSgemmTile:
+    @pytest.mark.parametrize("mb,nb2,kb", [(1, 1, 1), (2, 3, 4), (4, 2, 3)])
+    def test_a3_minus_a1_a2t(self, mb, nb2, kb):
+        rng = np.random.default_rng(7)
+        a1 = rng.standard_normal((mb, kb))
+        a2 = rng.standard_normal((nb2, kb))
+        a3 = rng.standard_normal((mb, nb2))
+        ns: dict = {}
+        bind_tile(ns, "rA1", a1)
+        bind_tile(ns, "rA2", a2)
+        bind_tile(ns, "rA3", a3)
+        run_block(sgemm_tile_source("rA1", "rA2", "rA3", mb, nb2, kb), ns)
+        got = read_tile(ns, "rA3", mb, nb2)
+        assert np.allclose(got, a3 - a1 @ a2.T, rtol=1e-10)
+
+    def test_op_mix(self):
+        assert sgemm_tile_ops(2, 3, 4) == OpMixCounter(fma=24)
+
+
+class TestOpMixCounter:
+    def test_flops_convention(self):
+        mix = OpMixCounter(fma=10, mul=3, div=2, sqrt=1)
+        assert mix.flops == 26
+        assert mix.instructions == 16
+
+    def test_addition(self):
+        total = OpMixCounter(fma=1) + OpMixCounter(div=2)
+        assert total == OpMixCounter(fma=1, div=2)

@@ -1,0 +1,109 @@
+"""Random forest regressor (repro.ml.forest)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import mse, pearson_r
+
+
+def friedman_like(m=400, seed=0):
+    """Regression data with two strong, one weak, one useless feature."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((m, 4))
+    y = (
+        20.0 * x[:, 0]
+        + 10.0 * np.sin(np.pi * x[:, 1])
+        + 2.0 * x[:, 2]
+        + 0.0 * x[:, 3]
+        + 0.3 * rng.standard_normal(m)
+    )
+    return x, y
+
+
+class TestFitPredict:
+    def test_fits_nonlinear_signal(self):
+        x, y = friedman_like()
+        forest = RandomForestRegressor(n_estimators=40, seed=1).fit(x, y)
+        assert pearson_r(y, forest.predict(x)) > 0.97
+
+    def test_oob_close_to_holdout_quality(self):
+        x, y = friedman_like(m=600)
+        forest = RandomForestRegressor(n_estimators=60, seed=2).fit(x, y)
+        oob = forest.oob_prediction()
+        assert pearson_r(y, oob) > 0.9
+        # OOB must be worse than (or equal to) training predictions.
+        assert mse(y, oob) >= mse(y, forest.predict(x)) * 0.99
+
+    def test_deterministic_given_seed(self):
+        x, y = friedman_like(m=200)
+        f1 = RandomForestRegressor(n_estimators=10, seed=3).fit(x, y)
+        f2 = RandomForestRegressor(n_estimators=10, seed=3).fit(x, y)
+        assert np.array_equal(f1.predict(x), f2.predict(x))
+
+    def test_more_trees_do_not_hurt(self):
+        x, y = friedman_like(m=300, seed=5)
+        small = RandomForestRegressor(n_estimators=5, seed=4).fit(x, y)
+        big = RandomForestRegressor(n_estimators=60, seed=4).fit(x, y)
+        assert big.oob_mse() <= small.oob_mse() * 1.1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor(n_estimators=2).predict(np.zeros((1, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+
+class TestPermutationImportance:
+    def test_ranks_features_correctly(self):
+        x, y = friedman_like(m=500, seed=6)
+        forest = RandomForestRegressor(n_estimators=40, seed=7).fit(x, y)
+        imp = forest.permutation_importance()
+        # strong features clearly above the useless one
+        assert imp[0] > imp[3]
+        assert imp[1] > imp[3]
+        # useless feature hovers near zero (can be negative, like Table I's
+        # cache parameter)
+        assert abs(imp[3]) < imp[0] / 3
+
+    def test_importance_shape(self):
+        x, y = friedman_like(m=100)
+        forest = RandomForestRegressor(n_estimators=10, seed=8).fit(x, y)
+        assert forest.permutation_importance().shape == (4,)
+
+
+class TestProximity:
+    def test_symmetric_unit_diagonal(self):
+        x, y = friedman_like(m=60)
+        forest = RandomForestRegressor(n_estimators=15, seed=9).fit(x, y)
+        prox = forest.proximity()
+        assert prox.shape == (60, 60)
+        assert np.allclose(prox, prox.T)
+        assert np.allclose(np.diag(prox), 1.0)
+        assert prox.min() >= 0.0 and prox.max() <= 1.0
+
+    def test_similar_rows_are_proximate(self):
+        x, y = friedman_like(m=80, seed=10)
+        forest = RandomForestRegressor(n_estimators=20, seed=11).fit(x, y)
+        prox = forest.proximity()
+        # nearest point in feature space should be more proximate than the
+        # average stranger for most rows
+        d = np.linalg.norm(x[:, None] - x[None, :], axis=2) + np.eye(80) * 1e9
+        nn = d.argmin(axis=1)
+        close = prox[np.arange(80), nn]
+        assert close.mean() > prox.mean()
+
+    def test_row_cap(self):
+        x, y = friedman_like(m=50)
+        forest = RandomForestRegressor(n_estimators=5, seed=12).fit(x, y)
+        with pytest.raises(ValueError):
+            forest.proximity(max_rows=10)
+
+
+class TestGeometry:
+    def test_average_depth_reported(self):
+        x, y = friedman_like(m=300)
+        forest = RandomForestRegressor(n_estimators=10, seed=13).fit(x, y)
+        assert forest.average_depth() > 1.0

@@ -1,0 +1,93 @@
+"""Metrics and categorical encodings (repro.ml.metrics / encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.encoding import expand_one_hot, one_hot_encode, ordinal_encode
+from repro.ml.metrics import mse, pearson_r, r2_score
+
+
+class TestMse:
+    def test_zero_for_perfect(self):
+        y = np.arange(5.0)
+        assert mse(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mse([0.0, 0.0], [1.0, 3.0]) == 5.0
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            mse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse([], [])
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_zero(self):
+        y = np.arange(10.0)
+        assert r2_score(y, np.full(10, y.mean())) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        assert r2_score(np.ones(4), np.ones(4)) == 1.0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(20.0)
+        assert pearson_r(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(20.0)
+        assert pearson_r(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_zero(self):
+        assert pearson_r(np.ones(5), np.arange(5.0)) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100))
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.standard_normal((2, 50))
+        assert -1.0 - 1e-9 <= pearson_r(x, y) <= 1.0 + 1e-9
+
+
+class TestEncodings:
+    def test_ordinal(self):
+        codes = ordinal_encode(["top", "left", "top"], ["left", "right", "top"])
+        assert np.array_equal(codes, [2.0, 0.0, 2.0])
+
+    def test_ordinal_unknown_value(self):
+        with pytest.raises(ValueError):
+            ordinal_encode(["x"], ["a", "b"])
+
+    def test_ordinal_duplicate_categories(self):
+        with pytest.raises(ValueError):
+            ordinal_encode(["a"], ["a", "a"])
+
+    def test_one_hot(self):
+        hot = one_hot_encode(["b", "a"], ["a", "b"])
+        assert np.array_equal(hot, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_expand_one_hot(self):
+        x = np.array([[1.0, 2.0], [0.0, 5.0]])
+        expanded, new_cols = expand_one_hot(x, column=0, n_categories=3)
+        assert expanded.shape == (2, 4)
+        assert new_cols == [1, 2, 3]
+        assert np.array_equal(expanded[:, 1:], [[0, 1, 0], [1, 0, 0]])
+        # remaining original column preserved
+        assert np.array_equal(expanded[:, 0], [2.0, 5.0])
+
+    def test_expand_one_hot_validates(self):
+        x = np.array([[5.0]])
+        with pytest.raises(ValueError):
+            expand_one_hot(x, column=0, n_categories=3)
+        with pytest.raises(ValueError):
+            expand_one_hot(x, column=2, n_categories=3)

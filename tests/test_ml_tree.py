@@ -1,0 +1,106 @@
+"""CART regression trees (repro.ml.tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import mse
+from repro.ml.tree import RegressionTree
+
+
+def step_data(m=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((m, 2))
+    y = np.where(x[:, 0] > 0.5, 10.0, -10.0) + 0.01 * rng.standard_normal(m)
+    return x, y
+
+
+class TestFitting:
+    def test_learns_a_step_function(self):
+        x, y = step_data()
+        tree = RegressionTree(min_samples_leaf=1).fit(x, y)
+        pred = tree.predict(x)
+        assert mse(y, pred) < 0.5
+
+    def test_depth_zero_is_mean_predictor(self):
+        x, y = step_data()
+        tree = RegressionTree(max_depth=0).fit(x, y)
+        assert np.allclose(tree.predict(x), y.mean())
+
+    def test_respects_max_depth(self):
+        x, y = step_data(m=500, seed=1)
+        tree = RegressionTree(max_depth=3, min_samples_leaf=1).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_pure_leaf_stops(self):
+        x = np.arange(20.0)[:, None]
+        y = np.zeros(20)
+        tree = RegressionTree().fit(x, y)
+        assert tree.node_count() == 1
+
+    def test_min_samples_leaf_respected(self):
+        x, y = step_data(m=40, seed=2)
+        tree = RegressionTree(min_samples_leaf=15).fit(x, y)
+        leaf_sizes = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaf_sizes.append(node.n_samples)
+            else:
+                stack.extend((node.left, node.right))
+        assert min(leaf_sizes) >= 15
+
+    def test_deterministic_given_rng(self):
+        x, y = step_data(m=300, seed=3)
+        t1 = RegressionTree(max_features=1, rng=np.random.default_rng(7)).fit(x, y)
+        t2 = RegressionTree(max_features=1, rng=np.random.default_rng(7)).fit(x, y)
+        assert np.array_equal(t1.predict(x), t2.predict(x))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3,)), np.zeros(3))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+
+class TestPrediction:
+    def test_predictions_within_target_range(self):
+        x, y = step_data(m=300, seed=4)
+        tree = RegressionTree().fit(x, y)
+        pred = tree.predict(x)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    def test_apply_consistent_with_predict(self):
+        """Rows landing in the same leaf get the same prediction."""
+        x, y = step_data(m=200, seed=5)
+        tree = RegressionTree(max_depth=4).fit(x, y)
+        leaves = tree.apply(x)
+        pred = tree.predict(x)
+        for leaf in np.unique(leaves):
+            assert np.allclose(pred[leaves == leaf], pred[leaves == leaf][0])
+
+    def test_feature_count_checked(self):
+        x, y = step_data()
+        tree = RegressionTree().fit(x, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((3, 5)))
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_never_worse_than_mean_on_train(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random((100, 3))
+        y = x @ np.array([3.0, -2.0, 0.5]) + 0.1 * rng.standard_normal(100)
+        tree = RegressionTree(min_samples_leaf=5).fit(x, y)
+        assert mse(y, tree.predict(x)) <= mse(y, np.full_like(y, y.mean())) + 1e-12

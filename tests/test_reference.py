@@ -1,0 +1,94 @@
+"""Reference implementations (repro.core.reference)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.config import KernelConfig
+from repro.core.reference import (
+    batch_cholesky_reference,
+    cholesky_blocked,
+    cholesky_unblocked,
+)
+from repro.utils.spd import make_spd, random_spd_batch
+
+
+class TestUnblocked:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 12])
+    def test_matches_numpy(self, n, rng):
+        a = make_spd(n, rng, dtype=np.float64)
+        got = np.tril(cholesky_unblocked(a))
+        assert np.allclose(got, np.linalg.cholesky(a), rtol=1e-12)
+
+    def test_upper_triangle_untouched(self, rng):
+        a = make_spd(5, rng, dtype=np.float64)
+        got = cholesky_unblocked(a)
+        assert np.array_equal(np.triu(got, 1), np.triu(a, 1))
+
+    def test_non_spd_raises(self):
+        a = -np.eye(3)
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_unblocked(a)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            cholesky_unblocked(np.zeros((2, 3)))
+
+    def test_input_not_modified(self, rng):
+        a = make_spd(4, rng, dtype=np.float64)
+        backup = a.copy()
+        cholesky_unblocked(a)
+        assert np.array_equal(a, backup)
+
+
+class TestBatchReference:
+    def test_matches_numpy_per_matrix(self):
+        a = random_spd_batch(20, 9, seed=0).astype(np.float64)
+        got = np.tril(batch_cholesky_reference(a))
+        assert np.allclose(got, np.linalg.cholesky(a), rtol=1e-12)
+
+    def test_non_spd_mentions_which_matrix(self):
+        a = random_spd_batch(4, 3, seed=0).astype(np.float64)
+        a[2] = -np.eye(3)
+        with pytest.raises(np.linalg.LinAlgError, match="matrix 2"):
+            batch_cholesky_reference(a)
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            batch_cholesky_reference(np.zeros((3, 3)))
+
+
+class TestBlockedScheduleExecutor:
+    """cholesky_blocked interprets the tile schedules on dense matrices —
+    an independent check of schedule semantics for all variants."""
+
+    @pytest.mark.parametrize(
+        "n,nb,looking",
+        [
+            (n, nb, lk)
+            for (n, nb) in [(6, 2), (8, 4), (9, 4), (10, 3), (5, 5), (13, 4), (7, 1)]
+            for lk in ("right", "left", "top")
+        ],
+    )
+    def test_matches_numpy(self, n, nb, looking, rng):
+        a = make_spd(n, rng, dtype=np.float64)
+        cfg = KernelConfig(n=n, nb=nb, looking=looking)
+        got = np.tril(cholesky_blocked(a, cfg))
+        assert np.allclose(got, np.linalg.cholesky(a), rtol=1e-10)
+
+    def test_all_variants_agree_bitwise_structure(self, rng):
+        """Different lookings perform the same arithmetic, so results agree
+        to tight tolerance even in the presence of rounding."""
+        a = make_spd(12, rng, dtype=np.float64)
+        results = [
+            np.tril(cholesky_blocked(a, KernelConfig(n=12, nb=4, looking=lk)))
+            for lk in ("right", "left", "top")
+        ]
+        for r in results[1:]:
+            assert np.allclose(r, results[0], rtol=1e-13)
+
+    def test_dimension_mismatch(self, rng):
+        a = make_spd(6, rng, dtype=np.float64)
+        with pytest.raises(ValueError):
+            cholesky_blocked(a, KernelConfig(n=8, nb=4))

@@ -1,0 +1,71 @@
+"""Bottleneck attribution (repro.gpusim.report)."""
+
+import pytest
+
+from repro.core.config import KernelConfig
+from repro.gpusim.model import estimate_performance
+from repro.gpusim.report import Finding, diagnose, explain
+
+
+class TestDiagnose:
+    def test_nb1_blames_register_reuse(self):
+        est = estimate_performance(
+            KernelConfig(n=48, nb=1, unroll="partial"), batch=16384
+        )
+        findings = diagnose(est)
+        assert findings, "nb=1 at n=48 must have findings"
+        assert findings[0].factor == "register reuse"
+        assert "nb" in findings[0].suggestion
+
+    def test_non_chunked_blames_locality(self):
+        est = estimate_performance(
+            KernelConfig(n=32, nb=8, chunked=False), batch=16384
+        )
+        factors = {f.factor for f in diagnose(est)}
+        assert "dram locality" in factors
+
+    def test_chunk512_blames_idle_sms(self):
+        est = estimate_performance(
+            KernelConfig(n=32, nb=8, chunked=True, chunk_size=512), batch=16384
+        )
+        factors = {f.factor for f in diagnose(est)}
+        assert "idle SMs" in factors
+
+    def test_oversized_full_unroll_blames_fetch(self):
+        est = estimate_performance(
+            KernelConfig(n=48, nb=4, unroll="full"), batch=16384
+        )
+        factors = {f.factor for f in diagnose(est)}
+        assert "instruction fetch" in factors
+
+    def test_good_config_few_findings(self):
+        est = estimate_performance(
+            KernelConfig(n=16, nb=8, unroll="full", chunked=True, chunk_size=32),
+            batch=262144,  # enough work to lift the latency bound
+        )
+        findings = diagnose(est)
+        # no layout/fetch/spill complaints on the tuned configuration
+        factors = {f.factor for f in findings}
+        assert "coalescing" not in factors
+        assert "dram locality" not in factors
+        assert "instruction fetch" not in factors
+
+    def test_findings_sorted_by_impact(self):
+        est = estimate_performance(
+            KernelConfig(n=48, nb=1, chunked=False), batch=16384
+        )
+        impacts = [f.impact for f in diagnose(est)]
+        assert impacts == sorted(impacts, reverse=True)
+        assert all(0.0 <= i <= 1.0 for i in impacts)
+
+
+class TestExplain:
+    def test_render_contains_numbers_and_suggestions(self):
+        text = explain(KernelConfig(n=32, nb=1, chunked=False), batch=16384)
+        assert "Gflop/s" in text
+        assert "->" in text
+
+    def test_finding_is_frozen(self):
+        f = Finding(factor="x", impact=0.5, detail="d", suggestion="s")
+        with pytest.raises(AttributeError):
+            f.impact = 0.9  # type: ignore[misc]

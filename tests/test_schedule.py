@@ -1,0 +1,123 @@
+"""Tile-operation schedules (repro.core.schedule)."""
+
+import itertools
+
+import pytest
+
+from repro.core.config import KernelConfig
+from repro.core.schedule import (
+    TileOp,
+    build_schedule,
+    schedule_counts,
+)
+from repro.utils.flops import cholesky_op_mix
+
+LOOKINGS = ("right", "left", "top")
+
+
+class TestTileOp:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            TileOp("load_diag", (0, 0))
+
+    def test_classification(self):
+        load = TileOp("load_full", (0, 0), shape=(2, 2), elems=4)
+        store = TileOp("store_lower", (1, 1), shape=(2,), elems=3)
+        comp = TileOp("gemm", (1, 0), shape=(2, 2, 2))
+        assert load.is_load and load.is_memory and not load.is_store
+        assert store.is_store and store.is_memory
+        assert not comp.is_memory
+
+
+class TestScheduleInvariants:
+    @pytest.mark.parametrize(
+        "n,nb,looking",
+        [
+            (n, nb, lk)
+            for n, nb in [(4, 2), (8, 4), (9, 4), (12, 3), (7, 3), (5, 5), (13, 4)]
+            for lk in LOOKINGS
+        ],
+    )
+    def test_exact_flop_count(self, n, nb, looking):
+        """Every variant performs exactly the unblocked algorithm's flops.
+
+        This is the strongest schedule invariant: the tiled decomposition,
+        for any tile size, corner handling, and looking order, must do the
+        same arithmetic as Algorithm 1 (FMA/div do shift between trsm and
+        potrf with tiling, so compare grand totals of multiplies+FMAs and
+        sqrt separately).
+        """
+        counts = schedule_counts(build_schedule(KernelConfig(n=n, nb=nb, looking=looking)))
+        ref = cholesky_op_mix(n)
+        mix = counts.mix
+        assert mix.sqrt == ref.sqrt
+        assert mix.fma == ref.fma
+        # Every sub-diagonal element is scaled exactly once — by a strsm
+        # division or a spotrf reciprocal-multiply; spotrf additionally
+        # computes one reciprocal per column (n total).
+        assert mix.mul + (mix.div - n) == ref.div
+
+    @pytest.mark.parametrize("looking", LOOKINGS)
+    def test_loads_cover_every_store(self, looking):
+        """Any tile stored must have been loaded (read-modify-write)."""
+        ops = build_schedule(KernelConfig(n=12, nb=4, looking=looking))
+        loaded: set = set()
+        for op in ops:
+            if op.is_load:
+                loaded.add(op.target)
+            elif op.is_store:
+                assert op.target in loaded
+
+    @pytest.mark.parametrize("looking", LOOKINGS)
+    @pytest.mark.parametrize("n,nb", [(8, 4), (10, 4), (12, 3)])
+    def test_every_lower_tile_stored(self, looking, n, nb):
+        """All tiles of the lower triangle get written exactly by the end."""
+        cfg = KernelConfig(n=n, nb=nb, looking=looking)
+        ops = build_schedule(cfg)
+        stored = {op.target for op in ops if op.is_store}
+        t = cfg.num_tiles
+        expected = {(m, c) for c in range(t) for m in range(c, t)}
+        assert stored == expected
+
+    def test_write_volume_ordering(self):
+        """Section III: stores are right > left > top (reads are equal-ish)."""
+        stores = {}
+        for looking in LOOKINGS:
+            counts = schedule_counts(
+                build_schedule(KernelConfig(n=32, nb=4, looking=looking))
+            )
+            stores[looking] = counts.stores
+        assert stores["right"] > stores["left"] > stores["top"]
+
+    def test_top_looking_minimal_writes(self):
+        """Top-looking writes each lower-triangle element exactly once."""
+        cfg = KernelConfig(n=24, nb=4, looking="top")
+        counts = schedule_counts(build_schedule(cfg))
+        assert counts.stores == 24 * 25 // 2
+
+    def test_single_tile_schedule(self):
+        ops = build_schedule(KernelConfig(n=4, nb=4, looking="right"))
+        kinds = [op.kind for op in ops]
+        assert kinds == ["load_lower", "potrf", "store_lower"]
+
+    @pytest.mark.parametrize("looking", LOOKINGS)
+    def test_corner_shapes(self, looking):
+        """Ops touching the corner tile carry the reduced dimension."""
+        cfg = KernelConfig(n=10, nb=4, looking=looking)  # corner = 2
+        for op in build_schedule(cfg):
+            if op.kind == "potrf" and op.target == (2, 2):
+                assert op.shape == (2,)
+            if op.kind == "load_full" and op.target[0] == 2:
+                assert op.shape[0] == 2
+
+
+class TestScheduleCounts:
+    def test_loads_and_stores_separated(self):
+        counts = schedule_counts(build_schedule(KernelConfig(n=8, nb=4)))
+        assert counts.loads > 0
+        assert counts.stores > 0
+        assert counts.load_ops >= counts.store_ops
+
+    def test_flops_property(self):
+        counts = schedule_counts(build_schedule(KernelConfig(n=6, nb=3)))
+        assert counts.flops == counts.mix.flops

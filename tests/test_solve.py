@@ -1,0 +1,90 @@
+"""Batch triangular and SPD solves (repro.core.solve)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lapack import lapack_solve_batch
+from repro.core.factorize import batch_cholesky
+from repro.core.solve import (
+    batch_solve,
+    batch_spd_solve,
+    batch_trsv_lower,
+    batch_trsv_lower_t,
+)
+from repro.utils.errors import relative_residual
+from repro.utils.spd import random_rhs_batch, random_spd_batch
+
+
+def lower_batch(batch: int, n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    l = np.tril(rng.standard_normal((batch, n, n)))
+    idx = np.arange(n)
+    l[:, idx, idx] = 1.0 + rng.random((batch, n))  # well away from zero
+    return l
+
+
+class TestForwardSubstitution:
+    def test_solves_lower_system(self):
+        l = lower_batch(10, 6, seed=1)
+        y = np.random.default_rng(2).standard_normal((10, 6, 3))
+        b = l @ y
+        got = batch_trsv_lower(l, b)
+        assert np.allclose(got, y, rtol=1e-10)
+
+    def test_only_lower_triangle_used(self):
+        l = lower_batch(5, 4, seed=3)
+        dirty = l + np.triu(np.ones((4, 4)), k=1) * 1e6
+        b = random_rhs_batch(5, 4, seed=4).astype(np.float64)
+        assert np.allclose(batch_trsv_lower(dirty, b), batch_trsv_lower(l, b))
+
+    def test_2d_rhs(self):
+        l = lower_batch(4, 3, seed=5)
+        b = np.random.default_rng(6).standard_normal((4, 3))
+        got = batch_trsv_lower(l, b)
+        assert got.shape == (4, 3, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            batch_trsv_lower(lower_batch(4, 3), np.zeros((5, 3)))
+
+
+class TestBackSubstitution:
+    def test_solves_transposed_system(self):
+        l = lower_batch(10, 6, seed=7)
+        x = np.random.default_rng(8).standard_normal((10, 6, 2))
+        b = l.transpose(0, 2, 1) @ x
+        got = batch_trsv_lower_t(l, b)
+        assert np.allclose(got, x, rtol=1e-10)
+
+
+class TestPotrsAndSpdSolve:
+    def test_batch_solve_matches_lapack(self):
+        a = random_spd_batch(20, 8, seed=9)
+        b = random_rhs_batch(20, 8, nrhs=2, seed=10)
+        l = batch_cholesky(a, nb=4)
+        got = batch_solve(l, b)
+        ref = lapack_solve_batch(a, b)
+        assert np.allclose(got, ref, atol=1e-3)
+
+    def test_2d_rhs_round_trips_rank(self):
+        a = random_spd_batch(6, 5, seed=11)
+        b = random_rhs_batch(6, 5, seed=12)[:, :, 0]
+        l = batch_cholesky(a, nb=5)
+        assert batch_solve(l, b).shape == (6, 5)
+
+    def test_batch_spd_solve_end_to_end(self):
+        a = random_spd_batch(16, 10, seed=13)
+        b = random_rhs_batch(16, 10, nrhs=1, seed=14)
+        x = batch_spd_solve(a, b, nb=5, looking="left")
+        assert relative_residual(a, x, b) < 1e-5
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 10), batch=st.integers(1, 40), nrhs=st.integers(1, 3))
+    def test_property_residual_small(self, n, batch, nrhs):
+        a = random_spd_batch(batch, n, seed=n + batch)
+        b = random_rhs_batch(batch, n, nrhs=nrhs, seed=n * batch + 1)
+        l = batch_cholesky(a, nb=min(4, n))
+        x = batch_solve(l, b)
+        assert relative_residual(a, x, b) < 1e-4

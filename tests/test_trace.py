@@ -1,0 +1,49 @@
+"""Kernel traces (repro.core.trace)."""
+
+from repro.core.config import KernelConfig
+from repro.core.trace import build_trace
+from repro.utils.flops import cholesky_op_mix
+
+
+class TestTraceContents:
+    def test_counts_and_ops_agree(self):
+        trace = build_trace(KernelConfig(n=12, nb=4, looking="top"))
+        assert trace.load_elements == sum(op.elems for op in trace.ops if op.is_load)
+        assert trace.store_elements == sum(
+            op.elems for op in trace.ops if op.is_store
+        )
+
+    def test_flops_match_reference(self):
+        trace = build_trace(KernelConfig(n=10, nb=3, looking="left"))
+        ref = cholesky_op_mix(10)
+        assert trace.counts.mix.fma == ref.fma
+        assert trace.counts.mix.sqrt == ref.sqrt
+
+    def test_static_statements_positive(self):
+        trace = build_trace(KernelConfig(n=8, nb=4, unroll="full"))
+        assert trace.static_statements > 0
+
+
+class TestTraceCaching:
+    def test_shared_across_runtime_knobs(self):
+        base = KernelConfig(n=8, nb=4)
+        t1 = build_trace(base)
+        t2 = build_trace(base.with_(chunk_size=256, fast_math=True))
+        assert t1 is t2
+
+    def test_distinct_for_codegen_knobs(self):
+        t1 = build_trace(KernelConfig(n=8, nb=4, unroll="partial"))
+        t2 = build_trace(KernelConfig(n=8, nb=4, unroll="full"))
+        assert t1 is not t2
+        # same dynamic ops, different static code size
+        assert t1.ops == t2.ops
+        assert t1.static_statements != t2.static_statements
+
+    def test_canonicalised_config(self):
+        t = build_trace(KernelConfig(n=8, nb=4, chunked=True, chunk_size=512))
+        assert t.config.trace_key() == (8, 4, "top", "partial")
+
+    def test_uplo_shares_trace(self):
+        lower = build_trace(KernelConfig(n=8, nb=4))
+        upper = build_trace(KernelConfig(n=8, nb=4, uplo="upper"))
+        assert lower is upper  # same dynamic schedule, transposed addressing

@@ -1,0 +1,166 @@
+"""Extensions: upper-triangular mode and generated solve kernels."""
+
+import itertools
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lapack import lapack_solve_batch
+from repro.codegen.solvekernel import generate_solve_source, solve_kernel_ops
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky
+from repro.core.solve import batch_solve
+from repro.core.solve_kernels import (
+    batch_solve_kernel,
+    clear_solve_kernel_cache,
+    compiled_solve_kernel,
+)
+from repro.layouts.vectors import pack_vectors, unpack_vectors
+from repro.utils.spd import random_rhs_batch, random_spd_batch
+
+
+class TestUpperMode:
+    @pytest.mark.parametrize("looking", ["right", "left", "top"])
+    @pytest.mark.parametrize("unroll", ["partial", "full"])
+    def test_matches_scipy_upper(self, looking, unroll):
+        n, nb = 9, 4  # corner included
+        a = random_spd_batch(30, n, seed=3)
+        cfg = KernelConfig(n=n, nb=nb, looking=looking, unroll=unroll, uplo="upper")
+        u = batch_cholesky(a, cfg)
+        ref = np.stack(
+            [sla.cholesky(a[i].astype(np.float64), lower=False) for i in range(30)]
+        )
+        assert np.allclose(np.triu(u.astype(np.float64)), ref, atol=2e-3)
+
+    def test_strict_lower_untouched(self):
+        a = random_spd_batch(16, 6, seed=4)
+        u = batch_cholesky(a, KernelConfig(n=6, nb=3, uplo="upper"))
+        assert np.array_equal(np.tril(u, -1), np.tril(a, -1))
+
+    def test_upper_equals_lower_transposed(self):
+        a = random_spd_batch(16, 8, seed=5)
+        l = batch_cholesky(a, KernelConfig(n=8, nb=4, uplo="lower"))
+        u = batch_cholesky(a, KernelConfig(n=8, nb=4, uplo="upper"))
+        assert np.allclose(np.triu(u), np.tril(l).transpose(0, 2, 1), atol=1e-6)
+
+    def test_solve_with_upper_factors(self):
+        a = random_spd_batch(20, 7, seed=6)
+        b = random_rhs_batch(20, 7, nrhs=2, seed=7)
+        u = batch_cholesky(a, KernelConfig(n=7, nb=4, uplo="upper"))
+        x = batch_solve(np.triu(u), b, uplo="upper")
+        ref = lapack_solve_batch(a, b)
+        assert np.allclose(x, ref, atol=1e-3)
+
+    def test_solve_rejects_bad_uplo(self):
+        with pytest.raises(ValueError):
+            batch_solve(np.eye(3)[None], np.ones((1, 3)), uplo="diagonal")
+
+    def test_uplo_in_cache_key_and_describe(self):
+        lower = KernelConfig(n=8, nb=4)
+        upper = lower.with_(uplo="upper")
+        assert lower.cache_key() != upper.cache_key()
+        assert "upper" in upper.describe()
+
+
+class TestVectorLayouts:
+    @pytest.mark.parametrize("chunk", [None, 32, 64])
+    def test_round_trip(self, chunk):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((45, 6, 3)).astype(np.float32)
+        buf = pack_vectors(dense, chunk)
+        out = unpack_vectors(buf, 45, 6, 3, chunk)
+        assert np.array_equal(out, dense)
+
+    def test_wrong_buffer_size(self):
+        with pytest.raises(ValueError):
+            unpack_vectors(np.zeros(10, np.float32), 4, 3, 1, None)
+
+    @settings(max_examples=15, deadline=None)
+    @given(batch=st.integers(1, 80), n=st.integers(1, 9), nrhs=st.integers(1, 3))
+    def test_property_round_trip(self, batch, n, nrhs):
+        rng = np.random.default_rng(batch * 7 + n)
+        dense = rng.standard_normal((batch, n, nrhs)).astype(np.float32)
+        for chunk in (None, 32):
+            out = unpack_vectors(pack_vectors(dense, chunk), batch, n, nrhs, chunk)
+            assert np.array_equal(out, dense)
+
+
+class TestGeneratedSolveKernels:
+    def test_source_structure(self):
+        gk = generate_solve_source(4, 2)
+        assert "def _solve_kernel(dA, dB, _np):" in gk.source
+        assert gk.static_statements > 0
+        compile(gk.source, "<t>", "exec")
+
+    def test_op_mix(self):
+        ops = solve_kernel_ops(6, 2)
+        assert ops.div == 24  # 2 sweeps * 6 rows * 2 rhs
+        assert ops.fma == 6 * 5 * 2
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            generate_solve_source(0)
+        with pytest.raises(ValueError):
+            generate_solve_source(4, 0)
+
+    @pytest.mark.parametrize(
+        "n,nrhs,chunked", itertools.product([1, 4, 9, 16], [1, 2], [True, False])
+    )
+    def test_matches_lapack(self, n, nrhs, chunked):
+        batch = 70  # padding exercised for every grouping
+        a = random_spd_batch(batch, n, seed=n * 10 + nrhs)
+        b = random_rhs_batch(batch, n, nrhs=nrhs, seed=n)
+        cfg = KernelConfig(n=n, chunked=chunked, chunk_size=32)
+        l = batch_cholesky(a, cfg)
+        x = batch_solve_kernel(l, b, cfg)
+        ref = lapack_solve_batch(a, b)
+        assert np.allclose(x, ref, atol=2e-3)
+
+    def test_2d_rhs(self):
+        a = random_spd_batch(10, 5, seed=1)
+        b = random_rhs_batch(10, 5, seed=2)[:, :, 0]
+        l = batch_cholesky(a, KernelConfig(n=5))
+        x = batch_solve_kernel(l, b)
+        assert x.shape == (10, 5)
+
+    def test_kernel_cache(self):
+        clear_solve_kernel_cache()
+        k1 = compiled_solve_kernel(5, 1)
+        k2 = compiled_solve_kernel(5, 1)
+        k3 = compiled_solve_kernel(5, 2)
+        assert k1 is k2
+        assert k1 is not k3
+
+    def test_shape_mismatch(self):
+        l = np.eye(4, dtype=np.float32)[None]
+        with pytest.raises(ValueError):
+            batch_solve_kernel(l, np.ones((2, 4), np.float32))
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 12), batch=st.integers(1, 50))
+    def test_property_residual(self, n, batch):
+        a = random_spd_batch(batch, n, seed=n + batch)
+        b = random_rhs_batch(batch, n, seed=n * 3)[:, :, 0]
+        l = batch_cholesky(a, KernelConfig(n=n, nb=min(4, n)))
+        x = batch_solve_kernel(l, b)
+        r = np.einsum("bij,bj->bi", a.astype(np.float64), x.astype(np.float64)) - b
+        assert np.abs(r).max() < 1e-3 * n + 1e-4
+
+
+class TestSolveModel:
+    def test_estimate_positive_and_scales(self):
+        from repro.gpusim.model import estimate_solve_performance
+
+        s1, g1 = estimate_solve_performance(8, 1, batch=1024)
+        s2, g2 = estimate_solve_performance(8, 1, batch=65536)
+        assert s1 > 0 and g1 > 0
+        assert g2 > g1  # overhead amortised
+
+    def test_invalid_batch(self):
+        from repro.gpusim.model import estimate_solve_performance
+
+        with pytest.raises(ValueError):
+            estimate_solve_performance(8, batch=0)

@@ -1,0 +1,57 @@
+"""Error norms (repro.utils.errors)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import factorization_error, max_abs_error, relative_residual
+from repro.utils.spd import random_spd_batch
+
+
+class TestMaxAbsError:
+    def test_zero_for_identical(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert max_abs_error(a, a.copy()) == 0.0
+
+    def test_reports_largest(self):
+        a = np.zeros(5)
+        b = np.array([0.0, -3.0, 1.0, 0.0, 2.0])
+        assert max_abs_error(a, b) == 3.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        assert max_abs_error(np.zeros((0,)), np.zeros((0,))) == 0.0
+
+
+class TestFactorizationError:
+    def test_exact_factor_scores_zero(self):
+        a = random_spd_batch(5, 6, seed=0).astype(np.float64)
+        l = np.linalg.cholesky(a)
+        assert factorization_error(a, l) < 1e-12
+
+    def test_upper_triangle_is_ignored(self):
+        a = random_spd_batch(5, 6, seed=0).astype(np.float64)
+        l = np.linalg.cholesky(a)
+        l_messy = l + np.triu(np.ones_like(l), k=1) * 99.0
+        assert factorization_error(a, l_messy) < 1e-12
+
+    def test_wrong_factor_scores_large(self):
+        a = random_spd_batch(5, 6, seed=0).astype(np.float64)
+        l = np.linalg.cholesky(a)
+        assert factorization_error(a, 2.0 * l) > 0.5
+
+
+class TestRelativeResidual:
+    def test_true_solution(self):
+        a = random_spd_batch(4, 5, seed=1).astype(np.float64)
+        x = np.random.default_rng(2).standard_normal((4, 5, 2))
+        b = a @ x
+        assert relative_residual(a, x, b) < 1e-12
+
+    def test_wrong_solution(self):
+        a = random_spd_batch(4, 5, seed=1).astype(np.float64)
+        x = np.random.default_rng(2).standard_normal((4, 5, 2))
+        b = a @ x
+        assert relative_residual(a, x + 1.0, b) > 1e-3

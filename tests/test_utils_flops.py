@@ -1,0 +1,76 @@
+"""Flop-count formulas (repro.utils.flops)."""
+
+import pytest
+
+from repro.utils.flops import (
+    OpMix,
+    cholesky_flops,
+    cholesky_op_mix,
+    gflops,
+    trsv_flops,
+)
+
+
+class TestCholeskyFlops:
+    def test_paper_formula(self):
+        # The paper always uses N^3/3.
+        assert cholesky_flops(3) == 9.0
+        assert cholesky_flops(32) == 32**3 / 3
+
+    def test_zero(self):
+        assert cholesky_flops(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cholesky_flops(-1)
+
+
+class TestOpMix:
+    def test_n1_is_single_sqrt(self):
+        mix = cholesky_op_mix(1)
+        assert mix == OpMix(fma=0, div=0, sqrt=1)
+
+    def test_n2(self):
+        # sqrt(a00); a10/=l00; a11 -= a10*a10; sqrt(a11)
+        mix = cholesky_op_mix(2)
+        assert mix == OpMix(fma=1, div=1, sqrt=2)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 24])
+    def test_matches_loop_counts(self, n):
+        """Closed forms equal literal trip counts of Algorithm 1."""
+        fma = sum(n - m for k in range(n) for m in range(k + 1, n))
+        div = sum(1 for k in range(n) for _ in range(k + 1, n))
+        mix = cholesky_op_mix(n)
+        assert mix.fma == fma
+        assert mix.div == div
+        assert mix.sqrt == n
+
+    @pytest.mark.parametrize("n", [4, 16, 33])
+    def test_total_close_to_nominal(self, n):
+        """Exact flops approach n^3/3 (the leading term) for growing n."""
+        exact = cholesky_op_mix(n).flops
+        nominal = cholesky_flops(n)
+        assert exact == pytest.approx(nominal, rel=0.5)
+
+    def test_addition(self):
+        total = cholesky_op_mix(3) + cholesky_op_mix(4)
+        assert total.sqrt == 7
+
+
+class TestGflops:
+    def test_unit_example(self):
+        # 3^3/3 = 9 flops per matrix, 1e9 matrices in 1 s = 9 Gflop/s.
+        assert gflops(3, 10**9, 1.0) == pytest.approx(9.0)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            gflops(4, 10, 0.0)
+
+
+class TestTrsv:
+    def test_formula(self):
+        assert trsv_flops(5) == 25.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            trsv_flops(-2)

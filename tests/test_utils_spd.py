@@ -1,0 +1,73 @@
+"""SPD batch generation (repro.utils.spd)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.spd import make_spd, random_rhs_batch, random_spd_batch
+
+
+class TestRandomSpdBatch:
+    def test_shape_and_dtype(self):
+        a = random_spd_batch(10, 7)
+        assert a.shape == (10, 7, 7)
+        assert a.dtype == np.float32
+
+    def test_symmetric(self):
+        a = random_spd_batch(8, 9, seed=3)
+        assert np.array_equal(a, a.transpose(0, 2, 1))
+
+    def test_positive_definite(self):
+        a = random_spd_batch(16, 12, seed=5)
+        eig = np.linalg.eigvalsh(a.astype(np.float64))
+        assert eig.min() > 0
+
+    def test_deterministic_per_seed(self):
+        a = random_spd_batch(4, 5, seed=11)
+        b = random_spd_batch(4, 5, seed=11)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = random_spd_batch(4, 5, seed=1)
+        b = random_spd_batch(4, 5, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_generator_accepted(self):
+        g = np.random.default_rng(0)
+        a = random_spd_batch(3, 4, seed=g)
+        assert a.shape == (3, 4, 4)
+
+    @pytest.mark.parametrize("batch,n", [(0, 4), (4, 0), (-1, 4)])
+    def test_invalid_sizes_rejected(self, batch, n):
+        with pytest.raises(ValueError):
+            random_spd_batch(batch, n)
+
+    @settings(max_examples=20, deadline=None)
+    @given(batch=st.integers(1, 16), n=st.integers(1, 12))
+    def test_property_cholesky_exists(self, batch, n):
+        """Every generated batch is factorizable in float64."""
+        a = random_spd_batch(batch, n, seed=batch * 100 + n)
+        np.linalg.cholesky(a.astype(np.float64))  # raises if not SPD
+
+
+class TestMakeSpd:
+    def test_well_conditioned(self, rng):
+        a = make_spd(16, rng)
+        cond = np.linalg.cond(a.astype(np.float64))
+        assert cond < 1e4  # factorizable comfortably in float32
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(ValueError):
+            make_spd(0, rng)
+
+
+class TestRhsBatch:
+    def test_shape(self):
+        b = random_rhs_batch(6, 5, nrhs=3)
+        assert b.shape == (6, 5, 3)
+        assert b.dtype == np.float32
+
+    def test_invalid_nrhs(self):
+        with pytest.raises(ValueError):
+            random_rhs_batch(6, 5, nrhs=0)

@@ -1,0 +1,42 @@
+"""Table formatting (repro.utils.tables)."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        assert "30" in lines[3]
+        # all rows have equal rendered width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["only", "header"], [])
+        assert "only" in text
+
+
+class TestFormatSeries:
+    def test_merges_x_axes(self):
+        text = format_series(
+            "t", {"s1": {1: 10.0, 3: 30.0}, "s2": {2: 20.0}}, xlabel="n"
+        )
+        lines = text.splitlines()
+        # title + header + rule + 3 x values
+        assert len(lines) == 6
+        assert "-" in lines[4]  # missing point rendered as dash
+
+    def test_title_included(self):
+        assert format_series("My Title", {"s": {1: 1.0}}).startswith("My Title")
