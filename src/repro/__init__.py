@@ -45,6 +45,7 @@ from repro.autotune import (
 )
 from repro.batchblas import batched_gemm, batched_syrk, batched_trsm, tile_cholesky
 from repro.ml import RandomForestRegressor
+from repro.serve import ServeClient, ServeMetrics, ServePolicy, SolveBroker
 from repro.utils import random_spd_batch
 
 __version__ = "1.0.0"
@@ -80,6 +81,10 @@ __all__ = [
     "quick_space",
     "run_sweep",
     "RandomForestRegressor",
+    "ServeClient",
+    "ServeMetrics",
+    "ServePolicy",
+    "SolveBroker",
     "random_spd_batch",
     "__version__",
 ]

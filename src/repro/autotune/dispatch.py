@@ -12,7 +12,10 @@ ships the table, exactly how MAGMA/ATLAS-style tuning results are used.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -24,6 +27,9 @@ from repro.autotune.space import ParameterSpace
 from repro.autotune.sweep import run_sweep
 from repro.core.config import KernelConfig
 from repro.core.factorize import batch_cholesky
+
+#: On-disk table format version.  Bump when TableEntry's fields change.
+SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -128,13 +134,48 @@ class TunedDispatcher:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        rows = [entry.__dict__ for entry in self.entries.values()]
-        Path(path).write_text(json.dumps(rows, indent=1))
+        """Write the table atomically (temp file + rename).
+
+        A reader — e.g. a serving process reloading its table — never
+        sees a half-written file: it observes either the old table or the
+        new one.
+        """
+        path = Path(path)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": [entry.__dict__ for entry in self.entries.values()],
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(payload, indent=1))
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(tmp)
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "TunedDispatcher":
-        rows = json.loads(Path(path).read_text())
-        return cls({row["n"]: TableEntry(**row) for row in rows})
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict) or "schema_version" not in data:
+            raise ValueError(
+                f"{path}: not a versioned dispatch table (expected an object "
+                f"with a 'schema_version' field; pre-versioning tables must "
+                f"be re-tuned and re-saved)"
+            )
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: dispatch table schema version {version!r} is not "
+                f"supported (this build reads version {SCHEMA_VERSION})"
+            )
+        try:
+            return cls({row["n"]: TableEntry(**row) for row in data["entries"]})
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"{path}: malformed dispatch table entry: {exc}") from exc
 
     # ------------------------------------------------------------------
     # Reporting

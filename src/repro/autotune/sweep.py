@@ -39,7 +39,9 @@ def run_sweep(
         Stop after this many configurations (for sampled runs).
     """
     dataset = SweepDataset()
-    total = space.size() if progress else 0
+    total = space.size()
+    if limit is not None:
+        total = min(limit, total)
     for i, config in enumerate(space.configs()):
         if limit is not None and i >= limit:
             break

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the library's workflows from the shell:
+The subcommands cover the library's workflows from the shell:
 
 * ``factor``     — factorize a random SPD batch, verify, report the model.
 * ``kernel``     — print the generated kernel source for a configuration.
 * ``model``      — print the performance model's full breakdown.
 * ``sweep``      — run an autotuning sweep and write the dataset CSV.
 * ``experiment`` — run a paper experiment (fig13..fig21, table1) by name.
+* ``serve-demo`` — replay a synthetic arrival trace through the adaptive
+  batching service and print its metrics report.
 """
 
 from __future__ import annotations
@@ -176,6 +178,29 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve_demo(args) -> int:
+    from repro.serve import ServePolicy, run_demo
+
+    policy = ServePolicy(
+        target_batch=args.target_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        max_queue_depth=args.queue_depth,
+        request_timeout_s=args.timeout_ms / 1e3 if args.timeout_ms else None,
+    )
+    ns = tuple(int(x) for x in args.ns.split(","))
+    report, summary = run_demo(
+        requests=args.requests,
+        ns=ns,
+        rate_hz=args.rate,
+        policy=policy,
+        solve_fraction=args.solve_fraction,
+        nonspd_fraction=args.nonspd_fraction,
+        seed=args.seed,
+    )
+    print(report)
+    return 0 if summary.metrics.unaccounted == 0 else 1
+
+
 def _cmd_experiment(args) -> int:
     module = importlib.import_module(f"repro.experiments.{args.name}")
     result = module.run()
@@ -224,6 +249,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=16384)
     p.add_argument("--out", default="", help="CSV output path")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve-demo",
+        help="replay a synthetic arrival trace through the adaptive-batching service",
+    )
+    p.add_argument("--requests", type=int, default=400, help="trace length")
+    p.add_argument("--ns", default="8,16,32", help="comma-separated matrix sizes")
+    p.add_argument("--rate", type=float, default=60000.0, help="arrival rate (req/s)")
+    p.add_argument("--target-batch", type=int, default=64, help="bucket flush size")
+    p.add_argument(
+        "--max-delay-ms", type=float, default=4.0, help="bucket latency deadline"
+    )
+    p.add_argument(
+        "--timeout-ms", type=float, default=30000.0,
+        help="per-request timeout (0 disables)",
+    )
+    p.add_argument("--queue-depth", type=int, default=8192, help="shed beyond this")
+    p.add_argument("--solve-fraction", type=float, default=0.4)
+    p.add_argument(
+        "--nonspd-fraction", type=float, default=0.01,
+        help="fraction of deliberately non-SPD requests",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve_demo)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", choices=EXPERIMENTS)

@@ -1,0 +1,57 @@
+"""repro.serve — adaptive-batching solve service.
+
+The paper's kernels want thousands of matrices per launch; real traffic
+arrives one matrix at a time.  This subsystem bridges the two: an asyncio
+broker accepts individual ``factor``/``solve`` requests, a size-bucketed
+adaptive batcher coalesces them until a bucket fills (threshold snapped
+to the tuned kernel's chunk size) or a latency deadline expires, and an
+executor routes each flushed bucket through the tuned dispatch table,
+scattering per-request results — or per-request errors — back onto the
+callers' futures.  Backpressure (bounded queue with load shedding),
+per-request timeouts, retry-once for batch-poisoned requests, and a full
+metrics layer round it out.  See ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import AdaptiveBatcher, PendingRequest, SizeBucket
+from repro.serve.broker import SolveBroker
+from repro.serve.client import (
+    ReplaySummary,
+    ServeClient,
+    TraceEvent,
+    replay_trace,
+    run_demo,
+    synthetic_trace,
+)
+from repro.serve.executor import BatchExecutor, FlushReport
+from repro.serve.metrics import Histogram, ServeMetrics
+from repro.serve.policy import (
+    NotPositiveDefiniteError,
+    RequestTimeout,
+    ServeError,
+    ServePolicy,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "AdaptiveBatcher",
+    "BatchExecutor",
+    "FlushReport",
+    "Histogram",
+    "NotPositiveDefiniteError",
+    "PendingRequest",
+    "ReplaySummary",
+    "RequestTimeout",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServePolicy",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "SizeBucket",
+    "SolveBroker",
+    "TraceEvent",
+    "replay_trace",
+    "run_demo",
+    "synthetic_trace",
+]

@@ -1,0 +1,144 @@
+"""Size-bucketed adaptive batching.
+
+The kernels factor one matrix dimension per launch, so the coalescing
+layer groups pending requests into one bucket per ``n`` and flushes a
+bucket when either
+
+* it reaches its flush threshold (``ServePolicy.flush_threshold``, the
+  target batch snapped to the tuned configuration's chunk size), or
+* its *oldest* request has waited past the latency deadline.
+
+The batcher itself is a plain data structure with no asyncio or clock of
+its own — the broker drives it with explicit timestamps, which keeps the
+flush policy unit-testable without an event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+#: The two request kinds the service accepts.
+KINDS = ("factor", "solve")
+
+
+@dataclass
+class PendingRequest:
+    """One queued request: a matrix, an optional right-hand side, a future."""
+
+    seq: int
+    kind: str
+    a: np.ndarray  # (n, n)
+    b: np.ndarray | None
+    future: Any  # asyncio.Future; Any keeps the batcher loop-agnostic
+    enqueued_at: float
+    attempts: int = 0
+
+    @property
+    def n(self) -> int:
+        return self.a.shape[0]
+
+
+@dataclass
+class SizeBucket:
+    """Pending requests for one matrix dimension."""
+
+    n: int
+    threshold: int
+    requests: list[PendingRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def full(self) -> bool:
+        return len(self.requests) >= self.threshold
+
+    def oldest_enqueued_at(self) -> float | None:
+        return self.requests[0].enqueued_at if self.requests else None
+
+    def deadline_due(self, now: float, max_delay_s: float) -> bool:
+        oldest = self.oldest_enqueued_at()
+        return oldest is not None and (now - oldest) >= max_delay_s
+
+
+class AdaptiveBatcher:
+    """Coalesces individual requests into per-``n`` buckets.
+
+    ``threshold_for(n)`` supplies each bucket's flush threshold; it is
+    called once per distinct size and cached, because resolving it walks
+    the tuned dispatch table.
+    """
+
+    def __init__(self, threshold_for: Callable[[int], int]) -> None:
+        self._threshold_for = threshold_for
+        self._thresholds: dict[int, int] = {}
+        self._buckets: dict[int, SizeBucket] = {}
+        self.pending = 0
+
+    def threshold(self, n: int) -> int:
+        if n not in self._thresholds:
+            threshold = int(self._threshold_for(n))
+            if threshold <= 0:
+                raise ValueError(f"flush threshold for n={n} must be positive")
+            self._thresholds[n] = threshold
+        return self._thresholds[n]
+
+    def add(self, request: PendingRequest) -> SizeBucket:
+        """Queue a request; returns its bucket so the caller can test fullness."""
+        n = request.n
+        bucket = self._buckets.get(n)
+        if bucket is None:
+            bucket = self._buckets[n] = SizeBucket(n=n, threshold=self.threshold(n))
+        bucket.requests.append(request)
+        self.pending += 1
+        return bucket
+
+    def pop(self, n: int) -> list[PendingRequest]:
+        """Remove and return every pending request for dimension ``n``."""
+        bucket = self._buckets.pop(n, None)
+        if bucket is None:
+            return []
+        self.pending -= len(bucket.requests)
+        return bucket.requests
+
+    def pop_due(self, now: float, max_delay_s: float) -> list[SizeBucket]:
+        """Remove and return the buckets whose deadline has expired."""
+        due = [
+            b for b in self._buckets.values() if b.deadline_due(now, max_delay_s)
+        ]
+        for bucket in due:
+            del self._buckets[bucket.n]
+            self.pending -= len(bucket.requests)
+        return due
+
+    def pop_all(self) -> list[SizeBucket]:
+        """Remove and return every non-empty bucket (used when draining)."""
+        buckets = list(self._buckets.values())
+        self._buckets.clear()
+        self.pending = 0
+        return buckets
+
+    def discard(self, request: PendingRequest) -> bool:
+        """Remove one request (timeout expiry) if it is still queued.
+
+        Returns ``False`` when the request already left with a flush —
+        the caller must then wait for its future instead.
+        """
+        bucket = self._buckets.get(request.n)
+        if bucket is None:
+            return False
+        try:
+            bucket.requests.remove(request)
+        except ValueError:
+            return False
+        self.pending -= 1
+        if not bucket.requests:
+            del self._buckets[bucket.n]
+        return True
+
+    def sizes(self) -> Iterable[int]:
+        """The matrix dimensions currently holding pending requests."""
+        return tuple(self._buckets)

@@ -1,0 +1,253 @@
+"""The asyncio request broker: futures in, coalesced batches out.
+
+``SolveBroker`` is the front door of the serving layer.  Callers submit
+individual ``factor(A)`` / ``solve(A, b)`` requests and await a future;
+behind the door the broker coalesces them into per-size buckets
+(:mod:`repro.serve.batcher`), flushes a bucket the moment it fills — or
+when its oldest request hits the latency deadline, scanned by a
+background ticker — and scatters per-request results back onto the
+futures.  The numeric work of a flush runs in the event loop's default
+thread pool so submissions keep flowing while a batch factorizes.
+
+Robustness is policy-driven (:mod:`repro.serve.policy`): a bounded queue
+sheds excess load with :class:`ServiceOverloaded`, per-request timeouts
+abandon requests still waiting in a bucket, and requests that fail inside
+a batch are retried once solo before their future fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import numpy as np
+
+from repro.autotune.dispatch import TunedDispatcher
+from repro.serve.batcher import KINDS, AdaptiveBatcher, PendingRequest, SizeBucket
+from repro.serve.executor import BatchExecutor, FlushReport
+from repro.serve.metrics import ServeMetrics
+from repro.serve.policy import (
+    RequestTimeout,
+    ServePolicy,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+
+class SolveBroker:
+    """Accepts individual requests and serves them from coalesced batches.
+
+    Use as an async context manager::
+
+        async with SolveBroker(policy=ServePolicy(max_delay_s=0.002)) as broker:
+            l = await broker.factor(a)          # (n, n) Cholesky factor
+            x = await broker.solve(a, b)        # A x = b
+
+    The broker lazily starts its deadline ticker on first submission, so
+    constructing one outside a context manager also works as long as
+    :meth:`close` runs before the event loop goes away.
+    """
+
+    def __init__(
+        self,
+        policy: ServePolicy | None = None,
+        dispatcher: TunedDispatcher | None = None,
+        executor: BatchExecutor | None = None,
+        metrics: ServeMetrics | None = None,
+    ) -> None:
+        self.policy = policy or ServePolicy()
+        self.executor = executor or BatchExecutor(
+            dispatcher=dispatcher, retry_failed_solo=self.policy.retry_failed_solo
+        )
+        self.metrics = metrics or ServeMetrics()
+        self.batcher = AdaptiveBatcher(
+            threshold_for=lambda n: self.policy.flush_threshold(
+                self.executor.config_for(n)
+            )
+        )
+        self._seq = 0
+        self._closed = False
+        self._ticker: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "SolveBroker":
+        """Start the deadline ticker (idempotent)."""
+        if self._ticker is None or self._ticker.done():
+            self._ticker = asyncio.get_running_loop().create_task(self._tick_loop())
+        return self
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop accepting requests; flush (or drop) whatever is queued."""
+        if self._closed:
+            return
+        self._closed = True
+        if drain:
+            for bucket in self.batcher.pop_all():
+                await self._run_flush(bucket.requests, "drain", bucket.threshold)
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._ticker is not None:
+            self._ticker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ticker
+            self._ticker = None
+
+    async def __aenter__(self) -> "SolveBroker":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    @property
+    def pending(self) -> int:
+        """Requests queued in buckets, waiting to be flushed."""
+        return self.batcher.pending
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def factor(self, a: np.ndarray) -> np.ndarray:
+        """Factor one SPD matrix; resolves to its ``(n, n)`` lower factor."""
+        return await self.submit("factor", a)
+
+    async def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for one SPD matrix; resolves to ``x``."""
+        return await self.submit("solve", a, b)
+
+    async def submit(
+        self, kind: str, a: np.ndarray, b: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Queue one request and await its result."""
+        a, b = self._validate(kind, a, b)
+        if self._closed:
+            raise ServiceClosed("broker is closed")
+        await self.start()
+        if self.batcher.pending >= self.policy.max_queue_depth:
+            self.metrics.record_submit(self.batcher.pending)
+            self.metrics.record_shed()
+            raise ServiceOverloaded(
+                f"queue depth {self.batcher.pending} at its "
+                f"{self.policy.max_queue_depth}-request cap; request shed"
+            )
+
+        loop = asyncio.get_running_loop()
+        self._seq += 1
+        request = PendingRequest(
+            seq=self._seq,
+            kind=kind,
+            a=a,
+            b=b,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        bucket = self.batcher.add(request)
+        self.metrics.record_submit(self.batcher.pending)
+        if bucket.full:
+            self._spawn_flush(bucket, "full")
+        return await self._await_result(request)
+
+    def _validate(self, kind, a, b):
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        a = np.array(a, copy=True)  # decouple from caller mutation
+        if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape[0] == 0:
+            raise ValueError(f"expected one square (n, n) matrix, got shape {a.shape}")
+        if kind == "solve":
+            if b is None:
+                raise ValueError("solve requests need a right-hand side")
+            b = np.array(b, copy=True)
+            if b.ndim not in (1, 2) or b.shape[0] != a.shape[0]:
+                raise ValueError(
+                    f"rhs shape {b.shape} incompatible with matrix {a.shape}; "
+                    "expected (n,) or (n, nrhs)"
+                )
+        elif b is not None:
+            raise ValueError("factor requests take no right-hand side")
+        return a, b
+
+    async def _await_result(self, request: PendingRequest) -> np.ndarray:
+        timeout = self.policy.request_timeout_s
+        if timeout is None:
+            return await request.future
+        try:
+            return await asyncio.wait_for(asyncio.shield(request.future), timeout)
+        except asyncio.TimeoutError:
+            if self.batcher.discard(request):
+                request.future.cancel()
+                self.metrics.record_timeout()
+                raise RequestTimeout(
+                    f"request (n={request.n}, {request.kind}) expired after "
+                    f"{timeout}s waiting for its bucket to flush"
+                ) from None
+            # Already flushed: the result lands momentarily; honour it.
+            return await request.future
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def _spawn_flush(self, bucket: SizeBucket, reason: str) -> None:
+        requests = self.batcher.pop(bucket.n)
+        if not requests:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_flush(requests, reason, bucket.threshold)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_flush(
+        self, requests: list[PendingRequest], reason: str, threshold: int
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        # Coalesce latency is the time a request spent waiting to be
+        # batched — measured at flush start, before the numeric work.
+        flush_started = loop.time()
+        waits = [flush_started - r.enqueued_at for r in requests]
+        try:
+            report = await loop.run_in_executor(
+                None, lambda: self.executor.execute(requests, reason, threshold)
+            )
+        except Exception as exc:  # kernel/codegen failure: fail the bucket
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+                    self.metrics.record_failure()
+            return
+        self._scatter(report, waits)
+
+    def _scatter(self, report: FlushReport, waits: list[float]) -> None:
+        for request, outcome in report.outcomes:
+            if request.future.done():  # timed out mid-flight; nobody listens
+                continue
+            if isinstance(outcome, Exception):
+                request.future.set_exception(outcome)
+                self.metrics.record_failure()
+            else:
+                request.future.set_result(outcome)
+                self.metrics.record_completion()
+        for i in range(report.retried):
+            self.metrics.record_retry(rescued=i < report.rescued)
+        self.metrics.record_flush(
+            size=report.size,
+            threshold=report.threshold,
+            reason=report.reason,
+            gflops=report.gflops,
+            wait_times_s=waits,
+        )
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.policy.flush_interval())
+            now = asyncio.get_running_loop().time()
+            for bucket in self.batcher.pop_due(now, self.policy.max_delay_s):
+                task = asyncio.get_running_loop().create_task(
+                    self._run_flush(bucket.requests, "deadline", bucket.threshold)
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)

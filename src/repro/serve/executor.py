@@ -1,0 +1,168 @@
+"""Flush execution: pack a bucket, run the tuned kernel, scatter results.
+
+One flush turns a list of same-size requests into the dense ``(batch, n,
+n)`` batch the kernels want, routes it through the tuned dispatch table
+(or the library-default :class:`KernelConfig` when no table is loaded),
+validates every factor with the LAPACK-style ``info`` diagnosis, and
+scatters per-request results — or per-request *errors*: a non-SPD matrix
+fails only its own future, never the whole bucket.
+
+A request that fails inside a batch is optionally retried once on its
+own.  The generated kernels are branch-free, so a sick matrix cannot
+raise — it silently poisons its lane with NaNs — and a solo re-run is the
+cheap way to distinguish "this input is genuinely not SPD" from "this
+request was collateral damage of a sick batch-mate" without trusting any
+cross-lane invariant of a particular executor backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.dispatch import TunedDispatcher
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky
+from repro.core.solve import batch_solve
+from repro.core.validate import factorization_info
+from repro.gpusim.arch import GPUArchitecture, P100
+from repro.gpusim.model import estimate_performance
+from repro.serve.batcher import PendingRequest
+from repro.serve.policy import NotPositiveDefiniteError
+
+
+@dataclass
+class FlushReport:
+    """What one flushed bucket produced.
+
+    ``outcomes`` pairs every request with either its result array or the
+    exception destined for its future; the broker only scatters.
+    """
+
+    n: int
+    size: int
+    threshold: int
+    reason: str
+    gflops: float
+    outcomes: list[tuple[PendingRequest, np.ndarray | Exception]]
+    retried: int = 0
+    rescued: int = 0
+
+    @property
+    def fill(self) -> float:
+        return self.size / self.threshold if self.threshold else 0.0
+
+
+class BatchExecutor:
+    """Runs flushed buckets through the tuned batch-Cholesky path."""
+
+    def __init__(
+        self,
+        dispatcher: TunedDispatcher | None = None,
+        fast_math: bool = False,
+        retry_failed_solo: bool = True,
+        arch: GPUArchitecture = P100,
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.fast_math = fast_math
+        self.retry_failed_solo = retry_failed_solo
+        self.arch = arch
+
+    def config_for(self, n: int) -> KernelConfig:
+        """Tuned configuration for ``n``; library default without a table."""
+        if self.dispatcher is not None:
+            return self.dispatcher.config_for(n, fast_math=self.fast_math)
+        return KernelConfig(n=n, fast_math=self.fast_math)
+
+    def warmup(self, ns) -> None:
+        """Pre-compile kernels and prime model caches for the given sizes.
+
+        The first flush of a cold size otherwise pays codegen/compilation
+        inside its latency budget — hundreds of milliseconds against
+        single-digit-millisecond deadlines.  Services warm up before
+        taking traffic; trace replays do the same.
+        """
+        from repro.codegen.compile import compiled_kernel
+
+        for n in sorted(set(int(x) for x in ns)):
+            config = self.config_for(n)
+            compiled_kernel(config)
+            estimate_performance(config, batch=config.block_threads, arch=self.arch)
+
+    # ------------------------------------------------------------------
+    # Flush execution
+    # ------------------------------------------------------------------
+
+    def _factorize(self, a: np.ndarray, config: KernelConfig) -> np.ndarray:
+        # Branch-free kernels turn non-SPD pivots into NaNs rather than
+        # raising; silence the IEEE warnings and let ``info`` diagnose.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return batch_cholesky(a, config)
+
+    def execute(
+        self, requests: list[PendingRequest], reason: str, threshold: int | None = None
+    ) -> FlushReport:
+        """Factorize (and solve) one flushed bucket, scattering per request."""
+        if not requests:
+            raise ValueError("cannot execute an empty bucket")
+        n = requests[0].n
+        if any(r.n != n for r in requests):
+            raise ValueError("bucket mixes matrix dimensions")
+        config = self.config_for(n)
+        threshold = len(requests) if threshold is None else threshold
+
+        a = np.stack([r.a for r in requests])
+        factors = self._factorize(a, config)
+        info = factorization_info(factors)
+
+        retried = rescued = 0
+        for i in np.nonzero(info)[0]:
+            request = requests[int(i)]
+            if not self.retry_failed_solo:
+                continue
+            request.attempts += 1
+            retried += 1
+            solo = self._factorize(request.a[None], config)
+            solo_info = factorization_info(solo)
+            if solo_info[0] == 0:
+                factors[i] = solo[0]
+                info[i] = 0
+                rescued += 1
+            else:
+                info[i] = solo_info[0]
+
+        outcomes: list[tuple[PendingRequest, np.ndarray | Exception]] = [None] * len(
+            requests
+        )
+        for i, request in enumerate(requests):
+            if info[i]:
+                outcomes[i] = (request, NotPositiveDefiniteError(int(info[i])))
+            elif request.kind == "factor":
+                outcomes[i] = (request, np.array(factors[i]))
+
+        # Solves: forward/backward substitution against the healthy
+        # factors, grouped by right-hand-side shape so mixed single- and
+        # multi-RHS requests batch independently.
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(requests):
+            if request.kind == "solve" and not info[i]:
+                groups.setdefault(request.b.shape, []).append(i)
+        for idx in groups.values():
+            l_group = factors[idx]
+            b_group = np.stack([requests[i].b for i in idx])
+            x = batch_solve(l_group, b_group)
+            for j, i in enumerate(idx):
+                outcomes[i] = (requests[i], np.array(x[j]))
+
+        est = estimate_performance(config, batch=len(requests), arch=self.arch)
+        return FlushReport(
+            n=n,
+            size=len(requests),
+            threshold=threshold,
+            reason=reason,
+            gflops=est.gflops,
+            outcomes=outcomes,
+            retried=retried,
+            rescued=rescued,
+        )

@@ -1,0 +1,219 @@
+"""Service metrics: counters and histograms for the adaptive batcher.
+
+Everything the batch-size/latency tradeoff turns on is observable here:
+how full batches were when they flushed, how long requests waited to be
+coalesced, how deep the queue ran, and what the performance model says
+each flushed batch was worth.  The report doubles as the accounting check
+a service needs — every submitted request must end up completed, failed,
+or shed (``unaccounted == 0``).
+
+Exported two ways: :meth:`ServeMetrics.as_dict` for JSON scraping and
+:meth:`ServeMetrics.report` as a human-readable table via
+:mod:`repro.utils.tables`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+
+class Histogram:
+    """Bounded-memory sample histogram with deterministic decimation.
+
+    Keeps at most ``max_samples`` observations; when full, every second
+    retained sample is dropped and only every ``stride``-th future
+    observation is kept.  Totals and extrema stay exact; percentiles are
+    computed from the retained (uniformly thinned) sample.
+    """
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be at least 2, got {max_samples}")
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self._samples.append(value)
+        if len(self._samples) >= self.max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of the retained sample."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = p / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+#: Counter names in report order.
+_COUNTERS = (
+    "submitted",
+    "completed",
+    "failed",
+    "timed_out",
+    "shed",
+    "retried",
+    "rescued",
+    "flushes",
+    "flushes_full",
+    "flushes_deadline",
+    "flushes_drain",
+)
+
+#: Histogram names in report order, with display labels.
+_HISTOGRAMS = (
+    ("queue_depth", "queue depth (at submit)"),
+    ("batch_size", "batch size (per flush)"),
+    ("batch_fill", "batch fill ratio"),
+    ("coalesce_latency_ms", "coalesce latency (ms)"),
+    ("flush_gflops", "modelled GFLOP/s (per flush)"),
+)
+
+
+class ServeMetrics:
+    """Aggregated counters and distributions for one broker's lifetime."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {name: 0 for name in _COUNTERS}
+        self.histograms: dict[str, Histogram] = {
+            name: Histogram() for name, _ in _HISTOGRAMS
+        }
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_submit(self, queue_depth: int) -> None:
+        self.counters["submitted"] += 1
+        self.histograms["queue_depth"].observe(queue_depth)
+
+    def record_shed(self) -> None:
+        self.counters["shed"] += 1
+
+    def record_completion(self) -> None:
+        self.counters["completed"] += 1
+
+    def record_failure(self) -> None:
+        self.counters["failed"] += 1
+
+    def record_timeout(self) -> None:
+        # A timeout is a failure for accounting purposes; ``timed_out``
+        # breaks out how many of the failures were latency-budget expiries.
+        self.counters["failed"] += 1
+        self.counters["timed_out"] += 1
+
+    def record_retry(self, rescued: bool) -> None:
+        self.counters["retried"] += 1
+        if rescued:
+            self.counters["rescued"] += 1
+
+    def record_flush(
+        self,
+        size: int,
+        threshold: int,
+        reason: str,
+        gflops: float,
+        wait_times_s: list[float] | None = None,
+    ) -> None:
+        self.counters["flushes"] += 1
+        key = f"flushes_{reason}"
+        if key not in self.counters:
+            raise ValueError(f"unknown flush reason {reason!r}")
+        self.counters[key] += 1
+        self.histograms["batch_size"].observe(size)
+        self.histograms["batch_fill"].observe(size / threshold if threshold else 0.0)
+        self.histograms["flush_gflops"].observe(gflops)
+        for wait in wait_times_s or ():
+            self.histograms["coalesce_latency_ms"].observe(wait * 1e3)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def unaccounted(self) -> int:
+        """Requests submitted but neither completed, failed, nor shed.
+
+        Zero for a drained broker; anything else means a future was lost.
+        (Timeouts are included in ``failed``.)
+        """
+        c = self.counters
+        return c["submitted"] - c["completed"] - c["failed"] - c["shed"]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "unaccounted": self.unaccounted,
+            "histograms": {
+                name: hist.summary() for name, hist in self.histograms.items()
+            },
+        }
+
+    def as_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def report(self) -> str:
+        """Two-table human-readable summary (counters, then distributions)."""
+        from repro.utils.tables import format_table
+
+        counter_rows = [[name, count] for name, count in self.counters.items()]
+        counter_rows.append(["unaccounted", self.unaccounted])
+        counters = format_table(["counter", "value"], counter_rows)
+
+        dist_rows = []
+        for name, label in _HISTOGRAMS:
+            h = self.histograms[name]
+            dist_rows.append(
+                [label, h.count, h.mean, h.percentile(50), h.percentile(95), h.max]
+            )
+        dists = format_table(["metric", "count", "mean", "p50", "p95", "max"], dist_rows)
+        return f"{counters}\n\n{dists}"

@@ -1,0 +1,126 @@
+"""Serving policy: the knobs trading batch fill against request latency.
+
+The paper's kernels only approach their modelled throughput when thousands
+of matrices are packed into one interleaved batch; a serving layer that
+flushed every request individually would run each kernel at batch 1 and
+throw the whole premise away.  :class:`ServePolicy` captures the classic
+continuous-batching compromise — wait for a bucket to fill, but never make
+the oldest request wait longer than a latency deadline — plus the
+robustness knobs a bounded service needs (queue cap with load shedding,
+per-request timeouts, retry-once for requests caught in a sick batch).
+
+The flush threshold is *snapped to the tuned kernel's chunk size*: a
+chunked-interleaved kernel processes whole chunks, so flushing 300
+requests through a ``chunk_size=128`` configuration pads two thirds of the
+last chunk with identity matrices.  Snapping to a multiple of the chunk
+keeps every flushed batch on the packed fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import KernelConfig
+
+
+class ServeError(RuntimeError):
+    """Base class for errors raised by the serving layer."""
+
+
+class ServiceOverloaded(ServeError):
+    """The pending-request queue is full; the request was shed."""
+
+
+class RequestTimeout(ServeError):
+    """The request's latency budget expired before its bucket flushed."""
+
+
+class ServiceClosed(ServeError):
+    """The broker is shut down and no longer accepts requests."""
+
+
+class NotPositiveDefiniteError(ServeError):
+    """The request's own matrix failed to factorize (LAPACK info > 0)."""
+
+    def __init__(self, info: int) -> None:
+        super().__init__(
+            f"matrix is not positive definite: factorization failed at "
+            f"column {info - 1} (LAPACK info={info})"
+        )
+        self.info = info
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Tunable behaviour of the adaptive-batching broker.
+
+    Attributes
+    ----------
+    target_batch:
+        Flush a size bucket once it holds this many requests.  Snapped to
+        the tuned kernel's chunk size by :meth:`flush_threshold`.
+    max_delay_s:
+        Latency deadline: a bucket whose *oldest* request has waited this
+        long is flushed regardless of fill.  This is the serving-layer
+        analogue of the paper's batch-size sensitivity — larger deadlines
+        buy fuller batches (higher GFLOP/s) at higher tail latency.
+    max_queue_depth:
+        Total pending requests (across all buckets) before new submissions
+        are shed with :class:`ServiceOverloaded`.
+    request_timeout_s:
+        Per-request budget from submission to completion; ``None`` waits
+        forever.
+    retry_failed_solo:
+        Re-run a request that failed inside a batch once on its own before
+        failing its future — rescues requests poisoned by a sick
+        batch-mate while still failing genuinely non-SPD inputs.
+    snap_to_chunk:
+        Snap the flush threshold to the tuned configuration's chunk size
+        (see module docstring).  Disable to study the padding cost.
+    tick_s:
+        Deadline-scan interval of the broker's background ticker; defaults
+        to a quarter of ``max_delay_s``.
+    """
+
+    target_batch: int = 256
+    max_delay_s: float = 0.005
+    max_queue_depth: int = 8192
+    request_timeout_s: float | None = 30.0
+    retry_failed_solo: bool = True
+    snap_to_chunk: bool = True
+    tick_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.target_batch <= 0:
+            raise ValueError(f"target_batch must be positive, got {self.target_batch}")
+        if self.max_delay_s <= 0:
+            raise ValueError(f"max_delay_s must be positive, got {self.max_delay_s}")
+        if self.max_queue_depth <= 0:
+            raise ValueError(
+                f"max_queue_depth must be positive, got {self.max_queue_depth}"
+            )
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive or None, got {self.request_timeout_s}"
+            )
+        if self.tick_s is not None and self.tick_s <= 0:
+            raise ValueError(f"tick_s must be positive or None, got {self.tick_s}")
+
+    def flush_interval(self) -> float:
+        """How often the broker scans buckets for expired deadlines."""
+        if self.tick_s is not None:
+            return self.tick_s
+        return max(self.max_delay_s / 4.0, 1e-4)
+
+    def flush_threshold(self, config: KernelConfig) -> int:
+        """The fill level at which a bucket routed to ``config`` flushes.
+
+        For chunked layouts the target is rounded *down* to a whole number
+        of chunks (never below one chunk), so a full flush packs the
+        buffer with zero identity padding.  Non-chunked configurations use
+        ``target_batch`` directly.
+        """
+        if not (self.snap_to_chunk and config.chunked):
+            return self.target_batch
+        chunks = self.target_batch // config.chunk_size
+        return max(config.chunk_size, chunks * config.chunk_size)

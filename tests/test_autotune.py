@@ -174,3 +174,40 @@ class TestSearch:
         space = ParameterSpace(ns=(16,), cache_prefs=("l1",))
         with pytest.raises(ValueError):
             coordinate_descent(space, KernelConfig(n=8), batch=1024)
+
+
+class TestSweepProgress:
+    def _space(self):
+        return ParameterSpace(ns=(4,), nbs=(1, 2, 4), chunkings=(None, 32),
+                              cache_prefs=("l1",))
+
+    def test_progress_total_is_space_size(self):
+        from repro.autotune.sweep import run_sweep
+
+        space = self._space()
+        calls = []
+        run_sweep(space, batch=1024, progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (space.size(), space.size())
+
+    def test_limited_sweep_reports_reachable_total(self):
+        """With limit set, progress must count toward limit, not the full space."""
+        from repro.autotune.sweep import run_sweep
+
+        space = self._space()
+        limit = 3
+        assert limit < space.size()
+        calls = []
+        run_sweep(space, batch=1024, limit=limit,
+                  progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (limit, limit)
+        assert all(total == limit for _, total in calls)
+
+    def test_limit_larger_than_space_clamps_to_space(self):
+        from repro.autotune.sweep import run_sweep
+
+        space = self._space()
+        calls = []
+        dataset = run_sweep(space, batch=1024, limit=space.size() + 100,
+                            progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (space.size(), space.size())
+        assert len(dataset.records) == space.size()

@@ -24,6 +24,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_serve_demo_defaults(self):
+        args = build_parser().parse_args(["serve-demo"])
+        assert args.requests == 400
+        assert args.target_batch == 64
+        assert args.max_delay_ms == 4.0
+
 
 class TestCommands:
     def test_factor_succeeds(self, capsys):
@@ -82,6 +88,17 @@ class TestCommands:
                     stores += int(line.split()[2])
             volumes[looking] = stores
         assert volumes["right"] > volumes["top"]
+
+    def test_serve_demo_prints_metrics_report(self, capsys):
+        rc = main(
+            ["serve-demo", "--requests", "60", "--ns", "6,8", "--rate", "50000",
+             "--target-batch", "32", "--max-delay-ms", "3", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        for token in ("queue depth", "batch fill", "coalesce latency",
+                      "GFLOP/s", "unaccounted"):
+            assert token in out
 
     def test_explain_diagnoses(self, capsys):
         rc = main(

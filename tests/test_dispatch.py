@@ -1,9 +1,11 @@
 """Tuned dispatch (repro.autotune.dispatch)."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.autotune.dispatch import TableEntry, TunedDispatcher
+from repro.autotune.dispatch import SCHEMA_VERSION, TableEntry, TunedDispatcher
 from repro.autotune.space import ParameterSpace
 from repro.autotune.sweep import run_sweep
 from repro.utils.errors import factorization_error
@@ -59,6 +61,58 @@ class TestLookup:
             dispatcher.config_for(0)
 
 
+def _entry(n: int, nb: int, **overrides) -> TableEntry:
+    fields = dict(
+        n=n, nb=nb, looking="top", chunked=True, chunk_size=32,
+        unroll="partial", gflops=100.0,
+    )
+    fields.update(overrides)
+    return TableEntry(**fields)
+
+
+class TestInterpolationEdges:
+    """Nearest-entry borrowing at and beyond the table's boundaries."""
+
+    @pytest.fixture()
+    def hand_table(self):
+        # Distinct parameters per entry so tests can tell whose config
+        # an interpolated size borrowed.
+        return TunedDispatcher({
+            8: _entry(8, nb=2, looking="left"),
+            16: _entry(16, nb=8, looking="right", chunked=False),
+        })
+
+    def test_below_smallest_entry_borrows_it(self, hand_table):
+        cfg = hand_table.config_for(3)
+        assert cfg.n == 3
+        assert cfg.looking.value == "left"  # came from the n=8 entry
+
+    def test_below_smallest_clips_nb_to_n(self, hand_table):
+        cfg = hand_table.config_for(1)
+        assert cfg.nb == 1  # n=8 entry has nb=2, clipped to n
+
+    def test_above_largest_entry_borrows_it(self, hand_table):
+        cfg = hand_table.config_for(64)
+        assert cfg.n == 64
+        assert cfg.looking.value == "right"  # came from the n=16 entry
+        assert not cfg.chunked
+
+    def test_above_largest_keeps_entry_nb(self, hand_table):
+        # Clipping only shrinks: a larger n keeps the borrowed tile size.
+        assert hand_table.config_for(64).nb == 8
+
+    def test_equidistant_tie_breaks_to_smaller_n(self, hand_table):
+        # n=12 is 4 away from both 8 and 16; the (distance, n) key makes
+        # the tie deterministic in favour of the smaller entry.
+        cfg = hand_table.config_for(12)
+        assert cfg.looking.value == "left"
+        assert cfg.nb == 2
+
+    def test_exact_entry_is_not_interpolated(self, hand_table):
+        cfg = hand_table.config_for(16)
+        assert cfg.nb == 8 and cfg.looking.value == "right"
+
+
 class TestDispatchedFactorization:
     def test_correct_for_tuned_size(self, dispatcher):
         a = random_spd_batch(64, 16, seed=1)
@@ -91,6 +145,43 @@ class TestPersistence:
         text = dispatcher.summary()
         assert "gflops" in text
         assert "16" in text
+
+    def test_save_is_atomic_and_leaves_no_temp_files(self, dispatcher, tmp_path):
+        path = tmp_path / "table.json"
+        dispatcher.save(path)
+        dispatcher.save(path)  # overwrite goes through the same rename
+        assert [p.name for p in tmp_path.iterdir()] == ["table.json"]
+        assert TunedDispatcher.load(path).entries == dispatcher.entries
+
+    def test_saved_table_carries_schema_version(self, dispatcher, tmp_path):
+        path = tmp_path / "table.json"
+        dispatcher.save(path)
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+
+    def test_load_rejects_unversioned_legacy_table(self, dispatcher, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps([e.__dict__ for e in dispatcher.entries.values()]))
+        with pytest.raises(ValueError, match="schema_version"):
+            TunedDispatcher.load(path)
+
+    def test_load_rejects_future_schema_version(self, dispatcher, tmp_path):
+        path = tmp_path / "table.json"
+        dispatcher.save(path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="not\\s+supported"):
+            TunedDispatcher.load(path)
+
+    def test_load_rejects_malformed_entries(self, tmp_path):
+        path = tmp_path / "table.json"
+        path.write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION,
+            "entries": [{"n": 8, "surprise": True}],
+        }))
+        with pytest.raises(ValueError, match="malformed"):
+            TunedDispatcher.load(path)
 
 
 class TestTableEntry:

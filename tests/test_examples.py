@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "batchblas_pipeline",
     "kalman_tracking",
     "fem_batch_solve",
+    "serving_traffic",
 ]
 
 
@@ -52,6 +53,7 @@ def test_examples_directory_complete():
         "tuned_dispatch",
         "batchblas_pipeline",
         "kalman_tracking",
+        "serving_traffic",
     ]
     for name in advertised:
         path = EXAMPLES_DIR / f"{name}.py"

@@ -1,0 +1,601 @@
+"""Adaptive-batching solve service (repro.serve)."""
+
+import asyncio
+import concurrent.futures
+import json
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.autotune.dispatch import TunedDispatcher
+from repro.core.config import KernelConfig
+from repro.serve import (
+    AdaptiveBatcher,
+    BatchExecutor,
+    Histogram,
+    NotPositiveDefiniteError,
+    PendingRequest,
+    RequestTimeout,
+    ServeClient,
+    ServeMetrics,
+    ServePolicy,
+    ServiceClosed,
+    ServiceOverloaded,
+    SolveBroker,
+    replay_trace,
+    run_demo,
+    synthetic_trace,
+)
+from repro.utils.spd import make_spd, random_spd_batch
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    return random_spd_batch(1, n, seed=seed)[0]
+
+
+def _non_spd(n: int) -> np.ndarray:
+    a = _spd(n, seed=99)
+    a[n // 2, n // 2] = -100.0
+    return a
+
+
+def _request(seq, a, kind="factor", b=None, enqueued_at=0.0):
+    return PendingRequest(
+        seq=seq, kind=kind, a=a, b=b, future=None, enqueued_at=enqueued_at
+    )
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+
+
+class TestServePolicy:
+    def test_defaults_validate(self):
+        ServePolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_batch": 0},
+            {"max_delay_s": 0.0},
+            {"max_queue_depth": -1},
+            {"request_timeout_s": 0.0},
+            {"tick_s": -1.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServePolicy(**kwargs)
+
+    def test_threshold_snaps_down_to_whole_chunks(self):
+        policy = ServePolicy(target_batch=300)
+        cfg = KernelConfig(n=8, chunked=True, chunk_size=128)
+        assert policy.flush_threshold(cfg) == 256
+
+    def test_threshold_never_below_one_chunk(self):
+        policy = ServePolicy(target_batch=10)
+        cfg = KernelConfig(n=8, chunked=True, chunk_size=64)
+        assert policy.flush_threshold(cfg) == 64
+
+    def test_non_chunked_uses_target_directly(self):
+        policy = ServePolicy(target_batch=300)
+        cfg = KernelConfig(n=8, chunked=False)
+        assert policy.flush_threshold(cfg) == 300
+
+    def test_snap_disabled(self):
+        policy = ServePolicy(target_batch=300, snap_to_chunk=False)
+        cfg = KernelConfig(n=8, chunked=True, chunk_size=128)
+        assert policy.flush_threshold(cfg) == 300
+
+    def test_flush_interval_defaults_to_quarter_deadline(self):
+        assert ServePolicy(max_delay_s=0.008).flush_interval() == pytest.approx(0.002)
+        assert ServePolicy(tick_s=0.5).flush_interval() == 0.5
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_moments_are_exact(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+
+    def test_percentiles(self):
+        h = Histogram()
+        for v in range(101):
+            h.observe(float(v))
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(100) == 100.0
+
+    def test_decimation_keeps_memory_bounded(self):
+        h = Histogram(max_samples=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h._samples) < 64
+        # The thinned sample still spans the distribution.
+        assert h.percentile(50) == pytest.approx(5000, rel=0.2)
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean == 0.0 and h.percentile(95) == 0.0
+        assert h.min == 0.0 and h.max == 0.0
+
+
+class TestServeMetrics:
+    def test_accounting_balances(self):
+        m = ServeMetrics()
+        for _ in range(5):
+            m.record_submit(0)
+        m.record_completion()
+        m.record_completion()
+        m.record_failure()
+        m.record_timeout()
+        m.record_shed()
+        assert m.counters["submitted"] == 5
+        assert m.unaccounted == 0
+
+    def test_report_carries_the_headline_metrics(self):
+        m = ServeMetrics()
+        m.record_submit(3)
+        m.record_flush(size=32, threshold=64, reason="deadline", gflops=12.0,
+                       wait_times_s=[0.001, 0.002])
+        text = m.report()
+        for label in ("queue depth", "batch fill", "coalesce latency",
+                      "GFLOP/s", "unaccounted"):
+            assert label in text
+
+    def test_as_json_round_trips(self):
+        m = ServeMetrics()
+        m.record_submit(1)
+        m.record_completion()
+        data = json.loads(m.as_json())
+        assert data["counters"]["submitted"] == 1
+        assert data["unaccounted"] == 0
+        assert data["histograms"]["queue_depth"]["count"] == 1
+
+    def test_unknown_flush_reason_rejected(self):
+        with pytest.raises(ValueError):
+            ServeMetrics().record_flush(1, 1, "meteor", 0.0)
+
+
+# ----------------------------------------------------------------------
+# Batcher
+# ----------------------------------------------------------------------
+
+
+class TestAdaptiveBatcher:
+    def _batcher(self, threshold=4):
+        return AdaptiveBatcher(threshold_for=lambda n: threshold)
+
+    def test_buckets_by_matrix_dimension(self):
+        b = self._batcher()
+        b.add(_request(1, _spd(8)))
+        b.add(_request(2, _spd(16)))
+        b.add(_request(3, _spd(8, seed=1)))
+        assert sorted(b.sizes()) == [8, 16]
+        assert b.pending == 3
+        assert len(b.pop(8)) == 2
+        assert b.pending == 1
+
+    def test_bucket_reports_full_at_threshold(self):
+        b = self._batcher(threshold=2)
+        bucket = b.add(_request(1, _spd(8)))
+        assert not bucket.full
+        bucket = b.add(_request(2, _spd(8, seed=1)))
+        assert bucket.full
+
+    def test_deadline_due_uses_oldest_request(self):
+        b = self._batcher()
+        b.add(_request(1, _spd(8), enqueued_at=10.0))
+        b.add(_request(2, _spd(8, seed=1), enqueued_at=19.9))
+        due = b.pop_due(now=20.0, max_delay_s=5.0)
+        assert [bucket.n for bucket in due] == [8]
+        assert b.pending == 0
+
+    def test_pop_due_leaves_young_buckets(self):
+        b = self._batcher()
+        b.add(_request(1, _spd(8), enqueued_at=19.0))
+        assert b.pop_due(now=20.0, max_delay_s=5.0) == []
+        assert b.pending == 1
+
+    def test_discard_removes_queued_request_once(self):
+        b = self._batcher()
+        req = _request(1, _spd(8))
+        b.add(req)
+        assert b.discard(req)
+        assert b.pending == 0
+        assert not b.discard(req)
+
+    def test_pop_all_drains_everything(self):
+        b = self._batcher()
+        b.add(_request(1, _spd(8)))
+        b.add(_request(2, _spd(16)))
+        buckets = b.pop_all()
+        assert {bucket.n for bucket in buckets} == {8, 16}
+        assert b.pending == 0
+
+    def test_threshold_cached_per_size(self):
+        calls = []
+
+        def threshold_for(n):
+            calls.append(n)
+            return 8
+
+        b = AdaptiveBatcher(threshold_for=threshold_for)
+        b.add(_request(1, _spd(8)))
+        b.add(_request(2, _spd(8, seed=1)))
+        assert calls == [8]
+
+    def test_nonpositive_threshold_rejected(self):
+        b = AdaptiveBatcher(threshold_for=lambda n: 0)
+        with pytest.raises(ValueError):
+            b.add(_request(1, _spd(8)))
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+
+class TestBatchExecutor:
+    def test_mixed_factor_and_solve_requests(self):
+        ex = BatchExecutor()
+        n = 8
+        a1, a2 = _spd(n, seed=1), _spd(n, seed=2)
+        b2 = np.arange(n, dtype=np.float32)
+        report = ex.execute(
+            [_request(1, a1), _request(2, a2, kind="solve", b=b2)], reason="full"
+        )
+        (r1, l1), (r2, x2) = report.outcomes
+        assert np.allclose(np.tril(l1) @ np.tril(l1).T, a1, atol=1e-3)
+        assert np.allclose(a2 @ x2, b2, atol=1e-2)
+        assert report.gflops > 0
+        assert report.size == 2
+
+    def test_non_spd_fails_only_its_own_request(self):
+        ex = BatchExecutor()
+        healthy = _spd(8, seed=3)
+        report = ex.execute(
+            [_request(1, healthy), _request(2, _non_spd(8))], reason="deadline"
+        )
+        (_, ok), (_, bad) = report.outcomes
+        assert isinstance(ok, np.ndarray)
+        assert isinstance(bad, NotPositiveDefiniteError)
+        assert bad.info > 0
+        assert report.retried == 1 and report.rescued == 0
+
+    def test_retry_can_be_disabled(self):
+        ex = BatchExecutor(retry_failed_solo=False)
+        report = ex.execute([_request(1, _non_spd(8))], reason="full")
+        assert report.retried == 0
+        assert isinstance(report.outcomes[0][1], NotPositiveDefiniteError)
+
+    def test_solve_groups_by_rhs_shape(self):
+        ex = BatchExecutor()
+        n = 6
+        a1, a2 = _spd(n, seed=4), _spd(n, seed=5)
+        b1 = np.ones(n, dtype=np.float32)
+        b2 = np.ones((n, 3), dtype=np.float32)
+        report = ex.execute(
+            [
+                _request(1, a1, kind="solve", b=b1),
+                _request(2, a2, kind="solve", b=b2),
+            ],
+            reason="full",
+        )
+        (_, x1), (_, x2) = report.outcomes
+        assert x1.shape == (n,)
+        assert x2.shape == (n, 3)
+        assert np.allclose(a1 @ x1, b1, atol=1e-2)
+        assert np.allclose(a2 @ x2, b2, atol=1e-2)
+
+    def test_fill_ratio(self):
+        ex = BatchExecutor()
+        report = ex.execute([_request(1, _spd(8))], reason="deadline", threshold=4)
+        assert report.fill == pytest.approx(0.25)
+
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor().execute([], reason="full")
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor().execute(
+                [_request(1, _spd(8)), _request(2, _spd(16))], reason="full"
+            )
+
+    def test_default_config_without_dispatcher(self):
+        cfg = BatchExecutor().config_for(12)
+        assert cfg.n == 12
+
+    def test_warmup_compiles_without_error(self):
+        BatchExecutor().warmup([4, 4, 6])
+
+
+# ----------------------------------------------------------------------
+# Broker (asyncio, end to end)
+# ----------------------------------------------------------------------
+
+
+def _fast_policy(**overrides):
+    defaults = dict(target_batch=32, max_delay_s=0.005, request_timeout_s=5.0)
+    defaults.update(overrides)
+    return ServePolicy(**defaults)
+
+
+class TestSolveBroker:
+    def test_end_to_end_mixed_sizes_against_lapack(self):
+        """N concurrent clients, mixed sizes/kinds, scipy ground truth."""
+
+        async def scenario():
+            async with SolveBroker(policy=_fast_policy()) as broker:
+                jobs = []
+                expected = []
+                for i in range(24):
+                    n = (6, 10, 14)[i % 3]
+                    a = _spd(n, seed=i)
+                    if i % 2:
+                        b = np.linspace(1.0, 2.0, n).astype(np.float32)
+                        jobs.append(broker.solve(a, b))
+                        expected.append(("solve", a, b))
+                    else:
+                        jobs.append(broker.factor(a))
+                        expected.append(("factor", a, None))
+                results = await asyncio.gather(*jobs)
+                metrics = broker.metrics
+            for (kind, a, b), result in zip(expected, results):
+                if kind == "factor":
+                    truth = scipy.linalg.cholesky(a.astype(np.float64), lower=True)
+                    assert np.allclose(np.tril(result), truth, atol=1e-2)
+                else:
+                    truth = scipy.linalg.solve(
+                        a.astype(np.float64), b.astype(np.float64), assume_a="pos"
+                    )
+                    assert np.allclose(result, truth, atol=1e-2)
+            return metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.counters["submitted"] == 24
+        assert metrics.counters["completed"] == 24
+        assert metrics.unaccounted == 0
+        assert metrics.histograms["batch_fill"].mean > 0
+
+    def test_non_spd_fails_only_its_own_future(self):
+        async def scenario():
+            async with SolveBroker(policy=_fast_policy()) as broker:
+                good = [broker.factor(_spd(8, seed=i)) for i in range(5)]
+                bad = broker.factor(_non_spd(8))
+                results = await asyncio.gather(*good, bad, return_exceptions=True)
+                return results, broker.metrics
+
+        results, metrics = asyncio.run(scenario())
+        *good_results, bad_result = results
+        assert all(isinstance(r, np.ndarray) for r in good_results)
+        assert isinstance(bad_result, NotPositiveDefiniteError)
+        assert metrics.counters["completed"] == 5
+        assert metrics.counters["failed"] == 1
+        assert metrics.counters["retried"] == 1
+        assert metrics.unaccounted == 0
+
+    def test_full_bucket_flushes_without_waiting_for_deadline(self):
+        async def scenario():
+            policy = _fast_policy(target_batch=32, max_delay_s=30.0)
+            async with SolveBroker(policy=policy) as broker:
+                jobs = [
+                    asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                    for i in range(32)
+                ]
+                done, pending = await asyncio.wait(jobs, timeout=10.0)
+                assert not pending
+                return broker.metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.counters["flushes_full"] == 1
+        assert metrics.histograms["batch_fill"].max == pytest.approx(1.0)
+
+    def test_deadline_flushes_partial_bucket(self):
+        async def scenario():
+            policy = _fast_policy(target_batch=512, max_delay_s=0.01)
+            async with SolveBroker(policy=policy) as broker:
+                result = await broker.factor(_spd(8))
+                return result, broker.metrics
+
+        result, metrics = asyncio.run(scenario())
+        assert isinstance(result, np.ndarray)
+        assert metrics.counters["flushes_deadline"] == 1
+
+    def test_overload_sheds_with_service_overloaded(self):
+        async def scenario():
+            policy = _fast_policy(
+                target_batch=512, max_delay_s=30.0, max_queue_depth=2,
+                request_timeout_s=None,
+            )
+            broker = SolveBroker(policy=policy)
+            async with broker:
+                jobs = [
+                    asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                    for i in range(3)
+                ]
+                await asyncio.sleep(0.01)  # let all three submit
+                shed = [j for j in jobs if j.done() and j.exception()]
+                assert len(shed) == 1
+                assert isinstance(shed[0].exception(), ServiceOverloaded)
+                metrics = broker.metrics
+            # close() drains the two queued requests
+            await asyncio.gather(
+                *(j for j in jobs if not j.done()), return_exceptions=True
+            )
+            return metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.counters["shed"] == 1
+        assert metrics.counters["flushes_drain"] == 1
+        assert metrics.unaccounted == 0
+
+    def test_request_timeout_abandons_queued_request(self):
+        async def scenario():
+            policy = _fast_policy(
+                target_batch=512, max_delay_s=30.0, request_timeout_s=0.02
+            )
+            async with SolveBroker(policy=policy) as broker:
+                with pytest.raises(RequestTimeout):
+                    await broker.factor(_spd(8))
+                return broker.metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.counters["timed_out"] == 1
+        assert metrics.counters["failed"] == 1
+        assert metrics.unaccounted == 0
+
+    def test_closed_broker_rejects_submissions(self):
+        async def scenario():
+            broker = SolveBroker(policy=_fast_policy())
+            await broker.start()
+            await broker.close()
+            with pytest.raises(ServiceClosed):
+                await broker.factor(_spd(8))
+
+        asyncio.run(scenario())
+
+    def test_invalid_inputs_rejected_before_queueing(self):
+        async def scenario():
+            async with SolveBroker(policy=_fast_policy()) as broker:
+                with pytest.raises(ValueError):
+                    await broker.factor(np.zeros((3, 4)))
+                with pytest.raises(ValueError):
+                    await broker.solve(_spd(4), np.ones(5))
+                with pytest.raises(ValueError):
+                    await broker.submit("factor", _spd(4), np.ones(4))
+                with pytest.raises(ValueError):
+                    await broker.submit("invert", _spd(4))
+                return broker.metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.counters["submitted"] == 0
+
+
+class TestDispatcherIntegration:
+    @pytest.fixture(scope="class")
+    def dispatcher(self):
+        return TunedDispatcher.tune((8,), batch=2048, nbs=(2, 4), chunkings=(32,))
+
+    def test_executor_routes_through_tuned_table(self, dispatcher):
+        ex = BatchExecutor(dispatcher=dispatcher)
+        assert ex.config_for(8).nb == dispatcher.entries[8].nb
+
+    def test_served_results_match_for_interpolated_size(self, dispatcher):
+        # n=12 is not in the table; the nearest winner's parameters apply.
+        with ServeClient(policy=_fast_policy(), dispatcher=dispatcher) as client:
+            a = _spd(12, seed=6)
+            l = client.factor(a)
+        assert np.allclose(np.tril(l) @ np.tril(l).T, a, atol=1e-2)
+
+    def test_threshold_snaps_to_tuned_chunk(self, dispatcher):
+        broker = SolveBroker(
+            policy=ServePolicy(target_batch=100), dispatcher=dispatcher
+        )
+        chunk = dispatcher.config_for(8).chunk_size
+        assert broker.batcher.threshold(8) == (100 // chunk) * chunk
+
+
+# ----------------------------------------------------------------------
+# Synchronous client
+# ----------------------------------------------------------------------
+
+
+class TestServeClient:
+    def test_threaded_clients_share_batches(self):
+        policy = _fast_policy(target_batch=32, max_delay_s=0.05)
+        with ServeClient(policy=policy) as client:
+            def one(i):
+                n = 8 if i % 2 else 12
+                a = _spd(n, seed=i)
+                if i % 3:
+                    return a, None, client.factor(a)
+                b = np.ones(n, dtype=np.float32)
+                return a, b, client.solve(a, b)
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                outcomes = list(pool.map(one, range(16)))
+            metrics = client.metrics
+
+        for a, b, result in outcomes:
+            if b is None:
+                assert np.allclose(np.tril(result) @ np.tril(result).T, a, atol=1e-2)
+            else:
+                assert np.allclose(a @ result, b, atol=1e-2)
+        assert metrics.counters["completed"] == 16
+        assert metrics.unaccounted == 0
+        # Concurrent submissions coalesced: fewer flushes than requests.
+        assert metrics.counters["flushes"] < 16
+
+    def test_submit_returns_concurrent_future(self):
+        with ServeClient(policy=_fast_policy()) as client:
+            fut = client.submit("factor", _spd(8))
+            assert isinstance(fut, concurrent.futures.Future)
+            result = fut.result(timeout=10)
+            assert result.shape == (8, 8)
+
+    def test_close_is_idempotent(self):
+        client = ServeClient(policy=_fast_policy())
+        client.close()
+        client.close()
+
+    def test_use_after_close_raises_service_closed(self):
+        client = ServeClient(policy=_fast_policy())
+        client.close()
+        with pytest.raises(ServiceClosed):
+            client.factor(_spd(8))
+
+
+# ----------------------------------------------------------------------
+# Synthetic traffic
+# ----------------------------------------------------------------------
+
+
+class TestSyntheticTraffic:
+    def test_trace_is_deterministic_and_sorted(self):
+        t1 = synthetic_trace(requests=50, seed=5)
+        t2 = synthetic_trace(requests=50, seed=5)
+        assert t1 == t2
+        assert all(a.at <= b.at for a, b in zip(t1, t1[1:]))
+        assert t1[0].at == 0.0
+
+    def test_trace_respects_size_palette(self):
+        trace = synthetic_trace(requests=64, ns=(4, 6), seed=1)
+        assert {e.n for e in trace} <= {4, 6}
+
+    def test_replay_accounts_for_every_request(self):
+        trace = synthetic_trace(
+            requests=60, ns=(6, 10), rate_hz=50000.0, nonspd_fraction=0.05, seed=2
+        )
+        policy = ServePolicy(target_batch=32, max_delay_s=0.003)
+        summary = replay_trace(trace, policy=policy)
+        m = summary.metrics
+        assert m.counters["submitted"] == 60
+        assert m.unaccounted == 0
+        assert summary.completed + summary.failed == 60
+        assert m.histograms["batch_fill"].mean > 0
+
+    def test_run_demo_report_has_headline_metrics(self):
+        report, summary = run_demo(requests=40, ns=(6, 8), rate_hz=50000.0, seed=4)
+        for label in ("queue depth", "batch fill", "coalesce latency",
+                      "GFLOP/s", "unaccounted"):
+            assert label in report
+        assert summary.metrics.unaccounted == 0
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(requests=0)
+        with pytest.raises(ValueError):
+            synthetic_trace(rate_hz=0.0)
