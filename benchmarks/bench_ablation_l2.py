@@ -7,8 +7,6 @@ collapsing once the batch's working set exceeds the 4 MiB L2 — i.e. for
 every realistic batch size.
 """
 
-import numpy as np
-import pytest
 
 from conftest import report
 from repro.core.config import KernelConfig

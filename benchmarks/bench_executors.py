@@ -16,9 +16,15 @@ from repro.core.factorize import batch_cholesky
 from repro.core.solve import batch_solve
 from repro.layouts.base import BatchSpec
 from repro.layouts.chunked import ChunkedInterleavedLayout
+from repro.serve import BatchExecutor
+from repro.serve.batcher import PendingRequest
 from repro.utils.spd import random_rhs_batch, random_spd_batch
 
 BATCH = 2048
+
+#: Flushed-bucket size for the serve-backend benchmarks — one tuned
+#: chunk's worth, the shape the broker actually hands an executor.
+FLUSH_BATCH = 256
 
 
 @pytest.fixture(scope="module")
@@ -62,3 +68,37 @@ def test_bench_batch_solve(benchmark, spd16):
 def test_bench_magma_numeric_baseline(benchmark, spd16):
     l = benchmark(magma_cholesky_batch, spd16)
     assert np.isfinite(l).all()
+
+
+# ----------------------------------------------------------------------
+# Serve-layer flush backends
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def flush_requests():
+    a = random_spd_batch(FLUSH_BATCH, 16, seed=3)
+    return [
+        PendingRequest(
+            seq=i, kind="factor", a=a[i], b=None, future=None, enqueued_at=0.0
+        )
+        for i in range(FLUSH_BATCH)
+    ]
+
+
+@pytest.mark.parametrize("backend", ["inline", "process", "eventsim", "shadow"])
+def test_bench_serve_flush_backends(benchmark, flush_requests, backend):
+    """One flushed bucket through each executor backend.
+
+    ``inline`` is the host-NumPy floor, ``process`` adds the IPC +
+    pickling cost of escaping the GIL, ``eventsim`` adds the discrete
+    simulation, and ``shadow`` adds a full LAPACK mirror of the batch.
+    """
+    ex = BatchExecutor(backend=backend)
+    ex.warmup([16])
+    try:
+        report = benchmark(ex.execute, flush_requests, "full")
+        assert report.size == FLUSH_BATCH
+        assert report.backend == backend
+    finally:
+        ex.close()

@@ -9,33 +9,65 @@ This example replays the *same* synthetic arrival trace under a range of
 build fuller buckets (higher modelled GFLOP/s per flush, fewer flushes)
 at the price of higher p95 coalesce latency.
 
-Run:  python examples/serving_traffic.py
+Run:  python examples/serving_traffic.py [--quick] [--backend NAME]
+
+``--quick`` shrinks the trace and the deadline grid (the CI smoke job
+uses it); ``--backend`` replays through a specific flush executor
+backend (inline, process, eventsim, shadow).
 """
 
-from repro.serve import ServePolicy, replay_trace, synthetic_trace
+import argparse
+import sys
+
+from repro.serve import BACKEND_NAMES, ServePolicy, replay_trace, synthetic_trace
 from repro.utils.tables import format_table
 
 #: Latency budgets to sweep, in milliseconds.
 DEADLINES_MS = (0.5, 2.0, 8.0, 32.0)
+QUICK_DEADLINES_MS = (0.5, 8.0)
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trace and two deadlines (used by the CI smoke job)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="flush executor backend (default: $REPRO_SERVE_BACKEND or inline)",
+    )
+    # main() is also invoked directly (tests, notebooks) with no argv;
+    # only the __main__ guard forwards the real command line.
+    args = parser.parse_args([] if argv is None else argv)
+
+    requests = 60 if args.quick else 240
+    deadlines = QUICK_DEADLINES_MS if args.quick else DEADLINES_MS
     trace = synthetic_trace(
-        requests=240, ns=(8, 16, 24), rate_hz=40000.0, solve_fraction=0.3, seed=7
+        requests=requests,
+        ns=(8, 16, 24),
+        rate_hz=40000.0,
+        solve_fraction=0.3,
+        seed=7,
     )
     print(
         f"replaying {len(trace)} mixed-size requests "
-        f"({trace[-1].at * 1e3:.1f} ms of traffic) under four latency budgets\n"
+        f"({trace[-1].at * 1e3:.1f} ms of traffic) under "
+        f"{len(deadlines)} latency budgets\n"
     )
 
     rows = []
-    for deadline_ms in DEADLINES_MS:
+    for deadline_ms in deadlines:
         policy = ServePolicy(
             # A large target keeps the deadline in charge of every flush,
             # isolating the knob this example studies.
             target_batch=4096,
             max_delay_s=deadline_ms / 1e3,
             request_timeout_s=None,
+            backend=args.backend,
         )
         summary = replay_trace(trace, policy=policy)
         m = summary.metrics
@@ -54,6 +86,7 @@ def main() -> None:
             ]
         )
 
+    print(f"backend: {summary.backend}\n")
     print(
         format_table(
             [
@@ -77,4 +110,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

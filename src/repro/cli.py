@@ -186,6 +186,9 @@ def _cmd_serve_demo(args) -> int:
         max_delay_s=args.max_delay_ms / 1e3,
         max_queue_depth=args.queue_depth,
         request_timeout_s=args.timeout_ms / 1e3 if args.timeout_ms else None,
+        backend=args.backend,
+        process_workers=args.workers,
+        shadow_fraction=args.shadow_fraction,
     )
     ns = tuple(int(x) for x in args.ns.split(","))
     report, summary = run_demo(
@@ -266,6 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request timeout (0 disables)",
     )
     p.add_argument("--queue-depth", type=int, default=8192, help="shed beyond this")
+    p.add_argument(
+        "--backend", choices=("inline", "process", "eventsim", "shadow"),
+        default=None,
+        help="flush executor backend (default: $REPRO_SERVE_BACKEND or inline)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for --backend process",
+    )
+    p.add_argument(
+        "--shadow-fraction", type=float, default=1.0,
+        help="fraction of flushes mirrored through LAPACK for --backend shadow",
+    )
     p.add_argument("--solve-fraction", type=float, default=0.4)
     p.add_argument(
         "--nonspd-fraction", type=float, default=0.01,

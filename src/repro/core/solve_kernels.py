@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.codegen.solvekernel import GeneratedSolveKernel, generate_solve_source
 from repro.core.config import KernelConfig
-from repro.layouts.base import WARP_SIZE, BatchSpec
+from repro.layouts.base import BatchSpec
 from repro.layouts.vectors import pack_vectors, unpack_vectors, vector_lane_view
 
 #: (n, nrhs) -> (generated kernel, compiled callable)
@@ -76,7 +76,6 @@ def batch_solve_kernel(
         raise ValueError(f"config.n={config.n} does not match factors' n={n}")
 
     chunk = config.chunk_size if config.chunked else None
-    group = chunk if chunk is not None else WARP_SIZE
 
     l32 = np.ascontiguousarray(l, dtype=np.float32)
     b32 = np.ascontiguousarray(b, dtype=np.float32)

@@ -7,11 +7,26 @@ adaptive batcher coalesces them until a bucket fills (threshold snapped
 to the tuned kernel's chunk size) or a latency deadline expires, and an
 executor routes each flushed bucket through the tuned dispatch table,
 scattering per-request results — or per-request errors — back onto the
-callers' futures.  Backpressure (bounded queue with load shedding),
-per-request timeouts, retry-once for batch-poisoned requests, and a full
-metrics layer round it out.  See ``docs/serving.md``.
+callers' futures.  The dense compute of a flush runs on a pluggable
+backend (``inline``, ``process``, ``eventsim``, ``shadow`` — see
+:mod:`repro.serve.backends`).  Backpressure (bounded queue with load
+shedding), per-request timeouts, retry-once for batch-poisoned requests,
+and a full metrics layer round it out.  See ``docs/serving.md``.
 """
 
+from repro.serve.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    BackendError,
+    BackendRun,
+    EventSimBackend,
+    ExecutorBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    ShadowLapackBackend,
+    backend_from_policy,
+    make_backend,
+)
 from repro.serve.batcher import AdaptiveBatcher, PendingRequest, SizeBucket
 from repro.serve.broker import SolveBroker
 from repro.serve.client import (
@@ -35,8 +50,19 @@ from repro.serve.policy import (
 
 __all__ = [
     "AdaptiveBatcher",
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "BackendError",
+    "BackendRun",
     "BatchExecutor",
+    "EventSimBackend",
+    "ExecutorBackend",
     "FlushReport",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ShadowLapackBackend",
+    "backend_from_policy",
+    "make_backend",
     "Histogram",
     "NotPositiveDefiniteError",
     "PendingRequest",

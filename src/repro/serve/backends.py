@@ -1,0 +1,399 @@
+"""Executor backends: how one dense flushed batch actually runs.
+
+The broker and :class:`~repro.serve.executor.BatchExecutor` own everything
+request-shaped about a flush — packing same-size requests into a dense
+``(batch, n, n)`` block, the LAPACK-style ``info`` diagnosis, solo
+retries, solves, and scattering per-request outcomes.  The one step that
+is genuinely backend-specific is "run this dense block with this tuned
+configuration", and that step is this module's :class:`ExecutorBackend`
+seam.  Four backends implement it:
+
+``inline``
+    The seed behaviour: factorize with the generated NumPy kernels in the
+    calling thread.  Service time is host wall clock.
+
+``process``
+    Ship the dense block to a ``concurrent.futures``
+    ``ProcessPoolExecutor`` worker, so flush compute escapes the GIL and
+    the broker's event loop keeps ticking deadlines while a bucket
+    factorizes.  Worker death and per-flush timeouts become
+    :class:`BackendError` (which the broker scatters to only that
+    bucket's futures); the broken pool is disposed and, by default, the
+    flush is retried once on a fresh worker first.
+
+``eventsim``
+    Wrap any inner backend (inline by default) and charge each flush the
+    latency predicted by :func:`repro.gpusim.eventsim.simulate_launch`
+    for the tuned configuration, so trace replays report modeled GPU-time
+    service latency instead of host-NumPy latency.
+
+``shadow``
+    Mirror a configurable fraction of flushes through the LAPACK
+    reference (:mod:`repro.baselines.lapack`), compare factors within
+    tolerance, and surface disagreements through the ``shadow_mismatch``
+    metric — user futures still resolve from the primary factors.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import KernelConfig
+from repro.core.factorize import batch_cholesky
+from repro.gpusim.arch import GPUArchitecture, P100
+from repro.serve.policy import ServeError
+
+#: Environment variable consulted when no backend is named explicitly —
+#: the CI matrix sets it to run the serve suite once per backend.
+BACKEND_ENV = "REPRO_SERVE_BACKEND"
+
+#: Backend names accepted by :func:`make_backend`, the CLI, and the
+#: environment variable.
+BACKEND_NAMES = ("inline", "process", "eventsim", "shadow")
+
+
+class BackendError(ServeError):
+    """A backend failed to run a flush (worker death, flush timeout, ...)."""
+
+
+@dataclass
+class BackendRun:
+    """What one backend invocation produced.
+
+    ``seconds`` is the service time the backend *charges* for the run —
+    wall clock for the host backends, modeled GPU time for ``eventsim``
+    (which also supplies its own ``gflops``; ``None`` defers to the
+    analytic model).  The shadow counters report how many matrices were
+    mirrored through the LAPACK reference and how many disagreed.
+    """
+
+    factors: np.ndarray
+    seconds: float | None = None
+    gflops: float | None = None
+    shadow_checked: int = 0
+    shadow_mismatch: int = 0
+
+
+def _dense_cholesky(a: np.ndarray, config: KernelConfig) -> np.ndarray:
+    # Branch-free kernels turn non-SPD pivots into NaNs rather than
+    # raising; silence the IEEE warnings and let ``info`` diagnose.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return batch_cholesky(a, config)
+
+
+class ExecutorBackend:
+    """Runs one dense ``(batch, n, n)`` block with one tuned configuration.
+
+    Subclasses implement :meth:`factorize`; :meth:`warmup` and
+    :meth:`close` have do-little defaults so simple backends stay simple.
+    """
+
+    name = "abstract"
+
+    def factorize(self, a: np.ndarray, config: KernelConfig) -> BackendRun:
+        raise NotImplementedError
+
+    def warmup(self, config: KernelConfig) -> None:
+        """Pre-compile the kernel for ``config`` wherever flushes will run."""
+        from repro.codegen.compile import compiled_kernel
+
+        compiled_kernel(config)
+
+    def close(self) -> None:
+        """Release whatever the backend holds (pools, wrapped backends)."""
+
+
+class InlineBackend(ExecutorBackend):
+    """Factorize in the calling thread with the generated NumPy kernels."""
+
+    name = "inline"
+
+    def factorize(self, a: np.ndarray, config: KernelConfig) -> BackendRun:
+        started = time.perf_counter()
+        factors = _dense_cholesky(a, config)
+        return BackendRun(factors=factors, seconds=time.perf_counter() - started)
+
+
+def _process_worker(a: np.ndarray, config: KernelConfig) -> np.ndarray:
+    """Top-level worker entry point (must be picklable by reference)."""
+    return _dense_cholesky(a, config)
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Run flushes in worker processes so compute escapes the GIL.
+
+    The pool is created lazily (and re-created after a failure) from a
+    ``forkserver`` context where available — forking from the clean
+    forkserver process is safe even though the broker's process is
+    multi-threaded.  A flush that outlives ``flush_timeout_s`` or whose
+    worker dies raises :class:`BackendError`; the broken pool is disposed
+    so the *next* flush starts clean, and with ``retry_fresh_worker`` the
+    failing flush itself is retried once on a fresh worker first.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        flush_timeout_s: float | None = 30.0,
+        retry_fresh_worker: bool = True,
+        mp_context=None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if flush_timeout_s is not None and flush_timeout_s <= 0:
+            raise ValueError(
+                f"flush_timeout_s must be positive or None, got {flush_timeout_s}"
+            )
+        self.workers = workers
+        self.flush_timeout_s = flush_timeout_s
+        self.retry_fresh_worker = retry_fresh_worker
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _context(self):
+        if self._mp_context is not None:
+            return self._mp_context
+        try:
+            return multiprocessing.get_context("forkserver")
+        except ValueError:  # platform without forkserver
+            return multiprocessing.get_context("spawn")
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context()
+            )
+        return self._pool
+
+    def _dispose_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # A hung worker would block an orderly shutdown forever, so
+        # terminate whatever is still alive before abandoning the pool.
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            if proc.is_alive():
+                proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _attempt(self, a: np.ndarray, config: KernelConfig) -> np.ndarray:
+        future = None
+        try:
+            # submit() itself raises BrokenExecutor when a worker already
+            # died, so it sits inside the same conversion path.
+            future = self._ensure_pool().submit(_process_worker, a, config)
+            return future.result(timeout=self.flush_timeout_s)
+        except FutureTimeoutError:
+            if future is not None:
+                future.cancel()
+            self._dispose_pool()
+            raise BackendError(
+                f"flush (batch={len(a)}, n={config.n}) timed out after "
+                f"{self.flush_timeout_s}s in a worker process"
+            ) from None
+        except BrokenExecutor as exc:
+            self._dispose_pool()
+            raise BackendError(f"worker process died mid-flush: {exc}") from exc
+
+    def factorize(self, a: np.ndarray, config: KernelConfig) -> BackendRun:
+        started = time.perf_counter()
+        try:
+            factors = self._attempt(a, config)
+        except BackendError:
+            if not self.retry_fresh_worker:
+                raise
+            # _attempt disposed the broken pool; this retry builds a
+            # fresh one.  A second failure is the request's problem.
+            factors = self._attempt(a, config)
+        return BackendRun(factors=factors, seconds=time.perf_counter() - started)
+
+    def warmup(self, config: KernelConfig) -> None:
+        """Compile ``config``'s kernel in every worker, one tiny batch each."""
+        pool = self._ensure_pool()
+        probe = np.eye(config.n, dtype=config.np_dtype())[None]
+        futures = [
+            pool.submit(_process_worker, probe, config) for _ in range(self.workers)
+        ]
+        for future in futures:
+            future.result(timeout=self.flush_timeout_s)
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+class EventSimBackend(ExecutorBackend):
+    """Charge flushes the latency the event-driven GPU simulator predicts.
+
+    Factors come from the wrapped ``inner`` backend (inline by default);
+    timing comes from :func:`repro.gpusim.eventsim.simulate_launch` for
+    the tuned configuration and the flushed batch size.  Replaying a
+    trace through this backend therefore reports the service latency the
+    modeled GPU would deliver, not the host-NumPy stand-in's.
+    """
+
+    name = "eventsim"
+
+    def __init__(
+        self,
+        inner: ExecutorBackend | None = None,
+        arch: GPUArchitecture = P100,
+    ) -> None:
+        self.inner = inner if inner is not None else InlineBackend()
+        self.arch = arch
+        self._sim_cache: dict[tuple, tuple[float, float]] = {}
+
+    def _modeled(self, config: KernelConfig, batch: int) -> tuple[float, float]:
+        key = (config, batch)
+        if key not in self._sim_cache:
+            from repro.gpusim.eventsim import simulate_launch
+
+            sim = simulate_launch(config, batch=batch, arch=self.arch)
+            self._sim_cache[key] = (sim.seconds, sim.gflops)
+        return self._sim_cache[key]
+
+    def factorize(self, a: np.ndarray, config: KernelConfig) -> BackendRun:
+        run = self.inner.factorize(a, config)
+        seconds, gflops = self._modeled(config, len(a))
+        return BackendRun(
+            factors=run.factors,
+            seconds=seconds,
+            gflops=gflops,
+            shadow_checked=run.shadow_checked,
+            shadow_mismatch=run.shadow_mismatch,
+        )
+
+    def warmup(self, config: KernelConfig) -> None:
+        self.inner.warmup(config)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class ShadowLapackBackend(ExecutorBackend):
+    """Mirror a fraction of flushes through the LAPACK reference.
+
+    Primary factors come from the wrapped ``inner`` backend and are what
+    user futures resolve from; on the mirrored flushes every matrix is
+    re-factorized with :mod:`repro.baselines.lapack` and compared within
+    ``tolerance``.  Disagreements — a matrix the kernel factorized but
+    LAPACK rejected (or vice versa), or factors further apart than the
+    tolerance — are *counted*, not raised: they surface through the
+    ``shadow_mismatch`` metric so operators can alarm on silent numeric
+    drift without failing user traffic.
+
+    ``fraction`` is applied with a deterministic credit accumulator
+    (fraction 0.25 mirrors every fourth flush), which keeps replays and
+    tests reproducible.
+    """
+
+    name = "shadow"
+
+    def __init__(
+        self,
+        inner: ExecutorBackend | None = None,
+        fraction: float = 1.0,
+        tolerance: float = 1e-3,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.inner = inner if inner is not None else InlineBackend()
+        self.fraction = fraction
+        self.tolerance = tolerance
+        self._credit = 0.0
+
+    def factorize(self, a: np.ndarray, config: KernelConfig) -> BackendRun:
+        run = self.inner.factorize(a, config)
+        self._credit += self.fraction
+        if self._credit >= 1.0:
+            self._credit -= 1.0
+            run.shadow_checked += len(a)
+            run.shadow_mismatch += self._mismatches(a, run.factors)
+        return run
+
+    def _mismatches(self, a: np.ndarray, factors: np.ndarray) -> int:
+        from scipy.linalg import LinAlgError
+
+        from repro.baselines.lapack import lapack_cholesky_batch
+
+        mismatches = 0
+        for i in range(len(a)):
+            lower = np.tril(np.asarray(factors[i], dtype=np.float64))
+            kernel_ok = bool(np.isfinite(lower).all())
+            try:
+                ref = lapack_cholesky_batch(
+                    np.asarray(a[i], dtype=np.float64)[None]
+                )[0]
+            except LinAlgError:
+                ref = None
+            if kernel_ok != (ref is not None):
+                mismatches += 1
+                continue
+            if ref is None:
+                continue  # both sides agree the matrix is not SPD
+            drift = np.max(np.abs(lower - ref) / (1.0 + np.abs(ref)))
+            if drift > self.tolerance:
+                mismatches += 1
+        return mismatches
+
+    def warmup(self, config: KernelConfig) -> None:
+        self.inner.warmup(config)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def make_backend(
+    spec: "str | ExecutorBackend | None" = None,
+    *,
+    workers: int = 2,
+    flush_timeout_s: float | None = 30.0,
+    shadow_fraction: float = 1.0,
+    shadow_tolerance: float = 1e-3,
+    arch: GPUArchitecture = P100,
+) -> ExecutorBackend:
+    """Build an executor backend from a name (or pass one through).
+
+    ``spec`` may be an :class:`ExecutorBackend` instance (returned as
+    is), one of :data:`BACKEND_NAMES`, or ``None`` — which consults the
+    ``REPRO_SERVE_BACKEND`` environment variable and falls back to
+    ``inline``.
+    """
+    if isinstance(spec, ExecutorBackend):
+        return spec
+    name = spec or os.environ.get(BACKEND_ENV) or "inline"
+    if name == "inline":
+        return InlineBackend()
+    if name == "process":
+        return ProcessPoolBackend(workers=workers, flush_timeout_s=flush_timeout_s)
+    if name == "eventsim":
+        return EventSimBackend(arch=arch)
+    if name == "shadow":
+        return ShadowLapackBackend(
+            fraction=shadow_fraction, tolerance=shadow_tolerance
+        )
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
+
+
+def backend_from_policy(policy) -> ExecutorBackend:
+    """The backend a :class:`~repro.serve.policy.ServePolicy` asks for."""
+    return make_backend(
+        policy.backend,
+        workers=policy.process_workers,
+        flush_timeout_s=policy.flush_timeout_s,
+        shadow_fraction=policy.shadow_fraction,
+        shadow_tolerance=policy.shadow_tolerance,
+    )

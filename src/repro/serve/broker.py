@@ -7,7 +7,9 @@ behind the door the broker coalesces them into per-size buckets
 when its oldest request hits the latency deadline, scanned by a
 background ticker — and scatters per-request results back onto the
 futures.  The numeric work of a flush runs in the event loop's default
-thread pool so submissions keep flowing while a batch factorizes.
+thread pool so submissions keep flowing while a batch factorizes; the
+executor's backend (:mod:`repro.serve.backends`) may further ship it to a
+worker process, letting flush compute escape the GIL entirely.
 
 Robustness is policy-driven (:mod:`repro.serve.policy`): a bounded queue
 sheds excess load with :class:`ServiceOverloaded`, per-request timeouts
@@ -23,6 +25,7 @@ import contextlib
 import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
+from repro.serve.backends import backend_from_policy
 from repro.serve.batcher import KINDS, AdaptiveBatcher, PendingRequest, SizeBucket
 from repro.serve.executor import BatchExecutor, FlushReport
 from repro.serve.metrics import ServeMetrics
@@ -56,8 +59,14 @@ class SolveBroker:
         metrics: ServeMetrics | None = None,
     ) -> None:
         self.policy = policy or ServePolicy()
+        # A broker that builds its own executor also owns its backend (and
+        # closes it — worker pools outlive nothing); a caller-supplied
+        # executor stays the caller's to manage.
+        self._owns_executor = executor is None
         self.executor = executor or BatchExecutor(
-            dispatcher=dispatcher, retry_failed_solo=self.policy.retry_failed_solo
+            dispatcher=dispatcher,
+            retry_failed_solo=self.policy.retry_failed_solo,
+            backend=backend_from_policy(self.policy),
         )
         self.metrics = metrics or ServeMetrics()
         self.batcher = AdaptiveBatcher(
@@ -95,6 +104,8 @@ class SolveBroker:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._ticker
             self._ticker = None
+        if self._owns_executor:
+            self.executor.close()
 
     async def __aenter__(self) -> "SolveBroker":
         return await self.start()
@@ -239,6 +250,9 @@ class SolveBroker:
             reason=report.reason,
             gflops=report.gflops,
             wait_times_s=waits,
+            service_s=report.service_s,
+            shadow_checked=report.shadow_checked,
+            shadow_mismatch=report.shadow_mismatch,
         )
 
     async def _tick_loop(self) -> None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -154,7 +154,9 @@ def _event_inputs(event: TraceEvent) -> tuple[np.ndarray, np.ndarray | None]:
     a = make_spd(event.n, rng)
     if event.nonspd:
         a[event.n // 2, event.n // 2] = -abs(a[event.n // 2, event.n // 2]) - 1.0
-    b = rng.standard_normal(event.n).astype(np.float32) if event.kind == "solve" else None
+    b = None
+    if event.kind == "solve":
+        b = rng.standard_normal(event.n).astype(np.float32)
     return a, b
 
 
@@ -168,6 +170,7 @@ class ReplaySummary:
     shed: int
     elapsed_s: float
     metrics: ServeMetrics
+    backend: str = "inline"
 
     @property
     def throughput_rps(self) -> float:
@@ -213,6 +216,7 @@ def replay_trace(
             elapsed = loop.time() - start
             completed = sum(1 for r in results if isinstance(r, np.ndarray))
             metrics = broker.metrics
+            backend_name = broker.executor.backend.name
         return ReplaySummary(
             requests=len(trace),
             completed=completed,
@@ -220,6 +224,7 @@ def replay_trace(
             shed=metrics.counters["shed"],
             elapsed_s=elapsed,
             metrics=metrics,
+            backend=backend_name,
         )
 
     return asyncio.run(_replay())
@@ -234,9 +239,12 @@ def run_demo(
     solve_fraction: float = 0.4,
     nonspd_fraction: float = 0.01,
     seed: int = 0,
+    backend: str | None = None,
 ) -> tuple[str, ReplaySummary]:
     """Replay one synthetic trace and render the full metrics report."""
     policy = policy or ServePolicy(target_batch=64, max_delay_s=0.004)
+    if backend is not None:
+        policy = replace(policy, backend=backend)
     trace = synthetic_trace(
         requests=requests,
         ns=ns,
@@ -254,6 +262,7 @@ def run_demo(
         f"max_delay={policy.max_delay_s * 1e3:.1f}ms "
         f"queue_cap={policy.max_queue_depth} "
         f"snap_to_chunk={policy.snap_to_chunk}",
+        f"backend : {summary.backend}",
         f"served  : {summary.completed} ok, {summary.failed} failed, "
         f"{summary.shed} shed in {summary.elapsed_s * 1e3:.1f} ms "
         f"({summary.throughput_rps:.0f} req/s)",

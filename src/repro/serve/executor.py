@@ -7,6 +7,11 @@ validates every factor with the LAPACK-style ``info`` diagnosis, and
 scatters per-request results — or per-request *errors*: a non-SPD matrix
 fails only its own future, never the whole bucket.
 
+The dense factorization itself is delegated to an
+:class:`~repro.serve.backends.ExecutorBackend` ("run this block with this
+config"); everything request-shaped — packing, diagnosis, solo retries,
+solves, outcome scattering — is shared here across all backends.
+
 A request that fails inside a batch is optionally retried once on its
 own.  The generated kernels are branch-free, so a sick matrix cannot
 raise — it silently poisons its lane with NaNs — and a solo re-run is the
@@ -17,17 +22,18 @@ cross-lane invariant of a particular executor backend.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
 from repro.core.config import KernelConfig
-from repro.core.factorize import batch_cholesky
 from repro.core.solve import batch_solve
 from repro.core.validate import factorization_info
 from repro.gpusim.arch import GPUArchitecture, P100
 from repro.gpusim.model import estimate_performance
+from repro.serve.backends import BackendRun, ExecutorBackend, make_backend
 from repro.serve.batcher import PendingRequest
 from repro.serve.policy import NotPositiveDefiniteError
 
@@ -38,6 +44,8 @@ class FlushReport:
 
     ``outcomes`` pairs every request with either its result array or the
     exception destined for its future; the broker only scatters.
+    ``service_s`` is the flush's service time as charged by the backend —
+    wall clock for the host backends, modeled GPU time for ``eventsim``.
     """
 
     n: int
@@ -48,6 +56,10 @@ class FlushReport:
     outcomes: list[tuple[PendingRequest, np.ndarray | Exception]]
     retried: int = 0
     rescued: int = 0
+    backend: str = "inline"
+    service_s: float = 0.0
+    shadow_checked: int = 0
+    shadow_mismatch: int = 0
 
     @property
     def fill(self) -> float:
@@ -63,11 +75,13 @@ class BatchExecutor:
         fast_math: bool = False,
         retry_failed_solo: bool = True,
         arch: GPUArchitecture = P100,
+        backend: "ExecutorBackend | str | None" = None,
     ) -> None:
         self.dispatcher = dispatcher
         self.fast_math = fast_math
         self.retry_failed_solo = retry_failed_solo
         self.arch = arch
+        self.backend = make_backend(backend, arch=arch)
 
     def config_for(self, n: int) -> KernelConfig:
         """Tuned configuration for ``n``; library default without a table."""
@@ -81,24 +95,22 @@ class BatchExecutor:
         The first flush of a cold size otherwise pays codegen/compilation
         inside its latency budget — hundreds of milliseconds against
         single-digit-millisecond deadlines.  Services warm up before
-        taking traffic; trace replays do the same.
+        taking traffic; trace replays do the same.  Backend warmup runs
+        wherever flushes will run — the process pool compiles in every
+        worker.
         """
-        from repro.codegen.compile import compiled_kernel
-
         for n in sorted(set(int(x) for x in ns)):
             config = self.config_for(n)
-            compiled_kernel(config)
+            self.backend.warmup(config)
             estimate_performance(config, batch=config.block_threads, arch=self.arch)
+
+    def close(self) -> None:
+        """Release the backend's resources (worker pools, wrapped backends)."""
+        self.backend.close()
 
     # ------------------------------------------------------------------
     # Flush execution
     # ------------------------------------------------------------------
-
-    def _factorize(self, a: np.ndarray, config: KernelConfig) -> np.ndarray:
-        # Branch-free kernels turn non-SPD pivots into NaNs rather than
-        # raising; silence the IEEE warnings and let ``info`` diagnose.
-        with np.errstate(invalid="ignore", divide="ignore"):
-            return batch_cholesky(a, config)
 
     def execute(
         self, requests: list[PendingRequest], reason: str, threshold: int | None = None
@@ -112,8 +124,13 @@ class BatchExecutor:
         config = self.config_for(n)
         threshold = len(requests) if threshold is None else threshold
 
+        started = time.perf_counter()
+        runs: list[BackendRun] = []
+
         a = np.stack([r.a for r in requests])
-        factors = self._factorize(a, config)
+        run = self.backend.factorize(a, config)
+        runs.append(run)
+        factors = run.factors
         info = factorization_info(factors)
 
         retried = rescued = 0
@@ -123,23 +140,25 @@ class BatchExecutor:
                 continue
             request.attempts += 1
             retried += 1
-            solo = self._factorize(request.a[None], config)
-            solo_info = factorization_info(solo)
+            solo_run = self.backend.factorize(request.a[None], config)
+            runs.append(solo_run)
+            solo_info = factorization_info(solo_run.factors)
             if solo_info[0] == 0:
-                factors[i] = solo[0]
+                factors[i] = solo_run.factors[0]
                 info[i] = 0
                 rescued += 1
             else:
                 info[i] = solo_info[0]
 
-        outcomes: list[tuple[PendingRequest, np.ndarray | Exception]] = [None] * len(
-            requests
-        )
+        # Per-index results first; the (request, outcome) pairs are built
+        # only once every index is resolved, so no ``None`` placeholder
+        # can survive into the report the broker scatters from.
+        results: dict[int, np.ndarray | Exception] = {}
         for i, request in enumerate(requests):
             if info[i]:
-                outcomes[i] = (request, NotPositiveDefiniteError(int(info[i])))
+                results[i] = NotPositiveDefiniteError(int(info[i]))
             elif request.kind == "factor":
-                outcomes[i] = (request, np.array(factors[i]))
+                results[i] = np.array(factors[i])
 
         # Solves: forward/backward substitution against the healthy
         # factors, grouped by right-hand-side shape so mixed single- and
@@ -153,16 +172,36 @@ class BatchExecutor:
             b_group = np.stack([requests[i].b for i in idx])
             x = batch_solve(l_group, b_group)
             for j, i in enumerate(idx):
-                outcomes[i] = (requests[i], np.array(x[j]))
+                results[i] = np.array(x[j])
 
-        est = estimate_performance(config, batch=len(requests), arch=self.arch)
+        missing = [i for i in range(len(requests)) if i not in results]
+        if missing:
+            raise RuntimeError(
+                f"flush left {len(missing)} request(s) without an outcome "
+                f"(indices {missing}); every lane must resolve or fail"
+            )
+        outcomes = [(requests[i], results[i]) for i in range(len(requests))]
+
+        if any(r.seconds is not None for r in runs):
+            service_s = sum(r.seconds for r in runs if r.seconds is not None)
+        else:
+            service_s = time.perf_counter() - started
+        if run.gflops is not None:
+            gflops = run.gflops
+        else:
+            est = estimate_performance(config, batch=len(requests), arch=self.arch)
+            gflops = est.gflops
         return FlushReport(
             n=n,
             size=len(requests),
             threshold=threshold,
             reason=reason,
-            gflops=est.gflops,
+            gflops=gflops,
             outcomes=outcomes,
             retried=retried,
             rescued=rescued,
+            backend=self.backend.name,
+            service_s=service_s,
+            shadow_checked=sum(r.shadow_checked for r in runs),
+            shadow_mismatch=sum(r.shadow_mismatch for r in runs),
         )

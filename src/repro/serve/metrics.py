@@ -99,6 +99,8 @@ _COUNTERS = (
     "shed",
     "retried",
     "rescued",
+    "shadow_checked",
+    "shadow_mismatch",
     "flushes",
     "flushes_full",
     "flushes_deadline",
@@ -111,6 +113,7 @@ _HISTOGRAMS = (
     ("batch_size", "batch size (per flush)"),
     ("batch_fill", "batch fill ratio"),
     ("coalesce_latency_ms", "coalesce latency (ms)"),
+    ("flush_service_ms", "service time (ms, per flush)"),
     ("flush_gflops", "modelled GFLOP/s (per flush)"),
 )
 
@@ -159,15 +162,22 @@ class ServeMetrics:
         reason: str,
         gflops: float,
         wait_times_s: list[float] | None = None,
+        service_s: float | None = None,
+        shadow_checked: int = 0,
+        shadow_mismatch: int = 0,
     ) -> None:
         self.counters["flushes"] += 1
         key = f"flushes_{reason}"
         if key not in self.counters:
             raise ValueError(f"unknown flush reason {reason!r}")
         self.counters[key] += 1
+        self.counters["shadow_checked"] += shadow_checked
+        self.counters["shadow_mismatch"] += shadow_mismatch
         self.histograms["batch_size"].observe(size)
         self.histograms["batch_fill"].observe(size / threshold if threshold else 0.0)
         self.histograms["flush_gflops"].observe(gflops)
+        if service_s is not None:
+            self.histograms["flush_service_ms"].observe(service_s * 1e3)
         for wait in wait_times_s or ():
             self.histograms["coalesce_latency_ms"].observe(wait * 1e3)
 
@@ -215,5 +225,7 @@ class ServeMetrics:
             dist_rows.append(
                 [label, h.count, h.mean, h.percentile(50), h.percentile(95), h.max]
             )
-        dists = format_table(["metric", "count", "mean", "p50", "p95", "max"], dist_rows)
+        dists = format_table(
+            ["metric", "count", "mean", "p50", "p95", "max"], dist_rows
+        )
         return f"{counters}\n\n{dists}"

@@ -80,6 +80,24 @@ class ServePolicy:
     tick_s:
         Deadline-scan interval of the broker's background ticker; defaults
         to a quarter of ``max_delay_s``.
+    backend:
+        Executor backend name (``inline``, ``process``, ``eventsim``,
+        ``shadow`` — see :mod:`repro.serve.backends`).  ``None`` consults
+        the ``REPRO_SERVE_BACKEND`` environment variable and falls back
+        to ``inline``.
+    process_workers:
+        Worker-process count of the ``process`` backend's pool.
+    flush_timeout_s:
+        Per-flush compute budget of the ``process`` backend; a flush that
+        outlives it fails (after one retry on a fresh worker) with
+        ``BackendError``.  ``None`` waits forever.
+    shadow_fraction:
+        Fraction of flushes the ``shadow`` backend mirrors through the
+        LAPACK reference (deterministically — 0.25 mirrors every fourth
+        flush).
+    shadow_tolerance:
+        Maximum relative per-element drift between kernel and LAPACK
+        factors before a mirrored matrix counts as a ``shadow_mismatch``.
     """
 
     target_batch: int = 256
@@ -89,6 +107,11 @@ class ServePolicy:
     retry_failed_solo: bool = True
     snap_to_chunk: bool = True
     tick_s: float | None = None
+    backend: str | None = None
+    process_workers: int = 2
+    flush_timeout_s: float | None = 30.0
+    shadow_fraction: float = 1.0
+    shadow_tolerance: float = 1e-3
 
     def __post_init__(self) -> None:
         if self.target_batch <= 0:
@@ -105,6 +128,22 @@ class ServePolicy:
             )
         if self.tick_s is not None and self.tick_s <= 0:
             raise ValueError(f"tick_s must be positive or None, got {self.tick_s}")
+        if self.process_workers <= 0:
+            raise ValueError(
+                f"process_workers must be positive, got {self.process_workers}"
+            )
+        if self.flush_timeout_s is not None and self.flush_timeout_s <= 0:
+            raise ValueError(
+                f"flush_timeout_s must be positive or None, got {self.flush_timeout_s}"
+            )
+        if not 0.0 <= self.shadow_fraction <= 1.0:
+            raise ValueError(
+                f"shadow_fraction must be in [0, 1], got {self.shadow_fraction}"
+            )
+        if self.shadow_tolerance <= 0:
+            raise ValueError(
+                f"shadow_tolerance must be positive, got {self.shadow_tolerance}"
+            )
 
     def flush_interval(self) -> float:
         """How often the broker scans buckets for expired deadlines."""

@@ -29,6 +29,12 @@ class TestParser:
         assert args.requests == 400
         assert args.target_batch == 64
         assert args.max_delay_ms == 4.0
+        assert args.backend is None  # falls back to $REPRO_SERVE_BACKEND
+        assert args.shadow_fraction == 1.0
+
+    def test_serve_demo_backend_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-demo", "--backend", "quantum"])
 
 
 class TestCommands:

@@ -58,4 +58,4 @@ def test_examples_directory_complete():
     for name in advertised:
         path = EXAMPLES_DIR / f"{name}.py"
         assert path.exists(), f"missing example {name}"
-        assert "def main()" in path.read_text()
+        assert "def main(" in path.read_text()

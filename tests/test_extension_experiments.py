@@ -1,6 +1,5 @@
 """Extension experiment harnesses (batch scaling, sensitivity, portability)."""
 
-import pytest
 
 from repro.experiments import batch_scaling, sensitivity_study
 from repro.gpusim.arch import P100, V100

@@ -5,7 +5,6 @@ configuration grid must produce LAPACK's factorization, through the full
 pack -> generated kernel -> unpack pipeline.
 """
 
-import itertools
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Reference implementations (repro.core.reference)."""
 
-import itertools
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tile-operation schedules (repro.core.schedule)."""
 
-import itertools
 
 import pytest
 

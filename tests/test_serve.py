@@ -27,7 +27,7 @@ from repro.serve import (
     run_demo,
     synthetic_trace,
 )
-from repro.utils.spd import make_spd, random_spd_batch
+from repro.utils.spd import random_spd_batch
 
 
 def _spd(n: int, seed: int = 0) -> np.ndarray:
@@ -167,6 +167,23 @@ class TestServeMetrics:
         with pytest.raises(ValueError):
             ServeMetrics().record_flush(1, 1, "meteor", 0.0)
 
+    def test_flush_service_time_and_shadow_accounting(self):
+        m = ServeMetrics()
+        m.record_flush(
+            size=4,
+            threshold=4,
+            reason="full",
+            gflops=1.0,
+            service_s=0.002,
+            shadow_checked=4,
+            shadow_mismatch=1,
+        )
+        assert m.counters["shadow_checked"] == 4
+        assert m.counters["shadow_mismatch"] == 1
+        assert m.histograms["flush_service_ms"].count == 1
+        assert m.histograms["flush_service_ms"].mean == pytest.approx(2.0)
+        assert "service time" in m.report()
+
 
 # ----------------------------------------------------------------------
 # Batcher
@@ -298,6 +315,30 @@ class TestBatchExecutor:
         assert x2.shape == (n, 3)
         assert np.allclose(a1 @ x1, b1, atol=1e-2)
         assert np.allclose(a2 @ x2, b2, atol=1e-2)
+
+    def test_failed_factor_interleaved_with_solves_still_batches(self):
+        """A failing factor lane must not leave any outcome unresolved."""
+        ex = BatchExecutor(retry_failed_solo=False)
+        n = 8
+        a1, a2, a3 = _spd(n, seed=11), _spd(n, seed=12), _spd(n, seed=13)
+        b1 = np.ones(n, dtype=np.float32)
+        b3 = np.ones((n, 2), dtype=np.float32)
+        report = ex.execute(
+            [
+                _request(1, a1, kind="solve", b=b1),
+                _request(2, _non_spd(n)),
+                _request(3, a3, kind="solve", b=b3),
+                _request(4, a2),
+            ],
+            reason="full",
+        )
+        for _, outcome in report.outcomes:
+            assert outcome is not None
+        (_, x1), (_, bad), (_, x3), (_, l2) = report.outcomes
+        assert np.allclose(a1 @ x1, b1, atol=1e-2)
+        assert isinstance(bad, NotPositiveDefiniteError)
+        assert np.allclose(a3 @ x3, b3, atol=1e-2)
+        assert np.allclose(np.tril(l2) @ np.tril(l2).T, a2, atol=1e-2)
 
     def test_fill_ratio(self):
         ex = BatchExecutor()

@@ -1,0 +1,519 @@
+"""Executor backends (repro.serve.backends).
+
+Covers the backend seam itself (selection, the four implementations) and
+the broker-level robustness the process pool demands: worker death
+converted to per-request errors, retry on a fresh worker, new submissions
+accepted while a flush is in flight, and shutdown draining in-flight
+flushes.
+"""
+
+import asyncio
+import concurrent.futures
+import os
+import pickle
+import signal
+import threading
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.core.config import KernelConfig
+from repro.serve import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    BackendError,
+    BatchExecutor,
+    EventSimBackend,
+    ExecutorBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    ServePolicy,
+    ShadowLapackBackend,
+    SolveBroker,
+    backend_from_policy,
+    make_backend,
+)
+from repro.serve.batcher import PendingRequest
+from repro.utils.spd import random_spd_batch
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    return random_spd_batch(1, n, seed=seed)[0]
+
+
+def _spd_batch(batch: int, n: int, seed: int = 0) -> np.ndarray:
+    return random_spd_batch(batch, n, seed=seed)
+
+
+def _non_spd(n: int) -> np.ndarray:
+    a = _spd(n, seed=99)
+    a[n // 2, n // 2] = -100.0
+    return a
+
+
+def _request(seq, a, kind="factor", b=None):
+    return PendingRequest(seq=seq, kind=kind, a=a, b=b, future=None, enqueued_at=0.0)
+
+
+def _check_factors(a: np.ndarray, factors: np.ndarray) -> None:
+    for i in range(len(a)):
+        truth = scipy.linalg.cholesky(a[i].astype(np.float64), lower=True)
+        assert np.allclose(np.tril(factors[i]), truth, atol=1e-2)
+
+
+class _CorruptingBackend(ExecutorBackend):
+    """Inline factors with one silently wrong (but finite, SPD-looking) lane."""
+
+    name = "corrupt"
+
+    def __init__(self):
+        self.inner = InlineBackend()
+
+    def factorize(self, a, config):
+        run = self.inner.factorize(a, config)
+        finite = np.isfinite(run.factors).all(axis=(1, 2))
+        lane = int(np.argmax(finite))
+        run.factors[lane, 0, 0] += 1.0
+        return run
+
+
+class _GatedBackend(ExecutorBackend):
+    """Inline backend whose first flush blocks until released by the test."""
+
+    name = "gated"
+
+    def __init__(self):
+        self.inner = InlineBackend()
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._gated = True
+
+    def factorize(self, a, config):
+        if self._gated:
+            self._gated = False
+            self.started.set()
+            assert self.release.wait(10.0), "test never released the gated flush"
+        return self.inner.factorize(a, config)
+
+
+class _FailingBackend(ExecutorBackend):
+    """Raises BackendError for one matrix size, computes inline otherwise."""
+
+    name = "failing"
+
+    def __init__(self, fail_n: int):
+        self.inner = InlineBackend()
+        self.fail_n = fail_n
+
+    def factorize(self, a, config):
+        if config.n == self.fail_n:
+            raise BackendError(f"synthetic worker loss for n={config.n}")
+        return self.inner.factorize(a, config)
+
+
+# ----------------------------------------------------------------------
+# Selection: make_backend / policy / environment
+# ----------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_every_registered_name_builds(self):
+        types = {
+            "inline": InlineBackend,
+            "process": ProcessPoolBackend,
+            "eventsim": EventSimBackend,
+            "shadow": ShadowLapackBackend,
+        }
+        assert set(types) == set(BACKEND_NAMES)
+        for name, cls in types.items():
+            backend = make_backend(name)
+            assert isinstance(backend, cls)
+            assert backend.name == name
+            backend.close()
+
+    def test_instance_passes_through(self):
+        backend = InlineBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("quantum")
+
+    def test_env_variable_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "eventsim")
+        assert isinstance(make_backend(None), EventSimBackend)
+        monkeypatch.delenv(BACKEND_ENV)
+        assert isinstance(make_backend(None), InlineBackend)
+
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "eventsim")
+        assert isinstance(make_backend("inline"), InlineBackend)
+
+    def test_backend_from_policy_forwards_knobs(self):
+        shadow = backend_from_policy(
+            ServePolicy(backend="shadow", shadow_fraction=0.25, shadow_tolerance=1e-4)
+        )
+        assert shadow.fraction == 0.25
+        assert shadow.tolerance == 1e-4
+        process = backend_from_policy(
+            ServePolicy(backend="process", process_workers=3, flush_timeout_s=7.0)
+        )
+        assert process.workers == 3
+        assert process.flush_timeout_s == 7.0
+        process.close()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"process_workers": 0},
+            {"flush_timeout_s": 0.0},
+            {"shadow_fraction": 1.5},
+            {"shadow_fraction": -0.1},
+            {"shadow_tolerance": 0.0},
+        ],
+    )
+    def test_policy_rejects_invalid_backend_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ServePolicy(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"workers": 0}, {"flush_timeout_s": -1.0}],
+    )
+    def test_process_backend_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"fraction": 2.0}, {"tolerance": 0.0}],
+    )
+    def test_shadow_backend_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ShadowLapackBackend(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Inline + eventsim
+# ----------------------------------------------------------------------
+
+
+class TestInlineBackend:
+    def test_factorizes_and_measures_wall_time(self):
+        a = _spd_batch(4, 8, seed=1)
+        run = InlineBackend().factorize(a, KernelConfig(n=8))
+        _check_factors(a, run.factors)
+        assert run.seconds is not None and run.seconds >= 0.0
+        assert run.gflops is None  # defers to the analytic model
+
+
+class TestEventSimBackend:
+    def test_factors_match_inline_but_time_is_modeled(self):
+        a = _spd_batch(8, 8, seed=2)
+        config = KernelConfig(n=8)
+        backend = EventSimBackend()
+        run = backend.factorize(a, config)
+        _check_factors(a, run.factors)
+
+        from repro.gpusim.eventsim import simulate_launch
+
+        sim = simulate_launch(config, batch=len(a))
+        assert run.seconds == pytest.approx(sim.seconds)
+        assert run.gflops == pytest.approx(sim.gflops)
+
+    def test_simulation_cached_per_config_and_batch(self, monkeypatch):
+        import repro.gpusim.eventsim as eventsim
+
+        calls = []
+        real = eventsim.simulate_launch
+
+        def counting(config, batch, arch=None, **kwargs):
+            calls.append((config, batch))
+            return real(config, batch=batch)
+
+        monkeypatch.setattr(eventsim, "simulate_launch", counting)
+        backend = EventSimBackend()
+        a = _spd_batch(4, 6, seed=3)
+        backend.factorize(a, KernelConfig(n=6))
+        backend.factorize(a, KernelConfig(n=6))
+        backend.factorize(_spd_batch(2, 6, seed=4), KernelConfig(n=6))
+        assert len(calls) == 2  # same (config, batch) simulated once
+
+    def test_flush_report_charges_modeled_latency(self):
+        ex = BatchExecutor(backend="eventsim")
+        requests = [_request(i, _spd(8, seed=i)) for i in range(4)]
+        report = ex.execute(requests, reason="full")
+        assert report.backend == "eventsim"
+
+        from repro.gpusim.eventsim import simulate_launch
+
+        sim = simulate_launch(ex.config_for(8), batch=4)
+        assert report.service_s == pytest.approx(sim.seconds)
+        assert report.gflops == pytest.approx(sim.gflops)
+
+
+# ----------------------------------------------------------------------
+# Shadow validation
+# ----------------------------------------------------------------------
+
+
+class TestShadowBackend:
+    def test_clean_flush_mirrors_without_mismatch(self):
+        a = _spd_batch(6, 8, seed=5)
+        run = ShadowLapackBackend().factorize(a, KernelConfig(n=8))
+        assert run.shadow_checked == 6
+        assert run.shadow_mismatch == 0
+        _check_factors(a, run.factors)
+
+    def test_non_spd_lane_is_agreement_not_mismatch(self):
+        a = np.stack([_spd(8, seed=6), _non_spd(8)])
+        run = ShadowLapackBackend().factorize(a, KernelConfig(n=8))
+        # Kernel NaNs the lane, LAPACK rejects the matrix: both sides
+        # agree it is not SPD, so nothing is flagged.
+        assert run.shadow_checked == 2
+        assert run.shadow_mismatch == 0
+
+    def test_corrupted_factors_are_flagged(self):
+        a = _spd_batch(3, 8, seed=7)
+        backend = ShadowLapackBackend(inner=_CorruptingBackend())
+        run = backend.factorize(a, KernelConfig(n=8))
+        assert run.shadow_checked == 3
+        assert run.shadow_mismatch == 1
+
+    def test_fraction_mirrors_deterministically(self):
+        backend = ShadowLapackBackend(fraction=0.5)
+        a = _spd_batch(2, 6, seed=8)
+        checked = [
+            backend.factorize(a, KernelConfig(n=6)).shadow_checked for _ in range(4)
+        ]
+        # Credit accumulation mirrors every second flush.
+        assert checked == [0, 2, 0, 2]
+
+    def test_fraction_zero_never_mirrors(self):
+        backend = ShadowLapackBackend(fraction=0.0)
+        a = _spd_batch(2, 6, seed=9)
+        for _ in range(3):
+            assert backend.factorize(a, KernelConfig(n=6)).shadow_checked == 0
+
+    def test_broker_surfaces_mismatch_metric_without_failing_futures(self):
+        async def scenario():
+            executor = BatchExecutor(
+                backend=ShadowLapackBackend(inner=_CorruptingBackend())
+            )
+            policy = ServePolicy(target_batch=4, max_delay_s=0.005)
+            async with SolveBroker(policy=policy, executor=executor) as broker:
+                results = await asyncio.gather(
+                    *(broker.factor(_spd(8, seed=i)) for i in range(4))
+                )
+                return results, broker.metrics
+
+        results, metrics = asyncio.run(scenario())
+        assert all(isinstance(r, np.ndarray) for r in results)
+        assert metrics.counters["completed"] == 4
+        assert metrics.counters["shadow_checked"] >= 4
+        assert metrics.counters["shadow_mismatch"] >= 1
+        assert metrics.unaccounted == 0
+
+
+# ----------------------------------------------------------------------
+# Process pool
+# ----------------------------------------------------------------------
+
+
+def _worker_pids(backend: ProcessPoolBackend) -> list[int]:
+    return list(backend._pool._processes.keys())
+
+
+class TestProcessPoolBackend:
+    def test_factorizes_in_worker_processes(self):
+        backend = ProcessPoolBackend(workers=1)
+        try:
+            a = _spd_batch(4, 8, seed=10)
+            run = backend.factorize(a, KernelConfig(n=8))
+            _check_factors(a, run.factors)
+            assert _worker_pids(backend) != [os.getpid()]
+        finally:
+            backend.close()
+
+    def test_killed_worker_retries_on_a_fresh_worker(self):
+        backend = ProcessPoolBackend(workers=1)
+        try:
+            a = _spd_batch(2, 6, seed=11)
+            backend.factorize(a, KernelConfig(n=6))  # spawn + warm the worker
+            for pid in _worker_pids(backend):
+                os.kill(pid, signal.SIGKILL)
+            run = backend.factorize(a, KernelConfig(n=6))
+            _check_factors(a, run.factors)
+        finally:
+            backend.close()
+
+    def test_killed_worker_without_retry_raises_backend_error(self):
+        backend = ProcessPoolBackend(workers=1, retry_fresh_worker=False)
+        try:
+            a = _spd_batch(2, 6, seed=12)
+            backend.factorize(a, KernelConfig(n=6))
+            for pid in _worker_pids(backend):
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(BackendError):
+                backend.factorize(a, KernelConfig(n=6))
+            # The broken pool was disposed: the next flush starts clean.
+            run = backend.factorize(a, KernelConfig(n=6))
+            _check_factors(a, run.factors)
+        finally:
+            backend.close()
+
+    def test_flush_timeout_becomes_backend_error_and_disposes_pool(self):
+        class _NeverPool:
+            def __init__(self):
+                self.shut_down = False
+
+            def submit(self, fn, *args):
+                return concurrent.futures.Future()  # never completes
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                self.shut_down = True
+
+        backend = ProcessPoolBackend(
+            workers=1, flush_timeout_s=0.05, retry_fresh_worker=False
+        )
+        stuck = _NeverPool()
+        backend._pool = stuck
+        with pytest.raises(BackendError, match="timed out"):
+            backend.factorize(_spd_batch(1, 6, seed=13), KernelConfig(n=6))
+        assert stuck.shut_down
+        assert backend._pool is None
+
+    def test_worker_payload_is_picklable(self):
+        config = KernelConfig(n=12, nb=4, looking="left", chunk_size=64)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_broker_end_to_end_with_worker_death(self):
+        """Futures resolve correctly even after the pool's worker is killed."""
+
+        async def scenario():
+            backend = ProcessPoolBackend(workers=1)
+            executor = BatchExecutor(backend=backend)
+            policy = ServePolicy(target_batch=4, max_delay_s=0.01)
+            async with SolveBroker(policy=policy, executor=executor) as broker:
+                first = await asyncio.gather(
+                    *(broker.factor(_spd(8, seed=i)) for i in range(4))
+                )
+                for pid in _worker_pids(backend):
+                    os.kill(pid, signal.SIGKILL)
+                second = await asyncio.gather(
+                    *(broker.factor(_spd(8, seed=10 + i)) for i in range(4))
+                )
+                metrics = broker.metrics
+            backend.close()
+            return first + second, metrics
+
+        results, metrics = asyncio.run(scenario())
+        assert all(isinstance(r, np.ndarray) for r in results)
+        assert metrics.counters["completed"] == 8
+        assert metrics.unaccounted == 0
+
+
+# ----------------------------------------------------------------------
+# Broker robustness around backend failures and in-flight flushes
+# ----------------------------------------------------------------------
+
+
+class TestBrokerBackendRobustness:
+    def test_backend_error_fails_only_its_own_bucket(self):
+        async def scenario():
+            executor = BatchExecutor(backend=_FailingBackend(fail_n=8))
+            policy = ServePolicy(target_batch=2, max_delay_s=0.005)
+            async with SolveBroker(policy=policy, executor=executor) as broker:
+                doomed = [broker.factor(_spd(8, seed=i)) for i in range(2)]
+                healthy = [broker.factor(_spd(6, seed=i)) for i in range(2)]
+                results = await asyncio.gather(
+                    *doomed, *healthy, return_exceptions=True
+                )
+                return results, broker.metrics
+
+        results, metrics = asyncio.run(scenario())
+        assert all(isinstance(r, BackendError) for r in results[:2])
+        assert all(isinstance(r, np.ndarray) for r in results[2:])
+        assert metrics.counters["failed"] == 2
+        assert metrics.counters["completed"] == 2
+        assert metrics.unaccounted == 0
+
+    def test_broker_accepts_requests_while_flush_in_flight(self):
+        async def scenario():
+            backend = _GatedBackend()
+            executor = BatchExecutor(backend=backend)
+            policy = ServePolicy(target_batch=2, max_delay_s=0.01)
+            loop = asyncio.get_running_loop()
+            async with SolveBroker(policy=policy, executor=executor) as broker:
+                gated = [
+                    asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                    for i in range(2)
+                ]
+                await loop.run_in_executor(None, backend.started.wait, 5.0)
+                # The first flush is blocked inside the backend; the
+                # broker must still accept and serve new submissions.
+                extra = [
+                    asyncio.ensure_future(broker.factor(_spd(8, seed=10 + i)))
+                    for i in range(2)
+                ]
+                await asyncio.sleep(0.05)
+                assert not any(f.done() for f in gated)
+                backend.release.set()
+                results = await asyncio.gather(*gated, *extra)
+                return results, broker.metrics
+
+        results, metrics = asyncio.run(scenario())
+        assert all(isinstance(r, np.ndarray) for r in results)
+        assert metrics.counters["completed"] == 4
+        assert metrics.unaccounted == 0
+
+    def test_shutdown_drains_in_flight_flushes(self):
+        async def scenario():
+            backend = _GatedBackend()
+            executor = BatchExecutor(backend=backend)
+            policy = ServePolicy(target_batch=2, max_delay_s=0.01)
+            loop = asyncio.get_running_loop()
+            broker = SolveBroker(policy=policy, executor=executor)
+            await broker.start()
+            jobs = [
+                asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                for i in range(2)
+            ]
+            await loop.run_in_executor(None, backend.started.wait, 5.0)
+            close_task = asyncio.ensure_future(broker.close())
+            await asyncio.sleep(0.05)
+            assert not close_task.done()  # close waits for the in-flight flush
+            backend.release.set()
+            await close_task
+            results = await asyncio.gather(*jobs)
+            return results, broker.metrics
+
+        results, metrics = asyncio.run(scenario())
+        assert all(isinstance(r, np.ndarray) for r in results)
+        assert metrics.counters["completed"] == 2
+        assert metrics.unaccounted == 0
+
+
+# ----------------------------------------------------------------------
+# Executor/report integration shared by all backends
+# ----------------------------------------------------------------------
+
+
+class TestFlushReportAccounting:
+    def test_report_names_its_backend_and_charges_service_time(self):
+        ex = BatchExecutor(backend="inline")
+        report = ex.execute([_request(1, _spd(8))], reason="full")
+        assert report.backend == "inline"
+        assert report.service_s > 0.0
+        assert report.shadow_checked == 0
+
+    def test_shadow_counters_flow_through_report(self):
+        ex = BatchExecutor(backend=ShadowLapackBackend())
+        report = ex.execute(
+            [_request(1, _spd(8, seed=1)), _request(2, _spd(8, seed=2))],
+            reason="full",
+        )
+        assert report.backend == "shadow"
+        assert report.shadow_checked == 2
+        assert report.shadow_mismatch == 0
