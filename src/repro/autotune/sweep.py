@@ -15,6 +15,7 @@ from repro.autotune.dataset import SweepDataset
 from repro.autotune.runner import evaluate_config
 from repro.autotune.space import ParameterSpace
 from repro.gpusim.arch import GPUArchitecture, P100
+from repro.obs.tracer import get_tracer
 
 
 def run_sweep(
@@ -42,10 +43,29 @@ def run_sweep(
     total = space.size()
     if limit is not None:
         total = min(limit, total)
-    for i, config in enumerate(space.configs()):
-        if limit is not None and i >= limit:
-            break
-        dataset.append(evaluate_config(config, batch=batch, arch=arch, validate=validate))
-        if progress:
-            progress(i + 1, total)
+    tracer = get_tracer()
+    with tracer.span(
+        "sweep", cat="autotune", track="autotune", configs=total, batch=batch
+    ):
+        for i, config in enumerate(space.configs()):
+            if limit is not None and i >= limit:
+                break
+            t0 = tracer.now() if tracer.enabled else 0.0
+            record = evaluate_config(
+                config, batch=batch, arch=arch, validate=validate
+            )
+            if tracer.enabled:
+                tracer.record(
+                    "evaluate",
+                    t0,
+                    tracer.now(),
+                    cat="autotune",
+                    track="autotune",
+                    n=config.n,
+                    nb=config.nb,
+                    gflops=record.gflops,
+                )
+            dataset.append(record)
+            if progress:
+                progress(i + 1, total)
     return dataset

@@ -8,7 +8,10 @@ The subcommands cover the library's workflows from the shell:
 * ``sweep``      — run an autotuning sweep and write the dataset CSV.
 * ``experiment`` — run a paper experiment (fig13..fig21, table1) by name.
 * ``serve-demo`` — replay a synthetic arrival trace through the adaptive
-  batching service and print its metrics report.
+  batching service and print its metrics report (``--trace-out`` /
+  ``--trace-jsonl`` / ``--prom-out`` / ``--metrics-json`` export the run's
+  telemetry; see ``docs/observability.md``).
+* ``obs-summarize`` — per-stage latency breakdown of a recorded trace.
 """
 
 from __future__ import annotations
@@ -179,6 +182,15 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_serve_demo(args) -> int:
+    import json
+
+    from repro.obs import (
+        ChromeTraceSink,
+        JsonlSink,
+        Tracer,
+        render_prometheus,
+        set_tracer,
+    )
     from repro.serve import ServePolicy, run_demo
 
     policy = ServePolicy(
@@ -189,19 +201,58 @@ def _cmd_serve_demo(args) -> int:
         backend=args.backend,
         process_workers=args.workers,
         shadow_fraction=args.shadow_fraction,
+        snapshot_interval_s=(
+            args.snapshot_interval / 1e3 if args.snapshot_interval else None
+        ),
     )
     ns = tuple(int(x) for x in args.ns.split(","))
-    report, summary = run_demo(
-        requests=args.requests,
-        ns=ns,
-        rate_hz=args.rate,
-        policy=policy,
-        solve_fraction=args.solve_fraction,
-        nonspd_fraction=args.nonspd_fraction,
-        seed=args.seed,
-    )
+
+    sinks = []
+    if args.trace_out:
+        sinks.append(ChromeTraceSink(args.trace_out))
+    if args.trace_jsonl:
+        sinks.append(JsonlSink(args.trace_jsonl))
+    tracer = Tracer(sinks) if sinks else None
+    previous = set_tracer(tracer) if tracer is not None else None
+    try:
+        report, summary = run_demo(
+            requests=args.requests,
+            ns=ns,
+            rate_hz=args.rate,
+            policy=policy,
+            solve_fraction=args.solve_fraction,
+            nonspd_fraction=args.nonspd_fraction,
+            seed=args.seed,
+        )
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+            tracer.close()
     print(report)
+    written = [p for p in (args.trace_out, args.trace_jsonl) if p]
+    if args.prom_out:
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(summary.metrics))
+        written.append(args.prom_out)
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(summary.metrics.as_dict(), fh, indent=1)
+            fh.write("\n")
+        written.append(args.metrics_json)
+    for path in written:
+        print(f"wrote {path}")
     return 0 if summary.metrics.unaccounted == 0 else 1
+
+
+def _cmd_obs_summarize(args) -> int:
+    from repro.obs import check_request_spans, load_trace, summarize_trace
+
+    spans = load_trace(args.trace)
+    print(summarize_trace(spans))
+    if args.check:
+        checked = check_request_spans(spans)
+        print(f"request nesting ok ({checked} request(s) checked)")
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -288,7 +339,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of deliberately non-SPD requests",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace-out", default="",
+        help="write a Chrome-trace JSON (open in Perfetto / chrome://tracing)",
+    )
+    p.add_argument(
+        "--trace-jsonl", default="",
+        help="write the JSONL structured event log (input to obs-summarize)",
+    )
+    p.add_argument(
+        "--prom-out", default="",
+        help="write the final metrics in Prometheus text exposition format",
+    )
+    p.add_argument(
+        "--metrics-json", default="",
+        help="dump ServeMetrics.as_dict() as JSON at exit",
+    )
+    p.add_argument(
+        "--snapshot-interval", type=float, default=0.0,
+        help="telemetry snapshot period in ms (0 disables; needs tracing on)",
+    )
     p.set_defaults(func=_cmd_serve_demo)
+
+    p = sub.add_parser(
+        "obs-summarize",
+        help="per-stage latency breakdown of a trace written by --trace-out/"
+             "--trace-jsonl or $REPRO_TRACE",
+    )
+    p.add_argument("trace", help="trace file (Chrome JSON or JSONL event log)")
+    p.add_argument(
+        "--check", action="store_true",
+        help="also verify every request's stage chain nests correctly",
+    )
+    p.set_defaults(func=_cmd_obs_summarize)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", choices=EXPERIMENTS)

@@ -25,6 +25,7 @@ from repro.core.config import KernelConfig, Unrolling
 from repro.core.trace import build_trace
 from repro.gpusim.arch import GPUArchitecture, P100
 from repro.gpusim.occupancy import compute_occupancy
+from repro.obs.tracer import get_tracer
 from repro.utils.flops import cholesky_flops
 
 
@@ -143,6 +144,8 @@ def simulate_launch(
     """
     if batch <= 0:
         raise ValueError(f"batch must be positive, got {batch}")
+    tracer = get_tracer()
+    wall_t0 = tracer.now() if tracer.enabled else 0.0
     block_threads = config.block_threads
     padded = -(-batch // block_threads) * block_threads
     total_blocks = padded // block_threads
@@ -213,6 +216,18 @@ def simulate_launch(
     total_cycles = max(now, mem_free_at)
     seconds = total_cycles / clock_hz + arch.launch_overhead_s
     gflops = cholesky_flops(config.n) * batch / seconds / 1e9
+    if tracer.enabled:
+        tracer.record(
+            "eventsim",
+            wall_t0,
+            tracer.now(),
+            cat="gpusim",
+            track="eventsim",
+            n=config.n,
+            batch=batch,
+            modeled_us=seconds * 1e6,
+            gflops=gflops,
+        )
     return EventSimResult(
         seconds=seconds,
         gflops=gflops,

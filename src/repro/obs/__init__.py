@@ -1,0 +1,68 @@
+"""repro.obs — cross-cutting tracing and telemetry.
+
+The paper's contribution is *explaining where time goes*; this package
+gives the runtime the same treatment.  A span-based tracer
+(:mod:`repro.obs.tracer`) threads request stages through the serving
+layer, autotuning sweeps, and the event simulator; sinks
+(:mod:`repro.obs.sinks`) export them as a JSONL structured log or a
+Chrome/Perfetto trace; :mod:`repro.obs.prom` renders
+:class:`~repro.serve.metrics.ServeMetrics` in the Prometheus text format;
+:mod:`repro.obs.summarize` turns a trace back into a per-stage latency
+table.  Tracing is off (and near-free) by default — enable it with
+:func:`set_tracer`, ``serve-demo --trace-out``, or ``$REPRO_TRACE``.
+See ``docs/observability.md``.
+"""
+
+from repro.obs.prom import parse_prometheus_text, render_prometheus
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    SpanSink,
+    span_to_dict,
+)
+from repro.obs.summarize import (
+    REQUEST_STAGES,
+    check_request_spans,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    init_from_env,
+    set_tracer,
+    tracer_from_env,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "InMemorySink",
+    "JsonlSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "REQUEST_STAGES",
+    "Span",
+    "SpanSink",
+    "TRACE_ENV",
+    "Tracer",
+    "check_request_spans",
+    "current_span",
+    "get_tracer",
+    "init_from_env",
+    "load_trace",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "set_tracer",
+    "span_to_dict",
+    "summarize_trace",
+    "tracer_from_env",
+]
+
+# Honour $REPRO_TRACE for any entry point that imports the package.
+init_from_env()

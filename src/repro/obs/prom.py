@@ -1,0 +1,161 @@
+"""Prometheus text exposition for :class:`~repro.serve.metrics.ServeMetrics`.
+
+:func:`render_prometheus` renders the serving layer's counters and
+histogram summaries in the Prometheus text format (version 0.0.4): each
+counter becomes ``<prefix>_<name>_total``, each histogram becomes a
+``summary`` family (``{quantile="..."}`` samples plus ``_sum`` and
+``_count``) with ``_min``/``_max`` gauges alongside, and the accounting
+invariant surfaces as the ``<prefix>_unaccounted`` gauge an operator can
+alarm on.  Metric names are stable — dashboards may depend on them.
+
+:func:`parse_prometheus_text` is the matching line-format checker: it
+validates comment syntax, metric-name and label grammar, and sample
+values, returning the parsed samples so tests can assert exposition
+round-trips.  It accepts any well-formed exposition, not just ours.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Sample-family types the checker accepts in ``# TYPE`` comments.
+METRIC_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+#: Help strings for the counter families (keyed by ServeMetrics counter name).
+_COUNTER_HELP = {
+    "submitted": "Requests accepted into a bucket (includes later sheds).",
+    "completed": "Requests resolved with a result.",
+    "failed": "Requests resolved with an error (timeouts included).",
+    "timed_out": "Requests whose latency budget expired while queued.",
+    "shed": "Requests rejected at the queue-depth cap.",
+    "retried": "Requests re-run solo after failing inside a batch.",
+    "rescued": "Solo retries that produced a healthy factor.",
+    "shadow_checked": "Matrices mirrored through the LAPACK shadow.",
+    "shadow_mismatch": "Mirrored matrices that disagreed with LAPACK.",
+    "flushes": "Buckets flushed.",
+    "flushes_full": "Flushes triggered by a full bucket.",
+    "flushes_deadline": "Flushes triggered by the latency deadline.",
+    "flushes_drain": "Flushes triggered by broker shutdown drain.",
+}
+
+
+def _fmt(value: float) -> str:
+    """A float the Prometheus scraper accepts (no exotic Python reprs)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(metrics, prefix: str = "repro_serve") -> str:
+    """The text exposition of one :class:`ServeMetrics` (duck-typed).
+
+    ``metrics`` needs ``counters``, ``histograms`` (name → histogram with
+    ``count``/``total``/``min``/``max``/``percentile``), and
+    ``unaccounted`` — exactly :class:`~repro.serve.metrics.ServeMetrics`.
+    """
+    if not _NAME_RE.match(prefix):
+        raise ValueError(f"invalid metric prefix {prefix!r}")
+    lines: list[str] = []
+    for name, value in metrics.counters.items():
+        full = f"{prefix}_{name}_total"
+        help_text = _COUNTER_HELP.get(name, f"Lifetime count of {name}.")
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_fmt(value)}")
+
+    full = f"{prefix}_unaccounted"
+    lines.append(f"# HELP {full} Submitted requests not yet resolved or shed.")
+    lines.append(f"# TYPE {full} gauge")
+    lines.append(f"{full} {_fmt(metrics.unaccounted)}")
+
+    for name, hist in metrics.histograms.items():
+        full = f"{prefix}_{name}"
+        lines.append(f"# HELP {full} Distribution of {name.replace('_', ' ')}.")
+        lines.append(f"# TYPE {full} summary")
+        for q in (0.5, 0.95, 0.99):
+            lines.append(
+                f'{full}{{quantile="{q}"}} {_fmt(hist.percentile(q * 100))}'
+            )
+        lines.append(f"{full}_sum {_fmt(hist.total)}")
+        lines.append(f"{full}_count {_fmt(hist.count)}")
+        for suffix, value in (("min", hist.min), ("max", hist.max)):
+            sub = f"{full}_{suffix}"
+            lines.append(f"# HELP {sub} Exact {suffix} of {name.replace('_', ' ')}.")
+            lines.append(f"# TYPE {sub} gauge")
+            lines.append(f"{sub} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str, lineno: int) -> float:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"line {lineno}: invalid sample value {text!r}") from None
+
+
+def _parse_labels(text: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    if not text.strip():
+        return labels
+    for part in text.split(","):
+        m = _LABEL_RE.match(part.strip())
+        if not m:
+            raise ValueError(f"line {lineno}: malformed label {part.strip()!r}")
+        labels[m.group("name")] = m.group("value")
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Validate a text exposition; returns ``{name: [(labels, value), ...]}``.
+
+    Raises :class:`ValueError` naming the offending line for any syntax
+    the format forbids: bad metric/label names, non-numeric values,
+    malformed or duplicated ``# TYPE`` comments.
+    """
+    samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+    types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Arbitrary comments are legal; HELP/TYPE must be well formed.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    raise ValueError(f"line {lineno}: truncated {parts[1]} comment")
+                continue
+            kind, name = parts[1], parts[2]
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+            if kind == "TYPE":
+                if len(parts) != 4 or parts[3] not in METRIC_TYPES:
+                    raise ValueError(
+                        f"line {lineno}: TYPE must be one of {METRIC_TYPES}"
+                    )
+                if name in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+                types[name] = parts[3]
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels") or "", lineno)
+        value = _parse_value(m.group("value"), lineno)
+        samples.setdefault(name, []).append((labels, value))
+    return samples

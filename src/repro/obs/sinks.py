@@ -1,0 +1,238 @@
+"""Trace sinks: where finished spans and counter samples go.
+
+Three sinks cover the subsystem's needs:
+
+* :class:`InMemorySink` — plain lists, for tests and ad-hoc analysis.
+* :class:`JsonlSink` — one JSON object per line, append-friendly and
+  greppable; the input format of ``python -m repro obs-summarize``.
+* :class:`ChromeTraceSink` — the Chrome trace-event JSON that
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load.
+  Subsystem spans become complete (``X``) events on one named track per
+  bucket/backend worker; request-stage spans become async (``b``/``e``)
+  events keyed by request id, so each request renders as its own lane of
+  nested submit → coalesce → flush → backend → scatter stages; counter
+  samples become ``C`` events (live time-series tracks in the viewer).
+
+Both file sinks buffer bounded amounts: the JSONL sink flushes every
+``flush_every`` lines, and the Chrome sink caps its in-memory event list
+at ``max_events`` (excess events are counted, not stored — a trace viewer
+beats an OOM).  Timestamps arrive in seconds on the tracer's monotonic
+clock and are exported in microseconds, the trace-event format's unit.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class SpanSink:
+    """Interface a :class:`~repro.obs.tracer.Tracer` fans out to."""
+
+    def on_span(self, span) -> None:
+        raise NotImplementedError
+
+    def on_counter(self, name: str, t: float, values: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered output toward its destination."""
+
+    def close(self) -> None:
+        """Flush and release the sink; further events are undefined."""
+
+
+class InMemorySink(SpanSink):
+    """Collects spans and counter samples in lists (tests, analysis)."""
+
+    def __init__(self) -> None:
+        self.spans: list = []
+        self.counters: list[tuple[str, float, dict]] = []
+
+    def on_span(self, span) -> None:
+        self.spans.append(span)
+
+    def on_counter(self, name: str, t: float, values: dict) -> None:
+        self.counters.append((name, t, dict(values)))
+
+    def by_name(self, name: str) -> list:
+        return [s for s in self.spans if s.name == name]
+
+
+def span_to_dict(span) -> dict:
+    """The structured-log representation of one finished span."""
+    out = {
+        "type": "span",
+        "name": span.name,
+        "cat": span.cat,
+        "t0": span.t0,
+        "t1": span.t1,
+        "dur_ms": (span.t1 - span.t0) * 1e3,
+        "span_id": span.span_id,
+    }
+    if span.parent_id is not None:
+        out["parent_id"] = span.parent_id
+    if span.track is not None:
+        out["track"] = span.track
+    if span.request is not None:
+        out["request"] = span.request
+    if span.attrs:
+        out["attrs"] = dict(span.attrs)
+    return out
+
+
+class JsonlSink(SpanSink):
+    """One JSON object per line: spans, counters, nothing clever."""
+
+    def __init__(self, path: str, flush_every: int = 256) -> None:
+        if flush_every <= 0:
+            raise ValueError(f"flush_every must be positive, got {flush_every}")
+        self.path = path
+        self.flush_every = flush_every
+        self._fh = open(path, "w", encoding="utf-8")
+        self._buffer: list[str] = []
+
+    def _push(self, obj: dict) -> None:
+        self._buffer.append(json.dumps(obj, default=str))
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    def on_span(self, span) -> None:
+        self._push(span_to_dict(span))
+
+    def on_counter(self, name: str, t: float, values: dict) -> None:
+        self._push({"type": "counter", "name": name, "t": t, "values": dict(values)})
+
+    def flush(self) -> None:
+        if self._buffer and not self._fh.closed:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+            self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class ChromeTraceSink(SpanSink):
+    """Chrome trace-event JSON, loadable in Perfetto / ``chrome://tracing``."""
+
+    #: The pid all events carry; the format wants one, the value is free.
+    PID = 1
+
+    def __init__(self, path: str, max_events: int = 500_000) -> None:
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.path = path
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: list[dict] = []
+        self._tids: dict[str, int] = {}
+
+    def _tid(self, track: str) -> int:
+        if track not in self._tids:
+            self._tids[track] = len(self._tids)
+        return self._tids[track]
+
+    def _append(self, *events: dict) -> None:
+        # Drop whole spans, not half a b/e pair, when the cap is hit.
+        if len(self._events) + len(events) > self.max_events:
+            self.dropped += len(events)
+            return
+        self._events.extend(events)
+
+    def on_span(self, span) -> None:
+        args = {k: v for k, v in span.attrs.items()}
+        ts = span.t0 * 1e6
+        dur = max(0.0, (span.t1 - span.t0) * 1e6)
+        if span.request is not None:
+            # Async events keyed by (cat, id): one lane per request, the
+            # viewer nests the stage intervals by timestamp.
+            rid = str(span.request)
+            self._append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "b",
+                    "id": rid,
+                    "pid": self.PID,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": args,
+                },
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "e",
+                    "id": rid,
+                    "pid": self.PID,
+                    "tid": 0,
+                    "ts": ts + dur,
+                },
+            )
+        else:
+            self._append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "pid": self.PID,
+                    "tid": self._tid(span.track or "main"),
+                    "ts": ts,
+                    "dur": dur,
+                    "args": args,
+                }
+            )
+
+    def on_counter(self, name: str, t: float, values: dict) -> None:
+        self._append(
+            {
+                "name": name,
+                "ph": "C",
+                "pid": self.PID,
+                "ts": t * 1e6,
+                "args": {k: float(v) for k, v in values.items()},
+            }
+        )
+
+    def _metadata(self) -> list[dict]:
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": self.PID,
+                "args": {"name": "repro"},
+            }
+        ]
+        for track, tid in sorted(self._tids.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": self.PID,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        if self.dropped:
+            events.append(
+                {
+                    "name": "events_dropped",
+                    "ph": "M",
+                    "pid": self.PID,
+                    "args": {"count": self.dropped},
+                }
+            )
+        return events
+
+    def close(self) -> None:
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "traceEvents": self._metadata() + self._events,
+                    "displayTimeUnit": "ms",
+                },
+                fh,
+                default=str,
+            )
+        self._events = []

@@ -1,0 +1,215 @@
+"""Trace post-processing: per-stage latency breakdowns and nesting checks.
+
+``python -m repro obs-summarize <trace>`` lands here.  The loader accepts
+both trace formats the sinks write — the JSONL structured event log and
+the Chrome trace-event JSON (complete ``X`` events plus async ``b``/``e``
+pairs) — and normalizes them into flat span dicts.  On top of that:
+
+* :func:`summarize_trace` renders the per-stage latency table: for each
+  span name, how many were recorded and the mean/p50/p95/max duration.
+  Distributions reuse the serving layer's bounded
+  :class:`~repro.serve.metrics.Histogram`, so arbitrarily long traces
+  summarize in constant memory.
+* :func:`check_request_spans` verifies the per-request story holds
+  together: every completed request carries the full
+  submit → coalesce → flush → backend → scatter chain, each stage nested
+  inside the enclosing ``request`` span.  CI runs this against a real
+  ``serve-demo --trace-out`` run.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: The stage chain every completed request must show, in causal order.
+REQUEST_STAGES = ("submit", "coalesce", "flush", "backend", "scatter")
+
+
+def _spans_from_jsonl(lines) -> list[dict]:
+    spans = []
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not JSON ({exc})") from None
+        if obj.get("type") != "span":
+            continue
+        spans.append(obj)
+    return spans
+
+
+def _spans_from_chrome(events) -> list[dict]:
+    spans = []
+    open_async: dict[tuple, list[dict]] = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X":
+            spans.append(
+                {
+                    "name": ev.get("name", "?"),
+                    "cat": ev.get("cat", ""),
+                    "t0": ev.get("ts", 0.0) / 1e6,
+                    "t1": (ev.get("ts", 0.0) + ev.get("dur", 0.0)) / 1e6,
+                    "attrs": ev.get("args", {}),
+                }
+            )
+        elif ph == "b":
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            open_async.setdefault(key, []).append(ev)
+        elif ph == "e":
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            stack = open_async.get(key)
+            if not stack:
+                raise ValueError(f"async end without begin: {key}")
+            begin = stack.pop()
+            spans.append(
+                {
+                    "name": ev.get("name", "?"),
+                    "cat": ev.get("cat", ""),
+                    "t0": begin.get("ts", 0.0) / 1e6,
+                    "t1": ev.get("ts", 0.0) / 1e6,
+                    "request": _as_request(ev.get("id")),
+                    "attrs": begin.get("args", {}),
+                }
+            )
+    unclosed = [k for k, stack in open_async.items() if stack]
+    if unclosed:
+        raise ValueError(f"async begin without end: {unclosed[:3]}")
+    return spans
+
+
+def _as_request(rid):
+    try:
+        return int(rid)
+    except (TypeError, ValueError):
+        return rid
+
+
+def load_trace(path: str) -> list[dict]:
+    """Normalized span dicts from a JSONL or Chrome-trace file.
+
+    The format is sniffed from the first non-space character: a Chrome
+    trace is one JSON document (``{"traceEvents": [...]}`` or a bare
+    array), the structured log is one object per line.
+    """
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path} is empty")
+    if stripped[0] == "[" or (stripped[0] == "{" and "\n" not in stripped.strip()):
+        doc = json.loads(text)
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        return _spans_from_chrome(events)
+    # JSONL — but a pretty-printed Chrome trace also starts with "{", so
+    # fall back to whole-document parsing when the first line isn't JSON.
+    first_line = stripped.splitlines()[0]
+    try:
+        json.loads(first_line)
+    except json.JSONDecodeError:
+        doc = json.loads(text)
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        return _spans_from_chrome(events)
+    return _spans_from_jsonl(text.splitlines())
+
+
+def summarize_trace(spans: list[dict]) -> str:
+    """The per-stage latency breakdown table for one loaded trace.
+
+    Stages are keyed by (category, name): the per-request ``submit`` →
+    ``scatter`` chain leads the table in causal order, then the
+    subsystem-track stages (bucket flushes, backend runs, sweep
+    evaluations, ...) grouped by category.
+    """
+    from repro.serve.metrics import Histogram
+    from repro.utils.tables import format_table
+
+    stages: dict[tuple[str, str], Histogram] = {}
+    for span in spans:
+        key = (span.get("cat", ""), span["name"])
+        hist = stages.get(key)
+        if hist is None:
+            hist = stages[key] = Histogram()
+        hist.observe((span["t1"] - span["t0"]) * 1e3)
+
+    chain = REQUEST_STAGES + ("request",)
+
+    def _order(key: tuple[str, str]) -> tuple:
+        cat, name = key
+        if cat == "request" and name in chain:
+            return (0, "", chain.index(name), name)
+        return (1, cat, 0, name)
+
+    rows = []
+    for cat, name in sorted(stages, key=_order):
+        h = stages[(cat, name)]
+        rows.append(
+            [cat, name, h.count, h.mean, h.percentile(50), h.percentile(95), h.max]
+        )
+    if not rows:
+        return "(no spans in trace)"
+    table = format_table(
+        ["cat", "stage", "count", "mean ms", "p50 ms", "p95 ms", "max ms"], rows
+    )
+    return f"{len(spans)} spans over {len(stages)} stages\n{table}"
+
+
+def check_request_spans(spans: list[dict], slack_s: float = 1e-6) -> int:
+    """Assert every traced request shows its full, correctly nested chain.
+
+    Returns the number of requests checked; raises :class:`ValueError`
+    describing the first few violations otherwise.  ``slack_s`` absorbs
+    clock rounding at span boundaries (Chrome export quantizes to µs).
+    """
+    by_request: dict[int, dict[str, list[dict]]] = {}
+    for span in spans:
+        rid = span.get("request")
+        if rid is None:
+            continue
+        by_request.setdefault(rid, {}).setdefault(span["name"], []).append(span)
+
+    problems: list[str] = []
+    checked = 0
+    for rid, named in sorted(by_request.items(), key=lambda kv: str(kv[0])):
+        roots = named.get("request")
+        if not roots:
+            # A shed or timed-out request never completes its chain.
+            continue
+        checked += 1
+        root = roots[0]
+        missing = [stage for stage in REQUEST_STAGES if stage not in named]
+        if missing:
+            problems.append(f"request {rid}: missing stages {missing}")
+            continue
+        last_t0 = root["t0"] - slack_s
+        for stage in REQUEST_STAGES:
+            span = named[stage][0]
+            if span["t0"] < root["t0"] - slack_s or span["t1"] > root["t1"] + slack_s:
+                problems.append(
+                    f"request {rid}: stage {stage} "
+                    f"[{span['t0']:.6f}, {span['t1']:.6f}] escapes request "
+                    f"[{root['t0']:.6f}, {root['t1']:.6f}]"
+                )
+            if span["t0"] < last_t0 - slack_s:
+                problems.append(
+                    f"request {rid}: stage {stage} starts before its predecessor"
+                )
+            last_t0 = span["t0"]
+        backend = named["backend"][0]
+        flush = named["flush"][0]
+        if (
+            backend["t0"] < flush["t0"] - slack_s
+            or backend["t1"] > flush["t1"] + slack_s
+        ):
+            problems.append(f"request {rid}: backend stage escapes its flush")
+    if problems:
+        raise ValueError(
+            f"{len(problems)} request-nesting violation(s): "
+            + "; ".join(problems[:5])
+        )
+    if checked == 0:
+        raise ValueError("trace contains no completed request chains")
+    return checked

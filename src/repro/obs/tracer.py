@@ -1,0 +1,346 @@
+"""Span-based tracing: where one request's time actually goes.
+
+A :class:`Tracer` turns runtime stages into *spans* — named intervals with
+a category, optional display track, optional request id, and free-form
+attributes — and fans finished spans out to its sinks
+(:mod:`repro.obs.sinks`).  Two usage shapes cover every call site:
+
+* ``with tracer.span("evaluate", cat="autotune"): ...`` for code that
+  brackets the work it measures.  Entered spans publish themselves in a
+  :mod:`contextvars` variable, so nested spans pick up their parent
+  automatically (and correctly across asyncio tasks).
+* ``tracer.record("coalesce", t0, t1, request=seq)`` for stages whose
+  endpoints are known only after the fact — the broker learns a request's
+  coalesce wait at flush time, not while it happens.
+
+The tracer's clock is :func:`time.monotonic`, deliberately the same clock
+asyncio's ``loop.time()`` reads, so timestamps taken by the event loop
+(``enqueued_at``, flush start) can be recorded as span endpoints directly.
+
+Tracing defaults to **off**: the module-level tracer is a
+:class:`NullTracer` whose ``span()`` hands back one shared do-nothing
+context manager and whose ``enabled`` flag lets hot paths skip even the
+clock reads.  Install a real tracer with :func:`set_tracer` (the CLI does
+this for ``--trace-out``) or via the ``REPRO_TRACE`` environment variable
+(see :func:`tracer_from_env`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+
+#: Environment variable that enables tracing process-wide: a path ending
+#: in ``.jsonl`` gets the structured event log, any other path gets a
+#: Chrome-trace JSON, and a bare ``1`` logs to ``repro-trace.jsonl``.
+TRACE_ENV = "REPRO_TRACE"
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One named interval; doubles as its own context manager.
+
+    ``track`` names the display lane (Chrome-trace thread) for
+    subsystem-level spans; ``request`` ties request-stage spans to one
+    request id so exporters can render a per-request async lane.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "cat",
+        "track",
+        "request",
+        "t0",
+        "t1",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        track: str | None,
+        request: int | None,
+        t0: float,
+        attrs: dict,
+        span_id: int,
+        parent_id: int | None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.request = request
+        self.t0 = t0
+        self.t1 = t0
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._token = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to an open span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.t1 = self.tracer.now()
+        self.tracer._emit_span(self)
+        return False
+
+
+class _NullSpan:
+    """The shared do-nothing span the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracing: every operation is a constant-time no-op.
+
+    Call sites guard attribute computation with ``tracer.enabled``; the
+    methods themselves are safe to call unconditionally.
+    """
+
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name, **kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name, t0, t1, **kwargs) -> None:
+        return None
+
+    def instant(self, name, **kwargs) -> None:
+        return None
+
+    def counter(self, name, values, t=None) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: The process-wide disabled tracer (a singleton so identity checks work).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Fans spans, instants, and counter samples out to its sinks."""
+
+    enabled = True
+
+    def __init__(self, sinks=(), clock=time.monotonic) -> None:
+        self.sinks = list(sinks)
+        self._clock = clock
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Producing spans
+    # ------------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        cat: str = "serve",
+        track: str | None = None,
+        request: int | None = None,
+        parent: Span | None = None,
+        **attrs,
+    ) -> Span:
+        """An open span starting now; close it with a ``with`` block."""
+        if parent is None:
+            parent = _current_span.get()
+        return Span(
+            tracer=self,
+            name=name,
+            cat=cat,
+            track=track,
+            request=request,
+            t0=self.now(),
+            attrs=attrs,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+        )
+
+    def record(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        cat: str = "serve",
+        track: str | None = None,
+        request: int | None = None,
+        parent: Span | None = None,
+        **attrs,
+    ) -> None:
+        """Emit a finished span whose endpoints were measured elsewhere."""
+        if parent is None:
+            parent = _current_span.get()
+        span = Span(
+            tracer=self,
+            name=name,
+            cat=cat,
+            track=track,
+            request=request,
+            t0=t0,
+            attrs=attrs,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        span.t1 = t1
+        self._emit_span(span)
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "serve",
+        track: str | None = None,
+        request: int | None = None,
+        **attrs,
+    ) -> None:
+        """A zero-duration marker (load shed, worker death, ...)."""
+        t = self.now()
+        self.record(name, t, t, cat=cat, track=track, request=request, **attrs)
+
+    def counter(self, name: str, values: dict, t: float | None = None) -> None:
+        """One sample of a named time series (queue depth, bucket fill)."""
+        if t is None:
+            t = self.now()
+        with self._lock:
+            for sink in self.sinks:
+                sink.on_counter(name, t, values)
+
+    # ------------------------------------------------------------------
+    # Sink fan-out
+    # ------------------------------------------------------------------
+
+    def _emit_span(self, span: Span) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.on_span(span)
+
+    def flush(self) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.close()
+
+
+# ----------------------------------------------------------------------
+# The process-wide tracer
+# ----------------------------------------------------------------------
+
+_tracer: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The process-wide tracer (the disabled singleton by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Install ``tracer`` process-wide; returns the previous one.
+
+    ``None`` restores the disabled singleton.
+    """
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def current_span() -> "Span | None":
+    """The innermost open ``with``-entered span, if any."""
+    return _current_span.get()
+
+
+def tracer_from_env(environ=None) -> "Tracer | None":
+    """Build a tracer from ``$REPRO_TRACE``, or ``None`` when unset.
+
+    The value picks the sink: ``*.jsonl`` → structured event log, any
+    other path → Chrome-trace JSON, bare ``1``/``true`` →
+    ``repro-trace.jsonl`` in the working directory.
+    """
+    value = (environ if environ is not None else os.environ).get(TRACE_ENV, "")
+    value = value.strip()
+    if not value or value.lower() in ("0", "false", "off"):
+        return None
+    from repro.obs.sinks import ChromeTraceSink, JsonlSink
+
+    if value.lower() in ("1", "true", "on"):
+        value = "repro-trace.jsonl"
+    if value.endswith(".jsonl"):
+        return Tracer([JsonlSink(value)])
+    return Tracer([ChromeTraceSink(value)])
+
+
+def init_from_env() -> "Tracer | None":
+    """Install the ``$REPRO_TRACE`` tracer (if any) and arrange its close.
+
+    Called once at :mod:`repro.obs` import so any entry point — CLI,
+    tests, one-off scripts — honours the toggle without plumbing.  A
+    tracer that is still installed at interpreter exit is closed by an
+    ``atexit`` hook so its sink files land on disk.
+    """
+    tracer = tracer_from_env()
+    if tracer is None:
+        return None
+    set_tracer(tracer)
+    import atexit
+
+    def _close() -> None:
+        if get_tracer() is tracer:
+            tracer.close()
+
+    atexit.register(_close)
+    return tracer

@@ -11,7 +11,11 @@ callers' futures.  The dense compute of a flush runs on a pluggable
 backend (``inline``, ``process``, ``eventsim``, ``shadow`` — see
 :mod:`repro.serve.backends`).  Backpressure (bounded queue with load
 shedding), per-request timeouts, retry-once for batch-poisoned requests,
-and a full metrics layer round it out.  See ``docs/serving.md``.
+and a full metrics layer round it out.  Every stage is traced through
+:mod:`repro.obs` when a tracer is installed (``serve-demo --trace-out``,
+``$REPRO_TRACE``), and metrics export in the Prometheus text format via
+:func:`repro.obs.render_prometheus`.  See ``docs/serving.md`` and
+``docs/observability.md``.
 """
 
 from repro.serve.backends import (

@@ -35,6 +35,9 @@ class PendingRequest:
     future: Any  # asyncio.Future; Any keeps the batcher loop-agnostic
     enqueued_at: float
     attempts: int = 0
+    #: When the broker first saw the request (same monotonic clock as
+    #: ``enqueued_at``); anchors the tracing layer's per-request span.
+    submitted_at: float = 0.0
 
     @property
     def n(self) -> int:
@@ -142,3 +145,14 @@ class AdaptiveBatcher:
     def sizes(self) -> Iterable[int]:
         """The matrix dimensions currently holding pending requests."""
         return tuple(self._buckets)
+
+    def fill_levels(self) -> dict[int, tuple[int, int]]:
+        """``{n: (pending, threshold)}`` for every non-empty bucket.
+
+        The telemetry snapshot reads this to turn bucket fill into a time
+        series without reaching into the bucket map.
+        """
+        return {
+            n: (len(bucket.requests), bucket.threshold)
+            for n, bucket in self._buckets.items()
+        }

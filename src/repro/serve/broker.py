@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 
 import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
+from repro.obs.tracer import get_tracer
 from repro.serve.backends import backend_from_policy
 from repro.serve.batcher import KINDS, AdaptiveBatcher, PendingRequest, SizeBucket
 from repro.serve.executor import BatchExecutor, FlushReport
@@ -57,8 +59,10 @@ class SolveBroker:
         dispatcher: TunedDispatcher | None = None,
         executor: BatchExecutor | None = None,
         metrics: ServeMetrics | None = None,
+        tracer=None,
     ) -> None:
         self.policy = policy or ServePolicy()
+        self._tracer = tracer
         # A broker that builds its own executor also owns its backend (and
         # closes it — worker pools outlive nothing); a caller-supplied
         # executor stays the caller's to manage.
@@ -67,6 +71,7 @@ class SolveBroker:
             dispatcher=dispatcher,
             retry_failed_solo=self.policy.retry_failed_solo,
             backend=backend_from_policy(self.policy),
+            tracer=tracer,
         )
         self.metrics = metrics or ServeMetrics()
         self.batcher = AdaptiveBatcher(
@@ -77,16 +82,28 @@ class SolveBroker:
         self._seq = 0
         self._closed = False
         self._ticker: asyncio.Task | None = None
+        self._snapshotter: asyncio.Task | None = None
         self._inflight: set[asyncio.Task] = set()
+
+    @property
+    def tracer(self):
+        """The explicit tracer if one was injected, else the global one."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     async def start(self) -> "SolveBroker":
-        """Start the deadline ticker (idempotent)."""
+        """Start the deadline ticker and snapshot emitter (idempotent)."""
         if self._ticker is None or self._ticker.done():
             self._ticker = asyncio.get_running_loop().create_task(self._tick_loop())
+        if self.policy.snapshot_interval_s is not None and (
+            self._snapshotter is None or self._snapshotter.done()
+        ):
+            self._snapshotter = asyncio.get_running_loop().create_task(
+                self._snapshot_loop()
+            )
         return self
 
     async def close(self, drain: bool = True) -> None:
@@ -99,11 +116,14 @@ class SolveBroker:
                 await self._run_flush(bucket.requests, "drain", bucket.threshold)
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
-        if self._ticker is not None:
-            self._ticker.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._ticker
-            self._ticker = None
+        for attr in ("_ticker", "_snapshotter"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+                setattr(self, attr, None)
+        self.emit_snapshot()  # final sample so the series covers shutdown
         if self._owns_executor:
             self.executor.close()
 
@@ -134,6 +154,10 @@ class SolveBroker:
         self, kind: str, a: np.ndarray, b: np.ndarray | None = None
     ) -> np.ndarray:
         """Queue one request and await its result."""
+        # The tracer's clock is time.monotonic — the same clock asyncio's
+        # loop.time() reads — so this timestamp anchors the request span.
+        t_submit = time.monotonic()
+        tracer = self.tracer
         a, b = self._validate(kind, a, b)
         if self._closed:
             raise ServiceClosed("broker is closed")
@@ -141,6 +165,10 @@ class SolveBroker:
         if self.batcher.pending >= self.policy.max_queue_depth:
             self.metrics.record_submit(self.batcher.pending)
             self.metrics.record_shed()
+            if tracer.enabled:
+                tracer.instant(
+                    "shed", cat="serve", queue_depth=self.batcher.pending
+                )
             raise ServiceOverloaded(
                 f"queue depth {self.batcher.pending} at its "
                 f"{self.policy.max_queue_depth}-request cap; request shed"
@@ -155,9 +183,21 @@ class SolveBroker:
             b=b,
             future=loop.create_future(),
             enqueued_at=loop.time(),
+            submitted_at=t_submit,
         )
         bucket = self.batcher.add(request)
         self.metrics.record_submit(self.batcher.pending)
+        if tracer.enabled:
+            tracer.record(
+                "submit",
+                t_submit,
+                tracer.now(),
+                cat="request",
+                request=request.seq,
+                n=request.n,
+                kind=kind,
+                queue_depth=self.batcher.pending,
+            )
         if bucket.full:
             self._spawn_flush(bucket, "full")
         return await self._await_result(request)
@@ -191,6 +231,14 @@ class SolveBroker:
             if self.batcher.discard(request):
                 request.future.cancel()
                 self.metrics.record_timeout()
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "timeout",
+                        cat="request",
+                        request=request.seq,
+                        n=request.n,
+                    )
                 raise RequestTimeout(
                     f"request (n={request.n}, {request.kind}) expired after "
                     f"{timeout}s waiting for its bucket to flush"
@@ -216,10 +264,21 @@ class SolveBroker:
         self, requests: list[PendingRequest], reason: str, threshold: int
     ) -> None:
         loop = asyncio.get_running_loop()
+        tracer = self.tracer
         # Coalesce latency is the time a request spent waiting to be
         # batched — measured at flush start, before the numeric work.
         flush_started = loop.time()
         waits = [flush_started - r.enqueued_at for r in requests]
+        if tracer.enabled:
+            for r in requests:
+                tracer.record(
+                    "coalesce",
+                    r.enqueued_at,
+                    flush_started,
+                    cat="request",
+                    request=r.seq,
+                    n=r.n,
+                )
         try:
             report = await loop.run_in_executor(
                 None, lambda: self.executor.execute(requests, reason, threshold)
@@ -229,10 +288,28 @@ class SolveBroker:
                 if not request.future.done():
                     request.future.set_exception(exc)
                     self.metrics.record_failure()
+            if tracer.enabled:
+                tracer.record(
+                    "flush",
+                    flush_started,
+                    tracer.now(),
+                    cat="serve",
+                    track=f"bucket n={requests[0].n}",
+                    reason=reason,
+                    size=len(requests),
+                    error=type(exc).__name__,
+                )
             return
-        self._scatter(report, waits)
+        self._scatter(report, waits, flush_started)
 
-    def _scatter(self, report: FlushReport, waits: list[float]) -> None:
+    def _scatter(
+        self,
+        report: FlushReport,
+        waits: list[float],
+        flush_started: float | None = None,
+    ) -> None:
+        tracer = self.tracer
+        scatter_t0 = tracer.now() if tracer.enabled else 0.0
         for request, outcome in report.outcomes:
             if request.future.done():  # timed out mid-flight; nobody listens
                 continue
@@ -254,6 +331,102 @@ class SolveBroker:
             shadow_checked=report.shadow_checked,
             shadow_mismatch=report.shadow_mismatch,
         )
+        if tracer.enabled:
+            self._trace_flush(report, flush_started, scatter_t0, tracer)
+
+    def _trace_flush(
+        self,
+        report: FlushReport,
+        flush_started: float | None,
+        scatter_t0: float,
+        tracer,
+    ) -> None:
+        """Emit the bucket-track spans and each request's stage chain."""
+        scatter_t1 = tracer.now()
+        if flush_started is None:  # direct _scatter call without a window
+            flush_started = scatter_t0
+        backend_t0, backend_t1 = report.backend_window or (flush_started, scatter_t0)
+        track = f"bucket n={report.n}"
+        common = {"reason": report.reason, "size": report.size, "n": report.n}
+        tracer.record(
+            "flush",
+            flush_started,
+            scatter_t1,
+            cat="serve",
+            track=track,
+            fill=report.fill,
+            gflops=report.gflops,
+            backend=report.backend,
+            **common,
+        )
+        tracer.record(
+            "backend", backend_t0, backend_t1, cat="serve", track=track, **common
+        )
+        tracer.record(
+            "scatter", scatter_t0, scatter_t1, cat="serve", track=track, **common
+        )
+        # The same windows again, once per request, so every request's
+        # async lane shows its full submit→...→scatter story.
+        for request, outcome in report.outcomes:
+            rid = request.seq
+            failed = isinstance(outcome, Exception)
+            tracer.record(
+                "flush", flush_started, scatter_t1, cat="request", request=rid
+            )
+            tracer.record(
+                "backend", backend_t0, backend_t1, cat="request", request=rid
+            )
+            tracer.record(
+                "scatter", scatter_t0, scatter_t1, cat="request", request=rid
+            )
+            tracer.record(
+                "request",
+                request.submitted_at or request.enqueued_at,
+                scatter_t1,
+                cat="request",
+                request=rid,
+                n=request.n,
+                kind=request.kind,
+                outcome="error" if failed else "ok",
+            )
+
+    # ------------------------------------------------------------------
+    # Telemetry snapshots
+    # ------------------------------------------------------------------
+
+    def emit_snapshot(self) -> None:
+        """One sample of queue depth, bucket fill, and request counters.
+
+        Routed through the installed tracer's counter channel; a no-op
+        while tracing is disabled.  The broker's snapshot task calls this
+        every ``policy.snapshot_interval_s``; callers may also sample on
+        their own schedule.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        c = self.metrics.counters
+        tracer.counter("serve.queue_depth", {"pending": float(self.batcher.pending)})
+        tracer.counter(
+            "serve.requests",
+            {
+                "submitted": float(c["submitted"]),
+                "completed": float(c["completed"]),
+                "failed": float(c["failed"]),
+                "shed": float(c["shed"]),
+            },
+        )
+        tracer.counter("serve.flushes", {"flushes": float(c["flushes"])})
+        for n, (pending, threshold) in sorted(self.batcher.fill_levels().items()):
+            tracer.counter(
+                f"serve.bucket_fill[n={n}]",
+                {"fill": pending / threshold if threshold else 0.0},
+            )
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.policy.snapshot_interval_s)
+            self.emit_snapshot()
 
     async def _tick_loop(self) -> None:
         while True:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
+from repro.obs.tracer import get_tracer
 from repro.serve.broker import SolveBroker
 from repro.serve.executor import BatchExecutor
 from repro.serve.metrics import ServeMetrics
@@ -214,6 +215,16 @@ def replay_trace(
                 return_exceptions=True,
             )
             elapsed = loop.time() - start
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.record(
+                    "replay",
+                    start,
+                    loop.time(),
+                    cat="demo",
+                    track="replay",
+                    requests=len(trace),
+                )
             completed = sum(1 for r in results if isinstance(r, np.ndarray))
             metrics = broker.metrics
             backend_name = broker.executor.backend.name

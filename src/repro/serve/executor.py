@@ -33,6 +33,7 @@ from repro.core.solve import batch_solve
 from repro.core.validate import factorization_info
 from repro.gpusim.arch import GPUArchitecture, P100
 from repro.gpusim.model import estimate_performance
+from repro.obs.tracer import get_tracer
 from repro.serve.backends import BackendRun, ExecutorBackend, make_backend
 from repro.serve.batcher import PendingRequest
 from repro.serve.policy import NotPositiveDefiniteError
@@ -60,6 +61,9 @@ class FlushReport:
     service_s: float = 0.0
     shadow_checked: int = 0
     shadow_mismatch: int = 0
+    #: Monotonic (t0, t1) of the primary backend run, for the tracing
+    #: layer's per-request backend stage; ``None`` when untimed.
+    backend_window: tuple[float, float] | None = None
 
     @property
     def fill(self) -> float:
@@ -76,12 +80,19 @@ class BatchExecutor:
         retry_failed_solo: bool = True,
         arch: GPUArchitecture = P100,
         backend: "ExecutorBackend | str | None" = None,
+        tracer=None,
     ) -> None:
         self.dispatcher = dispatcher
         self.fast_math = fast_math
         self.retry_failed_solo = retry_failed_solo
         self.arch = arch
         self.backend = make_backend(backend, arch=arch)
+        self._tracer = tracer
+
+    @property
+    def tracer(self):
+        """The explicit tracer if one was injected, else the global one."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     def config_for(self, n: int) -> KernelConfig:
         """Tuned configuration for ``n``; library default without a table."""
@@ -123,12 +134,27 @@ class BatchExecutor:
             raise ValueError("bucket mixes matrix dimensions")
         config = self.config_for(n)
         threshold = len(requests) if threshold is None else threshold
+        tracer = self.tracer
+        track = f"backend:{self.backend.name}"
 
         started = time.perf_counter()
         runs: list[BackendRun] = []
 
         a = np.stack([r.a for r in requests])
+        backend_t0 = time.monotonic()
         run = self.backend.factorize(a, config)
+        backend_t1 = time.monotonic()
+        if tracer.enabled:
+            tracer.record(
+                "backend_run",
+                backend_t0,
+                backend_t1,
+                cat="executor",
+                track=track,
+                n=n,
+                batch=len(requests),
+                reason=reason,
+            )
         runs.append(run)
         factors = run.factors
         info = factorization_info(factors)
@@ -140,7 +166,18 @@ class BatchExecutor:
                 continue
             request.attempts += 1
             retried += 1
+            solo_t0 = time.monotonic()
             solo_run = self.backend.factorize(request.a[None], config)
+            if tracer.enabled:
+                tracer.record(
+                    "solo_retry",
+                    solo_t0,
+                    time.monotonic(),
+                    cat="executor",
+                    track=track,
+                    n=n,
+                    request=request.seq,
+                )
             runs.append(solo_run)
             solo_info = factorization_info(solo_run.factors)
             if solo_info[0] == 0:
@@ -167,12 +204,23 @@ class BatchExecutor:
         for i, request in enumerate(requests):
             if request.kind == "solve" and not info[i]:
                 groups.setdefault(request.b.shape, []).append(i)
+        solve_t0 = time.monotonic() if (tracer.enabled and groups) else 0.0
         for idx in groups.values():
             l_group = factors[idx]
             b_group = np.stack([requests[i].b for i in idx])
             x = batch_solve(l_group, b_group)
             for j, i in enumerate(idx):
                 results[i] = np.array(x[j])
+        if tracer.enabled and groups:
+            tracer.record(
+                "solve",
+                solve_t0,
+                time.monotonic(),
+                cat="executor",
+                track=track,
+                n=n,
+                solves=sum(len(idx) for idx in groups.values()),
+            )
 
         missing = [i for i in range(len(requests)) if i not in results]
         if missing:
@@ -204,4 +252,5 @@ class BatchExecutor:
             service_s=service_s,
             shadow_checked=sum(r.shadow_checked for r in runs),
             shadow_mismatch=sum(r.shadow_mismatch for r in runs),
+            backend_window=(backend_t0, backend_t1),
         )

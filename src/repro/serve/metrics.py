@@ -79,6 +79,34 @@ class Histogram:
         frac = rank - lo
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place (and return it).
+
+        Count, total, and extrema stay exact, so multi-shard or
+        multi-worker aggregation loses nothing an alarm would fire on.
+        The retained samples are united and re-thinned to this
+        histogram's ``max_samples`` bound; when the two sides were
+        decimated to different strides their samples carry different
+        weights, so merged percentiles are approximate — the same
+        contract decimation itself already has.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(f"can only merge Histogram, got {type(other).__name__}")
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        merged = self._samples + other._samples
+        stride = max(self._stride, other._stride)
+        while len(merged) >= self.max_samples:
+            merged = merged[::2]
+            stride *= 2
+        self._samples = merged
+        self._stride = stride
+        self._skip = 0
+        return self
+
     def summary(self) -> dict:
         return {
             "count": self.count,
@@ -166,10 +194,12 @@ class ServeMetrics:
         shadow_checked: int = 0,
         shadow_mismatch: int = 0,
     ) -> None:
-        self.counters["flushes"] += 1
+        # Validate before mutating anything: an unknown reason must leave
+        # every counter and histogram exactly as it found them.
         key = f"flushes_{reason}"
         if key not in self.counters:
             raise ValueError(f"unknown flush reason {reason!r}")
+        self.counters["flushes"] += 1
         self.counters[key] += 1
         self.counters["shadow_checked"] += shadow_checked
         self.counters["shadow_mismatch"] += shadow_mismatch

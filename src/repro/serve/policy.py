@@ -98,6 +98,13 @@ class ServePolicy:
     shadow_tolerance:
         Maximum relative per-element drift between kernel and LAPACK
         factors before a mirrored matrix counts as a ``shadow_mismatch``.
+    snapshot_interval_s:
+        Period of the broker's telemetry snapshots: every interval the
+        current queue depth, per-bucket fill ratios, and request counters
+        are emitted as counter samples through the installed
+        :mod:`repro.obs` tracer, turning lifetime aggregates into time
+        series.  ``None`` (the default) disables snapshots; they are also
+        skipped while tracing is disabled.
     """
 
     target_batch: int = 256
@@ -112,6 +119,7 @@ class ServePolicy:
     flush_timeout_s: float | None = 30.0
     shadow_fraction: float = 1.0
     shadow_tolerance: float = 1e-3
+    snapshot_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.target_batch <= 0:
@@ -143,6 +151,11 @@ class ServePolicy:
         if self.shadow_tolerance <= 0:
             raise ValueError(
                 f"shadow_tolerance must be positive, got {self.shadow_tolerance}"
+            )
+        if self.snapshot_interval_s is not None and self.snapshot_interval_s <= 0:
+            raise ValueError(
+                f"snapshot_interval_s must be positive or None, "
+                f"got {self.snapshot_interval_s}"
             )
 
     def flush_interval(self) -> float:

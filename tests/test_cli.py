@@ -31,10 +31,18 @@ class TestParser:
         assert args.max_delay_ms == 4.0
         assert args.backend is None  # falls back to $REPRO_SERVE_BACKEND
         assert args.shadow_fraction == 1.0
+        # Observability exports are all off by default.
+        assert args.trace_out == "" and args.trace_jsonl == ""
+        assert args.prom_out == "" and args.metrics_json == ""
+        assert args.snapshot_interval == 0.0
 
     def test_serve_demo_backend_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-demo", "--backend", "quantum"])
+
+    def test_obs_summarize_requires_trace_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs-summarize"])
 
 
 class TestCommands:
@@ -104,6 +112,76 @@ class TestCommands:
         assert rc == 0
         for token in ("queue depth", "batch fill", "coalesce latency",
                       "GFLOP/s", "unaccounted"):
+            assert token in out
+
+    def test_serve_demo_metrics_json_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        rc = main(
+            ["serve-demo", "--requests", "40", "--ns", "6,8", "--rate", "50000",
+             "--target-batch", "16", "--max-delay-ms", "2", "--seed", "1",
+             "--metrics-json", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"wrote {path}" in out
+        data = json.loads(path.read_text())
+        assert data["counters"]["submitted"] == 40
+        assert data["unaccounted"] == 0
+        assert "queue_depth" in data["histograms"]
+
+    def test_serve_demo_observability_exports(self, tmp_path, capsys):
+        """--trace-out/--trace-jsonl/--prom-out produce loadable artifacts."""
+        import json
+
+        trace_json = tmp_path / "trace.json"
+        trace_jsonl = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        rc = main(
+            ["serve-demo", "--requests", "40", "--ns", "6,8", "--rate", "50000",
+             "--target-batch", "16", "--max-delay-ms", "2", "--seed", "1",
+             "--trace-out", str(trace_json), "--trace-jsonl", str(trace_jsonl),
+             "--prom-out", str(prom), "--snapshot-interval", "2"]
+        )
+        capsys.readouterr()
+        assert rc == 0
+
+        from repro.obs import (
+            check_request_spans,
+            load_trace,
+            parse_prometheus_text,
+        )
+
+        # The Chrome trace nests every request's full stage chain.
+        spans = load_trace(str(trace_json))
+        assert check_request_spans(spans) > 0
+        # The JSONL log carries snapshot counter samples too.
+        lines = [json.loads(x) for x in trace_jsonl.read_text().splitlines()]
+        assert any(obj["type"] == "counter" for obj in lines)
+        # The Prometheus exposition round-trips through the checker.
+        samples = parse_prometheus_text(prom.read_text())
+        assert samples["repro_serve_submitted_total"] == [({}, 40.0)]
+
+        # Tracing is torn down after the run: the global tracer is the
+        # disabled singleton again.
+        from repro.obs import NULL_TRACER, get_tracer
+
+        assert get_tracer() is NULL_TRACER
+
+    def test_obs_summarize_prints_stage_table(self, tmp_path, capsys):
+        trace_jsonl = tmp_path / "trace.jsonl"
+        main(
+            ["serve-demo", "--requests", "30", "--ns", "6", "--rate", "50000",
+             "--target-batch", "16", "--max-delay-ms", "2", "--seed", "1",
+             "--trace-jsonl", str(trace_jsonl)]
+        )
+        capsys.readouterr()
+        rc = main(["obs-summarize", str(trace_jsonl), "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for token in ("stage", "submit", "coalesce", "backend", "scatter",
+                      "p95 ms", "request nesting ok"):
             assert token in out
 
     def test_explain_diagnoses(self, capsys):

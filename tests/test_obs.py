@@ -1,0 +1,329 @@
+"""Tracing & telemetry subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    check_request_spans,
+    current_span,
+    get_tracer,
+    load_trace,
+    parse_prometheus_text,
+    render_prometheus,
+    set_tracer,
+    span_to_dict,
+    summarize_trace,
+    tracer_from_env,
+)
+from repro.serve import ServeMetrics, ServePolicy, replay_trace, synthetic_trace
+
+
+@pytest.fixture
+def global_tracer():
+    """Install an in-memory tracer process-wide; restore afterwards."""
+    sink = InMemorySink()
+    tracer = Tracer([sink])
+    previous = set_tracer(tracer)
+    try:
+        yield tracer, sink
+    finally:
+        set_tracer(previous)
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_tracer_span_is_shared_noop(self):
+        span_a = NULL_TRACER.span("a", anything=1)
+        span_b = NULL_TRACER.span("b")
+        assert span_a is span_b  # one shared object, zero allocation
+        with span_a as s:
+            assert s.set(more=2) is s
+        NULL_TRACER.record("x", 0.0, 1.0)
+        NULL_TRACER.counter("c", {"v": 1})
+        NULL_TRACER.instant("i")
+        NULL_TRACER.close()
+
+    def test_span_context_manager_emits(self, global_tracer):
+        tracer, sink = global_tracer
+        with tracer.span("outer", cat="test", track="t", k=1):
+            pass
+        (span,) = sink.spans
+        assert span.name == "outer"
+        assert span.cat == "test"
+        assert span.track == "t"
+        assert span.attrs == {"k": 1}
+        assert span.t1 >= span.t0
+
+    def test_contextvar_parenting(self, global_tracer):
+        tracer, sink = global_tracer
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner"):
+                pass
+        assert current_span() is None
+        inner, outer_span = sink.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == outer_span.span_id
+
+    def test_record_explicit_endpoints(self, global_tracer):
+        tracer, sink = global_tracer
+        tracer.record("stage", 1.0, 2.5, request=7, n=8)
+        (span,) = sink.spans
+        assert span.t0 == 1.0 and span.t1 == 2.5
+        assert span.request == 7
+        assert span.duration_s == pytest.approx(1.5)
+
+    def test_exception_tags_span(self, global_tracer):
+        tracer, sink = global_tracer
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        (span,) = sink.spans
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_counter_fans_out(self, global_tracer):
+        tracer, sink = global_tracer
+        tracer.counter("queue", {"pending": 4.0}, t=1.25)
+        assert sink.counters == [("queue", 1.25, {"pending": 4.0})]
+
+    def test_set_tracer_returns_previous(self):
+        first = Tracer([])
+        previous = set_tracer(first)
+        try:
+            assert get_tracer() is first
+            assert set_tracer(None) is first
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(previous)
+
+    def test_tracer_from_env(self, tmp_path):
+        assert tracer_from_env({}) is None
+        assert tracer_from_env({"REPRO_TRACE": "0"}) is None
+        jsonl = tracer_from_env({"REPRO_TRACE": str(tmp_path / "t.jsonl")})
+        assert isinstance(jsonl.sinks[0], JsonlSink)
+        jsonl.close()
+        chrome = tracer_from_env({"REPRO_TRACE": str(tmp_path / "t.json")})
+        assert isinstance(chrome.sinks[0], ChromeTraceSink)
+        chrome.close()
+
+
+class TestSinks:
+    def test_jsonl_lines_parse(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer([JsonlSink(str(path), flush_every=1)])
+        tracer.record("stage", 0.0, 0.5, request=1, n=8)
+        tracer.counter("queue", {"pending": 2.0})
+        tracer.close()
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert lines[0]["type"] == "span" and lines[0]["name"] == "stage"
+        assert lines[0]["dur_ms"] == pytest.approx(500.0)
+        assert lines[1]["type"] == "counter"
+
+    def test_chrome_async_pairs_balance(self, tmp_path):
+        path = tmp_path / "trace.json"
+        tracer = Tracer([ChromeTraceSink(str(path))])
+        tracer.record("submit", 0.0, 0.1, cat="request", request=3)
+        tracer.record("flush", 0.0, 0.2, track="bucket n=8", size=4)
+        tracer.counter("queue", {"pending": 1.0})
+        tracer.close()
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases.count("b") == phases.count("e") == 1
+        assert phases.count("X") == 1
+        assert phases.count("C") == 1
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and "name" in e["args"]
+        }
+        assert "bucket n=8" in names  # track metadata present
+
+    def test_chrome_sink_bounds_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path), max_events=4)
+        tracer = Tracer([sink])
+        for i in range(10):
+            tracer.record("x", 0.0, 1.0, track="t")
+        tracer.close()
+        assert sink.dropped == 6
+        doc = json.loads(path.read_text())
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 4
+
+    def test_span_to_dict_omits_empty_fields(self, global_tracer):
+        tracer, sink = global_tracer
+        tracer.record("bare", 0.0, 1.0)
+        d = span_to_dict(sink.spans[0])
+        assert "track" not in d and "request" not in d and "attrs" not in d
+
+
+class TestPrometheus:
+    def _metrics(self):
+        m = ServeMetrics()
+        m.record_submit(3)
+        m.record_flush(size=4, threshold=8, reason="full", gflops=12.5,
+                       wait_times_s=[0.001, 0.002], service_s=0.0005)
+        m.record_completion()
+        return m
+
+    def test_render_round_trips_through_parser(self):
+        text = render_prometheus(self._metrics())
+        samples = parse_prometheus_text(text)
+        assert samples["repro_serve_submitted_total"] == [({}, 1.0)]
+        assert samples["repro_serve_flushes_full_total"] == [({}, 1.0)]
+        quantiles = dict(
+            (labels["quantile"], value)
+            for labels, value in samples["repro_serve_batch_size"]
+        )
+        assert quantiles["0.5"] == 4.0
+        assert samples["repro_serve_batch_size_count"] == [({}, 1.0)]
+        assert samples["repro_serve_unaccounted"] == [({}, 0.0)]
+
+    def test_stable_metric_names(self):
+        text = render_prometheus(self._metrics())
+        for name in (
+            "repro_serve_submitted_total",
+            "repro_serve_completed_total",
+            "repro_serve_flushes_total",
+            "repro_serve_coalesce_latency_ms_sum",
+            "repro_serve_queue_depth_count",
+            "repro_serve_flush_gflops_max",
+        ):
+            assert f"\n{name} " in text or text.startswith(f"{name} ")
+
+    def test_custom_prefix_validated(self):
+        render_prometheus(self._metrics(), prefix="shard_0:serve")
+        with pytest.raises(ValueError):
+            render_prometheus(self._metrics(), prefix="0bad prefix")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "9metric 1",                      # name starts with a digit
+            "metric{label=value} 1",          # unquoted label value
+            "metric{=\"v\"} 1",               # empty label name
+            "metric one",                     # non-numeric value
+            "# TYPE metric wat",              # unknown type
+            "# TYPE metric counter\n# TYPE metric counter\nmetric 1",  # dup TYPE
+        ],
+    )
+    def test_parser_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_parser_accepts_labels_and_inf(self):
+        samples = parse_prometheus_text(
+            'm{a="x",b="y"} +Inf\nm{a="z"} 2 1700000000\n'
+        )
+        assert samples["m"][0] == ({"a": "x", "b": "y"}, float("inf"))
+        assert samples["m"][1][0] == {"a": "z"}
+
+
+def _traced_replay(tmp_path, **policy_kwargs):
+    """Replay a small synthetic trace with both sinks installed."""
+    chrome = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    tracer = Tracer([ChromeTraceSink(str(chrome)), JsonlSink(str(jsonl))])
+    previous = set_tracer(tracer)
+    try:
+        trace = synthetic_trace(requests=24, ns=(6, 8), rate_hz=50000.0, seed=3)
+        policy = ServePolicy(
+            target_batch=8, max_delay_s=0.003, **policy_kwargs
+        )
+        summary = replay_trace(trace, policy=policy)
+    finally:
+        set_tracer(previous)
+        tracer.close()
+    return chrome, jsonl, summary
+
+
+class TestEndToEnd:
+    def test_request_chains_nest_in_both_formats(self, tmp_path):
+        chrome, jsonl, summary = _traced_replay(tmp_path)
+        assert summary.completed == 24
+        for path in (chrome, jsonl):
+            spans = load_trace(str(path))
+            checked = check_request_spans(spans)
+            assert checked == 24
+            names = {s["name"] for s in spans}
+            assert {"submit", "coalesce", "flush", "backend", "scatter",
+                    "request"} <= names
+
+    def test_snapshot_counters_recorded(self, tmp_path):
+        chrome, jsonl, _ = _traced_replay(
+            tmp_path, snapshot_interval_s=0.002
+        )
+        counters = [
+            json.loads(x)
+            for x in jsonl.read_text().splitlines()
+            if json.loads(x).get("type") == "counter"
+        ]
+        names = {c["name"] for c in counters}
+        assert "serve.queue_depth" in names
+        assert "serve.requests" in names
+        # Chrome export carries them as "C" (counter-track) events.
+        doc = json.loads(chrome.read_text())
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+    def test_summarize_trace_table(self, tmp_path):
+        _, jsonl, _ = _traced_replay(tmp_path)
+        table = summarize_trace(load_trace(str(jsonl)))
+        for token in ("stage", "coalesce", "backend", "p95 ms"):
+            assert token in table
+
+    def test_nesting_checker_catches_violations(self):
+        spans = [
+            {"name": "request", "cat": "request", "t0": 0.0, "t1": 1.0,
+             "request": 1},
+            {"name": "submit", "cat": "request", "t0": 0.0, "t1": 0.1,
+             "request": 1},
+        ]
+        with pytest.raises(ValueError, match="missing stages"):
+            check_request_spans(spans)
+        # A stage escaping its request span is a violation too.
+        full = spans + [
+            {"name": s, "cat": "request", "t0": 0.2, "t1": 0.9, "request": 1}
+            for s in ("coalesce", "flush", "backend", "scatter")
+        ]
+        full[-1] = {"name": "scatter", "cat": "request", "t0": 0.2, "t1": 5.0,
+                    "request": 1}
+        with pytest.raises(ValueError, match="escapes"):
+            check_request_spans(full)
+
+    def test_nesting_checker_needs_requests(self):
+        with pytest.raises(ValueError, match="no completed request"):
+            check_request_spans([{"name": "x", "cat": "serve",
+                                  "t0": 0.0, "t1": 1.0}])
+
+
+class TestEventsimAndSweepSpans:
+    def test_eventsim_emits_span(self, global_tracer):
+        from repro.core.config import KernelConfig
+        from repro.gpusim.eventsim import simulate_launch
+
+        tracer, sink = global_tracer
+        simulate_launch(KernelConfig(n=6, nb=2), batch=64)
+        (span,) = sink.by_name("eventsim")
+        assert span.cat == "gpusim"
+        assert span.attrs["batch"] == 64
+        assert span.attrs["gflops"] > 0
+
+    def test_sweep_emits_spans(self, global_tracer):
+        from repro.autotune.space import ParameterSpace
+        from repro.autotune.sweep import run_sweep
+
+        tracer, sink = global_tracer
+        run_sweep(ParameterSpace(ns=(6,)), batch=256, limit=3)
+        (sweep_span,) = sink.by_name("sweep")
+        evaluates = sink.by_name("evaluate")
+        assert len(evaluates) == 3
+        assert all(e.parent_id == sweep_span.span_id for e in evaluates)

@@ -63,6 +63,8 @@ class TestServePolicy:
             {"max_queue_depth": -1},
             {"request_timeout_s": 0.0},
             {"tick_s": -1.0},
+            {"snapshot_interval_s": 0.0},
+            {"snapshot_interval_s": -2.0},
         ],
     )
     def test_invalid_knobs_rejected(self, kwargs):
@@ -131,6 +133,115 @@ class TestHistogram:
         assert h.min == 0.0 and h.max == 0.0
 
 
+class TestHistogramMerge:
+    def test_merge_is_exact_for_moments(self):
+        a, b = Histogram(), Histogram()
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (10.0, 20.0):
+            b.observe(v)
+        out = a.merge(b)
+        assert out is a  # in place, chainable
+        assert a.count == 5
+        assert a.total == pytest.approx(36.0)
+        assert a.min == 1.0 and a.max == 20.0
+        assert a.mean == pytest.approx(7.2)
+
+    def test_merge_empty_sides(self):
+        a, b = Histogram(), Histogram()
+        a.observe(5.0)
+        a.merge(b)  # empty right side: nothing changes
+        assert a.count == 1 and a.min == 5.0 and a.max == 5.0
+        b.merge(a)  # empty left side: adopts the right's extrema
+        assert b.count == 1 and b.min == 5.0 and b.max == 5.0
+
+    def test_merge_rejects_non_histograms(self):
+        with pytest.raises(TypeError):
+            Histogram().merge([1.0, 2.0])
+
+    def test_merge_with_mismatched_strides(self):
+        # Left side decimated hard (stride > 1), right side fresh.
+        a = Histogram(max_samples=32)
+        for v in range(1000):
+            a.observe(float(v))
+        assert a._stride > 1
+        b = Histogram(max_samples=32)
+        for v in range(2000, 2010):
+            b.observe(float(v))
+        assert b._stride == 1
+        a.merge(b)
+        assert a.count == 1010
+        assert a.total == pytest.approx(sum(range(1000)) + sum(range(2000, 2010)))
+        assert a.min == 0.0 and a.max == 2009.0
+        # Retained sample stays bounded and spans both sources.
+        assert len(a._samples) < a.max_samples
+        assert a.percentile(100) >= 1000.0
+
+    def test_merge_respects_left_bound_and_keeps_observing(self):
+        a = Histogram(max_samples=16)
+        b = Histogram(max_samples=4096)
+        for v in range(500):
+            b.observe(float(v))
+        a.merge(b)
+        assert len(a._samples) < a.max_samples
+        # Post-merge observation still decimates against a's own bound.
+        for v in range(5000):
+            a.observe(float(v))
+        assert len(a._samples) < a.max_samples
+        assert a.count == 5500
+
+    def test_multi_shard_aggregation(self):
+        # The use case: fold per-shard histograms into a fleet view.
+        shards = [Histogram() for _ in range(4)]
+        for i, shard in enumerate(shards):
+            for v in range(100):
+                shard.observe(float(v + i * 100))
+        total = Histogram()
+        for shard in shards:
+            total.merge(shard)
+        assert total.count == 400
+        assert total.min == 0.0 and total.max == 399.0
+        assert total.percentile(50) == pytest.approx(200.0, rel=0.15)
+
+
+class TestHistogramDecimationEdges:
+    def test_percentiles_survive_multiple_halvings(self):
+        h = Histogram(max_samples=32)
+        for v in range(100_000):
+            h.observe(float(v))
+        assert h._stride >= 8  # several halvings happened
+        assert h.count == 100_000
+        assert h.percentile(50) == pytest.approx(50_000, rel=0.25)
+        assert h.percentile(0) <= h.percentile(50) <= h.percentile(100)
+
+    def test_minimum_max_samples(self):
+        h = Histogram(max_samples=2)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert len(h._samples) <= 2
+        assert h.min == 0.0 and h.max == 999.0
+        assert 0.0 <= h.percentile(50) <= 999.0
+        with pytest.raises(ValueError):
+            Histogram(max_samples=1)
+
+    @pytest.mark.parametrize("order", ["ascending", "descending", "sawtooth"])
+    def test_percentiles_monotone_under_adversarial_orders(self, order):
+        values = [float(v) for v in range(20_000)]
+        if order == "descending":
+            values.reverse()
+        elif order == "sawtooth":
+            # Alternate extremes so naive thinning would skew badly.
+            lo, hi = values[:10_000], values[10_000:][::-1]
+            values = [v for pair in zip(lo, hi) for v in pair]
+        h = Histogram(max_samples=64)
+        for v in values:
+            h.observe(v)
+        p50, p95 = h.percentile(50), h.percentile(95)
+        assert p50 <= p95 <= h.max
+        assert h.min <= p50
+
+
 class TestServeMetrics:
     def test_accounting_balances(self):
         m = ServeMetrics()
@@ -166,6 +277,38 @@ class TestServeMetrics:
     def test_unknown_flush_reason_rejected(self):
         with pytest.raises(ValueError):
             ServeMetrics().record_flush(1, 1, "meteor", 0.0)
+
+    def test_unknown_flush_reason_leaves_counters_consistent(self):
+        """Regression: validation must precede every mutation.
+
+        record_flush once bumped ``flushes`` (and the shadow counters)
+        before checking ``reason``, so a bad reason left the metrics in a
+        state where ``flushes != full + deadline + drain``.
+        """
+        m = ServeMetrics()
+        m.record_flush(size=2, threshold=4, reason="full", gflops=1.0)
+        before_counters = dict(m.counters)
+        before_hist_counts = {
+            name: hist.count for name, hist in m.histograms.items()
+        }
+        with pytest.raises(ValueError):
+            m.record_flush(
+                size=8,
+                threshold=8,
+                reason="meteor",
+                gflops=2.0,
+                wait_times_s=[0.001],
+                service_s=0.002,
+                shadow_checked=8,
+                shadow_mismatch=1,
+            )
+        assert m.counters == before_counters
+        assert {n: h.count for n, h in m.histograms.items()} == before_hist_counts
+        reasons = sum(
+            m.counters[k]
+            for k in ("flushes_full", "flushes_deadline", "flushes_drain")
+        )
+        assert m.counters["flushes"] == reasons
 
     def test_flush_service_time_and_shadow_accounting(self):
         m = ServeMetrics()
