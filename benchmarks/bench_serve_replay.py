@@ -1,0 +1,98 @@
+"""Replay a recorded workload trace across a policy × backend grid.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve_replay.py \
+          --trace benchmarks/traces/bursty_mixed.jsonl \
+          --backends inline,eventsim --out report.json
+
+Each grid cell replays the trace through a fresh broker with its own
+:class:`~repro.serve.policy.ServePolicy`, collecting the broker's
+``ServeMetrics`` plus per-stage ``repro.obs`` latency summaries into a
+``repro.bench_serve_replay/v1`` report with an environment fingerprint.
+Pass ``--baseline`` to additionally gate the fresh report against a
+committed one (same check as ``python -m repro replay-check``); the
+process exits nonzero on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.serve.replay import (
+    GateTolerances,
+    compare_reports,
+    load_report,
+    policy_grid,
+    render_comparison,
+    render_report,
+    run_replay_grid,
+    save_report,
+)
+from repro.serve.trace import load_trace_file
+
+
+def _csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", required=True, help="recorded trace (JSONL)")
+    parser.add_argument(
+        "--backends", default="inline", help="comma-separated backend names"
+    )
+    parser.add_argument(
+        "--target-batches", default="64", help="comma-separated target_batch values"
+    )
+    parser.add_argument(
+        "--max-delays-ms", default="2", help="comma-separated max_delay_s values (ms)"
+    )
+    parser.add_argument("--out", default="", help="write the report JSON here")
+    parser.add_argument(
+        "--baseline", default="", help="gate against this committed report"
+    )
+    parser.add_argument(
+        "--throughput-tolerance", type=float, default=GateTolerances.throughput_frac
+    )
+    parser.add_argument(
+        "--p95-tolerance", type=float, default=GateTolerances.p95_frac
+    )
+    args = parser.parse_args(argv)
+
+    grid = policy_grid(
+        backends=_csv(args.backends),
+        target_batches=[int(v) for v in _csv(args.target_batches)],
+        max_delays_ms=[float(v) for v in _csv(args.max_delays_ms)],
+    )
+    trace = load_trace_file(args.trace)
+    report = run_replay_grid(
+        trace,
+        grid,
+        trace_path=args.trace,
+        progress=lambda label: print(f"replaying {label} ...", flush=True),
+    )
+    print()
+    print(render_report(report))
+    if args.out:
+        save_report(args.out, report)
+        print(f"\nwrote {pathlib.Path(args.out)}")
+    else:
+        print()
+        print(json.dumps(report["environment"], indent=2))
+
+    if args.baseline:
+        tol = GateTolerances(
+            throughput_frac=args.throughput_tolerance, p95_frac=args.p95_tolerance
+        )
+        baseline = load_report(args.baseline)
+        findings = compare_reports(baseline, report, tol)
+        print()
+        print(render_comparison(findings, baseline, report))
+        return 1 if findings else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Regenerate the canonical recorded workload traces.
+
+Run:  PYTHONPATH=src python benchmarks/traces/make_traces.py [--out-dir DIR]
+
+The three committed traces under ``benchmarks/traces/`` are built here
+from first principles, fully deterministically — regeneration must
+reproduce the committed files byte for byte (a test enforces it), which
+is what makes their provenance auditable.  See ``README.md`` in this
+directory for what each trace models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.apps.als import ALSRecommender, generate_ratings
+from repro.serve.trace import RecordedEvent, derive_seed, save_trace
+
+
+def uniform_small_trace() -> list[RecordedEvent]:
+    """Uniform small-n traffic: one size, evenly spaced arrivals.
+
+    120 requests of n=8 at a steady 10 kHz (100 µs gaps); every fourth
+    request is a single-RHS solve.  The simplest possible workload — a
+    single bucket filling at a constant rate — and the floor any policy
+    must handle well.
+    """
+    events = []
+    for i in range(120):
+        solve = i % 4 == 3
+        events.append(
+            RecordedEvent(
+                at=round(i * 1e-4, 6),
+                op="solve" if solve else "factor",
+                n=8,
+                nrhs=1 if solve else 0,
+                seed=derive_seed(11, i),
+            )
+        )
+    return events
+
+
+def bursty_mixed_trace() -> list[RecordedEvent]:
+    """Bursty mixed-size traffic: quiet gaps punctuated by arrival storms.
+
+    Six bursts of 30 requests each, 20 ms apart; inside a burst requests
+    land 50 µs apart.  Sizes are drawn from {8, 16, 32} and 40% of
+    requests are solves (mostly single-RHS, an eighth of them 4-RHS);
+    two requests are deliberately non-SPD so the failure path stays
+    exercised.  This is the canonical stress trace the CI replay job
+    gates on: deadline flushes, partially filled buckets, and mixed
+    bucket sizes all occur.
+    """
+    rng = np.random.default_rng(23)
+    events = []
+    i = 0
+    for burst in range(6):
+        start = burst * 0.020
+        for k in range(30):
+            n = int(rng.choice((8, 16, 32)))
+            solve = bool(rng.random() < 0.4)
+            nrhs = 0
+            if solve:
+                nrhs = 4 if rng.random() < 0.125 else 1
+            events.append(
+                RecordedEvent(
+                    at=round(start + k * 5e-5, 6),
+                    op="solve" if solve else "factor",
+                    n=n,
+                    nrhs=nrhs,
+                    seed=derive_seed(23, i),
+                    nonspd=i in (47, 111),
+                )
+            )
+            i += 1
+    return events
+
+
+def als_solves_trace() -> list[RecordedEvent]:
+    """ALS-derived solve stream: the paper's motivating workload.
+
+    A rank-8 ALS run over a synthetic 48-user × 24-item ratings matrix
+    (:func:`repro.apps.als.generate_ratings`), 2 iterations — each
+    half-step is a burst of per-user (then per-item) rank-8 solves at
+    50 kHz with a 5 ms normal-equation assembly gap between half-steps,
+    exactly what :meth:`ALSRecommender.solve_trace` exports.  144 solve
+    arrivals, all n=8, nrhs=1.
+    """
+    data = generate_ratings(
+        n_users=48, n_items=24, rank=8, density=0.2, noise=0.1, seed=31
+    )
+    model = ALSRecommender(rank=8, regularization=0.05, iterations=2, seed=31)
+    return model.solve_trace(data, burst_rate_hz=50000.0, assembly_gap_s=0.005,
+                             seed=31)
+
+
+TRACES = {
+    "uniform_small": (
+        uniform_small_trace,
+        {"name": "uniform_small", "source": "make_traces.uniform_small_trace"},
+    ),
+    "bursty_mixed": (
+        bursty_mixed_trace,
+        {"name": "bursty_mixed", "source": "make_traces.bursty_mixed_trace"},
+    ),
+    "als_solves": (
+        als_solves_trace,
+        {
+            "name": "als_solves",
+            "source": "repro.apps.als.ALSRecommender.solve_trace",
+            "rank": 8,
+            "n_users": 48,
+            "n_items": 24,
+            "iterations": 2,
+        },
+    ),
+}
+
+
+def write_traces(out_dir) -> list[pathlib.Path]:
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, (build, meta) in TRACES.items():
+        path = out_dir / f"{name}.jsonl"
+        count = save_trace(path, build(), meta=meta)
+        print(f"wrote {count:4d} events to {path}")
+        written.append(path)
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        default=str(pathlib.Path(__file__).parent),
+        help="directory to write the traces into (default: alongside this script)",
+    )
+    args = parser.parse_args(argv)
+    write_traces(args.out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,16 @@ ALS half-step solves one tiny SPD system per user (or item); this example
 trains a rank-8 factorisation of a synthetic ratings matrix and reports
 the batch-solve workload it generates per iteration.
 
-Run:  python examples/als_recommender.py
+Run:  python examples/als_recommender.py [--record-trace PATH]
+
+``--record-trace`` exports the solve stream the training run generates
+as a replayable workload trace (see ``docs/replay.md``) — the
+ALS-derived canonical trace under ``benchmarks/traces/`` is built this
+way.
 """
+
+import argparse
+import sys
 
 import numpy as np
 
@@ -15,7 +23,15 @@ from repro import KernelConfig, estimate_performance
 from repro.apps.als import ALSRecommender, generate_ratings
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record-trace",
+        default="",
+        help="write the training run's solve stream as a workload trace",
+    )
+    args = parser.parse_args([] if argv is None else argv)
+
     rank = 8
     data = generate_ratings(
         n_users=2000, n_items=800, rank=rank, density=0.03, noise=0.1, seed=42
@@ -54,6 +70,23 @@ def main() -> None:
         f"modelled P100 factorization time: {per_iter_us:.1f} us"
     )
 
+    if args.record_trace:
+        from repro.serve.trace import save_trace
+
+        events = model.solve_trace(data, seed=model.seed)
+        save_trace(
+            args.record_trace,
+            events,
+            meta={
+                "source": "als_recommender",
+                "rank": rank,
+                "n_users": data.n_users,
+                "n_items": data.n_items,
+                "iterations": model.iterations,
+            },
+        )
+        print(f"\nwrote {len(events)} solve arrivals to {args.record_trace}")
+
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

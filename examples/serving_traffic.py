@@ -10,16 +10,25 @@ build fuller buckets (higher modelled GFLOP/s per flush, fewer flushes)
 at the price of higher p95 coalesce latency.
 
 Run:  python examples/serving_traffic.py [--quick] [--backend NAME]
+      [--record-trace PATH]
 
 ``--quick`` shrinks the trace and the deadline grid (the CI smoke job
 uses it); ``--backend`` replays through a specific flush executor
-backend (inline, process, eventsim, shadow).
+backend (inline, process, eventsim, shadow); ``--record-trace`` records
+the first replay's arrivals as a replayable workload trace
+(``docs/replay.md``).
 """
 
 import argparse
 import sys
 
-from repro.serve import BACKEND_NAMES, ServePolicy, replay_trace, synthetic_trace
+from repro.serve import (
+    BACKEND_NAMES,
+    ServePolicy,
+    TraceRecorder,
+    replay_trace,
+    synthetic_trace,
+)
 from repro.utils.tables import format_table
 
 #: Latency budgets to sweep, in milliseconds.
@@ -39,6 +48,11 @@ def main(argv=None) -> None:
         choices=BACKEND_NAMES,
         default=None,
         help="flush executor backend (default: $REPRO_SERVE_BACKEND or inline)",
+    )
+    parser.add_argument(
+        "--record-trace",
+        default="",
+        help="record the first replay's arrivals as a workload trace",
     )
     # main() is also invoked directly (tests, notebooks) with no argv;
     # only the __main__ guard forwards the real command line.
@@ -60,7 +74,12 @@ def main(argv=None) -> None:
     )
 
     rows = []
-    for deadline_ms in deadlines:
+    recorder = None
+    if args.record_trace:
+        recorder = TraceRecorder(
+            seed=7, meta={"source": "serving_traffic", "requests": requests}
+        )
+    for i, deadline_ms in enumerate(deadlines):
         policy = ServePolicy(
             # A large target keeps the deadline in charge of every flush,
             # isolating the knob this example studies.
@@ -69,7 +88,11 @@ def main(argv=None) -> None:
             request_timeout_s=None,
             backend=args.backend,
         )
-        summary = replay_trace(trace, policy=policy)
+        # Only the first deadline's replay is recorded — one workload,
+        # not the concatenation of every grid point.
+        summary = replay_trace(
+            trace, policy=policy, recorder=recorder if i == 0 else None
+        )
         m = summary.metrics
         fill = m.histograms["batch_size"]
         latency = m.histograms["coalesce_latency_ms"]
@@ -107,6 +130,9 @@ def main(argv=None) -> None:
         "grows with the budget: the paper's batch-size curve, re-expressed\n"
         "as a latency policy."
     )
+    if recorder is not None:
+        recorder.save(args.record_trace)
+        print(f"\nwrote {len(recorder)} recorded arrivals to {args.record_trace}")
 
 
 if __name__ == "__main__":

@@ -196,3 +196,51 @@ class ALSRecommender:
         """Root-mean-square error on the observed ratings."""
         pred = self.predict(data.users, data.items)
         return float(np.sqrt(np.mean((pred - data.values) ** 2)))
+
+    # ------------------------------------------------------------------
+    # Serving-layer workload export
+    # ------------------------------------------------------------------
+
+    def solve_trace(
+        self,
+        data: RatingsData,
+        burst_rate_hz: float = 50000.0,
+        assembly_gap_s: float = 0.005,
+        seed: int = 0,
+    ) -> list:
+        """The solve stream :meth:`fit` generates, as recorded trace events.
+
+        Each ALS half-step solves one rank-``f`` SPD system per user (or
+        item); pushed through the serving layer that is a burst of
+        ``n_users`` (then ``n_items``) solve arrivals at ``burst_rate_hz``,
+        separated by the ``assembly_gap_s`` think time of assembling the
+        next half-step's normal equations.  Only the arrival *structure*
+        is exported — the trace format never stores dense payloads, so
+        replays regenerate synthetic SPD systems of the same rank from
+        per-event seeds (:mod:`repro.serve.trace`).
+        """
+        from repro.serve.trace import RecordedEvent, derive_seed
+
+        if burst_rate_hz <= 0:
+            raise ValueError(f"burst_rate_hz must be positive, got {burst_rate_hz}")
+        if assembly_gap_s < 0:
+            raise ValueError(
+                f"assembly_gap_s must be >= 0, got {assembly_gap_s}"
+            )
+        events: list[RecordedEvent] = []
+        t = 0.0
+        for _ in range(self.iterations):
+            for rows in (data.n_users, data.n_items):
+                for _ in range(rows):
+                    events.append(
+                        RecordedEvent(
+                            at=round(t, 6),
+                            op="solve",
+                            n=self.rank,
+                            nrhs=1,
+                            seed=derive_seed(seed, len(events)),
+                        )
+                    )
+                    t += 1.0 / burst_rate_hz
+                t += assembly_gap_s
+        return events

@@ -10,8 +10,12 @@ The subcommands cover the library's workflows from the shell:
 * ``serve-demo`` — replay a synthetic arrival trace through the adaptive
   batching service and print its metrics report (``--trace-out`` /
   ``--trace-jsonl`` / ``--prom-out`` / ``--metrics-json`` export the run's
-  telemetry; see ``docs/observability.md``).
+  telemetry, ``--record-trace`` records the arrivals as a replayable
+  workload trace; see ``docs/observability.md`` and ``docs/replay.md``).
 * ``obs-summarize`` — per-stage latency breakdown of a recorded trace.
+* ``replay-check`` — replay a recorded workload trace across a policy ×
+  backend grid (or load a prior report) and gate throughput/p95/shed
+  against a committed baseline; exits nonzero on regression.
 """
 
 from __future__ import annotations
@@ -223,13 +227,16 @@ def _cmd_serve_demo(args) -> int:
             solve_fraction=args.solve_fraction,
             nonspd_fraction=args.nonspd_fraction,
             seed=args.seed,
+            record_trace=args.record_trace or None,
         )
     finally:
         if tracer is not None:
             set_tracer(previous)
             tracer.close()
     print(report)
-    written = [p for p in (args.trace_out, args.trace_jsonl) if p]
+    written = [
+        p for p in (args.trace_out, args.trace_jsonl, args.record_trace) if p
+    ]
     if args.prom_out:
         with open(args.prom_out, "w", encoding="utf-8") as fh:
             fh.write(render_prometheus(summary.metrics))
@@ -242,6 +249,58 @@ def _cmd_serve_demo(args) -> int:
     for path in written:
         print(f"wrote {path}")
     return 0 if summary.metrics.unaccounted == 0 else 1
+
+
+def _cmd_replay_check(args) -> int:
+    from repro.serve.replay import (
+        GateTolerances,
+        compare_reports,
+        load_report,
+        policy_grid,
+        render_comparison,
+        render_report,
+        run_replay_grid,
+        save_report,
+    )
+    from repro.serve.trace import load_trace_file
+
+    if bool(args.report) == bool(args.trace):
+        print("replay-check: give exactly one of --report or --trace",
+              file=sys.stderr)
+        return 2
+
+    if args.report:
+        current = load_report(args.report)
+    else:
+        trace = load_trace_file(args.trace)
+        cells = policy_grid(
+            backends=tuple(args.backends.split(",")),
+            target_batches=tuple(int(x) for x in args.target_batches.split(",")),
+            max_delays_ms=tuple(float(x) for x in args.max_delays_ms.split(",")),
+        )
+        current = run_replay_grid(
+            trace,
+            cells,
+            trace_path=args.trace,
+            progress=lambda label: print(f"replaying {label} ..."),
+        )
+        print()
+        print(render_report(current))
+        if args.out:
+            save_report(args.out, current)
+            print(f"wrote {args.out}")
+
+    baseline = load_report(args.baseline)
+    tol = GateTolerances(
+        throughput_frac=args.throughput_tolerance,
+        p95_frac=args.p95_tolerance,
+        shed_abs=args.shed_tolerance,
+        failure_abs=args.failure_tolerance,
+    )
+    findings = compare_reports(baseline, current, tol)
+    print()
+    print(render_comparison(findings, baseline, current))
+    return 1 if findings else 0
 
 
 def _cmd_obs_summarize(args) -> int:
@@ -359,7 +418,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-interval", type=float, default=0.0,
         help="telemetry snapshot period in ms (0 disables; needs tracing on)",
     )
+    p.add_argument(
+        "--record-trace", default="",
+        help="record the demo's arrivals as a replayable workload trace "
+             "(JSONL, see docs/replay.md)",
+    )
     p.set_defaults(func=_cmd_serve_demo)
+
+    p = sub.add_parser(
+        "replay-check",
+        help="replay a recorded trace across a policy grid and gate "
+             "throughput/p95/shed against a committed baseline",
+    )
+    p.add_argument(
+        "--baseline", required=True,
+        help="committed baseline report JSON to gate against",
+    )
+    p.add_argument(
+        "--trace", default="",
+        help="workload trace (JSONL) to replay across the grid",
+    )
+    p.add_argument(
+        "--report", default="",
+        help="compare an existing replay report instead of running one",
+    )
+    p.add_argument(
+        "--backends", default="inline",
+        help="comma-separated executor backends to grid over",
+    )
+    p.add_argument(
+        "--target-batches", default="64",
+        help="comma-separated target_batch values to grid over",
+    )
+    p.add_argument(
+        "--max-delays-ms", default="2",
+        help="comma-separated max_delay deadlines (ms) to grid over",
+    )
+    p.add_argument(
+        "--out", default="", help="also write the fresh replay report here"
+    )
+    p.add_argument(
+        "--throughput-tolerance", type=float, default=0.15,
+        help="fractional throughput loss tolerated vs baseline",
+    )
+    p.add_argument(
+        "--p95-tolerance", type=float, default=0.5,
+        help="fractional p95 coalesce-latency growth tolerated",
+    )
+    p.add_argument(
+        "--shed-tolerance", type=float, default=0.02,
+        help="absolute shed-rate growth tolerated",
+    )
+    p.add_argument(
+        "--failure-tolerance", type=float, default=0.02,
+        help="absolute failure-rate growth tolerated",
+    )
+    p.set_defaults(func=_cmd_replay_check)
 
     p = sub.add_parser(
         "obs-summarize",

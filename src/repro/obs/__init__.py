@@ -25,6 +25,7 @@ from repro.obs.summarize import (
     REQUEST_STAGES,
     check_request_spans,
     load_trace,
+    stage_summary,
     summarize_trace,
 )
 from repro.obs.tracer import (
@@ -60,6 +61,7 @@ __all__ = [
     "render_prometheus",
     "set_tracer",
     "span_to_dict",
+    "stage_summary",
     "summarize_trace",
     "tracer_from_env",
 ]

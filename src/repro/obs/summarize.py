@@ -116,6 +116,39 @@ def load_trace(path: str) -> list[dict]:
     return _spans_from_jsonl(text.splitlines())
 
 
+def _stage_histograms(spans: list[dict]):
+    """Per-(category, name) duration histograms, in milliseconds."""
+    from repro.serve.metrics import Histogram
+
+    stages: dict[tuple[str, str], "Histogram"] = {}
+    for span in spans:
+        key = (span.get("cat", ""), span["name"])
+        hist = stages.get(key)
+        if hist is None:
+            hist = stages[key] = Histogram()
+        hist.observe((span["t1"] - span["t0"]) * 1e3)
+    return stages
+
+
+def stage_summary(spans: list[dict]) -> dict[str, dict]:
+    """Structured per-stage latency summary for one loaded trace.
+
+    Returns ``{"cat/name": {count, mean_ms, p50_ms, p95_ms, max_ms}}`` —
+    the machine-readable sibling of :func:`summarize_trace`, consumed by
+    the trace-replay benchmark report (:mod:`repro.serve.replay`).
+    """
+    out: dict[str, dict] = {}
+    for (cat, name), h in sorted(_stage_histograms(spans).items()):
+        out[f"{cat}/{name}"] = {
+            "count": h.count,
+            "mean_ms": h.mean,
+            "p50_ms": h.percentile(50),
+            "p95_ms": h.percentile(95),
+            "max_ms": h.max,
+        }
+    return out
+
+
 def summarize_trace(spans: list[dict]) -> str:
     """The per-stage latency breakdown table for one loaded trace.
 
@@ -124,16 +157,9 @@ def summarize_trace(spans: list[dict]) -> str:
     subsystem-track stages (bucket flushes, backend runs, sweep
     evaluations, ...) grouped by category.
     """
-    from repro.serve.metrics import Histogram
     from repro.utils.tables import format_table
 
-    stages: dict[tuple[str, str], Histogram] = {}
-    for span in spans:
-        key = (span.get("cat", ""), span["name"])
-        hist = stages.get(key)
-        if hist is None:
-            hist = stages[key] = Histogram()
-        hist.observe((span["t1"] - span["t0"]) * 1e3)
+    stages = _stage_histograms(spans)
 
     chain = REQUEST_STAGES + ("request",)
 

@@ -43,6 +43,15 @@ from repro.serve.client import (
 )
 from repro.serve.executor import BatchExecutor, FlushReport
 from repro.serve.metrics import Histogram, ServeMetrics
+from repro.serve.replay import (
+    GateTolerances,
+    GridCell,
+    compare_reports,
+    load_report,
+    policy_grid,
+    run_replay_grid,
+    save_report,
+)
 from repro.serve.policy import (
     NotPositiveDefiniteError,
     RequestTimeout,
@@ -50,6 +59,17 @@ from repro.serve.policy import (
     ServePolicy,
     ServiceClosed,
     ServiceOverloaded,
+)
+from repro.serve.trace import (
+    RecordedEvent,
+    RecordedTrace,
+    TraceRecorder,
+    derive_seed,
+    event_inputs,
+    load_trace_file,
+    normalize_events,
+    save_trace,
+    trace_sha256,
 )
 
 __all__ = [
@@ -62,11 +82,27 @@ __all__ = [
     "EventSimBackend",
     "ExecutorBackend",
     "FlushReport",
+    "GateTolerances",
+    "GridCell",
     "InlineBackend",
     "ProcessPoolBackend",
+    "RecordedEvent",
+    "RecordedTrace",
     "ShadowLapackBackend",
+    "TraceRecorder",
     "backend_from_policy",
+    "compare_reports",
+    "derive_seed",
+    "event_inputs",
+    "load_report",
+    "load_trace_file",
     "make_backend",
+    "normalize_events",
+    "policy_grid",
+    "run_replay_grid",
+    "save_report",
+    "save_trace",
+    "trace_sha256",
     "Histogram",
     "NotPositiveDefiniteError",
     "PendingRequest",

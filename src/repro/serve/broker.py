@@ -60,9 +60,14 @@ class SolveBroker:
         executor: BatchExecutor | None = None,
         metrics: ServeMetrics | None = None,
         tracer=None,
+        recorder=None,
     ) -> None:
         self.policy = policy or ServePolicy()
         self._tracer = tracer
+        #: Optional :class:`~repro.serve.trace.TraceRecorder`; when set,
+        #: every validated arrival — including ones the queue cap sheds —
+        #: is appended to it, so any run can be replayed later.
+        self.recorder = recorder
         # A broker that builds its own executor also owns its backend (and
         # closes it — worker pools outlive nothing); a caller-supplied
         # executor stays the caller's to manage.
@@ -161,6 +166,11 @@ class SolveBroker:
         a, b = self._validate(kind, a, b)
         if self._closed:
             raise ServiceClosed("broker is closed")
+        if self.recorder is not None:
+            # A trace records *offered* load: shed requests are arrivals
+            # too, so the hook sits ahead of the queue-cap check.
+            nrhs = 0 if b is None else (1 if b.ndim == 1 else b.shape[1])
+            self.recorder.record(kind, a.shape[0], nrhs=nrhs)
         await self.start()
         if self.batcher.pending >= self.policy.max_queue_depth:
             self.metrics.record_submit(self.batcher.pending)

@@ -10,7 +10,12 @@ The module also carries the synthetic-traffic machinery the CLI demo and
 ``examples/serving_traffic.py`` share: build an arrival trace
 (:func:`synthetic_trace`), replay it through a broker at real-time speed
 (:func:`replay_trace`), and render the resulting metrics
-(:func:`run_demo`).
+(:func:`run_demo`).  Replay is trace-shape agnostic: it takes synthetic
+:class:`TraceEvent` lists, recorded
+:class:`~repro.serve.trace.RecordedEvent` lists, or a whole loaded
+:class:`~repro.serve.trace.RecordedTrace`, and can itself record the
+arrivals it drives (``run_demo(record_trace=...)``, ``serve-demo
+--record-trace``) so any demo run becomes a replayable workload.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.serve.broker import SolveBroker
 from repro.serve.executor import BatchExecutor
 from repro.serve.metrics import ServeMetrics
 from repro.serve.policy import ServePolicy, ServiceClosed
-from repro.utils.spd import make_spd
+from repro.serve.trace import TraceRecorder, event_inputs, normalize_events
 
 
 class ServeClient:
@@ -39,6 +44,7 @@ class ServeClient:
         policy: ServePolicy | None = None,
         dispatcher: TunedDispatcher | None = None,
         executor: BatchExecutor | None = None,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         self._closed = False
         self._loop = asyncio.new_event_loop()
@@ -50,7 +56,8 @@ class ServeClient:
         self._thread.start()
         started.wait()
         self.broker = SolveBroker(
-            policy=policy, dispatcher=dispatcher, executor=executor
+            policy=policy, dispatcher=dispatcher, executor=executor,
+            recorder=recorder,
         )
         self._call(self.broker.start()).result()
 
@@ -150,20 +157,14 @@ def synthetic_trace(
     ]
 
 
-def _event_inputs(event: TraceEvent) -> tuple[np.ndarray, np.ndarray | None]:
-    rng = np.random.default_rng(event.seed)
-    a = make_spd(event.n, rng)
-    if event.nonspd:
-        a[event.n // 2, event.n // 2] = -abs(a[event.n // 2, event.n // 2]) - 1.0
-    b = None
-    if event.kind == "solve":
-        b = rng.standard_normal(event.n).astype(np.float32)
-    return a, b
-
-
 @dataclass
 class ReplaySummary:
-    """Outcome of one trace replay."""
+    """Outcome of one trace replay.
+
+    ``outcomes`` aligns with the trace's event order: each entry is the
+    request's result array or the exception its future resolved to —
+    the raw material of the determinism checks.
+    """
 
     requests: int
     completed: int
@@ -172,6 +173,7 @@ class ReplaySummary:
     elapsed_s: float
     metrics: ServeMetrics
     backend: str = "inline"
+    outcomes: list = None  # type: ignore[assignment]
 
     @property
     def throughput_rps(self) -> float:
@@ -179,39 +181,48 @@ class ReplaySummary:
 
 
 def replay_trace(
-    trace: list[TraceEvent],
+    trace,
     policy: ServePolicy | None = None,
     dispatcher: TunedDispatcher | None = None,
     executor: BatchExecutor | None = None,
     warmup: bool = True,
+    recorder: TraceRecorder | None = None,
 ) -> ReplaySummary:
-    """Replay a synthetic trace through a fresh broker at real-time speed.
+    """Replay an arrival trace through a fresh broker at real-time speed.
 
-    With ``warmup`` (the default) every matrix size in the trace has its
-    kernel compiled before the clock starts, so the latency histograms
-    measure the batching policy rather than cold-start codegen.
+    ``trace`` may be a synthetic :class:`TraceEvent` list, a recorded
+    :class:`~repro.serve.trace.RecordedEvent` list, or a loaded
+    :class:`~repro.serve.trace.RecordedTrace`.  With ``warmup`` (the
+    default) every matrix size in the trace has its kernel compiled
+    before the clock starts, so the latency histograms measure the
+    batching policy rather than cold-start codegen.  A ``recorder`` is
+    hooked into the broker and sees every replayed arrival as it lands.
     """
+    events = normalize_events(trace)
 
     # Payloads are generated up front: a real client holds its matrix
     # before it calls, and generating 400 SPD matrices inside the timed
     # replay would throttle the arrival process it is trying to model.
-    inputs = [_event_inputs(event) for event in trace]
+    inputs = [event_inputs(event) for event in events]
 
     async def _replay() -> ReplaySummary:
         async with SolveBroker(
-            policy=policy, dispatcher=dispatcher, executor=executor
+            policy=policy,
+            dispatcher=dispatcher,
+            executor=executor,
+            recorder=recorder,
         ) as broker:
             if warmup:
-                broker.executor.warmup(e.n for e in trace)
+                broker.executor.warmup(e.n for e in events)
             loop = asyncio.get_running_loop()
             start = loop.time()
 
-            async def _one(event: TraceEvent, a, b):
+            async def _one(event, a, b):
                 await asyncio.sleep(max(0.0, event.at - (loop.time() - start)))
-                return await broker.submit(event.kind, a, b)
+                return await broker.submit(event.op, a, b)
 
             results = await asyncio.gather(
-                *(_one(e, a, b) for e, (a, b) in zip(trace, inputs)),
+                *(_one(e, a, b) for e, (a, b) in zip(events, inputs)),
                 return_exceptions=True,
             )
             elapsed = loop.time() - start
@@ -223,19 +234,20 @@ def replay_trace(
                     loop.time(),
                     cat="demo",
                     track="replay",
-                    requests=len(trace),
+                    requests=len(events),
                 )
             completed = sum(1 for r in results if isinstance(r, np.ndarray))
             metrics = broker.metrics
             backend_name = broker.executor.backend.name
         return ReplaySummary(
-            requests=len(trace),
+            requests=len(events),
             completed=completed,
             failed=metrics.counters["failed"],
             shed=metrics.counters["shed"],
             elapsed_s=elapsed,
             metrics=metrics,
             backend=backend_name,
+            outcomes=list(results),
         )
 
     return asyncio.run(_replay())
@@ -251,8 +263,14 @@ def run_demo(
     nonspd_fraction: float = 0.01,
     seed: int = 0,
     backend: str | None = None,
+    record_trace: str | None = None,
 ) -> tuple[str, ReplaySummary]:
-    """Replay one synthetic trace and render the full metrics report."""
+    """Replay one synthetic trace and render the full metrics report.
+
+    ``record_trace`` writes the arrivals the broker actually saw to a
+    :mod:`repro.serve.trace` JSONL file, making the demo run itself a
+    replayable workload.
+    """
     policy = policy or ServePolicy(target_batch=64, max_delay_s=0.004)
     if backend is not None:
         policy = replace(policy, backend=backend)
@@ -264,7 +282,25 @@ def run_demo(
         nonspd_fraction=nonspd_fraction,
         seed=seed,
     )
-    summary = replay_trace(trace, policy=policy, dispatcher=dispatcher)
+    recorder = None
+    if record_trace:
+        recorder = TraceRecorder(
+            seed=seed,
+            meta={
+                "source": "serve-demo",
+                "requests": requests,
+                "ns": list(ns),
+                "rate_hz": rate_hz,
+                "solve_fraction": solve_fraction,
+                "nonspd_fraction": nonspd_fraction,
+                "seed": seed,
+            },
+        )
+    summary = replay_trace(
+        trace, policy=policy, dispatcher=dispatcher, recorder=recorder
+    )
+    if recorder is not None:
+        recorder.save(record_trace)
     lines = [
         f"trace   : {requests} requests over {trace[-1].at * 1e3:.1f} ms "
         f"(~{rate_hz:.0f}/s), n in {tuple(ns)}, "

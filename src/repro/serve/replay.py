@@ -1,0 +1,380 @@
+"""Trace-replay benchmarking: policy grids, reports, and the regression gate.
+
+The paper justifies its kernels with an exhaustive sweep analysed
+post-hoc; this module gives the serving layer the same discipline.  One
+recorded trace (:mod:`repro.serve.trace`) is replayed across a grid of
+``ServePolicy`` × backend cells; every cell's :class:`ServeMetrics` and
+:mod:`repro.obs` per-stage latencies land in one JSON report
+(``BENCH_serve_replay.json``) stamped with an environment fingerprint;
+and :func:`compare_reports` gates a fresh report against a committed
+baseline with explicit noise tolerances — ``python -m repro replay-check``
+exits nonzero on regression, which is what CI runs nightly.
+
+Every run entry carries the service's conservation check
+(``submitted == completed + failed + shed``): a replay whose backend died
+mid-flight shows up as a *failed, gated* run — never as a hang or a
+silently rosy number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, replace
+
+from repro.obs import InMemorySink, Tracer, set_tracer, span_to_dict, stage_summary
+from repro.serve.client import replay_trace
+from repro.serve.policy import ServePolicy
+from repro.serve.trace import RecordedTrace, normalize_events, trace_sha256
+
+#: Schema tag of the replay report; bump on breaking layout changes.
+REPORT_SCHEMA = "repro.bench_serve_replay/v1"
+
+
+# ----------------------------------------------------------------------
+# Policy grids
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of the replay grid: a label and the policy it names."""
+
+    label: str
+    policy: ServePolicy
+
+
+def policy_grid(
+    backends=("inline",),
+    target_batches=(64,),
+    max_delays_ms=(2.0,),
+    base: ServePolicy | None = None,
+) -> list[GridCell]:
+    """The cross product of backends × batch targets × deadlines.
+
+    Labels are stable (``inline/tb64/d2ms``) so baseline and current
+    reports match runs by name even when the grid is re-ordered.
+    """
+    base = base or ServePolicy(request_timeout_s=None)
+    cells = []
+    for backend in backends:
+        for tb in target_batches:
+            for delay_ms in max_delays_ms:
+                cells.append(
+                    GridCell(
+                        label=f"{backend}/tb{tb}/d{delay_ms:g}ms",
+                        policy=replace(
+                            base,
+                            backend=backend,
+                            target_batch=tb,
+                            max_delay_s=delay_ms / 1e3,
+                        ),
+                    )
+                )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Running one grid
+# ----------------------------------------------------------------------
+
+
+def environment_fingerprint() -> dict:
+    """Where a report was produced — enough to judge comparability."""
+    import numpy
+    import scipy
+
+    import repro
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "repro": repro.__version__,
+    }
+
+
+def _policy_dict(policy: ServePolicy) -> dict:
+    return {
+        "backend": policy.backend or "inline",
+        "target_batch": policy.target_batch,
+        "max_delay_ms": policy.max_delay_s * 1e3,
+        "max_queue_depth": policy.max_queue_depth,
+        "snap_to_chunk": policy.snap_to_chunk,
+    }
+
+
+def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
+    """One report entry from a completed :class:`ReplaySummary`."""
+    m = summary.metrics
+    coalesce = m.histograms["coalesce_latency_ms"]
+    service = m.histograms["flush_service_ms"]
+    requests = summary.requests
+    return {
+        "label": label,
+        "ok": True,
+        "policy": _policy_dict(policy),
+        "backend": summary.backend,
+        "requests": requests,
+        "completed": summary.completed,
+        "failed": summary.failed,
+        "shed": summary.shed,
+        "failure_rate": summary.failed / requests if requests else 0.0,
+        "shed_rate": summary.shed / requests if requests else 0.0,
+        "conservation_ok": m.unaccounted == 0,
+        "elapsed_s": summary.elapsed_s,
+        "throughput_rps": summary.throughput_rps,
+        "coalesce_p50_ms": coalesce.percentile(50),
+        "coalesce_p95_ms": coalesce.percentile(95),
+        "service_p95_ms": service.percentile(95),
+        "batch_mean": m.histograms["batch_size"].mean,
+        "fill_mean": m.histograms["batch_fill"].mean,
+        "gflops_mean": m.histograms["flush_gflops"].mean,
+        "metrics": m.as_dict(),
+        "stages": stages or {},
+    }
+
+
+def run_replay_cell(events, cell: GridCell, warmup: bool = True) -> dict:
+    """Replay one trace through one grid cell, tracing every stage.
+
+    A cell that raises — backend construction failure, replay crash —
+    returns an ``ok: false`` entry instead of propagating, so one sick
+    cell cannot take down the whole grid (the gate still flags it).
+    """
+    sink = InMemorySink()
+    tracer = Tracer([sink])
+    previous = set_tracer(tracer)
+    try:
+        summary = replay_trace(events, policy=cell.policy, warmup=warmup)
+    except Exception as exc:  # noqa: BLE001 - the gate judges failed cells
+        return {
+            "label": cell.label,
+            "ok": False,
+            "policy": _policy_dict(cell.policy),
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    finally:
+        set_tracer(previous)
+    stages = stage_summary([span_to_dict(s) for s in sink.spans])
+    return run_record(cell.label, summary, cell.policy, stages=stages)
+
+
+def run_replay_grid(
+    trace,
+    cells: list[GridCell],
+    trace_name: str = "",
+    trace_path=None,
+    warmup: bool = True,
+    progress=None,
+) -> dict:
+    """Replay one trace across every grid cell and assemble the report."""
+    events = normalize_events(trace)
+    if not events:
+        raise ValueError("cannot replay an empty trace")
+    runs = []
+    for cell in cells:
+        if progress is not None:
+            progress(cell.label)
+        runs.append(run_replay_cell(events, cell, warmup=warmup))
+    trace_info = {
+        "name": trace_name
+        or (trace.meta.get("name", "") if isinstance(trace, RecordedTrace) else ""),
+        "events": len(events),
+        "duration_s": events[-1].at,
+    }
+    if trace_path:
+        trace_info["path"] = str(trace_path)
+        trace_info["sha256"] = trace_sha256(trace_path)
+    return {
+        "schema": REPORT_SCHEMA,
+        "trace": trace_info,
+        "environment": environment_fingerprint(),
+        "runs": runs,
+    }
+
+
+def save_report(path, report: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+
+
+def load_report(path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema") if isinstance(report, dict) else None
+    if schema != REPORT_SCHEMA:
+        raise ValueError(
+            f"{path}: expected a {REPORT_SCHEMA} report, got schema {schema!r}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateTolerances:
+    """Noise allowances of the regression gate.
+
+    Replays time real wall clocks, so the gate compares against a
+    committed baseline with explicit slack instead of demanding
+    equality.  The defaults are deliberately tighter than a 20% move:
+    a doctored baseline whose throughput is inflated by 20% *must*
+    trip the gate.
+    """
+
+    #: Fractional throughput loss tolerated (0.15 = current may be up
+    #: to 15% below baseline).
+    throughput_frac: float = 0.15
+    #: Fractional p95 coalesce-latency growth tolerated.
+    p95_frac: float = 0.5
+    #: Absolute p95 floor (ms) under which latency noise is ignored.
+    p95_floor_ms: float = 0.25
+    #: Absolute shed-rate growth tolerated.
+    shed_abs: float = 0.02
+    #: Absolute failure-rate growth tolerated.
+    failure_abs: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("throughput_frac", "p95_frac", "p95_floor_ms",
+                     "shed_abs", "failure_abs"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.throughput_frac >= 1.0:
+            raise ValueError(
+                f"throughput_frac must be < 1, got {self.throughput_frac}"
+            )
+
+
+def compare_reports(
+    baseline: dict, current: dict, tol: GateTolerances | None = None
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline``; empty means pass.
+
+    Runs are matched by label.  A finding is raised for: a baseline run
+    missing from the current report, a failed (``ok: false``) current
+    run, a conservation violation, throughput below ``baseline * (1 -
+    throughput_frac)``, p95 coalesce latency beyond both the fractional
+    allowance and the absolute floor, and shed/failure rates exceeding
+    the baseline by more than their absolute tolerances.  A trace
+    fingerprint mismatch invalidates the whole comparison.
+    """
+    tol = tol or GateTolerances()
+    findings: list[str] = []
+
+    base_sha = baseline.get("trace", {}).get("sha256")
+    cur_sha = current.get("trace", {}).get("sha256")
+    if base_sha and cur_sha and base_sha != cur_sha:
+        findings.append(
+            "trace mismatch: baseline and current reports replay different "
+            f"traces (sha {base_sha[:12]}… vs {cur_sha[:12]}…)"
+        )
+
+    current_by_label = {r.get("label"): r for r in current.get("runs", [])}
+    for base_run in baseline.get("runs", []):
+        label = base_run.get("label")
+        cur = current_by_label.get(label)
+        if cur is None:
+            findings.append(f"{label}: run missing from current report")
+            continue
+        if not cur.get("ok", False):
+            findings.append(
+                f"{label}: failed run ({cur.get('error', 'no error recorded')})"
+            )
+            continue
+        if not cur.get("conservation_ok", False):
+            unaccounted = cur.get("metrics", {}).get("unaccounted")
+            findings.append(
+                f"{label}: conservation violated "
+                f"(submitted != completed + failed + shed; "
+                f"unaccounted={unaccounted})"
+            )
+        if not base_run.get("ok", False):
+            continue  # nothing numeric to compare against
+
+        base_tp, cur_tp = base_run["throughput_rps"], cur["throughput_rps"]
+        if cur_tp < base_tp * (1.0 - tol.throughput_frac):
+            findings.append(
+                f"{label}: throughput regressed {cur_tp:.0f} req/s vs "
+                f"baseline {base_tp:.0f} req/s "
+                f"(-{(1 - cur_tp / base_tp) * 100:.1f}%, "
+                f"tolerance {tol.throughput_frac * 100:.0f}%)"
+            )
+        base_p95, cur_p95 = base_run["coalesce_p95_ms"], cur["coalesce_p95_ms"]
+        allowed_p95 = max(
+            base_p95 * (1.0 + tol.p95_frac), base_p95 + tol.p95_floor_ms
+        )
+        if cur_p95 > allowed_p95:
+            findings.append(
+                f"{label}: p95 coalesce latency regressed "
+                f"{cur_p95:.3f} ms vs baseline {base_p95:.3f} ms "
+                f"(allowed {allowed_p95:.3f} ms)"
+            )
+        if cur["shed_rate"] > base_run["shed_rate"] + tol.shed_abs:
+            findings.append(
+                f"{label}: shed rate regressed {cur['shed_rate']:.3f} vs "
+                f"baseline {base_run['shed_rate']:.3f} "
+                f"(+{tol.shed_abs:.3f} allowed)"
+            )
+        if cur["failure_rate"] > base_run["failure_rate"] + tol.failure_abs:
+            findings.append(
+                f"{label}: failure rate regressed {cur['failure_rate']:.3f} "
+                f"vs baseline {base_run['failure_rate']:.3f} "
+                f"(+{tol.failure_abs:.3f} allowed)"
+            )
+    return findings
+
+
+def render_report(report: dict) -> str:
+    """Human-readable per-run table of one replay report."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for run in report.get("runs", []):
+        if not run.get("ok", False):
+            rows.append([run.get("label", "?"), "FAILED",
+                         run.get("error", "")[:48], "", "", "", ""])
+            continue
+        rows.append(
+            [
+                run["label"],
+                run["completed"],
+                run["failed"],
+                run["shed"],
+                round(run["throughput_rps"], 0),
+                round(run["coalesce_p95_ms"], 3),
+                round(run["batch_mean"], 1),
+            ]
+        )
+    table = format_table(
+        ["run", "completed", "failed", "shed", "req/s", "p95 ms", "batch"], rows
+    )
+    trace = report.get("trace", {})
+    head = (
+        f"trace {trace.get('name') or trace.get('path', '?')}: "
+        f"{trace.get('events', '?')} events over "
+        f"{trace.get('duration_s', 0.0) * 1e3:.1f} ms"
+    )
+    return f"{head}\n{table}"
+
+
+def render_comparison(findings: list[str], baseline: dict, current: dict) -> str:
+    """The gate's verdict, findings first."""
+    lines = []
+    if findings:
+        lines.append(f"REGRESSION: {len(findings)} finding(s)")
+        lines.extend(f"  - {finding}" for finding in findings)
+    else:
+        runs = len(baseline.get("runs", []))
+        lines.append(f"ok: {runs} run(s) within tolerance of baseline")
+    return "\n".join(lines)

@@ -1,0 +1,349 @@
+"""Recorded workload traces: a versioned JSONL arrival format.
+
+The paper's credibility rests on an exhaustive, repeatable sweep; the
+serving layer earns the same treatment here.  A *trace* is the arrival
+schedule of one workload — for every request its offset from trace start,
+operation, matrix dimension, right-hand-side count, and an input seed —
+serialized one JSON object per line behind a versioned header.  Payloads
+are **never stored dense**: :func:`event_inputs` regenerates each
+request's matrix (and right-hand side) deterministically from its seed,
+so a few-kilobyte file replays gigabytes of traffic bit-identically.
+
+Three producers write traces:
+
+* :class:`TraceRecorder` hooked into a live
+  :class:`~repro.serve.broker.SolveBroker` (``serve-demo
+  --record-trace``, ``examples/serving_traffic.py --record-trace``)
+  records arrivals as they happen, including ones the broker sheds;
+* :meth:`repro.apps.als.ALSRecommender.solve_trace` derives the solve
+  stream an ALS training run generates;
+* ``benchmarks/traces/make_traces.py`` regenerates the canonical
+  committed traces from first principles.
+
+Consumers are :func:`repro.serve.client.replay_trace` (events replay
+exactly like the synthetic ones) and the policy-grid runner + regression
+gate in :mod:`repro.serve.replay`.
+
+Format (version 1)::
+
+    {"format": "repro-trace", "version": 1, "meta": {...}}
+    {"at": 0.0, "op": "factor", "n": 8, "seed": 100003}
+    {"at": 0.00005, "op": "solve", "n": 16, "nrhs": 1, "seed": 100004}
+
+``save → load → save`` is a byte-level fixed point (canonical key order,
+defaults omitted), which is what lets tests pin the format down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.batcher import KINDS
+from repro.utils.spd import make_spd
+
+#: Magic string in the header line of every trace file.
+TRACE_FORMAT = "repro-trace"
+
+#: Highest trace-format version this loader understands.
+TRACE_VERSION = 1
+
+#: Multiplier used to derive per-event input seeds from a base seed —
+#: the same constant :func:`repro.serve.client.synthetic_trace` uses, so
+#: recorded and synthetic workloads draw from one seed universe.
+SEED_STRIDE = 100003
+
+#: Arrival offsets are recorded at microsecond granularity: fine enough
+#: for any policy the broker can express, coarse enough that re-recorded
+#: floats round-trip exactly through JSON.
+_AT_DECIMALS = 6
+
+
+def derive_seed(base: int, index: int) -> int:
+    """The input seed of the ``index``-th event under base seed ``base``."""
+    return base * SEED_STRIDE + index
+
+
+@dataclass(frozen=True)
+class RecordedEvent:
+    """One arrival in a recorded trace.
+
+    ``seed`` fully determines the request's payload via
+    :func:`event_inputs`; ``nonspd`` marks inputs deliberately poisoned
+    to exercise the failure path.
+    """
+
+    at: float  # seconds since trace start, non-negative
+    op: str  # "factor" | "solve"
+    n: int  # matrix dimension
+    nrhs: int = 0  # right-hand sides (0 for factor, >=1 for solve)
+    seed: int = 0
+    nonspd: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"arrival offset must be >= 0, got {self.at}")
+        if self.op not in KINDS:
+            raise ValueError(f"op must be one of {KINDS}, got {self.op!r}")
+        if self.n <= 0:
+            raise ValueError(f"matrix dimension must be positive, got {self.n}")
+        if self.op == "solve" and self.nrhs < 1:
+            raise ValueError(f"solve events need nrhs >= 1, got {self.nrhs}")
+        if self.op == "factor" and self.nrhs != 0:
+            raise ValueError(f"factor events take no rhs, got nrhs={self.nrhs}")
+
+    def to_dict(self) -> dict:
+        """Canonical JSON object: fixed key order, defaults omitted."""
+        out: dict = {"at": self.at, "op": self.op, "n": self.n}
+        if self.nrhs:
+            out["nrhs"] = self.nrhs
+        out["seed"] = self.seed
+        if self.nonspd:
+            out["nonspd"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "RecordedEvent":
+        unknown = set(obj) - {"at", "op", "n", "nrhs", "seed", "nonspd"}
+        if unknown:
+            raise ValueError(f"unknown event field(s) {sorted(unknown)}")
+        return cls(
+            at=float(obj["at"]),
+            op=str(obj["op"]),
+            n=int(obj["n"]),
+            nrhs=int(obj.get("nrhs", 0)),
+            seed=int(obj.get("seed", 0)),
+            nonspd=bool(obj.get("nonspd", False)),
+        )
+
+
+def event_inputs(event) -> tuple[np.ndarray, np.ndarray | None]:
+    """Regenerate one event's payload deterministically from its seed.
+
+    Accepts both :class:`RecordedEvent` and the synthetic
+    :class:`~repro.serve.client.TraceEvent` (whose solves always carry a
+    single right-hand side).
+    """
+    rng = np.random.default_rng(event.seed)
+    a = make_spd(event.n, rng)
+    if event.nonspd:
+        a[event.n // 2, event.n // 2] = -abs(a[event.n // 2, event.n // 2]) - 1.0
+    b = None
+    if _op_of(event) == "solve":
+        nrhs = getattr(event, "nrhs", 1) or 1
+        shape = (event.n,) if nrhs == 1 else (event.n, nrhs)
+        b = rng.standard_normal(shape).astype(np.float32)
+    return a, b
+
+
+def _op_of(event) -> str:
+    """``op`` of a recorded event or ``kind`` of a synthetic one."""
+    return getattr(event, "op", None) or event.kind
+
+
+def as_recorded(event) -> RecordedEvent:
+    """Normalize any trace event to a :class:`RecordedEvent`."""
+    if isinstance(event, RecordedEvent):
+        return event
+    op = _op_of(event)
+    return RecordedEvent(
+        at=event.at,
+        op=op,
+        n=event.n,
+        nrhs=1 if op == "solve" else 0,
+        seed=event.seed,
+        nonspd=getattr(event, "nonspd", False),
+    )
+
+
+def normalize_events(trace) -> list[RecordedEvent]:
+    """A :class:`RecordedEvent` list from any replayable trace shape.
+
+    Accepts a :class:`RecordedTrace`, a list of :class:`RecordedEvent`,
+    or a list of synthetic :class:`~repro.serve.client.TraceEvent`.
+    """
+    events = trace.events if isinstance(trace, RecordedTrace) else trace
+    return [as_recorded(e) for e in events]
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RecordedTrace:
+    """A loaded trace file: header metadata plus its event list."""
+
+    events: list[RecordedEvent]
+    meta: dict = field(default_factory=dict)
+    version: int = TRACE_VERSION
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration_s(self) -> float:
+        return self.events[-1].at if self.events else 0.0
+
+    def mix(self) -> dict[tuple[str, int, int], int]:
+        """The request mix: ``{(op, n, nrhs): count}``."""
+        counts: dict[tuple[str, int, int], int] = {}
+        for e in self.events:
+            key = (e.op, e.n, e.nrhs)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def _dumps(obj: dict) -> str:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=False)
+
+
+def save_trace(path, events, meta: dict | None = None) -> int:
+    """Write one trace file; returns the number of events written.
+
+    Events must arrive in non-decreasing ``at`` order — a trace is an
+    arrival schedule, and the loader enforces the same invariant.
+    """
+    events = normalize_events(events)
+    _check_sorted(events)
+    header = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+    if meta:
+        header["meta"] = dict(sorted(meta.items()))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(_dumps(header) + "\n")
+        for event in events:
+            fh.write(_dumps(event.to_dict()) + "\n")
+    return len(events)
+
+
+def load_trace_file(path) -> RecordedTrace:
+    """Parse and validate one trace file written by :func:`save_trace`."""
+    with open(path, encoding="utf-8") as fh:
+        lines = [line for line in (raw.strip() for raw in fh) if line]
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: header is not JSON ({exc})") from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValueError(
+            f"{path}: not a {TRACE_FORMAT} file "
+            f"(header {str(lines[0])[:60]!r})"
+        )
+    version = header.get("version")
+    if not isinstance(version, int) or not 1 <= version <= TRACE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trace version {version!r} "
+            f"(this reader understands 1..{TRACE_VERSION})"
+        )
+    events = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from None
+        try:
+            events.append(RecordedEvent.from_dict(obj))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}:{lineno}: bad event ({exc})") from None
+    _check_sorted(events, path=path)
+    return RecordedTrace(
+        events=events, meta=header.get("meta", {}), version=version
+    )
+
+
+def _check_sorted(events, path=None) -> None:
+    for i, (a, b) in enumerate(zip(events, events[1:])):
+        if b.at < a.at:
+            where = f"{path}: " if path else ""
+            raise ValueError(
+                f"{where}arrival offsets must be non-decreasing "
+                f"(event {i + 1} at {b.at} after {a.at})"
+            )
+
+
+def trace_sha256(path) -> str:
+    """Content fingerprint of a trace file, for report provenance."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(65536), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+
+
+class TraceRecorder:
+    """Accumulates arrivals into a trace, live or re-driven.
+
+    Two modes share one code path:
+
+    * **live** — :meth:`record` without an explicit ``at`` stamps the
+      arrival with the wall-clock offset from the first recorded event
+      (the broker's hook uses this; see
+      :class:`~repro.serve.broker.SolveBroker`), and assigns each event a
+      seed derived from ``seed`` and its index, so a recorded trace
+      replays deterministically even though the original payloads are
+      not kept;
+    * **re-driven** — passing ``at``/``seed``/``nonspd`` explicitly makes
+      ``record → save → load → re-record`` a fixed point, which is how
+      the determinism tests pin the format.
+    """
+
+    def __init__(self, seed: int = 0, meta: dict | None = None, clock=None) -> None:
+        self.seed = seed
+        self.meta = dict(meta) if meta else {}
+        self._clock = clock if clock is not None else time.monotonic
+        self._origin: float | None = None
+        self.events: list[RecordedEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(
+        self,
+        op: str,
+        n: int,
+        nrhs: int = 0,
+        at: float | None = None,
+        seed: int | None = None,
+        nonspd: bool = False,
+    ) -> RecordedEvent:
+        """Append one arrival; returns the event as recorded."""
+        if at is None:
+            now = self._clock()
+            if self._origin is None:
+                self._origin = now
+            at = round(now - self._origin, _AT_DECIMALS)
+        if seed is None:
+            seed = derive_seed(self.seed, len(self.events))
+        event = RecordedEvent(
+            at=at, op=op, n=n, nrhs=nrhs, seed=seed, nonspd=nonspd
+        )
+        if self.events and event.at < self.events[-1].at:
+            raise ValueError(
+                f"arrival offsets must be non-decreasing "
+                f"(got {event.at} after {self.events[-1].at})"
+            )
+        self.events.append(event)
+        return event
+
+    def record_event(self, event) -> RecordedEvent:
+        """Re-record one existing event verbatim (fixed-point path)."""
+        e = as_recorded(event)
+        return self.record(
+            e.op, e.n, nrhs=e.nrhs, at=e.at, seed=e.seed, nonspd=e.nonspd
+        )
+
+    def save(self, path) -> int:
+        """Write the accumulated events as one trace file."""
+        return save_trace(path, self.events, meta=self.meta)

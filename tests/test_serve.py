@@ -783,3 +783,177 @@ class TestSyntheticTraffic:
             synthetic_trace(requests=0)
         with pytest.raises(ValueError):
             synthetic_trace(rate_hz=0.0)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants (hypothesis)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def _tiny_request(seq, n, enqueued_at=0.0):
+    return PendingRequest(
+        seq=seq,
+        kind="factor",
+        a=np.zeros((n, n), dtype=np.float32),
+        b=None,
+        future=None,
+        enqueued_at=enqueued_at,
+    )
+
+
+#: One batcher operation: (op, operand, matrix size).  The operand picks
+#: which live request to discard or which bucket to pop.
+_BATCHER_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "pop", "pop_due", "discard"]),
+        st.integers(0, 7),
+        st.sampled_from([4, 6, 8]),
+    ),
+    max_size=80,
+)
+
+
+class TestBatcherProperties:
+    @given(ops=_BATCHER_OPS)
+    def test_no_request_lost_or_duplicated(self, ops):
+        """Conservation: every queued seq leaves the batcher exactly once.
+
+        Drives the batcher through an arbitrary interleaving of
+        add/pop/pop_due/discard and checks the model (a dict of live
+        seqs) stays in lockstep — nothing vanishes, nothing doubles.
+        """
+        batcher = AdaptiveBatcher(lambda n: 3)
+        live = {}
+        removed = []
+        next_seq = 0
+        t = 0.0
+
+        def _remove(request):
+            assert request.seq in live, "request popped twice"
+            del live[request.seq]
+            removed.append(request.seq)
+
+        for op, operand, n in ops:
+            t += 1.0
+            if op == "add":
+                request = _tiny_request(next_seq, n, enqueued_at=t)
+                batcher.add(request)
+                live[next_seq] = request
+                next_seq += 1
+            elif op == "pop":
+                for request in batcher.pop(n):
+                    _remove(request)
+            elif op == "pop_due":
+                # A zero deadline makes every non-empty bucket due.
+                for bucket in batcher.pop_due(t, 0.0):
+                    for request in bucket.requests:
+                        _remove(request)
+            elif op == "discard" and live:
+                target = list(live.values())[operand % len(live)]
+                if batcher.discard(target):
+                    _remove(target)
+            assert batcher.pending == len(live)
+
+        for bucket in batcher.pop_all():
+            for request in bucket.requests:
+                _remove(request)
+        assert batcher.pending == 0
+        assert live == {}
+        assert sorted(removed) == list(range(next_seq))
+
+    @given(ops=_BATCHER_OPS)
+    def test_buckets_stay_size_pure(self, ops):
+        """Every flush the batcher hands out is single-dimension."""
+        batcher = AdaptiveBatcher(lambda n: 4)
+        next_seq = 0
+        t = 0.0
+        for op, _, n in ops:
+            t += 1.0
+            if op == "add":
+                batcher.add(_tiny_request(next_seq, n, enqueued_at=t))
+                next_seq += 1
+            elif op == "pop":
+                assert all(r.n == n for r in batcher.pop(n))
+            elif op == "pop_due":
+                for bucket in batcher.pop_due(t, 0.5):
+                    assert all(r.n == bucket.n for r in bucket.requests)
+        for bucket in batcher.pop_all():
+            assert all(r.n == bucket.n for r in bucket.requests)
+
+    @given(
+        target=st.integers(min_value=1, max_value=1024),
+        chunk=st.sampled_from([32, 64, 128, 256, 512]),
+    )
+    def test_flush_threshold_snaps_to_whole_chunks(self, target, chunk):
+        """Snapped thresholds are whole chunks, never below one chunk."""
+        policy = ServePolicy(target_batch=target)
+        cfg = KernelConfig(n=8, chunked=True, chunk_size=chunk)
+        threshold = policy.flush_threshold(cfg)
+        assert threshold % chunk == 0
+        assert threshold >= chunk
+        assert threshold <= max(target, chunk)
+        # Snapping never rounds *up* past the target once a full chunk fits.
+        if target >= chunk:
+            assert threshold <= target
+
+    @given(
+        offsets=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        delay=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    )
+    def test_pop_due_takes_exactly_the_expired_buckets(self, offsets, delay):
+        """Deadline ordering: due iff the bucket's *oldest* wait >= delay."""
+        batcher = AdaptiveBatcher(lambda n: 10_000)
+        oldest = {}
+        for i, offset in enumerate(sorted(offsets)):
+            n = 4 + 2 * (i % 3)  # spread across a few buckets
+            batcher.add(_tiny_request(i, n, enqueued_at=offset))
+            oldest.setdefault(n, offset)
+        now = 10.0
+        due = {bucket.n for bucket in batcher.pop_due(now, delay)}
+        expected = {n for n, at in oldest.items() if now - at >= delay}
+        assert due == expected
+        assert set(batcher.sizes()) == set(oldest) - due
+
+
+class TestReplayProperties:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        shape=st.lists(
+            st.tuples(
+                st.sampled_from([4, 6]),
+                st.booleans(),  # solve?
+                st.booleans(),  # nonspd?
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_replay_conserves_every_request(self, shape):
+        """End to end: submitted == completed + failed + shed, any trace."""
+        from repro.serve.trace import RecordedEvent, derive_seed
+
+        events = [
+            RecordedEvent(
+                at=round(i * 1e-4, 6),
+                op="solve" if solve else "factor",
+                n=n,
+                nrhs=1 if solve else 0,
+                seed=derive_seed(13, i),
+                nonspd=nonspd,
+            )
+            for i, (n, solve, nonspd) in enumerate(shape)
+        ]
+        policy = ServePolicy(
+            target_batch=4, max_delay_s=0.002, request_timeout_s=None
+        )
+        summary = replay_trace(events, policy=policy)
+        m = summary.metrics
+        assert m.counters["submitted"] == len(events)
+        assert summary.completed + summary.failed + summary.shed == len(events)
+        assert m.unaccounted == 0

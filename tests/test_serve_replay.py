@@ -1,0 +1,679 @@
+"""Trace-replay harness: recorded traces, policy grids, regression gate."""
+
+import json
+import os
+import pathlib
+import signal
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.serve import (
+    BatchExecutor,
+    GateTolerances,
+    RecordedEvent,
+    RecordedTrace,
+    ServePolicy,
+    TraceRecorder,
+    compare_reports,
+    derive_seed,
+    event_inputs,
+    load_report,
+    load_trace_file,
+    normalize_events,
+    policy_grid,
+    replay_trace,
+    run_replay_grid,
+    save_report,
+    save_trace,
+    synthetic_trace,
+    trace_sha256,
+)
+from repro.serve.backends import BackendError, ProcessPoolBackend
+from repro.serve.replay import (
+    REPORT_SCHEMA,
+    render_comparison,
+    render_report,
+    run_record,
+    run_replay_cell,
+)
+from repro.serve.trace import SEED_STRIDE, as_recorded
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+TRACES_DIR = REPO / "benchmarks" / "traces"
+BASELINE = REPO / "benchmarks" / "baselines" / "serve_replay_baseline.json"
+
+
+def _events(n_events=6, n=8, base_seed=5):
+    out = []
+    for i in range(n_events):
+        solve = i % 3 == 2
+        out.append(
+            RecordedEvent(
+                at=round(i * 1e-4, 6),
+                op="solve" if solve else "factor",
+                n=n,
+                nrhs=1 if solve else 0,
+                seed=derive_seed(base_seed, i),
+            )
+        )
+    return out
+
+
+def _fast_policy(**overrides):
+    defaults = dict(target_batch=16, max_delay_s=0.002, request_timeout_s=None)
+    defaults.update(overrides)
+    return ServePolicy(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+
+
+class TestRecordedEvent:
+    def test_dict_round_trip(self):
+        e = RecordedEvent(at=0.5, op="solve", n=16, nrhs=4, seed=9, nonspd=True)
+        assert RecordedEvent.from_dict(e.to_dict()) == e
+
+    def test_defaults_omitted_from_dict(self):
+        d = RecordedEvent(at=0.0, op="factor", n=8, seed=3).to_dict()
+        assert d == {"at": 0.0, "op": "factor", "n": 8, "seed": 3}
+        assert "nrhs" not in d and "nonspd" not in d
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"at": -0.1, "op": "factor", "n": 8},
+            {"at": 0.0, "op": "invert", "n": 8},
+            {"at": 0.0, "op": "factor", "n": 0},
+            {"at": 0.0, "op": "solve", "n": 8, "nrhs": 0},
+            {"at": 0.0, "op": "factor", "n": 8, "nrhs": 2},
+        ],
+    )
+    def test_invalid_events_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RecordedEvent(**kwargs)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown event field"):
+            RecordedEvent.from_dict(
+                {"at": 0.0, "op": "factor", "n": 8, "seed": 0, "flavor": "?"}
+            )
+
+    def test_derive_seed_matches_synthetic_universe(self):
+        trace = synthetic_trace(requests=3, seed=5)
+        assert [e.seed for e in trace] == [derive_seed(5, i) for i in range(3)]
+        assert derive_seed(5, 0) == 5 * SEED_STRIDE
+
+    def test_as_recorded_normalizes_synthetic_events(self):
+        synth = synthetic_trace(requests=4, solve_fraction=1.0, seed=2)
+        recorded = [as_recorded(e) for e in synth]
+        assert all(e.op == "solve" and e.nrhs == 1 for e in recorded)
+        assert [e.seed for e in recorded] == [e.seed for e in synth]
+
+    def test_normalize_events_accepts_recorded_trace(self):
+        events = _events()
+        trace = RecordedTrace(events=events, meta={"name": "x"})
+        assert normalize_events(trace) == events
+
+
+class TestEventInputs:
+    def test_payload_is_deterministic(self):
+        e = RecordedEvent(at=0.0, op="solve", n=8, nrhs=1, seed=77)
+        a1, b1 = event_inputs(e)
+        a2, b2 = event_inputs(e)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+    def test_factor_event_has_no_rhs_and_is_spd(self):
+        a, b = event_inputs(RecordedEvent(at=0.0, op="factor", n=8, seed=1))
+        assert b is None
+        np.linalg.cholesky(a)  # SPD by construction
+
+    def test_rhs_shapes_follow_nrhs(self):
+        single = RecordedEvent(at=0.0, op="solve", n=8, nrhs=1, seed=1)
+        multi = RecordedEvent(at=0.0, op="solve", n=8, nrhs=4, seed=1)
+        assert event_inputs(single)[1].shape == (8,)
+        assert event_inputs(multi)[1].shape == (8, 4)
+
+    def test_nonspd_payload_fails_cholesky(self):
+        a, _ = event_inputs(
+            RecordedEvent(at=0.0, op="factor", n=8, seed=1, nonspd=True)
+        )
+        with pytest.raises(np.linalg.LinAlgError):
+            np.linalg.cholesky(a)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+class TestTraceFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        events = _events()
+        path = tmp_path / "t.jsonl"
+        assert save_trace(path, events, meta={"name": "t"}) == len(events)
+        loaded = load_trace_file(path)
+        assert loaded.events == events
+        assert loaded.meta == {"name": "t"}
+        assert loaded.version == 1
+        assert len(loaded) == len(events)
+
+    def test_save_load_save_is_byte_fixed_point(self, tmp_path):
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        save_trace(p1, _events(), meta={"b": 2, "a": 1})
+        save_trace(p2, load_trace_file(p1).events, meta=load_trace_file(p1).meta)
+        assert p1.read_bytes() == p2.read_bytes()
+        assert trace_sha256(p1) == trace_sha256(p2)
+
+    def test_duration_and_mix(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(path, _events(n_events=6))
+        t = load_trace_file(path)
+        assert t.duration_s == pytest.approx(5e-4)
+        assert t.mix() == {("factor", 8, 0): 4, ("solve", 8, 1): 2}
+
+    def test_unsorted_events_rejected_on_save(self, tmp_path):
+        events = [
+            RecordedEvent(at=0.1, op="factor", n=8),
+            RecordedEvent(at=0.0, op="factor", n=8),
+        ]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            save_trace(tmp_path / "t.jsonl", events)
+
+    @pytest.mark.parametrize(
+        "content, match",
+        [
+            ("", "empty trace"),
+            ("not json\n", "not JSON"),
+            ('{"format":"other","version":1}\n', "not a repro-trace"),
+            ('{"format":"repro-trace","version":99}\n', "unsupported trace version"),
+            ('{"format":"repro-trace","version":0}\n', "unsupported trace version"),
+            (
+                '{"format":"repro-trace","version":1}\n{"at":0.0}\n',
+                "bad event",
+            ),
+            (
+                '{"format":"repro-trace","version":1}\n'
+                '{"at":0.1,"op":"factor","n":8,"seed":0}\n'
+                '{"at":0.0,"op":"factor","n":8,"seed":1}\n',
+                "non-decreasing",
+            ),
+        ],
+    )
+    def test_malformed_files_rejected(self, tmp_path, content, match):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(content)
+        with pytest.raises(ValueError, match=match):
+            load_trace_file(path)
+
+
+class TestTraceRecorder:
+    def test_live_offsets_are_relative_to_first_arrival(self):
+        clock = iter([100.0, 100.0015, 100.01])
+        rec = TraceRecorder(seed=3, clock=lambda: next(clock))
+        rec.record("factor", 8)
+        rec.record("solve", 8, nrhs=1)
+        rec.record("factor", 16)
+        assert [e.at for e in rec.events] == [0.0, 0.0015, 0.01]
+        assert [e.seed for e in rec.events] == [derive_seed(3, i) for i in range(3)]
+
+    def test_decreasing_explicit_offsets_rejected(self):
+        rec = TraceRecorder()
+        rec.record("factor", 8, at=0.5)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            rec.record("factor", 8, at=0.4)
+
+    def test_re_recording_a_loaded_trace_is_a_fixed_point(self, tmp_path):
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        rec = TraceRecorder(seed=1, meta={"name": "orig"})
+        rec.record("factor", 8, nonspd=True)
+        rec.record("solve", 16, nrhs=4)
+        rec.save(p1)
+        loaded = load_trace_file(p1)
+        rec2 = TraceRecorder(meta=loaded.meta)
+        for event in loaded.events:
+            rec2.record_event(event)
+        rec2.save(p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Recording through the broker, replaying recordings
+# ----------------------------------------------------------------------
+
+
+class TestBrokerRecording:
+    def test_replay_records_the_exact_request_mix(self):
+        trace = synthetic_trace(
+            requests=24, ns=(8, 16), solve_fraction=0.5, rate_hz=50000.0, seed=4
+        )
+        rec = TraceRecorder(seed=4)
+        replay_trace(trace, policy=_fast_policy(), recorder=rec)
+        recorded = RecordedTrace(events=rec.events)
+        expected = RecordedTrace(events=normalize_events(trace))
+        assert len(rec) == len(trace)
+        assert recorded.mix() == expected.mix()
+
+    def test_shed_arrivals_are_still_recorded(self):
+        events = _events(n_events=8)
+        rec = TraceRecorder()
+        summary = replay_trace(
+            events, policy=_fast_policy(max_queue_depth=2), recorder=rec
+        )
+        assert summary.shed > 0
+        assert len(rec) == len(events)  # a trace records offered load
+
+    def test_recorded_trace_replays_like_any_other(self):
+        events = _events(n_events=10)
+        summary = replay_trace(events, policy=_fast_policy())
+        assert summary.requests == 10
+        assert summary.completed == 10
+        assert summary.metrics.unaccounted == 0
+        assert len(summary.outcomes) == 10
+
+    def test_replay_twice_is_bitwise_deterministic(self):
+        events = _events(n_events=9)
+        s1 = replay_trace(events, policy=_fast_policy())
+        s2 = replay_trace(events, policy=_fast_policy())
+        assert s1.completed == s2.completed == 9
+        for r1, r2 in zip(s1.outcomes, s2.outcomes):
+            assert np.array_equal(r1, r2)
+
+    def test_nonspd_failures_replay_deterministically(self):
+        events = _events(n_events=6)
+        events[2] = RecordedEvent(
+            at=events[2].at, op="factor", n=8, seed=events[2].seed, nonspd=True
+        )
+        s1 = replay_trace(events, policy=_fast_policy())
+        s2 = replay_trace(events, policy=_fast_policy())
+        assert s1.failed == s2.failed == 1
+        assert type(s1.outcomes[2]) is type(s2.outcomes[2])
+        assert not isinstance(s1.outcomes[2], np.ndarray)
+
+
+# ----------------------------------------------------------------------
+# The committed canonical traces
+# ----------------------------------------------------------------------
+
+
+class TestCanonicalTraces:
+    @pytest.mark.parametrize(
+        "name", ["uniform_small", "bursty_mixed", "als_solves"]
+    )
+    def test_committed_trace_loads(self, name):
+        trace = load_trace_file(TRACES_DIR / f"{name}.jsonl")
+        assert len(trace) > 100
+        assert trace.meta["name"] == name
+
+    def test_regeneration_is_byte_identical(self, tmp_path):
+        import sys
+
+        sys.path.insert(0, str(TRACES_DIR))
+        try:
+            import make_traces
+        finally:
+            sys.path.pop(0)
+        make_traces.write_traces(tmp_path)
+        for name in make_traces.TRACES:
+            committed = (TRACES_DIR / f"{name}.jsonl").read_bytes()
+            regenerated = (tmp_path / f"{name}.jsonl").read_bytes()
+            assert regenerated == committed, f"{name} drifted from make_traces.py"
+
+    def test_als_trace_comes_from_solve_trace(self):
+        from repro.apps.als import ALSRecommender, generate_ratings
+
+        committed = load_trace_file(TRACES_DIR / "als_solves.jsonl")
+        data = generate_ratings(
+            n_users=48, n_items=24, rank=8, density=0.2, noise=0.1, seed=31
+        )
+        model = ALSRecommender(rank=8, regularization=0.05, iterations=2, seed=31)
+        events = model.solve_trace(
+            data, burst_rate_hz=50000.0, assembly_gap_s=0.005, seed=31
+        )
+        assert events == committed.events
+        assert all(e.op == "solve" and e.n == 8 for e in events)
+
+    def test_uniform_small_replays_clean(self):
+        trace = load_trace_file(TRACES_DIR / "uniform_small.jsonl")
+        summary = replay_trace(trace, policy=_fast_policy(target_batch=64))
+        assert summary.completed == len(trace)
+        assert summary.failed == 0
+        assert summary.metrics.unaccounted == 0
+
+
+# ----------------------------------------------------------------------
+# Grid runner and report
+# ----------------------------------------------------------------------
+
+
+class TestReplayGrid:
+    def test_grid_labels_are_stable(self):
+        cells = policy_grid(
+            backends=("inline", "eventsim"),
+            target_batches=(32, 64),
+            max_delays_ms=(2.0,),
+        )
+        assert [c.label for c in cells] == [
+            "inline/tb32/d2ms",
+            "inline/tb64/d2ms",
+            "eventsim/tb32/d2ms",
+            "eventsim/tb64/d2ms",
+        ]
+        assert cells[0].policy.target_batch == 32
+        assert cells[2].policy.backend == "eventsim"
+
+    def test_report_schema_and_contents(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(path, _events(n_events=8), meta={"name": "tiny"})
+        report = run_replay_grid(
+            load_trace_file(path), policy_grid(), trace_path=path
+        )
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["trace"]["name"] == "tiny"
+        assert report["trace"]["events"] == 8
+        assert report["trace"]["sha256"] == trace_sha256(path)
+        assert "numpy" in report["environment"]
+        (run,) = report["runs"]
+        assert run["ok"] and run["conservation_ok"]
+        assert run["completed"] == 8
+        assert run["stages"], "obs stage latencies missing from report"
+
+    def test_report_round_trips_through_disk(self, tmp_path):
+        report = run_replay_grid(_events(), policy_grid(), trace_name="mem")
+        out = tmp_path / "report.json"
+        save_report(out, report)
+        assert load_report(out) == json.loads(out.read_text())
+
+    def test_load_report_rejects_wrong_schema(self, tmp_path):
+        out = tmp_path / "bad.json"
+        out.write_text('{"schema": "something/else"}')
+        with pytest.raises(ValueError, match="expected a repro.bench_serve_replay"):
+            load_report(out)
+
+    def test_sick_cell_reports_failure_instead_of_raising(self):
+        cells = policy_grid(backends=("no-such-backend",))
+        report = run_replay_grid(_events(), cells)
+        (run,) = report["runs"]
+        assert run["ok"] is False
+        assert "error" in run
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            run_replay_grid([], policy_grid())
+
+    def test_render_report_lists_every_run(self):
+        report = run_replay_grid(_events(), policy_grid())
+        text = render_report(report)
+        assert "inline/tb64/d2ms" in text
+        assert "req/s" in text
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+
+
+def _report_with(runs):
+    return {"schema": REPORT_SCHEMA, "trace": {}, "environment": {}, "runs": runs}
+
+
+def _ok_run(label="inline/tb64/d2ms", **overrides):
+    run = {
+        "label": label,
+        "ok": True,
+        "conservation_ok": True,
+        "throughput_rps": 1000.0,
+        "coalesce_p95_ms": 2.0,
+        "shed_rate": 0.0,
+        "failure_rate": 0.0,
+        "metrics": {"unaccounted": 0},
+    }
+    run.update(overrides)
+    return run
+
+
+class TestRegressionGate:
+    def test_identical_reports_pass(self):
+        r = _report_with([_ok_run()])
+        assert compare_reports(r, r) == []
+
+    def test_doctored_20pct_throughput_baseline_trips(self):
+        baseline = _report_with([_ok_run(throughput_rps=1200.0)])
+        current = _report_with([_ok_run(throughput_rps=1000.0)])
+        findings = compare_reports(baseline, current)
+        assert len(findings) == 1
+        assert "throughput regressed" in findings[0]
+
+    def test_loss_within_tolerance_passes(self):
+        baseline = _report_with([_ok_run(throughput_rps=1100.0)])
+        current = _report_with([_ok_run(throughput_rps=1000.0)])
+        assert compare_reports(baseline, current) == []
+
+    def test_missing_run_flagged(self):
+        baseline = _report_with([_ok_run(), _ok_run(label="eventsim/tb64/d2ms")])
+        current = _report_with([_ok_run()])
+        findings = compare_reports(baseline, current)
+        assert any("missing from current report" in f for f in findings)
+
+    def test_failed_run_flagged(self):
+        current = _report_with(
+            [{"label": "inline/tb64/d2ms", "ok": False, "error": "boom"}]
+        )
+        findings = compare_reports(_report_with([_ok_run()]), current)
+        assert any("failed run" in f and "boom" in f for f in findings)
+
+    def test_conservation_violation_flagged(self):
+        current = _report_with(
+            [_ok_run(conservation_ok=False, metrics={"unaccounted": 3})]
+        )
+        findings = compare_reports(_report_with([_ok_run()]), current)
+        assert any("conservation violated" in f for f in findings)
+
+    def test_p95_regression_flagged_beyond_floor_and_fraction(self):
+        baseline = _report_with([_ok_run(coalesce_p95_ms=2.0)])
+        current = _report_with([_ok_run(coalesce_p95_ms=3.5)])
+        findings = compare_reports(baseline, current)
+        assert any("p95 coalesce latency regressed" in f for f in findings)
+
+    def test_p95_noise_below_absolute_floor_ignored(self):
+        baseline = _report_with([_ok_run(coalesce_p95_ms=0.01)])
+        current = _report_with([_ok_run(coalesce_p95_ms=0.2)])
+        assert compare_reports(baseline, current) == []
+
+    def test_shed_and_failure_rate_regressions_flagged(self):
+        baseline = _report_with([_ok_run()])
+        current = _report_with([_ok_run(shed_rate=0.1, failure_rate=0.1)])
+        findings = compare_reports(baseline, current)
+        assert any("shed rate regressed" in f for f in findings)
+        assert any("failure rate regressed" in f for f in findings)
+
+    def test_trace_sha_mismatch_flagged(self):
+        baseline = _report_with([_ok_run()])
+        baseline["trace"] = {"sha256": "a" * 64}
+        current = _report_with([_ok_run()])
+        current["trace"] = {"sha256": "b" * 64}
+        findings = compare_reports(baseline, current)
+        assert any("trace mismatch" in f for f in findings)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"throughput_frac": -0.1}, {"throughput_frac": 1.0}, {"shed_abs": -1.0}],
+    )
+    def test_invalid_tolerances_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GateTolerances(**kwargs)
+
+    def test_render_comparison_reads_both_ways(self):
+        report = _report_with([_ok_run()])
+        assert "ok: 1 run(s)" in render_comparison([], report, report)
+        text = render_comparison(["x: throughput regressed"], report, report)
+        assert text.startswith("REGRESSION: 1 finding(s)")
+
+
+# ----------------------------------------------------------------------
+# Committed baseline + CLI acceptance
+# ----------------------------------------------------------------------
+
+
+class TestCommittedBaseline:
+    def test_baseline_matches_schema_and_trace_fingerprint(self):
+        report = load_report(BASELINE)
+        assert report["trace"]["sha256"] == trace_sha256(
+            TRACES_DIR / "bursty_mixed.jsonl"
+        )
+        labels = [r["label"] for r in report["runs"]]
+        assert labels == ["inline/tb64/d2ms", "eventsim/tb64/d2ms"]
+        assert all(r["ok"] and r["conservation_ok"] for r in report["runs"])
+
+    def test_replay_check_passes_on_committed_baseline(self, capsys):
+        rc = cli_main(
+            ["replay-check", "--baseline", str(BASELINE), "--report", str(BASELINE)]
+        )
+        assert rc == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_replay_check_fails_on_doctored_baseline(self, tmp_path, capsys):
+        doctored = json.loads(BASELINE.read_text())
+        for run in doctored["runs"]:
+            run["throughput_rps"] *= 1.2  # 20% rosier than reality
+        path = tmp_path / "doctored.json"
+        path.write_text(json.dumps(doctored))
+        rc = cli_main(
+            ["replay-check", "--baseline", str(path), "--report", str(BASELINE)]
+        )
+        assert rc == 1
+        assert "throughput regressed" in capsys.readouterr().out
+
+    def test_replay_check_requires_exactly_one_input(self, capsys, tmp_path):
+        assert cli_main(["replay-check", "--baseline", str(BASELINE)]) == 2
+        trace = tmp_path / "t.jsonl"
+        save_trace(trace, _events())
+        rc = cli_main(
+            [
+                "replay-check",
+                "--baseline", str(BASELINE),
+                "--trace", str(trace),
+                "--report", str(BASELINE),
+            ]
+        )
+        assert rc == 2
+
+    def test_replay_check_runs_a_fresh_grid_from_a_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        save_trace(trace, _events(n_events=8), meta={"name": "tiny"})
+        out = tmp_path / "report.json"
+        baseline = run_replay_grid(
+            load_trace_file(trace), policy_grid(), trace_path=trace
+        )
+        baseline_path = tmp_path / "baseline.json"
+        save_report(baseline_path, baseline)
+        rc = cli_main(
+            [
+                "replay-check",
+                "--baseline", str(baseline_path),
+                "--trace", str(trace),
+                "--out", str(out),
+                "--throughput-tolerance", "0.9",
+                "--p95-tolerance", "50",
+            ]
+        )
+        assert rc == 0
+        fresh = load_report(out)
+        assert fresh["trace"]["sha256"] == baseline["trace"]["sha256"]
+
+    def test_serve_demo_recording_reproduces_the_request_mix(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "demo.jsonl"
+        rc = cli_main(
+            [
+                "serve-demo",
+                "--requests", "30",
+                "--rate", "50000",
+                "--record-trace", str(path),
+            ]
+        )
+        assert rc == 0
+        recorded = load_trace_file(path)
+        assert recorded.meta["source"] == "serve-demo"
+        reference = RecordedTrace(
+            events=normalize_events(
+                synthetic_trace(
+                    requests=30,
+                    ns=(8, 16, 32),
+                    rate_hz=50000.0,
+                    solve_fraction=0.4,
+                    nonspd_fraction=0.01,
+                    seed=0,
+                )
+            )
+        )
+        # The recording reproduces the demo's request mix exactly:
+        # same counts per (op, n, nrhs).
+        assert len(recorded) == 30
+        assert recorded.mix() == reference.mix()
+        summary = replay_trace(recorded, policy=_fast_policy())
+        assert summary.requests == 30
+        assert summary.metrics.unaccounted == 0
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+
+def _worker_pids(backend: ProcessPoolBackend) -> list[int]:
+    return list(backend._pool._processes.keys())
+
+
+class TestFaultInjection:
+    def test_killed_worker_mid_replay_keeps_conservation(self):
+        backend = ProcessPoolBackend(
+            workers=1, retry_fresh_worker=False, flush_timeout_s=30.0
+        )
+        executor = BatchExecutor(backend=backend)
+        try:
+            executor.warmup([8])  # spawn + warm the worker
+            for pid in _worker_pids(backend):
+                os.kill(pid, signal.SIGKILL)
+            summary = replay_trace(
+                _events(n_events=8),
+                policy=_fast_policy(backend=None),
+                executor=executor,
+                warmup=False,
+            )
+        finally:
+            backend.close()
+        # The flush that hit the dead worker failed its whole bucket;
+        # later flushes run on a fresh pool.  Nothing hangs, nothing is
+        # double-counted.
+        assert summary.failed >= 1
+        assert summary.completed + summary.failed + summary.shed == 8
+        assert summary.metrics.unaccounted == 0
+        assert any(isinstance(r, BackendError) for r in summary.outcomes)
+
+    def test_gate_flags_the_faulted_run(self):
+        clean = _report_with([_ok_run()])
+        faulted = _report_with([_ok_run(failure_rate=0.5)])
+        findings = compare_reports(clean, faulted)
+        assert any("failure rate regressed" in f for f in findings)
+
+    def test_failed_cell_never_hangs_the_grid(self):
+        # A cell whose policy names a dead backend class still yields a
+        # gateable entry (run_replay_cell catches, gate flags).
+        cells = policy_grid(backends=("no-such-backend",))
+        (run,) = [run_replay_cell(_events(), cells[0])]
+        findings = compare_reports(
+            _report_with([_ok_run(label=cells[0].label)]), _report_with([run])
+        )
+        assert any("failed run" in f for f in findings)
+
+    def test_run_record_carries_conservation_verdict(self):
+        summary = replay_trace(_events(n_events=6), policy=_fast_policy())
+        record = run_record("inline/tb16/d2ms", summary, _fast_policy())
+        assert record["conservation_ok"] is True
+        assert record["completed"] == 6
+        assert record["metrics"]["counters"]["submitted"] == 6
