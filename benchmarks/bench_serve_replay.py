@@ -7,7 +7,8 @@ Run:  PYTHONPATH=src python benchmarks/bench_serve_replay.py \
 Each grid cell replays the trace through a fresh broker with its own
 :class:`~repro.serve.policy.ServePolicy`, collecting the broker's
 ``ServeMetrics`` plus per-stage ``repro.obs`` latency summaries into a
-``repro.bench_serve_replay/v1`` report with an environment fingerprint.
+``repro.bench_serve_replay/v2`` report with an environment fingerprint
+(``--shards``/``--placements`` add sharded-fabric cells to the grid).
 Pass ``--baseline`` to additionally gate the fresh report against a
 committed one (same check as ``python -m repro replay-check``); the
 process exits nonzero on regression.
@@ -49,6 +50,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--max-delays-ms", default="2", help="comma-separated max_delay_s values (ms)"
     )
+    parser.add_argument(
+        "--shards", default="1", help="comma-separated broker shard counts"
+    )
+    parser.add_argument(
+        "--placements", default="size",
+        help="comma-separated placement policies for the sharded cells",
+    )
     parser.add_argument("--out", default="", help="write the report JSON here")
     parser.add_argument(
         "--baseline", default="", help="gate against this committed report"
@@ -65,6 +73,8 @@ def main(argv=None) -> int:
         backends=_csv(args.backends),
         target_batches=[int(v) for v in _csv(args.target_batches)],
         max_delays_ms=[float(v) for v in _csv(args.max_delays_ms)],
+        shards=[int(v) for v in _csv(args.shards)],
+        placements=_csv(args.placements),
     )
     trace = load_trace_file(args.trace)
     report = run_replay_grid(

@@ -1,0 +1,181 @@
+"""Throughput scaling of the sharded broker fabric: shards = 1 vs 2 vs 4.
+
+Run:  PYTHONPATH=src python benchmarks/bench_shards.py \
+          --trace benchmarks/traces/bursty_mixed.jsonl --out report.json
+
+Each configuration replays the bursty mixed-size canonical trace through
+the fabric (``repro.serve.shard.ShardedBroker``) with tracing on, and two
+numbers come out:
+
+* **wall-clock throughput** — completed requests / replay wall time.  On
+  a single-CPU, GIL-bound host this barely moves with the shard count:
+  the replay is paced by the trace's arrival clock and every shard
+  thread shares one core.
+* **coalesce+flush capacity** — completed requests / the *busiest single
+  shard's* serialized work (the sum of its ``submit`` span durations and
+  its per-bucket ``flush`` spans, which cover backend + scatter).  Each
+  shard runs one event loop, so that sum is the per-shard critical path;
+  sharding scales throughput exactly insofar as it shrinks it.  This is
+  the number that shows the fabric working even where wall clocks can't.
+
+The report artifact records both per configuration plus the capacity
+speedup of every cell against the single-broker baseline; the process
+exits nonzero when the best max-shard cell falls short of ``--gate``
+(default 1.5x, the acceptance floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.obs import InMemorySink, Tracer, set_tracer, span_to_dict
+from repro.serve.client import replay_trace
+from repro.serve.policy import ServePolicy
+from repro.serve.trace import load_trace_file, normalize_events, trace_sha256
+
+#: Schema tag of the shard-scaling report artifact.
+REPORT_SCHEMA = "repro.bench_shards/v1"
+
+#: The span kinds that serialize on one shard's event loop: per-request
+#: submits and per-bucket flushes (a flush span covers backend + scatter).
+_BUSY_SPANS = (("request", "submit"), ("serve", "flush"))
+
+
+def shard_busy_seconds(spans: list[dict]) -> dict:
+    """Per-shard serialized work, keyed by the ``shard`` span attribute.
+
+    Spans from a single (unsharded) broker carry no tag and land under
+    ``None`` — the degenerate one-shard case of the same accounting.
+    """
+    busy: dict = {}
+    for span in spans:
+        if (span.get("cat", ""), span["name"]) not in _BUSY_SPANS:
+            continue
+        shard = (span.get("attrs") or {}).get("shard")
+        busy[shard] = busy.get(shard, 0.0) + (span["t1"] - span["t0"])
+    return busy
+
+
+def run_cell(events, shards: int, placement: str | None) -> dict:
+    """Replay the trace through one fabric configuration, traced."""
+    policy = ServePolicy(
+        request_timeout_s=None,
+        backend="inline",
+        shards=shards,
+        placement=placement if shards > 1 else None,
+    )
+    sink = InMemorySink()
+    previous = set_tracer(Tracer([sink]))
+    try:
+        summary = replay_trace(events, policy=policy)
+    finally:
+        set_tracer(previous)
+    spans = [span_to_dict(s) for s in sink.spans]
+    busy = shard_busy_seconds(spans)
+    bottleneck_s = max(busy.values()) if busy else 0.0
+    label = f"sh{shards}" + (f"-{placement}" if shards > 1 else "")
+    return {
+        "label": label,
+        "shards": shards,
+        "placement": placement if shards > 1 else None,
+        "completed": summary.completed,
+        "failed": summary.failed,
+        "shed": summary.shed,
+        "conservation_ok": summary.metrics.unaccounted == 0,
+        "elapsed_s": summary.elapsed_s,
+        "wall_throughput_rps": summary.throughput_rps,
+        "busy_s_per_shard": {str(k): v for k, v in sorted(busy.items(), key=str)},
+        "bottleneck_busy_s": bottleneck_s,
+        "capacity_rps": summary.completed / bottleneck_s if bottleneck_s else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        default="benchmarks/traces/bursty_mixed.jsonl",
+        help="recorded workload trace (JSONL)",
+    )
+    parser.add_argument(
+        "--shards", default="1,2,4", help="comma-separated shard counts"
+    )
+    parser.add_argument(
+        "--placements", default="size,hash",
+        help="comma-separated placement policies for the sharded cells",
+    )
+    parser.add_argument("--out", default="", help="write the report JSON here")
+    parser.add_argument(
+        "--gate", type=float, default=1.5,
+        help="required capacity speedup of the best max-shard cell vs sh1",
+    )
+    args = parser.parse_args(argv)
+
+    shard_counts = [int(v) for v in args.shards.split(",") if v.strip()]
+    placements = [v.strip() for v in args.placements.split(",") if v.strip()]
+    events = normalize_events(load_trace_file(args.trace))
+    print(f"replaying {len(events)} events from {args.trace}\n")
+
+    runs = []
+    for shards in shard_counts:
+        for placement in placements if shards > 1 else [None]:
+            run = run_cell(events, shards, placement)
+            runs.append(run)
+            print(
+                f"{run['label']:<10} completed={run['completed']:<4} "
+                f"wall={run['wall_throughput_rps']:8.0f} req/s  "
+                f"capacity={run['capacity_rps']:8.0f} req/s  "
+                f"(bottleneck shard busy {run['bottleneck_busy_s'] * 1e3:.1f} ms)",
+                flush=True,
+            )
+
+    base = next(r for r in runs if r["shards"] == 1)
+    for run in runs:
+        run["capacity_speedup_vs_sh1"] = (
+            run["capacity_rps"] / base["capacity_rps"] if base["capacity_rps"] else 0.0
+        )
+
+    max_shards = max(shard_counts)
+    best = max(
+        (r for r in runs if r["shards"] == max_shards),
+        key=lambda r: r["capacity_rps"],
+    )
+    speedup = best["capacity_speedup_vs_sh1"]
+    print(
+        f"\ncoalesce+flush capacity speedup sh{max_shards} vs sh1: "
+        f"{speedup:.2f}x ({best['label']}; gate {args.gate:.2f}x)"
+    )
+
+    report = {
+        "schema": REPORT_SCHEMA,
+        "trace": {
+            "path": str(args.trace),
+            "sha256": trace_sha256(args.trace),
+            "events": len(events),
+        },
+        "runs": runs,
+        "best_max_shard_label": best["label"],
+        "capacity_speedup": speedup,
+        "gate": args.gate,
+        "gate_ok": speedup >= args.gate,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {pathlib.Path(args.out)}")
+
+    if not all(r["conservation_ok"] for r in runs):
+        print("FAIL: conservation violated in at least one run")
+        return 1
+    if speedup < args.gate:
+        print(f"FAIL: capacity speedup {speedup:.2f}x below gate {args.gate:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,14 @@ trains a rank-8 factorisation of a synthetic ratings matrix and reports
 the batch-solve workload it generates per iteration.
 
 Run:  python examples/als_recommender.py [--record-trace PATH]
+      [--serve-shards N] [--placement {size,hash}]
 
 ``--record-trace`` exports the solve stream the training run generates
 as a replayable workload trace (see ``docs/replay.md``) — the
 ALS-derived canonical trace under ``benchmarks/traces/`` is built this
-way.
+way.  ``--serve-shards`` additionally replays that solve stream through
+the adaptive-batching service (sharded broker fabric when N > 1, see
+``docs/sharding.md``) and reports the per-shard split.
 """
 
 import argparse
@@ -29,6 +32,19 @@ def main(argv=None) -> None:
         "--record-trace",
         default="",
         help="write the training run's solve stream as a workload trace",
+    )
+    parser.add_argument(
+        "--serve-shards",
+        type=int,
+        default=0,
+        help="also replay the solve stream through the serving layer with "
+             "this many broker shards (0 skips the replay)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("size", "hash"),
+        default=None,
+        help="shard placement policy for --serve-shards > 1",
     )
     args = parser.parse_args([] if argv is None else argv)
 
@@ -86,6 +102,31 @@ def main(argv=None) -> None:
             },
         )
         print(f"\nwrote {len(events)} solve arrivals to {args.record_trace}")
+
+    if args.serve_shards:
+        from repro.serve import ServePolicy, replay_trace
+
+        events = model.solve_trace(data, seed=model.seed)
+        # One user half-step's worth keeps the example quick; the full
+        # stream is what --record-trace + replay-check are for.
+        events = events[: min(len(events), 512)]
+        policy = ServePolicy(
+            request_timeout_s=None,
+            shards=args.serve_shards,
+            placement=args.placement,
+        )
+        summary = replay_trace(events, policy=policy)
+        print(
+            f"\nserved {summary.completed}/{summary.requests} ALS solves "
+            f"through {summary.shards} shard(s)"
+            + (f" (placement={summary.placement})" if summary.shards > 1 else "")
+        )
+        if summary.per_shard:
+            for shard, m in sorted(summary.per_shard.items()):
+                print(
+                    f"  shard {shard}: {m.counters['completed']} completed, "
+                    f"{m.counters['flushes']} flushes"
+                )
 
 
 if __name__ == "__main__":

@@ -10,13 +10,14 @@ build fuller buckets (higher modelled GFLOP/s per flush, fewer flushes)
 at the price of higher p95 coalesce latency.
 
 Run:  python examples/serving_traffic.py [--quick] [--backend NAME]
-      [--record-trace PATH]
+      [--record-trace PATH] [--shards N] [--placement {size,hash}]
 
 ``--quick`` shrinks the trace and the deadline grid (the CI smoke job
 uses it); ``--backend`` replays through a specific flush executor
 backend (inline, process, eventsim, shadow); ``--record-trace`` records
 the first replay's arrivals as a replayable workload trace
-(``docs/replay.md``).
+(``docs/replay.md``); ``--shards``/``--placement`` replay through the
+sharded broker fabric instead of a single broker (``docs/sharding.md``).
 """
 
 import argparse
@@ -54,6 +55,18 @@ def main(argv=None) -> None:
         default="",
         help="record the first replay's arrivals as a workload trace",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="broker shards (default: $REPRO_SERVE_SHARDS or 1)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("size", "hash"),
+        default=None,
+        help="shard placement policy (default: $REPRO_SERVE_PLACEMENT or size)",
+    )
     # main() is also invoked directly (tests, notebooks) with no argv;
     # only the __main__ guard forwards the real command line.
     args = parser.parse_args([] if argv is None else argv)
@@ -87,6 +100,8 @@ def main(argv=None) -> None:
             max_delay_s=deadline_ms / 1e3,
             request_timeout_s=None,
             backend=args.backend,
+            shards=args.shards,
+            placement=args.placement,
         )
         # Only the first deadline's replay is recorded — one workload,
         # not the concatenation of every grid point.
@@ -109,7 +124,11 @@ def main(argv=None) -> None:
             ]
         )
 
-    print(f"backend: {summary.backend}\n")
+    if summary.shards > 1:
+        print(f"backend: {summary.backend}  "
+              f"({summary.shards} shards, placement={summary.placement})\n")
+    else:
+        print(f"backend: {summary.backend}\n")
     print(
         format_table(
             [

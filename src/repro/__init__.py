@@ -45,7 +45,14 @@ from repro.autotune import (
 )
 from repro.batchblas import batched_gemm, batched_syrk, batched_trsm, tile_cholesky
 from repro.ml import RandomForestRegressor
-from repro.serve import ServeClient, ServeMetrics, ServePolicy, SolveBroker
+from repro.serve import (
+    ServeClient,
+    ServeMetrics,
+    ServePolicy,
+    ShardedBroker,
+    SolveBroker,
+    make_broker,
+)
 from repro.utils import random_spd_batch
 
 __version__ = "1.0.0"
@@ -84,7 +91,9 @@ __all__ = [
     "ServeClient",
     "ServeMetrics",
     "ServePolicy",
+    "ShardedBroker",
     "SolveBroker",
+    "make_broker",
     "random_spd_batch",
     "__version__",
 ]

@@ -193,6 +193,7 @@ def _cmd_serve_demo(args) -> int:
         JsonlSink,
         Tracer,
         render_prometheus,
+        render_prometheus_sharded,
         set_tracer,
     )
     from repro.serve import ServePolicy, run_demo
@@ -228,6 +229,8 @@ def _cmd_serve_demo(args) -> int:
             nonspd_fraction=args.nonspd_fraction,
             seed=args.seed,
             record_trace=args.record_trace or None,
+            shards=args.shards,
+            placement=args.placement,
         )
     finally:
         if tracer is not None:
@@ -238,8 +241,12 @@ def _cmd_serve_demo(args) -> int:
         p for p in (args.trace_out, args.trace_jsonl, args.record_trace) if p
     ]
     if args.prom_out:
+        if summary.per_shard:
+            prom = render_prometheus_sharded(summary.metrics, summary.per_shard)
+        else:
+            prom = render_prometheus(summary.metrics)
         with open(args.prom_out, "w", encoding="utf-8") as fh:
-            fh.write(render_prometheus(summary.metrics))
+            fh.write(prom)
         written.append(args.prom_out)
     if args.metrics_json:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:
@@ -277,6 +284,8 @@ def _cmd_replay_check(args) -> int:
             backends=tuple(args.backends.split(",")),
             target_batches=tuple(int(x) for x in args.target_batches.split(",")),
             max_delays_ms=tuple(float(x) for x in args.max_delays_ms.split(",")),
+            shards=tuple(int(x) for x in args.shards.split(",")),
+            placements=tuple(args.placements.split(",")),
         )
         current = run_replay_grid(
             trace,
@@ -304,10 +313,19 @@ def _cmd_replay_check(args) -> int:
 
 
 def _cmd_obs_summarize(args) -> int:
-    from repro.obs import check_request_spans, load_trace, summarize_trace
+    from repro.obs import (
+        check_request_spans,
+        load_trace,
+        summarize_shards,
+        summarize_trace,
+    )
 
     spans = load_trace(args.trace)
     print(summarize_trace(spans))
+    shard_table = summarize_shards(spans)
+    if shard_table:
+        print()
+        print(shard_table)
     if args.check:
         checked = check_request_spans(spans)
         print(f"request nesting ok ({checked} request(s) checked)")
@@ -423,6 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the demo's arrivals as a replayable workload trace "
              "(JSONL, see docs/replay.md)",
     )
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="broker shards (default: $REPRO_SERVE_SHARDS or 1; >1 builds "
+             "the sharded fabric, see docs/sharding.md)",
+    )
+    p.add_argument(
+        "--placement", choices=("size", "hash"), default=None,
+        help="shard placement policy (default: $REPRO_SERVE_PLACEMENT or size)",
+    )
     p.set_defaults(func=_cmd_serve_demo)
 
     p = sub.add_parser(
@@ -453,6 +480,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-delays-ms", default="2",
         help="comma-separated max_delay deadlines (ms) to grid over",
+    )
+    p.add_argument(
+        "--shards", default="1",
+        help="comma-separated shard counts to grid over (cells with >1 "
+             "shard get a /shN-<placement> label suffix)",
+    )
+    p.add_argument(
+        "--placements", default="size",
+        help="comma-separated placement policies (size,hash) for the "
+             "sharded cells",
     )
     p.add_argument(
         "--out", default="", help="also write the fresh replay report here"

@@ -13,7 +13,11 @@ table.  Tracing is off (and near-free) by default — enable it with
 See ``docs/observability.md``.
 """
 
-from repro.obs.prom import parse_prometheus_text, render_prometheus
+from repro.obs.prom import (
+    parse_prometheus_text,
+    render_prometheus,
+    render_prometheus_sharded,
+)
 from repro.obs.sinks import (
     ChromeTraceSink,
     InMemorySink,
@@ -25,7 +29,9 @@ from repro.obs.summarize import (
     REQUEST_STAGES,
     check_request_spans,
     load_trace,
+    shard_summary,
     stage_summary,
+    summarize_shards,
     summarize_trace,
 )
 from repro.obs.tracer import (
@@ -33,6 +39,7 @@ from repro.obs.tracer import (
     TRACE_ENV,
     NullTracer,
     Span,
+    TaggedTracer,
     Tracer,
     current_span,
     get_tracer,
@@ -52,6 +59,7 @@ __all__ = [
     "SpanSink",
     "TRACE_ENV",
     "Tracer",
+    "TaggedTracer",
     "check_request_spans",
     "current_span",
     "get_tracer",
@@ -59,9 +67,12 @@ __all__ = [
     "load_trace",
     "parse_prometheus_text",
     "render_prometheus",
+    "render_prometheus_sharded",
     "set_tracer",
+    "shard_summary",
     "span_to_dict",
     "stage_summary",
+    "summarize_shards",
     "summarize_trace",
     "tracer_from_env",
 ]

@@ -56,43 +56,129 @@ def _fmt(value: float) -> str:
     return repr(value)
 
 
-def render_prometheus(metrics, prefix: str = "repro_serve") -> str:
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_str(labels: dict | None, extra: str = "") -> str:
+    """``{k="v",...}`` for a sample line; empty string for no labels."""
+    parts = []
+    for key, value in (labels or {}).items():
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{key}="{escaped}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(metrics, prefix: str = "repro_serve", labels=None) -> str:
     """The text exposition of one :class:`ServeMetrics` (duck-typed).
 
     ``metrics`` needs ``counters``, ``histograms`` (name → histogram with
     ``count``/``total``/``min``/``max``/``percentile``), and
     ``unaccounted`` — exactly :class:`~repro.serve.metrics.ServeMetrics`.
+    ``labels`` (optional) stamps a fixed label set onto every sample —
+    how one shard's metrics render inside a larger page.  Without
+    ``labels``, per-shard shed attribution (``metrics.shed_by_shard``) is
+    emitted as additional ``shard="k"``-labeled samples of the shed
+    family; fabric pages use :func:`render_prometheus_sharded` instead.
     """
     if not _NAME_RE.match(prefix):
         raise ValueError(f"invalid metric prefix {prefix!r}")
+    label_s = _label_str(labels)
     lines: list[str] = []
     for name, value in metrics.counters.items():
         full = f"{prefix}_{name}_total"
         help_text = _COUNTER_HELP.get(name, f"Lifetime count of {name}.")
         lines.append(f"# HELP {full} {help_text}")
         lines.append(f"# TYPE {full} counter")
-        lines.append(f"{full} {_fmt(value)}")
+        lines.append(f"{full}{label_s} {_fmt(value)}")
+        if name == "shed" and labels is None:
+            for shard, count in sorted(
+                getattr(metrics, "shed_by_shard", {}).items()
+            ):
+                lines.append(f'{full}{{shard="{shard}"}} {_fmt(count)}')
 
     full = f"{prefix}_unaccounted"
     lines.append(f"# HELP {full} Submitted requests not yet resolved or shed.")
     lines.append(f"# TYPE {full} gauge")
-    lines.append(f"{full} {_fmt(metrics.unaccounted)}")
+    lines.append(f"{full}{label_s} {_fmt(metrics.unaccounted)}")
 
     for name, hist in metrics.histograms.items():
         full = f"{prefix}_{name}"
         lines.append(f"# HELP {full} Distribution of {name.replace('_', ' ')}.")
         lines.append(f"# TYPE {full} summary")
         for q in (0.5, 0.95, 0.99):
-            lines.append(
-                f'{full}{{quantile="{q}"}} {_fmt(hist.percentile(q * 100))}'
-            )
-        lines.append(f"{full}_sum {_fmt(hist.total)}")
-        lines.append(f"{full}_count {_fmt(hist.count)}")
+            qs = _label_str(labels, extra=f'quantile="{q}"')
+            lines.append(f"{full}{qs} {_fmt(hist.percentile(q * 100))}")
+        lines.append(f"{full}_sum{label_s} {_fmt(hist.total)}")
+        lines.append(f"{full}_count{label_s} {_fmt(hist.count)}")
         for suffix, value in (("min", hist.min), ("max", hist.max)):
             sub = f"{full}_{suffix}"
             lines.append(f"# HELP {sub} Exact {suffix} of {name.replace('_', ' ')}.")
             lines.append(f"# TYPE {sub} gauge")
-            lines.append(f"{sub} {_fmt(value)}")
+            lines.append(f"{sub}{label_s} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus_sharded(
+    merged, per_shard: dict, prefix: str = "repro_serve"
+) -> str:
+    """One exposition page for a sharded broker fabric.
+
+    Every family appears **once** (the format forbids duplicate ``# TYPE``
+    lines, and :func:`parse_prometheus_text` enforces that), carrying the
+    fabric-level merged sample unlabeled plus one ``shard="k"``-labeled
+    sample per shard.  ``merged`` is the fabric's merged
+    :class:`~repro.serve.metrics.ServeMetrics`; ``per_shard`` maps shard
+    id → that shard's own metrics (see
+    :meth:`~repro.serve.shard.ShardedBroker.per_shard_metrics`).
+    """
+    if not _NAME_RE.match(prefix):
+        raise ValueError(f"invalid metric prefix {prefix!r}")
+    shards = sorted(per_shard.items())
+    lines: list[str] = []
+
+    def _samples(full: str, pick, extra: str = "") -> None:
+        lines.append(f"{full}{_label_str(None, extra)} {_fmt(pick(merged))}")
+        for shard_id, metrics in shards:
+            ls = _label_str({"shard": shard_id}, extra)
+            lines.append(f"{full}{ls} {_fmt(pick(metrics))}")
+
+    for name in merged.counters:
+        full = f"{prefix}_{name}_total"
+        help_text = _COUNTER_HELP.get(name, f"Lifetime count of {name}.")
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} counter")
+        _samples(full, lambda m, name=name: m.counters.get(name, 0))
+
+    full = f"{prefix}_unaccounted"
+    lines.append(f"# HELP {full} Submitted requests not yet resolved or shed.")
+    lines.append(f"# TYPE {full} gauge")
+    _samples(full, lambda m: m.unaccounted)
+
+    for name in merged.histograms:
+        full = f"{prefix}_{name}"
+        lines.append(f"# HELP {full} Distribution of {name.replace('_', ' ')}.")
+        lines.append(f"# TYPE {full} summary")
+
+        def _hist(m, name=name):
+            return m.histograms[name]
+
+        for q in (0.5, 0.95, 0.99):
+            _samples(
+                full,
+                lambda m, q=q: _hist(m).percentile(q * 100),
+                extra=f'quantile="{q}"',
+            )
+        _samples(f"{full}_sum", lambda m: _hist(m).total)
+        _samples(f"{full}_count", lambda m: _hist(m).count)
+        for suffix in ("min", "max"):
+            sub = f"{full}_{suffix}"
+            lines.append(f"# HELP {sub} Exact {suffix} of {name.replace('_', ' ')}.")
+            lines.append(f"# TYPE {sub} gauge")
+            _samples(sub, lambda m, suffix=suffix: getattr(_hist(m), suffix))
     return "\n".join(lines) + "\n"
 
 

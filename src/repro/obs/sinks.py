@@ -147,8 +147,13 @@ class ChromeTraceSink(SpanSink):
         dur = max(0.0, (span.t1 - span.t0) * 1e6)
         if span.request is not None:
             # Async events keyed by (cat, id): one lane per request, the
-            # viewer nests the stage intervals by timestamp.
+            # viewer nests the stage intervals by timestamp.  Request
+            # sequence numbers are only unique within one broker, so
+            # shard-tagged spans qualify the lane id.
             rid = str(span.request)
+            shard = span.attrs.get("shard") if span.attrs else None
+            if shard is not None:
+                rid = f"s{shard}:{rid}"
             self._append(
                 {
                     "name": span.name,

@@ -149,6 +149,54 @@ def stage_summary(spans: list[dict]) -> dict[str, dict]:
     return out
 
 
+def shard_summary(spans: list[dict]) -> dict:
+    """Per-shard stage summaries, keyed by the ``shard`` span attribute.
+
+    Spans emitted through a shard's tagged tracer
+    (:class:`~repro.obs.tracer.TaggedTracer`) carry ``shard=k`` in their
+    attributes; grouping the stage histograms by that tag is what turns
+    "the fabric's flush p95 is slow" into "shard 2's flush p95 is slow".
+    Untagged spans (single-broker traces) produce an empty dict.
+    """
+    by_shard: dict = {}
+    for span in spans:
+        shard = (span.get("attrs") or {}).get("shard")
+        if shard is None:
+            continue
+        by_shard.setdefault(shard, []).append(span)
+    return {
+        shard: stage_summary(sub)
+        for shard, sub in sorted(by_shard.items(), key=lambda kv: str(kv[0]))
+    }
+
+
+def summarize_shards(spans: list[dict]) -> str:
+    """The per-shard stage attribution table; empty for untagged traces."""
+    from repro.utils.tables import format_table
+
+    per = shard_summary(spans)
+    if not per:
+        return ""
+    rows = []
+    for shard, stages in per.items():
+        for key, s in stages.items():
+            rows.append(
+                [
+                    shard,
+                    key,
+                    s["count"],
+                    s["mean_ms"],
+                    s["p50_ms"],
+                    s["p95_ms"],
+                    s["max_ms"],
+                ]
+            )
+    table = format_table(
+        ["shard", "stage", "count", "mean ms", "p50 ms", "p95 ms", "max ms"], rows
+    )
+    return f"per-shard stage attribution ({len(per)} shards)\n{table}"
+
+
 def summarize_trace(spans: list[dict]) -> str:
     """The per-stage latency breakdown table for one loaded trace.
 
@@ -190,38 +238,46 @@ def check_request_spans(spans: list[dict], slack_s: float = 1e-6) -> int:
     describing the first few violations otherwise.  ``slack_s`` absorbs
     clock rounding at span boundaries (Chrome export quantizes to µs).
     """
-    by_request: dict[int, dict[str, list[dict]]] = {}
+    # Request sequence numbers are only unique within one broker, so a
+    # sharded-fabric trace needs the shard tag in the grouping key —
+    # otherwise shard 0's request 1 and shard 1's request 1 interleave
+    # into one bogus chain.
+    by_request: dict[tuple, dict[str, list[dict]]] = {}
     for span in spans:
         rid = span.get("request")
         if rid is None:
             continue
-        by_request.setdefault(rid, {}).setdefault(span["name"], []).append(span)
+        shard = (span.get("attrs") or {}).get("shard")
+        key = (shard, rid)
+        by_request.setdefault(key, {}).setdefault(span["name"], []).append(span)
 
     problems: list[str] = []
     checked = 0
-    for rid, named in sorted(by_request.items(), key=lambda kv: str(kv[0])):
+    ordered = sorted(by_request.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1])))
+    for (shard, rid), named in ordered:
         roots = named.get("request")
         if not roots:
             # A shed or timed-out request never completes its chain.
             continue
         checked += 1
         root = roots[0]
+        label = f"request {rid}" if shard is None else f"shard {shard} request {rid}"
         missing = [stage for stage in REQUEST_STAGES if stage not in named]
         if missing:
-            problems.append(f"request {rid}: missing stages {missing}")
+            problems.append(f"{label}: missing stages {missing}")
             continue
         last_t0 = root["t0"] - slack_s
         for stage in REQUEST_STAGES:
             span = named[stage][0]
             if span["t0"] < root["t0"] - slack_s or span["t1"] > root["t1"] + slack_s:
                 problems.append(
-                    f"request {rid}: stage {stage} "
+                    f"{label}: stage {stage} "
                     f"[{span['t0']:.6f}, {span['t1']:.6f}] escapes request "
                     f"[{root['t0']:.6f}, {root['t1']:.6f}]"
                 )
             if span["t0"] < last_t0 - slack_s:
                 problems.append(
-                    f"request {rid}: stage {stage} starts before its predecessor"
+                    f"{label}: stage {stage} starts before its predecessor"
                 )
             last_t0 = span["t0"]
         backend = named["backend"][0]
@@ -230,7 +286,7 @@ def check_request_spans(spans: list[dict], slack_s: float = 1e-6) -> int:
             backend["t0"] < flush["t0"] - slack_s
             or backend["t1"] > flush["t1"] + slack_s
         ):
-            problems.append(f"request {rid}: backend stage escapes its flush")
+            problems.append(f"{label}: backend stage escapes its flush")
     if problems:
         raise ValueError(
             f"{len(problems)} request-nesting violation(s): "

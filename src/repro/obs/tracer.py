@@ -276,6 +276,59 @@ class Tracer:
                 sink.close()
 
 
+class TaggedTracer:
+    """A tracer view that stamps fixed attributes onto everything it emits.
+
+    The sharded broker fabric (:mod:`repro.serve.shard`) hands each shard
+    ``TaggedTracer({"shard": k})`` so every span, instant, and counter
+    sample a shard's broker produces carries its shard id — which is what
+    lets ``obs-summarize`` attribute a slow stage p95 to one loop.
+
+    The inner tracer is resolved **dynamically**: with ``inner=None``
+    (the default) every call reads the process-wide tracer via
+    :func:`get_tracer`, so installing or swapping the global tracer after
+    the fabric is built behaves exactly like it does for a plain broker.
+    Counter series names get a ``[tag=value]`` suffix instead of span
+    attributes, matching the broker's existing ``serve.bucket_fill[n=8]``
+    convention.  :meth:`close` is deliberately a no-op — a shard closing
+    must never tear down the shared tracer's sinks.
+    """
+
+    def __init__(self, tags: dict, inner=None) -> None:
+        self.tags = dict(tags)
+        self._inner = inner
+        self._suffix = "".join(f"[{k}={v}]" for k, v in sorted(self.tags.items()))
+
+    @property
+    def inner(self):
+        return self._inner if self._inner is not None else get_tracer()
+
+    @property
+    def enabled(self) -> bool:
+        return self.inner.enabled
+
+    def now(self) -> float:
+        return self.inner.now()
+
+    def span(self, name, **kwargs):
+        return self.inner.span(name, **{**kwargs, **self.tags})
+
+    def record(self, name, t0, t1, **kwargs) -> None:
+        self.inner.record(name, t0, t1, **{**kwargs, **self.tags})
+
+    def instant(self, name, **kwargs) -> None:
+        self.inner.instant(name, **{**kwargs, **self.tags})
+
+    def counter(self, name, values, t=None) -> None:
+        self.inner.counter(f"{name}{self._suffix}", values, t=t)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        return None
+
+
 # ----------------------------------------------------------------------
 # The process-wide tracer
 # ----------------------------------------------------------------------

@@ -14,7 +14,11 @@ shedding), per-request timeouts, retry-once for batch-poisoned requests,
 and a full metrics layer round it out.  Every stage is traced through
 :mod:`repro.obs` when a tracer is installed (``serve-demo --trace-out``,
 ``$REPRO_TRACE``), and metrics export in the Prometheus text format via
-:func:`repro.obs.render_prometheus`.  See ``docs/serving.md`` and
+:func:`repro.obs.render_prometheus`.  Above one shard the broker scales
+horizontally: :func:`~repro.serve.shard.make_broker` builds a
+:class:`~repro.serve.shard.ShardedBroker` fabric of per-shard event
+loops behind a consistent-hash router (:mod:`repro.serve.router`) —
+see ``docs/sharding.md``.  See also ``docs/serving.md`` and
 ``docs/observability.md``.
 """
 
@@ -53,13 +57,19 @@ from repro.serve.replay import (
     save_report,
 )
 from repro.serve.policy import (
+    PLACEMENT_ENV,
+    PLACEMENTS,
+    SHARDS_ENV,
     NotPositiveDefiniteError,
     RequestTimeout,
     ServeError,
     ServePolicy,
     ServiceClosed,
     ServiceOverloaded,
+    ShardDown,
 )
+from repro.serve.router import RING_REPLICAS, HashRing, ShardRouter, stable_hash
+from repro.serve.shard import BrokerShard, ShardedBroker, make_broker
 from repro.serve.trace import (
     RecordedEvent,
     RecordedTrace,
@@ -79,6 +89,17 @@ __all__ = [
     "BackendError",
     "BackendRun",
     "BatchExecutor",
+    "BrokerShard",
+    "HashRing",
+    "PLACEMENTS",
+    "PLACEMENT_ENV",
+    "RING_REPLICAS",
+    "SHARDS_ENV",
+    "ShardDown",
+    "ShardRouter",
+    "ShardedBroker",
+    "make_broker",
+    "stable_hash",
     "EventSimBackend",
     "ExecutorBackend",
     "FlushReport",

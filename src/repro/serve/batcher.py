@@ -24,9 +24,16 @@ import numpy as np
 KINDS = ("factor", "solve")
 
 
-@dataclass
+@dataclass(eq=False)
 class PendingRequest:
-    """One queued request: a matrix, an optional right-hand side, a future."""
+    """One queued request: a matrix, an optional right-hand side, a future.
+
+    Identity semantics (``eq=False``): every request is its own object —
+    value equality would compare the payload arrays, and the broker's
+    bookkeeping (bucket removal on timeout, the in-flight set it must
+    fail on abandon) wants *this request*, not a lookalike.  Identity
+    hashing also keeps the object usable in sets.
+    """
 
     seq: int
     kind: str

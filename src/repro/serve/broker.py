@@ -61,9 +61,15 @@ class SolveBroker:
         metrics: ServeMetrics | None = None,
         tracer=None,
         recorder=None,
+        shard_id: int | None = None,
     ) -> None:
         self.policy = policy or ServePolicy()
         self._tracer = tracer
+        #: Identity of this broker inside a sharded fabric
+        #: (:mod:`repro.serve.shard`); ``None`` for a standalone broker.
+        #: Stamped onto shed accounting so cross-shard metrics can say
+        #: *which* loop was saturated, not just that one was.
+        self.shard_id = shard_id
         #: Optional :class:`~repro.serve.trace.TraceRecorder`; when set,
         #: every validated arrival — including ones the queue cap sheds —
         #: is appended to it, so any run can be replayed later.
@@ -89,11 +95,25 @@ class SolveBroker:
         self._ticker: asyncio.Task | None = None
         self._snapshotter: asyncio.Task | None = None
         self._inflight: set[asyncio.Task] = set()
+        # Requests popped from the batcher whose flush hasn't resolved yet.
+        # The batcher no longer knows them, so abandoning the broker
+        # (fail_pending, e.g. on shard kill) must fail these explicitly or
+        # their futures would hang forever.
+        self._flushing: set[PendingRequest] = set()
 
     @property
     def tracer(self):
         """The explicit tracer if one was injected, else the global one."""
         return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the executor backend serving this broker's flushes."""
+        return self.executor.backend.name
+
+    def warmup(self, ns) -> None:
+        """Pre-resolve kernel configs for the given matrix sizes."""
+        self.executor.warmup(ns)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -118,6 +138,7 @@ class SolveBroker:
         self._closed = True
         if drain:
             for bucket in self.batcher.pop_all():
+                self._flushing.update(bucket.requests)
                 await self._run_flush(bucket.requests, "drain", bucket.threshold)
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
@@ -131,6 +152,28 @@ class SolveBroker:
         self.emit_snapshot()  # final sample so the series covers shutdown
         if self._owns_executor:
             self.executor.close()
+
+    def fail_pending(self, exc: Exception) -> int:
+        """Fail every request this broker still holds with ``exc``.
+
+        Covers both requests waiting in batcher buckets *and* requests
+        already popped for a flush that never resolved — the shard-kill
+        path of the fabric (:mod:`repro.serve.shard`) calls this from the
+        broker's own loop so conservation (submitted == completed +
+        failed + shed) survives an abrupt death.  Returns the number of
+        futures failed.
+        """
+        abandoned = list(self._flushing)
+        self._flushing.clear()
+        for bucket in self.batcher.pop_all():
+            abandoned.extend(bucket.requests)
+        failed = 0
+        for request in abandoned:
+            if not request.future.done():
+                request.future.set_exception(exc)
+                self.metrics.record_failure()
+                failed += 1
+        return failed
 
     async def __aenter__(self) -> "SolveBroker":
         return await self.start()
@@ -170,11 +213,11 @@ class SolveBroker:
             # A trace records *offered* load: shed requests are arrivals
             # too, so the hook sits ahead of the queue-cap check.
             nrhs = 0 if b is None else (1 if b.ndim == 1 else b.shape[1])
-            self.recorder.record(kind, a.shape[0], nrhs=nrhs)
+            self.recorder.record(kind, a.shape[0], nrhs=nrhs, shard=self.shard_id)
         await self.start()
         if self.batcher.pending >= self.policy.max_queue_depth:
             self.metrics.record_submit(self.batcher.pending)
-            self.metrics.record_shed()
+            self.metrics.record_shed(shard=self.shard_id)
             if tracer.enabled:
                 tracer.instant(
                     "shed", cat="serve", queue_depth=self.batcher.pending
@@ -264,6 +307,7 @@ class SolveBroker:
         requests = self.batcher.pop(bucket.n)
         if not requests:
             return
+        self._flushing.update(requests)
         task = asyncio.get_running_loop().create_task(
             self._run_flush(requests, reason, bucket.threshold)
         )
@@ -271,6 +315,14 @@ class SolveBroker:
         task.add_done_callback(self._inflight.discard)
 
     async def _run_flush(
+        self, requests: list[PendingRequest], reason: str, threshold: int
+    ) -> None:
+        try:
+            await self._run_flush_inner(requests, reason, threshold)
+        finally:
+            self._flushing.difference_update(requests)
+
+    async def _run_flush_inner(
         self, requests: list[PendingRequest], reason: str, threshold: int
     ) -> None:
         loop = asyncio.get_running_loop()
@@ -443,6 +495,7 @@ class SolveBroker:
             await asyncio.sleep(self.policy.flush_interval())
             now = asyncio.get_running_loop().time()
             for bucket in self.batcher.pop_due(now, self.policy.max_delay_s):
+                self._flushing.update(bucket.requests)
                 task = asyncio.get_running_loop().create_task(
                     self._run_flush(bucket.requests, "deadline", bucket.threshold)
                 )

@@ -29,15 +29,21 @@ import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
 from repro.obs.tracer import get_tracer
-from repro.serve.broker import SolveBroker
 from repro.serve.executor import BatchExecutor
 from repro.serve.metrics import ServeMetrics
 from repro.serve.policy import ServePolicy, ServiceClosed
+from repro.serve.shard import ShardedBroker, make_broker
 from repro.serve.trace import TraceRecorder, event_inputs, normalize_events
 
 
 class ServeClient:
-    """Blocking ``factor``/``solve`` calls against a broker on its own loop."""
+    """Blocking ``factor``/``solve`` calls against a broker on its own loop.
+
+    The broker shape follows the policy (:func:`~repro.serve.shard.make_broker`):
+    one :class:`~repro.serve.broker.SolveBroker` by default, a
+    :class:`~repro.serve.shard.ShardedBroker` fabric when the policy (or
+    ``$REPRO_SERVE_SHARDS``) asks for more than one shard.
+    """
 
     def __init__(
         self,
@@ -55,7 +61,7 @@ class ServeClient:
         self._started = started
         self._thread.start()
         started.wait()
-        self.broker = SolveBroker(
+        self.broker = make_broker(
             policy=policy, dispatcher=dispatcher, executor=executor,
             recorder=recorder,
         )
@@ -174,6 +180,12 @@ class ReplaySummary:
     metrics: ServeMetrics
     backend: str = "inline"
     outcomes: list = None  # type: ignore[assignment]
+    #: Fabric shape of the replay: shard count (1 for a plain broker),
+    #: placement policy, and each shard's own ServeMetrics (``None``
+    #: outside a sharded run).
+    shards: int = 1
+    placement: str | None = None
+    per_shard: dict | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -206,14 +218,14 @@ def replay_trace(
     inputs = [event_inputs(event) for event in events]
 
     async def _replay() -> ReplaySummary:
-        async with SolveBroker(
+        async with make_broker(
             policy=policy,
             dispatcher=dispatcher,
             executor=executor,
             recorder=recorder,
         ) as broker:
             if warmup:
-                broker.executor.warmup(e.n for e in events)
+                broker.warmup(e.n for e in events)
             loop = asyncio.get_running_loop()
             start = loop.time()
 
@@ -238,7 +250,11 @@ def replay_trace(
                 )
             completed = sum(1 for r in results if isinstance(r, np.ndarray))
             metrics = broker.metrics
-            backend_name = broker.executor.backend.name
+            backend_name = broker.backend_name
+            sharded = isinstance(broker, ShardedBroker)
+            shard_count = broker.shard_count if sharded else 1
+            placement = broker.placement if sharded else None
+            per_shard = broker.per_shard_metrics() if sharded else None
         return ReplaySummary(
             requests=len(events),
             completed=completed,
@@ -248,6 +264,9 @@ def replay_trace(
             metrics=metrics,
             backend=backend_name,
             outcomes=list(results),
+            shards=shard_count,
+            placement=placement,
+            per_shard=per_shard,
         )
 
     return asyncio.run(_replay())
@@ -264,16 +283,23 @@ def run_demo(
     seed: int = 0,
     backend: str | None = None,
     record_trace: str | None = None,
+    shards: int | None = None,
+    placement: str | None = None,
 ) -> tuple[str, ReplaySummary]:
     """Replay one synthetic trace and render the full metrics report.
 
     ``record_trace`` writes the arrivals the broker actually saw to a
     :mod:`repro.serve.trace` JSONL file, making the demo run itself a
-    replayable workload.
+    replayable workload.  ``shards``/``placement`` reshape the broker
+    into a :class:`~repro.serve.shard.ShardedBroker` fabric.
     """
     policy = policy or ServePolicy(target_batch=64, max_delay_s=0.004)
     if backend is not None:
         policy = replace(policy, backend=backend)
+    if shards is not None:
+        policy = replace(policy, shards=shards)
+    if placement is not None:
+        policy = replace(policy, placement=placement)
     trace = synthetic_trace(
         requests=requests,
         ns=ns,
@@ -313,7 +339,17 @@ def run_demo(
         f"served  : {summary.completed} ok, {summary.failed} failed, "
         f"{summary.shed} shed in {summary.elapsed_s * 1e3:.1f} ms "
         f"({summary.throughput_rps:.0f} req/s)",
-        "",
-        summary.metrics.report(),
     ]
+    if summary.per_shard is not None:
+        lines.append(
+            f"fabric  : {summary.shards} shards, placement={summary.placement}"
+        )
+        for shard_id in sorted(summary.per_shard):
+            c = summary.per_shard[shard_id].counters
+            lines.append(
+                f"  shard {shard_id}: {c['submitted']} submitted, "
+                f"{c['completed']} ok, {c['failed']} failed, "
+                f"{c['shed']} shed, {c['flushes']} flushes"
+            )
+    lines += ["", summary.metrics.report()]
     return "\n".join(lines), summary

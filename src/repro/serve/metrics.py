@@ -154,6 +154,11 @@ class ServeMetrics:
         self.histograms: dict[str, Histogram] = {
             name: Histogram() for name, _ in _HISTOGRAMS
         }
+        #: Sheds broken out by the broker shard that refused the request
+        #: (``shard_id`` of the fabric, see :mod:`repro.serve.shard`).
+        #: Empty for a standalone broker; the values always sum to at most
+        #: ``counters["shed"]`` (exactly, when every shed was attributed).
+        self.shed_by_shard: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -163,8 +168,10 @@ class ServeMetrics:
         self.counters["submitted"] += 1
         self.histograms["queue_depth"].observe(queue_depth)
 
-    def record_shed(self) -> None:
+    def record_shed(self, shard: int | None = None) -> None:
         self.counters["shed"] += 1
+        if shard is not None:
+            self.shed_by_shard[shard] = self.shed_by_shard.get(shard, 0) + 1
 
     def record_completion(self) -> None:
         self.counters["completed"] += 1
@@ -212,6 +219,43 @@ class ServeMetrics:
             self.histograms["coalesce_latency_ms"].observe(wait * 1e3)
 
     # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "ServeMetrics") -> "ServeMetrics":
+        """Fold ``other``'s counters and histograms into this one in place.
+
+        Counters add exactly; histograms merge via :meth:`Histogram.merge`
+        (exact count/total/extrema, approximate percentiles).  This is the
+        fabric-level aggregation primitive: the merged snapshot of N
+        shards is ``ServeMetrics.merged(shard_metrics)``, and accounting
+        (``unaccounted``) composes — a fabric of clean shards is clean.
+        """
+        if not isinstance(other, ServeMetrics):
+            raise TypeError(
+                f"can only merge ServeMetrics, got {type(other).__name__}"
+            )
+        for name, count in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + count
+        for name, hist in other.histograms.items():
+            if name in self.histograms:
+                self.histograms[name].merge(hist)
+            else:
+                fresh = Histogram(max_samples=hist.max_samples)
+                self.histograms[name] = fresh.merge(hist)
+        for shard, count in other.shed_by_shard.items():
+            self.shed_by_shard[shard] = self.shed_by_shard.get(shard, 0) + count
+        return self
+
+    @classmethod
+    def merged(cls, parts) -> "ServeMetrics":
+        """A fresh ServeMetrics equal to the element-wise merge of ``parts``."""
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
 
@@ -230,13 +274,20 @@ class ServeMetrics:
     # ------------------------------------------------------------------
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "counters": dict(self.counters),
             "unaccounted": self.unaccounted,
             "histograms": {
                 name: hist.summary() for name, hist in self.histograms.items()
             },
         }
+        if self.shed_by_shard:
+            # JSON object keys are strings; sort for stable serialization.
+            out["shed_by_shard"] = {
+                str(shard): count
+                for shard, count in sorted(self.shed_by_shard.items())
+            }
+        return out
 
     def as_json(self, indent: int | None = 1) -> str:
         return json.dumps(self.as_dict(), indent=indent)

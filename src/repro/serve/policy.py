@@ -18,9 +18,22 @@ keeps every flushed batch on the packed fast path.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.core.config import KernelConfig
+
+#: Placement policies of the sharded broker fabric (see
+#: :mod:`repro.serve.router`): ``size`` keys the hash ring by matrix
+#: dimension so one shard owns each size class, ``hash`` keys it by
+#: (dimension, request) so one hot size spreads across replicas.
+PLACEMENTS = ("size", "hash")
+
+#: Environment variables consulted when a policy leaves ``shards`` /
+#: ``placement`` unset — the CI matrix uses them to run the serve suite
+#: through a sharded fabric without touching each test's policy.
+SHARDS_ENV = "REPRO_SERVE_SHARDS"
+PLACEMENT_ENV = "REPRO_SERVE_PLACEMENT"
 
 
 class ServeError(RuntimeError):
@@ -29,6 +42,14 @@ class ServeError(RuntimeError):
 
 class ServiceOverloaded(ServeError):
     """The pending-request queue is full; the request was shed."""
+
+
+class ShardDown(ServeError):
+    """The broker shard holding this request died before resolving it.
+
+    Raised for the in-flight futures of a killed shard, and for new
+    submissions when no shard of the fabric is left alive.
+    """
 
 
 class RequestTimeout(ServeError):
@@ -105,6 +126,19 @@ class ServePolicy:
         :mod:`repro.obs` tracer, turning lifetime aggregates into time
         series.  ``None`` (the default) disables snapshots; they are also
         skipped while tracing is disabled.
+    shards:
+        Broker shard count of the fabric (:mod:`repro.serve.shard`).
+        ``None`` consults the ``REPRO_SERVE_SHARDS`` environment variable
+        and falls back to 1; at 1 the plain single-loop
+        :class:`~repro.serve.broker.SolveBroker` serves directly, above 1
+        :func:`~repro.serve.shard.make_broker` builds a
+        :class:`~repro.serve.shard.ShardedBroker` running one broker
+        event loop (and one backend instance) per shard.  ``max_queue_depth``
+        and the other robustness knobs apply *per shard*.
+    placement:
+        Shard placement policy (``size`` or ``hash`` — see
+        :mod:`repro.serve.router`).  ``None`` consults
+        ``REPRO_SERVE_PLACEMENT`` and falls back to ``size``.
     """
 
     target_batch: int = 256
@@ -120,6 +154,8 @@ class ServePolicy:
     shadow_fraction: float = 1.0
     shadow_tolerance: float = 1e-3
     snapshot_interval_s: float | None = None
+    shards: int | None = None
+    placement: str | None = None
 
     def __post_init__(self) -> None:
         if self.target_batch <= 0:
@@ -157,6 +193,44 @@ class ServePolicy:
                 f"snapshot_interval_s must be positive or None, "
                 f"got {self.snapshot_interval_s}"
             )
+        if self.shards is not None and self.shards <= 0:
+            raise ValueError(
+                f"shards must be positive or None, got {self.shards}"
+            )
+        if self.placement is not None and self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+
+    def shard_count(self) -> int:
+        """The effective shard count: explicit, else ``$REPRO_SERVE_SHARDS``, else 1."""
+        if self.shards is not None:
+            return self.shards
+        value = os.environ.get(SHARDS_ENV, "").strip()
+        if not value:
+            return 1
+        try:
+            shards = int(value)
+        except ValueError:
+            raise ValueError(
+                f"{SHARDS_ENV} must be an integer, got {value!r}"
+            ) from None
+        if shards <= 0:
+            raise ValueError(f"{SHARDS_ENV} must be positive, got {shards}")
+        return shards
+
+    def placement_name(self) -> str:
+        """The effective placement: explicit, else ``$REPRO_SERVE_PLACEMENT``, else size."""
+        if self.placement is not None:
+            return self.placement
+        value = os.environ.get(PLACEMENT_ENV, "").strip()
+        if not value:
+            return PLACEMENTS[0]
+        if value not in PLACEMENTS:
+            raise ValueError(
+                f"{PLACEMENT_ENV} must be one of {PLACEMENTS}, got {value!r}"
+            )
+        return value
 
     def flush_interval(self) -> float:
         """How often the broker scans buckets for expired deadlines."""

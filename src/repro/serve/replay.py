@@ -30,7 +30,14 @@ from repro.serve.policy import ServePolicy
 from repro.serve.trace import RecordedTrace, normalize_events, trace_sha256
 
 #: Schema tag of the replay report; bump on breaking layout changes.
-REPORT_SCHEMA = "repro.bench_serve_replay/v1"
+#: v2 added the shard dimension (``policy.shards``/``policy.placement``,
+#: per-run ``shards``/``placement``/``per_shard``); v1 reports remain
+#: readable because every added field is additive.
+REPORT_SCHEMA = "repro.bench_serve_replay/v2"
+
+#: Schemas :func:`load_report` accepts.  v1 baselines gate v2 reports —
+#: the comparison matches runs by label and v1 labels are a subset.
+SUPPORTED_SCHEMAS = ("repro.bench_serve_replay/v1", REPORT_SCHEMA)
 
 
 # ----------------------------------------------------------------------
@@ -50,29 +57,43 @@ def policy_grid(
     backends=("inline",),
     target_batches=(64,),
     max_delays_ms=(2.0,),
+    shards=(1,),
+    placements=("size",),
     base: ServePolicy | None = None,
 ) -> list[GridCell]:
-    """The cross product of backends × batch targets × deadlines.
+    """The cross product of backends × batch targets × deadlines × shards.
 
     Labels are stable (``inline/tb64/d2ms``) so baseline and current
-    reports match runs by name even when the grid is re-ordered.
+    reports match runs by name even when the grid is re-ordered.  The
+    shard dimension only *suffixes* the label (``inline/tb64/d2ms/sh4-size``)
+    when a cell runs more than one shard, so single-shard labels — and the
+    committed v1 baselines that name them — stay byte-identical.  With
+    ``shards != 1`` the placement dimension fans out too; at one shard the
+    placement is irrelevant and only a single cell is emitted.
     """
     base = base or ServePolicy(request_timeout_s=None)
     cells = []
     for backend in backends:
         for tb in target_batches:
             for delay_ms in max_delays_ms:
-                cells.append(
-                    GridCell(
-                        label=f"{backend}/tb{tb}/d{delay_ms:g}ms",
-                        policy=replace(
-                            base,
-                            backend=backend,
-                            target_batch=tb,
-                            max_delay_s=delay_ms / 1e3,
-                        ),
-                    )
-                )
+                for shard_count in shards:
+                    for placement in placements if shard_count != 1 else (None,):
+                        label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
+                        if shard_count != 1:
+                            label += f"/sh{shard_count}-{placement}"
+                        cells.append(
+                            GridCell(
+                                label=label,
+                                policy=replace(
+                                    base,
+                                    backend=backend,
+                                    target_batch=tb,
+                                    max_delay_s=delay_ms / 1e3,
+                                    shards=shard_count,
+                                    placement=placement,
+                                ),
+                            )
+                        )
     return cells
 
 
@@ -107,6 +128,8 @@ def _policy_dict(policy: ServePolicy) -> dict:
         "max_delay_ms": policy.max_delay_s * 1e3,
         "max_queue_depth": policy.max_queue_depth,
         "snap_to_chunk": policy.snap_to_chunk,
+        "shards": policy.shard_count(),
+        "placement": policy.placement_name(),
     }
 
 
@@ -136,6 +159,13 @@ def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
         "batch_mean": m.histograms["batch_size"].mean,
         "fill_mean": m.histograms["batch_fill"].mean,
         "gflops_mean": m.histograms["flush_gflops"].mean,
+        "shards": getattr(summary, "shards", 1),
+        "placement": getattr(summary, "placement", None),
+        "per_shard": {
+            str(shard): pm.as_dict() for shard, pm in sorted(summary.per_shard.items())
+        }
+        if getattr(summary, "per_shard", None)
+        else None,
         "metrics": m.as_dict(),
         "stages": stages or {},
     }
@@ -210,9 +240,10 @@ def load_report(path) -> dict:
     with open(path, encoding="utf-8") as fh:
         report = json.load(fh)
     schema = report.get("schema") if isinstance(report, dict) else None
-    if schema != REPORT_SCHEMA:
+    if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(
-            f"{path}: expected a {REPORT_SCHEMA} report, got schema {schema!r}"
+            f"{path}: expected one of {SUPPORTED_SCHEMAS} reports, "
+            f"got schema {schema!r}"
         )
     return report
 

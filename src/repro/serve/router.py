@@ -1,0 +1,164 @@
+"""Shard placement: a stable hash ring and the two routing policies.
+
+The paper's interleaved layout wins because every chunk is homogeneous —
+all matrices in a launch share one size and one tuned configuration.  The
+sharded broker fabric (:mod:`repro.serve.shard`) extends that idea one
+level up: requests are partitioned across broker shards so each shard's
+event loop ticks deadlines and dispatches flushes for only a slice of the
+traffic.  This module decides the partition:
+
+``size``
+    The ring is keyed by matrix dimension alone, so one shard owns each
+    size class outright.  Flushes stay exactly as homogeneous as the
+    single-broker batcher made them (same buckets, same thresholds, same
+    fill), and every size class pays its deadline ticks on one loop.
+    This is the paper's chunking discipline applied to event loops.
+
+``hash``
+    The ring is keyed by (dimension, request sequence), spreading one hot
+    size across every shard.  Buckets are smaller per shard but no loop
+    becomes the hot size's bottleneck — the right policy when one ``n``
+    dominates the offered load.
+
+Both policies ride the same :class:`HashRing`: consistent hashing with
+virtual nodes over a *stable* hash (BLAKE2b, never Python's salted
+``hash()``), so placement is reproducible across processes and resizing
+the fabric moves a bounded fraction of keys — adding or removing one
+shard of ``N`` strands about ``1/N`` (bounded in tests by ``2/N``) of the
+keyspace, instead of reshuffling everything the way ``key % N`` would.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.serve.policy import PLACEMENTS, ShardDown
+
+#: Virtual nodes per shard.  More replicas smooth the arc distribution
+#: (tighter load balance, smaller movement bound variance) at a small
+#: memory/lookup cost; 64 keeps the 2/N movement bound comfortably.
+RING_REPLICAS = 64
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit position for ``key``, identical in every process.
+
+    Python's builtin ``hash`` is salted per interpreter (PYTHONHASHSEED),
+    which would silently re-shard the fabric between runs; BLAKE2b is
+    fast, unsalted, and well distributed.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing over shard ids with virtual nodes.
+
+    Each shard contributes :attr:`replicas` points on a 64-bit circle; a
+    key is owned by the first point clockwise of its hash.  Adding or
+    removing one shard only reassigns the arcs adjacent to that shard's
+    points — the bounded-movement property the fabric's resize semantics
+    (and the property tests) rely on.
+    """
+
+    def __init__(self, shard_ids=(), replicas: int = RING_REPLICAS) -> None:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._shards: set[int] = set()
+        self._points: list[tuple[int, int]] = []  # (position, shard), sorted
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._shards
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def _positions(self, shard_id: int):
+        for replica in range(self.replicas):
+            yield stable_hash(f"shard={shard_id}/vnode={replica}")
+
+    def add(self, shard_id: int) -> None:
+        """Add one shard's virtual nodes to the ring (idempotent)."""
+        shard_id = int(shard_id)
+        if shard_id in self._shards:
+            return
+        self._shards.add(shard_id)
+        for pos in self._positions(shard_id):
+            bisect.insort(self._points, (pos, shard_id))
+
+    def remove(self, shard_id: int) -> None:
+        """Remove one shard's virtual nodes from the ring (idempotent)."""
+        shard_id = int(shard_id)
+        if shard_id not in self._shards:
+            return
+        self._shards.discard(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key``: first ring point clockwise of its hash."""
+        if not self._points:
+            raise ShardDown("hash ring is empty: no shards to place onto")
+        pos = stable_hash(key)
+        index = bisect.bisect_right(self._points, (pos, -1))
+        if index == len(self._points):  # wrap past the top of the circle
+            index = 0
+        return self._points[index][1]
+
+
+class ShardRouter:
+    """Places requests onto alive shards under one placement policy.
+
+    The router is the fabric's only placement authority: the
+    :class:`~repro.serve.shard.ShardedBroker` asks it where each request
+    goes and tells it when a shard dies (:meth:`mark_down`), after which
+    the ring re-owns the dead shard's keys among the survivors and no new
+    work lands there.
+    """
+
+    def __init__(
+        self,
+        shard_ids,
+        placement: str = PLACEMENTS[0],
+        replicas: int = RING_REPLICAS,
+    ) -> None:
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {placement!r}"
+            )
+        shard_ids = [int(s) for s in shard_ids]
+        if not shard_ids:
+            raise ValueError("router needs at least one shard")
+        self.placement = placement
+        self._ring = HashRing(shard_ids, replicas=replicas)
+
+    @property
+    def alive(self) -> tuple[int, ...]:
+        """Shards the router still places work onto."""
+        return self._ring.shards
+
+    def key_for(self, n: int, seq: int) -> str:
+        """The ring key of one request under the active placement."""
+        if self.placement == "size":
+            return f"n={int(n)}"
+        return f"n={int(n)}/r={int(seq)}"
+
+    def place(self, n: int, seq: int) -> int:
+        """The shard that should serve a request of dimension ``n``.
+
+        ``seq`` is the fabric's submission sequence number; it only
+        participates under ``hash`` placement, where it spreads one size
+        class across replicas.
+        """
+        return self._ring.lookup(self.key_for(n, seq))
+
+    def mark_down(self, shard_id: int) -> None:
+        """Stop placing work on ``shard_id`` (idempotent)."""
+        self._ring.remove(shard_id)

@@ -1,0 +1,545 @@
+"""The sharded broker fabric: N broker event loops behind one front door.
+
+A single :class:`~repro.serve.broker.SolveBroker` runs every stage of
+every request on one asyncio loop — deadline ticks, bucket bookkeeping,
+flush dispatch, and result scatter all contend for the same thread, which
+caps throughput well before the flush backends do.  The fabric scales
+past that loop the way the paper's interleaved layout scales past one
+matrix: partition the work into homogeneous slices and run each slice on
+its own lane.
+
+:class:`ShardedBroker` owns N :class:`BrokerShard`\\ s.  Each shard runs
+one ``SolveBroker`` on a private event loop in a private thread, with its
+own :class:`~repro.serve.executor.BatchExecutor` and its own backend
+instance (its own process pool, its own shadow mirror, ...).  A
+:class:`~repro.serve.router.ShardRouter` places every submission under
+one of two policies — ``size`` (one shard owns each size class; flushes
+stay as homogeneous as the paper's chunks) or ``hash`` (a hot size
+spreads across shards on a stable ring).  The fabric preserves the plain
+broker's contract — ``submit()``/``factor()``/``solve()`` awaitables,
+async context manager, ``metrics``, graceful drain on close — so every
+existing call site (`serve-demo`, ``serving_traffic.py``, the ALS
+example, trace replay) can swap it in via :func:`make_broker` without
+changes.
+
+Failure semantics: killing a shard (:meth:`ShardedBroker.kill_shard`, or
+the shard loop dying on its own) fails **only that shard's** in-flight
+futures with :class:`~repro.serve.policy.ShardDown`, keeps accounting
+conserved (they are recorded as failures), and removes the shard from the
+router so new work flows around it.  The fabric never hangs on a dead
+shard; it raises :class:`ShardDown` only when *no* shard is left.
+
+Observability: each shard's broker gets a
+:class:`~repro.obs.tracer.TaggedTracer` stamping ``shard=k`` onto every
+span and counter series, per-shard metrics stay inspectable via
+:meth:`ShardedBroker.per_shard_metrics`, and the fabric-level
+:attr:`ShardedBroker.metrics` is the exact element-wise merge
+(:meth:`~repro.serve.metrics.ServeMetrics.merged`) of the shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import threading
+
+import numpy as np
+
+from repro.autotune.dispatch import TunedDispatcher
+from repro.obs.tracer import TaggedTracer, get_tracer
+from repro.serve.batcher import KINDS
+from repro.serve.broker import SolveBroker
+from repro.serve.metrics import ServeMetrics
+from repro.serve.policy import (
+    ServeError,
+    ServePolicy,
+    ServiceClosed,
+    ShardDown,
+)
+from repro.serve.router import RING_REPLICAS, ShardRouter
+
+
+class BrokerShard:
+    """One broker on one private event loop in one private thread.
+
+    The shard is the fabric's unit of isolation: its broker, batcher,
+    executor, and backend instance live entirely on (or are owned by) the
+    shard's loop thread, and the only cross-thread traffic is
+    ``run_coroutine_threadsafe`` handoffs.  The fabric talks to it
+    through three doors: :meth:`submit` (returns a
+    ``concurrent.futures.Future``), :meth:`begin_close` (graceful drain),
+    and :meth:`kill` (abrupt death for fault injection — fails every
+    held future with :class:`ShardDown` and stops the loop).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        policy: ServePolicy,
+        dispatcher: TunedDispatcher | None = None,
+        tracer=None,
+        metrics: ServeMetrics | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.policy = policy
+        #: Set before the loop is asked to stop, so the fabric can route
+        #: around this shard without racing the loop's death.
+        self.dead = threading.Event()
+        self._loop = asyncio.new_event_loop()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        # Handoff futures not yet resolved; anything still here when the
+        # loop exits is failed with ShardDown so no caller ever hangs on
+        # a callback the dead loop will never run.
+        self._outstanding: set[concurrent.futures.Future] = set()
+        self._finished = threading.Event()
+        self._kill_requested = False
+        self.broker = SolveBroker(
+            policy=policy,
+            dispatcher=dispatcher,
+            metrics=metrics,
+            tracer=TaggedTracer({"shard": shard_id}, inner=tracer),
+            recorder=None,  # the fabric records arrivals, with shard ids
+            shard_id=shard_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "BrokerShard":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"repro-shard-{self.shard_id}", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._fail_outstanding()
+            with contextlib.suppress(Exception):
+                self._loop.close()
+
+    def _fail_outstanding(self) -> None:
+        self._finished.set()
+        with self._lock:
+            pending = list(self._outstanding)
+            self._outstanding.clear()
+        for cf in pending:
+            self._fail_cf(cf)
+
+    def _fail_cf(self, cf: concurrent.futures.Future) -> None:
+        if not cf.done():
+            with contextlib.suppress(concurrent.futures.InvalidStateError):
+                cf.set_exception(
+                    ShardDown(f"shard {self.shard_id} stopped before responding")
+                )
+
+    def _discard(self, cf: concurrent.futures.Future) -> None:
+        with self._lock:
+            self._outstanding.discard(cf)
+
+    # ------------------------------------------------------------------
+    # Submission handoff
+    # ------------------------------------------------------------------
+
+    def submit(self, kind, a, b=None) -> concurrent.futures.Future:
+        """Hand one request to this shard's broker; thread-safe.
+
+        Raises :class:`ShardDown` immediately when the shard is already
+        known-dead, so the router can place the request elsewhere before
+        any state changes hands.
+        """
+        if self.dead.is_set():
+            raise ShardDown(f"shard {self.shard_id} is down")
+        try:
+            cf = asyncio.run_coroutine_threadsafe(
+                self.broker.submit(kind, a, b), self._loop
+            )
+        except RuntimeError:  # loop closed under us
+            raise ShardDown(f"shard {self.shard_id} is down") from None
+        with self._lock:
+            self._outstanding.add(cf)
+        cf.add_done_callback(self._discard)
+        # The loop may have finished between scheduling and registration;
+        # the finished flag is set before outstanding futures are failed,
+        # so checking it here closes the race.
+        if self._finished.is_set():
+            self._fail_cf(cf)
+        return cf
+
+    # ------------------------------------------------------------------
+    # Shutdown paths
+    # ------------------------------------------------------------------
+
+    def begin_close(self, drain: bool = True) -> concurrent.futures.Future | None:
+        """Start a graceful broker close on the shard loop.
+
+        Returns the handoff future of ``broker.close`` (awaitable via
+        ``asyncio.wrap_future``), or ``None`` when the shard is already
+        dead or never started.  :meth:`shutdown` must still run afterwards
+        to stop the loop and join the thread.
+        """
+        if self.dead.is_set() or self._thread is None:
+            return None
+        self.dead.set()
+        try:
+            return asyncio.run_coroutine_threadsafe(
+                self.broker.close(drain=drain), self._loop
+            )
+        except RuntimeError:
+            return None
+
+    def kill(self) -> None:
+        """Abrupt death: fail everything this shard holds, stop its loop.
+
+        Models a shard crash (the in-process analogue of SIGKILLing a
+        shard process): no drain, no flush of queued buckets — every
+        pending and in-flight future fails with :class:`ShardDown`, and
+        accounting still balances because those futures are recorded as
+        failures.  Idempotent and non-blocking; the loop thread finishes
+        asynchronously and :meth:`shutdown` (or fabric close) reaps it.
+        """
+        if self.dead.is_set():
+            return
+        self.dead.set()
+        self._kill_requested = True
+        coro = self._kill()
+        try:
+            asyncio.run_coroutine_threadsafe(coro, self._loop)
+        except RuntimeError:  # loop already gone — nothing left to kill
+            coro.close()
+
+    async def _kill(self) -> None:
+        broker = self.broker
+        broker._closed = True  # reject submissions that beat the dead flag
+        broker.fail_pending(ShardDown(f"shard {self.shard_id} killed"))
+        # Give awaiting submit coroutines a few loop iterations to observe
+        # their failed futures and resolve their handoff futures cleanly.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        tasks = [
+            t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.wait(tasks, timeout=1.0)
+        asyncio.get_running_loop().stop()
+
+    def shutdown(self) -> None:
+        """Stop the loop (if still running), join the thread, free the backend."""
+        self.dead.set()
+        if self._thread is None:
+            return
+        # A requested kill stops the loop itself; racing a second stop in
+        # could halt the loop before the kill coroutine ever starts,
+        # leaving it queued (and unawaited) forever.
+        if not self._finished.is_set() and not self._kill_requested:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        # A killed shard's broker never ran close(), so its executor (and
+        # backend — worker pools!) is still open; release it here.
+        with contextlib.suppress(Exception):
+            self.broker.executor.close()
+
+
+class ShardedBroker:
+    """N broker shards behind one router, presenting one broker surface.
+
+    Use exactly like a :class:`~repro.serve.broker.SolveBroker`::
+
+        async with ShardedBroker(policy, shards=4, placement="size") as broker:
+            x = await broker.solve(a, b)
+
+    or let :func:`make_broker` pick the shape from the policy.  The
+    fabric runs on the *caller's* event loop; each shard runs on its own.
+    """
+
+    def __init__(
+        self,
+        policy: ServePolicy | None = None,
+        dispatcher: TunedDispatcher | None = None,
+        tracer=None,
+        recorder=None,
+        shards: int | None = None,
+        placement: str | None = None,
+        ring_replicas: int = RING_REPLICAS,
+    ) -> None:
+        self.policy = policy or ServePolicy()
+        count = shards if shards is not None else self.policy.shard_count()
+        if count <= 0:
+            raise ValueError(f"shards must be positive, got {count}")
+        self.placement = (
+            placement if placement is not None else self.policy.placement_name()
+        )
+        self._tracer = tracer
+        self.recorder = recorder
+        self.router = ShardRouter(
+            range(count), placement=self.placement, replicas=ring_replicas
+        )
+        self.shards: dict[int, BrokerShard] = {
+            k: BrokerShard(
+                k, self.policy, dispatcher=dispatcher, tracer=tracer
+            )
+            for k in range(count)
+        }
+        self._seq = 0
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The explicit tracer if one was injected, else the global one."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the executor backend serving the shards' flushes."""
+        return self.shards[0].broker.backend_name
+
+    async def start(self) -> "ShardedBroker":
+        """Start every shard's loop thread (idempotent)."""
+        if not self._started:
+            self._started = True
+            for shard in self.shards.values():
+                shard.start()
+        return self
+
+    async def close(self, drain: bool = True) -> None:
+        """Drain (or drop) queued work on every live shard, then stop them."""
+        if self._closed:
+            return
+        self._closed = True
+        closes = []
+        for shard in self.shards.values():
+            cf = shard.begin_close(drain=drain)
+            if cf is not None:
+                closes.append(asyncio.wrap_future(cf))
+        if closes:
+            await asyncio.gather(*closes, return_exceptions=True)
+        for shard in self.shards.values():
+            shard.shutdown()
+
+    async def __aenter__(self) -> "ShardedBroker":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def warmup(self, ns) -> None:
+        """Pre-resolve kernel configs on every shard's executor."""
+        sizes = list(ns)
+        for shard in self.shards.values():
+            shard.broker.warmup(sizes)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def factor(self, a: np.ndarray) -> np.ndarray:
+        """Factor one SPD matrix; resolves to its ``(n, n)`` lower factor."""
+        return await self.submit("factor", a)
+
+    async def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for one SPD matrix; resolves to ``x``."""
+        return await self.submit("solve", a, b)
+
+    async def submit(
+        self, kind: str, a: np.ndarray, b: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Route one request to its shard and await the result.
+
+        Mirrors ``SolveBroker.submit`` errors: ``ValueError`` for bad
+        inputs, ``ServiceClosed`` after close, ``ServiceOverloaded`` when
+        the target shard sheds, plus :class:`ShardDown` when the shard
+        holding the request dies (or none are left to take it).
+        """
+        n = self._check(kind, a, b)
+        if self._closed:
+            raise ServiceClosed("broker is closed")
+        await self.start()
+        self._seq += 1
+        seq = self._seq
+        target, shard, cf = self._place(kind, a, b, n, seq)
+        if self.recorder is not None:
+            # Offered load, like the plain broker's hook — the event is
+            # recorded whether the shard completes, fails, or sheds it,
+            # and carries the shard the router chose.
+            nrhs = 0 if b is None else (1 if np.ndim(b) == 1 else np.shape(b)[1])
+            self.recorder.record(kind, n, nrhs=nrhs, shard=target)
+        try:
+            return await asyncio.wrap_future(cf)
+        except asyncio.CancelledError:
+            if cf.cancelled():
+                # The shard died and its loop cancelled the handoff —
+                # translate so callers see shard death, not cancellation.
+                self._note_down(target)
+                raise ShardDown(f"shard {target} died mid-request") from None
+            raise
+        except ShardDown:
+            self._note_down(target)
+            raise
+        except ServiceClosed:
+            if shard.dead.is_set():
+                # The shard was killed between handoff and coroutine start;
+                # its broker reports closed, but the truth is shard death.
+                self._note_down(target)
+                raise ShardDown(f"shard {target} died mid-request") from None
+            raise
+
+    def _place(self, kind, a, b, n: int, seq: int):
+        """Pick an alive shard for the request and hand it off.
+
+        Retries placement when the chosen shard turns out to be dead at
+        handoff time (its futures were never created, so a retry is safe);
+        raises :class:`ShardDown` once no shards remain.
+        """
+        while True:
+            target = self.router.place(n, seq)  # ShardDown when ring empty
+            shard = self.shards[target]
+            try:
+                return target, shard, shard.submit(kind, a, b)
+            except ShardDown:
+                self._note_down(target)
+
+    def _note_down(self, shard_id: int) -> None:
+        """Stop routing to a shard observed dead (idempotent)."""
+        if shard_id in self.router.alive:
+            self.router.mark_down(shard_id)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.instant("shard_down", cat="serve", shard=shard_id)
+
+    def _check(self, kind, a, b) -> int:
+        """The plain broker's input validation, minus the defensive copy.
+
+        The shard's broker re-validates (and copies) on its own loop;
+        checking here keeps errors synchronous and gives the router a
+        trustworthy ``n`` without paying for the arrays twice.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        shape = np.shape(a)
+        if len(shape) != 2 or shape[0] != shape[1] or shape[0] == 0:
+            raise ValueError(f"expected one square (n, n) matrix, got shape {shape}")
+        if kind == "solve":
+            if b is None:
+                raise ValueError("solve requests need a right-hand side")
+            bshape = np.shape(b)
+            if len(bshape) not in (1, 2) or bshape[0] != shape[0]:
+                raise ValueError(
+                    f"rhs shape {bshape} incompatible with matrix {shape}; "
+                    "expected (n,) or (n, nrhs)"
+                )
+        elif b is not None:
+            raise ValueError("factor requests take no right-hand side")
+        return shape[0]
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Kill one shard abruptly (see :meth:`BrokerShard.kill`).
+
+        Only that shard's in-flight futures fail (:class:`ShardDown`);
+        the router immediately stops placing work there, and the rest of
+        the fabric keeps serving.  Raises :class:`ServeError` for an
+        unknown shard id.
+        """
+        if shard_id not in self.shards:
+            raise ServeError(f"no shard {shard_id} in this fabric")
+        self._note_down(shard_id)
+        self.shards[shard_id].kill()
+
+    # ------------------------------------------------------------------
+    # Metrics and telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests queued across all shards (racy snapshot, monitoring only)."""
+        return sum(s.broker.batcher.pending for s in self.shards.values())
+
+    def per_shard_metrics(self) -> dict[int, ServeMetrics]:
+        """Each shard's own :class:`ServeMetrics`, keyed by shard id."""
+        return {k: shard.broker.metrics for k, shard in self.shards.items()}
+
+    @property
+    def metrics(self) -> ServeMetrics:
+        """The fabric-level snapshot: element-wise merge of every shard.
+
+        Computed fresh on each access from the live per-shard objects —
+        counters add exactly, histograms merge via
+        :meth:`~repro.serve.metrics.Histogram.merge`.
+        """
+        return ServeMetrics.merged(
+            self.shards[k].broker.metrics for k in sorted(self.shards)
+        )
+
+    def emit_snapshot(self) -> None:
+        """Ask every live shard to emit one telemetry snapshot.
+
+        Each shard samples on its own loop (its batcher is not
+        thread-safe to read from here); dead shards are skipped.  Samples
+        carry the shard tag via the shard brokers' tagged tracers.
+        """
+        for shard in self.shards.values():
+            if shard.dead.is_set():
+                continue
+            with contextlib.suppress(RuntimeError):
+                shard._loop.call_soon_threadsafe(shard.broker.emit_snapshot)
+
+
+def make_broker(
+    policy: ServePolicy | None = None,
+    dispatcher: TunedDispatcher | None = None,
+    executor=None,
+    metrics: ServeMetrics | None = None,
+    tracer=None,
+    recorder=None,
+):
+    """A broker shaped by the policy: plain at one shard, fabric above.
+
+    This is the seam every front end (``ServeClient``, trace replay, the
+    CLI demo) goes through, so ``--shards``/``$REPRO_SERVE_SHARDS``
+    reshape all of them at once.  A caller-injected ``executor`` or
+    ``metrics`` object pins the single-broker shape regardless of the
+    shard count — those objects are inherently single-broker (one backend
+    instance, one counter set), and tests that inject them must keep
+    meaning what they meant.
+    """
+    policy = policy or ServePolicy()
+    count = policy.shard_count()
+    if count <= 1 or executor is not None or metrics is not None:
+        return SolveBroker(
+            policy=policy,
+            dispatcher=dispatcher,
+            executor=executor,
+            metrics=metrics,
+            tracer=tracer,
+            recorder=recorder,
+        )
+    return ShardedBroker(
+        policy=policy,
+        dispatcher=dispatcher,
+        tracer=tracer,
+        recorder=recorder,
+        shards=count,
+        placement=policy.placement_name(),
+    )

@@ -83,6 +83,11 @@ class RecordedEvent:
     nrhs: int = 0  # right-hand sides (0 for factor, >=1 for solve)
     seed: int = 0
     nonspd: bool = False
+    #: Broker shard the arrival was routed to (``None`` outside a sharded
+    #: fabric).  Optional and omitted when absent, so traces recorded by a
+    #: plain broker stay byte-identical to the pre-shard format — version
+    #: 1 readers and the fixed-point tests are unaffected.
+    shard: int | None = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -95,6 +100,8 @@ class RecordedEvent:
             raise ValueError(f"solve events need nrhs >= 1, got {self.nrhs}")
         if self.op == "factor" and self.nrhs != 0:
             raise ValueError(f"factor events take no rhs, got nrhs={self.nrhs}")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"shard must be >= 0 or None, got {self.shard}")
 
     def to_dict(self) -> dict:
         """Canonical JSON object: fixed key order, defaults omitted."""
@@ -104,13 +111,16 @@ class RecordedEvent:
         out["seed"] = self.seed
         if self.nonspd:
             out["nonspd"] = True
+        if self.shard is not None:
+            out["shard"] = self.shard
         return out
 
     @classmethod
     def from_dict(cls, obj: dict) -> "RecordedEvent":
-        unknown = set(obj) - {"at", "op", "n", "nrhs", "seed", "nonspd"}
+        unknown = set(obj) - {"at", "op", "n", "nrhs", "seed", "nonspd", "shard"}
         if unknown:
             raise ValueError(f"unknown event field(s) {sorted(unknown)}")
+        shard = obj.get("shard")
         return cls(
             at=float(obj["at"]),
             op=str(obj["op"]),
@@ -118,6 +128,7 @@ class RecordedEvent:
             nrhs=int(obj.get("nrhs", 0)),
             seed=int(obj.get("seed", 0)),
             nonspd=bool(obj.get("nonspd", False)),
+            shard=None if shard is None else int(shard),
         )
 
 
@@ -317,6 +328,7 @@ class TraceRecorder:
         at: float | None = None,
         seed: int | None = None,
         nonspd: bool = False,
+        shard: int | None = None,
     ) -> RecordedEvent:
         """Append one arrival; returns the event as recorded."""
         if at is None:
@@ -327,7 +339,7 @@ class TraceRecorder:
         if seed is None:
             seed = derive_seed(self.seed, len(self.events))
         event = RecordedEvent(
-            at=at, op=op, n=n, nrhs=nrhs, seed=seed, nonspd=nonspd
+            at=at, op=op, n=n, nrhs=nrhs, seed=seed, nonspd=nonspd, shard=shard
         )
         if self.events and event.at < self.events[-1].at:
             raise ValueError(
@@ -341,7 +353,13 @@ class TraceRecorder:
         """Re-record one existing event verbatim (fixed-point path)."""
         e = as_recorded(event)
         return self.record(
-            e.op, e.n, nrhs=e.nrhs, at=e.at, seed=e.seed, nonspd=e.nonspd
+            e.op,
+            e.n,
+            nrhs=e.nrhs,
+            at=e.at,
+            seed=e.seed,
+            nonspd=e.nonspd,
+            shard=e.shard,
         )
 
     def save(self, path) -> int:

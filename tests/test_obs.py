@@ -9,6 +9,7 @@ from repro.obs import (
     ChromeTraceSink,
     InMemorySink,
     JsonlSink,
+    TaggedTracer,
     Tracer,
     check_request_spans,
     current_span,
@@ -16,8 +17,11 @@ from repro.obs import (
     load_trace,
     parse_prometheus_text,
     render_prometheus,
+    render_prometheus_sharded,
     set_tracer,
+    shard_summary,
     span_to_dict,
+    summarize_shards,
     summarize_trace,
     tracer_from_env,
 )
@@ -227,6 +231,141 @@ class TestPrometheus:
         assert samples["m"][0] == ({"a": "x", "b": "y"}, float("inf"))
         assert samples["m"][1][0] == {"a": "z"}
 
+    def test_fixed_labels_stamp_every_sample(self):
+        text = render_prometheus(self._metrics(), labels={"shard": 2})
+        samples = parse_prometheus_text(text)
+        for name, entries in samples.items():
+            for labels, _ in entries:
+                assert labels["shard"] == "2", name
+
+    def test_invalid_label_names_rejected(self):
+        with pytest.raises(ValueError, match="label name"):
+            render_prometheus(self._metrics(), labels={"bad name": 1})
+
+    def test_shed_by_shard_renders_labeled_samples(self):
+        m = self._metrics()
+        m.record_submit(2)
+        m.record_shed(shard=0)
+        m.record_shed(shard=1)
+        samples = parse_prometheus_text(render_prometheus(m))
+        shed = samples["repro_serve_shed_total"]
+        assert ({}, 2.0) in shed
+        assert ({"shard": "0"}, 1.0) in shed and ({"shard": "1"}, 1.0) in shed
+
+
+class TestShardedPrometheus:
+    def _fabric(self):
+        per_shard = {}
+        for shard in (0, 1):
+            m = ServeMetrics()
+            for _ in range(shard + 1):
+                m.record_submit(1)
+                m.record_completion()
+            m.record_flush(size=shard + 1, threshold=8, reason="full",
+                           gflops=4.0, wait_times_s=[0.001], service_s=0.0002)
+            per_shard[shard] = m
+        return ServeMetrics.merged(per_shard.values()), per_shard
+
+    def test_page_round_trips_through_parser(self):
+        merged, per_shard = self._fabric()
+        # parse_prometheus_text rejects duplicate TYPE comments, so a
+        # successful parse proves each family renders exactly once even
+        # though it carries merged plus per-shard samples.
+        samples = parse_prometheus_text(
+            render_prometheus_sharded(merged, per_shard)
+        )
+        completed = samples["repro_serve_completed_total"]
+        assert ({}, 3.0) in completed
+        assert ({"shard": "0"}, 1.0) in completed
+        assert ({"shard": "1"}, 2.0) in completed
+
+    def test_merged_sample_is_the_sum_of_shard_samples(self):
+        merged, per_shard = self._fabric()
+        samples = parse_prometheus_text(
+            render_prometheus_sharded(merged, per_shard)
+        )
+        for name, entries in samples.items():
+            if not name.endswith(("_total", "_count", "_sum")):
+                continue
+            by_labels = dict(
+                (labels.get("shard", ""), value)
+                for labels, value in entries
+                if "quantile" not in labels
+            )
+            assert by_labels[""] == pytest.approx(
+                by_labels["0"] + by_labels["1"]
+            ), name
+
+    def test_histogram_quantiles_carry_both_label_sets(self):
+        merged, per_shard = self._fabric()
+        samples = parse_prometheus_text(
+            render_prometheus_sharded(merged, per_shard)
+        )
+        label_sets = [labels for labels, _ in samples["repro_serve_batch_size"]]
+        assert {"quantile": "0.5"} in label_sets
+        assert {"shard": "0", "quantile": "0.5"} in label_sets
+
+
+class TestTaggedTracer:
+    def test_spans_and_counters_carry_the_tag(self, global_tracer):
+        tracer, sink = global_tracer
+        tagged = TaggedTracer({"shard": 3})
+        with tagged.span("flush", cat="serve"):
+            pass
+        tagged.counter("serve.queue_depth", {"depth": 2})
+        (span,) = sink.by_name("flush")
+        assert span.attrs["shard"] == 3
+        assert any(
+            name == "serve.queue_depth[shard=3]"
+            for name, _, _ in sink.counters
+        )
+
+    def test_record_and_instant_delegate_with_tags(self, global_tracer):
+        tracer, sink = global_tracer
+        tagged = TaggedTracer({"shard": 1}, inner=tracer)
+        tagged.record("backend", 0.0, 0.5, cat="serve")
+        tagged.instant("shard_down", cat="serve")
+        assert sink.by_name("backend")[0].attrs["shard"] == 1
+        assert tagged.enabled and tagged.inner is tracer
+
+    def test_close_leaves_the_shared_inner_tracer_alone(self, global_tracer):
+        tracer, sink = global_tracer
+        TaggedTracer({"shard": 0}, inner=tracer).close()
+        with tracer.span("still-works"):
+            pass
+        assert sink.by_name("still-works")
+
+
+class TestShardSummaries:
+    def _spans(self):
+        out = []
+        for shard in (0, 1):
+            for i in range(3):
+                out.append(
+                    {"name": "flush", "cat": "serve", "t0": 0.0,
+                     "t1": 0.001 * (shard + 1), "attrs": {"shard": shard}}
+                )
+        out.append({"name": "flush", "cat": "serve", "t0": 0.0, "t1": 0.5})
+        return out
+
+    def test_groups_stage_stats_by_shard(self):
+        per = shard_summary(self._spans())
+        assert sorted(per) == [0, 1]
+        assert per[0]["serve/flush"]["count"] == 3
+        assert per[1]["serve/flush"]["mean_ms"] == pytest.approx(2.0)
+
+    def test_untagged_spans_are_excluded(self):
+        # The untagged span (a single-broker trace line) must not leak
+        # into any shard's numbers.
+        per = shard_summary(self._spans())
+        assert per[0]["serve/flush"]["max_ms"] < 100.0
+
+    def test_summarize_shards_renders_table_or_nothing(self):
+        table = summarize_shards(self._spans())
+        assert "per-shard stage attribution (2 shards)" in table
+        assert "serve/flush" in table
+        assert summarize_shards([{"name": "x", "cat": "", "t0": 0, "t1": 1}]) == ""
+
 
 def _traced_replay(tmp_path, **policy_kwargs):
     """Replay a small synthetic trace with both sinks installed."""
@@ -258,9 +397,23 @@ class TestEndToEnd:
             assert {"submit", "coalesce", "flush", "backend", "scatter",
                     "request"} <= names
 
+    def test_sharded_request_chains_nest_in_both_formats(self, tmp_path):
+        # Request seqs restart per shard; the checker and the Chrome
+        # async-lane ids must key chains by (shard, request) or shard
+        # 0's request 1 and shard 1's request 1 interleave bogusly.
+        chrome, jsonl, summary = _traced_replay(
+            tmp_path, request_timeout_s=None, shards=2, placement="hash"
+        )
+        assert summary.completed == 24
+        for path in (chrome, jsonl):
+            spans = load_trace(str(path))
+            assert check_request_spans(spans) == 24
+
     def test_snapshot_counters_recorded(self, tmp_path):
+        # Pinned unsharded: under $REPRO_SERVE_SHARDS the fabric suffixes
+        # every snapshot counter with its shard tag.
         chrome, jsonl, _ = _traced_replay(
-            tmp_path, snapshot_interval_s=0.002
+            tmp_path, snapshot_interval_s=0.002, shards=1
         )
         counters = [
             json.loads(x)

@@ -33,6 +33,7 @@ from repro.serve import (
 from repro.serve.backends import BackendError, ProcessPoolBackend
 from repro.serve.replay import (
     REPORT_SCHEMA,
+    SUPPORTED_SCHEMAS,
     render_comparison,
     render_report,
     run_record,
@@ -101,6 +102,21 @@ class TestRecordedEvent:
             RecordedEvent.from_dict(
                 {"at": 0.0, "op": "factor", "n": 8, "seed": 0, "flavor": "?"}
             )
+
+    def test_shard_field_round_trips(self):
+        e = RecordedEvent(at=0.0, op="factor", n=8, seed=3, shard=2)
+        d = e.to_dict()
+        assert d["shard"] == 2
+        assert RecordedEvent.from_dict(d) == e
+
+    def test_shard_default_absent_from_dict(self):
+        # Unsharded recordings stay byte-identical to the v1 trace format.
+        d = RecordedEvent(at=0.0, op="factor", n=8, seed=3).to_dict()
+        assert "shard" not in d
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError):
+            RecordedEvent(at=0.0, op="factor", n=8, seed=3, shard=-1)
 
     def test_derive_seed_matches_synthetic_universe(self):
         trace = synthetic_trace(requests=3, seed=5)
@@ -390,8 +406,61 @@ class TestReplayGrid:
     def test_load_report_rejects_wrong_schema(self, tmp_path):
         out = tmp_path / "bad.json"
         out.write_text('{"schema": "something/else"}')
-        with pytest.raises(ValueError, match="expected a repro.bench_serve_replay"):
+        with pytest.raises(ValueError, match="expected one of"):
             load_report(out)
+
+    def test_load_report_accepts_v1_schema(self, tmp_path):
+        # Pre-shard (v1) baselines must stay readable for comparisons.
+        assert "repro.bench_serve_replay/v1" in SUPPORTED_SCHEMAS
+        report = run_replay_grid(_events(), policy_grid(), trace_name="mem")
+        report["schema"] = "repro.bench_serve_replay/v1"
+        out = tmp_path / "v1.json"
+        save_report(out, report)
+        assert load_report(out)["schema"] == "repro.bench_serve_replay/v1"
+
+    def test_sharded_grid_labels(self):
+        cells = policy_grid(
+            backends=("inline",),
+            target_batches=(64,),
+            max_delays_ms=(2.0,),
+            shards=(1, 2),
+            placements=("size", "hash"),
+        )
+        # sh1 labels stay byte-stable; sharded cells get a suffix per placement.
+        assert [c.label for c in cells] == [
+            "inline/tb64/d2ms",
+            "inline/tb64/d2ms/sh2-size",
+            "inline/tb64/d2ms/sh2-hash",
+        ]
+        assert cells[0].policy.shard_count() == 1
+        assert cells[1].policy.shards == 2
+        assert cells[2].policy.placement == "hash"
+
+    def test_sharded_cell_records_fabric_fields(self):
+        cells = policy_grid(
+            backends=("inline",),
+            target_batches=(16,),
+            max_delays_ms=(2.0,),
+            shards=(2,),
+            placements=("size",),
+            base=_fast_policy(),
+        )
+        report = run_replay_grid(_events(n_events=10), cells)
+        (run,) = report["runs"]
+        assert run["ok"] and run["conservation_ok"]
+        assert run["shards"] == 2
+        assert run["placement"] == "size"
+        assert set(run["per_shard"]) == {"0", "1"}
+        assert run["policy"]["shards"] == 2
+        assert run["policy"]["placement"] == "size"
+
+    def test_unsharded_cell_records_no_per_shard(self):
+        cells = policy_grid(base=_fast_policy(shards=1))
+        report = run_replay_grid(_events(), cells)
+        (run,) = report["runs"]
+        assert run["shards"] == 1
+        assert run["placement"] is None
+        assert run["per_shard"] is None
 
     def test_sick_cell_reports_failure_instead_of_raising(self):
         cells = policy_grid(backends=("no-such-backend",))
@@ -525,8 +594,16 @@ class TestCommittedBaseline:
             TRACES_DIR / "bursty_mixed.jsonl"
         )
         labels = [r["label"] for r in report["runs"]]
-        assert labels == ["inline/tb64/d2ms", "eventsim/tb64/d2ms"]
+        assert labels == [
+            "inline/tb64/d2ms",
+            "inline/tb64/d2ms/sh2-size",
+            "eventsim/tb64/d2ms",
+            "eventsim/tb64/d2ms/sh2-size",
+        ]
         assert all(r["ok"] and r["conservation_ok"] for r in report["runs"])
+        sharded = [r for r in report["runs"] if r["shards"] == 2]
+        assert len(sharded) == 2
+        assert all(r["placement"] == "size" for r in sharded)
 
     def test_replay_check_passes_on_committed_baseline(self, capsys):
         rc = cli_main(

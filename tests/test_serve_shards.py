@@ -1,0 +1,496 @@
+"""Sharded broker fabric: routing, metrics merge, failure semantics."""
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    BatchExecutor,
+    HashRing,
+    ServeMetrics,
+    ServePolicy,
+    ShardDown,
+    ShardedBroker,
+    ShardRouter,
+    SolveBroker,
+    TraceRecorder,
+    make_broker,
+    replay_trace,
+    stable_hash,
+    synthetic_trace,
+)
+from repro.serve.policy import PLACEMENT_ENV, SHARDS_ENV
+from repro.utils.spd import random_spd_batch
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    return random_spd_batch(1, n, seed=seed)[0]
+
+
+def _policy(**overrides) -> ServePolicy:
+    defaults = dict(target_batch=16, max_delay_s=0.002, request_timeout_s=None)
+    defaults.update(overrides)
+    return ServePolicy(**defaults)
+
+
+def _size_owned_by(router: ShardRouter, shard_id: int, start: int = 4) -> int:
+    """A matrix dimension the given shard owns under size placement."""
+    for n in range(start, start + 200):
+        if router.place(n, 0) == shard_id:
+            return n
+    raise AssertionError(f"no size maps to shard {shard_id}")
+
+
+# ----------------------------------------------------------------------
+# The hash ring
+# ----------------------------------------------------------------------
+
+
+class TestStableHash:
+    def test_known_value_pins_the_hash_function(self):
+        # blake2b-based and unsalted: the same key must map to the same
+        # ring position in every process, or placement (and the recorded
+        # shard fields in traces) would change between runs.
+        assert stable_hash("n=8") == 15982987139450184736
+
+    def test_distinct_keys_disperse(self):
+        values = {stable_hash(f"key-{i}") for i in range(256)}
+        assert len(values) == 256
+
+
+class TestHashRing:
+    def test_empty_ring_raises_shard_down(self):
+        with pytest.raises(ShardDown):
+            HashRing().lookup("n=8")
+
+    def test_lookup_is_deterministic_and_in_members(self):
+        ring = HashRing(shard_ids=(0, 1, 2))
+        for i in range(64):
+            owner = ring.lookup(f"key-{i}")
+            assert owner == ring.lookup(f"key-{i}")
+            assert owner in (0, 1, 2)
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(shard_ids=(0,))
+        ring.add(0)
+        ring.remove(1)  # absent: no-op
+        assert ring.shards == (0,)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shard_count=st.integers(min_value=2, max_value=6),
+        new_id=st.integers(min_value=100, max_value=200),
+    )
+    def test_adding_a_shard_moves_keys_only_to_it_and_few_of_them(
+        self, shard_count, new_id
+    ):
+        keys = [f"key-{i}" for i in range(300)]
+        before = HashRing(shard_ids=range(shard_count))
+        owners = {k: before.lookup(k) for k in keys}
+        before.add(new_id)
+        moved = [k for k in keys if before.lookup(k) != owners[k]]
+        # Consistency: a key either stays put or lands on the new shard.
+        assert all(before.lookup(k) == new_id for k in moved)
+        # Bounded movement: no more than ~2/N of the keyspace relocates.
+        assert len(moved) <= 2 * len(keys) / (shard_count + 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shard_count=st.integers(min_value=2, max_value=6))
+    def test_removing_a_shard_moves_only_its_own_keys(self, shard_count):
+        keys = [f"key-{i}" for i in range(300)]
+        ring = HashRing(shard_ids=range(shard_count))
+        owners = {k: ring.lookup(k) for k in keys}
+        victim = shard_count - 1
+        ring.remove(victim)
+        for k in keys:
+            if owners[k] != victim:
+                assert ring.lookup(k) == owners[k]
+            else:
+                assert ring.lookup(k) != victim
+        orphaned = [k for k in keys if owners[k] == victim]
+        assert len(orphaned) <= 2 * len(keys) / shard_count
+
+
+class TestShardRouter:
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            ShardRouter(range(2), placement="roundrobin")
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            ShardRouter(())
+
+    def test_size_placement_ignores_the_sequence_number(self):
+        router = ShardRouter(range(4), placement="size")
+        owners = {router.place(8, seq) for seq in range(100)}
+        assert len(owners) == 1
+
+    def test_hash_placement_spreads_one_size(self):
+        router = ShardRouter(range(4), placement="hash")
+        owners = {router.place(8, seq) for seq in range(100)}
+        assert len(owners) > 1
+
+    def test_mark_down_removes_from_placement(self):
+        router = ShardRouter(range(3), placement="size")
+        victim = router.place(8, 0)
+        router.mark_down(victim)
+        assert victim not in router.alive
+        assert router.place(8, 0) != victim
+
+    def test_all_down_raises_shard_down(self):
+        router = ShardRouter(range(2))
+        router.mark_down(0)
+        router.mark_down(1)
+        with pytest.raises(ShardDown):
+            router.place(8, 0)
+
+
+# ----------------------------------------------------------------------
+# ServeMetrics merge
+# ----------------------------------------------------------------------
+
+
+class TestServeMetricsMerge:
+    def _loaded(self, completions=3, shard=None):
+        m = ServeMetrics()
+        for _ in range(completions):
+            m.record_submit(1)
+            m.record_completion()
+        m.record_flush(size=completions, threshold=8, reason="full", gflops=2.0,
+                       wait_times_s=[0.001] * completions, service_s=0.0005)
+        m.record_submit(1)
+        m.record_shed(shard=shard)
+        return m
+
+    def test_counters_add_exactly(self):
+        a, b = self._loaded(3), self._loaded(5)
+        merged = ServeMetrics.merged([a, b])
+        for name in merged.counters:
+            assert merged.counters[name] == a.counters[name] + b.counters[name]
+        assert merged.unaccounted == 0
+
+    def test_histograms_merge_exactly(self):
+        a, b = self._loaded(3), self._loaded(5)
+        merged = ServeMetrics.merged([a, b])
+        for name, h in merged.histograms.items():
+            assert h.count == a.histograms[name].count + b.histograms[name].count
+            assert h.total == pytest.approx(
+                a.histograms[name].total + b.histograms[name].total
+            )
+
+    def test_shed_by_shard_adds(self):
+        a, b = self._loaded(shard=0), self._loaded(shard=0)
+        b.record_shed(shard=1)
+        merged = ServeMetrics.merged([a, b])
+        assert merged.shed_by_shard == {0: 2, 1: 1}
+        assert "shed_by_shard" in merged.as_dict()
+
+    def test_merge_rejects_non_metrics(self):
+        with pytest.raises(TypeError):
+            ServeMetrics().merge(object())
+
+
+# ----------------------------------------------------------------------
+# The fabric
+# ----------------------------------------------------------------------
+
+
+class TestShardedBroker:
+    def test_results_match_a_plain_broker(self):
+        mats = [_spd(n, seed=i) for i, n in enumerate([6, 8, 12] * 6)]
+
+        async def through(broker_factory):
+            async with broker_factory() as broker:
+                return await asyncio.gather(*[broker.factor(a) for a in mats])
+
+        sharded = asyncio.run(
+            through(lambda: ShardedBroker(_policy(), shards=3, placement="size"))
+        )
+        plain = asyncio.run(through(lambda: SolveBroker(_policy())))
+        for ls, lp in zip(sharded, plain):
+            assert np.array_equal(ls, lp)
+
+    def test_solve_round_trips(self):
+        a = _spd(8, seed=3)
+        b = np.ones(8)
+
+        async def scenario():
+            async with ShardedBroker(_policy(), shards=2) as broker:
+                return await broker.solve(a, b)
+
+        x = asyncio.run(scenario())
+        assert np.allclose(a @ x, b, atol=1e-4)
+
+    def test_size_placement_keeps_a_size_on_one_shard(self):
+        async def scenario():
+            async with ShardedBroker(
+                _policy(target_batch=4), shards=3, placement="size"
+            ) as broker:
+                for i in range(12):
+                    await broker.factor(_spd(8, seed=i))
+                return broker.router.place(8, 0), broker.per_shard_metrics()
+
+        owner, per_shard = asyncio.run(scenario())
+        for shard_id, m in per_shard.items():
+            expected = 12 if shard_id == owner else 0
+            assert m.counters["submitted"] == expected
+
+    def test_merged_metrics_equal_elementwise_merge_of_shards(self):
+        async def scenario():
+            async with ShardedBroker(
+                _policy(target_batch=4), shards=3, placement="hash"
+            ) as broker:
+                await asyncio.gather(
+                    *[broker.factor(_spd(8, seed=i)) for i in range(24)]
+                )
+                return broker.metrics, broker.per_shard_metrics()
+
+        merged, per_shard = asyncio.run(scenario())
+        parts = [per_shard[k] for k in sorted(per_shard)]
+        # Counters: exact element-wise sums, recomputed independently.
+        for name, value in merged.counters.items():
+            assert value == sum(p.counters[name] for p in parts), name
+        assert merged.counters["submitted"] == 24
+        assert merged.counters["completed"] == 24
+        assert merged.unaccounted == 0
+        # Histograms: Histogram.merge moments match the per-shard totals.
+        for name, h in merged.histograms.items():
+            assert h.count == sum(p.histograms[name].count for p in parts)
+            assert h.total == pytest.approx(
+                sum(p.histograms[name].total for p in parts)
+            )
+        # And the whole structure equals ServeMetrics.merged of the parts.
+        assert merged.as_dict() == ServeMetrics.merged(parts).as_dict()
+
+    def test_input_validation_is_synchronous(self):
+        async def scenario():
+            async with ShardedBroker(_policy(), shards=2) as broker:
+                with pytest.raises(ValueError, match="square"):
+                    await broker.factor(np.ones((3, 4)))
+                with pytest.raises(ValueError, match="right-hand side"):
+                    await broker.submit("solve", _spd(4))
+                with pytest.raises(ValueError, match="kind"):
+                    await broker.submit("invert", _spd(4))
+
+        asyncio.run(scenario())
+
+    def test_graceful_drain_completes_queued_work(self):
+        async def scenario():
+            broker = ShardedBroker(
+                _policy(target_batch=4096, max_delay_s=30.0), shards=2
+            )
+            await broker.start()
+            futures = [
+                asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                for i in range(6)
+            ]
+            await asyncio.sleep(0.05)  # land the handoffs in the buckets
+            await broker.close(drain=True)
+            return await asyncio.gather(*futures), broker.metrics
+
+        results, metrics = asyncio.run(scenario())
+        assert len(results) == 6 and all(r.shape == (8, 8) for r in results)
+        assert metrics.counters["flushes_drain"] >= 1
+        assert metrics.unaccounted == 0
+
+    def test_submit_after_close_raises_service_closed(self):
+        from repro.serve import ServiceClosed
+
+        async def scenario():
+            broker = ShardedBroker(_policy(), shards=2)
+            await broker.start()
+            await broker.close()
+            with pytest.raises(ServiceClosed):
+                await broker.factor(_spd(4))
+
+        asyncio.run(scenario())
+
+
+class TestShardFailure:
+    def test_kill_fails_only_that_shards_requests_and_routes_around(self):
+        async def scenario():
+            policy = _policy(target_batch=4096, max_delay_s=30.0)
+            async with ShardedBroker(policy, shards=2, placement="size") as broker:
+                victim = broker.router.place(8, 0)
+                survivor_n = _size_owned_by(broker.router, 1 - victim)
+                doomed = [
+                    asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                    for i in range(5)
+                ]
+                safe = asyncio.ensure_future(broker.factor(_spd(survivor_n)))
+                await asyncio.sleep(0.05)
+                broker.kill_shard(victim)
+                outcomes = await asyncio.gather(*doomed, return_exceptions=True)
+                # The other shard is untouched: drain-close completes it.
+                await broker.close(drain=True)
+                return victim, outcomes, await safe, broker
+
+        victim, outcomes, safe_result, broker = asyncio.run(scenario())
+        assert all(isinstance(o, ShardDown) for o in outcomes)
+        assert safe_result.shape[0] == safe_result.shape[1]
+        assert victim not in broker.router.alive
+        m = broker.metrics
+        assert m.counters["failed"] >= 5
+        assert m.unaccounted == 0  # conservation survives the kill
+
+    def test_requests_after_kill_reroute_to_survivors(self):
+        async def scenario():
+            async with ShardedBroker(
+                _policy(target_batch=1), shards=2, placement="size"
+            ) as broker:
+                victim = broker.router.place(8, 0)
+                broker.kill_shard(victim)
+                # The dead shard owned n=8; the router must re-place it.
+                result = await broker.factor(_spd(8))
+                return victim, broker.router.place(8, 0), result
+
+        victim, new_owner, result = asyncio.run(scenario())
+        assert new_owner != victim
+        assert result.shape == (8, 8)
+
+    def test_kill_mid_replay_conserves_accounting(self):
+        # The fault-injection drill the replay harness relies on: kill a
+        # shard while traffic is in flight and the fabric must neither
+        # hang nor lose a request from the books.
+        async def scenario():
+            policy = _policy(target_batch=8, max_delay_s=0.01)
+            async with ShardedBroker(policy, shards=3, placement="hash") as broker:
+                futures = [
+                    asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                    for i in range(30)
+                ]
+                await asyncio.sleep(0.005)
+                broker.kill_shard(1)
+                outcomes = await asyncio.gather(*futures, return_exceptions=True)
+                await broker.close(drain=True)
+                return outcomes, broker.metrics
+
+        outcomes, m = asyncio.run(scenario())
+        completed = sum(1 for o in outcomes if isinstance(o, np.ndarray))
+        downed = sum(1 for o in outcomes if isinstance(o, ShardDown))
+        assert completed + downed == 30
+        assert m.counters["completed"] >= completed
+        assert m.unaccounted == 0
+
+    def test_all_shards_dead_raises_shard_down(self):
+        async def scenario():
+            async with ShardedBroker(_policy(), shards=2) as broker:
+                broker.kill_shard(0)
+                broker.kill_shard(1)
+                with pytest.raises(ShardDown):
+                    await broker.factor(_spd(8))
+
+        asyncio.run(scenario())
+
+    def test_kill_unknown_shard_rejected(self):
+        from repro.serve import ServeError
+
+        async def scenario():
+            async with ShardedBroker(_policy(), shards=2) as broker:
+                with pytest.raises(ServeError, match="no shard"):
+                    broker.kill_shard(7)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Trace recording through the fabric
+# ----------------------------------------------------------------------
+
+
+class TestFabricRecording:
+    def test_recorded_events_carry_the_routed_shard(self):
+        trace = synthetic_trace(requests=20, ns=(6, 8, 12), rate_hz=50000.0, seed=4)
+        recorder = TraceRecorder(seed=4)
+        summary = replay_trace(
+            trace,
+            policy=_policy(shards=3, placement="size"),
+            recorder=recorder,
+        )
+        assert summary.shards == 3
+        assert len(recorder) == 20
+        shards = {e.n: e.shard for e in recorder.events}
+        assert all(s is not None and 0 <= s < 3 for s in shards.values())
+        # Size placement: every event of one dimension names one shard.
+        for e in recorder.events:
+            assert e.shard == shards[e.n]
+
+    def test_single_broker_records_no_shard_field(self):
+        trace = synthetic_trace(requests=6, ns=(8,), rate_hz=50000.0, seed=4)
+        recorder = TraceRecorder(seed=4)
+        replay_trace(trace, policy=_policy(shards=1), recorder=recorder)
+        assert all(e.shard is None for e in recorder.events)
+
+
+# ----------------------------------------------------------------------
+# make_broker and the replay front door
+# ----------------------------------------------------------------------
+
+
+class TestMakeBroker:
+    def test_single_shard_builds_a_plain_broker(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert isinstance(make_broker(_policy()), SolveBroker)
+        assert isinstance(make_broker(_policy(shards=1)), SolveBroker)
+
+    def test_multi_shard_builds_the_fabric(self):
+        broker = make_broker(_policy(shards=4, placement="hash"))
+        assert isinstance(broker, ShardedBroker)
+        assert broker.shard_count == 4
+        assert broker.placement == "hash"
+
+    def test_injected_executor_or_metrics_pins_single_broker(self):
+        policy = _policy(shards=4)
+        assert isinstance(
+            make_broker(policy, executor=BatchExecutor()), SolveBroker
+        )
+        assert isinstance(
+            make_broker(policy, metrics=ServeMetrics()), SolveBroker
+        )
+
+    def test_environment_variables_shape_the_broker(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        monkeypatch.setenv(PLACEMENT_ENV, "hash")
+        broker = make_broker(_policy())
+        assert isinstance(broker, ShardedBroker)
+        assert broker.shard_count == 2 and broker.placement == "hash"
+        monkeypatch.setenv(SHARDS_ENV, "not-a-number")
+        with pytest.raises(ValueError):
+            make_broker(_policy())
+
+    def test_replay_summary_reports_fabric_shape(self):
+        trace = synthetic_trace(requests=12, ns=(6, 8), rate_hz=50000.0, seed=2)
+        summary = replay_trace(trace, policy=_policy(shards=2, placement="size"))
+        assert summary.completed == 12
+        assert summary.shards == 2 and summary.placement == "size"
+        assert sorted(summary.per_shard) == [0, 1]
+        merged = ServeMetrics.merged(
+            summary.per_shard[k] for k in sorted(summary.per_shard)
+        )
+        assert summary.metrics.as_dict() == merged.as_dict()
+
+    def test_replay_summary_single_broker_shape(self):
+        trace = synthetic_trace(requests=6, ns=(8,), rate_hz=50000.0, seed=2)
+        summary = replay_trace(trace, policy=_policy(shards=1))
+        assert summary.shards == 1
+        assert summary.placement is None and summary.per_shard is None
+
+
+class TestShardIsolation:
+    def test_each_shard_owns_its_executor_and_backend(self):
+        broker = ShardedBroker(_policy(), shards=3)
+        executors = [s.broker.executor for s in broker.shards.values()]
+        backends = [e.backend for e in executors]
+        assert len({id(e) for e in executors}) == 3
+        assert len({id(b) for b in backends}) == 3
+
+    def test_warmup_fans_out_without_starting_traffic(self):
+        async def scenario():
+            async with ShardedBroker(_policy(), shards=2) as broker:
+                broker.warmup([8, 16])
+                return await broker.factor(_spd(8))
+
+        assert asyncio.run(scenario()).shape == (8, 8)
