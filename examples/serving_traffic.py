@@ -11,13 +11,17 @@ at the price of higher p95 coalesce latency.
 
 Run:  python examples/serving_traffic.py [--quick] [--backend NAME]
       [--record-trace PATH] [--shards N] [--placement {size,hash}]
+      [--controller {aimd,hill}] [--controller-interval MS]
 
 ``--quick`` shrinks the trace and the deadline grid (the CI smoke job
 uses it); ``--backend`` replays through a specific flush executor
 backend (inline, process, eventsim, shadow); ``--record-trace`` records
 the first replay's arrivals as a replayable workload trace
 (``docs/replay.md``); ``--shards``/``--placement`` replay through the
-sharded broker fabric instead of a single broker (``docs/sharding.md``).
+sharded broker fabric instead of a single broker (``docs/sharding.md``);
+``--controller`` puts every replay under the online policy controller,
+which adapts the deadline away from its static starting point — watch
+the ``ctl_chg``/``final_d_ms`` columns converge (``docs/control.md``).
 """
 
 import argparse
@@ -25,6 +29,7 @@ import sys
 
 from repro.serve import (
     BACKEND_NAMES,
+    STRATEGIES,
     ServePolicy,
     TraceRecorder,
     replay_trace,
@@ -67,6 +72,18 @@ def main(argv=None) -> None:
         default=None,
         help="shard placement policy (default: $REPRO_SERVE_PLACEMENT or size)",
     )
+    parser.add_argument(
+        "--controller",
+        choices=STRATEGIES,
+        default=None,
+        help="adapt each replay's policy online with this strategy",
+    )
+    parser.add_argument(
+        "--controller-interval",
+        type=float,
+        default=5.0,
+        help="controller decision period in ms",
+    )
     # main() is also invoked directly (tests, notebooks) with no argv;
     # only the __main__ guard forwards the real command line.
     args = parser.parse_args([] if argv is None else argv)
@@ -106,43 +123,49 @@ def main(argv=None) -> None:
         # Only the first deadline's replay is recorded — one workload,
         # not the concatenation of every grid point.
         summary = replay_trace(
-            trace, policy=policy, recorder=recorder if i == 0 else None
+            trace,
+            policy=policy,
+            recorder=recorder if i == 0 else None,
+            controller=args.controller or "off",
+            controller_interval_s=args.controller_interval / 1e3,
         )
         m = summary.metrics
         fill = m.histograms["batch_size"]
         latency = m.histograms["coalesce_latency_ms"]
         gflops = m.histograms["flush_gflops"]
-        rows.append(
-            [
-                deadline_ms,
-                m.counters["flushes"],
-                round(fill.mean, 1),
-                round(latency.percentile(50), 2),
-                round(latency.percentile(95), 2),
-                round(gflops.mean, 2),
-                round(summary.throughput_rps / 1e3, 2),
-            ]
-        )
+        row = [
+            deadline_ms,
+            m.counters["flushes"],
+            round(fill.mean, 1),
+            round(latency.percentile(50), 2),
+            round(latency.percentile(95), 2),
+            round(gflops.mean, 2),
+            round(summary.throughput_rps / 1e3, 2),
+        ]
+        if summary.journal is not None:
+            row.append(summary.journal.changes)
+            row.append(round(summary.journal.final_knobs().max_delay_ms, 2))
+        rows.append(row)
 
     if summary.shards > 1:
         print(f"backend: {summary.backend}  "
               f"({summary.shards} shards, placement={summary.placement})\n")
     else:
         print(f"backend: {summary.backend}\n")
-    print(
-        format_table(
-            [
-                "deadline_ms",
-                "flushes",
-                "mean_batch",
-                "p50_lat_ms",
-                "p95_lat_ms",
-                "gflops",
-                "kreq/s",
-            ],
-            rows,
-        )
-    )
+    headers = [
+        "deadline_ms",
+        "flushes",
+        "mean_batch",
+        "p50_lat_ms",
+        "p95_lat_ms",
+        "gflops",
+        "kreq/s",
+    ]
+    if summary.controller:
+        headers += ["ctl_chg", "final_d_ms"]
+        print(f"controller: {summary.controller} "
+              f"(every {args.controller_interval:g} ms)\n")
+    print(format_table(headers, rows))
     print(
         "\nLonger coalescing deadlines build fuller batches — fewer, larger\n"
         "flushes with more modelled GFLOP/s each — while the p50/p95 wait\n"

@@ -28,6 +28,41 @@ class SearchResult:
     history: tuple[float, ...]  # best-so-far gflops after each evaluation
 
 
+def geometric_ladder(
+    lo: float, hi: float, factor: float = 2.0**0.5
+) -> tuple[float, ...]:
+    """A monotone candidate ladder spanning ``[lo, hi]`` geometrically.
+
+    The shared step schedule of coordinate-style searches: offline
+    sweeps walk parameter grids, and the online serve controller
+    (:mod:`repro.serve.control`) climbs the same kind of ladder one rung
+    per decision — which is what bounds its step size.  The ladder always
+    contains both endpoints and grows by ``factor`` in between, so a
+    search can neither overshoot the bounds nor stall short of them.
+    """
+    if lo <= 0 or hi <= 0:
+        raise ValueError(f"ladder bounds must be positive, got [{lo}, {hi}]")
+    if hi < lo:
+        raise ValueError(f"ladder bounds must be ordered, got [{lo}, {hi}]")
+    if factor <= 1.0:
+        raise ValueError(f"ladder factor must exceed 1, got {factor}")
+    rungs = [float(lo)]
+    value = float(lo)
+    while value * factor < hi:
+        value *= factor
+        rungs.append(value)
+    if rungs[-1] != float(hi):
+        rungs.append(float(hi))
+    return tuple(rungs)
+
+
+def ladder_index(ladder: tuple[float, ...], value: float) -> int:
+    """The rung closest to ``value`` — where an online climb starts from."""
+    if not ladder:
+        raise ValueError("ladder is empty")
+    return min(range(len(ladder)), key=lambda i: abs(ladder[i] - value))
+
+
 def exhaustive_best(
     space: ParameterSpace, batch: int = 16384, arch: GPUArchitecture = P100
 ) -> SearchResult:

@@ -192,6 +192,7 @@ def _cmd_serve_demo(args) -> int:
         ChromeTraceSink,
         JsonlSink,
         Tracer,
+        render_controller_prometheus,
         render_prometheus,
         render_prometheus_sharded,
         set_tracer,
@@ -231,6 +232,9 @@ def _cmd_serve_demo(args) -> int:
             record_trace=args.record_trace or None,
             shards=args.shards,
             placement=args.placement,
+            controller=args.controller,
+            controller_interval_ms=args.controller_interval or None,
+            journal_out=args.journal_out or None,
         )
     finally:
         if tracer is not None:
@@ -238,13 +242,20 @@ def _cmd_serve_demo(args) -> int:
             tracer.close()
     print(report)
     written = [
-        p for p in (args.trace_out, args.trace_jsonl, args.record_trace) if p
+        p
+        for p in (
+            args.trace_out, args.trace_jsonl, args.record_trace,
+            args.journal_out if summary.journal is not None else "",
+        )
+        if p
     ]
     if args.prom_out:
         if summary.per_shard:
             prom = render_prometheus_sharded(summary.metrics, summary.per_shard)
         else:
             prom = render_prometheus(summary.metrics)
+        if summary.journal is not None:
+            prom += render_controller_prometheus(summary.journal.status())
         with open(args.prom_out, "w", encoding="utf-8") as fh:
             fh.write(prom)
         written.append(args.prom_out)
@@ -260,11 +271,14 @@ def _cmd_serve_demo(args) -> int:
 
 def _cmd_replay_check(args) -> int:
     from repro.serve.replay import (
+        ControllerGate,
         GateTolerances,
+        compare_controlled,
         compare_reports,
         load_report,
         policy_grid,
         render_comparison,
+        render_controlled,
         render_report,
         run_replay_grid,
         save_report,
@@ -276,6 +290,10 @@ def _cmd_replay_check(args) -> int:
               file=sys.stderr)
         return 2
 
+    controllers = tuple(
+        name for name in args.controlled.split(",") if name
+    )
+
     if args.report:
         current = load_report(args.report)
     else:
@@ -286,7 +304,17 @@ def _cmd_replay_check(args) -> int:
             max_delays_ms=tuple(float(x) for x in args.max_delays_ms.split(",")),
             shards=tuple(int(x) for x in args.shards.split(",")),
             placements=tuple(args.placements.split(",")),
+            controllers=(None, *controllers),
         )
+        if controllers:
+            from dataclasses import replace
+
+            cells = [
+                replace(c, controller_interval_ms=args.controller_interval_ms)
+                if c.controller
+                else c
+                for c in cells
+            ]
         current = run_replay_grid(
             trace,
             cells,
@@ -299,6 +327,11 @@ def _cmd_replay_check(args) -> int:
             save_report(args.out, current)
             print(f"wrote {args.out}")
 
+    if args.journal_dir:
+        written = _dump_journals(current, args.journal_dir)
+        for path in written:
+            print(f"wrote {path}")
+
     baseline = load_report(args.baseline)
     tol = GateTolerances(
         throughput_frac=args.throughput_tolerance,
@@ -309,7 +342,38 @@ def _cmd_replay_check(args) -> int:
     findings = compare_reports(baseline, current, tol)
     print()
     print(render_comparison(findings, baseline, current))
+
+    gate_controlled = controllers or any(
+        run.get("controller") for run in current.get("runs", [])
+    )
+    if gate_controlled:
+        ctl_gate = ControllerGate(
+            throughput_frac=args.ctl_throughput_tolerance,
+            p99_frac=args.ctl_p99_tolerance,
+        )
+        ctl_findings = compare_controlled(current, ctl_gate)
+        print()
+        print(render_controlled(ctl_findings, current))
+        findings = list(findings) + list(ctl_findings)
     return 1 if findings else 0
+
+
+def _dump_journals(report: dict, out_dir: str) -> list[str]:
+    """Write each controlled run's decision journal under ``out_dir``."""
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for run in report.get("runs", []):
+        ctl = run.get("controller")
+        if not ctl or not ctl.get("journal"):
+            continue
+        label = run.get("label", "run").replace("/", "_")
+        path = os.path.join(out_dir, f"{label}.journal.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(ctl["journal"]) + "\n")
+        written.append(path)
+    return written
 
 
 def _cmd_obs_summarize(args) -> int:
@@ -450,6 +514,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--placement", choices=("size", "hash"), default=None,
         help="shard placement policy (default: $REPRO_SERVE_PLACEMENT or size)",
     )
+    p.add_argument(
+        "--controller", default=None,
+        help="online policy controller strategy (aimd, hill, or off; "
+             "default: $REPRO_SERVE_CONTROLLER or off — see docs/control.md)",
+    )
+    p.add_argument(
+        "--controller-interval", type=float, default=0.0,
+        help="controller decision period in ms "
+             "(0: $REPRO_SERVE_CONTROLLER_INTERVAL_MS or 250)",
+    )
+    p.add_argument(
+        "--journal-out", default="",
+        help="write the controller's decision journal (JSONL) here",
+    )
     p.set_defaults(func=_cmd_serve_demo)
 
     p = sub.add_parser(
@@ -509,6 +587,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--failure-tolerance", type=float, default=0.02,
         help="absolute failure-rate growth tolerated",
+    )
+    p.add_argument(
+        "--controlled", default="",
+        help="comma-separated controller strategies (aimd,hill) to add as "
+             "controlled grid cells; each is gated against its static "
+             "siblings with compare_controlled (see docs/control.md)",
+    )
+    p.add_argument(
+        "--controller-interval-ms", type=float, default=10.0,
+        help="decision period for the controlled cells",
+    )
+    p.add_argument(
+        "--ctl-throughput-tolerance", type=float, default=0.15,
+        help="fractional throughput shortfall a controlled cell may show "
+             "vs the best static sibling",
+    )
+    p.add_argument(
+        "--ctl-p99-tolerance", type=float, default=0.5,
+        help="fractional p99 coalesce-latency growth a controlled cell "
+             "may show vs the best static sibling",
+    )
+    p.add_argument(
+        "--journal-dir", default="",
+        help="dump each controlled cell's decision journal (JSONL) into "
+             "this directory — CI uploads these as artifacts",
     )
     p.set_defaults(func=_cmd_replay_check)
 

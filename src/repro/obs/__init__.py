@@ -15,6 +15,7 @@ See ``docs/observability.md``.
 
 from repro.obs.prom import (
     parse_prometheus_text,
+    render_controller_prometheus,
     render_prometheus,
     render_prometheus_sharded,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "init_from_env",
     "load_trace",
     "parse_prometheus_text",
+    "render_controller_prometheus",
     "render_prometheus",
     "render_prometheus_sharded",
     "set_tracer",

@@ -182,6 +182,46 @@ def render_prometheus_sharded(
     return "\n".join(lines) + "\n"
 
 
+#: Controller gauge families: report key → (suffix, help text).  The
+#: ``repro_control`` prefix is disjoint from ``repro_serve``, so a demo
+#: page that concatenates both expositions stays valid under the
+#: one-TYPE-per-family rule :func:`parse_prometheus_text` enforces.
+_CONTROL_GAUGES = (
+    ("decisions", "decisions_total", "Controller decision cycles taken."),
+    ("changes", "changes_total", "Decisions that adjusted a knob."),
+    ("target_batch", "target_batch", "Current flush-threshold knob."),
+    ("max_delay_ms", "max_delay_ms", "Current latency-deadline knob (ms)."),
+    ("score", "score", "Strategy score of the last observation window."),
+)
+
+
+def render_controller_prometheus(
+    status: dict, prefix: str = "repro_control", labels=None
+) -> str:
+    """Text exposition of one controller's gauges.
+
+    ``status`` is :meth:`PolicyController.status` (duck-typed: any dict
+    with the gauge keys; missing keys are skipped).  The strategy name
+    rides as a label on every sample, so dashboards can tell an ``aimd``
+    run from a ``hill`` run without a separate series.
+    """
+    if not _NAME_RE.match(prefix):
+        raise ValueError(f"invalid metric prefix {prefix!r}")
+    all_labels = dict(labels or {})
+    if status.get("strategy"):
+        all_labels["strategy"] = status["strategy"]
+    label_s = _label_str(all_labels)
+    lines: list[str] = []
+    for key, suffix, help_text in _CONTROL_GAUGES:
+        if status.get(key) is None:
+            continue
+        full = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full}{label_s} {_fmt(status[key])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def _parse_value(text: str, lineno: int) -> float:
     if text in ("+Inf", "Inf"):
         return float("inf")

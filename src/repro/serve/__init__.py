@@ -18,8 +18,10 @@ and a full metrics layer round it out.  Every stage is traced through
 horizontally: :func:`~repro.serve.shard.make_broker` builds a
 :class:`~repro.serve.shard.ShardedBroker` fabric of per-shard event
 loops behind a consistent-hash router (:mod:`repro.serve.router`) —
-see ``docs/sharding.md``.  See also ``docs/serving.md`` and
-``docs/observability.md``.
+see ``docs/sharding.md``.  An online control plane
+(:mod:`repro.serve.control`) can adapt the hot policy knobs at serve
+time from the broker's own metrics windows — see ``docs/control.md``.
+See also ``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from repro.serve.backends import (
@@ -45,11 +47,28 @@ from repro.serve.client import (
     run_demo,
     synthetic_trace,
 )
+from repro.serve.control import (
+    CONTROLLER_ENV,
+    STRATEGIES,
+    AIMDStrategy,
+    ControlBounds,
+    Decision,
+    DecisionJournal,
+    HillClimbStrategy,
+    Knobs,
+    PolicyController,
+    controller_from_env,
+    make_strategy,
+    replay_journal,
+    verify_journal,
+)
 from repro.serve.executor import BatchExecutor, FlushReport
-from repro.serve.metrics import Histogram, ServeMetrics
+from repro.serve.metrics import Histogram, ServeMetrics, Snapshot, SnapshotDelta
 from repro.serve.replay import (
+    ControllerGate,
     GateTolerances,
     GridCell,
+    compare_controlled,
     compare_reports,
     load_report,
     policy_grid,
@@ -57,6 +76,7 @@ from repro.serve.replay import (
     save_report,
 )
 from repro.serve.policy import (
+    HOT_KNOBS,
     PLACEMENT_ENV,
     PLACEMENTS,
     SHARDS_ENV,
@@ -83,13 +103,31 @@ from repro.serve.trace import (
 )
 
 __all__ = [
+    "AIMDStrategy",
     "AdaptiveBatcher",
     "BACKEND_ENV",
     "BACKEND_NAMES",
+    "CONTROLLER_ENV",
+    "ControlBounds",
+    "ControllerGate",
+    "Decision",
+    "DecisionJournal",
+    "HillClimbStrategy",
+    "Knobs",
+    "PolicyController",
+    "STRATEGIES",
+    "Snapshot",
+    "SnapshotDelta",
+    "compare_controlled",
+    "controller_from_env",
+    "make_strategy",
+    "replay_journal",
+    "verify_journal",
     "BackendError",
     "BackendRun",
     "BatchExecutor",
     "BrokerShard",
+    "HOT_KNOBS",
     "HashRing",
     "PLACEMENTS",
     "PLACEMENT_ENV",

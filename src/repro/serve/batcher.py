@@ -149,6 +149,25 @@ class AdaptiveBatcher:
             del self._buckets[bucket.n]
         return True
 
+    def rethreshold(self) -> list[SizeBucket]:
+        """Recompute every flush threshold after a live policy update.
+
+        Clears the per-``n`` threshold cache (the ``threshold_for``
+        callable reads the broker's *current* policy, so fresh lookups
+        pick up the new knobs), rewrites the threshold captured in each
+        live bucket, and returns the buckets the new, lower threshold
+        made full — the broker flushes those immediately, which is what
+        "takes effect at the next coalesce boundary" means.  Requests
+        already popped for an in-flight flush are untouched.
+        """
+        self._thresholds.clear()
+        full: list[SizeBucket] = []
+        for bucket in self._buckets.values():
+            bucket.threshold = self.threshold(bucket.n)
+            if bucket.full:
+                full.append(bucket)
+        return full
+
     def sizes(self) -> Iterable[int]:
         """The matrix dimensions currently holding pending requests."""
         return tuple(self._buckets)

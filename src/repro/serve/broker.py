@@ -30,7 +30,7 @@ from repro.obs.tracer import get_tracer
 from repro.serve.backends import backend_from_policy
 from repro.serve.batcher import KINDS, AdaptiveBatcher, PendingRequest, SizeBucket
 from repro.serve.executor import BatchExecutor, FlushReport
-from repro.serve.metrics import ServeMetrics
+from repro.serve.metrics import ServeMetrics, Snapshot
 from repro.serve.policy import (
     RequestTimeout,
     ServePolicy,
@@ -100,6 +100,9 @@ class SolveBroker:
         # (fail_pending, e.g. on shard kill) must fail these explicitly or
         # their futures would hang forever.
         self._flushing: set[PendingRequest] = set()
+        # Previous telemetry snapshot; emit_snapshot derives windowed
+        # rates from consecutive pairs via Snapshot.delta.
+        self._last_snapshot: Snapshot | None = None
 
     @property
     def tracer(self):
@@ -185,6 +188,39 @@ class SolveBroker:
     def pending(self) -> int:
         """Requests queued in buckets, waiting to be flushed."""
         return self.batcher.pending
+
+    def update_policy(self, policy: ServePolicy) -> ServePolicy:
+        """Hot-swap the batching knobs of a live broker; returns the old policy.
+
+        Only the knobs in :data:`~repro.serve.policy.HOT_KNOBS` may change
+        (enforced by :meth:`ServePolicy.validate_update`).  The swap is
+        atomic from the coalescing layer's point of view: must be called
+        on the broker's own event loop (the fabric's fan-out does this via
+        ``call_soon_threadsafe``), where it replaces ``self.policy``,
+        recomputes every bucket threshold, and immediately flushes any
+        bucket the new threshold made full — the next coalesce boundary.
+        In-flight flushes are untouched: they captured their requests and
+        threshold when they popped.  The deadline ticker re-reads
+        ``policy.flush_interval()`` and ``max_delay_s`` every iteration,
+        so the new deadline takes hold within one old tick.
+        """
+        old = self.policy
+        old.validate_update(policy)
+        self.policy = policy
+        full = self.batcher.rethreshold()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "policy_update",
+                cat="control",
+                target_batch=policy.target_batch,
+                max_delay_ms=policy.max_delay_s * 1e3,
+                placement=policy.placement_name(),
+                made_full=len(full),
+            )
+        for bucket in full:
+            self._spawn_flush(bucket, "full")
+        return old
 
     # ------------------------------------------------------------------
     # Submission
@@ -479,6 +515,24 @@ class SolveBroker:
             },
         )
         tracer.counter("serve.flushes", {"flushes": float(c["flushes"])})
+        # Windowed rates between consecutive snapshots, derived through
+        # Snapshot.delta rather than ad-hoc counter arithmetic.
+        snap = self.metrics.snapshot(
+            t=tracer.now(), queue_depth=self.batcher.pending
+        )
+        if self._last_snapshot is not None:
+            window = snap.delta(self._last_snapshot)
+            if window.dt > 0:
+                tracer.counter(
+                    "serve.rates",
+                    {
+                        "submitted_per_s": window.submitted_rate,
+                        "completed_per_s": window.completed_rate,
+                        "shed_per_s": window.shed_rate,
+                        "wait_mean_ms": window.wait_mean_ms,
+                    },
+                )
+        self._last_snapshot = snap
         for n, (pending, threshold) in sorted(self.batcher.fill_levels().items()):
             tracer.counter(
                 f"serve.bucket_fill[n={n}]",

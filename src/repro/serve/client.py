@@ -29,6 +29,12 @@ import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
 from repro.obs.tracer import get_tracer
+from repro.serve.control.controller import (
+    DEFAULT_INTERVAL_S,
+    PolicyController,
+    controller_from_env,
+)
+from repro.serve.control.journal import DecisionJournal, verify_journal
 from repro.serve.executor import BatchExecutor
 from repro.serve.metrics import ServeMetrics
 from repro.serve.policy import ServePolicy, ServiceClosed
@@ -186,10 +192,30 @@ class ReplaySummary:
     shards: int = 1
     placement: str | None = None
     per_shard: dict | None = None
+    #: Online-control shape of the replay: strategy name (``None`` for a
+    #: static run) and the controller's full decision journal.
+    controller: str | None = None
+    journal: DecisionJournal | None = None
 
     @property
     def throughput_rps(self) -> float:
         return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def _make_controller(broker, controller, interval_s: float | None):
+    """Resolve the replay's controller: explicit arg beats the env knob."""
+    if controller is None:
+        return controller_from_env(broker)
+    if isinstance(controller, str):
+        name = controller.strip().lower()
+        if not name or name in ("0", "off", "none", "false"):
+            return None
+        controller = name
+    return PolicyController(
+        broker,
+        strategy=controller,
+        interval_s=interval_s if interval_s is not None else DEFAULT_INTERVAL_S,
+    )
 
 
 def replay_trace(
@@ -199,6 +225,8 @@ def replay_trace(
     executor: BatchExecutor | None = None,
     warmup: bool = True,
     recorder: TraceRecorder | None = None,
+    controller=None,
+    controller_interval_s: float | None = None,
 ) -> ReplaySummary:
     """Replay an arrival trace through a fresh broker at real-time speed.
 
@@ -209,6 +237,13 @@ def replay_trace(
     before the clock starts, so the latency histograms measure the
     batching policy rather than cold-start codegen.  A ``recorder`` is
     hooked into the broker and sees every replayed arrival as it lands.
+
+    ``controller`` puts the run under online control
+    (:mod:`repro.serve.control`): a strategy name (``"aimd"``/
+    ``"hill"``), a strategy *instance* (for custom decision rules), or
+    ``None`` to consult ``$REPRO_SERVE_CONTROLLER`` like the other serve
+    front ends.  The resulting decision journal rides back on
+    :attr:`ReplaySummary.journal`.
     """
     events = normalize_events(trace)
 
@@ -226,6 +261,9 @@ def replay_trace(
         ) as broker:
             if warmup:
                 broker.warmup(e.n for e in events)
+            ctl = _make_controller(broker, controller, controller_interval_s)
+            if ctl is not None:
+                await ctl.start()
             loop = asyncio.get_running_loop()
             start = loop.time()
 
@@ -238,6 +276,8 @@ def replay_trace(
                 return_exceptions=True,
             )
             elapsed = loop.time() - start
+            if ctl is not None:
+                await ctl.close()
             tracer = get_tracer()
             if tracer.enabled:
                 tracer.record(
@@ -267,6 +307,8 @@ def replay_trace(
             shards=shard_count,
             placement=placement,
             per_shard=per_shard,
+            controller=ctl.strategy.name if ctl is not None else None,
+            journal=ctl.journal if ctl is not None else None,
         )
 
     return asyncio.run(_replay())
@@ -285,6 +327,9 @@ def run_demo(
     record_trace: str | None = None,
     shards: int | None = None,
     placement: str | None = None,
+    controller: str | None = None,
+    controller_interval_ms: float | None = None,
+    journal_out: str | None = None,
 ) -> tuple[str, ReplaySummary]:
     """Replay one synthetic trace and render the full metrics report.
 
@@ -292,6 +337,9 @@ def run_demo(
     :mod:`repro.serve.trace` JSONL file, making the demo run itself a
     replayable workload.  ``shards``/``placement`` reshape the broker
     into a :class:`~repro.serve.shard.ShardedBroker` fabric.
+    ``controller`` puts the demo under online control and reports the
+    decision summary; ``journal_out`` saves the full decision journal as
+    JSONL.
     """
     policy = policy or ServePolicy(target_batch=64, max_delay_s=0.004)
     if backend is not None:
@@ -323,10 +371,19 @@ def run_demo(
             },
         )
     summary = replay_trace(
-        trace, policy=policy, dispatcher=dispatcher, recorder=recorder
+        trace,
+        policy=policy,
+        dispatcher=dispatcher,
+        recorder=recorder,
+        controller=controller,
+        controller_interval_s=(
+            controller_interval_ms / 1e3 if controller_interval_ms else None
+        ),
     )
     if recorder is not None:
         recorder.save(record_trace)
+    if journal_out and summary.journal is not None:
+        summary.journal.save(journal_out)
     lines = [
         f"trace   : {requests} requests over {trace[-1].at * 1e3:.1f} ms "
         f"(~{rate_hz:.0f}/s), n in {tuple(ns)}, "
@@ -340,6 +397,16 @@ def run_demo(
         f"{summary.shed} shed in {summary.elapsed_s * 1e3:.1f} ms "
         f"({summary.throughput_rps:.0f} req/s)",
     ]
+    if summary.journal is not None:
+        knobs = summary.journal.final_knobs()
+        lines.append(
+            f"control : strategy={summary.controller} "
+            f"decisions={len(summary.journal)} "
+            f"changes={summary.journal.changes} "
+            f"final target_batch={knobs.target_batch} "
+            f"max_delay={knobs.max_delay_ms:.2f}ms "
+            f"deterministic={verify_journal(summary.journal)}"
+        )
     if summary.per_shard is not None:
         lines.append(
             f"fabric  : {summary.shards} shards, placement={summary.placement}"

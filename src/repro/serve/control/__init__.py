@@ -1,0 +1,55 @@
+"""Online adaptive policy control for the serving layer.
+
+The control plane over :mod:`repro.serve`: a
+:class:`~repro.serve.control.controller.PolicyController` watches a live
+broker's metrics windows and adapts the hot
+:class:`~repro.serve.policy.ServePolicy` knobs through pluggable,
+deterministic strategies, journaling every decision.  See
+``docs/control.md`` for the operator's view.
+"""
+
+from repro.serve.control.controller import (
+    CONTROLLER_ENV,
+    CONTROLLER_INTERVAL_ENV,
+    DEFAULT_INTERVAL_S,
+    PolicyController,
+    controller_from_env,
+)
+from repro.serve.control.journal import (
+    JOURNAL_FORMAT,
+    JOURNAL_VERSION,
+    Decision,
+    DecisionJournal,
+    policy_roundtrip,
+    replay_journal,
+    verify_journal,
+)
+from repro.serve.control.strategy import (
+    STRATEGIES,
+    AIMDStrategy,
+    ControlBounds,
+    HillClimbStrategy,
+    Knobs,
+    make_strategy,
+)
+
+__all__ = [
+    "CONTROLLER_ENV",
+    "CONTROLLER_INTERVAL_ENV",
+    "DEFAULT_INTERVAL_S",
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "STRATEGIES",
+    "AIMDStrategy",
+    "ControlBounds",
+    "Decision",
+    "DecisionJournal",
+    "HillClimbStrategy",
+    "Knobs",
+    "PolicyController",
+    "controller_from_env",
+    "make_strategy",
+    "policy_roundtrip",
+    "replay_journal",
+    "verify_journal",
+]

@@ -1,0 +1,281 @@
+"""The online policy controller: the autotuner, running at serve time.
+
+:class:`PolicyController` closes the loop the ROADMAP left open — the
+offline sweep picks kernel configurations once, but the *serving* knobs
+(``target_batch``, ``max_delay_s``, shard placement) face a workload
+that changes by the second.  The controller runs alongside any broker
+(plain :class:`~repro.serve.broker.SolveBroker` or the sharded fabric),
+and every ``interval_s`` it:
+
+1. snapshots the broker's :class:`~repro.serve.metrics.ServeMetrics`
+   and diffs it against the previous snapshot
+   (:meth:`~repro.serve.metrics.Snapshot.delta`) — the observation
+   window;
+2. asks its strategy (:mod:`repro.serve.control.strategy`) for a knob
+   proposal, clamps it to a bounded step inside hard bounds
+   (:class:`~repro.serve.control.strategy.ControlBounds`);
+3. applies a changed proposal through the broker's atomic
+   ``update_policy`` seam (it lands at the next coalesce boundary,
+   never mid-flush);
+4. appends a :class:`~repro.serve.control.journal.Decision` — window,
+   knobs, reason — to its journal, and emits the decision as an obs
+   instant plus ``control.knobs`` counter samples.
+
+The controller holds no hidden state: everything a decision depended on
+is in the journal, which replays deterministically
+(:func:`~repro.serve.control.journal.verify_journal`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import time
+from dataclasses import replace
+
+from repro.obs.tracer import get_tracer
+from repro.serve.control.journal import (
+    Decision,
+    DecisionJournal,
+    policy_roundtrip,
+)
+from repro.serve.control.strategy import (
+    STRATEGIES,
+    ControlBounds,
+    Knobs,
+    make_strategy,
+)
+from repro.serve.metrics import Snapshot
+
+#: Environment knobs: ``$REPRO_SERVE_CONTROLLER`` names a strategy
+#: (``aimd``/``hill``; empty, ``0``, ``off``, or ``none`` disables), and
+#: ``$REPRO_SERVE_CONTROLLER_INTERVAL_MS`` overrides the decision period.
+#: Every broker front end that honours ``$REPRO_SERVE_SHARDS`` honours
+#: these too, so the CI matrix can run any suite under control.
+CONTROLLER_ENV = "REPRO_SERVE_CONTROLLER"
+CONTROLLER_INTERVAL_ENV = "REPRO_SERVE_CONTROLLER_INTERVAL_MS"
+
+#: Default decision period.  Four broker snapshots per second is plenty
+#: for convergence and cheap enough to never show up in a profile.
+DEFAULT_INTERVAL_S = 0.25
+
+
+class PolicyController:
+    """Adapts a live broker's batching knobs from its own metrics.
+
+    Use alongside the broker on the same event loop::
+
+        async with SolveBroker(policy) as broker:
+            async with PolicyController(broker, strategy="aimd") as ctl:
+                ...  # serve traffic; ctl adjusts the policy
+            ctl.journal.save("decisions.jsonl")
+
+    For the sharded fabric the controller runs on the *caller's* loop and
+    fans updates out through :meth:`ShardedBroker.update_policy`.
+    ``step()`` is also callable directly (tests, replay harnesses) —
+    the background task is just ``step`` on a timer.
+    """
+
+    def __init__(
+        self,
+        broker,
+        strategy="aimd",
+        interval_s: float = DEFAULT_INTERVAL_S,
+        bounds: ControlBounds | None = None,
+        tracer=None,
+        meta: dict | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.broker = broker
+        self.bounds = bounds or ControlBounds()
+        self.strategy = (
+            make_strategy(strategy, bounds=self.bounds)
+            if isinstance(strategy, str)
+            else strategy
+        )
+        self.interval_s = interval_s
+        self._tracer = tracer
+        self._task: asyncio.Task | None = None
+        self._last: Snapshot | None = None
+        self.journal = DecisionJournal(
+            strategy=self.strategy.name,
+            initial=Knobs.from_policy(broker.policy),
+            bounds=self.bounds,
+            interval_s=interval_s,
+            meta=dict(meta or {}),
+        )
+
+    @property
+    def tracer(self):
+        """The explicit tracer if one was injected, else the broker's."""
+        if self._tracer is not None:
+            return self._tracer
+        broker_tracer = getattr(self.broker, "tracer", None)
+        return broker_tracer if broker_tracer is not None else get_tracer()
+
+    @property
+    def decisions(self) -> int:
+        return len(self.journal)
+
+    @property
+    def changes(self) -> int:
+        return self.journal.changes
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "PolicyController":
+        """Start the periodic decision task (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def close(self) -> None:
+        """Stop the decision task; the journal stays readable."""
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+
+    async def __aenter__(self) -> "PolicyController":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            self.step()
+
+    # ------------------------------------------------------------------
+    # The control cycle
+    # ------------------------------------------------------------------
+
+    def step(self, now: float | None = None) -> Decision | None:
+        """One observe → propose → clamp → apply → journal cycle.
+
+        Returns the appended :class:`Decision`, or ``None`` for the
+        first call (which only primes the snapshot pair) and for empty
+        windows (``dt <= 0``).
+        """
+        t = time.monotonic() if now is None else now
+        snap = self.broker.metrics.snapshot(
+            t=t, queue_depth=self.broker.pending
+        )
+        if self._last is None:
+            self._last = snap
+            return None
+        window = snap.delta(self._last)
+        if window.dt <= 0:
+            return None
+        self._last = snap
+        knobs = Knobs.from_policy(self.broker.policy)
+        proposed, reason = self.strategy.propose(window, knobs)
+        proposed = self.bounds.clamp(proposed, knobs)
+        changed = proposed != knobs
+        if changed:
+            self.broker.update_policy(
+                replace(
+                    self.broker.policy,
+                    target_batch=proposed.target_batch,
+                    max_delay_s=proposed.max_delay_ms / 1e3,
+                    placement=proposed.placement,
+                )
+            )
+            # Journal what the next cycle will observe: the knobs as
+            # they read back out of the applied policy.
+            proposed = policy_roundtrip(proposed)
+        decision = Decision(
+            seq=len(self.journal) + 1,
+            t=t,
+            strategy=self.strategy.name,
+            reason=reason,
+            knobs=proposed,
+            window=window,
+            score=getattr(self.strategy, "last_score", None),
+            changed=changed,
+        )
+        self.journal.append(decision)
+        self._trace(decision)
+        return decision
+
+    def _trace(self, decision: Decision) -> None:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        tracer.instant(
+            "decide",
+            cat="control",
+            strategy=decision.strategy,
+            reason=decision.reason,
+            changed=decision.changed,
+            target_batch=decision.knobs.target_batch,
+            max_delay_ms=decision.knobs.max_delay_ms,
+        )
+        values = {
+            "target_batch": float(decision.knobs.target_batch),
+            "max_delay_ms": float(decision.knobs.max_delay_ms),
+        }
+        if decision.score is not None:
+            values["score"] = float(decision.score)
+        tracer.counter("control.knobs", values)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        """One gauge-shaped dict for Prometheus exposition and summaries."""
+        knobs = self.journal.final_knobs()
+        out = {
+            "strategy": self.strategy.name,
+            "interval_s": self.interval_s,
+            "decisions": self.decisions,
+            "changes": self.changes,
+            "target_batch": knobs.target_batch,
+            "max_delay_ms": knobs.max_delay_ms,
+        }
+        if knobs.placement is not None:
+            out["placement"] = knobs.placement
+        last_score = getattr(self.strategy, "last_score", None)
+        if last_score is not None:
+            out["score"] = last_score
+        return out
+
+
+def controller_from_env(broker, tracer=None, meta: dict | None = None):
+    """A controller when ``$REPRO_SERVE_CONTROLLER`` asks for one, else ``None``.
+
+    The serve front ends (``replay_trace``, ``run_demo``) call this so a
+    CI matrix cell — or a curious operator — can put any run under
+    control without changing call sites, mirroring how
+    ``$REPRO_SERVE_SHARDS`` reshapes the same runs into a fabric.
+    """
+    name = os.environ.get(CONTROLLER_ENV, "").strip().lower()
+    if not name or name in ("0", "off", "none", "false"):
+        return None
+    if name not in STRATEGIES:
+        raise ValueError(
+            f"{CONTROLLER_ENV} must be one of {STRATEGIES}, got {name!r}"
+        )
+    interval_s = DEFAULT_INTERVAL_S
+    raw = os.environ.get(CONTROLLER_INTERVAL_ENV, "").strip()
+    if raw:
+        try:
+            interval_s = float(raw) / 1e3
+        except ValueError:
+            raise ValueError(
+                f"{CONTROLLER_INTERVAL_ENV} must be a number (ms), got {raw!r}"
+            ) from None
+        if interval_s <= 0:
+            raise ValueError(
+                f"{CONTROLLER_INTERVAL_ENV} must be positive, got {raw!r}"
+            )
+    return PolicyController(
+        broker, strategy=name, interval_s=interval_s, tracer=tracer, meta=meta
+    )

@@ -1,0 +1,237 @@
+"""The decision journal: every controller adjustment, traced and replayable.
+
+One JSONL document per controller run: a header line naming the format,
+strategy, bounds, and starting knobs, then one line per decision — the
+observation window the strategy saw (a full
+:class:`~repro.serve.metrics.SnapshotDelta`), the knobs it chose, the
+reason, and whether anything actually changed.  Because strategies are
+deterministic in their observation sequence, the journal is *sufficient*
+to re-derive the run: :func:`replay_journal` re-runs the recorded
+strategy over the recorded windows, and :func:`verify_journal` asserts
+the replay reproduces the recorded knob sequence exactly.  That check is
+the subsystem's determinism gate — `replay-check` runs it on every
+controlled cell.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.serve.control.strategy import ControlBounds, Knobs, make_strategy
+from repro.serve.metrics import SnapshotDelta
+
+JOURNAL_FORMAT = "repro-control-journal"
+JOURNAL_VERSION = 1
+
+
+def policy_roundtrip(knobs: Knobs) -> Knobs:
+    """``knobs`` as they read back from an applied :class:`ServePolicy`.
+
+    The policy stores the deadline in seconds; ms → s → ms through a
+    factor of 1000 is not exact in binary floating point, and the
+    journal must record what the *next* observation cycle will actually
+    see.  Replay applies the same round-trip so live and replayed knob
+    sequences stay bit-identical.
+    """
+    return Knobs(
+        target_batch=knobs.target_batch,
+        max_delay_ms=(knobs.max_delay_ms / 1e3) * 1e3,
+        placement=knobs.placement,
+    )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One controller cycle: what was seen, what was chosen, and why."""
+
+    seq: int
+    t: float
+    strategy: str
+    reason: str
+    knobs: Knobs
+    window: SnapshotDelta
+    score: float | None = None
+    changed: bool = False
+
+    def to_dict(self) -> dict:
+        out = {
+            "seq": self.seq,
+            "t": self.t,
+            "strategy": self.strategy,
+            "reason": self.reason,
+            "knobs": self.knobs.to_dict(),
+            "window": self.window.to_dict(),
+            "changed": self.changed,
+        }
+        if self.score is not None:
+            out["score"] = self.score
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Decision":
+        return cls(
+            seq=int(data["seq"]),
+            t=float(data["t"]),
+            strategy=str(data["strategy"]),
+            reason=str(data["reason"]),
+            knobs=Knobs.from_dict(data["knobs"]),
+            window=SnapshotDelta.from_dict(data["window"]),
+            score=float(data["score"]) if "score" in data else None,
+            changed=bool(data.get("changed", False)),
+        )
+
+
+@dataclass
+class DecisionJournal:
+    """An append-only record of one controller run."""
+
+    strategy: str
+    initial: Knobs
+    bounds: ControlBounds = field(default_factory=ControlBounds)
+    interval_s: float | None = None
+    meta: dict = field(default_factory=dict)
+    decisions: list[Decision] = field(default_factory=list)
+
+    def append(self, decision: Decision) -> None:
+        self.decisions.append(decision)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def changes(self) -> int:
+        """Decisions that actually adjusted a knob."""
+        return sum(1 for d in self.decisions if d.changed)
+
+    def knob_sequence(self) -> list[Knobs]:
+        return [d.knobs for d in self.decisions]
+
+    def final_knobs(self) -> Knobs:
+        return self.decisions[-1].knobs if self.decisions else self.initial
+
+    def status(self) -> dict:
+        """Gauge-shaped summary of the run (final knobs, counts, score).
+
+        The same shape :meth:`PolicyController.status` returns live, so
+        :func:`repro.obs.render_controller_prometheus` accepts either —
+        a saved journal can back the exposition after the run ends.
+        """
+        final = self.final_knobs()
+        last_score = next(
+            (d.score for d in reversed(self.decisions) if d.score is not None),
+            None,
+        )
+        return {
+            "strategy": self.strategy,
+            "interval_s": self.interval_s,
+            "decisions": len(self.decisions),
+            "changes": self.changes,
+            "target_batch": final.target_batch,
+            "max_delay_ms": final.max_delay_ms,
+            "placement": final.placement,
+            "score": last_score,
+        }
+
+    def header(self) -> dict:
+        out = {
+            "format": JOURNAL_FORMAT,
+            "version": JOURNAL_VERSION,
+            "strategy": self.strategy,
+            "initial": self.initial.to_dict(),
+            "bounds": self.bounds.to_dict(),
+        }
+        if self.interval_s is not None:
+            out["interval_s"] = self.interval_s
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+    def to_lines(self) -> list[str]:
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(
+            json.dumps(d.to_dict(), sort_keys=True) for d in self.decisions
+        )
+        return lines
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(self.to_lines()) + "\n")
+
+    @classmethod
+    def from_lines(cls, lines) -> "DecisionJournal":
+        rows = [json.loads(line) for line in lines if line.strip()]
+        if not rows:
+            raise ValueError("empty decision journal")
+        header = rows[0]
+        if header.get("format") != JOURNAL_FORMAT:
+            raise ValueError(
+                f"not a decision journal (format={header.get('format')!r})"
+            )
+        if header.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"unsupported journal version {header.get('version')!r}"
+            )
+        journal = cls(
+            strategy=str(header["strategy"]),
+            initial=Knobs.from_dict(header["initial"]),
+            bounds=ControlBounds.from_dict(header["bounds"]),
+            interval_s=header.get("interval_s"),
+            meta=dict(header.get("meta", {})),
+        )
+        for row in rows[1:]:
+            journal.append(Decision.from_dict(row))
+        return journal
+
+    @classmethod
+    def load(cls, path: str) -> "DecisionJournal":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_lines(fh)
+
+
+def replay_journal(journal: DecisionJournal) -> list[Knobs]:
+    """Re-run the journal's strategy over its recorded windows.
+
+    Reconstructs the controller's decision pipeline — propose, clamp to
+    bounded step, round-trip through the policy — from the journal alone
+    and returns the knob sequence it produces.  Deterministic strategies
+    make this byte-for-byte reproducible; :func:`verify_journal` checks.
+    """
+    strategy = make_strategy(journal.strategy, bounds=journal.bounds)
+    strategy.reset()
+    knobs = journal.initial
+    replayed: list[Knobs] = []
+    for decision in journal.decisions:
+        proposed, _reason = strategy.propose(decision.window, knobs)
+        proposed = journal.bounds.clamp(proposed, knobs)
+        # Mirror the live pipeline exactly: an unchanged decision leaves
+        # the policy (and therefore the observed knobs) untouched, so the
+        # round-trip only applies when an update was actually pushed.
+        if proposed != knobs:
+            knobs = policy_roundtrip(proposed)
+        replayed.append(knobs)
+    return replayed
+
+
+def _knobs_match(a: Knobs, b: Knobs) -> bool:
+    return (
+        a.target_batch == b.target_batch
+        and a.placement == b.placement
+        and math.isclose(a.max_delay_ms, b.max_delay_ms, rel_tol=1e-9, abs_tol=0.0)
+    )
+
+
+def verify_journal(journal: DecisionJournal) -> bool:
+    """``True`` when replaying the journal reproduces its knob sequence.
+
+    The determinism acceptance gate: same windows + same strategy must
+    yield the same policy trajectory.  A mismatch means a strategy
+    smuggled in hidden state (a clock, a random draw, module globals) —
+    exactly the bug class the journal exists to catch.
+    """
+    replayed = replay_journal(journal)
+    recorded = journal.knob_sequence()
+    if len(replayed) != len(recorded):
+        return False
+    return all(_knobs_match(r, k) for r, k in zip(replayed, recorded))

@@ -1,0 +1,406 @@
+"""Control strategies: pure decision rules over observation windows.
+
+A strategy maps one :class:`~repro.serve.metrics.SnapshotDelta` (what the
+service did this window) and the current :class:`Knobs` to a proposed
+knob setting plus a human-readable reason.  Strategies never touch the
+broker — the :class:`~repro.serve.control.controller.PolicyController`
+observes, asks, clamps, applies, and journals — and they are
+**deterministic functions of the observation sequence**: replaying a
+decision journal re-runs the same strategy over the recorded windows and
+must reproduce the identical knob sequence.  Anything wall-clock-shaped
+a strategy needs is already inside the window.
+
+Two strategies ship:
+
+:class:`AIMDStrategy`
+    The safety fallback, stateless.  Under backlog (coalesce waits far
+    beyond the deadline, sheds, a deep queue) it grows ``target_batch``
+    and ``max_delay_s`` multiplicatively — the serving analogue of the
+    paper's result that bigger interleaved batches amortize launch
+    overhead — and when the service is deadline-dominated with latency
+    headroom it decays the deadline additively toward the latency floor.
+    Between the two pressure thresholds lies the hysteresis band where
+    it holds.  It also watches per-shard shed skew and flips ``size`` →
+    ``hash`` placement when one shard absorbs the fabric's sheds.
+
+:class:`HillClimbStrategy`
+    Online coordinate descent, the live analogue of
+    :func:`repro.autotune.search.coordinate_descent`.  It climbs the
+    shared :func:`~repro.autotune.search.geometric_ladder` one rung per
+    decision (the bounded step), keeps a direction while the windowed
+    score improves beyond the hysteresis band, reverts and switches
+    dimension otherwise, and settles once no dimension improves —
+    staying settled until the score drifts out of a wider resume band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.autotune.search import geometric_ladder, ladder_index
+from repro.serve.metrics import SnapshotDelta
+from repro.serve.policy import (
+    MAX_DELAY_BOUNDS_S,
+    PLACEMENTS,
+    TARGET_BATCH_BOUNDS,
+    ServePolicy,
+)
+
+#: Strategy names accepted by :func:`make_strategy` (and therefore by
+#: ``--controller`` / ``$REPRO_SERVE_CONTROLLER``).
+STRATEGIES = ("aimd", "hill")
+
+
+@dataclass(frozen=True)
+class Knobs:
+    """The hot knob vector a strategy reasons about.
+
+    Delay is carried in milliseconds — the unit every latency signal in
+    the windows uses — and converted at the policy boundary.
+    """
+
+    target_batch: int
+    max_delay_ms: float
+    placement: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.target_batch <= 0:
+            raise ValueError(f"target_batch must be positive, got {self.target_batch}")
+        if self.max_delay_ms <= 0:
+            raise ValueError(f"max_delay_ms must be positive, got {self.max_delay_ms}")
+        if self.placement is not None and self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+
+    @classmethod
+    def from_policy(cls, policy: ServePolicy) -> "Knobs":
+        return cls(
+            target_batch=policy.target_batch,
+            max_delay_ms=policy.max_delay_s * 1e3,
+            placement=policy.placement_name(),
+        )
+
+    def to_dict(self) -> dict:
+        out = {
+            "target_batch": self.target_batch,
+            "max_delay_ms": self.max_delay_ms,
+        }
+        if self.placement is not None:
+            out["placement"] = self.placement
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Knobs":
+        return cls(
+            target_batch=int(data["target_batch"]),
+            max_delay_ms=float(data["max_delay_ms"]),
+            placement=data.get("placement"),
+        )
+
+
+@dataclass(frozen=True)
+class ControlBounds:
+    """The controller's clamp: absolute knob bounds plus a per-step cap.
+
+    Narrower than the policy-level sanity bounds
+    (:data:`~repro.serve.policy.TARGET_BATCH_BOUNDS`,
+    :data:`~repro.serve.policy.MAX_DELAY_BOUNDS_S`) by design: the
+    policy rejects the absurd, the controller stays inside the regime
+    the kernels and the latency SLO were tuned for.  ``max_step_factor``
+    bounds every single decision to a multiplicative band around the
+    current setting, so even a misbehaving strategy moves the service
+    gradually.
+    """
+
+    target_batch: tuple[int, int] = (8, 4096)
+    max_delay_ms: tuple[float, float] = (0.25, 64.0)
+    max_step_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.target_batch
+        plo, phi = TARGET_BATCH_BOUNDS
+        if not plo <= lo <= hi <= phi:
+            raise ValueError(
+                f"target_batch bounds must be ordered within [{plo}, {phi}], "
+                f"got {self.target_batch}"
+            )
+        dlo, dhi = self.max_delay_ms
+        pdlo, pdhi = MAX_DELAY_BOUNDS_S[0] * 1e3, MAX_DELAY_BOUNDS_S[1] * 1e3
+        if not pdlo <= dlo <= dhi <= pdhi:
+            raise ValueError(
+                f"max_delay_ms bounds must be ordered within [{pdlo}, {pdhi}], "
+                f"got {self.max_delay_ms}"
+            )
+        if self.max_step_factor <= 1.0:
+            raise ValueError(
+                f"max_step_factor must exceed 1, got {self.max_step_factor}"
+            )
+
+    def clamp(self, proposed: Knobs, current: Knobs) -> Knobs:
+        """``proposed``, limited to one bounded step from ``current``.
+
+        The step cap applies first, the absolute bounds last — a hard
+        wall beats a smooth ride when the two disagree.
+        """
+        msf = self.max_step_factor
+        tb = proposed.target_batch
+        tb = min(tb, int(math.ceil(current.target_batch * msf)))
+        tb = max(tb, int(math.floor(current.target_batch / msf)))
+        tb = min(max(tb, self.target_batch[0]), self.target_batch[1])
+        delay = proposed.max_delay_ms
+        delay = min(delay, current.max_delay_ms * msf)
+        delay = max(delay, current.max_delay_ms / msf)
+        delay = min(max(delay, self.max_delay_ms[0]), self.max_delay_ms[1])
+        return Knobs(
+            target_batch=tb, max_delay_ms=delay, placement=proposed.placement
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "target_batch": list(self.target_batch),
+            "max_delay_ms": list(self.max_delay_ms),
+            "max_step_factor": self.max_step_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControlBounds":
+        return cls(
+            target_batch=tuple(int(v) for v in data["target_batch"]),
+            max_delay_ms=tuple(float(v) for v in data["max_delay_ms"]),
+            max_step_factor=float(data["max_step_factor"]),
+        )
+
+
+class AIMDStrategy:
+    """Backlog-reactive safety strategy (stateless, see module docstring).
+
+    Pressure is the ratio of the window's mean coalesce wait to the
+    current deadline: a healthy deadline-flushing broker sits near 1.0,
+    a backlogged one far above (requests wait many deadlines for a
+    flush slot).  Above ``pressure_high`` — or on any shed — both knobs
+    grow by ``grow_factor``; below ``pressure_low`` with the window
+    deadline-dominated, the deadline decays by ``shrink_ms``; between
+    the thresholds (the hysteresis band) the strategy holds.
+    """
+
+    name = "aimd"
+
+    def __init__(
+        self,
+        grow_factor: float = 1.5,
+        shrink_ms: float = 0.25,
+        pressure_high: float = 2.0,
+        pressure_low: float = 0.75,
+        skew_frac: float = 0.8,
+        skew_min_sheds: int = 4,
+    ) -> None:
+        if grow_factor <= 1.0:
+            raise ValueError(f"grow_factor must exceed 1, got {grow_factor}")
+        if shrink_ms <= 0:
+            raise ValueError(f"shrink_ms must be positive, got {shrink_ms}")
+        if not 0 < pressure_low < pressure_high:
+            raise ValueError(
+                f"need 0 < pressure_low < pressure_high, "
+                f"got {pressure_low}, {pressure_high}"
+            )
+        if not 0.5 < skew_frac <= 1.0:
+            raise ValueError(f"skew_frac must be in (0.5, 1], got {skew_frac}")
+        self.grow_factor = grow_factor
+        self.shrink_ms = shrink_ms
+        self.pressure_high = pressure_high
+        self.pressure_low = pressure_low
+        self.skew_frac = skew_frac
+        self.skew_min_sheds = skew_min_sheds
+
+    def reset(self) -> None:
+        """No internal state to reset."""
+
+    def _skewed(self, window: SnapshotDelta) -> bool:
+        total = sum(window.shed_by_shard.values())
+        if total < self.skew_min_sheds or len(window.shed_by_shard) == 0:
+            return False
+        return max(window.shed_by_shard.values()) >= self.skew_frac * total
+
+    def propose(self, window: SnapshotDelta, knobs: Knobs) -> tuple[Knobs, str]:
+        # One shard soaking up the fabric's sheds under size placement
+        # means a hot size class outgrew its shard: spread it.
+        if knobs.placement == "size" and self._skewed(window):
+            return (
+                Knobs(knobs.target_batch, knobs.max_delay_ms, "hash"),
+                "placement_skew",
+            )
+        flushes = window.counters.get("flushes", 0)
+        sheds = window.counters.get("shed", 0)
+        pressure = (
+            window.wait_mean_ms / knobs.max_delay_ms if flushes > 0 else 0.0
+        )
+        deep_queue = window.queue_depth > 4 * knobs.target_batch
+        if sheds > 0 or pressure > self.pressure_high or deep_queue:
+            grown = Knobs(
+                target_batch=max(
+                    knobs.target_batch + 1,
+                    int(round(knobs.target_batch * self.grow_factor)),
+                ),
+                max_delay_ms=knobs.max_delay_ms * self.grow_factor,
+                placement=knobs.placement,
+            )
+            return grown, "backlog"
+        if flushes == 0 and sheds == 0 and window.queue_depth == 0:
+            return knobs, "idle"
+        if pressure < self.pressure_low and window.deadline_frac >= 0.5:
+            shrunk = Knobs(
+                target_batch=knobs.target_batch,
+                max_delay_ms=knobs.max_delay_ms - self.shrink_ms,
+                placement=knobs.placement,
+            )
+            # The clamp enforces the floor; avoid proposing nonpositive.
+            if shrunk.max_delay_ms <= 0:
+                return knobs, "hold"
+            return shrunk, "latency_headroom"
+        return knobs, "hold"
+
+
+class HillClimbStrategy:
+    """Online coordinate descent over (max_delay_ms, target_batch).
+
+    Stateful but deterministic in the observation sequence: the climb
+    position, direction, and settle bookkeeping evolve only from the
+    scores of the windows it is fed.  The score is the window's
+    completion rate discounted by coalesce latency —
+    ``completed_rate / (1 + wait_mean_ms / latency_ref_ms)`` — so a
+    setting that gains throughput by letting requests wait ten
+    reference-latencies does not look like progress.
+    """
+
+    name = "hill"
+
+    #: The climb dimensions, in probe order.
+    DIMS = ("max_delay_ms", "target_batch")
+
+    def __init__(
+        self,
+        bounds: ControlBounds | None = None,
+        hysteresis: float = 0.05,
+        resume_factor: float = 3.0,
+        latency_ref_ms: float = 10.0,
+        ladder_factor: float = 2.0**0.5,
+    ) -> None:
+        if hysteresis <= 0:
+            raise ValueError(f"hysteresis must be positive, got {hysteresis}")
+        if resume_factor <= 1.0:
+            raise ValueError(f"resume_factor must exceed 1, got {resume_factor}")
+        if latency_ref_ms <= 0:
+            raise ValueError(f"latency_ref_ms must be positive, got {latency_ref_ms}")
+        bounds = bounds or ControlBounds()
+        self.hysteresis = hysteresis
+        self.resume_factor = resume_factor
+        self.latency_ref_ms = latency_ref_ms
+        self._delay_ladder = geometric_ladder(
+            bounds.max_delay_ms[0], bounds.max_delay_ms[1], ladder_factor
+        )
+        batch_rungs = geometric_ladder(
+            float(bounds.target_batch[0]),
+            float(bounds.target_batch[1]),
+            ladder_factor,
+        )
+        self._batch_ladder = tuple(
+            dict.fromkeys(int(round(v)) for v in batch_rungs)
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self.last_score: float | None = None
+        self._settled_score: float | None = None
+        self._dim = 0
+        self._direction = 1
+        self._exhausted: set[int] = set()
+
+    def score(self, window: SnapshotDelta) -> float:
+        return window.completed_rate / (
+            1.0 + window.wait_mean_ms / self.latency_ref_ms
+        )
+
+    def _rel(self, score: float, reference: float) -> float:
+        return (score - reference) / max(abs(reference), 1e-9)
+
+    def _step(self, knobs: Knobs) -> Knobs | None:
+        """One rung along the current dimension; ``None`` at the ladder edge."""
+        dim = self.DIMS[self._dim]
+        ladder = (
+            self._delay_ladder if dim == "max_delay_ms" else self._batch_ladder
+        )
+        value = getattr(knobs, dim)
+        index = ladder_index(ladder, value) + self._direction
+        if not 0 <= index < len(ladder):
+            return None
+        new = ladder[index]
+        if dim == "max_delay_ms":
+            return Knobs(knobs.target_batch, float(new), knobs.placement)
+        return Knobs(int(new), knobs.max_delay_ms, knobs.placement)
+
+    def _advance_dim(self) -> None:
+        self._exhausted.add(self._dim)
+        self._dim = (self._dim + 1) % len(self.DIMS)
+        self._direction = 1
+
+    def _probe(self, knobs: Knobs, reason: str) -> tuple[Knobs, str]:
+        """Step along the first non-exhausted dimension, or settle."""
+        while len(self._exhausted) < len(self.DIMS):
+            if self._dim in self._exhausted:
+                self._dim = (self._dim + 1) % len(self.DIMS)
+                self._direction = 1
+                continue
+            stepped = self._step(knobs)
+            if stepped is None:  # ladder edge: try the other direction once
+                if self._direction == 1:
+                    self._direction = -1
+                    continue
+                self._advance_dim()
+                continue
+            return stepped, reason
+        self._settled_score = self.last_score
+        return knobs, "settled"
+
+    def propose(self, window: SnapshotDelta, knobs: Knobs) -> tuple[Knobs, str]:
+        score = self.score(window)
+        if self._settled_score is not None:
+            band = self.hysteresis * self.resume_factor
+            if abs(self._rel(score, self._settled_score)) <= band:
+                self.last_score = score
+                return knobs, "settled"
+            # The load shifted: restart the climb from here.
+            self._settled_score = None
+            self._exhausted.clear()
+            self._dim = 0
+            self._direction = 1
+            self.last_score = score
+            return self._probe(knobs, "resume")
+        if self.last_score is None:
+            self.last_score = score
+            return self._probe(knobs, "probe")
+        rel = self._rel(score, self.last_score)
+        self.last_score = score
+        if rel > self.hysteresis:
+            self._exhausted.clear()
+            return self._probe(knobs, "improved")
+        if rel < -self.hysteresis:
+            # Worse: step back and move on to the next dimension.
+            self._direction = -self._direction
+            stepped = self._step(knobs)
+            self._advance_dim()
+            if stepped is not None:
+                return stepped, "reverted"
+            return self._probe(knobs, "reverted")
+        self._advance_dim()
+        return self._probe(knobs, "flat")
+
+
+def make_strategy(name: str, bounds: ControlBounds | None = None):
+    """The strategy registry behind ``--controller`` and the env knob."""
+    if name == "aimd":
+        return AIMDStrategy()
+    if name == "hill":
+        return HillClimbStrategy(bounds=bounds)
+    raise ValueError(f"controller strategy must be one of {STRATEGIES}, got {name!r}")

@@ -10,12 +10,22 @@ or shed (``unaccounted == 0``).
 Exported two ways: :meth:`ServeMetrics.as_dict` for JSON scraping and
 :meth:`ServeMetrics.report` as a human-readable table via
 :mod:`repro.utils.tables`.
+
+Lifetime aggregates answer "how did the run go"; anything *reacting* to
+the service (the online controller, the broker's periodic telemetry
+snapshots) needs windowed rates instead.  :meth:`ServeMetrics.snapshot`
+captures a cheap point-in-time :class:`Snapshot`, and
+:meth:`Snapshot.delta` turns two of them into a :class:`SnapshotDelta` —
+the per-window view (rates, window means, deadline fraction) that both
+consumers read instead of re-deriving rates from raw counters by hand.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import time
+from dataclasses import dataclass, field
 
 
 class Histogram:
@@ -273,6 +283,29 @@ class ServeMetrics:
     # Export
     # ------------------------------------------------------------------
 
+    def snapshot(
+        self, t: float | None = None, queue_depth: int = 0
+    ) -> "Snapshot":
+        """A cheap point-in-time capture for windowed-rate computation.
+
+        Copies the counters, each histogram's exact ``(count, total)``
+        pair, and the per-shard shed attribution — O(#families), no
+        sample copying.  ``t`` defaults to ``time.monotonic()`` (the
+        tracer/event-loop clock); ``queue_depth`` is the *instantaneous*
+        pending-request count the caller observes, since a lifetime
+        aggregate cannot recover it.
+        """
+        return Snapshot(
+            t=time.monotonic() if t is None else t,
+            counters=dict(self.counters),
+            hist_stats={
+                name: (hist.count, hist.total)
+                for name, hist in self.histograms.items()
+            },
+            queue_depth=queue_depth,
+            shed_by_shard=dict(self.shed_by_shard),
+        )
+
     def as_dict(self) -> dict:
         out = {
             "counters": dict(self.counters),
@@ -310,3 +343,173 @@ class ServeMetrics:
             ["metric", "count", "mean", "p50", "p95", "max"], dist_rows
         )
         return f"{counters}\n\n{dists}"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Point-in-time capture of one :class:`ServeMetrics`.
+
+    Histograms are reduced to their exact ``(count, total)`` pairs —
+    enough for window means, which is what rate consumers need; window
+    percentiles would require retaining samples per window and are out
+    of scope.  Produced by :meth:`ServeMetrics.snapshot`; consumed in
+    pairs via :meth:`delta`.
+    """
+
+    t: float
+    counters: dict[str, int]
+    hist_stats: dict[str, tuple[int, float]]
+    queue_depth: int = 0
+    shed_by_shard: dict[int, int] = field(default_factory=dict)
+
+    def delta(self, prev: "Snapshot") -> "SnapshotDelta":
+        """The window between ``prev`` and this snapshot.
+
+        Counter deltas are clamped at zero: a counter that appears to run
+        backwards (a restarted shard re-registering, a wrapped foreign
+        gauge fed through the parser) must read as "no events this
+        window", never as a negative rate.  An empty or inverted window
+        (``dt <= 0``) keeps its deltas but reports every rate as 0.0
+        rather than dividing by zero.
+        """
+        if not isinstance(prev, Snapshot):
+            raise TypeError(f"expected Snapshot, got {type(prev).__name__}")
+        counters = {
+            name: max(0, count - prev.counters.get(name, 0))
+            for name, count in self.counters.items()
+        }
+        hists = {}
+        for name, (count, total) in self.hist_stats.items():
+            pc, pt = prev.hist_stats.get(name, (0, 0.0))
+            dc = count - pc
+            # Clamp wrapped windows whole: a negative sample-count delta
+            # invalidates the paired total as well.
+            hists[name] = (max(0, dc), total - pt if dc > 0 else 0.0)
+        shed_by_shard = {
+            shard: max(0, count - prev.shed_by_shard.get(shard, 0))
+            for shard, count in self.shed_by_shard.items()
+        }
+        shed_by_shard = {s: c for s, c in shed_by_shard.items() if c}
+        return SnapshotDelta(
+            dt=self.t - prev.t,
+            counters=counters,
+            hists=hists,
+            queue_depth=self.queue_depth,
+            queue_delta=self.queue_depth - prev.queue_depth,
+            shed_by_shard=shed_by_shard,
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """One observation window: counter deltas and windowed means.
+
+    This is the controller's entire view of the service, and therefore
+    the unit recorded in its decision journal — :meth:`to_dict` /
+    :meth:`from_dict` round-trip every non-zero entry exactly (zero
+    counts are elided for journal compactness; readers use ``.get`` with
+    zero defaults), so a journal replay feeds the strategy observations
+    indistinguishable from the live ones.
+    """
+
+    dt: float
+    counters: dict[str, int]
+    hists: dict[str, tuple[int, float]]
+    queue_depth: int = 0
+    queue_delta: int = 0
+    shed_by_shard: dict[int, int] = field(default_factory=dict)
+
+    def rate(self, name: str) -> float:
+        """Window rate (events/s) of one counter; 0.0 for an empty window."""
+        if self.dt <= 0:
+            return 0.0
+        return self.counters.get(name, 0) / self.dt
+
+    def mean(self, name: str) -> float:
+        """Window mean of one histogram; 0.0 when nothing was observed."""
+        count, total = self.hists.get(name, (0, 0.0))
+        return total / count if count > 0 else 0.0
+
+    @property
+    def submitted_rate(self) -> float:
+        return self.rate("submitted")
+
+    @property
+    def completed_rate(self) -> float:
+        return self.rate("completed")
+
+    @property
+    def shed_rate(self) -> float:
+        return self.rate("shed")
+
+    @property
+    def flush_rate(self) -> float:
+        return self.rate("flushes")
+
+    @property
+    def batch_mean(self) -> float:
+        """Mean flushed batch size this window."""
+        return self.mean("batch_size")
+
+    @property
+    def fill_mean(self) -> float:
+        """Mean fill ratio (flushed size / threshold) this window."""
+        return self.mean("batch_fill")
+
+    @property
+    def wait_mean_ms(self) -> float:
+        """Mean coalesce latency (ms) of requests flushed this window."""
+        return self.mean("coalesce_latency_ms")
+
+    @property
+    def service_mean_ms(self) -> float:
+        """Mean backend service time (ms) of flushes this window."""
+        return self.mean("flush_service_ms")
+
+    @property
+    def gflops_mean(self) -> float:
+        return self.mean("flush_gflops")
+
+    @property
+    def deadline_frac(self) -> float:
+        """Fraction of this window's flushes triggered by the deadline."""
+        flushes = self.counters.get("flushes", 0)
+        if flushes <= 0:
+            return 0.0
+        return self.counters.get("flushes_deadline", 0) / flushes
+
+    def to_dict(self) -> dict:
+        out = {
+            "dt": self.dt,
+            "counters": {k: v for k, v in self.counters.items() if v},
+            "hists": {
+                name: [count, total]
+                for name, (count, total) in self.hists.items()
+                if count
+            },
+            "queue_depth": self.queue_depth,
+            "queue_delta": self.queue_delta,
+        }
+        if self.shed_by_shard:
+            out["shed_by_shard"] = {
+                str(shard): count
+                for shard, count in sorted(self.shed_by_shard.items())
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SnapshotDelta":
+        return cls(
+            dt=float(data["dt"]),
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+            hists={
+                name: (int(pair[0]), float(pair[1]))
+                for name, pair in data.get("hists", {}).items()
+            },
+            queue_depth=int(data.get("queue_depth", 0)),
+            queue_delta=int(data.get("queue_delta", 0)),
+            shed_by_shard={
+                int(shard): int(count)
+                for shard, count in data.get("shed_by_shard", {}).items()
+            },
+        )

@@ -19,7 +19,7 @@ keeps every flushed batch on the packed fast path.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.core.config import KernelConfig
 
@@ -34,6 +34,22 @@ PLACEMENTS = ("size", "hash")
 #: through a sharded fabric without touching each test's policy.
 SHARDS_ENV = "REPRO_SERVE_SHARDS"
 PLACEMENT_ENV = "REPRO_SERVE_PLACEMENT"
+
+#: Sane bounds on the batching knobs, enforced both at construction and
+#: at :meth:`ServePolicy.validate_update` time.  The online controller
+#: (:mod:`repro.serve.control`) mutates these knobs every few hundred
+#: milliseconds; a runaway strategy (or a bad sweep config, the same
+#: class of bug ``run_sweep`` guards against) must hit a hard wall here
+#: rather than drive the broker into a degenerate regime — a flush
+#: threshold beyond any kernel's batch range, or a deadline so long the
+#: ticker effectively stops.
+TARGET_BATCH_BOUNDS = (1, 1 << 20)
+MAX_DELAY_BOUNDS_S = (1e-5, 300.0)
+
+#: The knobs a live broker accepts through ``update_policy`` — everything
+#: else (backend, worker counts, shard count, queue cap, ...) is wired
+#: into constructed objects and only changes with a restart.
+HOT_KNOBS = ("target_batch", "max_delay_s", "placement")
 
 
 class ServeError(RuntimeError):
@@ -201,6 +217,43 @@ class ServePolicy:
             raise ValueError(
                 f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
             )
+        lo, hi = TARGET_BATCH_BOUNDS
+        if not lo <= self.target_batch <= hi:
+            raise ValueError(
+                f"target_batch must be within [{lo}, {hi}], got {self.target_batch}"
+            )
+        lo_s, hi_s = MAX_DELAY_BOUNDS_S
+        if not lo_s <= self.max_delay_s <= hi_s:
+            raise ValueError(
+                f"max_delay_s must be within [{lo_s}, {hi_s}], got {self.max_delay_s}"
+            )
+
+    def validate_update(self, new: "ServePolicy") -> "ServePolicy":
+        """Check that ``new`` is a legal *hot* replacement for this policy.
+
+        A live broker accepts updates only to the knobs in
+        :data:`HOT_KNOBS` — everything else (backend, worker pools, shard
+        count, queue cap, ...) is baked into constructed objects and
+        cannot change without a restart.  ``new`` has already passed
+        ``__post_init__`` bounds checks by existing; this adds the
+        cold-knob comparison and returns ``new`` for chaining.  Raises
+        :class:`ValueError` naming every frozen field the update tried
+        to change.
+        """
+        if not isinstance(new, ServePolicy):
+            raise TypeError(f"expected ServePolicy, got {type(new).__name__}")
+        frozen = [
+            f.name
+            for f in fields(self)
+            if f.name not in HOT_KNOBS
+            and getattr(self, f.name) != getattr(new, f.name)
+        ]
+        if frozen:
+            raise ValueError(
+                f"update_policy may only change {HOT_KNOBS}; "
+                f"attempted to change frozen knobs: {', '.join(frozen)}"
+            )
+        return new
 
     def shard_count(self) -> int:
         """The effective shard count: explicit, else ``$REPRO_SERVE_SHARDS``, else 1."""

@@ -26,13 +26,16 @@ from dataclasses import dataclass, replace
 
 from repro.obs import InMemorySink, Tracer, set_tracer, span_to_dict, stage_summary
 from repro.serve.client import replay_trace
+from repro.serve.control.journal import verify_journal
 from repro.serve.policy import ServePolicy
 from repro.serve.trace import RecordedTrace, normalize_events, trace_sha256
 
 #: Schema tag of the replay report; bump on breaking layout changes.
 #: v2 added the shard dimension (``policy.shards``/``policy.placement``,
-#: per-run ``shards``/``placement``/``per_shard``); v1 reports remain
-#: readable because every added field is additive.
+#: per-run ``shards``/``placement``/``per_shard``); the controlled
+#: dimension (``controller`` blocks, ``coalesce_p99_ms``) is additive
+#: within v2.  v1 reports remain readable because every added field is
+#: additive.
 REPORT_SCHEMA = "repro.bench_serve_replay/v2"
 
 #: Schemas :func:`load_report` accepts.  v1 baselines gate v2 reports —
@@ -47,10 +50,18 @@ SUPPORTED_SCHEMAS = ("repro.bench_serve_replay/v1", REPORT_SCHEMA)
 
 @dataclass(frozen=True)
 class GridCell:
-    """One cell of the replay grid: a label and the policy it names."""
+    """One cell of the replay grid: a label and the policy it names.
+
+    ``controller`` names a control strategy to run the cell under
+    (``None`` replays the static policy, the classic cell); controlled
+    cells still *start* from the cell's policy — the controller then
+    adapts the hot knobs online.
+    """
 
     label: str
     policy: ServePolicy
+    controller: str | None = None
+    controller_interval_ms: float = 10.0
 
 
 def policy_grid(
@@ -59,6 +70,7 @@ def policy_grid(
     max_delays_ms=(2.0,),
     shards=(1,),
     placements=("size",),
+    controllers=(None,),
     base: ServePolicy | None = None,
 ) -> list[GridCell]:
     """The cross product of backends × batch targets × deadlines × shards.
@@ -70,6 +82,14 @@ def policy_grid(
     committed v1 baselines that name them — stay byte-identical.  With
     ``shards != 1`` the placement dimension fans out too; at one shard the
     placement is irrelevant and only a single cell is emitted.
+
+    ``controllers`` adds the controlled dimension: each non-``None``
+    entry is a strategy name and suffixes the label again
+    (``.../ctl-aimd``).  Because :func:`compare_reports` ignores current
+    runs absent from the baseline, controlled cells ride along without
+    touching committed baselines; :func:`compare_controlled` gates them
+    against their static siblings *within* the fresh report instead,
+    which also cancels machine-speed differences.
     """
     base = base or ServePolicy(request_timeout_s=None)
     cells = []
@@ -78,22 +98,26 @@ def policy_grid(
             for delay_ms in max_delays_ms:
                 for shard_count in shards:
                     for placement in placements if shard_count != 1 else (None,):
-                        label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
-                        if shard_count != 1:
-                            label += f"/sh{shard_count}-{placement}"
-                        cells.append(
-                            GridCell(
-                                label=label,
-                                policy=replace(
-                                    base,
-                                    backend=backend,
-                                    target_batch=tb,
-                                    max_delay_s=delay_ms / 1e3,
-                                    shards=shard_count,
-                                    placement=placement,
-                                ),
+                        for controller in controllers:
+                            label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
+                            if shard_count != 1:
+                                label += f"/sh{shard_count}-{placement}"
+                            if controller is not None:
+                                label += f"/ctl-{controller}"
+                            cells.append(
+                                GridCell(
+                                    label=label,
+                                    policy=replace(
+                                        base,
+                                        backend=backend,
+                                        target_batch=tb,
+                                        max_delay_s=delay_ms / 1e3,
+                                        shards=shard_count,
+                                        placement=placement,
+                                    ),
+                                    controller=controller,
+                                )
                             )
-                        )
     return cells
 
 
@@ -155,6 +179,7 @@ def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
         "throughput_rps": summary.throughput_rps,
         "coalesce_p50_ms": coalesce.percentile(50),
         "coalesce_p95_ms": coalesce.percentile(95),
+        "coalesce_p99_ms": coalesce.percentile(99),
         "service_p95_ms": service.percentile(95),
         "batch_mean": m.histograms["batch_size"].mean,
         "fill_mean": m.histograms["batch_fill"].mean,
@@ -168,6 +193,33 @@ def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
         else None,
         "metrics": m.as_dict(),
         "stages": stages or {},
+        "controller": _controller_dict(summary),
+    }
+
+
+def _controller_dict(summary) -> dict | None:
+    """The run record's controller block (``None`` for static runs).
+
+    Carries the decision journal verbatim (its JSONL lines) so CI can
+    upload it as an artifact straight from the report, plus the
+    ``deterministic`` verdict of
+    :func:`~repro.serve.control.journal.verify_journal` — the replayed
+    strategy must reproduce the recorded knob sequence.
+    """
+    journal = getattr(summary, "journal", None)
+    if journal is None:
+        return None
+    knobs = journal.final_knobs()
+    return {
+        "strategy": summary.controller,
+        "interval_ms": (journal.interval_s or 0.0) * 1e3,
+        "decisions": len(journal),
+        "changes": journal.changes,
+        "final_target_batch": knobs.target_batch,
+        "final_max_delay_ms": knobs.max_delay_ms,
+        "final_placement": knobs.placement,
+        "deterministic": verify_journal(journal),
+        "journal": journal.to_lines(),
     }
 
 
@@ -182,7 +234,13 @@ def run_replay_cell(events, cell: GridCell, warmup: bool = True) -> dict:
     tracer = Tracer([sink])
     previous = set_tracer(tracer)
     try:
-        summary = replay_trace(events, policy=cell.policy, warmup=warmup)
+        summary = replay_trace(
+            events,
+            policy=cell.policy,
+            warmup=warmup,
+            controller=cell.controller or "off",
+            controller_interval_s=cell.controller_interval_ms / 1e3,
+        )
     except Exception as exc:  # noqa: BLE001 - the gate judges failed cells
         return {
             "label": cell.label,
@@ -364,6 +422,124 @@ def compare_reports(
                 f"(+{tol.failure_abs:.3f} allowed)"
             )
     return findings
+
+
+@dataclass(frozen=True)
+class ControllerGate:
+    """Tolerances of the controlled-vs-static gate.
+
+    "Meets or beats" with slack: a controlled run passes when its
+    throughput reaches the *best* static sibling within
+    ``throughput_frac``, and its p99 coalesce latency stays within the
+    best static sibling's p99 by both the fractional allowance and an
+    absolute floor (short replays put p99 in scheduler-noise territory).
+    """
+
+    throughput_frac: float = 0.15
+    p99_frac: float = 0.5
+    p99_floor_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("throughput_frac", "p99_frac", "p99_floor_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.throughput_frac >= 1.0:
+            raise ValueError(
+                f"throughput_frac must be < 1, got {self.throughput_frac}"
+            )
+
+
+def _p99(run: dict) -> float:
+    # v2 reports carry p99 explicitly; fall back to p95 for older runs.
+    return run.get("coalesce_p99_ms", run.get("coalesce_p95_ms", 0.0))
+
+
+def compare_controlled(
+    report: dict, tol: ControllerGate | None = None
+) -> list[str]:
+    """Gate every controlled run against its static siblings; empty = pass.
+
+    Works entirely *within* one report — controlled and static cells ran
+    on the same machine minutes apart, so machine-speed variance cancels
+    and no baseline regeneration is needed.  Siblings are the static
+    runs sharing the controlled run's backend and shard count (the cold
+    knobs the controller cannot change).  Findings: a failed or
+    conservation-violating controlled run, a non-deterministic decision
+    journal, throughput below the best static sibling beyond tolerance,
+    or p99 coalesce latency above the best static sibling beyond
+    tolerance.  A controlled run with no static siblings is a finding
+    too — an unanchored "pass" would be meaningless.
+    """
+    tol = tol or ControllerGate()
+    findings: list[str] = []
+    runs = report.get("runs", [])
+    controlled = [r for r in runs if r.get("controller")]
+    static = [r for r in runs if not r.get("controller") and r.get("ok", False)]
+    for run in controlled:
+        label = run.get("label", "?")
+        if not run.get("ok", False):
+            findings.append(
+                f"{label}: failed run ({run.get('error', 'no error recorded')})"
+            )
+            continue
+        if not run.get("conservation_ok", False):
+            findings.append(f"{label}: conservation violated")
+        ctl = run.get("controller", {})
+        if not ctl.get("deterministic", False):
+            findings.append(
+                f"{label}: decision journal did not replay deterministically"
+            )
+        policy = run.get("policy", {})
+        siblings = [
+            s
+            for s in static
+            if s.get("policy", {}).get("backend") == policy.get("backend")
+            and s.get("policy", {}).get("shards") == policy.get("shards")
+        ]
+        if not siblings:
+            findings.append(
+                f"{label}: no static sibling cells "
+                f"(backend={policy.get('backend')}, "
+                f"shards={policy.get('shards')}) to gate against"
+            )
+            continue
+        best_tp = max(s["throughput_rps"] for s in siblings)
+        cur_tp = run["throughput_rps"]
+        if cur_tp < best_tp * (1.0 - tol.throughput_frac):
+            findings.append(
+                f"{label}: throughput {cur_tp:.0f} req/s below best static "
+                f"{best_tp:.0f} req/s "
+                f"(-{(1 - cur_tp / best_tp) * 100:.1f}%, "
+                f"tolerance {tol.throughput_frac * 100:.0f}%)"
+            )
+        best_p99 = min(_p99(s) for s in siblings)
+        cur_p99 = _p99(run)
+        allowed_p99 = max(
+            best_p99 * (1.0 + tol.p99_frac), best_p99 + tol.p99_floor_ms
+        )
+        if cur_p99 > allowed_p99:
+            findings.append(
+                f"{label}: p99 coalesce latency {cur_p99:.3f} ms above best "
+                f"static {best_p99:.3f} ms (allowed {allowed_p99:.3f} ms)"
+            )
+    if not controlled:
+        findings.append("no controlled runs in report to gate")
+    return findings
+
+
+def render_controlled(findings: list[str], report: dict) -> str:
+    """The controlled gate's verdict, findings first."""
+    controlled = [r for r in report.get("runs", []) if r.get("controller")]
+    lines = []
+    if findings:
+        lines.append(f"CONTROLLED GATE: {len(findings)} finding(s)")
+        lines.extend(f"  - {finding}" for finding in findings)
+    else:
+        lines.append(
+            f"ok: {len(controlled)} controlled run(s) meet or beat their "
+            "static siblings"
+        )
+    return "\n".join(lines)
 
 
 def render_report(report: dict) -> str:

@@ -159,6 +159,22 @@ class ShardRouter:
         """
         return self._ring.lookup(self.key_for(n, seq))
 
+    def set_placement(self, placement: str) -> None:
+        """Switch the routing policy of a live fabric.
+
+        Placement only enters :meth:`key_for`; the ring (and therefore
+        which shards are alive) is untouched, so the swap is atomic per
+        request — each subsequent ``place`` call uses wholly the old or
+        wholly the new policy.  The online controller uses this to break
+        up a hot size class (``size`` → ``hash``) when one shard absorbs
+        all of the fabric's sheds.
+        """
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {placement!r}"
+            )
+        self.placement = placement
+
     def mark_down(self, shard_id: int) -> None:
         """Stop placing work on ``shard_id`` (idempotent)."""
         self._ring.remove(shard_id)

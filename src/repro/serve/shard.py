@@ -450,6 +450,35 @@ class ShardedBroker:
             raise ValueError("factor requests take no right-hand side")
         return shape[0]
 
+    def update_policy(self, policy: ServePolicy) -> ServePolicy:
+        """Hot-swap the batching knobs across the whole fabric.
+
+        Validates once at the fabric level (same
+        :data:`~repro.serve.policy.HOT_KNOBS` contract as the plain
+        broker), switches the router's placement immediately — atomic per
+        request, see :meth:`~repro.serve.router.ShardRouter.set_placement`
+        — and fans the new policy out to every live shard's loop via
+        ``call_soon_threadsafe``, where each shard broker applies it at
+        its own next coalesce boundary.  Shards therefore converge within
+        one loop iteration each rather than in lockstep; dead shards are
+        skipped.  Returns the fabric's previous policy.
+        """
+        old = self.policy
+        old.validate_update(policy)
+        self.policy = policy
+        new_placement = policy.placement_name()
+        if new_placement != self.router.placement:
+            self.router.set_placement(new_placement)
+            self.placement = new_placement
+        for shard in self.shards.values():
+            if shard.dead.is_set():
+                continue
+            with contextlib.suppress(RuntimeError):
+                shard._loop.call_soon_threadsafe(
+                    shard.broker.update_policy, policy
+                )
+        return old
+
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------

@@ -1,0 +1,1042 @@
+"""Online policy controller: strategies, journal, bounds, live adaptation."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.autotune.search import geometric_ladder, ladder_index
+from repro.serve import (
+    AIMDStrategy,
+    ControlBounds,
+    DecisionJournal,
+    HillClimbStrategy,
+    Knobs,
+    PolicyController,
+    ServePolicy,
+    Snapshot,
+    SolveBroker,
+    compare_controlled,
+    controller_from_env,
+    make_broker,
+    make_strategy,
+    replay_journal,
+    replay_trace,
+    synthetic_trace,
+    verify_journal,
+)
+from repro.serve.control.controller import (
+    CONTROLLER_ENV,
+    CONTROLLER_INTERVAL_ENV,
+)
+from repro.serve.control.journal import policy_roundtrip
+from repro.serve.metrics import ServeMetrics, SnapshotDelta
+from repro.serve.policy import (
+    HOT_KNOBS,
+    MAX_DELAY_BOUNDS_S,
+    TARGET_BATCH_BOUNDS,
+)
+from repro.utils.spd import random_spd_batch
+
+
+def window(
+    dt=0.1,
+    completed=0,
+    submitted=None,
+    shed=0,
+    flushes=0,
+    deadline_flushes=0,
+    wait_total_ms=0.0,
+    queue_depth=0,
+    shed_by_shard=None,
+):
+    """A synthetic observation window with the fields strategies read."""
+    counters = {
+        "submitted": completed + shed if submitted is None else submitted,
+        "completed": completed,
+        "shed": shed,
+        "flushes": flushes,
+        "flushes_deadline": deadline_flushes,
+    }
+    hists = {}
+    if flushes > 0:
+        hists["coalesce_latency_ms"] = (completed or flushes, wait_total_ms)
+    return SnapshotDelta(
+        dt=dt,
+        counters=counters,
+        hists=hists,
+        queue_depth=queue_depth,
+        shed_by_shard=dict(shed_by_shard or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# ServePolicy knob bounds + hot-knob update contract
+# ----------------------------------------------------------------------
+
+
+class TestPolicyKnobBounds:
+    def test_bounds_accept_the_extremes(self):
+        lo_tb, hi_tb = TARGET_BATCH_BOUNDS
+        lo_d, hi_d = MAX_DELAY_BOUNDS_S
+        ServePolicy(target_batch=lo_tb, max_delay_s=lo_d)
+        ServePolicy(target_batch=hi_tb, max_delay_s=hi_d)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_batch": TARGET_BATCH_BOUNDS[1] + 1},
+            {"max_delay_s": MAX_DELAY_BOUNDS_S[1] * 2},
+            {"max_delay_s": MAX_DELAY_BOUNDS_S[0] / 2},
+        ],
+    )
+    def test_out_of_bounds_knobs_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            ServePolicy(**kwargs)
+
+    def test_update_accepts_hot_knob_changes(self):
+        old = ServePolicy(target_batch=64, max_delay_s=0.004)
+        new = ServePolicy(
+            target_batch=128, max_delay_s=0.008, placement="hash"
+        )
+        assert old.validate_update(new) is new
+
+    def test_update_rejects_frozen_knob_changes(self):
+        old = ServePolicy(target_batch=64)
+        new = ServePolicy(target_batch=64, max_queue_depth=16)
+        with pytest.raises(ValueError, match="frozen"):
+            old.validate_update(new)
+
+    def test_update_error_names_the_offending_knobs(self):
+        old = ServePolicy()
+        new = ServePolicy(backend="eventsim", retry_failed_solo=False)
+        with pytest.raises(ValueError) as err:
+            old.validate_update(new)
+        assert "backend" in str(err.value)
+        assert "retry_failed_solo" in str(err.value)
+
+    def test_update_rejects_non_policy(self):
+        with pytest.raises(TypeError):
+            ServePolicy().validate_update({"target_batch": 4})
+
+    def test_update_rejects_out_of_bounds_values(self):
+        # Bounds live in __post_init__, so a policy violating them cannot
+        # even be constructed to pass to update_policy.
+        with pytest.raises(ValueError):
+            ServePolicy(target_batch=0)
+
+    def test_hot_knobs_are_the_documented_three(self):
+        assert set(HOT_KNOBS) == {"target_batch", "max_delay_s", "placement"}
+
+
+# ----------------------------------------------------------------------
+# Snapshot / SnapshotDelta
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotDelta:
+    def _metrics(self):
+        m = ServeMetrics()
+        for _ in range(10):
+            m.record_submit(queue_depth=1)
+        for _ in range(8):
+            m.record_completion()
+        m.record_flush(
+            size=8, threshold=8, reason="full", gflops=1.0,
+            wait_times_s=[0.001] * 8, service_s=0.002,
+        )
+        return m
+
+    def test_windowed_rates(self):
+        m = self._metrics()
+        first = m.snapshot(t=1.0)
+        for _ in range(4):
+            m.record_submit(queue_depth=2)
+            m.record_completion()
+        second = m.snapshot(t=3.0, queue_depth=2)
+        w = second.delta(first)
+        assert w.dt == 2.0
+        assert w.submitted_rate == pytest.approx(2.0)
+        assert w.completed_rate == pytest.approx(2.0)
+        assert w.queue_depth == 2
+        assert w.queue_delta == 2
+
+    def test_empty_window_reports_zero_rates(self):
+        m = self._metrics()
+        snap = m.snapshot(t=5.0)
+        w = snap.delta(snap)
+        assert w.dt == 0.0
+        assert w.submitted_rate == 0.0
+        assert w.wait_mean_ms == 0.0  # no samples landed in the window
+
+    def test_inverted_clock_reports_zero_rates(self):
+        m = self._metrics()
+        late = m.snapshot(t=5.0)
+        early = m.snapshot(t=4.0)
+        assert early.delta(late).completed_rate == 0.0
+
+    def test_counter_wrap_clamps_to_zero(self):
+        m = self._metrics()
+        first = m.snapshot(t=1.0)
+        wrapped = Snapshot(
+            t=2.0,
+            counters={name: 0 for name in first.counters},
+            hist_stats={name: (0, 0.0) for name in first.hist_stats},
+        )
+        w = wrapped.delta(first)
+        assert all(v == 0 for v in w.counters.values())
+        # A wrapped sample count invalidates the paired total too: the
+        # mean must read 0, not a negative.
+        assert w.wait_mean_ms == 0.0
+
+    def test_delta_requires_a_snapshot(self):
+        m = self._metrics()
+        with pytest.raises(TypeError):
+            m.snapshot().delta({"t": 0.0})
+
+    def test_dict_round_trip_is_semantically_exact(self):
+        w = window(
+            dt=0.25, completed=12, shed=2, flushes=3,
+            deadline_flushes=2, wait_total_ms=30.0, queue_depth=5,
+            shed_by_shard={1: 2},
+        )
+        back = SnapshotDelta.from_dict(json.loads(json.dumps(w.to_dict())))
+        assert back.dt == w.dt
+        assert back.completed_rate == w.completed_rate
+        assert back.shed_rate == w.shed_rate
+        assert back.wait_mean_ms == w.wait_mean_ms
+        assert back.deadline_frac == w.deadline_frac
+        assert back.queue_depth == w.queue_depth
+        assert back.shed_by_shard == w.shed_by_shard
+
+    def test_snapshot_attributes_sheds_per_shard(self):
+        m = ServeMetrics()
+        first = m.snapshot(t=0.0)
+        m.record_shed(shard=0)
+        m.record_shed(shard=0)
+        m.record_shed(shard=1)
+        w = m.snapshot(t=1.0).delta(first)
+        assert w.shed_by_shard == {0: 2, 1: 1}
+
+
+# ----------------------------------------------------------------------
+# Geometric ladder (autotune.search)
+# ----------------------------------------------------------------------
+
+
+class TestGeometricLadder:
+    def test_contains_both_endpoints(self):
+        rungs = geometric_ladder(0.25, 64.0)
+        assert rungs[0] == 0.25
+        assert rungs[-1] == 64.0
+        assert list(rungs) == sorted(rungs)
+
+    def test_ladder_index_snaps_to_nearest(self):
+        rungs = geometric_ladder(1.0, 16.0, factor=2.0)
+        assert rungs == (1.0, 2.0, 4.0, 8.0, 16.0)
+        assert ladder_index(rungs, 3.9) == 2
+        assert ladder_index(rungs, 100.0) == 4
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_ladder(0.0, 4.0)
+        with pytest.raises(ValueError):
+            geometric_ladder(4.0, 2.0)
+        with pytest.raises(ValueError):
+            geometric_ladder(1.0, 4.0, factor=1.0)
+
+
+# ----------------------------------------------------------------------
+# ControlBounds
+# ----------------------------------------------------------------------
+
+
+class TestControlBounds:
+    def test_defaults_sit_inside_policy_bounds(self):
+        b = ControlBounds()
+        assert TARGET_BATCH_BOUNDS[0] <= b.target_batch[0]
+        assert b.target_batch[1] <= TARGET_BATCH_BOUNDS[1]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_batch": (0, 64)},
+            {"target_batch": (64, 8)},
+            {"max_delay_ms": (0.5, MAX_DELAY_BOUNDS_S[1] * 1e3 * 2)},
+            {"max_step_factor": 1.0},
+        ],
+    )
+    def test_invalid_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ControlBounds(**kwargs)
+
+    def test_step_cap_limits_each_decision(self):
+        b = ControlBounds(max_step_factor=2.0)
+        current = Knobs(64, 4.0)
+        wild = Knobs(4096, 64.0)
+        clamped = b.clamp(wild, current)
+        assert clamped.target_batch == 128
+        assert clamped.max_delay_ms == pytest.approx(8.0)
+
+    def test_absolute_bounds_beat_the_step_cap(self):
+        b = ControlBounds(target_batch=(8, 128), max_delay_ms=(1.0, 8.0))
+        current = Knobs(16, 8.0)
+        clamped = b.clamp(Knobs(8, 16.0), current)
+        assert clamped.max_delay_ms == 8.0
+        low = b.clamp(Knobs(1, 0.1), Knobs(8, 1.0))
+        assert low.target_batch == 8
+        assert low.max_delay_ms == 1.0
+
+    def test_clamp_preserves_placement(self):
+        b = ControlBounds()
+        assert b.clamp(Knobs(64, 4.0, "hash"), Knobs(64, 4.0, "size")).placement == "hash"
+
+    def test_round_trips_through_dict(self):
+        b = ControlBounds(target_batch=(16, 512), max_delay_ms=(0.5, 32.0))
+        assert ControlBounds.from_dict(b.to_dict()) == b
+
+
+# ----------------------------------------------------------------------
+# AIMD strategy
+# ----------------------------------------------------------------------
+
+
+class TestAIMDStrategy:
+    def test_backlog_grows_both_knobs(self):
+        s = AIMDStrategy()
+        knobs = Knobs(64, 2.0)
+        proposed, reason = s.propose(
+            window(flushes=4, completed=40, wait_total_ms=400.0), knobs
+        )
+        assert reason == "backlog"  # mean wait 10ms >> 2ms deadline
+        assert proposed.target_batch > knobs.target_batch
+        assert proposed.max_delay_ms > knobs.max_delay_ms
+
+    def test_any_shed_triggers_growth(self):
+        s = AIMDStrategy()
+        proposed, reason = s.propose(
+            window(flushes=2, completed=8, shed=1, wait_total_ms=8.0),
+            Knobs(64, 2.0),
+        )
+        assert reason == "backlog"
+
+    def test_deep_queue_triggers_growth(self):
+        s = AIMDStrategy()
+        proposed, reason = s.propose(
+            window(queue_depth=64 * 5), Knobs(64, 2.0)
+        )
+        assert reason == "backlog"
+
+    def test_idle_window_holds(self):
+        s = AIMDStrategy()
+        knobs = Knobs(64, 2.0)
+        proposed, reason = s.propose(window(), knobs)
+        assert (proposed, reason) == (knobs, "idle")
+
+    def test_latency_headroom_shrinks_the_deadline(self):
+        s = AIMDStrategy()
+        knobs = Knobs(64, 4.0)
+        # Deadline-dominated flushes whose waits sit well under the budget.
+        proposed, reason = s.propose(
+            window(
+                flushes=4, deadline_flushes=4, completed=40,
+                wait_total_ms=40.0,  # mean 1ms against a 4ms deadline
+            ),
+            knobs,
+        )
+        assert reason == "latency_headroom"
+        assert proposed.max_delay_ms == pytest.approx(4.0 - s.shrink_ms)
+        assert proposed.target_batch == knobs.target_batch
+
+    def test_hysteresis_band_holds(self):
+        s = AIMDStrategy()
+        knobs = Knobs(64, 2.0)
+        # Mean wait 2ms on a 2ms deadline: pressure 1.0 sits between
+        # pressure_low and pressure_high.
+        proposed, reason = s.propose(
+            window(flushes=4, completed=10, wait_total_ms=20.0), knobs
+        )
+        assert (proposed, reason) == (knobs, "hold")
+
+    def test_shed_skew_flips_size_to_hash(self):
+        s = AIMDStrategy()
+        knobs = Knobs(64, 2.0, placement="size")
+        proposed, reason = s.propose(
+            window(shed=5, shed_by_shard={0: 5, 1: 0}), knobs
+        )
+        assert reason == "placement_skew"
+        assert proposed.placement == "hash"
+        assert proposed.target_batch == knobs.target_batch
+
+    def test_no_skew_flip_under_hash_placement(self):
+        s = AIMDStrategy()
+        proposed, reason = s.propose(
+            window(shed=5, shed_by_shard={0: 5}), Knobs(64, 2.0, "hash")
+        )
+        assert reason != "placement_skew"
+
+    def test_too_few_sheds_do_not_flip_placement(self):
+        s = AIMDStrategy()
+        proposed, reason = s.propose(
+            window(shed=2, shed_by_shard={0: 2}), Knobs(64, 2.0, "size")
+        )
+        assert reason != "placement_skew"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AIMDStrategy(grow_factor=1.0)
+        with pytest.raises(ValueError):
+            AIMDStrategy(pressure_low=2.0, pressure_high=1.0)
+        with pytest.raises(ValueError):
+            AIMDStrategy(skew_frac=0.3)
+
+
+# ----------------------------------------------------------------------
+# Hill-climb strategy
+# ----------------------------------------------------------------------
+
+
+class TestHillClimbStrategy:
+    def test_score_discounts_latency(self):
+        s = HillClimbStrategy()
+        fast = window(flushes=2, completed=20, wait_total_ms=20.0)
+        slow = window(flushes=2, completed=20, wait_total_ms=2000.0)
+        assert s.score(fast) > s.score(slow)
+
+    def test_stationary_load_settles(self):
+        s = HillClimbStrategy()
+        knobs = Knobs(64, 2.0)
+        w = window(flushes=4, completed=40, wait_total_ms=40.0)
+        reasons = []
+        for _ in range(12):
+            knobs, reason = s.propose(w, knobs)
+            reasons.append(reason)
+        assert "settled" in reasons
+        # Once settled on an unchanged load it stays settled.
+        assert set(reasons[reasons.index("settled"):]) == {"settled"}
+
+    def test_settled_resumes_when_the_load_shifts(self):
+        s = HillClimbStrategy()
+        knobs = Knobs(64, 2.0)
+        calm = window(flushes=4, completed=40, wait_total_ms=40.0)
+        for _ in range(12):
+            knobs, reason = s.propose(calm, knobs)
+        assert reason == "settled"
+        surge = window(flushes=4, completed=400, wait_total_ms=40.0)
+        knobs, reason = s.propose(surge, knobs)
+        assert reason == "resume"
+
+    def test_improvement_keeps_climbing_the_same_dimension(self):
+        s = HillClimbStrategy()
+        knobs = Knobs(64, 2.0)
+        knobs, reason = s.propose(
+            window(flushes=4, completed=40, wait_total_ms=40.0), knobs
+        )
+        assert reason == "probe"
+        first_delay = knobs.max_delay_ms
+        knobs, reason = s.propose(
+            window(flushes=4, completed=80, wait_total_ms=40.0), knobs
+        )
+        assert reason == "improved"
+        assert knobs.max_delay_ms > first_delay
+
+    def test_regression_reverts_the_step(self):
+        s = HillClimbStrategy()
+        knobs = Knobs(64, 2.0)
+        knobs, _ = s.propose(
+            window(flushes=4, completed=40, wait_total_ms=40.0), knobs
+        )
+        probed_delay = knobs.max_delay_ms
+        knobs, reason = s.propose(
+            window(flushes=4, completed=4, wait_total_ms=40.0), knobs
+        )
+        assert reason == "reverted"
+        assert knobs.max_delay_ms < probed_delay
+
+    def test_two_instances_agree_on_the_same_windows(self):
+        windows = [
+            window(flushes=4, completed=40 + 10 * (i % 3), wait_total_ms=40.0)
+            for i in range(20)
+        ]
+        seqs = []
+        for _ in range(2):
+            s = HillClimbStrategy()
+            knobs = Knobs(64, 2.0)
+            seq = []
+            for w in windows:
+                knobs, _ = s.propose(w, knobs)
+                seq.append(knobs)
+            seqs.append(seq)
+        assert seqs[0] == seqs[1]
+
+    def test_steps_stay_on_the_ladders(self):
+        s = HillClimbStrategy()
+        knobs = Knobs(64, 2.0)
+        for i in range(20):
+            knobs, _ = s.propose(
+                window(flushes=4, completed=40 + i, wait_total_ms=40.0), knobs
+            )
+            assert knobs.target_batch in s._batch_ladder
+            assert any(
+                abs(knobs.max_delay_ms - rung) < 1e-12
+                for rung in s._delay_ladder
+            )
+
+    def test_make_strategy_registry(self):
+        assert make_strategy("aimd").name == "aimd"
+        assert make_strategy("hill").name == "hill"
+        with pytest.raises(ValueError):
+            make_strategy("pid")
+
+
+# ----------------------------------------------------------------------
+# Decision journal
+# ----------------------------------------------------------------------
+
+
+class TestDecisionJournal:
+    def _journal(self, strategy_name="aimd", n=8):
+        strategy = make_strategy(strategy_name)
+        bounds = ControlBounds()
+        knobs = Knobs(64, 2.0)
+        journal = DecisionJournal(
+            strategy=strategy_name, initial=knobs, bounds=bounds,
+            interval_s=0.05, meta={"trace": "unit"},
+        )
+        from repro.serve.control import Decision
+
+        for i in range(n):
+            w = window(
+                flushes=4, completed=40, wait_total_ms=400.0 if i < 2 else 8.0
+            )
+            proposed, reason = strategy.propose(w, knobs)
+            proposed = bounds.clamp(proposed, knobs)
+            changed = proposed != knobs
+            if changed:
+                knobs = policy_roundtrip(proposed)
+            journal.append(
+                Decision(
+                    seq=i + 1, t=0.05 * (i + 1), strategy=strategy_name,
+                    reason=reason, knobs=knobs, window=w, changed=changed,
+                )
+            )
+        return journal
+
+    def test_replay_reproduces_the_recorded_sequence(self):
+        journal = self._journal()
+        assert journal.changes > 0
+        assert verify_journal(journal)
+        assert replay_journal(journal) == journal.knob_sequence()
+
+    def test_round_trips_through_jsonl(self, tmp_path):
+        journal = self._journal(strategy_name="hill")
+        path = tmp_path / "decisions.jsonl"
+        journal.save(str(path))
+        loaded = DecisionJournal.load(str(path))
+        assert loaded.strategy == "hill"
+        assert loaded.initial == journal.initial
+        assert loaded.meta == {"trace": "unit"}
+        assert loaded.knob_sequence() == journal.knob_sequence()
+        assert verify_journal(loaded)
+
+    def test_tampered_journal_fails_verification(self):
+        journal = self._journal()
+        from dataclasses import replace as dc_replace
+
+        d = journal.decisions[2]
+        journal.decisions[2] = dc_replace(
+            d, knobs=Knobs(d.knobs.target_batch + 7, d.knobs.max_delay_ms)
+        )
+        assert not verify_journal(journal)
+
+    def test_header_is_self_describing(self):
+        header = self._journal().header()
+        assert header["format"] == "repro-control-journal"
+        assert header["strategy"] == "aimd"
+        assert "bounds" in header and "initial" in header
+
+    def test_rejects_foreign_formats(self):
+        with pytest.raises(ValueError, match="format"):
+            DecisionJournal.from_lines([json.dumps({"format": "nope"})])
+        with pytest.raises(ValueError, match="version"):
+            DecisionJournal.from_lines(
+                [json.dumps({"format": "repro-control-journal", "version": 99})]
+            )
+        with pytest.raises(ValueError, match="empty"):
+            DecisionJournal.from_lines([])
+
+    def test_status_is_gauge_shaped(self):
+        status = self._journal().status()
+        assert status["decisions"] == 8
+        assert status["changes"] >= 1
+        assert status["target_batch"] > 0
+        assert status["max_delay_ms"] > 0
+
+    def test_policy_roundtrip_is_a_fixed_point(self):
+        knobs = Knobs(96, 2.8284271247461903)
+        once = policy_roundtrip(knobs)
+        assert policy_roundtrip(once) == once
+
+
+# ----------------------------------------------------------------------
+# The live controller
+# ----------------------------------------------------------------------
+
+
+def _spd(n=8, seed=0):
+    return random_spd_batch(1, n, seed=seed)[0]
+
+
+class TestPolicyController:
+    def test_first_step_only_primes(self):
+        async def scenario():
+            policy = ServePolicy(
+                target_batch=64, max_delay_s=0.002, request_timeout_s=None
+            )
+            async with SolveBroker(policy=policy) as broker:
+                ctl = PolicyController(broker, strategy="aimd")
+                assert ctl.step(now=0.0) is None
+                assert ctl.decisions == 0
+
+        asyncio.run(scenario())
+
+    def test_backlog_grows_the_live_policy(self):
+        async def scenario():
+            policy = ServePolicy(
+                target_batch=64, max_delay_s=0.002, request_timeout_s=None
+            )
+            async with SolveBroker(policy=policy) as broker:
+                ctl = PolicyController(broker, strategy="aimd")
+                ctl.step(now=0.0)
+                # Fake a backlogged window: deep waits recorded between
+                # the two snapshots.
+                broker.metrics.record_flush(
+                    size=64, threshold=64, reason="full", gflops=1.0,
+                    wait_times_s=[0.02] * 64,
+                )
+                for _ in range(64):
+                    broker.metrics.record_submit(queue_depth=1)
+                    broker.metrics.record_completion()
+                decision = ctl.step(now=0.1)
+                assert decision is not None and decision.changed
+                assert decision.reason == "backlog"
+                assert broker.policy.target_batch > 64
+                assert broker.policy.max_delay_s > 0.002
+                # The journal recorded exactly what the policy now holds.
+                final = ctl.journal.final_knobs()
+                assert final.target_batch == broker.policy.target_batch
+                assert final.max_delay_ms == pytest.approx(
+                    broker.policy.max_delay_s * 1e3
+                )
+                assert verify_journal(ctl.journal)
+
+        asyncio.run(scenario())
+
+    def test_empty_window_is_skipped(self):
+        async def scenario():
+            async with SolveBroker(policy=ServePolicy()) as broker:
+                ctl = PolicyController(broker, strategy="aimd")
+                ctl.step(now=1.0)
+                assert ctl.step(now=1.0) is None  # dt == 0
+
+        asyncio.run(scenario())
+
+    def test_periodic_task_journals_under_live_traffic(self):
+        async def scenario():
+            policy = ServePolicy(
+                target_batch=8, max_delay_s=0.001, request_timeout_s=None
+            )
+            async with SolveBroker(policy=policy) as broker:
+                async with PolicyController(
+                    broker, strategy="aimd", interval_s=0.01
+                ) as ctl:
+                    mats = [_spd(seed=i) for i in range(24)]
+                    await asyncio.gather(*(broker.factor(a) for a in mats))
+                    await asyncio.sleep(0.05)
+                return ctl
+
+        ctl = asyncio.run(scenario())
+        assert ctl.decisions >= 1
+        assert verify_journal(ctl.journal)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PolicyController(object(), interval_s=0.0)
+
+    def test_controller_from_env(self, monkeypatch):
+        async def scenario():
+            async with SolveBroker(policy=ServePolicy()) as broker:
+                monkeypatch.delenv(CONTROLLER_ENV, raising=False)
+                assert controller_from_env(broker) is None
+                monkeypatch.setenv(CONTROLLER_ENV, "off")
+                assert controller_from_env(broker) is None
+                monkeypatch.setenv(CONTROLLER_ENV, "hill")
+                monkeypatch.setenv(CONTROLLER_INTERVAL_ENV, "50")
+                ctl = controller_from_env(broker)
+                assert ctl.strategy.name == "hill"
+                assert ctl.interval_s == pytest.approx(0.05)
+                monkeypatch.setenv(CONTROLLER_ENV, "pid")
+                with pytest.raises(ValueError):
+                    controller_from_env(broker)
+                monkeypatch.setenv(CONTROLLER_ENV, "aimd")
+                monkeypatch.setenv(CONTROLLER_INTERVAL_ENV, "-3")
+                with pytest.raises(ValueError):
+                    controller_from_env(broker)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# The update_policy seam
+# ----------------------------------------------------------------------
+
+
+class TestUpdatePolicySeam:
+    def test_lowered_threshold_flushes_at_the_coalesce_boundary(self):
+        async def scenario():
+            policy = ServePolicy(
+                target_batch=64,
+                max_delay_s=30.0,  # deadline out of the picture
+                request_timeout_s=None,
+                snap_to_chunk=False,
+            )
+            async with SolveBroker(policy=policy) as broker:
+                mats = [_spd(seed=i) for i in range(6)]
+                tasks = [
+                    asyncio.create_task(broker.factor(a)) for a in mats
+                ]
+                while broker.pending < 6:
+                    await asyncio.sleep(0.001)
+                # Nothing flushed: the bucket holds 6 of 64.
+                assert broker.metrics.counters["flushes"] == 0
+                old = broker.update_policy(
+                    ServePolicy(
+                        target_batch=4,
+                        max_delay_s=30.0,
+                        request_timeout_s=None,
+                        snap_to_chunk=False,
+                    )
+                )
+                assert old.target_batch == 64
+                results = await asyncio.gather(*tasks)
+                assert len(results) == 6
+                assert broker.metrics.counters["flushes_full"] >= 1
+
+        asyncio.run(scenario())
+
+    def test_frozen_knob_rejected_live(self):
+        async def scenario():
+            async with SolveBroker(policy=ServePolicy()) as broker:
+                with pytest.raises(ValueError, match="frozen"):
+                    broker.update_policy(ServePolicy(max_queue_depth=7))
+                with pytest.raises(TypeError):
+                    broker.update_policy("not a policy")
+
+        asyncio.run(scenario())
+
+    def test_fabric_fans_out_and_swaps_placement(self):
+        async def scenario():
+            policy = ServePolicy(
+                target_batch=8,
+                max_delay_s=0.002,
+                request_timeout_s=None,
+                shards=2,
+                placement="size",
+            )
+            async with make_broker(policy) as fabric:
+                new = ServePolicy(
+                    target_batch=16,
+                    max_delay_s=0.004,
+                    request_timeout_s=None,
+                    shards=2,
+                    placement="hash",
+                )
+                fabric.update_policy(new)
+                assert fabric.router.placement == "hash"
+                assert fabric.placement == "hash"
+                # Shard brokers converge at their next loop iteration.
+                for _ in range(200):
+                    if all(
+                        s.broker.policy.target_batch == 16
+                        for s in fabric.shards.values()
+                    ):
+                        break
+                    await asyncio.sleep(0.005)
+                assert all(
+                    s.broker.policy.target_batch == 16
+                    for s in fabric.shards.values()
+                )
+                mats = [_spd(seed=i) for i in range(8)]
+                results = await asyncio.gather(
+                    *(fabric.factor(a) for a in mats)
+                )
+                assert len(results) == 8
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Replay integration + the controlled-vs-static gate
+# ----------------------------------------------------------------------
+
+
+def _run(label, controller=None, tp=1000.0, p99=5.0, ok=True):
+    run = {
+        "label": label,
+        "ok": ok,
+        "conservation_ok": True,
+        "throughput_rps": tp,
+        "coalesce_p99_ms": p99,
+        "policy": {"backend": "inline", "shards": 1},
+    }
+    if controller:
+        run["controller"] = {"strategy": controller, "deterministic": True}
+    return run
+
+
+class TestControlledGate:
+    def test_passes_when_controlled_meets_best_static(self):
+        report = {
+            "runs": [
+                _run("a", tp=900.0),
+                _run("b", tp=1000.0),
+                _run("b/ctl-aimd", controller="aimd", tp=990.0),
+            ]
+        }
+        assert compare_controlled(report) == []
+
+    def test_flags_throughput_shortfall(self):
+        report = {
+            "runs": [
+                _run("b", tp=1000.0),
+                _run("b/ctl-aimd", controller="aimd", tp=500.0),
+            ]
+        }
+        findings = compare_controlled(report)
+        assert any("throughput" in f for f in findings)
+
+    def test_flags_p99_blowup(self):
+        report = {
+            "runs": [
+                _run("b", tp=1000.0, p99=2.0),
+                _run("b/ctl-aimd", controller="aimd", tp=1000.0, p99=20.0),
+            ]
+        }
+        findings = compare_controlled(report)
+        assert any("p99" in f for f in findings)
+
+    def test_flags_non_deterministic_journal(self):
+        report = {
+            "runs": [
+                _run("b", tp=1000.0),
+                _run("b/ctl-aimd", controller="aimd", tp=1000.0),
+            ]
+        }
+        report["runs"][1]["controller"]["deterministic"] = False
+        findings = compare_controlled(report)
+        assert any("deterministically" in f for f in findings)
+
+    def test_flags_missing_siblings_and_empty_reports(self):
+        lonely = {"runs": [_run("x/ctl-hill", controller="hill")]}
+        assert any("sibling" in f for f in compare_controlled(lonely))
+        assert compare_controlled({"runs": [_run("a")]}) == [
+            "no controlled runs in report to gate"
+        ]
+
+    def test_controlled_replay_beats_static_on_synthetic_burst(self):
+        from repro.serve.replay import (
+            ControllerGate,
+            policy_grid,
+            run_replay_cell,
+        )
+
+        cells = policy_grid(
+            backends=("inline",),
+            target_batches=(16,),
+            max_delays_ms=(2.0,),
+            controllers=(None, "aimd"),
+        )
+        events = synthetic_trace(requests=120, seed=11, rate_hz=3000.0)
+        runs = [run_replay_cell(events, cell) for cell in cells]
+        report = {"runs": runs}
+        assert all(r["ok"] for r in runs)
+        ctl = runs[-1]["controller"]
+        assert ctl["strategy"] == "aimd"
+        assert ctl["deterministic"]
+        # The dumped journal replays outside the run too.
+        journal = DecisionJournal.from_lines(ctl["journal"])
+        assert verify_journal(journal)
+        # Loose tolerances: this asserts the gate plumbing end to end,
+        # not a benchmark (CI replays the committed trace for that).
+        findings = compare_controlled(
+            report, ControllerGate(throughput_frac=0.6, p99_frac=4.0)
+        )
+        assert findings == []
+
+    def test_replay_trace_controller_off_sentinel(self, monkeypatch):
+        monkeypatch.setenv(CONTROLLER_ENV, "aimd")
+        events = synthetic_trace(requests=20, seed=3, rate_hz=2000.0)
+        summary = replay_trace(
+            events,
+            policy=ServePolicy(request_timeout_s=None),
+            controller="off",
+        )
+        assert summary.controller is None
+        assert summary.journal is None
+
+    def test_replay_trace_records_the_journal(self):
+        events = synthetic_trace(requests=40, seed=3, rate_hz=3000.0)
+        summary = replay_trace(
+            events,
+            policy=ServePolicy(
+                target_batch=16, max_delay_s=0.002, request_timeout_s=None
+            ),
+            controller="aimd",
+            controller_interval_s=0.005,
+        )
+        assert summary.controller == "aimd"
+        assert summary.journal is not None
+        assert verify_journal(summary.journal)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+
+class TestControllerPrometheus:
+    def test_exposition_concatenates_with_serve_metrics(self):
+        from repro.obs import (
+            parse_prometheus_text,
+            render_controller_prometheus,
+            render_prometheus,
+        )
+
+        m = ServeMetrics()
+        m.record_submit(queue_depth=0)
+        m.record_completion()
+        status = {
+            "strategy": "aimd", "decisions": 4, "changes": 1,
+            "target_batch": 96, "max_delay_ms": 3.0, "score": 0.5,
+        }
+        page = render_prometheus(m) + render_controller_prometheus(status)
+        parsed = parse_prometheus_text(page)
+        control = {k: v for k, v in parsed.items() if k.startswith("repro_control")}
+        assert control["repro_control_target_batch"] == [
+            ({"strategy": "aimd"}, 96.0)
+        ]
+        assert "repro_control_score" in control
+
+    def test_missing_score_is_elided(self):
+        from repro.obs import render_controller_prometheus
+
+        out = render_controller_prometheus(
+            {"strategy": "hill", "decisions": 1, "changes": 0,
+             "target_batch": 64, "max_delay_ms": 2.0, "score": None}
+        )
+        assert "repro_control_score" not in out
+        assert "repro_control_decisions_total" in out
+
+    def test_bad_prefix_rejected(self):
+        from repro.obs import render_controller_prometheus
+
+        with pytest.raises(ValueError):
+            render_controller_prometheus({"decisions": 1}, prefix="9bad")
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants (hypothesis)
+# ----------------------------------------------------------------------
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+knob_st = st.builds(
+    Knobs,
+    target_batch=st.integers(min_value=8, max_value=4096),
+    max_delay_ms=st.floats(
+        min_value=0.25, max_value=64.0, allow_nan=False, allow_infinity=False
+    ),
+    placement=st.sampled_from([None, "size", "hash"]),
+)
+
+window_st = st.builds(
+    window,
+    dt=st.floats(min_value=0.01, max_value=1.0),
+    completed=st.integers(min_value=0, max_value=500),
+    shed=st.integers(min_value=0, max_value=20),
+    flushes=st.integers(min_value=0, max_value=50),
+    deadline_flushes=st.just(0),
+    wait_total_ms=st.floats(min_value=0.0, max_value=5000.0),
+    queue_depth=st.integers(min_value=0, max_value=2000),
+)
+
+
+class TestControlProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        knobs=knob_st,
+        w=window_st,
+        strategy_name=st.sampled_from(["aimd", "hill"]),
+    )
+    def test_stationary_load_converges_within_bounds(
+        self, knobs, w, strategy_name
+    ):
+        """Feeding the same window forever, the knob sequence settles:
+        it never violates ControlBounds, and after the convergence
+        horizon it stops moving (no oscillation beyond the hysteresis
+        machinery's hold state)."""
+        bounds = ControlBounds()
+        strategy = make_strategy(strategy_name, bounds=bounds)
+        current = bounds.clamp(knobs, knobs)
+        sequence = [current]
+        for _ in range(40):
+            proposed, _reason = strategy.propose(w, current)
+            proposed = bounds.clamp(proposed, current)
+            if proposed != current:
+                current = policy_roundtrip(proposed)
+            sequence.append(current)
+            assert bounds.target_batch[0] <= current.target_batch
+            assert current.target_batch <= bounds.target_batch[1]
+            assert bounds.max_delay_ms[0] <= current.max_delay_ms
+            assert current.max_delay_ms <= bounds.max_delay_ms[1]
+        tail = sequence[-5:]
+        assert all(k == tail[0] for k in tail), (
+            f"knobs still oscillating under stationary load: {tail}"
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        knobs=knob_st,
+        windows=st.lists(window_st, min_size=1, max_size=15),
+        strategy_name=st.sampled_from(["aimd", "hill"]),
+    )
+    def test_any_journal_replays_deterministically(
+        self, knobs, windows, strategy_name
+    ):
+        """Whatever windows the service produced, the recorded journal
+        must replay to the identical knob sequence."""
+        from repro.serve.control import Decision
+
+        bounds = ControlBounds()
+        strategy = make_strategy(strategy_name, bounds=bounds)
+        current = bounds.clamp(knobs, knobs)
+        journal = DecisionJournal(
+            strategy=strategy_name, initial=current, bounds=bounds
+        )
+        for i, w in enumerate(windows):
+            proposed, reason = strategy.propose(w, current)
+            proposed = bounds.clamp(proposed, current)
+            changed = proposed != current
+            if changed:
+                current = policy_roundtrip(proposed)
+            journal.append(
+                Decision(
+                    seq=i + 1, t=float(i), strategy=strategy_name,
+                    reason=reason, knobs=current, window=w, changed=changed,
+                )
+            )
+        # Through JSONL and back, like the replay-check artifact path.
+        reloaded = DecisionJournal.from_lines(journal.to_lines())
+        assert verify_journal(reloaded)
