@@ -57,6 +57,11 @@ def main(argv=None) -> int:
         "--placements", default="size",
         help="comma-separated placement policies for the sharded cells",
     )
+    parser.add_argument(
+        "--graph", action="store_true",
+        help="double the grid with graph-scheduled cells (…/graph) that "
+             "submit the trace's recorded dependency DAGs as waves",
+    )
     parser.add_argument("--out", default="", help="write the report JSON here")
     parser.add_argument(
         "--baseline", default="", help="gate against this committed report"
@@ -67,6 +72,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--p95-tolerance", type=float, default=GateTolerances.p95_frac
     )
+    parser.add_argument(
+        "--fill-tolerance", type=float, default=GateTolerances.fill_abs,
+        help="absolute mean flush fill-ratio drop allowed for graph cells",
+    )
     args = parser.parse_args(argv)
 
     grid = policy_grid(
@@ -75,6 +84,7 @@ def main(argv=None) -> int:
         max_delays_ms=[float(v) for v in _csv(args.max_delays_ms)],
         shards=[int(v) for v in _csv(args.shards)],
         placements=_csv(args.placements),
+        graphs=(False, True) if args.graph else (False,),
     )
     trace = load_trace_file(args.trace)
     report = run_replay_grid(
@@ -94,7 +104,9 @@ def main(argv=None) -> int:
 
     if args.baseline:
         tol = GateTolerances(
-            throughput_frac=args.throughput_tolerance, p95_frac=args.p95_tolerance
+            throughput_frac=args.throughput_tolerance,
+            p95_frac=args.p95_tolerance,
+            fill_abs=args.fill_tolerance,
         )
         baseline = load_report(args.baseline)
         findings = compare_reports(baseline, report, tol)

@@ -98,6 +98,41 @@ def als_solves_trace() -> list[RecordedEvent]:
                              seed=31)
 
 
+def als_graph_trace() -> list[RecordedEvent]:
+    """Multi-tenant ALS jobs with their dependency DAGs attached.
+
+    Three independent rank-8 ALS jobs (24 users × 12 items, 2 iterations
+    each) exported via :meth:`ALSRecommender.solve_graph_trace`, started
+    1.5 ms apart and merged into one arrival stream.  Each job is one
+    graph: every half-step wave depends on the whole previous half-step,
+    so a flat replay must still serve each event at its arrival time,
+    while a graph-aware replay (``replay-check --graph``) releases whole
+    half-steps as waves — and independent jobs' waves coalesce into
+    shared flushes.  The first committed ``repro.trace/v2`` trace.
+    """
+    jobs = []
+    for g in range(3):
+        data = generate_ratings(
+            n_users=24, n_items=12, rank=8, density=0.25, noise=0.1, seed=31 + g
+        )
+        model = ALSRecommender(
+            rank=8, regularization=0.05, iterations=2, seed=31 + g
+        )
+        jobs.extend(
+            model.solve_graph_trace(
+                data,
+                burst_rate_hz=50000.0,
+                assembly_gap_s=0.004,
+                seed=31 + g,
+                graph=g,
+                start_at=g * 0.0015,
+            )
+        )
+    # A stable sort by arrival keeps each job's own event order — the
+    # per-graph positions its deps reference — intact.
+    return sorted(jobs, key=lambda e: e.at)
+
+
 TRACES = {
     "uniform_small": (
         uniform_small_trace,
@@ -115,6 +150,18 @@ TRACES = {
             "rank": 8,
             "n_users": 48,
             "n_items": 24,
+            "iterations": 2,
+        },
+    ),
+    "als_graph": (
+        als_graph_trace,
+        {
+            "name": "als_graph",
+            "source": "repro.apps.als.ALSRecommender.solve_graph_trace",
+            "rank": 8,
+            "jobs": 3,
+            "n_users": 24,
+            "n_items": 12,
             "iterations": 2,
         },
     ),

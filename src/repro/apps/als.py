@@ -244,3 +244,57 @@ class ALSRecommender:
                     t += 1.0 / burst_rate_hz
                 t += assembly_gap_s
         return events
+
+    def solve_graph_trace(
+        self,
+        data: RatingsData,
+        burst_rate_hz: float = 50000.0,
+        assembly_gap_s: float = 0.005,
+        seed: int = 0,
+        graph: int = 0,
+        start_at: float = 0.0,
+    ) -> list:
+        """:meth:`solve_trace` with its true dependency structure attached.
+
+        ALS half-steps form a barrier DAG: every solve of one half-step
+        depends on the *whole* previous half-step (the item factors it
+        reads were just rewritten), while solves within a half-step are
+        independent.  Each event carries the ``graph`` id plus ``deps``
+        naming every event of the previous half-step by per-graph
+        position (``repro.trace/v2``), so a graph-aware replay can
+        release each half-step as one wave — and coalesce it with other
+        jobs' waves — instead of await-chaining ``n_users`` solves.
+        ``start_at`` offsets the arrival clock so several jobs' traces
+        can be merged into one multi-tenant workload.
+        """
+        from repro.serve.trace import RecordedEvent, derive_seed
+
+        if burst_rate_hz <= 0:
+            raise ValueError(f"burst_rate_hz must be positive, got {burst_rate_hz}")
+        if assembly_gap_s < 0:
+            raise ValueError(
+                f"assembly_gap_s must be >= 0, got {assembly_gap_s}"
+            )
+        events: list[RecordedEvent] = []
+        t = start_at
+        previous: tuple[int, ...] = ()
+        for _ in range(self.iterations):
+            for rows in (data.n_users, data.n_items):
+                current = []
+                for _ in range(rows):
+                    current.append(len(events))
+                    events.append(
+                        RecordedEvent(
+                            at=round(t, 6),
+                            op="solve",
+                            n=self.rank,
+                            nrhs=1,
+                            seed=derive_seed(seed, len(events)),
+                            graph=graph,
+                            deps=previous,
+                        )
+                    )
+                    t += 1.0 / burst_rate_hz
+                t += assembly_gap_s
+                previous = tuple(current)
+        return events

@@ -220,6 +220,13 @@ def _cmd_serve_demo(args) -> int:
         sinks.append(JsonlSink(args.trace_jsonl))
     tracer = Tracer(sinks) if sinks else None
     previous = set_tracer(tracer) if tracer is not None else None
+    if args.graph_demo:
+        try:
+            return _graph_demo(args, policy, ns)
+        finally:
+            if tracer is not None:
+                set_tracer(previous)
+                tracer.close()
     try:
         report, summary = run_demo(
             requests=args.requests,
@@ -269,6 +276,62 @@ def _cmd_serve_demo(args) -> int:
     return 0 if summary.metrics.unaccounted == 0 else 1
 
 
+def _graph_demo(args, policy, ns) -> int:
+    """``serve-demo --graph-demo``: submit demo DAGs through the scheduler.
+
+    The graph smoke test CI runs: build ``--graphs`` synthetic ladder
+    DAGs (:func:`~repro.serve.graph.demo_graphs`), run them concurrently
+    through one :class:`~repro.serve.graph.GraphScheduler`, and fail on
+    any node failure or accounting leak — on either the node plane or
+    the broker plane.
+    """
+    import json
+
+    from repro.obs import render_graph_prometheus, render_prometheus
+    from repro.serve import demo_graphs, run_graphs
+
+    graphs = demo_graphs(count=args.graphs, ns=ns, seed=args.seed)
+    summary = run_graphs(graphs, policy=policy)
+    gm = summary.graph_metrics
+    c = gm.counters
+    lines = [
+        f"graphs  : {len(graphs)} ladder DAGs, "
+        f"{c['nodes']} nodes over {c['waves']} waves, n in {ns}",
+        f"policy  : target_batch={policy.target_batch} "
+        f"max_delay={policy.max_delay_s * 1e3:.1f}ms",
+        f"backend : {summary.backend}"
+        + (f" ({summary.shards} shards)" if summary.shards > 1 else ""),
+        f"nodes   : {c['nodes_completed']} ok, {c['nodes_failed']} failed, "
+        f"{c['nodes_dep_failed']} dep-failed, {c['nodes_shed']} shed "
+        f"in {summary.elapsed_s * 1e3:.1f} ms",
+        f"waves   : width mean {gm.histograms['wave_width'].mean:.1f}, "
+        f"critical path mean "
+        f"{gm.histograms['graph_critical_path_ms'].mean:.2f} ms",
+        f"flushes : fill mean "
+        f"{summary.metrics.histograms['batch_fill'].mean:.3f}, "
+        f"batch mean {summary.metrics.histograms['batch_size'].mean:.1f}",
+    ]
+    print("\n".join(lines))
+    if args.prom_out:
+        prom = render_prometheus(summary.metrics)
+        prom += render_graph_prometheus(gm)
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(prom)
+        print(f"wrote {args.prom_out}")
+    if args.metrics_json:
+        payload = {"serve": summary.metrics.as_dict(), "graph": gm.as_dict()}
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.metrics_json}")
+    healthy = (
+        summary.ok
+        and gm.unaccounted == 0
+        and summary.metrics.unaccounted == 0
+    )
+    return 0 if healthy else 1
+
+
 def _cmd_replay_check(args) -> int:
     from repro.serve.replay import (
         ControllerGate,
@@ -305,6 +368,7 @@ def _cmd_replay_check(args) -> int:
             shards=tuple(int(x) for x in args.shards.split(",")),
             placements=tuple(args.placements.split(",")),
             controllers=(None, *controllers),
+            graphs=(False, True) if args.graph else (False,),
         )
         if controllers:
             from dataclasses import replace
@@ -338,6 +402,7 @@ def _cmd_replay_check(args) -> int:
         p95_frac=args.p95_tolerance,
         shed_abs=args.shed_tolerance,
         failure_abs=args.failure_tolerance,
+        fill_abs=args.fill_tolerance,
     )
     findings = compare_reports(baseline, current, tol)
     print()
@@ -528,6 +593,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal-out", default="",
         help="write the controller's decision journal (JSONL) here",
     )
+    p.add_argument(
+        "--graph-demo", action="store_true",
+        help="submit synthetic ladder DAGs through the GraphScheduler "
+             "instead of independent requests (see docs/graphs.md)",
+    )
+    p.add_argument(
+        "--graphs", type=int, default=6,
+        help="DAG count for --graph-demo",
+    )
     p.set_defaults(func=_cmd_serve_demo)
 
     p = sub.add_parser(
@@ -587,6 +661,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--failure-tolerance", type=float, default=0.02,
         help="absolute failure-rate growth tolerated",
+    )
+    p.add_argument(
+        "--graph", action="store_true",
+        help="add /graph grid cells that replay the trace's v2 graph "
+             "annotations through the GraphScheduler (see docs/graphs.md)",
+    )
+    p.add_argument(
+        "--fill-tolerance", type=float, default=0.5,
+        help="absolute mean flush fill-ratio loss tolerated vs baseline "
+             "(the wave fill-ratio gate of /graph cells)",
     )
     p.add_argument(
         "--controlled", default="",

@@ -16,6 +16,7 @@ See ``docs/observability.md``.
 from repro.obs.prom import (
     parse_prometheus_text,
     render_controller_prometheus,
+    render_graph_prometheus,
     render_prometheus,
     render_prometheus_sharded,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "load_trace",
     "parse_prometheus_text",
     "render_controller_prometheus",
+    "render_graph_prometheus",
     "render_prometheus",
     "render_prometheus_sharded",
     "set_tracer",

@@ -45,6 +45,16 @@ _COUNTER_HELP = {
     "flushes_full": "Flushes triggered by a full bucket.",
     "flushes_deadline": "Flushes triggered by the latency deadline.",
     "flushes_drain": "Flushes triggered by broker shutdown drain.",
+    # Graph-scheduler families (repro_graph_*, see repro.serve.graph).
+    "graphs": "Solve graphs submitted to the scheduler.",
+    "graphs_ok": "Graphs whose every node completed.",
+    "graphs_failed": "Graphs with at least one failed or skipped node.",
+    "nodes": "Graph nodes submitted (across all graphs).",
+    "nodes_completed": "Graph nodes resolved with a result.",
+    "nodes_failed": "Graph nodes whose own solve failed.",
+    "nodes_dep_failed": "Graph nodes skipped because an ancestor failed.",
+    "nodes_shed": "Graph nodes rejected by broker overload.",
+    "waves": "Ready waves released into the broker.",
 }
 
 
@@ -120,6 +130,21 @@ def render_prometheus(metrics, prefix: str = "repro_serve", labels=None) -> str:
             lines.append(f"# TYPE {sub} gauge")
             lines.append(f"{sub}{label_s} {_fmt(value)}")
     return "\n".join(lines) + "\n"
+
+
+def render_graph_prometheus(
+    metrics, prefix: str = "repro_graph", labels=None
+) -> str:
+    """Text exposition of one scheduler's graph metrics.
+
+    ``metrics`` is a :class:`~repro.serve.graph.GraphMetrics`, which
+    duck-types the :class:`~repro.serve.metrics.ServeMetrics` surface, so
+    this is :func:`render_prometheus` under the disjoint ``repro_graph``
+    prefix — a page that concatenates the broker's ``repro_serve_*``
+    families with these stays valid under the one-TYPE-per-family rule,
+    exactly like :func:`render_controller_prometheus`.
+    """
+    return render_prometheus(metrics, prefix=prefix, labels=labels)
 
 
 def render_prometheus_sharded(

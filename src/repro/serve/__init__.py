@@ -63,6 +63,18 @@ from repro.serve.control import (
     verify_journal,
 )
 from repro.serve.executor import BatchExecutor, FlushReport
+from repro.serve.graph import (
+    GraphMetrics,
+    GraphResult,
+    GraphRunSummary,
+    GraphScheduler,
+    GraphValidationError,
+    SolveGraph,
+    SolveNode,
+    demo_graphs,
+    linearize,
+    run_graphs,
+)
 from repro.serve.metrics import Histogram, ServeMetrics, Snapshot, SnapshotDelta
 from repro.serve.replay import (
     ControllerGate,
@@ -80,6 +92,7 @@ from repro.serve.policy import (
     PLACEMENT_ENV,
     PLACEMENTS,
     SHARDS_ENV,
+    DependencyFailed,
     NotPositiveDefiniteError,
     RequestTimeout,
     ServeError,
@@ -96,10 +109,12 @@ from repro.serve.trace import (
     TraceRecorder,
     derive_seed,
     event_inputs,
+    graph_groups,
     load_trace_file,
     normalize_events,
     save_trace,
     trace_sha256,
+    trace_version_for,
 )
 
 __all__ = [
@@ -138,10 +153,16 @@ __all__ = [
     "ShardedBroker",
     "make_broker",
     "stable_hash",
+    "DependencyFailed",
     "EventSimBackend",
     "ExecutorBackend",
     "FlushReport",
     "GateTolerances",
+    "GraphMetrics",
+    "GraphResult",
+    "GraphRunSummary",
+    "GraphScheduler",
+    "GraphValidationError",
     "GridCell",
     "InlineBackend",
     "ProcessPoolBackend",
@@ -151,17 +172,22 @@ __all__ = [
     "TraceRecorder",
     "backend_from_policy",
     "compare_reports",
+    "demo_graphs",
     "derive_seed",
     "event_inputs",
+    "graph_groups",
+    "linearize",
     "load_report",
     "load_trace_file",
     "make_backend",
     "normalize_events",
     "policy_grid",
+    "run_graphs",
     "run_replay_grid",
     "save_report",
     "save_trace",
     "trace_sha256",
+    "trace_version_for",
     "Histogram",
     "NotPositiveDefiniteError",
     "PendingRequest",
@@ -175,6 +201,8 @@ __all__ = [
     "ServiceOverloaded",
     "SizeBucket",
     "SolveBroker",
+    "SolveGraph",
+    "SolveNode",
     "TraceEvent",
     "replay_trace",
     "run_demo",

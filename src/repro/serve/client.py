@@ -36,10 +36,16 @@ from repro.serve.control.controller import (
 )
 from repro.serve.control.journal import DecisionJournal, verify_journal
 from repro.serve.executor import BatchExecutor
+from repro.serve.graph import GraphMetrics, GraphScheduler, SolveGraph
 from repro.serve.metrics import ServeMetrics
 from repro.serve.policy import ServePolicy, ServiceClosed
 from repro.serve.shard import ShardedBroker, make_broker
-from repro.serve.trace import TraceRecorder, event_inputs, normalize_events
+from repro.serve.trace import (
+    TraceRecorder,
+    event_inputs,
+    graph_groups,
+    normalize_events,
+)
 
 
 class ServeClient:
@@ -196,6 +202,12 @@ class ReplaySummary:
     #: static run) and the controller's full decision journal.
     controller: str | None = None
     journal: DecisionJournal | None = None
+    #: Dependency-aware shape of the replay: the scheduler's
+    #: :class:`~repro.serve.graph.GraphMetrics` when the trace's graph
+    #: annotations were honoured (``None`` for flat replay), and the
+    #: per-graph :class:`~repro.serve.graph.GraphResult` list.
+    graph_metrics: GraphMetrics | None = None
+    graph_results: list | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -227,6 +239,7 @@ def replay_trace(
     recorder: TraceRecorder | None = None,
     controller=None,
     controller_interval_s: float | None = None,
+    graph=False,
 ) -> ReplaySummary:
     """Replay an arrival trace through a fresh broker at real-time speed.
 
@@ -244,7 +257,22 @@ def replay_trace(
     ``None`` to consult ``$REPRO_SERVE_CONTROLLER`` like the other serve
     front ends.  The resulting decision journal rides back on
     :attr:`ReplaySummary.journal`.
+
+    ``graph`` honours the trace's v2 graph annotations
+    (:mod:`repro.serve.graph`): events sharing a ``graph`` id are
+    submitted as one DAG through a :class:`GraphScheduler` — each graph
+    enters at its first event's arrival time, then its dependency waves
+    pace themselves — while unannotated events replay as before.
+    ``True`` (or ``"wave"``) releases ready waves concurrently;
+    ``"sequential"`` awaits each node one at a time, the comparison
+    baseline ``benchmarks/bench_graph.py`` measures against.
     """
+    modes = {False: None, True: "wave", "wave": "wave", "sequential": "sequential"}
+    if graph not in modes:
+        raise ValueError(
+            f"graph must be False, True, 'wave', or 'sequential', got {graph!r}"
+        )
+    mode = modes[graph]
     events = normalize_events(trace)
 
     # Payloads are generated up front: a real client holds its matrix
@@ -265,16 +293,23 @@ def replay_trace(
             if ctl is not None:
                 await ctl.start()
             loop = asyncio.get_running_loop()
+            scheduler = GraphScheduler(broker) if mode is not None else None
             start = loop.time()
 
             async def _one(event, a, b):
                 await asyncio.sleep(max(0.0, event.at - (loop.time() - start)))
                 return await broker.submit(event.op, a, b)
 
-            results = await asyncio.gather(
-                *(_one(e, a, b) for e, (a, b) in zip(events, inputs)),
-                return_exceptions=True,
-            )
+            graph_results = None
+            if scheduler is None:
+                results = await asyncio.gather(
+                    *(_one(e, a, b) for e, (a, b) in zip(events, inputs)),
+                    return_exceptions=True,
+                )
+            else:
+                results, graph_results = await _replay_graphs(
+                    events, inputs, scheduler, _one, loop, start, mode
+                )
             elapsed = loop.time() - start
             if ctl is not None:
                 await ctl.close()
@@ -309,9 +344,60 @@ def replay_trace(
             per_shard=per_shard,
             controller=ctl.strategy.name if ctl is not None else None,
             journal=ctl.journal if ctl is not None else None,
+            graph_metrics=scheduler.metrics if scheduler is not None else None,
+            graph_results=graph_results,
         )
 
     return asyncio.run(_replay())
+
+
+async def _replay_graphs(events, inputs, scheduler, _one, loop, start, mode):
+    """Drive a graph-annotated replay: DAGs via the scheduler, rest flat.
+
+    Returns ``(results, graph_results)`` where ``results`` aligns with
+    the trace's event order exactly like the flat path — graph nodes are
+    named by their global event index so each outcome (array, solve
+    error, or :class:`~repro.serve.policy.DependencyFailed`) lands back
+    in its event's slot.
+    """
+    groups = graph_groups(events)
+    flat = [i for i, e in enumerate(events) if e.graph is None]
+
+    async def _one_graph(gid, indices):
+        solve_graph = SolveGraph(name=f"g{gid}")
+        for i in indices:
+            event = events[i]
+            a, b = inputs[i]
+            solve_graph.add(
+                event.op,
+                a,
+                b,
+                name=str(i),
+                after=tuple(str(indices[d]) for d in event.deps),
+            )
+        first_at = events[indices[0]].at
+        await asyncio.sleep(max(0.0, first_at - (loop.time() - start)))
+        res = await scheduler.submit(solve_graph, sequential=(mode == "sequential"))
+        return indices, res
+
+    flat_results, graph_outs = await asyncio.gather(
+        asyncio.gather(
+            *(_one(events[i], *inputs[i]) for i in flat), return_exceptions=True
+        ),
+        asyncio.gather(*(_one_graph(gid, idxs) for gid, idxs in groups.items())),
+    )
+    results = [None] * len(events)
+    for i, r in zip(flat, flat_results):
+        results[i] = r
+    graph_results = []
+    for indices, res in graph_outs:
+        graph_results.append(res)
+        for i in indices:
+            name = str(i)
+            results[i] = (
+                res.results[name] if name in res.results else res.failures.get(name)
+            )
+    return results, graph_results
 
 
 def run_demo(

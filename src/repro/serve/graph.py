@@ -1,0 +1,534 @@
+"""Dependency-aware solve graphs: a DAG scheduler over the broker.
+
+Every request the broker batches is an independent solve, but the
+workloads that motivate the paper are not independent: ALS alternates
+user/item half-steps, a Kalman chain's step ``t`` needs step ``t-1``,
+FEM assembles before it solves.  Those pipelines are DAGs whose
+*independent waves* could be coalesced — across requests, across whole
+graphs — into the same interleaved flushes, which is the single biggest
+fill-ratio lever the serving layer has left.
+
+This module turns the broker into a dataflow engine without touching its
+submission path:
+
+* :class:`SolveGraph` is the client API — named :class:`SolveNode`\\ s
+  (``factor``/``solve`` payloads) plus explicit dependency edges, with
+  duplicate-name and self-edge errors at build time and cycle/dangling
+  validation at submit;
+* :func:`linearize` topo-sorts a graph with Kahn's children/in-degree
+  maps into *waves* — the schedule-item pattern of tinygrad's
+  ``create_schedule_with_vars`` (see SNIPPETS.md) applied to solves;
+* :class:`GraphScheduler` releases each ready wave concurrently into the
+  existing ``broker.submit`` path, so independent nodes from *different*
+  graphs land in shared size buckets (and, above one shard, route
+  per-node through the fabric's normal placement), then propagates
+  results and failures downstream: a failed parent fails exactly its
+  descendant cone with :class:`~repro.serve.policy.DependencyFailed`,
+  never an unrelated node.
+
+Observability follows the serve layer's pattern: a ``graph`` span wraps
+each submitted graph with per-``wave`` child spans (node-count
+attributes on both), :class:`GraphMetrics` mirrors
+:class:`~repro.serve.metrics.ServeMetrics` (counters + histograms + a
+conservation invariant), and
+:func:`repro.obs.render_graph_prometheus` exposes it as disjoint
+``repro_graph_*`` families.  See ``docs/graphs.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.tracer import get_tracer
+from repro.serve.batcher import KINDS
+from repro.serve.metrics import Histogram
+from repro.serve.policy import DependencyFailed, ServiceOverloaded
+
+
+class GraphValidationError(ValueError):
+    """The submitted graph is not a well-formed DAG."""
+
+
+@dataclass(eq=False)
+class SolveNode:
+    """One solve in a graph: an op, its payload, and its parents.
+
+    ``deps`` names parent nodes *within the same graph*; the scheduler
+    will not release this node until every parent has resolved.
+    """
+
+    name: str
+    op: str  # "factor" | "solve"
+    a: np.ndarray
+    b: np.ndarray | None = None
+    deps: tuple[str, ...] = ()
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension of the payload."""
+        return int(self.a.shape[0])
+
+    @property
+    def nrhs(self) -> int:
+        """Right-hand-side count (0 for factor nodes)."""
+        if self.b is None:
+            return 0
+        return 1 if self.b.ndim == 1 else int(self.b.shape[1])
+
+
+class SolveGraph:
+    """A named DAG of factor/solve requests, built incrementally.
+
+    Duplicate names, unknown ops, malformed payload shapes, and
+    self-edges fail at :meth:`add` time; cycles and dangling edges
+    (a dependency naming a node the graph never defines) fail at submit,
+    when :func:`linearize` sees the whole graph.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._nodes: dict[str, SolveNode] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def nodes(self) -> list[SolveNode]:
+        """The nodes in insertion order."""
+        return list(self._nodes.values())
+
+    def node(self, name: str) -> SolveNode:
+        return self._nodes[name]
+
+    def edges(self) -> int:
+        """Total dependency-edge count."""
+        return sum(len(node.deps) for node in self._nodes.values())
+
+    def add(
+        self,
+        op: str,
+        a: np.ndarray,
+        b: np.ndarray | None = None,
+        *,
+        name: str | None = None,
+        after=(),
+    ) -> str:
+        """Add one node; returns its name (auto-assigned when omitted).
+
+        ``after`` lists the node's parents — names, :class:`SolveNode`
+        instances, or a single name.  Parents may be declared before they
+        are defined; whether they ever *are* defined is checked at
+        submit.
+        """
+        if op not in KINDS:
+            raise ValueError(f"op must be one of {KINDS}, got {op!r}")
+        a = np.asarray(a)
+        if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape[0] == 0:
+            raise ValueError(
+                f"expected one square (n, n) matrix, got shape {a.shape}"
+            )
+        if op == "solve":
+            if b is None:
+                raise ValueError("solve nodes need a right-hand side")
+            b = np.asarray(b)
+            if b.ndim not in (1, 2) or b.shape[0] != a.shape[0]:
+                raise ValueError(
+                    f"rhs shape {b.shape} incompatible with matrix {a.shape}"
+                )
+        elif b is not None:
+            raise ValueError("factor nodes take no right-hand side")
+        if name is None:
+            name = f"node{len(self._nodes)}"
+        if name in self._nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        if isinstance(after, (str, SolveNode)):
+            after = (after,)
+        deps = tuple(d.name if isinstance(d, SolveNode) else str(d) for d in after)
+        if name in deps:
+            raise ValueError(f"node {name!r} cannot depend on itself")
+        if len(set(deps)) != len(deps):
+            raise ValueError(f"node {name!r} lists a duplicate dependency")
+        self._nodes[name] = SolveNode(name=name, op=op, a=a, b=b, deps=deps)
+        return name
+
+    def factor(self, a: np.ndarray, *, name: str | None = None, after=()) -> str:
+        """Add a factor node; returns its name."""
+        return self.add("factor", a, name=name, after=after)
+
+    def solve(
+        self, a: np.ndarray, b: np.ndarray, *, name: str | None = None, after=()
+    ) -> str:
+        """Add a solve node; returns its name."""
+        return self.add("solve", a, b, name=name, after=after)
+
+
+def linearize(graph: SolveGraph) -> list[list[SolveNode]]:
+    """Kahn's-algorithm wave schedule of one graph.
+
+    Builds the children and in-degree maps, then peels off waves: every
+    node whose parents have all been scheduled joins the current wave.
+    The result is deterministic — wave membership follows node insertion
+    order — and doubles as validation: a dependency on an undefined node
+    raises (dangling edge), and leftover nodes after the peel are, by
+    construction, the members of at least one cycle, named in the error.
+    """
+    nodes = graph.nodes
+    children: dict[str, list[str]] = {node.name: [] for node in nodes}
+    in_degree: dict[str, int] = {node.name: 0 for node in nodes}
+    for node in nodes:
+        for dep in node.deps:
+            if dep not in children:
+                raise GraphValidationError(
+                    f"node {node.name!r} depends on undefined node {dep!r}"
+                )
+            children[dep].append(node.name)
+            in_degree[node.name] += 1
+
+    by_name = {node.name: node for node in nodes}
+    ready = [node.name for node in nodes if in_degree[node.name] == 0]
+    waves: list[list[SolveNode]] = []
+    scheduled = 0
+    while ready:
+        waves.append([by_name[name] for name in ready])
+        scheduled += len(ready)
+        next_ready = []
+        for name in ready:
+            for child in children[name]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    next_ready.append(child)
+        # Kahn's releases children in parent-completion order; re-anchor
+        # to insertion order so the linearization is a pure function of
+        # the graph, not of edge declaration order.
+        ready = [n.name for n in nodes if n.name in set(next_ready)]
+    if scheduled != len(nodes):
+        cyclic = sorted(name for name, deg in in_degree.items() if deg > 0)
+        raise GraphValidationError(
+            f"graph contains a dependency cycle through {cyclic}"
+        )
+    return waves
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+_GRAPH_COUNTERS = (
+    "graphs",
+    "graphs_ok",
+    "graphs_failed",
+    "nodes",
+    "nodes_completed",
+    "nodes_failed",
+    "nodes_dep_failed",
+    "nodes_shed",
+    "waves",
+)
+
+
+class GraphMetrics:
+    """Counters and histograms of one scheduler's graph traffic.
+
+    Duck-types the :class:`~repro.serve.metrics.ServeMetrics` surface the
+    Prometheus renderer reads (``counters``/``histograms``/
+    ``unaccounted``), so one exposition path serves both; the
+    conservation invariant here is *node* accounting — every node of
+    every submitted graph ends completed, failed, dependency-failed, or
+    shed.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {name: 0 for name in _GRAPH_COUNTERS}
+        self.histograms: dict[str, Histogram] = {
+            "wave_width": Histogram(),
+            "graph_depth": Histogram(),
+            "graph_critical_path_ms": Histogram(),
+        }
+
+    @property
+    def unaccounted(self) -> int:
+        c = self.counters
+        return c["nodes"] - (
+            c["nodes_completed"]
+            + c["nodes_failed"]
+            + c["nodes_dep_failed"]
+            + c["nodes_shed"]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "unaccounted": self.unaccounted,
+            "histograms": {
+                name: hist.summary() for name, hist in self.histograms.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Scheduling
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GraphResult:
+    """Outcome of one submitted graph.
+
+    Every node appears in exactly one of ``results`` (name → solution
+    array) or ``failures`` (name → exception; a
+    :class:`~repro.serve.policy.DependencyFailed` for nodes skipped
+    because an ancestor failed).  ``waves`` is the linearization that
+    ran, ``wave_widths`` how many nodes each wave actually released, and
+    ``critical_path_ms`` the wall time from first wave to last
+    resolution — the latency a dependent caller observed.
+    """
+
+    graph: str
+    results: dict[str, np.ndarray] = field(default_factory=dict)
+    failures: dict[str, Exception] = field(default_factory=dict)
+    waves: list[list[str]] = field(default_factory=list)
+    wave_widths: list[int] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def critical_path_ms(self) -> float:
+        return self.elapsed_s * 1e3
+
+    def result(self, name: str) -> np.ndarray:
+        """The node's solution; re-raises its failure if it has one."""
+        if name in self.failures:
+            raise self.failures[name]
+        return self.results[name]
+
+
+class GraphScheduler:
+    """Releases a graph's ready waves into an existing broker.
+
+    Works against any object with the broker submit surface — a plain
+    :class:`~repro.serve.broker.SolveBroker` or a
+    :class:`~repro.serve.shard.ShardedBroker` fabric, where each node of
+    a wave routes through the normal shard placement individually.  One
+    scheduler may serve many concurrent :meth:`submit` calls; their
+    independent waves coalesce in the broker's shared size buckets,
+    which is the whole point.
+    """
+
+    def __init__(self, broker, metrics: GraphMetrics | None = None, tracer=None):
+        self.broker = broker
+        self.metrics = metrics or GraphMetrics()
+        self._tracer = tracer
+        self._seq = 0
+
+    @property
+    def tracer(self):
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    async def submit(self, graph: SolveGraph, *, sequential: bool = False):
+        """Run one graph to completion; returns a :class:`GraphResult`.
+
+        ``sequential`` degrades each wave to one node at a time — the
+        classic await-each-solve client every graph caller starts from,
+        kept here so benchmarks (``benchmarks/bench_graph.py``) can
+        measure exactly what wave release buys.
+
+        Never raises for node failures: per-node errors (including
+        broker sheds) land in ``result.failures`` and fail exactly their
+        descendant cone with
+        :class:`~repro.serve.policy.DependencyFailed`.
+        """
+        waves = linearize(graph)
+        if sequential:
+            waves = [[node] for wave in waves for node in wave]
+        self._seq += 1
+        label = graph.name or f"graph-{self._seq}"
+        m = self.metrics
+        m.counters["graphs"] += 1
+        m.counters["nodes"] += len(graph)
+        tracer = self.tracer
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        result = GraphResult(graph=label, waves=[[n.name for n in w] for w in waves])
+        for index, wave in enumerate(waves):
+            runnable: list[SolveNode] = []
+            for node in wave:
+                failed_dep = next((d for d in node.deps if d in result.failures), None)
+                if failed_dep is None:
+                    runnable.append(node)
+                    continue
+                upstream = result.failures[failed_dep]
+                # Point at the intrinsic root, not an intermediate skip,
+                # so a deep chain's error still names the real culprit.
+                if isinstance(upstream, DependencyFailed):
+                    ancestor, cause = upstream.ancestor, upstream.cause
+                else:
+                    ancestor, cause = failed_dep, upstream
+                result.failures[node.name] = DependencyFailed(
+                    node.name, ancestor, cause=cause
+                )
+                m.counters["nodes_dep_failed"] += 1
+            m.counters["waves"] += 1
+            m.histograms["wave_width"].observe(len(runnable))
+            result.wave_widths.append(len(runnable))
+            if not runnable:
+                continue
+            w0 = loop.time()
+            outcomes = await asyncio.gather(
+                *(self.broker.submit(node.op, node.a, node.b) for node in runnable),
+                return_exceptions=True,
+            )
+            w1 = loop.time()
+            for node, outcome in zip(runnable, outcomes):
+                if isinstance(outcome, BaseException):
+                    result.failures[node.name] = outcome
+                    if isinstance(outcome, ServiceOverloaded):
+                        m.counters["nodes_shed"] += 1
+                    else:
+                        m.counters["nodes_failed"] += 1
+                else:
+                    result.results[node.name] = outcome
+                    m.counters["nodes_completed"] += 1
+            if tracer.enabled:
+                tracer.record(
+                    "wave",
+                    w0,
+                    w1,
+                    cat="graph",
+                    track=f"graph {label}",
+                    wave=index,
+                    nodes=len(runnable),
+                    skipped=len(wave) - len(runnable),
+                )
+        result.elapsed_s = loop.time() - t0
+        m.counters["graphs_ok" if result.ok else "graphs_failed"] += 1
+        m.histograms["graph_depth"].observe(len(waves))
+        m.histograms["graph_critical_path_ms"].observe(result.critical_path_ms)
+        if tracer.enabled:
+            tracer.record(
+                "graph",
+                t0,
+                loop.time(),
+                cat="graph",
+                track=f"graph {label}",
+                nodes=len(graph),
+                waves=len(waves),
+                completed=len(result.results),
+                failed=len(result.failures),
+            )
+        return result
+
+
+# ----------------------------------------------------------------------
+# Sync driver (demo / examples)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GraphRunSummary:
+    """Outcome of :func:`run_graphs`: per-graph results plus both metric
+    planes (the scheduler's :class:`GraphMetrics` and the broker's
+    :class:`~repro.serve.metrics.ServeMetrics`)."""
+
+    results: list[GraphResult]
+    graph_metrics: GraphMetrics
+    metrics: object
+    elapsed_s: float
+    backend: str = "inline"
+    shards: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+def run_graphs(
+    graphs,
+    policy=None,
+    dispatcher=None,
+    warmup: bool = True,
+    sequential: bool = False,
+) -> GraphRunSummary:
+    """Submit many graphs concurrently through a fresh broker, blocking.
+
+    The synchronous entry point the examples and ``serve-demo
+    --graph-demo`` share: builds the policy-shaped broker
+    (:func:`~repro.serve.shard.make_broker` — sharded above one shard),
+    runs one :class:`GraphScheduler` over every graph at once so their
+    independent waves share flushes, and returns when all graphs have
+    resolved.
+    """
+    from repro.serve.shard import ShardedBroker, make_broker
+
+    graphs = list(graphs)
+
+    async def _run() -> GraphRunSummary:
+        async with make_broker(policy=policy, dispatcher=dispatcher) as broker:
+            if warmup:
+                broker.warmup(
+                    node.n for graph in graphs for node in graph.nodes
+                )
+            scheduler = GraphScheduler(broker)
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            results = await asyncio.gather(
+                *(scheduler.submit(g, sequential=sequential) for g in graphs)
+            )
+            elapsed = loop.time() - t0
+            sharded = isinstance(broker, ShardedBroker)
+            return GraphRunSummary(
+                results=list(results),
+                graph_metrics=scheduler.metrics,
+                metrics=broker.metrics,
+                elapsed_s=elapsed,
+                backend=broker.backend_name,
+                shards=broker.shard_count if sharded else 1,
+            )
+
+    return asyncio.run(_run())
+
+
+def demo_graphs(
+    count: int = 6,
+    chain: int = 4,
+    width: int = 4,
+    ns: tuple[int, ...] = (8,),
+    seed: int = 0,
+) -> list[SolveGraph]:
+    """Synthetic demo DAGs: ``count`` independent ladders of ``chain``
+    levels, each level a wave of ``width`` solves depending on the whole
+    previous level (the ALS half-step shape).  Deterministic in ``seed``.
+    """
+    from repro.utils.spd import make_spd
+
+    for knob, value in (("count", count), ("chain", chain), ("width", width)):
+        if value <= 0:
+            raise ValueError(f"{knob} must be positive, got {value}")
+    if not ns:
+        raise ValueError("ns must be non-empty")
+
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for g in range(count):
+        graph = SolveGraph(name=f"demo-{g}")
+        previous: list[str] = []
+        for level in range(chain):
+            n = int(ns[(g + level) % len(ns)])
+            current = []
+            for k in range(width):
+                a = make_spd(n, rng)
+                b = rng.standard_normal(n).astype(np.float32)
+                current.append(
+                    graph.solve(a, b, name=f"l{level}k{k}", after=tuple(previous))
+                )
+            previous = current
+        graphs.append(graph)
+    return graphs

@@ -68,6 +68,26 @@ class ShardDown(ServeError):
     """
 
 
+class DependencyFailed(ServeError):
+    """An upstream node of a solve graph failed, so this node never ran.
+
+    Raised by the :class:`~repro.serve.graph.GraphScheduler` for exactly
+    the descendant cone of a failed node — ``ancestor`` names the nearest
+    *intrinsically* failed ancestor (not an intermediate skip) and
+    ``cause`` carries that ancestor's own exception.
+    """
+
+    def __init__(self, node: str, ancestor: str, cause: Exception | None = None):
+        detail = f" ({type(cause).__name__}: {cause})" if cause is not None else ""
+        super().__init__(
+            f"graph node {node!r} skipped: upstream node {ancestor!r} "
+            f"failed{detail}"
+        )
+        self.node = node
+        self.ancestor = ancestor
+        self.cause = cause
+
+
 class RequestTimeout(ServeError):
     """The request's latency budget expired before its bucket flushed."""
 

@@ -33,9 +33,10 @@ from repro.serve.trace import RecordedTrace, normalize_events, trace_sha256
 #: Schema tag of the replay report; bump on breaking layout changes.
 #: v2 added the shard dimension (``policy.shards``/``policy.placement``,
 #: per-run ``shards``/``placement``/``per_shard``); the controlled
-#: dimension (``controller`` blocks, ``coalesce_p99_ms``) is additive
-#: within v2.  v1 reports remain readable because every added field is
-#: additive.
+#: dimension (``controller`` blocks, ``coalesce_p99_ms``) and the graph
+#: dimension (``offered``, ``graph`` blocks, ``/graph`` cells) are
+#: additive within v2.  v1 reports remain readable because every added
+#: field is additive.
 REPORT_SCHEMA = "repro.bench_serve_replay/v2"
 
 #: Schemas :func:`load_report` accepts.  v1 baselines gate v2 reports —
@@ -55,13 +56,16 @@ class GridCell:
     ``controller`` names a control strategy to run the cell under
     (``None`` replays the static policy, the classic cell); controlled
     cells still *start* from the cell's policy — the controller then
-    adapts the hot knobs online.
+    adapts the hot knobs online.  ``graph`` honours the trace's v2 graph
+    annotations through the :class:`~repro.serve.graph.GraphScheduler`
+    instead of replaying every event independently.
     """
 
     label: str
     policy: ServePolicy
     controller: str | None = None
     controller_interval_ms: float = 10.0
+    graph: bool = False
 
 
 def policy_grid(
@@ -71,6 +75,7 @@ def policy_grid(
     shards=(1,),
     placements=("size",),
     controllers=(None,),
+    graphs=(False,),
     base: ServePolicy | None = None,
 ) -> list[GridCell]:
     """The cross product of backends × batch targets × deadlines × shards.
@@ -90,6 +95,12 @@ def policy_grid(
     touching committed baselines; :func:`compare_controlled` gates them
     against their static siblings *within* the fresh report instead,
     which also cancels machine-speed differences.
+
+    ``graphs`` adds the dependency-aware dimension: a ``True`` entry
+    suffixes ``/graph`` and replays the trace through the
+    :class:`~repro.serve.graph.GraphScheduler`, honouring its v2 graph
+    annotations.  Like the controlled dimension it is purely additive —
+    dep-free cells and their labels are untouched.
     """
     base = base or ServePolicy(request_timeout_s=None)
     cells = []
@@ -99,25 +110,29 @@ def policy_grid(
                 for shard_count in shards:
                     for placement in placements if shard_count != 1 else (None,):
                         for controller in controllers:
-                            label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
-                            if shard_count != 1:
-                                label += f"/sh{shard_count}-{placement}"
-                            if controller is not None:
-                                label += f"/ctl-{controller}"
-                            cells.append(
-                                GridCell(
-                                    label=label,
-                                    policy=replace(
-                                        base,
-                                        backend=backend,
-                                        target_batch=tb,
-                                        max_delay_s=delay_ms / 1e3,
-                                        shards=shard_count,
-                                        placement=placement,
-                                    ),
-                                    controller=controller,
+                            for graph in graphs:
+                                label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
+                                if shard_count != 1:
+                                    label += f"/sh{shard_count}-{placement}"
+                                if controller is not None:
+                                    label += f"/ctl-{controller}"
+                                if graph:
+                                    label += "/graph"
+                                cells.append(
+                                    GridCell(
+                                        label=label,
+                                        policy=replace(
+                                            base,
+                                            backend=backend,
+                                            target_batch=tb,
+                                            max_delay_s=delay_ms / 1e3,
+                                            shards=shard_count,
+                                            placement=placement,
+                                        ),
+                                        controller=controller,
+                                        graph=bool(graph),
+                                    )
                                 )
-                            )
     return cells
 
 
@@ -169,6 +184,11 @@ def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
         "policy": _policy_dict(policy),
         "backend": summary.backend,
         "requests": requests,
+        # Offered load as the broker saw it (the ``submitted`` counter,
+        # bumped before the shed check) — together with ``shed`` this
+        # stops a cell "winning" a throughput or fill comparison by
+        # shedding the work it was offered.
+        "offered": m.counters["submitted"],
         "completed": summary.completed,
         "failed": summary.failed,
         "shed": summary.shed,
@@ -194,6 +214,36 @@ def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
         "metrics": m.as_dict(),
         "stages": stages or {},
         "controller": _controller_dict(summary),
+        "graph": _graph_dict(summary),
+    }
+
+
+def _graph_dict(summary) -> dict | None:
+    """The run record's graph block (``None`` for flat replays).
+
+    Summarizes the scheduler's :class:`~repro.serve.graph.GraphMetrics`:
+    node accounting (with its own conservation verdict), wave shape, and
+    the critical-path latency distribution the ``/graph`` gate reads.
+    """
+    gm = getattr(summary, "graph_metrics", None)
+    if gm is None:
+        return None
+    c = gm.counters
+    critical = gm.histograms["graph_critical_path_ms"]
+    return {
+        "graphs": c["graphs"],
+        "graphs_ok": c["graphs_ok"],
+        "nodes": c["nodes"],
+        "nodes_completed": c["nodes_completed"],
+        "nodes_failed": c["nodes_failed"],
+        "nodes_dep_failed": c["nodes_dep_failed"],
+        "nodes_shed": c["nodes_shed"],
+        "waves": c["waves"],
+        "conservation_ok": gm.unaccounted == 0,
+        "wave_width_mean": gm.histograms["wave_width"].mean,
+        "graph_depth_mean": gm.histograms["graph_depth"].mean,
+        "critical_path_ms_mean": critical.mean,
+        "critical_path_ms_max": critical.max,
     }
 
 
@@ -240,6 +290,7 @@ def run_replay_cell(events, cell: GridCell, warmup: bool = True) -> dict:
             warmup=warmup,
             controller=cell.controller or "off",
             controller_interval_s=cell.controller_interval_ms / 1e3,
+            graph=cell.graph,
         )
     except Exception as exc:  # noqa: BLE001 - the gate judges failed cells
         return {
@@ -333,10 +384,14 @@ class GateTolerances:
     shed_abs: float = 0.02
     #: Absolute failure-rate growth tolerated.
     failure_abs: float = 0.02
+    #: Absolute mean flush fill-ratio loss tolerated.  The default is
+    #: deliberately loose — fill only becomes a meaningful gate on graph
+    #: cells, where the nightly job tightens it via ``--fill-tolerance``.
+    fill_abs: float = 0.5
 
     def __post_init__(self) -> None:
         for name in ("throughput_frac", "p95_frac", "p95_floor_ms",
-                     "shed_abs", "failure_abs"):
+                     "shed_abs", "failure_abs", "fill_abs"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
         if self.throughput_frac >= 1.0:
@@ -354,9 +409,12 @@ def compare_reports(
     missing from the current report, a failed (``ok: false``) current
     run, a conservation violation, throughput below ``baseline * (1 -
     throughput_frac)``, p95 coalesce latency beyond both the fractional
-    allowance and the absolute floor, and shed/failure rates exceeding
-    the baseline by more than their absolute tolerances.  A trace
-    fingerprint mismatch invalidates the whole comparison.
+    allowance and the absolute floor, shed/failure rates exceeding the
+    baseline by more than their absolute tolerances, mean flush fill
+    more than ``fill_abs`` below the baseline (the wave fill-ratio gate
+    of ``/graph`` cells), and a graph cell whose node accounting does not
+    conserve.  A trace fingerprint mismatch invalidates the whole
+    comparison.
     """
     tol = tol or GateTolerances()
     findings: list[str] = []
@@ -420,6 +478,22 @@ def compare_reports(
                 f"{label}: failure rate regressed {cur['failure_rate']:.3f} "
                 f"vs baseline {base_run['failure_rate']:.3f} "
                 f"(+{tol.failure_abs:.3f} allowed)"
+            )
+        base_fill, cur_fill = base_run.get("fill_mean"), cur.get("fill_mean")
+        if (
+            base_fill is not None
+            and cur_fill is not None
+            and cur_fill < base_fill - tol.fill_abs
+        ):
+            findings.append(
+                f"{label}: mean flush fill regressed {cur_fill:.3f} vs "
+                f"baseline {base_fill:.3f} (-{tol.fill_abs:.3f} allowed)"
+            )
+        base_graph, cur_graph = base_run.get("graph"), cur.get("graph")
+        if base_graph and cur_graph and not cur_graph.get("conservation_ok", False):
+            findings.append(
+                f"{label}: graph node conservation violated "
+                f"(nodes != completed + failed + dep_failed + shed)"
             )
     return findings
 

@@ -30,6 +30,20 @@ Format (version 1)::
     {"at": 0.0, "op": "factor", "n": 8, "seed": 100003}
     {"at": 0.00005, "op": "solve", "n": 16, "nrhs": 1, "seed": 100004}
 
+Version 2 adds the *graph annotations* of dependency-aware replay
+(:mod:`repro.serve.graph`): an optional ``graph`` id groups events into
+one DAG, and ``deps`` lists the event's parents as indices into **that
+graph's own event sequence** (the 0-based position among events sharing
+its ``graph``), so interleaved multi-graph traces stay valid under any
+arrival-order merge that preserves per-graph order::
+
+    {"at": 0.0, "op": "solve", "n": 8, "seed": 100003, "graph": 0}
+    {"at": 0.001, "op": "solve", "n": 8, "seed": 100004, "graph": 0, "deps": [0]}
+
+:func:`save_trace` stamps the header ``version: 1`` whenever no event
+carries graph fields, so every dep-free trace — and every byte of the
+committed v1 corpus — remains a fixed point of the v1 format.
+
 ``save → load → save`` is a byte-level fixed point (canonical key order,
 defaults omitted), which is what lets tests pin the format down.
 """
@@ -49,8 +63,11 @@ from repro.utils.spd import make_spd
 #: Magic string in the header line of every trace file.
 TRACE_FORMAT = "repro-trace"
 
-#: Highest trace-format version this loader understands.
-TRACE_VERSION = 1
+#: Highest trace-format version this loader understands.  Version 2
+#: added the optional ``graph``/``deps`` event fields; writers emit a
+#: version-1 header whenever no event uses them, preserving the v1 byte
+#: fixed point for dep-free traces.
+TRACE_VERSION = 2
 
 #: Multiplier used to derive per-event input seeds from a base seed —
 #: the same constant :func:`repro.serve.client.synthetic_trace` uses, so
@@ -88,6 +105,14 @@ class RecordedEvent:
     #: plain broker stay byte-identical to the pre-shard format — version
     #: 1 readers and the fixed-point tests are unaffected.
     shard: int | None = None
+    #: Solve-graph id this event belongs to (``None`` for an independent
+    #: request).  Version-2 field; omitted when absent so dep-free traces
+    #: keep the v1 byte layout.
+    graph: int | None = None
+    #: Parents of this event as 0-based positions *within its own graph's
+    #: event sequence* (not global trace indices) — stable under any
+    #: merge that preserves per-graph order.  Requires ``graph``.
+    deps: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -102,6 +127,15 @@ class RecordedEvent:
             raise ValueError(f"factor events take no rhs, got nrhs={self.nrhs}")
         if self.shard is not None and self.shard < 0:
             raise ValueError(f"shard must be >= 0 or None, got {self.shard}")
+        if self.graph is not None and self.graph < 0:
+            raise ValueError(f"graph must be >= 0 or None, got {self.graph}")
+        object.__setattr__(self, "deps", tuple(int(d) for d in self.deps))
+        if self.deps and self.graph is None:
+            raise ValueError("deps require a graph id")
+        if any(d < 0 for d in self.deps):
+            raise ValueError(f"deps must be >= 0, got {self.deps}")
+        if len(set(self.deps)) != len(self.deps):
+            raise ValueError(f"duplicate deps {self.deps}")
 
     def to_dict(self) -> dict:
         """Canonical JSON object: fixed key order, defaults omitted."""
@@ -113,14 +147,21 @@ class RecordedEvent:
             out["nonspd"] = True
         if self.shard is not None:
             out["shard"] = self.shard
+        if self.graph is not None:
+            out["graph"] = self.graph
+        if self.deps:
+            out["deps"] = list(self.deps)
         return out
 
     @classmethod
     def from_dict(cls, obj: dict) -> "RecordedEvent":
-        unknown = set(obj) - {"at", "op", "n", "nrhs", "seed", "nonspd", "shard"}
+        unknown = set(obj) - {
+            "at", "op", "n", "nrhs", "seed", "nonspd", "shard", "graph", "deps",
+        }
         if unknown:
             raise ValueError(f"unknown event field(s) {sorted(unknown)}")
         shard = obj.get("shard")
+        graph = obj.get("graph")
         return cls(
             at=float(obj["at"]),
             op=str(obj["op"]),
@@ -129,6 +170,8 @@ class RecordedEvent:
             seed=int(obj.get("seed", 0)),
             nonspd=bool(obj.get("nonspd", False)),
             shard=None if shard is None else int(shard),
+            graph=None if graph is None else int(graph),
+            deps=tuple(int(d) for d in obj.get("deps", ())),
         )
 
 
@@ -214,15 +257,29 @@ def _dumps(obj: dict) -> str:
     return json.dumps(obj, separators=(",", ":"), sort_keys=False)
 
 
+def trace_version_for(events) -> int:
+    """The lowest header version that can express ``events``.
+
+    Graph annotations need version 2; everything else is version 1, so a
+    dep-free trace — whoever writes it — stays a byte fixed point of the
+    v1 format.
+    """
+    return 2 if any(e.graph is not None for e in events) else 1
+
+
 def save_trace(path, events, meta: dict | None = None) -> int:
     """Write one trace file; returns the number of events written.
 
     Events must arrive in non-decreasing ``at`` order — a trace is an
-    arrival schedule, and the loader enforces the same invariant.
+    arrival schedule, and the loader enforces the same invariant.  Graph
+    annotations must form valid per-graph DAG edges
+    (:func:`_check_graph_deps`); their presence bumps the written header
+    to version 2 (:func:`trace_version_for`).
     """
     events = normalize_events(events)
     _check_sorted(events)
-    header = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+    _check_graph_deps(events)
+    header = {"format": TRACE_FORMAT, "version": trace_version_for(events)}
     if meta:
         header["meta"] = dict(sorted(meta.items()))
     with open(path, "w", encoding="utf-8") as fh:
@@ -263,7 +320,13 @@ def load_trace_file(path) -> RecordedTrace:
             events.append(RecordedEvent.from_dict(obj))
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"{path}:{lineno}: bad event ({exc})") from None
+    if version < 2 and any(e.graph is not None for e in events):
+        raise ValueError(
+            f"{path}: version {version} trace carries graph/deps fields "
+            f"(they need version 2)"
+        )
     _check_sorted(events, path=path)
+    _check_graph_deps(events, path=path)
     return RecordedTrace(
         events=events, meta=header.get("meta", {}), version=version
     )
@@ -277,6 +340,37 @@ def _check_sorted(events, path=None) -> None:
                 f"{where}arrival offsets must be non-decreasing "
                 f"(event {i + 1} at {b.at} after {a.at})"
             )
+
+
+def graph_groups(events) -> dict[int, list[int]]:
+    """Graph id → ordered global indices of that graph's events.
+
+    The position of a global index within its graph's list is exactly
+    the per-graph position the ``deps`` field references.
+    """
+    groups: dict[int, list[int]] = {}
+    for index, event in enumerate(events):
+        if event.graph is not None:
+            groups.setdefault(event.graph, []).append(index)
+    return groups
+
+
+def _check_graph_deps(events, path=None) -> None:
+    """Every dep must point at an *earlier* event of the same graph."""
+    where = f"{path}: " if path else ""
+    position: dict[int, int] = {}
+    for index, event in enumerate(events):
+        if event.graph is None:
+            continue
+        pos = position.get(event.graph, 0)
+        for dep in event.deps:
+            if dep >= pos:
+                raise ValueError(
+                    f"{where}event {index} (graph {event.graph}, position "
+                    f"{pos}) depends on position {dep}, which is not an "
+                    f"earlier event of the same graph"
+                )
+        position[event.graph] = pos + 1
 
 
 def trace_sha256(path) -> str:
@@ -329,6 +423,8 @@ class TraceRecorder:
         seed: int | None = None,
         nonspd: bool = False,
         shard: int | None = None,
+        graph: int | None = None,
+        deps: tuple[int, ...] = (),
     ) -> RecordedEvent:
         """Append one arrival; returns the event as recorded."""
         if at is None:
@@ -339,7 +435,8 @@ class TraceRecorder:
         if seed is None:
             seed = derive_seed(self.seed, len(self.events))
         event = RecordedEvent(
-            at=at, op=op, n=n, nrhs=nrhs, seed=seed, nonspd=nonspd, shard=shard
+            at=at, op=op, n=n, nrhs=nrhs, seed=seed, nonspd=nonspd, shard=shard,
+            graph=graph, deps=deps,
         )
         if self.events and event.at < self.events[-1].at:
             raise ValueError(
@@ -360,6 +457,8 @@ class TraceRecorder:
             seed=e.seed,
             nonspd=e.nonspd,
             shard=e.shard,
+            graph=e.graph,
+            deps=e.deps,
         )
 
     def save(self, path) -> int:

@@ -1,0 +1,756 @@
+"""Dependency-aware solve graphs: API, scheduler, trace v2, grids, gates.
+
+The fast tests here run in every suite against the inline backend.  The
+environment-shaped end-to-end tests (``TestGraphEnvMatrix``) only run
+under ``REPRO_SERVE_GRAPH=1`` — the CI ``graph`` matrix cell sets that
+together with ``$REPRO_SERVE_BACKEND`` / ``$REPRO_SERVE_SHARDS`` to
+sweep the scheduler across the inline + process backends and the
+two-shard fabric.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DependencyFailed,
+    GateTolerances,
+    GraphMetrics,
+    GraphScheduler,
+    GraphValidationError,
+    ServePolicy,
+    SolveBroker,
+    SolveGraph,
+    demo_graphs,
+    graph_groups,
+    linearize,
+    policy_grid,
+    replay_trace,
+    run_graphs,
+    trace_version_for,
+)
+from repro.serve.policy import ServiceOverloaded
+from repro.serve.replay import compare_reports, run_record, run_replay_grid
+from repro.serve.trace import (
+    RecordedEvent,
+    TraceRecorder,
+    load_trace_file,
+    normalize_events,
+    save_trace,
+)
+from repro.utils.spd import make_spd
+
+RUN_GRAPH_MATRIX = os.environ.get("REPRO_SERVE_GRAPH") == "1"
+
+FAST_POLICY = ServePolicy(request_timeout_s=None, backend="inline")
+
+
+def _spd(n=8, seed=0):
+    return make_spd(n, np.random.default_rng(seed))
+
+
+def _rhs(n=8, seed=1):
+    return np.random.default_rng(seed).standard_normal(n).astype(np.float32)
+
+
+def _nonspd(n=8, seed=0):
+    a = _spd(n, seed)
+    a[n // 2, n // 2] = -abs(a[n // 2, n // 2]) - 1.0
+    return a
+
+
+def diamond_graph(n=8, seed=0, poison_root=False):
+    """factor root -> two solves -> one join solve."""
+    g = SolveGraph(name="diamond")
+    root = _nonspd(n, seed) if poison_root else _spd(n, seed)
+    g.factor(root, name="root")
+    g.solve(_spd(n, seed + 1), _rhs(n, seed + 2), name="left", after="root")
+    g.solve(_spd(n, seed + 3), _rhs(n, seed + 4), name="right", after="root")
+    g.solve(
+        _spd(n, seed + 5), _rhs(n, seed + 6), name="join",
+        after=("left", "right"),
+    )
+    return g
+
+
+# ----------------------------------------------------------------------
+# SolveGraph API
+# ----------------------------------------------------------------------
+
+
+class TestSolveGraph:
+    def test_build_and_introspect(self):
+        g = diamond_graph()
+        assert len(g) == 4
+        assert "root" in g and "absent" not in g
+        assert g.edges() == 4
+        assert [n.name for n in g.nodes] == ["root", "left", "right", "join"]
+        assert g.node("left").deps == ("root",)
+        assert g.node("root").op == "factor"
+        assert g.node("root").nrhs == 0
+        assert g.node("join").nrhs == 1
+        assert g.node("join").n == 8
+
+    def test_auto_names(self):
+        g = SolveGraph()
+        first = g.factor(_spd())
+        second = g.solve(_spd(), _rhs(), after=first)
+        assert (first, second) == ("node0", "node1")
+
+    def test_after_accepts_node_instances(self):
+        g = SolveGraph()
+        g.factor(_spd(), name="a")
+        g.solve(_spd(), _rhs(), name="b", after=g.node("a"))
+        assert g.node("b").deps == ("a",)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            SolveGraph().add("invert", _spd())
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            SolveGraph().factor(np.zeros((4, 6), dtype=np.float32))
+
+    def test_solve_needs_rhs(self):
+        with pytest.raises(ValueError, match="right-hand side"):
+            SolveGraph().add("solve", _spd())
+
+    def test_factor_takes_no_rhs(self):
+        with pytest.raises(ValueError, match="no right-hand side"):
+            SolveGraph().add("factor", _spd(), _rhs())
+
+    def test_mismatched_rhs_rejected(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            SolveGraph().solve(_spd(8), _rhs(16))
+
+    def test_duplicate_name_rejected(self):
+        g = SolveGraph()
+        g.factor(_spd(), name="a")
+        with pytest.raises(ValueError, match="duplicate node name"):
+            g.factor(_spd(), name="a")
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            SolveGraph().factor(_spd(), name="a", after="a")
+
+    def test_duplicate_dependency_rejected(self):
+        g = SolveGraph()
+        g.factor(_spd(), name="a")
+        with pytest.raises(ValueError, match="duplicate dependency"):
+            g.factor(_spd(), name="b", after=("a", "a"))
+
+
+# ----------------------------------------------------------------------
+# Linearization (Kahn's waves)
+# ----------------------------------------------------------------------
+
+
+class TestLinearize:
+    def test_diamond_waves(self):
+        waves = [[n.name for n in w] for w in linearize(diamond_graph())]
+        assert waves == [["root"], ["left", "right"], ["join"]]
+
+    def test_chain_is_one_node_per_wave(self):
+        g = SolveGraph()
+        prev = None
+        for i in range(5):
+            prev = g.factor(_spd(seed=i), after=() if prev is None else prev)
+        assert [len(w) for w in linearize(g)] == [1] * 5
+
+    def test_independent_nodes_share_one_wave(self):
+        g = SolveGraph()
+        for i in range(4):
+            g.factor(_spd(seed=i))
+        assert [len(w) for w in linearize(g)] == [4]
+
+    def test_wave_membership_follows_insertion_order(self):
+        # Declare edges out of order; the waves still list nodes in
+        # insertion order, making the linearization a pure function of
+        # the graph.
+        g = SolveGraph()
+        g.factor(_spd(), name="z")
+        g.factor(_spd(), name="a")
+        g.factor(_spd(), name="m", after=("a", "z"))
+        waves = [[n.name for n in w] for w in linearize(g)]
+        assert waves == [["z", "a"], ["m"]]
+
+    def test_dangling_edge_names_node_and_dep(self):
+        g = SolveGraph()
+        g.factor(_spd(), name="a", after="ghost")
+        with pytest.raises(GraphValidationError, match="'a'.*'ghost'"):
+            linearize(g)
+
+    def test_cycle_names_members(self):
+        g = SolveGraph()
+        g.factor(_spd(), name="a", after="b")
+        g.factor(_spd(seed=1), name="b", after="a")
+        g.factor(_spd(seed=2), name="free")
+        with pytest.raises(GraphValidationError, match="cycle"):
+            linearize(g)
+        try:
+            linearize(g)
+        except GraphValidationError as exc:
+            assert "'a'" in str(exc) and "'b'" in str(exc)
+            assert "free" not in str(exc)
+
+
+# ----------------------------------------------------------------------
+# Scheduler end-to-end (inline broker)
+# ----------------------------------------------------------------------
+
+
+async def _submit(graph, policy=FAST_POLICY, **kwargs):
+    async with SolveBroker(policy=policy) as broker:
+        scheduler = GraphScheduler(broker)
+        result = await scheduler.submit(graph, **kwargs)
+    return result, scheduler.metrics
+
+
+class TestGraphScheduler:
+    def test_diamond_numerics(self):
+        g = diamond_graph()
+        result, metrics = asyncio.run(_submit(g))
+        assert result.ok
+        assert set(result.results) == {"root", "left", "right", "join"}
+        for name in ("left", "right", "join"):
+            node = g.node(name)
+            expected = np.linalg.solve(
+                node.a.astype(np.float64), node.b.astype(np.float64)
+            )
+            np.testing.assert_allclose(
+                result.results[name], expected, rtol=5e-2, atol=5e-2
+            )
+        assert result.waves == [["root"], ["left", "right"], ["join"]]
+        assert result.wave_widths == [1, 2, 1]
+        assert metrics.counters["nodes_completed"] == 4
+        assert metrics.unaccounted == 0
+        assert result.critical_path_ms == pytest.approx(result.elapsed_s * 1e3)
+
+    def test_failure_cone_is_exact(self):
+        g = diamond_graph(poison_root=True)
+        g.factor(_spd(seed=99), name="bystander")
+        result, metrics = asyncio.run(_submit(g))
+        assert not result.ok
+        # The poisoned root fails itself; exactly its descendant cone is
+        # dependency-failed; the unrelated node completes.
+        assert set(result.results) == {"bystander"}
+        assert set(result.failures) == {"root", "left", "right", "join"}
+        assert not isinstance(result.failures["root"], DependencyFailed)
+        for name in ("left", "right", "join"):
+            failure = result.failures[name]
+            assert isinstance(failure, DependencyFailed)
+            assert failure.node == name
+            assert failure.ancestor == "root"
+        assert metrics.counters["nodes_failed"] == 1
+        assert metrics.counters["nodes_dep_failed"] == 3
+        assert metrics.counters["nodes_completed"] == 1
+        assert metrics.counters["graphs_failed"] == 1
+        assert metrics.unaccounted == 0
+
+    def test_deep_chain_blames_intrinsic_root(self):
+        g = SolveGraph()
+        g.factor(_nonspd(), name="sick")
+        g.solve(_spd(seed=1), _rhs(), name="mid", after="sick")
+        g.solve(_spd(seed=2), _rhs(), name="leaf", after="mid")
+        result, _ = asyncio.run(_submit(g))
+        leaf = result.failures["leaf"]
+        assert isinstance(leaf, DependencyFailed)
+        # Skip-of-a-skip still names the true culprit, not "mid".
+        assert leaf.ancestor == "sick"
+        assert leaf.cause is result.failures["sick"]
+        assert "sick" in str(leaf)
+
+    def test_result_accessor_reraises(self):
+        result, _ = asyncio.run(_submit(diamond_graph(poison_root=True)))
+        with pytest.raises(DependencyFailed):
+            result.result("join")
+
+    def test_sequential_mode_same_results_one_node_per_wave(self):
+        g = diamond_graph()
+        wave_result, _ = asyncio.run(_submit(g))
+        seq_result, seq_metrics = asyncio.run(_submit(g, sequential=True))
+        assert seq_metrics.counters["waves"] == len(g)
+        assert all(w == 1 for w in seq_result.wave_widths)
+        for name in wave_result.results:
+            np.testing.assert_allclose(
+                seq_result.results[name], wave_result.results[name]
+            )
+
+    def test_shed_nodes_counted_separately(self):
+        async def run():
+            policy = ServePolicy(
+                request_timeout_s=None, backend="inline",
+                target_batch=4, max_queue_depth=2,
+            )
+            async with SolveBroker(policy=policy) as broker:
+                scheduler = GraphScheduler(broker)
+                g = SolveGraph()
+                for i in range(8):
+                    g.factor(_spd(seed=i))
+                return await scheduler.submit(g), scheduler.metrics
+
+        result, metrics = asyncio.run(run())
+        assert metrics.counters["nodes_shed"] > 0
+        assert any(
+            isinstance(f, ServiceOverloaded) for f in result.failures.values()
+        )
+        assert metrics.unaccounted == 0
+
+    def test_cross_graph_waves_share_flushes(self):
+        """Independent graphs submitted concurrently coalesce in the
+        broker's buckets — the whole point of wave release."""
+        summary = run_graphs(
+            demo_graphs(count=4, chain=3, width=4, ns=(8,), seed=3),
+            policy=ServePolicy(
+                request_timeout_s=None, backend="inline", target_batch=16
+            ),
+        )
+        assert summary.ok
+        assert summary.graph_metrics.counters["nodes_completed"] == 48
+        # 48 nodes over 12 graph-waves; cross-graph coalescing must do
+        # far better than one flush per node.
+        assert summary.metrics.counters["flushes"] <= 12
+        assert summary.metrics.histograms["batch_size"].mean > 4
+
+    def test_demo_graphs_rejects_non_positive_knobs(self):
+        with pytest.raises(ValueError, match="count must be positive"):
+            demo_graphs(count=0)
+        with pytest.raises(ValueError, match="chain must be positive"):
+            demo_graphs(chain=-1)
+        with pytest.raises(ValueError, match="width must be positive"):
+            demo_graphs(width=0)
+        with pytest.raises(ValueError, match="ns"):
+            demo_graphs(ns=())
+
+    def test_demo_graphs_deterministic(self):
+        a = demo_graphs(count=2, chain=2, width=2, seed=5)
+        b = demo_graphs(count=2, chain=2, width=2, seed=5)
+        for ga, gb in zip(a, b):
+            assert [n.name for n in ga.nodes] == [n.name for n in gb.nodes]
+            for na, nb in zip(ga.nodes, gb.nodes):
+                np.testing.assert_array_equal(na.a, nb.a)
+
+
+# ----------------------------------------------------------------------
+# Trace format v2
+# ----------------------------------------------------------------------
+
+
+def graph_trace_events():
+    events = []
+    t = 0.0
+    for g in range(2):
+        for pos in range(3):
+            events.append(
+                RecordedEvent(
+                    at=round(t, 6), op="solve", n=8, nrhs=1,
+                    seed=700 + g * 10 + pos, graph=g,
+                    deps=(pos - 1,) if pos else (),
+                )
+            )
+            t += 1e-4
+    events.append(RecordedEvent(at=round(t, 6), op="factor", n=8, seed=999))
+    return events
+
+
+class TestTraceV2:
+    def test_version_stamping(self):
+        assert trace_version_for(graph_trace_events()) == 2
+        flat = [RecordedEvent(at=0.0, op="factor", n=8, seed=1)]
+        assert trace_version_for(flat) == 1
+
+    def test_flat_trace_keeps_v1_bytes(self, tmp_path):
+        """A dep-free trace written today is byte-identical to the v1
+        format: no graph fields, version 1 header."""
+        path = tmp_path / "flat.jsonl"
+        save_trace(path, [RecordedEvent(at=0.0, op="factor", n=8, seed=1)])
+        lines = path.read_text().splitlines()
+        assert '"version":1' in lines[0]
+        assert "graph" not in lines[1] and "deps" not in lines[1]
+
+    def test_graph_trace_roundtrip_fixed_point(self, tmp_path):
+        first = tmp_path / "graph.jsonl"
+        second = tmp_path / "again.jsonl"
+        events = graph_trace_events()
+        save_trace(first, events, meta={"name": "t"})
+        loaded = load_trace_file(first)
+        assert loaded.version == 2
+        assert loaded.events[1].graph == 0
+        assert loaded.events[1].deps == (0,)
+        assert loaded.events[-1].graph is None
+        save_trace(second, loaded.events, meta=loaded.meta)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_v1_header_with_graph_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_trace(path, graph_trace_events())
+        doctored = path.read_text().replace('"version":2', '"version":1')
+        path.write_text(doctored)
+        with pytest.raises(ValueError, match="version"):
+            load_trace_file(path)
+
+    def test_forward_dep_rejected(self, tmp_path):
+        events = [
+            RecordedEvent(at=0.0, op="solve", n=8, nrhs=1, seed=1,
+                          graph=0, deps=(1,)),
+            RecordedEvent(at=1e-4, op="solve", n=8, nrhs=1, seed=2, graph=0),
+        ]
+        with pytest.raises(ValueError, match="earlier event"):
+            save_trace(tmp_path / "fwd.jsonl", events)
+
+    def test_deps_require_graph(self):
+        with pytest.raises(ValueError, match="graph"):
+            RecordedEvent(at=0.0, op="solve", n=8, nrhs=1, seed=1, deps=(0,))
+
+    def test_negative_and_duplicate_deps_rejected(self):
+        with pytest.raises(ValueError):
+            RecordedEvent(at=0.0, op="solve", n=8, nrhs=1, seed=1,
+                          graph=0, deps=(-1,))
+        with pytest.raises(ValueError):
+            RecordedEvent(at=0.0, op="solve", n=8, nrhs=1, seed=1,
+                          graph=0, deps=(0, 0))
+
+    def test_graph_groups_positions(self):
+        groups = graph_groups(graph_trace_events())
+        assert set(groups) == {0, 1}
+        # Position within each list is the per-graph position deps name.
+        for indices in groups.values():
+            assert len(indices) == 3
+            assert indices == sorted(indices)
+
+    def test_recorder_passes_graph_fields_through(self):
+        recorder = TraceRecorder(seed=9)
+        recorder.record("solve", 8, nrhs=1, at=0.0, graph=3)
+        recorder.record("solve", 8, nrhs=1, at=1e-4, graph=3, deps=(0,))
+        assert recorder.events[1].graph == 3
+        assert recorder.events[1].deps == (0,)
+        redriven = TraceRecorder(seed=9)
+        for event in recorder.events:
+            redriven.record_event(event)
+        assert redriven.events == recorder.events
+
+
+# ----------------------------------------------------------------------
+# Graph-aware replay and the grid/gate plumbing
+# ----------------------------------------------------------------------
+
+
+class TestGraphReplay:
+    def test_mixed_trace_outcomes_stay_event_aligned(self):
+        events = graph_trace_events()
+        summary = replay_trace(events, policy=FAST_POLICY, graph=True)
+        assert summary.completed == len(events)
+        assert summary.graph_metrics is not None
+        assert summary.graph_metrics.counters["graphs"] == 2
+        assert summary.graph_metrics.counters["nodes"] == 6
+        assert len(summary.graph_results) == 2
+        assert all(isinstance(o, np.ndarray) for o in summary.outcomes)
+
+    def test_flat_replay_has_no_graph_plane(self):
+        summary = replay_trace(graph_trace_events(), policy=FAST_POLICY)
+        assert summary.graph_metrics is None
+        assert summary.graph_results is None
+
+    def test_sequential_mode_and_bad_arg(self):
+        events = graph_trace_events()
+        summary = replay_trace(events, policy=FAST_POLICY, graph="sequential")
+        assert summary.completed == len(events)
+        with pytest.raises(ValueError, match="graph must be"):
+            replay_trace(events, policy=FAST_POLICY, graph="bogus")
+
+    def test_replay_matches_direct_solve(self):
+        events = graph_trace_events()
+        summary = replay_trace(events, policy=FAST_POLICY, graph=True)
+        from repro.serve.trace import event_inputs
+
+        for event, outcome in zip(events, summary.outcomes):
+            a, b = event_inputs(event)
+            if event.op == "solve":
+                expected = np.linalg.solve(
+                    a.astype(np.float64), b.astype(np.float64)
+                )
+                np.testing.assert_allclose(
+                    outcome, expected, rtol=5e-2, atol=5e-2
+                )
+
+    def test_policy_grid_graph_dimension(self):
+        cells = policy_grid(graphs=(False, True))
+        assert [c.label for c in cells] == [
+            "inline/tb64/d2ms", "inline/tb64/d2ms/graph",
+        ]
+        assert [c.graph for c in cells] == [False, True]
+        # Default grids are untouched.
+        assert all(not c.graph for c in policy_grid())
+
+    def test_run_record_offered_and_graph_block(self):
+        events = graph_trace_events()
+        summary = replay_trace(events, policy=FAST_POLICY, graph=True)
+        record = run_record("x/graph", summary, FAST_POLICY)
+        assert record["offered"] == summary.metrics.counters["submitted"]
+        block = record["graph"]
+        assert block["graphs"] == 2
+        assert block["nodes"] == 6
+        assert block["conservation_ok"]
+        assert block["wave_width_mean"] > 0
+        assert block["critical_path_ms_mean"] > 0
+        flat = replay_trace(events, policy=FAST_POLICY)
+        assert run_record("x", flat, FAST_POLICY)["graph"] is None
+
+    def test_grid_and_fill_gate(self):
+        events = normalize_events(graph_trace_events())
+        cells = policy_grid(graphs=(False, True))
+        report = run_replay_grid(events, cells, trace_name="unit")
+        labels = [r["label"] for r in report["runs"]]
+        assert "inline/tb64/d2ms/graph" in labels
+        assert not compare_reports(report, report)
+        # A doctored current report whose graph cell's fill collapsed
+        # must trip the wave fill-ratio gate.
+        import copy
+
+        doctored = copy.deepcopy(report)
+        for run in doctored["runs"]:
+            run["fill_mean"] -= 0.2
+        findings = compare_reports(
+            report, doctored, GateTolerances(fill_abs=0.1)
+        )
+        assert findings
+        assert any("fill regressed" in f for f in findings)
+
+    def test_fill_tolerance_validated(self):
+        with pytest.raises(ValueError, match="fill_abs"):
+            GateTolerances(fill_abs=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+
+class TestGraphPrometheus:
+    def test_render_and_parse(self):
+        from repro.obs import parse_prometheus_text, render_graph_prometheus
+
+        summary = run_graphs(
+            demo_graphs(count=2, chain=2, width=2), policy=FAST_POLICY
+        )
+        text = render_graph_prometheus(summary.graph_metrics)
+        samples = parse_prometheus_text(text)
+        assert samples["repro_graph_graphs_total"] == [({}, 2.0)]
+        assert samples["repro_graph_nodes_completed_total"] == [({}, 8.0)]
+        assert samples["repro_graph_unaccounted"] == [({}, 0.0)]
+        assert "repro_graph_wave_width_count" in samples
+
+    def test_concatenates_with_serve_exposition(self):
+        from repro.obs import (
+            parse_prometheus_text,
+            render_graph_prometheus,
+            render_prometheus,
+        )
+
+        summary = run_graphs(
+            demo_graphs(count=2, chain=2, width=2), policy=FAST_POLICY
+        )
+        page = render_prometheus(summary.metrics)
+        page += render_graph_prometheus(summary.graph_metrics)
+        samples = parse_prometheus_text(page)  # one TYPE per family holds
+        assert "repro_serve_completed_total" in samples
+        assert "repro_graph_waves_total" in samples
+
+
+# ----------------------------------------------------------------------
+# CI matrix cell: environment-shaped end-to-end runs
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not RUN_GRAPH_MATRIX, reason="graph matrix cell (REPRO_SERVE_GRAPH=1) only"
+)
+class TestGraphEnvMatrix:
+    """Runs under the CI ``graph`` cell, which sweeps
+    ``$REPRO_SERVE_BACKEND`` (inline, process) and ``$REPRO_SERVE_SHARDS``
+    (1, 2) — the default policy picks both up from the environment."""
+
+    def test_demo_graphs_under_env_policy(self):
+        summary = run_graphs(
+            demo_graphs(count=4, chain=3, width=4, ns=(8, 16), seed=1),
+            policy=ServePolicy(request_timeout_s=None),
+        )
+        assert summary.ok
+        assert summary.graph_metrics.unaccounted == 0
+        assert summary.metrics.unaccounted == 0
+
+    def test_failure_cone_under_env_policy(self):
+        async def run():
+            from repro.serve.shard import make_broker
+
+            async with make_broker(
+                policy=ServePolicy(request_timeout_s=None)
+            ) as broker:
+                scheduler = GraphScheduler(broker)
+                return await scheduler.submit(
+                    diamond_graph(poison_root=True)
+                ), scheduler.metrics
+
+        result, metrics = asyncio.run(run())
+        assert set(result.failures) == {"root", "left", "right", "join"}
+        assert metrics.counters["nodes_dep_failed"] == 3
+        assert metrics.unaccounted == 0
+
+    def test_committed_graph_trace_replays_clean(self):
+        trace = load_trace_file("benchmarks/traces/als_graph.jsonl")
+        summary = replay_trace(
+            trace, policy=ServePolicy(request_timeout_s=None), graph=True
+        )
+        assert summary.completed == len(trace)
+        assert summary.graph_metrics.unaccounted == 0
+        assert all(r.ok for r in summary.graph_results)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants (hypothesis)
+# ----------------------------------------------------------------------
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def random_dags(draw):
+    """(deps per node, intrinsically-failing node set) for a random DAG.
+
+    Parents always have smaller indices than children, so any draw is
+    acyclic by construction; edge density and failure sites vary freely.
+    """
+    size = draw(st.integers(min_value=1, max_value=10))
+    deps = [()]
+    for i in range(1, size):
+        parents = draw(
+            st.sets(st.integers(min_value=0, max_value=i - 1), max_size=3)
+        )
+        deps.append(tuple(sorted(parents)))
+    failing = draw(
+        st.sets(st.integers(min_value=0, max_value=size - 1), max_size=2)
+    )
+    return deps, failing
+
+
+class FakeBroker:
+    """In-memory broker double: records per-node submit-time state.
+
+    ``names`` maps payload identity to node name (payloads are unique
+    per node), ``seen_done`` snapshots which nodes had already resolved
+    when each node was submitted — the raw material of the ordering
+    property.
+    """
+
+    def __init__(self, names, failing=()):
+        self.names = names
+        self.failing = set(failing)
+        self.done = set()
+        self.seen_done = {}
+
+    async def submit(self, op, a, b=None):
+        name = self.names[id(a)]
+        self.seen_done[name] = frozenset(self.done)
+        await asyncio.sleep(0)
+        if name in self.failing:
+            raise RuntimeError(f"intrinsic failure at {name}")
+        self.done.add(name)
+        return np.zeros(1, dtype=np.float32)
+
+
+def build_graph(deps):
+    g = SolveGraph(name="prop")
+    names = {}
+    for i, parents in enumerate(deps):
+        a = np.eye(2, dtype=np.float32) * (i + 2)  # unique payload object
+        name = g.factor(a, name=f"n{i}", after=tuple(f"n{p}" for p in parents))
+        names[id(g.node(name).a)] = name
+    return g, names
+
+
+def expected_status(deps, failing):
+    """Per-node verdict by topo order: ok / fail / dep."""
+    status = []
+    for i, parents in enumerate(deps):
+        if any(status[p] != "ok" for p in parents):
+            status.append("dep")
+        elif i in failing:
+            status.append("fail")
+        else:
+            status.append("ok")
+    return status
+
+
+class TestGraphProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_every_node_runs_after_all_parents(self, dag):
+        deps, _ = dag
+        g, names = build_graph(deps)
+        broker = FakeBroker(names)
+        asyncio.run(GraphScheduler(broker).submit(g))
+        for i, parents in enumerate(deps):
+            seen = broker.seen_done[f"n{i}"]
+            for p in parents:
+                assert f"n{p}" in seen, (
+                    f"n{i} was submitted before its parent n{p} resolved"
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_conservation(self, dag):
+        deps, failing = dag
+        g, names = build_graph(deps)
+        metrics = GraphMetrics()
+        scheduler = GraphScheduler(
+            FakeBroker(names, failing={f"n{i}" for i in failing}),
+            metrics=metrics,
+        )
+        asyncio.run(scheduler.submit(g))
+        c = metrics.counters
+        assert c["nodes"] == len(deps)
+        assert metrics.unaccounted == 0
+        assert (
+            c["nodes_completed"] + c["nodes_failed"] + c["nodes_dep_failed"]
+            == len(deps)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_failure_cone_exactness(self, dag):
+        deps, failing = dag
+        status = expected_status(deps, failing)
+        g, names = build_graph(deps)
+        result = asyncio.run(
+            GraphScheduler(
+                FakeBroker(names, failing={f"n{i}" for i in failing})
+            ).submit(g)
+        )
+        for i, verdict in enumerate(status):
+            name = f"n{i}"
+            if verdict == "ok":
+                assert name in result.results
+            elif verdict == "fail":
+                assert not isinstance(result.failures[name], DependencyFailed)
+            else:
+                failure = result.failures[name]
+                assert isinstance(failure, DependencyFailed)
+                # The blamed ancestor is always an intrinsic failure.
+                blamed = int(failure.ancestor[1:])
+                assert status[blamed] == "fail"
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_linearization_deterministic(self, dag):
+        deps, _ = dag
+        g1, _ = build_graph(deps)
+        g2, _ = build_graph(deps)
+        waves1 = [[n.name for n in w] for w in linearize(g1)]
+        waves2 = [[n.name for n in w] for w in linearize(g2)]
+        assert waves1 == waves2
+        assert sorted(n for w in waves1 for n in w) == sorted(
+            f"n{i}" for i in range(len(deps))
+        )

@@ -317,12 +317,17 @@ class TestBrokerRecording:
 
 class TestCanonicalTraces:
     @pytest.mark.parametrize(
-        "name", ["uniform_small", "bursty_mixed", "als_solves"]
+        "name", ["uniform_small", "bursty_mixed", "als_solves", "als_graph"]
     )
     def test_committed_trace_loads(self, name):
         trace = load_trace_file(TRACES_DIR / f"{name}.jsonl")
         assert len(trace) > 100
         assert trace.meta["name"] == name
+        if name == "als_graph":
+            assert trace.version == 2
+        else:
+            # The pre-graph canonical traces must stay v1 byte-for-byte.
+            assert trace.version == 1
 
     def test_regeneration_is_byte_identical(self, tmp_path):
         import sys
@@ -604,6 +609,28 @@ class TestCommittedBaseline:
         sharded = [r for r in report["runs"] if r["shards"] == 2]
         assert len(sharded) == 2
         assert all(r["placement"] == "size" for r in sharded)
+
+    def test_graph_baseline_matches_schema_and_trace_fingerprint(self):
+        baseline = BASELINE.parent / "serve_replay_graph_baseline.json"
+        report = load_report(baseline)
+        assert report["trace"]["sha256"] == trace_sha256(
+            TRACES_DIR / "als_graph.jsonl"
+        )
+        labels = [r["label"] for r in report["runs"]]
+        assert labels == ["inline/tb64/d2ms", "inline/tb64/d2ms/graph"]
+        assert all(r["ok"] and r["conservation_ok"] for r in report["runs"])
+        graph_run = report["runs"][-1]
+        assert graph_run["graph"]["conservation_ok"]
+        assert graph_run["graph"]["nodes"] == 216
+        assert graph_run["offered"] == 216
+
+    def test_replay_check_passes_on_committed_graph_baseline(self, capsys):
+        baseline = BASELINE.parent / "serve_replay_graph_baseline.json"
+        rc = cli_main(
+            ["replay-check", "--baseline", str(baseline), "--report", str(baseline)]
+        )
+        assert rc == 0
+        assert "within tolerance" in capsys.readouterr().out
 
     def test_replay_check_passes_on_committed_baseline(self, capsys):
         rc = cli_main(
