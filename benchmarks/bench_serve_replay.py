@@ -7,11 +7,12 @@ Run:  PYTHONPATH=src python benchmarks/bench_serve_replay.py \
 Each grid cell replays the trace through a fresh broker with its own
 :class:`~repro.serve.policy.ServePolicy`, collecting the broker's
 ``ServeMetrics`` plus per-stage ``repro.obs`` latency summaries into a
-``repro.bench_serve_replay/v2`` report with an environment fingerprint
-(``--shards``/``--placements`` add sharded-fabric cells to the grid).
-Pass ``--baseline`` to additionally gate the fresh report against a
-committed one (same check as ``python -m repro replay-check``); the
-process exits nonzero on regression.
+``repro.bench_serve_replay/v3`` report with an environment fingerprint
+(``--shards``/``--placements`` add sharded-fabric cells to the grid,
+``--slo`` stamps whole-run objective verdicts onto every run — see
+``docs/slo.md``).  Pass ``--baseline`` to additionally gate the fresh
+report against a committed one (same check as ``python -m repro
+replay-check``); the process exits nonzero on regression.
 """
 
 from __future__ import annotations
@@ -62,6 +63,11 @@ def main(argv=None) -> int:
         help="double the grid with graph-scheduled cells (…/graph) that "
              "submit the trace's recorded dependency DAGs as waves",
     )
+    parser.add_argument(
+        "--slo", default="",
+        help="objective spec (e.g. 'coalesce_p99_ms<250'); stamps each run "
+             "with an slo block of exact bad fractions and burn rates",
+    )
     parser.add_argument("--out", default="", help="write the report JSON here")
     parser.add_argument(
         "--baseline", default="", help="gate against this committed report"
@@ -92,6 +98,7 @@ def main(argv=None) -> int:
         grid,
         trace_path=args.trace,
         progress=lambda label: print(f"replaying {label} ...", flush=True),
+        slo=args.slo or None,
     )
     print()
     print(render_report(report))

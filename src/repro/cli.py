@@ -190,6 +190,7 @@ def _cmd_serve_demo(args) -> int:
 
     from repro.obs import (
         ChromeTraceSink,
+        FlightRecorder,
         JsonlSink,
         Tracer,
         render_controller_prometheus,
@@ -218,6 +219,15 @@ def _cmd_serve_demo(args) -> int:
         sinks.append(ChromeTraceSink(args.trace_out))
     if args.trace_jsonl:
         sinks.append(JsonlSink(args.trace_jsonl))
+    flight = None
+    if args.flight_out:
+        # The recorder rides as a tracer sink so it sees every span —
+        # including the shard_down / worker_death incident instants that
+        # auto-trigger its postmortem dump.
+        flight = FlightRecorder(
+            capacity=args.flight_capacity, path=args.flight_out
+        )
+        sinks.append(flight)
     tracer = Tracer(sinks) if sinks else None
     previous = set_tracer(tracer) if tracer is not None else None
     if args.graph_demo:
@@ -242,17 +252,26 @@ def _cmd_serve_demo(args) -> int:
             controller=args.controller,
             controller_interval_ms=args.controller_interval or None,
             journal_out=args.journal_out or None,
+            slo=args.slo or None,
+            flight=flight,
+            kill_shard=args.kill_shard,
+            kill_at_ms=args.kill_at_ms,
         )
     finally:
         if tracer is not None:
             set_tracer(previous)
             tracer.close()
     print(report)
+    if flight is not None and not flight.dumps:
+        # No incident forced a dump; write the ring anyway so the run
+        # always leaves a readable black box behind.
+        flight.dump(args.flight_out, reason="final")
     written = [
         p
         for p in (
             args.trace_out, args.trace_jsonl, args.record_trace,
             args.journal_out if summary.journal is not None else "",
+            args.flight_out if flight is not None else "",
         )
         if p
     ]
@@ -338,11 +357,13 @@ def _cmd_replay_check(args) -> int:
         GateTolerances,
         compare_controlled,
         compare_reports,
+        compare_slo,
         load_report,
         policy_grid,
         render_comparison,
         render_controlled,
         render_report,
+        render_slo,
         run_replay_grid,
         save_report,
     )
@@ -384,6 +405,7 @@ def _cmd_replay_check(args) -> int:
             cells,
             trace_path=args.trace,
             progress=lambda label: print(f"replaying {label} ..."),
+            slo=args.slo or None,
         )
         print()
         print(render_report(current))
@@ -420,6 +442,12 @@ def _cmd_replay_check(args) -> int:
         print()
         print(render_controlled(ctl_findings, current))
         findings = list(findings) + list(ctl_findings)
+
+    if args.slo:
+        slo_findings = compare_slo(current)
+        print()
+        print(render_slo(slo_findings, current))
+        findings = list(findings) + list(slo_findings)
     return 1 if findings else 0
 
 
@@ -444,11 +472,18 @@ def _dump_journals(report: dict, out_dir: str) -> list[str]:
 def _cmd_obs_summarize(args) -> int:
     from repro.obs import (
         check_request_spans,
+        is_flight_record,
+        load_flight_record,
         load_trace,
+        summarize_flight_record,
         summarize_shards,
         summarize_trace,
     )
 
+    if is_flight_record(args.trace):
+        header, entries = load_flight_record(args.trace)
+        print(summarize_flight_record(header, entries))
+        return 0
     spans = load_trace(args.trace)
     print(summarize_trace(spans))
     shard_table = summarize_shards(spans)
@@ -594,6 +629,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the controller's decision journal (JSONL) here",
     )
     p.add_argument(
+        "--slo", default="",
+        help="SLO objectives to monitor, e.g. 'coalesce_p99_ms<250,"
+             "service_p99_ms<1000'; '1' uses the defaults "
+             "(default: $REPRO_SERVE_SLO or off — see docs/slo.md)",
+    )
+    p.add_argument(
+        "--flight-out", default="",
+        help="attach a flight recorder and write its postmortem JSONL "
+             "here (auto-dumped on SLO breach / shard_down / "
+             "worker_death; read back with obs-summarize)",
+    )
+    p.add_argument(
+        "--flight-capacity", type=int, default=2048,
+        help="flight-recorder ring size (most recent entries retained)",
+    )
+    p.add_argument(
+        "--kill-shard", type=int, default=None,
+        help="fault injection: kill this shard id mid-replay "
+             "(needs --shards > 1)",
+    )
+    p.add_argument(
+        "--kill-at-ms", type=float, default=0.0,
+        help="when to kill --kill-shard, ms after the replay clock starts",
+    )
+    p.add_argument(
         "--graph-demo", action="store_true",
         help="submit synthetic ladder DAGs through the GraphScheduler "
              "instead of independent requests (see docs/graphs.md)",
@@ -697,14 +757,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump each controlled cell's decision journal (JSONL) into "
              "this directory — CI uploads these as artifacts",
     )
+    p.add_argument(
+        "--slo", default="",
+        help="gate every run's whole-run SLO verdict against these "
+             "objectives, e.g. 'coalesce_p99_ms<50' — adds an slo block "
+             "to freshly generated reports (see docs/slo.md)",
+    )
     p.set_defaults(func=_cmd_replay_check)
 
     p = sub.add_parser(
         "obs-summarize",
         help="per-stage latency breakdown of a trace written by --trace-out/"
-             "--trace-jsonl or $REPRO_TRACE",
+             "--trace-jsonl or $REPRO_TRACE, or a flight-record digest "
+             "(--flight-out dumps, see docs/slo.md)",
     )
-    p.add_argument("trace", help="trace file (Chrome JSON or JSONL event log)")
+    p.add_argument(
+        "trace",
+        help="trace file (Chrome JSON or JSONL event log) or flight record",
+    )
     p.add_argument(
         "--check", action="store_true",
         help="also verify every request's stage chain nests correctly",

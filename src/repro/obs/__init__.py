@@ -10,7 +10,12 @@ Chrome/Perfetto trace; :mod:`repro.obs.prom` renders
 :mod:`repro.obs.summarize` turns a trace back into a per-stage latency
 table.  Tracing is off (and near-free) by default — enable it with
 :func:`set_tracer`, ``serve-demo --trace-out``, or ``$REPRO_TRACE``.
-See ``docs/observability.md``.
+
+The SLO engine lives here too: :mod:`repro.obs.sketch` is the mergeable
+relative-error quantile sketch behind every latency percentile, and
+:mod:`repro.obs.slo` evaluates burn-rate objectives over lossless
+sliding windows and keeps the black-box flight recorder.  See
+``docs/observability.md`` and ``docs/slo.md``.
 """
 
 from repro.obs.prom import (
@@ -26,6 +31,23 @@ from repro.obs.sinks import (
     JsonlSink,
     SpanSink,
     span_to_dict,
+)
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    FLIGHT_FORMAT,
+    SLO_ENV,
+    FlightRecorder,
+    SloMonitor,
+    SloObjective,
+    SloPolicy,
+    SloStatus,
+    evaluate_objectives,
+    is_flight_record,
+    load_flight_record,
+    parse_objectives,
+    slo_from_env,
+    summarize_flight_record,
 )
 from repro.obs.summarize import (
     REQUEST_STAGES,
@@ -52,11 +74,20 @@ from repro.obs.tracer import (
 
 __all__ = [
     "ChromeTraceSink",
+    "DEFAULT_OBJECTIVES",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
     "InMemorySink",
     "JsonlSink",
     "NULL_TRACER",
     "NullTracer",
+    "QuantileSketch",
     "REQUEST_STAGES",
+    "SLO_ENV",
+    "SloMonitor",
+    "SloObjective",
+    "SloPolicy",
+    "SloStatus",
     "Span",
     "SpanSink",
     "TRACE_ENV",
@@ -64,9 +95,13 @@ __all__ = [
     "TaggedTracer",
     "check_request_spans",
     "current_span",
+    "evaluate_objectives",
     "get_tracer",
     "init_from_env",
+    "is_flight_record",
+    "load_flight_record",
     "load_trace",
+    "parse_objectives",
     "parse_prometheus_text",
     "render_controller_prometheus",
     "render_graph_prometheus",
@@ -74,8 +109,10 @@ __all__ = [
     "render_prometheus_sharded",
     "set_tracer",
     "shard_summary",
+    "slo_from_env",
     "span_to_dict",
     "stage_summary",
+    "summarize_flight_record",
     "summarize_shards",
     "summarize_trace",
     "tracer_from_env",

@@ -18,8 +18,20 @@ from __future__ import annotations
 
 import re
 
+from repro.obs.sketch import QuantileSketch
+
 #: Sample-family types the checker accepts in ``# TYPE`` comments.
 METRIC_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+#: Quantiles rendered per summary family.  Sketch-backed families carry
+#: a true p999 as well: the sketch's relative-error guarantee makes the
+#: extra tail quantile meaningful, where a reservoir's would be noise.
+_QUANTILES = (0.5, 0.95, 0.99)
+_SKETCH_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+def _quantiles_for(hist) -> tuple[float, ...]:
+    return _SKETCH_QUANTILES if isinstance(hist, QuantileSketch) else _QUANTILES
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SAMPLE_RE = re.compile(
@@ -119,7 +131,7 @@ def render_prometheus(metrics, prefix: str = "repro_serve", labels=None) -> str:
         full = f"{prefix}_{name}"
         lines.append(f"# HELP {full} Distribution of {name.replace('_', ' ')}.")
         lines.append(f"# TYPE {full} summary")
-        for q in (0.5, 0.95, 0.99):
+        for q in _quantiles_for(hist):
             qs = _label_str(labels, extra=f'quantile="{q}"')
             lines.append(f"{full}{qs} {_fmt(hist.percentile(q * 100))}")
         lines.append(f"{full}_sum{label_s} {_fmt(hist.total)}")
@@ -191,7 +203,7 @@ def render_prometheus_sharded(
         def _hist(m, name=name):
             return m.histograms[name]
 
-        for q in (0.5, 0.95, 0.99):
+        for q in _quantiles_for(merged.histograms[name]):
             _samples(
                 full,
                 lambda m, q=q: _hist(m).percentile(q * 100),

@@ -1,0 +1,353 @@
+"""Mergeable relative-error quantile sketch (DDSketch-style).
+
+The serving layer's latency percentiles used to flow through the
+reservoir-sampled :class:`~repro.serve.metrics.Histogram`, whose merge
+thins samples and therefore *loses information* exactly where the
+sharded fabric needs it most: a fleet p99 computed from merged
+reservoirs is statistically unsound.  :class:`QuantileSketch` fixes
+this with log-spaced buckets:
+
+- every observation lands in the bucket ``i = ceil(log_gamma(v))``,
+  where ``gamma = (1 + a) / (1 - a)`` for relative accuracy ``a``
+  (default 1%);
+- a quantile estimate is the midpoint of the bucket holding that rank,
+  guaranteed within ``±a`` *relative* error of the true order
+  statistic — tails included, which is the whole point for p99/p999;
+- **merging is lossless**: bucket counts are integers, so folding N
+  shard sketches together yields *bit-identical* bucket counts — and
+  therefore bit-identical percentiles — no matter how the stream was
+  partitioned or in which order the sketches are merged;
+- count/sum/min/max are tracked exactly alongside, so means and
+  extrema carry no sketch error at all.
+
+Cumulative sketches subtract exactly too (bucket counts are monotonic
+counters), which is how :mod:`repro.obs.slo` gets *lossless sliding
+windows*: ``sketch(t2).delta(sketch(t1))`` is exactly the sketch of the
+observations that arrived in ``(t1, t2]``.
+
+The class duck-types the :class:`~repro.serve.metrics.Histogram`
+surface (``count``/``total``/``mean``/``min``/``max``/``percentile``/
+``merge``/``summary``) so it drops into :class:`ServeMetrics`,
+Prometheus rendering, and report records without call-site changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default relative accuracy: quantile estimates within 1% of the true
+#: order statistic.  At 1% the sketch spans [1e-9, 1e9] in ~2100
+#: buckets, of which a latency stream touches a few dozen.
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+#: Magnitudes below this collapse into the exact zero bucket: the log
+#: mapping cannot represent 0, and sub-nanosecond latencies are noise.
+MIN_TRACKABLE = 1e-9
+
+
+class QuantileSketch:
+    """Bounded-error quantile sketch with exact moments and lossless merge.
+
+    ``relative_accuracy`` is the worst-case relative error of any
+    quantile estimate.  Negative observations are supported (mirrored
+    buckets) so the sketch can stand in for any histogram family, and
+    values with magnitude below :data:`MIN_TRACKABLE` share one exact
+    "zero" bucket.
+    """
+
+    def __init__(
+        self, relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY
+    ) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        self.relative_accuracy = relative_accuracy
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._neg_buckets: dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    # The log-bucket mapping
+    # ------------------------------------------------------------------
+
+    def _index(self, magnitude: float) -> int:
+        """Bucket index of a positive magnitude: ``ceil(log_gamma(v))``."""
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _bucket_value(self, index: int) -> float:
+        """Midpoint estimate of bucket ``index`` — within ±accuracy of
+        every value the bucket covers (``(gamma^(i-1), gamma^i]``)."""
+        return 2.0 * self._gamma**index / (1.0 + self._gamma)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if abs(value) < MIN_TRACKABLE:
+            self._zero += 1
+        elif value > 0:
+            i = self._index(value)
+            self._buckets[i] = self._buckets.get(i, 0) + 1
+        else:
+            i = self._index(-value)
+            self._neg_buckets[i] = self._neg_buckets.get(i, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Histogram-compatible surface
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), within the relative-error bound.
+
+        A pure function of the bucket counts and exact extrema, so two
+        sketches with equal buckets — e.g. a merged fleet sketch and the
+        sketch of the concatenated stream — return bit-identical values.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.count:
+            return 0.0
+        if p == 0:
+            return self.min
+        if p == 100:
+            return self.max
+        rank = p / 100.0 * (self.count - 1)
+        cum = 0
+        # Negative buckets first (most negative = largest |index| first).
+        for i in sorted(self._neg_buckets, reverse=True):
+            cum += self._neg_buckets[i]
+            if cum > rank:
+                return self._clamp(-self._bucket_value(i))
+        cum += self._zero
+        if cum > rank:
+            return self._clamp(0.0)
+        for i in sorted(self._buckets):
+            cum += self._buckets[i]
+            if cum > rank:
+                return self._clamp(self._bucket_value(i))
+        return self.max
+
+    def _clamp(self, estimate: float) -> float:
+        """Clamp a bucket estimate into the exact observed range.
+
+        Clamping can only move an estimate *toward* the true order
+        statistic (which lies within [min, max]), so the relative-error
+        bound survives.
+        """
+        return min(max(estimate, self._min), self._max)
+
+    # ------------------------------------------------------------------
+    # Threshold accounting (the SLO primitive)
+    # ------------------------------------------------------------------
+
+    def count_above(self, threshold: float) -> int:
+        """Observations in buckets wholly above ``threshold`` (>= 0).
+
+        Exact up to bucket resolution: observations in the single bucket
+        *containing* the threshold are not counted, so the result can
+        under-count by at most the observations within ``±accuracy`` of
+        the threshold itself — the honest reading for burn-rate math.
+        """
+        t = float(threshold)
+        if t < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if t < MIN_TRACKABLE:
+            return sum(self._buckets.values())
+        it = self._index(t)
+        return sum(c for i, c in self._buckets.items() if i > it)
+
+    def fraction_above(self, threshold: float) -> float:
+        """``count_above / count``; 0.0 for an empty sketch."""
+        if not self.count:
+            return 0.0
+        return self.count_above(threshold) / self.count
+
+    # ------------------------------------------------------------------
+    # Merge and windowing — both lossless
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other: "QuantileSketch") -> None:
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(
+                f"can only combine QuantileSketch, got {type(other).__name__}"
+            )
+        if not math.isclose(
+            self.relative_accuracy, other.relative_accuracy, rel_tol=1e-12
+        ):
+            raise ValueError(
+                f"accuracy mismatch: {self.relative_accuracy} vs "
+                f"{other.relative_accuracy} — sketches must share a bucket "
+                "layout to merge losslessly"
+            )
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch in place (and return it).
+
+        Bucket counts add as integers, so the merged sketch is
+        *identical* to the sketch of the concatenated stream: percentile
+        estimates are bit-for-bit equal regardless of how the stream was
+        partitioned across shards or in which order parts are merged.
+        Count, min, and max stay exact; ``total`` is a float sum and can
+        differ across merge orders by rounding in the last ulp — it
+        never feeds percentile computation.
+        """
+        self._check_compatible(other)
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self._zero += other._zero
+        for i, c in other._buckets.items():
+            self._buckets[i] = self._buckets.get(i, 0) + c
+        for i, c in other._neg_buckets.items():
+            self._neg_buckets[i] = self._neg_buckets.get(i, 0) + c
+        return self
+
+    def copy(self) -> "QuantileSketch":
+        out = QuantileSketch(relative_accuracy=self.relative_accuracy)
+        out._buckets = dict(self._buckets)
+        out._neg_buckets = dict(self._neg_buckets)
+        out._zero = self._zero
+        out.count = self.count
+        out.total = self.total
+        out._min = self._min
+        out._max = self._max
+        return out
+
+    def delta(self, prev: "QuantileSketch") -> "QuantileSketch":
+        """The exact sketch of observations added since ``prev``.
+
+        ``prev`` must be an earlier capture of the *same* cumulative
+        stream; bucket counts are monotonic counters, so the per-bucket
+        difference is exactly the window's distribution (a restarted
+        stream clamps at zero instead of going negative).  Lifetime
+        extrema are not window extrema, so ``min``/``max`` are
+        reconstructed from the window's own buckets — estimates within
+        the usual relative-error bound.
+        """
+        self._check_compatible(prev)
+        out = QuantileSketch(relative_accuracy=self.relative_accuracy)
+        for i, c in self._buckets.items():
+            d = c - prev._buckets.get(i, 0)
+            if d > 0:
+                out._buckets[i] = d
+        for i, c in self._neg_buckets.items():
+            d = c - prev._neg_buckets.get(i, 0)
+            if d > 0:
+                out._neg_buckets[i] = d
+        out._zero = max(0, self._zero - prev._zero)
+        out.count = out._zero + sum(out._buckets.values()) + sum(
+            out._neg_buckets.values()
+        )
+        out.total = self.total - prev.total if out.count else 0.0
+        if out.count:
+            lo, hi = math.inf, -math.inf
+            if out._zero:
+                lo, hi = 0.0, 0.0
+            if out._buckets:
+                lo = min(lo, self._bucket_value(min(out._buckets)))
+                hi = max(hi, self._bucket_value(max(out._buckets)))
+            if out._neg_buckets:
+                hi = max(hi, -self._bucket_value(min(out._neg_buckets)))
+                lo = min(lo, -self._bucket_value(max(out._neg_buckets)))
+            out._min, out._max = lo, hi
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-safe serialization; :meth:`from_dict` round-trips exactly."""
+        out: dict = {
+            "kind": "quantile_sketch",
+            "relative_accuracy": self.relative_accuracy,
+            "count": self.count,
+            "total": self.total,
+            "zero": self._zero,
+            "buckets": {str(i): c for i, c in sorted(self._buckets.items())},
+            "neg_buckets": {
+                str(i): c for i, c in sorted(self._neg_buckets.items())
+            },
+        }
+        if self.count:
+            out["min"] = self._min
+            out["max"] = self._max
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileSketch":
+        if data.get("kind") != "quantile_sketch":
+            raise ValueError(
+                f"expected a quantile_sketch dict, got kind={data.get('kind')!r}"
+            )
+        out = cls(relative_accuracy=float(data["relative_accuracy"]))
+        out._buckets = {int(i): int(c) for i, c in data.get("buckets", {}).items()}
+        out._neg_buckets = {
+            int(i): int(c) for i, c in data.get("neg_buckets", {}).items()
+        }
+        out._zero = int(data.get("zero", 0))
+        out.count = int(data.get("count", 0))
+        out.total = float(data.get("total", 0.0))
+        if out.count:
+            out._min = float(data["min"])
+            out._max = float(data["max"])
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            self.relative_accuracy == other.relative_accuracy
+            and self.count == other.count
+            and self.total == other.total
+            and self._zero == other._zero
+            and self._min == other._min
+            and self._max == other._max
+            and self._buckets == other._buckets
+            and self._neg_buckets == other._neg_buckets
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(count={self.count}, "
+            f"accuracy={self.relative_accuracy}, "
+            f"buckets={len(self._buckets) + len(self._neg_buckets)})"
+        )

@@ -1,0 +1,662 @@
+"""SLO objectives, burn-rate monitoring, and the black-box flight recorder.
+
+Three layers, each usable alone:
+
+- :class:`SloObjective` / :class:`SloPolicy` — declarative latency
+  objectives parsed from strings like ``"coalesce_p99_ms < 5"``: the
+  stream (a :class:`~repro.serve.metrics.ServeMetrics` latency family),
+  the quantile whose implied *target* sets the error budget (p99 → 99%
+  of observations must land under the threshold, budget 1%), and the
+  threshold in milliseconds.
+
+- :class:`SloMonitor` — polls a live metrics provider, slices the
+  cumulative :class:`~repro.obs.sketch.QuantileSketch` streams into
+  **lossless sliding windows** (cumulative sketches subtract exactly),
+  and evaluates every objective with classic multi-window burn-rate
+  alerting: the *burn rate* is the window's bad fraction divided by the
+  error budget (burn 1.0 = spending budget exactly at the sustainable
+  rate), and a breach requires both the fast window (responsive) and the
+  slow window (flap-resistant) to burn above threshold.  The fast burn
+  rates feed back into the policy controller as an input signal.
+
+- :class:`FlightRecorder` — a bounded in-memory ring buffer that rides
+  as an ordinary obs span sink, retaining the most recent spans, counter
+  samples, controller decisions, and SLO evaluations.  On an SLO breach,
+  a ``shard_down`` instant (:class:`~repro.serve.shard.ShardedBroker`),
+  or a ``worker_death`` instant (the process-pool backend), it dumps a
+  postmortem JSONL bundle — the last N things that happened before the
+  service got hurt — that ``python -m repro obs-summarize`` reads back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.sinks import SpanSink, span_to_dict
+from repro.obs.sketch import QuantileSketch
+
+#: Environment knob: ``$REPRO_SERVE_SLO`` attaches an :class:`SloMonitor`
+#: to every serve front end (``replay_trace``, ``run_demo``), mirroring
+#: ``$REPRO_SERVE_CONTROLLER``.  ``1``/``on`` uses :data:`DEFAULT_OBJECTIVES`;
+#: any other value is parsed as an objective spec
+#: (``"coalesce_p99_ms<5,service_p99_ms<20"``).
+SLO_ENV = "REPRO_SERVE_SLO"
+
+#: Generous monitoring defaults for ``$REPRO_SERVE_SLO=1``: wide enough
+#: that a healthy CI run never breaches, tight enough that a stuck
+#: broker (seconds-long coalesce waits) pages.
+DEFAULT_OBJECTIVES = "coalesce_p99_ms<250,service_p99_ms<1000"
+
+#: Format tag of a flight-record dump; bump on breaking layout changes.
+FLIGHT_FORMAT = "repro.flight_record/v1"
+
+#: Instant-span names that trigger an automatic flight-record dump when
+#: the recorder has a configured path.
+FLIGHT_TRIGGERS = ("shard_down", "worker_death")
+
+#: Objective-string streams → ServeMetrics histogram families.
+_STREAMS = {
+    "coalesce": "coalesce_latency_ms",
+    "coalesce_latency": "coalesce_latency_ms",
+    "service": "flush_service_ms",
+    "flush_service": "flush_service_ms",
+}
+
+_OBJECTIVE_RE = re.compile(
+    r"^\s*(?P<metric>[a-z_]+?)_p(?P<q>\d{2,3})_ms\s*<\s*"
+    r"(?P<thr>\d+(?:\.\d+)?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One latency objective: ``<quantile> of <stream> under <threshold>``."""
+
+    name: str  # normalized spec, e.g. "coalesce_p99_ms<5"
+    stream: str  # ServeMetrics histogram family
+    quantile: float  # 0..100, e.g. 99.0 or 99.9
+    threshold_ms: float
+
+    @property
+    def target(self) -> float:
+        """Required good fraction (p99 → 0.99)."""
+        return self.quantile / 100.0
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad fraction (p99 → 0.01)."""
+        return 1.0 - self.target
+
+    @classmethod
+    def parse(cls, spec: str) -> "SloObjective":
+        """Parse ``"coalesce_p99_ms < 5"`` (quantile digits: 50, 95, 99, 999).
+
+        Three-digit quantiles read as a decimal after the second digit —
+        ``p999`` is the 99.9th percentile, the standard tail shorthand.
+        """
+        m = _OBJECTIVE_RE.match(spec.strip().lower())
+        if not m:
+            raise ValueError(
+                f"malformed SLO objective {spec!r} "
+                "(expected e.g. 'coalesce_p99_ms < 5')"
+            )
+        metric, digits, thr = m.group("metric"), m.group("q"), m.group("thr")
+        stream = _STREAMS.get(metric, metric)
+        quantile = (
+            float(digits)
+            if len(digits) <= 2
+            else float(f"{digits[:2]}.{digits[2:]}")
+        )
+        if not 0 < quantile < 100:
+            raise ValueError(f"objective quantile must be in (0, 100), got p{digits}")
+        threshold = float(thr)
+        if threshold <= 0:
+            raise ValueError(f"objective threshold must be positive, got {thr}")
+        name = f"{metric}_p{digits}_ms<{thr}"
+        return cls(
+            name=name, stream=stream, quantile=quantile, threshold_ms=threshold
+        )
+
+
+def parse_objectives(spec: str) -> tuple[SloObjective, ...]:
+    """Parse a comma-separated objective list; at least one required."""
+    objectives = tuple(
+        SloObjective.parse(part) for part in spec.split(",") if part.strip()
+    )
+    if not objectives:
+        raise ValueError(f"no objectives in SLO spec {spec!r}")
+    names = [o.name for o in objectives]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate objectives in SLO spec {spec!r}")
+    return objectives
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Objectives plus the burn-rate alerting shape.
+
+    ``fast_window_s`` is the responsive window (how quickly a breach is
+    noticed), ``slow_window_s`` the flap filter (a breach must also hold
+    over the long window).  ``burn_threshold`` is in budget-spend units:
+    1.0 means "spending the error budget exactly as fast as sustainable";
+    a breach requires *both* windows above it.
+    """
+
+    objectives: tuple[SloObjective, ...]
+    fast_window_s: float = 5.0
+    slow_window_s: float = 60.0
+    burn_threshold: float = 1.0
+    poll_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError("SloPolicy needs at least one objective")
+        if not 0 < self.fast_window_s <= self.slow_window_s:
+            raise ValueError(
+                f"need 0 < fast_window_s <= slow_window_s, got "
+                f"{self.fast_window_s}, {self.slow_window_s}"
+            )
+        if self.burn_threshold <= 0:
+            raise ValueError(
+                f"burn_threshold must be positive, got {self.burn_threshold}"
+            )
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be positive, got {self.poll_interval_s}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str, **kwargs) -> "SloPolicy":
+        return cls(objectives=parse_objectives(spec), **kwargs)
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One objective's verdict for one evaluation instant."""
+
+    objective: SloObjective
+    state: str  # "ok" | "warn" | "breach"
+    observed_ms: float  # fast-window quantile estimate
+    bad_frac_fast: float
+    bad_frac_slow: float
+    burn_fast: float
+    burn_slow: float
+    window_count_fast: int
+    window_count_slow: int
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": self.objective.name,
+            "stream": self.objective.stream,
+            "quantile": self.objective.quantile,
+            "threshold_ms": self.objective.threshold_ms,
+            "state": self.state,
+            "observed_ms": self.observed_ms,
+            "bad_frac_fast": self.bad_frac_fast,
+            "bad_frac_slow": self.bad_frac_slow,
+            "burn_fast": self.burn_fast,
+            "burn_slow": self.burn_slow,
+            "window_count_fast": self.window_count_fast,
+            "window_count_slow": self.window_count_slow,
+        }
+
+
+class SloMonitor:
+    """Evaluates an :class:`SloPolicy` against a live metrics provider.
+
+    ``metrics_fn`` returns the current cumulative metrics (duck-typed:
+    anything with a ``histograms`` dict whose SLO streams are
+    :class:`QuantileSketch` instances — a broker's ``metrics`` property).
+    Each :meth:`poll` captures cheap sketch copies; sliding windows are
+    exact sketch differences, so the windowed p99 and bad fraction carry
+    no window-boundary error beyond the poll quantization.
+
+    Drive it either from asyncio (``await monitor.start()`` beside the
+    broker, like the policy controller) or by calling :meth:`poll`
+    directly (tests, replay harnesses).  On a breach *transition* the
+    monitor notes the event to the flight recorder, triggers its dump,
+    and calls ``on_breach(status)``.
+    """
+
+    def __init__(
+        self,
+        slo: SloPolicy,
+        metrics_fn,
+        flight: "FlightRecorder | None" = None,
+        on_breach=None,
+        time_fn=time.monotonic,
+    ) -> None:
+        self.slo = slo
+        self._metrics_fn = metrics_fn
+        self.flight = flight
+        self._on_breach = on_breach
+        self._time = time_fn
+        self._samples: deque = deque()  # (t, {stream: sketch copy})
+        self._task = None
+        self._in_breach: set[str] = set()
+        self.statuses: list[SloStatus] = []
+        self.evaluations = 0
+        self.breaches = 0
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    def _streams(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(o.stream for o in self.slo.objectives))
+
+    def _capture(self) -> dict[str, QuantileSketch]:
+        metrics = self._metrics_fn()
+        caps: dict[str, QuantileSketch] = {}
+        for stream in self._streams():
+            hist = metrics.histograms.get(stream)
+            if hist is None:
+                raise ValueError(
+                    f"SLO stream {stream!r} not in metrics histograms"
+                )
+            if not isinstance(hist, QuantileSketch):
+                raise TypeError(
+                    f"SLO stream {stream!r} is {type(hist).__name__}, not a "
+                    "QuantileSketch — only sketch-backed latency families "
+                    "support lossless windowing"
+                )
+            # The broker mutates bucket dicts on its own thread; a copy
+            # caught mid-insert raises RuntimeError.  Retry — the race
+            # window is a single dict insert.
+            for attempt in range(3):
+                try:
+                    caps[stream] = hist.copy()
+                    break
+                except RuntimeError:
+                    if attempt == 2:
+                        raise
+        return caps
+
+    def _window(
+        self, stream: str, cur: QuantileSketch, now: float, window_s: float
+    ) -> QuantileSketch:
+        """The exact sketch of ``stream`` observations in the last window."""
+        base = None
+        for t, caps in self._samples:
+            if t <= now - window_s and stream in caps:
+                base = caps[stream]
+            elif t > now - window_s:
+                break
+        if base is None:
+            # The run is younger than the window: everything so far is
+            # "in window" — the honest reading for short demos.
+            return cur
+        return cur.delta(base)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def poll(self, now: float | None = None) -> list[SloStatus]:
+        """One capture + evaluation cycle; returns per-objective statuses."""
+        t = self._time() if now is None else now
+        caps = self._capture()
+        statuses = []
+        for obj in self.slo.objectives:
+            cur = caps[obj.stream]
+            fast = self._window(obj.stream, cur, t, self.slo.fast_window_s)
+            slow = self._window(obj.stream, cur, t, self.slo.slow_window_s)
+            bad_fast = fast.fraction_above(obj.threshold_ms)
+            bad_slow = slow.fraction_above(obj.threshold_ms)
+            burn_fast = bad_fast / obj.budget
+            burn_slow = bad_slow / obj.budget
+            thr = self.slo.burn_threshold
+            if burn_fast > thr and burn_slow > thr and fast.count:
+                state = "breach"
+            elif burn_fast > thr and fast.count:
+                state = "warn"
+            else:
+                state = "ok"
+            statuses.append(
+                SloStatus(
+                    objective=obj,
+                    state=state,
+                    observed_ms=fast.percentile(obj.quantile),
+                    bad_frac_fast=bad_fast,
+                    bad_frac_slow=bad_slow,
+                    burn_fast=burn_fast,
+                    burn_slow=burn_slow,
+                    window_count_fast=fast.count,
+                    window_count_slow=slow.count,
+                )
+            )
+        self._samples.append((t, caps))
+        self._prune(t)
+        self.statuses = statuses
+        self.evaluations += 1
+        if self.flight is not None:
+            self.flight.note(
+                "slo", t=t, statuses=[s.to_dict() for s in statuses]
+            )
+        self._handle_transitions(statuses)
+        return statuses
+
+    def _prune(self, now: float) -> None:
+        """Drop samples no window can reference (keep one slow-window base)."""
+        horizon = now - self.slo.slow_window_s
+        while len(self._samples) >= 2 and self._samples[1][0] <= horizon:
+            self._samples.popleft()
+
+    def _handle_transitions(self, statuses: list[SloStatus]) -> None:
+        for status in statuses:
+            name = status.objective.name
+            if status.state == "breach" and name not in self._in_breach:
+                self._in_breach.add(name)
+                self.breaches += 1
+                if self.flight is not None:
+                    self.flight.note("slo_breach", **status.to_dict())
+                    self.flight.trigger(f"slo_breach:{name}")
+                if self._on_breach is not None:
+                    self._on_breach(status)
+            elif status.state == "ok" and name in self._in_breach:
+                self._in_breach.discard(name)
+
+    # ------------------------------------------------------------------
+    # Controller feed
+    # ------------------------------------------------------------------
+
+    def burn_rates(self) -> dict[str, float]:
+        """Last evaluation's fast burn rate per objective (controller input)."""
+        return {
+            s.objective.name: s.burn_fast for s in self.statuses
+        }
+
+    def status_dict(self) -> dict:
+        """Report-shaped summary of the monitor's lifetime."""
+        return {
+            "objectives": [o.name for o in self.slo.objectives],
+            "fast_window_s": self.slo.fast_window_s,
+            "slow_window_s": self.slo.slow_window_s,
+            "burn_threshold": self.slo.burn_threshold,
+            "evaluations": self.evaluations,
+            "breaches": self.breaches,
+            "statuses": [s.to_dict() for s in self.statuses],
+        }
+
+    # ------------------------------------------------------------------
+    # Asyncio lifecycle (mirrors PolicyController)
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "SloMonitor":
+        import asyncio
+
+        if self._task is None or self._task.done():
+
+            async def _run():
+                while True:
+                    await asyncio.sleep(self.slo.poll_interval_s)
+                    self.poll()
+
+            self._task = asyncio.get_running_loop().create_task(_run())
+        return self
+
+    async def close(self) -> None:
+        import asyncio
+        import contextlib
+
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+        # One final evaluation so short runs (demos, tests) always have
+        # at least one status to report.
+        self.poll()
+
+    async def __aenter__(self) -> "SloMonitor":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+
+def slo_from_env(metrics_fn, flight=None, **kwargs) -> SloMonitor | None:
+    """A monitor when ``$REPRO_SERVE_SLO`` asks for one, else ``None``.
+
+    ``1``/``on``/``true`` uses :data:`DEFAULT_OBJECTIVES`; any other
+    non-empty value is parsed as an objective spec.  ``kwargs`` pass
+    through to :class:`SloPolicy` (window lengths etc.).
+    """
+    raw = os.environ.get(SLO_ENV, "").strip()
+    if not raw or raw.lower() in ("0", "off", "none", "false"):
+        return None
+    spec = DEFAULT_OBJECTIVES if raw.lower() in ("1", "on", "true") else raw
+    policy = SloPolicy.parse(spec, **kwargs)
+    return SloMonitor(policy, metrics_fn, flight=flight)
+
+
+def evaluate_objectives(metrics, objectives) -> list[dict]:
+    """Whole-run verdicts from cumulative metrics (for replay reports).
+
+    Each entry carries the objective, the sketch-derived observed
+    quantile, the exact bad fraction, the lifetime burn rate, and the
+    ``ok`` verdict the ``replay-check --slo`` gate reads.
+    """
+    out = []
+    for obj in objectives:
+        hist = metrics.histograms.get(obj.stream)
+        entry: dict = {
+            "objective": obj.name,
+            "stream": obj.stream,
+            "quantile": obj.quantile,
+            "threshold_ms": obj.threshold_ms,
+        }
+        if hist is None:
+            entry.update(ok=False, error=f"stream {obj.stream!r} missing")
+            out.append(entry)
+            continue
+        observed = hist.percentile(obj.quantile)
+        entry["observed_ms"] = observed
+        if isinstance(hist, QuantileSketch):
+            bad_frac = hist.fraction_above(obj.threshold_ms)
+            entry["bad_frac"] = bad_frac
+            entry["burn"] = bad_frac / obj.budget
+            entry["count"] = hist.count
+            entry["ok"] = bad_frac <= obj.budget
+        else:
+            # Reservoir fallback: only the quantile estimate is available.
+            entry["ok"] = observed <= obj.threshold_ms
+        out.append(entry)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The flight recorder
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _FlightEntry:
+    """Internal: one ring-buffer record (kind + payload + capture order)."""
+
+    seq: int
+    kind: str
+    payload: dict = field(default_factory=dict)
+
+
+class FlightRecorder(SpanSink):
+    """Bounded ring buffer of recent telemetry; dumps a postmortem bundle.
+
+    Rides as an ordinary span sink on the obs tracer: spans and counter
+    samples stream in continuously, and only the most recent
+    ``capacity`` entries are retained — O(capacity) memory forever, no
+    matter how long the service runs.  Components can also
+    :meth:`note` structured events (controller decisions, SLO
+    evaluations, snapshot deltas).
+
+    A dump is triggered three ways: explicitly (:meth:`dump`), by an
+    SLO breach (the monitor calls :meth:`trigger`), or automatically
+    when a span named in :data:`FLIGHT_TRIGGERS` arrives — the
+    ``shard_down`` instant the sharded broker emits when a shard dies,
+    and the ``worker_death`` instant the process-pool backend emits when
+    a worker is lost mid-flush.  Automatic dumps need a configured
+    ``path``; each trigger overwrites it (latest incident wins) and is
+    recorded in :attr:`dumps`.
+    """
+
+    def __init__(self, capacity: int = 2048, path: str | None = None) -> None:
+        if capacity < 16:
+            raise ValueError(f"capacity must be at least 16, got {capacity}")
+        self.capacity = capacity
+        self.path = path
+        self._entries: deque[_FlightEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.dumps: list[tuple[str, str]] = []  # (reason, path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _append(self, kind: str, payload: dict) -> None:
+        with self._lock:
+            self._seq += 1
+            self._entries.append(_FlightEntry(self._seq, kind, payload))
+
+    # ------------------------------------------------------------------
+    # SpanSink surface
+    # ------------------------------------------------------------------
+
+    def on_span(self, span) -> None:
+        self._append("span", span_to_dict(span))
+        if span.name in FLIGHT_TRIGGERS and self.path is not None:
+            self.trigger(span.name)
+
+    def on_counter(self, name: str, t: float, values: dict) -> None:
+        self._append("counter", {"name": name, "t": t, "values": dict(values)})
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    # ------------------------------------------------------------------
+    # Structured notes
+    # ------------------------------------------------------------------
+
+    def note(self, kind: str, **payload) -> None:
+        """Record one structured event (decision, snapshot, slo, ...)."""
+        self._append(kind, payload)
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+
+    def trigger(self, reason: str) -> str | None:
+        """Dump to the configured path; no-op without one."""
+        if self.path is None:
+            return None
+        return self.dump(self.path, reason=reason)
+
+    def dump(self, path: str | None = None, reason: str = "manual") -> str:
+        """Write the ring buffer as a JSONL bundle; returns the path.
+
+        Line 1 is the header (format tag, reason, wall-clock stamp,
+        entry count); each following line is one retained entry in
+        capture order.  The buffer is *not* cleared — a later trigger
+        dumps a longer story to the same path.
+        """
+        path = path or self.path
+        if path is None:
+            raise ValueError("no dump path configured")
+        with self._lock:
+            entries = list(self._entries)
+        header = {
+            "format": FLIGHT_FORMAT,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "entries": len(entries),
+            "capacity": self.capacity,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for entry in entries:
+                fh.write(
+                    json.dumps(
+                        {"seq": entry.seq, "kind": entry.kind, **entry.payload},
+                        default=str,
+                    )
+                    + "\n"
+                )
+        self.dumps.append((reason, path))
+        return path
+
+
+def is_flight_record(path) -> bool:
+    """Cheap sniff: does ``path`` start with a flight-record header?"""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            first = fh.readline()
+        return json.loads(first).get("format") == FLIGHT_FORMAT
+    except (OSError, ValueError):
+        return False
+
+
+def load_flight_record(path) -> tuple[dict, list[dict]]:
+    """Load a dump written by :meth:`FlightRecorder.dump`."""
+    with open(path, encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty flight record")
+    header = json.loads(lines[0])
+    if header.get("format") != FLIGHT_FORMAT:
+        raise ValueError(
+            f"{path}: expected {FLIGHT_FORMAT}, got {header.get('format')!r}"
+        )
+    entries = [json.loads(line) for line in lines[1:]]
+    if len(entries) != header.get("entries"):
+        raise ValueError(
+            f"{path}: truncated flight record "
+            f"({len(entries)} entries, header says {header.get('entries')})"
+        )
+    return header, entries
+
+
+def summarize_flight_record(header: dict, entries: list[dict]) -> str:
+    """Human-readable digest of one flight record."""
+    from repro.utils.tables import format_table
+
+    by_kind: dict[str, int] = {}
+    for entry in entries:
+        by_kind[entry.get("kind", "?")] = by_kind.get(entry.get("kind", "?"), 0) + 1
+    lines = [
+        f"flight record: reason={header.get('reason', '?')} "
+        f"entries={header.get('entries')} capacity={header.get('capacity')}",
+        format_table(
+            ["kind", "entries"],
+            [[kind, count] for kind, count in sorted(by_kind.items())],
+        ),
+    ]
+    breaches = [e for e in entries if e.get("kind") == "slo_breach"]
+    for breach in breaches[-5:]:
+        lines.append(
+            f"breach: {breach.get('objective', '?')} "
+            f"observed={breach.get('observed_ms', 0.0):.3f}ms "
+            f"burn_fast={breach.get('burn_fast', 0.0):.2f} "
+            f"burn_slow={breach.get('burn_slow', 0.0):.2f}"
+        )
+    incidents = [
+        e
+        for e in entries
+        if e.get("kind") == "span" and e.get("name") in FLIGHT_TRIGGERS
+    ]
+    for incident in incidents[-5:]:
+        attrs = incident.get("attrs", {})
+        detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(f"incident: {incident.get('name')} {detail}".rstrip())
+    spans = [e for e in entries if e.get("kind") == "span"]
+    if spans:
+        lines.append(f"last span: {spans[-1].get('name', '?')}")
+    return "\n".join(lines)

@@ -203,6 +203,20 @@ class ProcessPoolBackend(ExecutorBackend):
             ) from None
         except BrokenExecutor as exc:
             self._dispose_pool()
+            # The flight recorder (repro.obs.slo) dumps its ring buffer
+            # on this instant: a dead worker is exactly the kind of
+            # incident whose preceding telemetry a postmortem needs.
+            from repro.obs.tracer import get_tracer
+
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "worker_death",
+                    cat="serve",
+                    batch=len(a),
+                    n=config.n,
+                    error=str(exc),
+                )
             raise BackendError(f"worker process died mid-flush: {exc}") from exc
 
     def factorize(self, a: np.ndarray, config: KernelConfig) -> BackendRun:

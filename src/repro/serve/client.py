@@ -22,12 +22,19 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import contextlib
 import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    SloMonitor,
+    SloPolicy,
+    slo_from_env,
+)
 from repro.obs.tracer import get_tracer
 from repro.serve.control.controller import (
     DEFAULT_INTERVAL_S,
@@ -208,16 +215,22 @@ class ReplaySummary:
     #: per-graph :class:`~repro.serve.graph.GraphResult` list.
     graph_metrics: GraphMetrics | None = None
     graph_results: list | None = None
+    #: SLO shape of the replay: the monitor's lifetime summary
+    #: (:meth:`~repro.obs.slo.SloMonitor.status_dict`) when one was
+    #: attached, and the :class:`~repro.obs.slo.FlightRecorder` that
+    #: rode along (``None`` otherwise).
+    slo: dict | None = None
+    flight: object | None = None
 
     @property
     def throughput_rps(self) -> float:
         return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
 
-def _make_controller(broker, controller, interval_s: float | None):
+def _make_controller(broker, controller, interval_s: float | None, slo_monitor=None):
     """Resolve the replay's controller: explicit arg beats the env knob."""
     if controller is None:
-        return controller_from_env(broker)
+        return controller_from_env(broker, slo_monitor=slo_monitor)
     if isinstance(controller, str):
         name = controller.strip().lower()
         if not name or name in ("0", "off", "none", "false"):
@@ -227,7 +240,30 @@ def _make_controller(broker, controller, interval_s: float | None):
         broker,
         strategy=controller,
         interval_s=interval_s if interval_s is not None else DEFAULT_INTERVAL_S,
+        slo_monitor=slo_monitor,
     )
+
+
+def _make_slo(slo, metrics_fn, flight):
+    """Resolve the replay's SLO monitor: explicit arg beats the env knob.
+
+    ``slo`` may be ``None`` (consult ``$REPRO_SERVE_SLO``), a spec string
+    (``"coalesce_p99_ms<5"``; ``"1"``/``"on"`` means the default
+    objectives, ``"0"``/``"off"`` disables), an
+    :class:`~repro.obs.slo.SloPolicy`, or a ready-made monitor.
+    """
+    if slo is None:
+        return slo_from_env(metrics_fn, flight=flight)
+    if isinstance(slo, SloMonitor):
+        return slo
+    if isinstance(slo, str):
+        spec = slo.strip()
+        if not spec or spec.lower() in ("0", "off", "none", "false"):
+            return None
+        if spec.lower() in ("1", "on", "true"):
+            spec = DEFAULT_OBJECTIVES
+        slo = SloPolicy.parse(spec)
+    return SloMonitor(slo, metrics_fn, flight=flight)
 
 
 def replay_trace(
@@ -240,6 +276,10 @@ def replay_trace(
     controller=None,
     controller_interval_s: float | None = None,
     graph=False,
+    slo=None,
+    flight=None,
+    kill_shard: int | None = None,
+    kill_at_s: float | None = None,
 ) -> ReplaySummary:
     """Replay an arrival trace through a fresh broker at real-time speed.
 
@@ -266,6 +306,20 @@ def replay_trace(
     ``True`` (or ``"wave"``) releases ready waves concurrently;
     ``"sequential"`` awaits each node one at a time, the comparison
     baseline ``benchmarks/bench_graph.py`` measures against.
+
+    ``slo`` puts the run under burn-rate monitoring
+    (:mod:`repro.obs.slo`): an objective spec string, an
+    :class:`~repro.obs.slo.SloPolicy`, or ``None`` to consult
+    ``$REPRO_SERVE_SLO``.  The monitor polls beside the broker, feeds
+    its fast burn rates into the controller (when one runs), and its
+    lifetime summary rides back on :attr:`ReplaySummary.slo`.  A
+    ``flight`` recorder receives the monitor's evaluations and breach
+    notes; register it as a tracer sink too (the CLI does) and it also
+    captures spans for postmortem dumps.
+
+    ``kill_shard`` injects a fault: the named shard of a sharded broker
+    is killed ``kill_at_s`` seconds after the replay clock starts — the
+    breach-forcing lever the flight-recorder smoke test uses.
     """
     modes = {False: None, True: "wave", "wave": "wave", "sequential": "sequential"}
     if graph not in modes:
@@ -289,12 +343,29 @@ def replay_trace(
         ) as broker:
             if warmup:
                 broker.warmup(e.n for e in events)
-            ctl = _make_controller(broker, controller, controller_interval_s)
+            monitor = _make_slo(slo, lambda: broker.metrics, flight)
+            if monitor is not None:
+                await monitor.start()
+            ctl = _make_controller(
+                broker, controller, controller_interval_s, slo_monitor=monitor
+            )
             if ctl is not None:
                 await ctl.start()
             loop = asyncio.get_running_loop()
             scheduler = GraphScheduler(broker) if mode is not None else None
             start = loop.time()
+            kill_task = None
+            if kill_shard is not None:
+                if not isinstance(broker, ShardedBroker):
+                    raise ValueError(
+                        "kill_shard needs a sharded broker (policy.shards > 1)"
+                    )
+
+                async def _kill():
+                    await asyncio.sleep(max(0.0, kill_at_s or 0.0))
+                    broker.kill_shard(kill_shard)
+
+                kill_task = loop.create_task(_kill())
 
             async def _one(event, a, b):
                 await asyncio.sleep(max(0.0, event.at - (loop.time() - start)))
@@ -311,8 +382,17 @@ def replay_trace(
                     events, inputs, scheduler, _one, loop, start, mode
                 )
             elapsed = loop.time() - start
+            if kill_task is not None:
+                if kill_task.done():
+                    kill_task.result()  # surface a bad shard id etc.
+                else:
+                    kill_task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await kill_task
             if ctl is not None:
                 await ctl.close()
+            if monitor is not None:
+                await monitor.close()
             tracer = get_tracer()
             if tracer.enabled:
                 tracer.record(
@@ -346,6 +426,8 @@ def replay_trace(
             journal=ctl.journal if ctl is not None else None,
             graph_metrics=scheduler.metrics if scheduler is not None else None,
             graph_results=graph_results,
+            slo=monitor.status_dict() if monitor is not None else None,
+            flight=flight,
         )
 
     return asyncio.run(_replay())
@@ -416,6 +498,10 @@ def run_demo(
     controller: str | None = None,
     controller_interval_ms: float | None = None,
     journal_out: str | None = None,
+    slo=None,
+    flight=None,
+    kill_shard: int | None = None,
+    kill_at_ms: float | None = None,
 ) -> tuple[str, ReplaySummary]:
     """Replay one synthetic trace and render the full metrics report.
 
@@ -425,7 +511,9 @@ def run_demo(
     into a :class:`~repro.serve.shard.ShardedBroker` fabric.
     ``controller`` puts the demo under online control and reports the
     decision summary; ``journal_out`` saves the full decision journal as
-    JSONL.
+    JSONL.  ``slo``/``flight``/``kill_shard``/``kill_at_ms`` thread
+    through to :func:`replay_trace`: burn-rate monitoring, the flight
+    recorder, and fault injection.
     """
     policy = policy or ServePolicy(target_batch=64, max_delay_s=0.004)
     if backend is not None:
@@ -465,6 +553,10 @@ def run_demo(
         controller_interval_s=(
             controller_interval_ms / 1e3 if controller_interval_ms else None
         ),
+        slo=slo,
+        flight=flight,
+        kill_shard=kill_shard,
+        kill_at_s=kill_at_ms / 1e3 if kill_at_ms is not None else None,
     )
     if recorder is not None:
         recorder.save(record_trace)
@@ -492,6 +584,15 @@ def run_demo(
             f"final target_batch={knobs.target_batch} "
             f"max_delay={knobs.max_delay_ms:.2f}ms "
             f"deterministic={verify_journal(summary.journal)}"
+        )
+    if summary.slo is not None:
+        s = summary.slo
+        states = ", ".join(
+            f"{st['objective']}={st['state']}" for st in s["statuses"]
+        ) or "no evaluations"
+        lines.append(
+            f"slo     : {s['evaluations']} evaluations, "
+            f"{s['breaches']} breaches; {states}"
         )
     if summary.per_shard is not None:
         lines.append(

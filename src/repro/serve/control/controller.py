@@ -85,10 +85,16 @@ class PolicyController:
         bounds: ControlBounds | None = None,
         tracer=None,
         meta: dict | None = None,
+        slo_monitor=None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive, got {interval_s}")
         self.broker = broker
+        #: Optional :class:`~repro.obs.slo.SloMonitor`: its fast burn
+        #: rates are stamped onto every observation window *before* the
+        #: strategy sees it — and before the window is journaled — so
+        #: burn-reactive strategies replay deterministically.
+        self.slo_monitor = slo_monitor
         self.bounds = bounds or ControlBounds()
         self.strategy = (
             make_strategy(strategy, bounds=self.bounds)
@@ -174,6 +180,10 @@ class PolicyController:
         if window.dt <= 0:
             return None
         self._last = snap
+        if self.slo_monitor is not None:
+            burn = self.slo_monitor.burn_rates()
+            if burn:
+                window = replace(window, slo=burn)
         knobs = Knobs.from_policy(self.broker.policy)
         proposed, reason = self.strategy.propose(window, knobs)
         proposed = self.bounds.clamp(proposed, knobs)
@@ -202,6 +212,9 @@ class PolicyController:
         )
         self.journal.append(decision)
         self._trace(decision)
+        flight = getattr(self.slo_monitor, "flight", None)
+        if flight is not None:
+            flight.note("decision", **decision.to_dict())
         return decision
 
     def _trace(self, decision: Decision) -> None:
@@ -248,7 +261,9 @@ class PolicyController:
         return out
 
 
-def controller_from_env(broker, tracer=None, meta: dict | None = None):
+def controller_from_env(
+    broker, tracer=None, meta: dict | None = None, slo_monitor=None
+):
     """A controller when ``$REPRO_SERVE_CONTROLLER`` asks for one, else ``None``.
 
     The serve front ends (``replay_trace``, ``run_demo``) call this so a
@@ -277,5 +292,10 @@ def controller_from_env(broker, tracer=None, meta: dict | None = None):
                 f"{CONTROLLER_INTERVAL_ENV} must be positive, got {raw!r}"
             )
     return PolicyController(
-        broker, strategy=name, interval_s=interval_s, tracer=tracer, meta=meta
+        broker,
+        strategy=name,
+        interval_s=interval_s,
+        tracer=tracer,
+        meta=meta,
+        slo_monitor=slo_monitor,
     )

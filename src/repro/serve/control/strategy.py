@@ -183,6 +183,15 @@ class AIMDStrategy:
     grow by ``grow_factor``; below ``pressure_low`` with the window
     deadline-dominated, the deadline decays by ``shrink_ms``; between
     the thresholds (the hysteresis band) the strategy holds.
+
+    When the window carries SLO burn rates
+    (:attr:`~repro.serve.metrics.SnapshotDelta.slo`, stamped by a
+    controller with an attached :class:`~repro.obs.slo.SloMonitor`), a
+    burn above ``burn_high`` is a *latency* emergency that outranks
+    throughput growth: the deadline shrinks multiplicatively so batches
+    flush sooner and the tail comes back under the objective.  The burn
+    rates ride inside the journaled window, so the strategy stays a pure
+    function of its observations.
     """
 
     name = "aimd"
@@ -195,6 +204,7 @@ class AIMDStrategy:
         pressure_low: float = 0.75,
         skew_frac: float = 0.8,
         skew_min_sheds: int = 4,
+        burn_high: float = 1.0,
     ) -> None:
         if grow_factor <= 1.0:
             raise ValueError(f"grow_factor must exceed 1, got {grow_factor}")
@@ -207,12 +217,15 @@ class AIMDStrategy:
             )
         if not 0.5 < skew_frac <= 1.0:
             raise ValueError(f"skew_frac must be in (0.5, 1], got {skew_frac}")
+        if burn_high <= 0:
+            raise ValueError(f"burn_high must be positive, got {burn_high}")
         self.grow_factor = grow_factor
         self.shrink_ms = shrink_ms
         self.pressure_high = pressure_high
         self.pressure_low = pressure_low
         self.skew_frac = skew_frac
         self.skew_min_sheds = skew_min_sheds
+        self.burn_high = burn_high
 
     def reset(self) -> None:
         """No internal state to reset."""
@@ -230,6 +243,18 @@ class AIMDStrategy:
             return (
                 Knobs(knobs.target_batch, knobs.max_delay_ms, "hash"),
                 "placement_skew",
+            )
+        # A burning latency SLO outranks throughput growth: flush sooner
+        # so the tail comes back under the objective.  The bounds clamp
+        # enforces the deadline floor.
+        if window.max_burn_rate > self.burn_high:
+            return (
+                Knobs(
+                    target_batch=knobs.target_batch,
+                    max_delay_ms=knobs.max_delay_ms / self.grow_factor,
+                    placement=knobs.placement,
+                ),
+                "slo_burn",
             )
         flushes = window.counters.get("flushes", 0)
         sheds = window.counters.get("shed", 0)

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.sketch import QuantileSketch
 from repro.obs.tracer import get_tracer
 from repro.serve.batcher import KINDS
 from repro.serve.metrics import Histogram
@@ -245,10 +246,13 @@ class GraphMetrics:
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {name: 0 for name in _GRAPH_COUNTERS}
-        self.histograms: dict[str, Histogram] = {
+        # Critical-path latency is a tail metric (an SLO could gate it),
+        # so it gets the lossless-merge sketch like the serve latency
+        # families; the shape histograms keep the reservoir.
+        self.histograms: dict = {
             "wave_width": Histogram(),
             "graph_depth": Histogram(),
-            "graph_critical_path_ms": Histogram(),
+            "graph_critical_path_ms": QuantileSketch(),
         }
 
     @property

@@ -27,6 +27,8 @@ import math
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.sketch import QuantileSketch
+
 
 class Histogram:
     """Bounded-memory sample histogram with deterministic decimation.
@@ -94,11 +96,19 @@ class Histogram:
 
         Count, total, and extrema stay exact, so multi-shard or
         multi-worker aggregation loses nothing an alarm would fire on.
-        The retained samples are united and re-thinned to this
-        histogram's ``max_samples`` bound; when the two sides were
-        decimated to different strides their samples carry different
-        weights, so merged percentiles are approximate — the same
-        contract decimation itself already has.
+        The retained samples are first brought to a *common stride*: the
+        finer-grained side is thinned until one retained sample stands
+        for the same number of source observations on both sides, so the
+        merged percentile weights each source proportionally to its true
+        count (the old concatenate-and-rethin overweighted whichever
+        side had been decimated less).  Residual approximation, stated
+        honestly: strides are powers of two, so a source whose count is
+        not a stride multiple is over-represented by up to one stride's
+        worth of observations, and thinning keeps the earliest sample of
+        each stride window — the same bias decimation itself already
+        carries.  For latency families that need sound cross-shard
+        tails, use :class:`~repro.obs.sketch.QuantileSketch`, whose
+        merge is lossless.
         """
         if not isinstance(other, Histogram):
             raise TypeError(f"can only merge Histogram, got {type(other).__name__}")
@@ -107,8 +117,13 @@ class Histogram:
         if other.count:
             self._min = min(self._min, other._min)
             self._max = max(self._max, other._max)
-        merged = self._samples + other._samples
+        # Strides are powers of two (they only ever double), so the
+        # ratio to the common stride is an exact thinning factor.
         stride = max(self._stride, other._stride)
+        merged = (
+            self._samples[:: stride // self._stride]
+            + other._samples[:: stride // other._stride]
+        )
         while len(merged) >= self.max_samples:
             merged = merged[::2]
             stride *= 2
@@ -155,14 +170,35 @@ _HISTOGRAMS = (
     ("flush_gflops", "modelled GFLOP/s (per flush)"),
 )
 
+#: Latency families backed by :class:`~repro.obs.sketch.QuantileSketch`
+#: instead of the reservoir :class:`Histogram`: their tails (p99, p999)
+#: are what SLOs gate on, so they need lossless cross-shard merges and
+#: a bounded relative-error guarantee.  Non-latency families keep the
+#: reservoir — exact moments, approximate mid-distribution percentiles.
+_SKETCH_FAMILIES = frozenset({"coalesce_latency_ms", "flush_service_ms"})
+
+
+def _make_family(name: str):
+    """The right distribution type for one histogram family."""
+    if name in _SKETCH_FAMILIES:
+        return QuantileSketch()
+    return Histogram()
+
+
+def _empty_like(hist):
+    """A fresh, empty distribution matching ``hist``'s type and layout."""
+    if isinstance(hist, QuantileSketch):
+        return QuantileSketch(relative_accuracy=hist.relative_accuracy)
+    return Histogram(max_samples=hist.max_samples)
+
 
 class ServeMetrics:
     """Aggregated counters and distributions for one broker's lifetime."""
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {name: 0 for name in _COUNTERS}
-        self.histograms: dict[str, Histogram] = {
-            name: Histogram() for name, _ in _HISTOGRAMS
+        self.histograms: dict = {
+            name: _make_family(name) for name, _ in _HISTOGRAMS
         }
         #: Sheds broken out by the broker shard that refused the request
         #: (``shard_id`` of the fabric, see :mod:`repro.serve.shard`).
@@ -235,10 +271,14 @@ class ServeMetrics:
     def merge(self, other: "ServeMetrics") -> "ServeMetrics":
         """Fold ``other``'s counters and histograms into this one in place.
 
-        Counters add exactly; histograms merge via :meth:`Histogram.merge`
-        (exact count/total/extrema, approximate percentiles).  This is the
-        fabric-level aggregation primitive: the merged snapshot of N
-        shards is ``ServeMetrics.merged(shard_metrics)``, and accounting
+        Counters add exactly.  Latency families are
+        :class:`~repro.obs.sketch.QuantileSketch` instances and merge
+        *losslessly* — the fabric's merged p99 is bit-identical to the
+        sketch of the concatenated stream; reservoir families merge via
+        :meth:`Histogram.merge` (exact count/total/extrema, approximate
+        percentiles).  This is the fabric-level aggregation primitive:
+        the merged snapshot of N shards is
+        ``ServeMetrics.merged(shard_metrics)``, and accounting
         (``unaccounted``) composes — a fabric of clean shards is clean.
         """
         if not isinstance(other, ServeMetrics):
@@ -251,8 +291,7 @@ class ServeMetrics:
             if name in self.histograms:
                 self.histograms[name].merge(hist)
             else:
-                fresh = Histogram(max_samples=hist.max_samples)
-                self.histograms[name] = fresh.merge(hist)
+                self.histograms[name] = _empty_like(hist).merge(hist)
         for shard, count in other.shed_by_shard.items():
             self.shed_by_shard[shard] = self.shed_by_shard.get(shard, 0) + count
         return self
@@ -418,6 +457,12 @@ class SnapshotDelta:
     queue_depth: int = 0
     queue_delta: int = 0
     shed_by_shard: dict[int, int] = field(default_factory=dict)
+    #: SLO burn rates by objective name (see :mod:`repro.obs.slo`),
+    #: stamped onto the window by a controller with an attached
+    #: :class:`~repro.obs.slo.SloMonitor`.  Empty without one.  Part of
+    #: the journaled observation, so strategies reading it stay pure
+    #: functions of the window and journal replay stays deterministic.
+    slo: dict[str, float] = field(default_factory=dict)
 
     def rate(self, name: str) -> float:
         """Window rate (events/s) of one counter; 0.0 for an empty window."""
@@ -478,6 +523,16 @@ class SnapshotDelta:
             return 0.0
         return self.counters.get("flushes_deadline", 0) / flushes
 
+    @property
+    def max_burn_rate(self) -> float:
+        """The worst SLO burn rate this window (0.0 without a monitor).
+
+        Burn 1.0 means an objective is spending its error budget exactly
+        at the sustainable rate; above it the tail objective is being
+        missed — a latency emergency a strategy may react to.
+        """
+        return max(self.slo.values(), default=0.0)
+
     def to_dict(self) -> dict:
         out = {
             "dt": self.dt,
@@ -495,6 +550,10 @@ class SnapshotDelta:
                 str(shard): count
                 for shard, count in sorted(self.shed_by_shard.items())
             }
+        if self.slo:
+            out["slo"] = {
+                name: burn for name, burn in sorted(self.slo.items())
+            }
         return out
 
     @classmethod
@@ -511,5 +570,9 @@ class SnapshotDelta:
             shed_by_shard={
                 int(shard): int(count)
                 for shard, count in data.get("shed_by_shard", {}).items()
+            },
+            slo={
+                str(name): float(burn)
+                for name, burn in data.get("slo", {}).items()
             },
         )

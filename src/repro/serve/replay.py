@@ -25,6 +25,7 @@ import sys
 from dataclasses import dataclass, replace
 
 from repro.obs import InMemorySink, Tracer, set_tracer, span_to_dict, stage_summary
+from repro.obs.slo import evaluate_objectives, parse_objectives
 from repro.serve.client import replay_trace
 from repro.serve.control.journal import verify_journal
 from repro.serve.policy import ServePolicy
@@ -35,13 +36,22 @@ from repro.serve.trace import RecordedTrace, normalize_events, trace_sha256
 #: per-run ``shards``/``placement``/``per_shard``); the controlled
 #: dimension (``controller`` blocks, ``coalesce_p99_ms``) and the graph
 #: dimension (``offered``, ``graph`` blocks, ``/graph`` cells) are
-#: additive within v2.  v1 reports remain readable because every added
-#: field is additive.
-REPORT_SCHEMA = "repro.bench_serve_replay/v2"
+#: additive within v2.  v3 adds the sketch-derived tail quantiles
+#: (``coalesce_p999_ms``, ``service_p99_ms`` — now exact mergeable
+#: sketch percentiles, see :mod:`repro.obs.sketch`) and the per-run
+#: ``slo`` block the ``replay-check --slo`` gate reads
+#: (:func:`~repro.obs.slo.evaluate_objectives`).  Every added field is
+#: additive, so older reports remain readable.
+REPORT_SCHEMA = "repro.bench_serve_replay/v3"
 
-#: Schemas :func:`load_report` accepts.  v1 baselines gate v2 reports —
-#: the comparison matches runs by label and v1 labels are a subset.
-SUPPORTED_SCHEMAS = ("repro.bench_serve_replay/v1", REPORT_SCHEMA)
+#: Schemas :func:`load_report` accepts.  Older baselines gate newer
+#: reports — the comparison matches runs by label and older labels are a
+#: subset.
+SUPPORTED_SCHEMAS = (
+    "repro.bench_serve_replay/v1",
+    "repro.bench_serve_replay/v2",
+    REPORT_SCHEMA,
+)
 
 
 # ----------------------------------------------------------------------
@@ -172,8 +182,16 @@ def _policy_dict(policy: ServePolicy) -> dict:
     }
 
 
-def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
-    """One report entry from a completed :class:`ReplaySummary`."""
+def run_record(
+    label: str, summary, policy: ServePolicy, stages=None, slo_objectives=None
+) -> dict:
+    """One report entry from a completed :class:`ReplaySummary`.
+
+    ``slo_objectives`` (parsed :class:`~repro.obs.slo.SloObjective`
+    tuple) adds the whole-run ``slo`` block: exact sketch-derived bad
+    fractions and burn rates per objective, plus the aggregate ``ok``
+    verdict the ``replay-check --slo`` gate reads.
+    """
     m = summary.metrics
     coalesce = m.histograms["coalesce_latency_ms"]
     service = m.histograms["flush_service_ms"]
@@ -200,7 +218,9 @@ def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
         "coalesce_p50_ms": coalesce.percentile(50),
         "coalesce_p95_ms": coalesce.percentile(95),
         "coalesce_p99_ms": coalesce.percentile(99),
+        "coalesce_p999_ms": coalesce.percentile(99.9),
         "service_p95_ms": service.percentile(95),
+        "service_p99_ms": service.percentile(99),
         "batch_mean": m.histograms["batch_size"].mean,
         "fill_mean": m.histograms["batch_fill"].mean,
         "gflops_mean": m.histograms["flush_gflops"].mean,
@@ -215,6 +235,20 @@ def run_record(label: str, summary, policy: ServePolicy, stages=None) -> dict:
         "stages": stages or {},
         "controller": _controller_dict(summary),
         "graph": _graph_dict(summary),
+        "slo": _slo_dict(m, slo_objectives),
+        "slo_monitor": getattr(summary, "slo", None),
+    }
+
+
+def _slo_dict(metrics, objectives) -> dict | None:
+    """The run record's slo block (``None`` when no objectives given)."""
+    if not objectives:
+        return None
+    results = evaluate_objectives(metrics, objectives)
+    return {
+        "objectives": [o.name for o in objectives],
+        "ok": all(r.get("ok", False) for r in results),
+        "results": results,
     }
 
 
@@ -273,7 +307,9 @@ def _controller_dict(summary) -> dict | None:
     }
 
 
-def run_replay_cell(events, cell: GridCell, warmup: bool = True) -> dict:
+def run_replay_cell(
+    events, cell: GridCell, warmup: bool = True, slo_objectives=None
+) -> dict:
     """Replay one trace through one grid cell, tracing every stage.
 
     A cell that raises — backend construction failure, replay crash —
@@ -302,7 +338,10 @@ def run_replay_cell(events, cell: GridCell, warmup: bool = True) -> dict:
     finally:
         set_tracer(previous)
     stages = stage_summary([span_to_dict(s) for s in sink.spans])
-    return run_record(cell.label, summary, cell.policy, stages=stages)
+    return run_record(
+        cell.label, summary, cell.policy, stages=stages,
+        slo_objectives=slo_objectives,
+    )
 
 
 def run_replay_grid(
@@ -312,8 +351,15 @@ def run_replay_grid(
     trace_path=None,
     warmup: bool = True,
     progress=None,
+    slo=None,
 ) -> dict:
-    """Replay one trace across every grid cell and assemble the report."""
+    """Replay one trace across every grid cell and assemble the report.
+
+    ``slo`` (an objective spec string or a parsed objective tuple) adds
+    a whole-run ``slo`` block to every cell's record, which
+    :func:`compare_slo` gates.
+    """
+    objectives = parse_objectives(slo) if isinstance(slo, str) else slo
     events = normalize_events(trace)
     if not events:
         raise ValueError("cannot replay an empty trace")
@@ -321,7 +367,11 @@ def run_replay_grid(
     for cell in cells:
         if progress is not None:
             progress(cell.label)
-        runs.append(run_replay_cell(events, cell, warmup=warmup))
+        runs.append(
+            run_replay_cell(
+                events, cell, warmup=warmup, slo_objectives=objectives
+            )
+        )
     trace_info = {
         "name": trace_name
         or (trace.meta.get("name", "") if isinstance(trace, RecordedTrace) else ""),
@@ -523,9 +573,15 @@ class ControllerGate:
             )
 
 
-def _p99(run: dict) -> float:
-    # v2 reports carry p99 explicitly; fall back to p95 for older runs.
-    return run.get("coalesce_p99_ms", run.get("coalesce_p95_ms", 0.0))
+def _p99(run: dict) -> float | None:
+    """The run's p99 coalesce latency; ``None`` when the report predates it.
+
+    This used to silently substitute p95 for pre-v2 runs, which let a
+    controlled cell's tail hide behind a sibling's body quantile.  The
+    gate now treats a missing p99 as its own finding instead
+    (:func:`compare_controlled`).
+    """
+    return run.get("coalesce_p99_ms")
 
 
 def compare_controlled(
@@ -586,16 +642,28 @@ def compare_controlled(
                 f"(-{(1 - cur_tp / best_tp) * 100:.1f}%, "
                 f"tolerance {tol.throughput_frac * 100:.0f}%)"
             )
-        best_p99 = min(_p99(s) for s in siblings)
         cur_p99 = _p99(run)
-        allowed_p99 = max(
-            best_p99 * (1.0 + tol.p99_frac), best_p99 + tol.p99_floor_ms
-        )
-        if cur_p99 > allowed_p99:
+        sibling_p99s = [p for p in (_p99(s) for s in siblings) if p is not None]
+        if cur_p99 is None or not sibling_p99s:
+            # Pre-v2 reports carry only p95; gating the tail against a
+            # body quantile would be a silent substitution, so flag it.
+            missing = "controlled run" if cur_p99 is None else "static siblings"
             findings.append(
-                f"{label}: p99 coalesce latency {cur_p99:.3f} ms above best "
-                f"static {best_p99:.3f} ms (allowed {allowed_p99:.3f} ms)"
+                f"{label}: p99 gate has no data — {missing} lack "
+                "coalesce_p99_ms (pre-v2 report; regenerate instead of "
+                "letting p95 stand in)"
             )
+        else:
+            best_p99 = min(sibling_p99s)
+            allowed_p99 = max(
+                best_p99 * (1.0 + tol.p99_frac), best_p99 + tol.p99_floor_ms
+            )
+            if cur_p99 > allowed_p99:
+                findings.append(
+                    f"{label}: p99 coalesce latency {cur_p99:.3f} ms above "
+                    f"best static {best_p99:.3f} ms "
+                    f"(allowed {allowed_p99:.3f} ms)"
+                )
     if not controlled:
         findings.append("no controlled runs in report to gate")
     return findings
@@ -612,6 +680,64 @@ def render_controlled(findings: list[str], report: dict) -> str:
         lines.append(
             f"ok: {len(controlled)} controlled run(s) meet or beat their "
             "static siblings"
+        )
+    return "\n".join(lines)
+
+
+def compare_slo(report: dict) -> list[str]:
+    """Gate every run's whole-run SLO verdict; empty = pass.
+
+    Reads the per-run ``slo`` blocks a v3 report carries when generated
+    with objectives (``replay-check --slo``, :func:`run_replay_grid`
+    ``slo=``).  Findings: a run with no block (older report — regenerate
+    rather than silently passing), and every objective whose exact bad
+    fraction exceeded its error budget over the whole run.
+    """
+    findings: list[str] = []
+    for run in report.get("runs", []):
+        label = run.get("label", "?")
+        if not run.get("ok", False):
+            continue  # compare_reports already flags failed runs
+        slo = run.get("slo")
+        if not slo:
+            findings.append(
+                f"{label}: no slo block in report "
+                "(regenerate with replay-check --slo)"
+            )
+            continue
+        for res in slo.get("results", []):
+            if res.get("ok", False):
+                continue
+            if "error" in res:
+                findings.append(
+                    f"{label}: {res.get('objective', '?')}: {res['error']}"
+                )
+                continue
+            findings.append(
+                f"{label}: {res.get('objective', '?')} violated — "
+                f"observed p{res.get('quantile')} "
+                f"{res.get('observed_ms', 0.0):.3f} ms, "
+                f"bad fraction {res.get('bad_frac', 0.0):.4f} "
+                f"(budget {1.0 - res.get('quantile', 0.0) / 100.0:.4f}, "
+                f"burn {res.get('burn', 0.0):.2f})"
+            )
+    if not report.get("runs"):
+        findings.append("no runs in report to gate")
+    return findings
+
+
+def render_slo(findings: list[str], report: dict) -> str:
+    """The SLO gate's verdict, findings first."""
+    with_slo = [
+        r for r in report.get("runs", []) if r.get("ok", False) and r.get("slo")
+    ]
+    lines = []
+    if findings:
+        lines.append(f"SLO GATE: {len(findings)} finding(s)")
+        lines.extend(f"  - {finding}" for finding in findings)
+    else:
+        lines.append(
+            f"ok: {len(with_slo)} run(s) within their error budgets"
         )
     return "\n".join(lines)
 

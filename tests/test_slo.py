@@ -1,0 +1,880 @@
+"""The SLO engine: quantile sketches, burn-rate monitoring, flight recorder.
+
+Three invariants anchor this file, matching the design contract of
+:mod:`repro.obs.sketch` / :mod:`repro.obs.slo`:
+
+- **lossless merge** — a fleet sketch folded from shard partitions is
+  bit-identical (buckets *and* percentiles) to the sketch of the
+  concatenated stream, for every partition and merge order;
+- **bounded error** — every percentile estimate is within the sketch's
+  relative accuracy of the true order statistic;
+- **bounded memory** — the flight recorder never holds more than its
+  capacity, no matter how long telemetry streams in.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    FLIGHT_FORMAT,
+    SLO_ENV,
+    FlightRecorder,
+    SloMonitor,
+    SloObjective,
+    SloPolicy,
+    evaluate_objectives,
+    is_flight_record,
+    load_flight_record,
+    parse_objectives,
+    slo_from_env,
+    summarize_flight_record,
+)
+from repro.serve.metrics import Histogram, ServeMetrics, SnapshotDelta
+
+
+def _exact_percentile(values, p):
+    """Nearest-rank-with-interpolation-free reference: the order statistic
+    at ``floor(p/100 * (n-1))``-ish rank, matching the sketch's rank rule."""
+    ordered = sorted(values)
+    rank = p / 100.0 * (len(ordered) - 1)
+    # The sketch walks cumulative counts until cum > rank, i.e. picks the
+    # value at index ceil(rank) when rank is fractional, index rank+1's
+    # predecessor otherwise — both are order statistics, so bounding
+    # against the two neighbours is the honest check.
+    lo = ordered[int(math.floor(rank))]
+    hi = ordered[min(int(math.floor(rank)) + 1, len(ordered) - 1)]
+    return lo, hi
+
+
+# ----------------------------------------------------------------------
+# QuantileSketch
+# ----------------------------------------------------------------------
+
+
+class TestSketchBasics:
+    def test_exact_moments(self):
+        s = QuantileSketch()
+        for v in (1.0, 2.0, 3.0, 10.0):
+            s.observe(v)
+        assert s.count == 4
+        assert s.total == 16.0
+        assert s.mean == 4.0
+        assert s.min == 1.0
+        assert s.max == 10.0
+
+    def test_empty_sketch(self):
+        s = QuantileSketch()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.min == 0.0 and s.max == 0.0
+        assert s.percentile(99) == 0.0
+        assert s.fraction_above(1.0) == 0.0
+
+    def test_percentile_validation(self):
+        s = QuantileSketch()
+        s.observe(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(-1)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_accuracy=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_accuracy=1.0)
+
+    def test_extremes_are_exact(self):
+        s = QuantileSketch()
+        for v in (0.123, 45.6, 7.89):
+            s.observe(v)
+        assert s.percentile(0) == 0.123
+        assert s.percentile(100) == 45.6
+
+    def test_zero_and_negative_values(self):
+        s = QuantileSketch()
+        for v in (-5.0, -1.0, 0.0, 1.0, 5.0):
+            s.observe(v)
+        assert s.count == 5
+        assert s.min == -5.0 and s.max == 5.0
+        # The median sits in the exact zero bucket.
+        assert s.percentile(50) == 0.0
+        p10 = s.percentile(10)
+        assert p10 == pytest.approx(-5.0, rel=2 * DEFAULT_RELATIVE_ACCURACY)
+
+    def test_relative_error_bound_on_lognormal(self):
+        rng = np.random.default_rng(7)
+        values = np.exp(rng.normal(1.0, 1.5, size=10_000)).tolist()
+        s = QuantileSketch()
+        for v in values:
+            s.observe(v)
+        for p in (50, 90, 95, 99, 99.9):
+            lo, hi = _exact_percentile(values, p)
+            est = s.percentile(p)
+            bound = DEFAULT_RELATIVE_ACCURACY * 1.0001  # float-walk slack
+            assert est >= lo * (1 - bound)
+            assert est <= hi * (1 + bound)
+
+    def test_count_above_semantics(self):
+        s = QuantileSketch()
+        for v in (0.5, 1.0, 10.0, 100.0):
+            s.observe(v)
+        # Buckets wholly above the threshold only: values within
+        # ±accuracy of the threshold may be excluded, never included
+        # spuriously from far below.
+        assert s.count_above(50.0) == 1
+        assert s.count_above(5.0) == 2
+        assert s.count_above(0.0) == 4
+        assert s.fraction_above(50.0) == 0.25
+        with pytest.raises(ValueError):
+            s.count_above(-1.0)
+
+    def test_merge_type_and_accuracy_guards(self):
+        s = QuantileSketch()
+        with pytest.raises(TypeError):
+            s.merge(Histogram())
+        with pytest.raises(ValueError):
+            s.merge(QuantileSketch(relative_accuracy=0.02))
+        with pytest.raises(TypeError):
+            s.delta(object())  # type: ignore[arg-type]
+
+
+class TestSketchMergeLossless:
+    def test_merged_percentiles_bit_identical_to_concatenated(self):
+        """The acceptance criterion: shard-partitioned stream, merged
+        sketch p99 bit-for-bit equal to the whole-stream sketch p99."""
+        rng = np.random.default_rng(3)
+        values = np.exp(rng.normal(0.0, 2.0, size=4000)).tolist()
+        whole = QuantileSketch()
+        for v in values:
+            whole.observe(v)
+        shards = [QuantileSketch() for _ in range(4)]
+        for i, v in enumerate(values):
+            shards[i % 4].observe(v)
+        merged = QuantileSketch()
+        for part in shards:
+            merged.merge(part)
+        assert merged.count == whole.count
+        assert merged._buckets == whole._buckets
+        for p in (50, 90, 95, 99, 99.9, 0, 100):
+            assert merged.percentile(p) == whole.percentile(p)  # bitwise
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=1e-6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=200,
+        ),
+        cut=st.integers(0, 200),
+    )
+    @settings(max_examples=60)
+    def test_any_partition_merges_to_the_whole(self, values, cut):
+        cut = cut % (len(values) + 1)
+        whole, left, right = (QuantileSketch() for _ in range(3))
+        for v in values:
+            whole.observe(v)
+        for v in values[:cut]:
+            left.observe(v)
+        for v in values[cut:]:
+            right.observe(v)
+        merged = left.copy().merge(right)
+        assert merged._buckets == whole._buckets
+        assert merged._zero == whole._zero
+        assert (merged.count, merged.min, merged.max) == (
+            whole.count, whole.min, whole.max
+        )
+        for p in (50, 95, 99):
+            assert merged.percentile(p) == whole.percentile(p)
+
+    @given(
+        chunks=st.lists(
+            st.lists(
+                st.floats(
+                    min_value=1e-6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                max_size=30,
+            ),
+            min_size=2, max_size=5,
+        )
+    )
+    @settings(max_examples=40)
+    def test_merge_commutative_and_associative_on_buckets(self, chunks):
+        sketches = []
+        for chunk in chunks:
+            s = QuantileSketch()
+            for v in chunk:
+                s.observe(v)
+            sketches.append(s)
+        forward = QuantileSketch()
+        for s in sketches:
+            forward.merge(s)
+        backward = QuantileSketch()
+        for s in reversed(sketches):
+            backward.merge(s)
+        assert forward._buckets == backward._buckets
+        assert forward.count == backward.count
+        if forward.count:
+            for p in (50, 99):
+                assert forward.percentile(p) == backward.percentile(p)
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=1e-3, max_value=1e3,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=100,
+        ),
+        p=st.floats(min_value=1.0, max_value=99.9),
+    )
+    @settings(max_examples=60)
+    def test_relative_error_bound_property(self, values, p):
+        s = QuantileSketch()
+        for v in values:
+            s.observe(v)
+        lo, hi = _exact_percentile(values, p)
+        est = s.percentile(p)
+        bound = DEFAULT_RELATIVE_ACCURACY * 1.0001
+        assert est >= lo * (1 - bound)
+        assert est <= hi * (1 + bound)
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60)
+    def test_serialization_round_trip(self, values):
+        s = QuantileSketch()
+        for v in values:
+            s.observe(v)
+        payload = json.dumps(s.to_dict())  # must be JSON-safe
+        back = QuantileSketch.from_dict(json.loads(payload))
+        assert back == s
+
+    def test_from_dict_rejects_foreign_kinds(self):
+        with pytest.raises(ValueError):
+            QuantileSketch.from_dict({"kind": "histogram"})
+
+
+class TestSketchWindows:
+    def test_delta_is_exactly_the_window(self):
+        cum = QuantileSketch()
+        first = [1.0, 2.0, 50.0]
+        second = [3.0, 0.5, 200.0, 7.0]
+        for v in first:
+            cum.observe(v)
+        base = cum.copy()
+        for v in second:
+            cum.observe(v)
+        window = cum.delta(base)
+        expect = QuantileSketch()
+        for v in second:
+            expect.observe(v)
+        assert window._buckets == expect._buckets
+        assert window.count == expect.count
+        assert window.total == pytest.approx(expect.total)
+        for p in (50, 99):
+            assert window.percentile(p) == expect.percentile(p)
+
+    def test_delta_of_identical_captures_is_empty(self):
+        cum = QuantileSketch()
+        cum.observe(4.2)
+        window = cum.delta(cum.copy())
+        assert window.count == 0
+        assert window.total == 0.0
+
+    def test_delta_window_extrema_within_bound(self):
+        cum = QuantileSketch()
+        cum.observe(1000.0)
+        base = cum.copy()
+        cum.observe(3.0)
+        cum.observe(9.0)
+        window = cum.delta(base)
+        # Lifetime min/max do not leak in; window extrema are bucket
+        # estimates of the window's own values.
+        assert window.min == pytest.approx(3.0, rel=2 * DEFAULT_RELATIVE_ACCURACY)
+        assert window.max == pytest.approx(9.0, rel=2 * DEFAULT_RELATIVE_ACCURACY)
+
+
+# ----------------------------------------------------------------------
+# Objectives and policies
+# ----------------------------------------------------------------------
+
+
+class TestObjectiveParsing:
+    def test_basic_objective(self):
+        o = SloObjective.parse("coalesce_p99_ms < 5")
+        assert o.stream == "coalesce_latency_ms"
+        assert o.quantile == 99.0
+        assert o.threshold_ms == 5.0
+        assert o.budget == pytest.approx(0.01)
+
+    def test_p999_reads_as_decimal_tail(self):
+        o = SloObjective.parse("service_p999_ms<20")
+        assert o.stream == "flush_service_ms"
+        assert o.quantile == pytest.approx(99.9)
+        assert o.budget == pytest.approx(0.001)
+
+    def test_unknown_stream_passes_through(self):
+        o = SloObjective.parse("queue_wait_p95_ms<1.5")
+        assert o.stream == "queue_wait"
+        assert o.quantile == 95.0
+
+    def test_malformed_specs_raise(self):
+        for bad in ("p99<5", "coalesce_p99_ms", "coalesce_p99_ms<-5",
+                    "coalesce_p99_ms<0", "coalesce_p00_ms<5", "", "<5"):
+            with pytest.raises(ValueError):
+                SloObjective.parse(bad)
+
+    def test_parse_objectives_list_and_duplicates(self):
+        objs = parse_objectives(DEFAULT_OBJECTIVES)
+        assert [o.stream for o in objs] == [
+            "coalesce_latency_ms", "flush_service_ms"
+        ]
+        with pytest.raises(ValueError):
+            parse_objectives("coalesce_p99_ms<5,coalesce_p99_ms<5")
+        with pytest.raises(ValueError):
+            parse_objectives(" , ")
+
+    def test_policy_validation(self):
+        objs = parse_objectives("coalesce_p99_ms<5")
+        with pytest.raises(ValueError):
+            SloPolicy(objectives=())
+        with pytest.raises(ValueError):
+            SloPolicy(objectives=objs, fast_window_s=10.0, slow_window_s=5.0)
+        with pytest.raises(ValueError):
+            SloPolicy(objectives=objs, burn_threshold=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(objectives=objs, poll_interval_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# The monitor
+# ----------------------------------------------------------------------
+
+
+class _FakeMetrics:
+    def __init__(self):
+        self.histograms = {"coalesce_latency_ms": QuantileSketch()}
+
+    def observe(self, *values):
+        for v in values:
+            self.histograms["coalesce_latency_ms"].observe(v)
+
+
+def _monitor(metrics, flight=None, on_breach=None, **policy_kwargs):
+    policy = SloPolicy.parse("coalesce_p99_ms<10", **policy_kwargs)
+    return SloMonitor(policy, lambda: metrics, flight=flight, on_breach=on_breach)
+
+
+class TestSloMonitor:
+    def test_healthy_stream_stays_ok(self):
+        metrics = _FakeMetrics()
+        mon = _monitor(metrics)
+        metrics.observe(*[1.0] * 100)
+        (status,) = mon.poll(now=0.0)
+        assert status.state == "ok"
+        assert status.burn_fast == 0.0
+        assert mon.burn_rates() == {"coalesce_p99_ms<10": 0.0}
+
+    def test_breach_needs_both_windows(self):
+        metrics = _FakeMetrics()
+        mon = _monitor(metrics, fast_window_s=1.0, slow_window_s=10.0)
+        # Healthy history spread across the slow window.
+        mon.poll(now=0.0)
+        for t in range(1, 10):
+            metrics.observe(*[1.0] * 100)
+            mon.poll(now=float(t))
+        # A fast-window latency spike: 100% bad in the fast window,
+        # still diluted below budget in the slow one (5 of 905).
+        metrics.observe(*[100.0] * 5)
+        (status,) = mon.poll(now=10.0)
+        assert status.burn_fast > 1.0
+        assert status.state == "warn"
+        # Sustained badness eventually floods the slow window too.
+        for t in range(11, 25):
+            metrics.observe(*[100.0] * 200)
+            statuses = mon.poll(now=float(t))
+        assert statuses[0].state == "breach"
+
+    def test_breach_transition_fires_once_and_recovers(self):
+        metrics = _FakeMetrics()
+        seen = []
+        flight = FlightRecorder(capacity=64)
+        mon = _monitor(
+            metrics, flight=flight, on_breach=seen.append,
+            fast_window_s=1.0, slow_window_s=1.0,
+        )
+        metrics.observe(*[100.0] * 50)
+        mon.poll(now=0.0)
+        mon.poll(now=0.5)
+        assert mon.breaches == 1
+        assert len(seen) == 1
+        # Recovery: later windows contain only healthy observations.
+        metrics.observe(*[1.0] * 500)
+        mon.poll(now=5.0)
+        assert mon.statuses[0].state == "ok"
+        # ... and a fresh breach counts again.
+        metrics.observe(*[100.0] * 5000)
+        mon.poll(now=6.0)
+        assert mon.breaches == 2
+        kinds = {e.kind for e in flight._entries}
+        assert "slo_breach" in kinds and "slo" in kinds
+
+    def test_windows_are_lossless_slices(self):
+        metrics = _FakeMetrics()
+        mon = _monitor(metrics, fast_window_s=1.0, slow_window_s=30.0)
+        metrics.observe(*[100.0] * 10)  # old badness
+        mon.poll(now=0.0)
+        metrics.observe(*[1.0] * 10)  # recent health
+        (status,) = mon.poll(now=5.0)
+        # The fast window holds exactly the 10 recent observations.
+        assert status.window_count_fast == 10
+        assert status.bad_frac_fast == 0.0
+        assert status.window_count_slow == 20
+        assert status.bad_frac_slow == pytest.approx(0.5)
+
+    def test_reservoir_stream_is_rejected(self):
+        class Reservoir:
+            histograms = {"coalesce_latency_ms": Histogram()}
+
+        mon = _monitor(Reservoir())
+        with pytest.raises(TypeError):
+            mon.poll(now=0.0)
+
+    def test_missing_stream_is_rejected(self):
+        class Empty:
+            histograms = {}
+
+        mon = _monitor(Empty())
+        with pytest.raises(ValueError):
+            mon.poll(now=0.0)
+
+    def test_status_dict_shape(self):
+        metrics = _FakeMetrics()
+        mon = _monitor(metrics)
+        metrics.observe(1.0)
+        mon.poll(now=0.0)
+        d = mon.status_dict()
+        assert d["objectives"] == ["coalesce_p99_ms<10"]
+        assert d["evaluations"] == 1
+        assert d["breaches"] == 0
+        assert d["statuses"][0]["state"] == "ok"
+        json.dumps(d)  # report-safe
+
+    def test_slo_from_env(self, monkeypatch):
+        metrics = _FakeMetrics()
+        monkeypatch.delenv(SLO_ENV, raising=False)
+        assert slo_from_env(lambda: metrics) is None
+        monkeypatch.setenv(SLO_ENV, "off")
+        assert slo_from_env(lambda: metrics) is None
+        monkeypatch.setenv(SLO_ENV, "1")
+        mon = slo_from_env(lambda: metrics)
+        assert [o.name for o in mon.slo.objectives] == [
+            o.name for o in parse_objectives(DEFAULT_OBJECTIVES)
+        ]
+        monkeypatch.setenv(SLO_ENV, "coalesce_p95_ms<7")
+        mon = slo_from_env(lambda: metrics)
+        assert mon.slo.objectives[0].quantile == 95.0
+        monkeypatch.setenv(SLO_ENV, "not an objective")
+        with pytest.raises(ValueError):
+            slo_from_env(lambda: metrics)
+
+
+class TestEvaluateObjectives:
+    def test_sketch_verdicts(self):
+        metrics = _FakeMetrics()
+        metrics.observe(*[1.0] * 99, 100.0)
+        good = parse_objectives("coalesce_p99_ms<200")
+        bad = parse_objectives("coalesce_p50_ms<0.5")
+        (entry,) = evaluate_objectives(metrics, good)
+        assert entry["ok"] and entry["bad_frac"] == 0.0
+        (entry,) = evaluate_objectives(metrics, bad)
+        assert not entry["ok"]
+        assert entry["burn"] > 1.0
+
+    def test_missing_stream(self):
+        metrics = _FakeMetrics()
+        (entry,) = evaluate_objectives(
+            metrics, parse_objectives("nonexistent_p99_ms<5")
+        )
+        assert not entry["ok"]
+        assert "missing" in entry["error"]
+
+
+# ----------------------------------------------------------------------
+# The flight recorder
+# ----------------------------------------------------------------------
+
+
+class _Span:
+    def __init__(self, name, **attrs):
+        self.name = name
+        self.cat = "test"
+        self.t0 = 0.0
+        self.t1 = 1.0
+        self.span_id = 1
+        self.parent_id = None
+        self.request = None
+        self.track = "t"
+        self.attrs = attrs
+
+
+class TestFlightRecorder:
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=4)
+
+    def test_ring_bounded_under_sustained_load(self):
+        cap = 32
+        rec = FlightRecorder(capacity=cap)
+        for i in range(10 * cap):
+            rec.note("tick", i=i)
+            assert len(rec) <= cap
+        assert len(rec) == cap
+        entries = list(rec._entries)
+        # Most recent entries retained, in capture order, seq monotonic.
+        assert [e.payload["i"] for e in entries] == list(
+            range(9 * cap, 10 * cap)
+        )
+        assert [e.seq for e in entries] == sorted(e.seq for e in entries)
+
+    @given(n=st.integers(0, 500))
+    @settings(max_examples=25)
+    def test_ring_bound_property(self, n):
+        rec = FlightRecorder(capacity=16)
+        for i in range(n):
+            rec.on_counter("c", float(i), {"v": i})
+        assert len(rec) == min(n, 16)
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        rec = FlightRecorder(capacity=64)
+        rec.note("decision", reason="grow")
+        rec.on_counter("control.knobs", 1.0, {"target_batch": 64})
+        out = rec.dump(path, reason="manual")
+        assert out == path
+        assert is_flight_record(path)
+        header, entries = load_flight_record(path)
+        assert header["format"] == FLIGHT_FORMAT
+        assert header["reason"] == "manual"
+        assert [e["kind"] for e in entries] == ["decision", "counter"]
+        text = summarize_flight_record(header, entries)
+        assert "reason=manual" in text
+        assert "decision" in text
+
+    def test_dump_requires_a_path(self):
+        rec = FlightRecorder(capacity=16)
+        with pytest.raises(ValueError):
+            rec.dump()
+        assert rec.trigger("whatever") is None  # no path: no-op
+
+    def test_incident_span_auto_triggers(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        rec = FlightRecorder(capacity=16, path=path)
+        rec.on_span(_Span("request"))
+        assert rec.dumps == []
+        rec.on_span(_Span("shard_down", shard=2))
+        assert rec.dumps == [("shard_down", path)]
+        header, entries = load_flight_record(path)
+        assert header["reason"] == "shard_down"
+        text = summarize_flight_record(header, entries)
+        assert "incident: shard_down shard=2" in text
+
+    def test_truncated_record_detected(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        rec = FlightRecorder(capacity=16)
+        for i in range(5):
+            rec.note("tick", i=i)
+        rec.dump(path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_flight_record(path)
+
+    def test_sniff_rejects_other_files(self, tmp_path):
+        other = tmp_path / "trace.jsonl"
+        other.write_text('{"name": "request"}\n')
+        assert not is_flight_record(str(other))
+        assert not is_flight_record(str(tmp_path / "missing.jsonl"))
+
+
+# ----------------------------------------------------------------------
+# Threading through the serving layer
+# ----------------------------------------------------------------------
+
+
+class TestServeIntegration:
+    def test_latency_families_are_sketches(self):
+        m = ServeMetrics()
+        assert isinstance(m.histograms["coalesce_latency_ms"], QuantileSketch)
+        assert isinstance(m.histograms["flush_service_ms"], QuantileSketch)
+        assert isinstance(m.histograms["batch_fill"], Histogram)
+
+    def test_sharded_merge_is_bit_identical(self):
+        """Fleet p99 from merged shard metrics == whole-stream p99."""
+        rng = np.random.default_rng(11)
+        values = np.exp(rng.normal(0.0, 1.5, size=900)).tolist()
+        whole = ServeMetrics()
+        parts = [ServeMetrics() for _ in range(3)]
+        for i, v in enumerate(values):
+            whole.histograms["coalesce_latency_ms"].observe(v)
+            parts[i % 3].histograms["coalesce_latency_ms"].observe(v)
+        merged = ServeMetrics.merged(parts)
+        a = merged.histograms["coalesce_latency_ms"]
+        b = whole.histograms["coalesce_latency_ms"]
+        for p in (50, 95, 99, 99.9):
+            assert a.percentile(p) == b.percentile(p)  # bitwise
+
+    def test_snapshot_delta_slo_round_trip(self):
+        window = SnapshotDelta(
+            dt=0.1, counters={"completed": 5}, hists={},
+            slo={"coalesce_p99_ms<5": 2.5, "service_p99_ms<20": 0.1},
+        )
+        assert window.max_burn_rate == 2.5
+        back = SnapshotDelta.from_dict(
+            json.loads(json.dumps(window.to_dict()))
+        )
+        assert back.slo == window.slo
+        # Empty slo is elided from the journaled dict entirely.
+        empty = SnapshotDelta(dt=0.1, counters={}, hists={})
+        assert "slo" not in empty.to_dict()
+        assert empty.max_burn_rate == 0.0
+
+    def test_aimd_sheds_latency_on_burn(self):
+        from repro.serve.control.strategy import AIMDStrategy, Knobs
+
+        s = AIMDStrategy()
+        knobs = Knobs(64, 2.0)
+        burning = SnapshotDelta(
+            dt=0.1, counters={"completed": 10, "flushes": 2},
+            hists={}, slo={"coalesce_p99_ms<5": 3.0},
+        )
+        proposed, reason = s.propose(burning, knobs)
+        assert reason == "slo_burn"
+        assert proposed.max_delay_ms < knobs.max_delay_ms
+        assert proposed.target_batch == knobs.target_batch
+        # Burn at or under the threshold defers to the normal rules.
+        calm = SnapshotDelta(
+            dt=0.1, counters={}, hists={}, slo={"coalesce_p99_ms<5": 0.5}
+        )
+        _, reason = s.propose(calm, knobs)
+        assert reason != "slo_burn"
+
+    def test_replay_trace_monitor_and_summary(self):
+        from repro.serve.client import replay_trace, synthetic_trace
+
+        trace = synthetic_trace(requests=60, rate_hz=4000.0, seed=5)
+        summary = replay_trace(trace, slo="coalesce_p99_ms<250")
+        assert summary.slo is not None
+        assert summary.slo["evaluations"] >= 1
+        assert summary.slo["breaches"] == 0
+
+    def test_replay_trace_kill_shard_validation(self):
+        from repro.serve.client import replay_trace, synthetic_trace
+        from repro.serve.policy import ServePolicy
+
+        trace = synthetic_trace(requests=10, rate_hz=4000.0)
+        with pytest.raises(ValueError, match="sharded"):
+            replay_trace(trace, kill_shard=0)
+        with pytest.raises(Exception, match="no shard"):
+            replay_trace(
+                trace,
+                policy=ServePolicy(shards=2),
+                kill_shard=7,
+                kill_at_s=0.0,
+            )
+
+    def test_forced_breach_dumps_flight_record(self, tmp_path):
+        """Acceptance: a forced breach during a sharded demo produces a
+        complete flight record that the summarizer reads back."""
+        from repro.obs import Tracer, set_tracer
+        from repro.serve.client import replay_trace, synthetic_trace
+        from repro.serve.policy import ServePolicy
+
+        path = str(tmp_path / "flight.jsonl")
+        flight = FlightRecorder(capacity=512, path=path)
+        tracer = Tracer([flight])
+        previous = set_tracer(tracer)
+        try:
+            trace = synthetic_trace(requests=200, rate_hz=2000.0, seed=2)
+            summary = replay_trace(
+                trace,
+                policy=ServePolicy(shards=2, request_timeout_s=None),
+                slo="coalesce_p99_ms<0.001",  # unmeetable: must breach
+                flight=flight,
+                kill_shard=1,
+                kill_at_s=0.01,
+            )
+        finally:
+            set_tracer(previous)
+            tracer.close()
+        assert summary.slo["breaches"] >= 1
+        assert summary.flight is flight
+        reasons = [reason for reason, _ in flight.dumps]
+        assert any(r == "shard_down" for r in reasons)
+        assert any(r.startswith("slo_breach") for r in reasons)
+        header, entries = load_flight_record(path)
+        kinds = {e["kind"] for e in entries}
+        assert "slo" in kinds
+        text = summarize_flight_record(header, entries)
+        assert "breach:" in text
+
+    def test_prom_renders_sketch_p999(self):
+        from repro.obs import render_prometheus
+
+        m = ServeMetrics()
+        for v in (1.0, 2.0, 5.0):
+            m.histograms["coalesce_latency_ms"].observe(v)
+            m.histograms["batch_fill"].observe(0.5)
+        text = render_prometheus(m)
+        assert 'coalesce_latency_ms{quantile="0.999"}' in text
+        # Reservoir families keep the classic three quantiles.
+        assert 'batch_fill{quantile="0.999"}' not in text
+
+
+# ----------------------------------------------------------------------
+# Histogram.merge (the proportional-thinning fix)
+# ----------------------------------------------------------------------
+
+
+class TestHistogramMergeProportional:
+    def test_mismatched_strides_merge_proportionally(self):
+        left, right = Histogram(max_samples=64), Histogram(max_samples=64)
+        for _ in range(200):
+            left.observe(1.0)  # forces left's stride up
+        for _ in range(40):
+            right.observe(100.0)
+        merged = Histogram(max_samples=64).merge(left).merge(right)
+        assert merged.count == 240
+        ones = sum(1 for v in merged._samples if v == 1.0)
+        hundreds = sum(1 for v in merged._samples if v == 100.0)
+        # 200:40 source split — the retained reservoir must reflect it
+        # instead of crushing the larger stream to a handful of samples.
+        assert ones > hundreds
+        assert hundreds >= 1
+        frac = ones / (ones + hundreds)
+        assert 0.6 <= frac <= 0.95
+
+    def test_merge_exact_when_unthinned(self):
+        a, b = Histogram(max_samples=64), Histogram(max_samples=64)
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (3.0, 4.0):
+            b.observe(v)
+        merged = Histogram(max_samples=64).merge(a).merge(b)
+        assert sorted(merged._samples) == [1.0, 2.0, 3.0, 4.0]
+        assert merged.count == 4
+        assert merged.total == 10.0
+
+
+# ----------------------------------------------------------------------
+# Replay report v3 + the SLO gate
+# ----------------------------------------------------------------------
+
+
+class TestReplayV3:
+    def _report(self):
+        from repro.serve.client import synthetic_trace
+        from repro.serve.replay import policy_grid, run_replay_grid
+
+        trace = synthetic_trace(requests=60, rate_hz=4000.0, seed=9)
+        cells = policy_grid(target_batches=(16,), max_delays_ms=(2.0,))
+        return run_replay_grid(trace, cells, slo="coalesce_p99_ms<250")
+
+    def test_v3_record_fields(self):
+        from repro.serve.replay import REPORT_SCHEMA
+
+        report = self._report()
+        assert report["schema"] == REPORT_SCHEMA == "repro.bench_serve_replay/v3"
+        run = report["runs"][0]
+        assert run["coalesce_p999_ms"] >= run["coalesce_p99_ms"]
+        assert run["service_p99_ms"] >= run["service_p95_ms"]
+        assert run["slo"]["ok"] is True
+        assert run["slo"]["results"][0]["objective"] == "coalesce_p99_ms<250"
+
+    def test_v2_reports_still_load(self, tmp_path):
+        from repro.serve.replay import load_report, save_report
+
+        report = self._report()
+        report["schema"] = "repro.bench_serve_replay/v2"
+        path = str(tmp_path / "v2.json")
+        save_report(path, report)
+        assert load_report(path)["schema"] == "repro.bench_serve_replay/v2"
+
+    def test_compare_slo_findings(self):
+        from repro.serve.replay import compare_slo, render_slo
+
+        good = {
+            "runs": [{"label": "a", "ok": True, "slo": {
+                "ok": True,
+                "results": [{"objective": "x", "ok": True}],
+            }}]
+        }
+        assert compare_slo(good) == []
+        violated = {
+            "runs": [{"label": "a", "ok": True, "slo": {
+                "ok": False,
+                "results": [{
+                    "objective": "coalesce_p99_ms<1", "ok": False,
+                    "quantile": 99.0, "observed_ms": 9.0,
+                    "bad_frac": 0.4, "burn": 40.0,
+                }],
+            }}]
+        }
+        findings = compare_slo(violated)
+        assert len(findings) == 1 and "violated" in findings[0]
+        assert "SLO GATE" in render_slo(findings, violated)
+        missing = {"runs": [{"label": "a", "ok": True}]}
+        assert any("no slo block" in f for f in compare_slo(missing))
+
+    def test_p99_substitution_is_flagged(self):
+        """Satellite: a pre-v2 report without p99 raises a gate finding
+        instead of silently gating the tail against p95."""
+        from repro.serve.replay import compare_controlled
+
+        def run(label, controller=None, with_p99=True):
+            r = {
+                "label": label, "ok": True, "conservation_ok": True,
+                "throughput_rps": 1000.0, "coalesce_p95_ms": 2.0,
+                "policy": {"backend": "inline", "shards": 1},
+            }
+            if with_p99:
+                r["coalesce_p99_ms"] = 3.0
+            if controller:
+                r["controller"] = {"strategy": controller, "deterministic": True}
+            return r
+
+        report = {"runs": [
+            run("a", with_p99=False),
+            run("a/ctl-aimd", controller="aimd"),
+        ]}
+        findings = compare_controlled(report)
+        assert any("lack" in f and "coalesce_p99_ms" in f for f in findings)
+        report = {"runs": [
+            run("a"),
+            run("a/ctl-aimd", controller="aimd", with_p99=False),
+        ]}
+        findings = compare_controlled(report)
+        assert any("controlled run lack" in f for f in findings)
+        healthy = {"runs": [
+            run("a"), run("a/ctl-aimd", controller="aimd"),
+        ]}
+        assert compare_controlled(healthy) == []
