@@ -2,7 +2,7 @@
 
 Run:  PYTHONPATH=src python benchmarks/traces/make_traces.py [--out-dir DIR]
 
-The three committed traces under ``benchmarks/traces/`` are built here
+The committed traces under ``benchmarks/traces/`` are built here
 from first principles, fully deterministically — regeneration must
 reproduce the committed files byte for byte (a test enforces it), which
 is what makes their provenance auditable.  See ``README.md`` in this
@@ -133,6 +133,74 @@ def als_graph_trace() -> list[RecordedEvent]:
     return sorted(jobs, key=lambda e: e.at)
 
 
+def multi_tenant_trace() -> list[RecordedEvent]:
+    """Tiered multi-tenant traffic: a gold trickle under a best-effort flood.
+
+    Five tenants share 400 ms of wall clock (``repro.trace/v3`` —
+    every event carries ``tier``/``tenant``):
+
+    * ``vip`` (gold) trickles 60 evenly spaced requests — the latency-
+      sensitive stream whose coalesce p99 the tier gate budgets.
+    * ``team0..team2`` (silver) each send 60 requests, phase-offset so
+      the streams interleave; one request is deliberately non-SPD.
+    * ``hot`` (best_effort) floods 250 requests at 625 Hz — far beyond
+      the default best-effort quota (120/s, burst 24), so a working
+      admission layer sheds most of the flood while the other tenants
+      complete in full.  That is what keeps Jain's fairness index high
+      *and* what the ``replay-check --tiers`` shed floor asserts.
+
+    Quota shedding depends only on the arrival schedule against the
+    refill rate — not on machine speed — so the shed fraction and the
+    fairness index are stable gate inputs across hosts.
+    """
+    rng = np.random.default_rng(41)
+    duration = 0.4
+    events = []
+    i = 0
+
+    def emit(at, tier, tenant, n, solve=False, nonspd=False) -> None:
+        nonlocal i
+        events.append(
+            RecordedEvent(
+                at=round(at, 6),
+                op="solve" if solve else "factor",
+                n=n,
+                nrhs=1 if solve else 0,
+                seed=derive_seed(41, i),
+                nonspd=nonspd,
+                tier=tier,
+                tenant=tenant,
+            )
+        )
+        i += 1
+
+    for k in range(60):
+        emit(k * duration / 60, "gold", "vip", 8, solve=k % 3 == 2)
+    for team in range(3):
+        for k in range(60):
+            n = int(rng.choice((8, 16, 32)))
+            emit(
+                k * duration / 60 + (team + 1) * duration / 240,
+                "silver",
+                f"team{team}",
+                n,
+                solve=bool(rng.random() < 0.3),
+                nonspd=team == 1 and k == 37,
+            )
+    for k in range(250):
+        n = int(rng.choice((8, 16)))
+        emit(
+            k * duration / 250,
+            "best_effort",
+            "hot",
+            n,
+            solve=bool(rng.random() < 0.25),
+            nonspd=k == 143,
+        )
+    # Stable sort by arrival keeps same-instant events in emit order.
+    return sorted(events, key=lambda e: e.at)
+
+
 TRACES = {
     "uniform_small": (
         uniform_small_trace,
@@ -163,6 +231,15 @@ TRACES = {
             "n_users": 24,
             "n_items": 12,
             "iterations": 2,
+        },
+    ),
+    "multi_tenant": (
+        multi_tenant_trace,
+        {
+            "name": "multi_tenant",
+            "source": "make_traces.multi_tenant_trace",
+            "tenants": 5,
+            "tiers": 3,
         },
     ),
 }

@@ -196,6 +196,7 @@ def _cmd_serve_demo(args) -> int:
         render_controller_prometheus,
         render_prometheus,
         render_prometheus_sharded,
+        render_tier_prometheus,
         set_tracer,
     )
     from repro.serve import ServePolicy, run_demo
@@ -256,6 +257,7 @@ def _cmd_serve_demo(args) -> int:
             flight=flight,
             kill_shard=args.kill_shard,
             kill_at_ms=args.kill_at_ms,
+            tiers=args.tiers or None,
         )
     finally:
         if tracer is not None:
@@ -282,6 +284,8 @@ def _cmd_serve_demo(args) -> int:
             prom = render_prometheus(summary.metrics)
         if summary.journal is not None:
             prom += render_controller_prometheus(summary.journal.status())
+        # Empty string for untiered runs, so plain demos are untouched.
+        prom += render_tier_prometheus(summary.metrics)
         with open(args.prom_out, "w", encoding="utf-8") as fh:
             fh.write(prom)
         written.append(args.prom_out)
@@ -358,12 +362,14 @@ def _cmd_replay_check(args) -> int:
         compare_controlled,
         compare_reports,
         compare_slo,
+        compare_tiers,
         load_report,
         policy_grid,
         render_comparison,
         render_controlled,
         render_report,
         render_slo,
+        render_tiers,
         run_replay_grid,
         save_report,
     )
@@ -390,6 +396,7 @@ def _cmd_replay_check(args) -> int:
             placements=tuple(args.placements.split(",")),
             controllers=(None, *controllers),
             graphs=(False, True) if args.graph else (False,),
+            tiers=(None, args.tiers) if args.tiers else (None,),
         )
         if controllers:
             from dataclasses import replace
@@ -448,6 +455,15 @@ def _cmd_replay_check(args) -> int:
         print()
         print(render_slo(slo_findings, current))
         findings = list(findings) + list(slo_findings)
+
+    gate_tiers = bool(args.tiers) or any(
+        run.get("tiers") for run in current.get("runs", [])
+    )
+    if gate_tiers:
+        tier_findings = compare_tiers(baseline, current)
+        print()
+        print(render_tiers(tier_findings, current))
+        findings = list(findings) + list(tier_findings)
     return 1 if findings else 0
 
 
@@ -645,6 +661,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="flight-recorder ring size (most recent entries retained)",
     )
     p.add_argument(
+        "--tiers", nargs="?", const="1", default="",
+        help="SLA tiers and admission control: '1' uses the default "
+             "gold/silver/best_effort policy, or give a spec like "
+             "'best_effort:rate=5,burst=2;default=best_effort' "
+             "(default: $REPRO_SERVE_TIERS or off — see docs/tiers.md)",
+    )
+    p.add_argument(
         "--kill-shard", type=int, default=None,
         help="fault injection: kill this shard id mid-replay "
              "(needs --shards > 1)",
@@ -762,6 +785,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="gate every run's whole-run SLO verdict against these "
              "objectives, e.g. 'coalesce_p99_ms<50' — adds an slo block "
              "to freshly generated reports (see docs/slo.md)",
+    )
+    p.add_argument(
+        "--tiers", nargs="?", const="1", default="",
+        help="add /tiers grid cells replayed under admission control "
+             "('1' for the default policy, or a TierPolicy spec) and "
+             "gate per-tier p99 budgets, best-effort shedding, and "
+             "tenant fairness with compare_tiers (see docs/tiers.md)",
     )
     p.set_defaults(func=_cmd_replay_check)
 

@@ -24,6 +24,7 @@ from repro.obs.prom import (
     render_graph_prometheus,
     render_prometheus,
     render_prometheus_sharded,
+    render_tier_prometheus,
 )
 from repro.obs.sinks import (
     ChromeTraceSink,
@@ -107,6 +108,7 @@ __all__ = [
     "render_graph_prometheus",
     "render_prometheus",
     "render_prometheus_sharded",
+    "render_tier_prometheus",
     "set_tracer",
     "shard_summary",
     "slo_from_env",

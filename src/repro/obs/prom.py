@@ -201,7 +201,12 @@ def render_prometheus_sharded(
         lines.append(f"# TYPE {full} summary")
 
         def _hist(m, name=name):
-            return m.histograms[name]
+            # Per-tier families exist only on shards that saw that tier;
+            # an absent family reads as an empty distribution.
+            found = m.histograms.get(name)
+            if found is None:
+                return type(merged.histograms[name])()
+            return found
 
         for q in _quantiles_for(merged.histograms[name]):
             _samples(
@@ -216,6 +221,94 @@ def render_prometheus_sharded(
             lines.append(f"# HELP {sub} Exact {suffix} of {name.replace('_', ' ')}.")
             lines.append(f"# TYPE {sub} gauge")
             _samples(sub, lambda m, suffix=suffix: getattr(_hist(m), suffix))
+    return "\n".join(lines) + "\n"
+
+
+#: Per-tier counter events rendered by :func:`render_tier_prometheus`.
+_TIER_EVENTS = (
+    ("submitted", "Requests submitted under this tier."),
+    ("completed", "Requests of this tier resolved with a result."),
+    ("failed", "Requests of this tier resolved with an error."),
+    ("shed", "Requests of this tier shed by admission or backpressure."),
+)
+
+#: Sketch families with per-tier variants on a tiered ServeMetrics.
+_TIER_FAMILIES = ("coalesce_latency_ms", "flush_service_ms")
+
+
+def render_tier_prometheus(metrics, prefix: str = "repro_tier", labels=None) -> str:
+    """Text exposition of the admission layer's tier/tenant attribution.
+
+    Renders one family per event with ``tier="..."``-labeled samples
+    (``repro_tier_submitted_total{tier="gold"}``), per-tenant counters
+    under ``tenant="..."`` labels, per-tier latency summaries, and a
+    ``repro_tier_fairness_jain`` gauge — Jain's index over per-tenant
+    completions, the same statistic the ``replay-check --tiers`` gate
+    holds.  The ``repro_tier`` prefix is disjoint from ``repro_serve``/
+    ``repro_graph``/``repro_control``, so concatenated pages stay valid
+    under the one-TYPE-per-family rule.  Empty (``""``) when ``metrics``
+    carries no tier attribution — no admission layer was attached.
+    """
+    if not _NAME_RE.match(prefix):
+        raise ValueError(f"invalid metric prefix {prefix!r}")
+    tiers = list(getattr(metrics, "tier_names", ()) or ())
+    if not tiers:
+        return ""
+    base = dict(labels or {})
+    lines: list[str] = []
+    for event, help_text in _TIER_EVENTS:
+        full = f"{prefix}_{event}_total"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} counter")
+        for tier in tiers:
+            ls = _label_str({**base, "tier": tier})
+            lines.append(f"{full}{ls} {_fmt(metrics.tier_counter(tier, event))}")
+    for attr, event in (
+        ("submitted_by_tenant", "submitted"),
+        ("completed_by_tenant", "completed"),
+        ("shed_by_tenant", "shed"),
+    ):
+        by_tenant = getattr(metrics, attr, {}) or {}
+        full = f"{prefix}_tenant_{event}_total"
+        lines.append(f"# HELP {full} Per-tenant {event} requests.")
+        lines.append(f"# TYPE {full} counter")
+        for tenant in sorted(by_tenant):
+            ls = _label_str({**base, "tenant": tenant})
+            lines.append(f"{full}{ls} {_fmt(by_tenant[tenant])}")
+    completions = [
+        v for _, v in sorted((getattr(metrics, "completed_by_tenant", {}) or {}).items())
+    ]
+    square_sum = sum(float(v) * float(v) for v in completions)
+    total = sum(float(v) for v in completions)
+    fairness = (
+        (total * total) / (len(completions) * square_sum) if square_sum else 1.0
+    )
+    full = f"{prefix}_fairness_jain"
+    lines.append(
+        f"# HELP {full} Jain's fairness index over per-tenant completions."
+    )
+    lines.append(f"# TYPE {full} gauge")
+    lines.append(f"{full}{_label_str(base)} {_fmt(fairness)}")
+    for family in _TIER_FAMILIES:
+        rows = [
+            (tier, metrics.histograms.get(f"tier_{tier}_{family}"))
+            for tier in tiers
+        ]
+        rows = [(tier, hist) for tier, hist in rows if hist is not None]
+        if not rows:
+            continue
+        full = f"{prefix}_{family}"
+        lines.append(
+            f"# HELP {full} Per-tier distribution of {family.replace('_', ' ')}."
+        )
+        lines.append(f"# TYPE {full} summary")
+        for tier, hist in rows:
+            for q in _quantiles_for(hist):
+                ls = _label_str({**base, "tier": tier}, extra=f'quantile="{q}"')
+                lines.append(f"{full}{ls} {_fmt(hist.percentile(q * 100))}")
+            ls = _label_str({**base, "tier": tier})
+            lines.append(f"{full}_sum{ls} {_fmt(hist.total)}")
+            lines.append(f"{full}_count{ls} {_fmt(hist.count)}")
     return "\n".join(lines) + "\n"
 
 

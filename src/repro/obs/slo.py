@@ -68,6 +68,26 @@ _STREAMS = {
     "flush_service": "flush_service_ms",
 }
 
+
+def _stream_for(metric: str) -> str:
+    """The sketch family an objective metric name points at.
+
+    Exact aliases first (``coalesce`` → ``coalesce_latency_ms``), then
+    the same aliasing applied to any *suffix* — so per-tier objectives
+    like ``tier_gold_coalesce_p99_ms<50`` resolve to the admission
+    layer's ``tier_gold_coalesce_latency_ms`` family without this module
+    enumerating tiers.  Unknown names pass through unchanged (the
+    monitor validates them against the live metrics object).
+    """
+    direct = _STREAMS.get(metric)
+    if direct is not None:
+        return direct
+    for alias, family in _STREAMS.items():
+        suffix = f"_{alias}"
+        if metric.endswith(suffix):
+            return metric[: -len(alias)] + family
+    return metric
+
 _OBJECTIVE_RE = re.compile(
     r"^\s*(?P<metric>[a-z_]+?)_p(?P<q>\d{2,3})_ms\s*<\s*"
     r"(?P<thr>\d+(?:\.\d+)?)\s*$"
@@ -107,7 +127,7 @@ class SloObjective:
                 "(expected e.g. 'coalesce_p99_ms < 5')"
             )
         metric, digits, thr = m.group("metric"), m.group("q"), m.group("thr")
-        stream = _STREAMS.get(metric, metric)
+        stream = _stream_for(metric)
         quantile = (
             float(digits)
             if len(digits) <= 2

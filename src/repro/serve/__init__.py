@@ -21,9 +21,29 @@ loops behind a consistent-hash router (:mod:`repro.serve.router`) —
 see ``docs/sharding.md``.  An online control plane
 (:mod:`repro.serve.control`) can adapt the hot policy knobs at serve
 time from the broker's own metrics windows — see ``docs/control.md``.
+Multi-tenant deployments attach an admission layer
+(:mod:`repro.serve.admission`): SLA tiers with cost-based shedding,
+per-tenant token-bucket quotas, weighted fair queuing, and tail-latency
+hedging for the gold tier — see ``docs/tiers.md``.
 See also ``docs/serving.md`` and ``docs/observability.md``.
 """
 
+from repro.serve.admission import (
+    DEFAULT_TENANT,
+    DEFAULT_TIER,
+    SHED_ORDER,
+    TIERS,
+    TIERS_ENV,
+    AdmissionController,
+    TierPolicy,
+    TierSpec,
+    TokenBucket,
+    default_tier_policy,
+    jain_index,
+    make_admission,
+    shed_rank,
+    tiers_from_env,
+)
 from repro.serve.backends import (
     BACKEND_ENV,
     BACKEND_NAMES,
@@ -80,8 +100,10 @@ from repro.serve.replay import (
     ControllerGate,
     GateTolerances,
     GridCell,
+    TierGate,
     compare_controlled,
     compare_reports,
+    compare_tiers,
     load_report,
     policy_grid,
     run_replay_grid,
@@ -93,7 +115,9 @@ from repro.serve.policy import (
     PLACEMENTS,
     SHARDS_ENV,
     DependencyFailed,
+    HedgeFailed,
     NotPositiveDefiniteError,
+    QuotaExceeded,
     RequestTimeout,
     ServeError,
     ServePolicy,
@@ -120,6 +144,24 @@ from repro.serve.trace import (
 __all__ = [
     "AIMDStrategy",
     "AdaptiveBatcher",
+    "AdmissionController",
+    "DEFAULT_TENANT",
+    "DEFAULT_TIER",
+    "HedgeFailed",
+    "QuotaExceeded",
+    "SHED_ORDER",
+    "TIERS",
+    "TIERS_ENV",
+    "TierGate",
+    "TierPolicy",
+    "TierSpec",
+    "TokenBucket",
+    "compare_tiers",
+    "default_tier_policy",
+    "jain_index",
+    "make_admission",
+    "shed_rank",
+    "tiers_from_env",
     "BACKEND_ENV",
     "BACKEND_NAMES",
     "CONTROLLER_ENV",

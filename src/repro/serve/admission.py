@@ -1,0 +1,496 @@
+"""SLA tiers, cost-based admission control, and multi-tenant fairness.
+
+Millions of users means not all requests are equal.  This module is the
+policy brain between :meth:`~repro.serve.broker.SolveBroker.submit` and
+the batcher:
+
+* **Tiers** — every request carries a ``tier`` (:data:`TIERS`:
+  ``gold``/``silver``/``best_effort``) and a ``tenant`` id.  A
+  :class:`TierSpec` gives each tier a weight (fair-queue share), an
+  optional per-tier coalesce deadline, an optional per-tenant
+  token-bucket quota, and — for premium tiers — a hedge trigger.
+
+* **Cost-based shedding** — under backpressure the broker sheds the
+  *cheapest, lowest-tier* queued work first instead of FIFO-rejecting
+  the arrival.  "Cheapest" comes from the tuned dispatch model: the
+  paper's autotuned per-size throughput gives an honest modelled cost
+  per matrix (:meth:`AdmissionController.cost`), so dropping ten n=8
+  best-effort requests is preferred over one n=64 — and a gold request
+  is never the victim while sheddable lower-tier work remains queued.
+
+* **Weighted fair queuing** — admission stamps each request with a
+  start-time-fair-queuing virtual finish time
+  (``vft = max(tenant_vt, global_vt) + cost / weight``); flush
+  selection drains requests in ascending ``vft``, so tenants inside one
+  size bucket are served proportionally to their tier weights and a hot
+  tenant cannot starve the rest.  :func:`jain_index` is the fairness
+  measure the replay gate applies to per-tenant completions.
+
+* **Hedging** — a tier with ``hedge_ms`` set (gold, by default) may
+  submit a second copy to another shard when the primary shard's recent
+  ``flush_service_ms`` p99 exceeds the budget; first completion wins and
+  the loser is cancelled (:class:`~repro.serve.shard.ShardedBroker`).
+
+The controller itself is deterministic given its injected clock and
+thread-safe (one lock), so one instance can serve a whole sharded
+fabric.  ``$REPRO_SERVE_TIERS`` attaches a controller to every serve
+front end, mirroring ``$REPRO_SERVE_CONTROLLER`` and
+``$REPRO_SERVE_SLO``; see ``docs/tiers.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro.serve.policy import QuotaExceeded
+
+#: Tier names in priority order (most important first).
+TIERS = ("gold", "silver", "best_effort")
+
+#: Shed order: least important first — the fabric's sacrifice list.
+SHED_ORDER = ("best_effort", "silver", "gold")
+
+#: Tier assigned to requests that don't name one.
+DEFAULT_TIER = "silver"
+
+#: Tenant assigned to requests that don't name one.
+DEFAULT_TENANT = "default"
+
+#: Environment knob: ``$REPRO_SERVE_TIERS`` attaches an
+#: :class:`AdmissionController` to every serve front end.  ``1``/``on``
+#: uses :func:`default_tier_policy`; any other non-empty value is parsed
+#: as a :meth:`TierPolicy.parse` spec.
+TIERS_ENV = "REPRO_SERVE_TIERS"
+
+
+def shed_rank(tier: str) -> int:
+    """Position of ``tier`` in the sacrifice list (lower sheds first)."""
+    try:
+        return SHED_ORDER.index(tier)
+    except ValueError:
+        raise ValueError(f"unknown tier {tier!r} (expected one of {TIERS})")
+
+
+def jain_index(values) -> float:
+    """Jain's fairness index ``(Σx)² / (N·Σx²)`` over ``values``.
+
+    1.0 means perfectly even allocation; ``1/N`` means one party got
+    everything.  Trivial inputs (empty, or all zero) read as fair.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    square_sum = sum(x * x for x in xs)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * square_sum)
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One tier's SLA contract.
+
+    ``weight`` is the tier's fair-queue share (per unit of modelled
+    cost); ``deadline_ms`` overrides the policy-wide coalesce deadline
+    for this tier's requests; ``rate``/``burst`` define the per-tenant
+    token-bucket quota in requests/s (``None`` means unmetered);
+    ``hedge_ms`` arms shard hedging when the primary's recent service
+    p99 exceeds it; ``p99_budget_ms`` is the coalesce-p99 budget the
+    ``replay-check --tiers`` gate holds this tier to.
+    """
+
+    name: str
+    weight: float = 1.0
+    deadline_ms: float | None = None
+    rate: float | None = None
+    burst: float | None = None
+    hedge_ms: float | None = None
+    p99_budget_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tier {self.name}: weight must be positive")
+        for field_name in ("deadline_ms", "rate", "burst", "hedge_ms",
+                           "p99_budget_ms"):
+            value = getattr(self, field_name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"tier {self.name}: {field_name} must be positive or None"
+                )
+        if self.burst is not None and self.rate is None:
+            raise ValueError(f"tier {self.name}: burst needs a rate")
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "weight": self.weight}
+        for field_name in ("deadline_ms", "rate", "burst", "hedge_ms",
+                           "p99_budget_ms"):
+            value = getattr(self, field_name)
+            if value is not None:
+                out[field_name] = value
+        return out
+
+
+def default_tier_policy() -> "TierPolicy":
+    """The stock three-tier contract behind ``$REPRO_SERVE_TIERS=1``.
+
+    Gold gets 4x the fair-queue share, a tight coalesce deadline, shard
+    hedging, and the p99 budget the replay gate enforces; silver is the
+    unmetered default; best-effort is quota-metered per tenant and first
+    in the shed order.
+    """
+    return TierPolicy(
+        tiers=(
+            TierSpec(
+                name="gold",
+                weight=4.0,
+                deadline_ms=2.0,
+                hedge_ms=250.0,
+                # Generous vs the ~10-20 ms gold p50 the committed
+                # multi-tenant trace shows: the budget gates gross
+                # latency inversions, not machine speed — the shed and
+                # fairness floors are the deterministic teeth.
+                p99_budget_ms=250.0,
+            ),
+            TierSpec(name="silver", weight=2.0),
+            TierSpec(name="best_effort", weight=1.0, rate=120.0, burst=24.0),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """The full tier table plus the default tier for untagged requests."""
+
+    tiers: tuple[TierSpec, ...]
+    default_tier: str = DEFAULT_TIER
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("TierPolicy needs at least one tier")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names {names}")
+        if self.default_tier not in names:
+            raise ValueError(
+                f"default tier {self.default_tier!r} not in {names}"
+            )
+        for name in names:
+            shed_rank(name)  # every tier must have a shed position
+
+    def spec(self, tier: str) -> TierSpec:
+        for t in self.tiers:
+            if t.name == tier:
+                return t
+        raise ValueError(
+            f"unknown tier {tier!r} "
+            f"(policy defines {[t.name for t in self.tiers]})"
+        )
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.tiers)
+
+    def to_dict(self) -> dict:
+        return {
+            "default_tier": self.default_tier,
+            "tiers": [t.to_dict() for t in self.tiers],
+        }
+
+    @classmethod
+    def parse(cls, spec: str) -> "TierPolicy":
+        """Tier overrides over the defaults, from a compact string.
+
+        ``"gold:hedge_ms=50;best_effort:rate=40,burst=8"`` — segments
+        separated by ``;``, each ``tier:key=value,...``.  A bare
+        ``default=NAME`` segment changes the default tier.  Unknown
+        tiers/keys raise.
+        """
+        policy = default_tier_policy()
+        tiers = {t.name: t for t in policy.tiers}
+        default_tier = policy.default_tier
+        for segment in spec.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("default="):
+                default_tier = segment.split("=", 1)[1].strip()
+                continue
+            if ":" not in segment:
+                raise ValueError(
+                    f"malformed tier segment {segment!r} "
+                    "(expected 'tier:key=value,...')"
+                )
+            name, _, body = segment.partition(":")
+            name = name.strip()
+            if name not in tiers:
+                raise ValueError(
+                    f"unknown tier {name!r} in spec (expected one of {TIERS})"
+                )
+            overrides: dict = {}
+            for pair in body.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                key, _, raw = pair.partition("=")
+                key = key.strip()
+                if key not in (
+                    "weight", "deadline_ms", "rate", "burst", "hedge_ms",
+                    "p99_budget_ms",
+                ):
+                    raise ValueError(f"unknown tier key {key!r} in {segment!r}")
+                raw = raw.strip()
+                overrides[key] = None if raw.lower() == "none" else float(raw)
+            tiers[name] = replace(tiers[name], **overrides)
+        return cls(tiers=tuple(tiers.values()), default_tier=default_tier)
+
+
+class TokenBucket:
+    """A classic token bucket with an explicit clock.
+
+    ``capacity`` tokens at most, refilled continuously at ``rate``
+    tokens/s; :meth:`consume` takes one token or reports exhaustion.
+    Time is always passed in, so tests drive it deterministically.
+    """
+
+    def __init__(self, rate: float, capacity: float, now: float = 0.0) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.updated = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self.updated:
+            self.tokens = min(
+                self.capacity, self.tokens + (now - self.updated) * self.rate
+            )
+        self.updated = max(self.updated, now)
+
+    def consume(self, now: float, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens at time ``now``; False when exhausted."""
+        self._refill(now)
+        if self.tokens + 1e-9 >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def available(self, now: float) -> float:
+        self._refill(now)
+        return self.tokens
+
+
+class AdmissionController:
+    """Tier/tenant admission state shared by every broker of a fabric.
+
+    Holds the per-(tier, tenant) token buckets, the weighted-fair-queue
+    virtual clocks, and the modelled per-size cost cache.  All mutating
+    entry points take the lock, so shard threads share one instance.
+    """
+
+    def __init__(
+        self,
+        policy: TierPolicy | None = None,
+        cost_fn=None,
+        time_fn=time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else default_tier_policy()
+        self.cost_fn = cost_fn
+        self._time = time_fn
+        self._lock = threading.Lock()
+        self._buckets: dict[tuple[str, str], TokenBucket] = {}
+        self._cost_cache: dict[int, float] = {}
+        self._tenant_vt: dict[str, float] = {}
+        self._global_vt = 0.0
+
+    # ------------------------------------------------------------------
+    # Resolution and cost
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self, tier: str | None, tenant: str | None
+    ) -> tuple[str, str]:
+        """Apply defaults and validate the tier name."""
+        tier = tier if tier is not None else self.policy.default_tier
+        self.policy.spec(tier)  # raises on unknown tier
+        return tier, tenant if tenant is not None else DEFAULT_TENANT
+
+    def bind_executor(self, executor, arch=None) -> None:
+        """Derive the cost model from a live executor, once.
+
+        Cost is modelled seconds per matrix: Cholesky flops (``n³/3``)
+        over the tuned configuration's modelled GFLOP/s — the paper's
+        autotuned throughput model doing admission duty.  A controller
+        built with an explicit ``cost_fn`` keeps it.
+        """
+        if self.cost_fn is not None:
+            return
+        from repro.gpusim.model import estimate_performance
+
+        def cost_fn(n: int) -> float:
+            config = executor.config_for(n)
+            use_arch = arch if arch is not None else executor.arch
+            est = estimate_performance(
+                config, batch=config.block_threads, arch=use_arch
+            )
+            flops = n * n * n / 3.0
+            return flops / max(est.gflops, 1e-9) / 1e9
+
+        self.cost_fn = cost_fn
+
+    def cost(self, n: int) -> float:
+        """Modelled cost of one request of dimension ``n`` (cached).
+
+        Falls back to raw Cholesky flops when no executor has been
+        bound — the *ordering* (bigger matrices cost more) is what
+        shedding and fair queuing consume.
+        """
+        cached = self._cost_cache.get(n)
+        if cached is None:
+            if self.cost_fn is not None:
+                cached = float(self.cost_fn(n))
+            else:
+                cached = n * n * n / 3.0
+            self._cost_cache[n] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Quotas
+    # ------------------------------------------------------------------
+
+    def check_quota(
+        self, tier: str, tenant: str, now: float | None = None
+    ) -> None:
+        """Consume one quota token or raise :class:`QuotaExceeded`."""
+        spec = self.policy.spec(tier)
+        if spec.rate is None:
+            return
+        t = self._time() if now is None else now
+        with self._lock:
+            key = (tier, tenant)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                capacity = spec.burst if spec.burst is not None else spec.rate
+                bucket = self._buckets[key] = TokenBucket(
+                    spec.rate, capacity, now=t
+                )
+            if not bucket.consume(t):
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} exhausted its {tier} quota "
+                    f"({spec.rate:g}/s, burst {bucket.capacity:g})"
+                )
+
+    # ------------------------------------------------------------------
+    # Weighted fair queuing
+    # ------------------------------------------------------------------
+
+    def stamp(self, request) -> None:
+        """Stamp tier metadata and the WFQ virtual finish time.
+
+        Start-time fair queuing: a request's virtual finish is
+        ``max(tenant_vt, global_vt) + cost / weight``, so a tenant that
+        went idle re-enters at the current virtual time (no banked
+        credit) and heavy tenants fall behind light ones in drain order.
+        """
+        spec = self.policy.spec(request.tier)
+        cost = self.cost(request.n)
+        with self._lock:
+            start = max(
+                self._tenant_vt.get(request.tenant, 0.0), self._global_vt
+            )
+            vft = start + cost / spec.weight
+            self._tenant_vt[request.tenant] = vft
+        request.vft = vft
+        if spec.deadline_ms is not None:
+            request.delay_s = spec.deadline_ms / 1e3
+
+    def advance(self, vft: float) -> None:
+        """Move the global virtual clock to the latest drained ``vft``."""
+        with self._lock:
+            if vft > self._global_vt:
+                self._global_vt = vft
+
+    # ------------------------------------------------------------------
+    # Cost-based shedding
+    # ------------------------------------------------------------------
+
+    def victim(self, queued, incoming_tier: str):
+        """The queued request to shed so an ``incoming_tier`` arrival fits.
+
+        Only strictly-lower-tier work is sacrificed; among candidates the
+        cheapest (modelled cost) goes first, ties broken toward the most
+        over-served tenant (largest ``vft``) and then the newest arrival.
+        Returns ``None`` when nothing queued outranks-down the arrival —
+        the caller then sheds the arrival itself.
+        """
+        incoming_rank = shed_rank(incoming_tier)
+        best = None
+        best_key = None
+        for request in queued:
+            rank = shed_rank(request.tier)
+            if rank >= incoming_rank:
+                continue
+            key = (rank, self.cost(request.n), -request.vft, -request.seq)
+            if best is None or key < best_key:
+                best, best_key = request, key
+        return best
+
+    # ------------------------------------------------------------------
+    # Hedging
+    # ------------------------------------------------------------------
+
+    def hedge_budget_ms(self, tier: str) -> float | None:
+        """The service-p99 budget beyond which ``tier`` hedges, if any."""
+        return self.policy.spec(tier).hedge_ms
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return self.policy.to_dict()
+
+
+def tiers_from_env() -> AdmissionController | None:
+    """A controller when ``$REPRO_SERVE_TIERS`` asks for one, else None.
+
+    ``1``/``on``/``true`` uses :func:`default_tier_policy`; any other
+    non-empty value is parsed as a :meth:`TierPolicy.parse` spec.
+    """
+    raw = os.environ.get(TIERS_ENV, "").strip()
+    if not raw or raw.lower() in ("0", "off", "none", "false"):
+        return None
+    if raw.lower() in ("1", "on", "true"):
+        return AdmissionController(default_tier_policy())
+    return AdmissionController(TierPolicy.parse(raw))
+
+
+def make_admission(tiers) -> AdmissionController | None:
+    """Normalize any ``tiers=`` argument into a controller.
+
+    Accepts ``None`` (consult the environment), ``"off"``-like strings
+    (explicitly disabled), ``"1"``/``"on"`` (defaults), a spec string, a
+    :class:`TierPolicy`, or a ready :class:`AdmissionController`.
+    """
+    if tiers is None:
+        return tiers_from_env()
+    if isinstance(tiers, AdmissionController):
+        return tiers
+    if isinstance(tiers, TierPolicy):
+        return AdmissionController(tiers)
+    if isinstance(tiers, str):
+        raw = tiers.strip()
+        if not raw or raw.lower() in ("0", "off", "none", "false"):
+            return None
+        if raw.lower() in ("1", "on", "true"):
+            return AdmissionController(default_tier_policy())
+        return AdmissionController(TierPolicy.parse(raw))
+    raise TypeError(
+        f"tiers must be None, str, TierPolicy, or AdmissionController, "
+        f"got {type(tiers).__name__}"
+    )

@@ -45,6 +45,17 @@ class PendingRequest:
     #: When the broker first saw the request (same monotonic clock as
     #: ``enqueued_at``); anchors the tracing layer's per-request span.
     submitted_at: float = 0.0
+    #: SLA tier and tenant of the request (``repro.serve.admission``).
+    #: Plain brokers leave the defaults; the admission layer stamps them.
+    tier: str = "silver"
+    tenant: str = "default"
+    #: Per-request coalesce deadline override in seconds (``None`` means
+    #: the policy-wide ``max_delay_s`` applies) — how per-tier deadlines
+    #: reach the batcher without the batcher knowing about tiers.
+    delay_s: float | None = None
+    #: Weighted-fair-queue virtual finish time, stamped at admission;
+    #: flush selection drains requests in this order.
+    vft: float = 0.0
 
     @property
     def n(self) -> int:
@@ -70,8 +81,18 @@ class SizeBucket:
         return self.requests[0].enqueued_at if self.requests else None
 
     def deadline_due(self, now: float, max_delay_s: float) -> bool:
-        oldest = self.oldest_enqueued_at()
-        return oldest is not None and (now - oldest) >= max_delay_s
+        """Whether any queued request has outlived its coalesce deadline.
+
+        A request with a per-tier ``delay_s`` override is judged against
+        it; the rest use the policy-wide ``max_delay_s``.  Checking every
+        request (not just the oldest) lets a tight-deadline tier flush a
+        bucket that older, laxer requests would have kept waiting.
+        """
+        return any(
+            (now - r.enqueued_at)
+            >= (r.delay_s if r.delay_s is not None else max_delay_s)
+            for r in self.requests
+        )
 
 
 class AdaptiveBatcher:
@@ -106,13 +127,33 @@ class AdaptiveBatcher:
         self.pending += 1
         return bucket
 
-    def pop(self, n: int) -> list[PendingRequest]:
-        """Remove and return every pending request for dimension ``n``."""
-        bucket = self._buckets.pop(n, None)
+    def pop(
+        self, n: int, limit: int | None = None
+    ) -> list[PendingRequest]:
+        """Remove and return pending requests for dimension ``n``.
+
+        Without ``limit`` the whole bucket drains (the classic FIFO
+        flush).  With ``limit`` at most that many requests leave, chosen
+        in weighted-fair order (ascending virtual finish time, sequence
+        number as the deterministic tie-break) — the admission layer's
+        guarantee that one hot tenant cannot occupy every flush slot.
+        The rest stay queued with their bucket.
+        """
+        bucket = self._buckets.get(n)
         if bucket is None:
             return []
-        self.pending -= len(bucket.requests)
-        return bucket.requests
+        if limit is None or len(bucket.requests) <= limit:
+            del self._buckets[n]
+            self.pending -= len(bucket.requests)
+            return bucket.requests
+        ordered = sorted(bucket.requests, key=lambda r: (r.vft, r.seq))
+        taken = ordered[:limit]
+        taken_set = set(map(id, taken))
+        bucket.requests = [
+            r for r in bucket.requests if id(r) not in taken_set
+        ]
+        self.pending -= len(taken)
+        return taken
 
     def pop_due(self, now: float, max_delay_s: float) -> list[SizeBucket]:
         """Remove and return the buckets whose deadline has expired."""
@@ -171,6 +212,11 @@ class AdaptiveBatcher:
     def sizes(self) -> Iterable[int]:
         """The matrix dimensions currently holding pending requests."""
         return tuple(self._buckets)
+
+    def queued(self) -> Iterable[PendingRequest]:
+        """Every queued request, bucket by bucket (shed-victim scans)."""
+        for bucket in self._buckets.values():
+            yield from bucket.requests
 
     def fill_levels(self) -> dict[int, tuple[int, int]]:
         """``{n: (pending, threshold)}`` for every non-empty bucket.

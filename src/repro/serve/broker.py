@@ -27,11 +27,13 @@ import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
 from repro.obs.tracer import get_tracer
+from repro.serve.admission import AdmissionController
 from repro.serve.backends import backend_from_policy
 from repro.serve.batcher import KINDS, AdaptiveBatcher, PendingRequest, SizeBucket
 from repro.serve.executor import BatchExecutor, FlushReport
 from repro.serve.metrics import ServeMetrics, Snapshot
 from repro.serve.policy import (
+    QuotaExceeded,
     RequestTimeout,
     ServePolicy,
     ServiceClosed,
@@ -62,6 +64,7 @@ class SolveBroker:
         tracer=None,
         recorder=None,
         shard_id: int | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.policy = policy or ServePolicy()
         self._tracer = tracer
@@ -84,7 +87,16 @@ class SolveBroker:
             backend=backend_from_policy(self.policy),
             tracer=tracer,
         )
+        #: Optional tier/tenant admission layer
+        #: (:mod:`repro.serve.admission`).  When set, submissions are
+        #: quota-checked, stamped with weighted-fair virtual finish
+        #: times, shed cost-first under backpressure, and attributed to
+        #: per-tier metrics.  A fabric shares one controller across its
+        #: shards.
+        self.admission = admission
         self.metrics = metrics or ServeMetrics()
+        if admission is not None:
+            admission.bind_executor(self.executor)
         self.batcher = AdaptiveBatcher(
             threshold_for=lambda n: self.policy.flush_threshold(
                 self.executor.config_for(n)
@@ -175,6 +187,8 @@ class SolveBroker:
             if not request.future.done():
                 request.future.set_exception(exc)
                 self.metrics.record_failure()
+                if self.admission is not None:
+                    self.metrics.record_tier_failure(request.tier)
                 failed += 1
         return failed
 
@@ -226,42 +240,93 @@ class SolveBroker:
     # Submission
     # ------------------------------------------------------------------
 
-    async def factor(self, a: np.ndarray) -> np.ndarray:
+    async def factor(self, a: np.ndarray, **kwargs) -> np.ndarray:
         """Factor one SPD matrix; resolves to its ``(n, n)`` lower factor."""
-        return await self.submit("factor", a)
+        return await self.submit("factor", a, **kwargs)
 
-    async def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    async def solve(self, a: np.ndarray, b: np.ndarray, **kwargs) -> np.ndarray:
         """Solve ``A x = b`` for one SPD matrix; resolves to ``x``."""
-        return await self.submit("solve", a, b)
+        return await self.submit("solve", a, b, **kwargs)
 
     async def submit(
-        self, kind: str, a: np.ndarray, b: np.ndarray | None = None
+        self,
+        kind: str,
+        a: np.ndarray,
+        b: np.ndarray | None = None,
+        tier: str | None = None,
+        tenant: str | None = None,
     ) -> np.ndarray:
-        """Queue one request and await its result."""
+        """Queue one request and await its result.
+
+        ``tier``/``tenant`` tag the request for the admission layer
+        (:mod:`repro.serve.admission`); without an attached controller
+        they are recorded in traces but carry no policy weight.
+        """
         # The tracer's clock is time.monotonic — the same clock asyncio's
         # loop.time() reads — so this timestamp anchors the request span.
         t_submit = time.monotonic()
         tracer = self.tracer
         a, b = self._validate(kind, a, b)
+        n = a.shape[0]
+        admission = self.admission
+        if admission is not None:
+            tier, tenant = admission.resolve(tier, tenant)
         if self._closed:
             raise ServiceClosed("broker is closed")
         if self.recorder is not None:
             # A trace records *offered* load: shed requests are arrivals
             # too, so the hook sits ahead of the queue-cap check.
             nrhs = 0 if b is None else (1 if b.ndim == 1 else b.shape[1])
-            self.recorder.record(kind, a.shape[0], nrhs=nrhs, shard=self.shard_id)
+            self.recorder.record(
+                kind, n, nrhs=nrhs, shard=self.shard_id, tier=tier, tenant=tenant
+            )
         await self.start()
+        if admission is not None:
+            try:
+                admission.check_quota(tier, tenant)
+            except QuotaExceeded:
+                self._account_shed(n, tier, tenant, reason="quota")
+                raise
         if self.batcher.pending >= self.policy.max_queue_depth:
-            self.metrics.record_submit(self.batcher.pending)
-            self.metrics.record_shed(shard=self.shard_id)
+            victim = (
+                admission.victim(self.batcher.queued(), tier)
+                if admission is not None
+                else None
+            )
+            if victim is None:
+                # No cheaper lower-tier work to sacrifice: the arrival
+                # itself is shed, tagged with its size bucket and tier.
+                self._account_shed(n, tier, tenant, reason="backpressure")
+                raise ServiceOverloaded(
+                    f"queue depth {self.batcher.pending} at its "
+                    f"{self.policy.max_queue_depth}-request cap; request shed"
+                )
+            # Cost-based preemption: drop the cheapest, lowest-tier
+            # queued request to admit the more important arrival.
+            self.batcher.discard(victim)
+            self.metrics.record_shed(
+                shard=self.shard_id,
+                n=victim.n,
+                tier=victim.tier,
+                tenant=victim.tenant,
+            )
             if tracer.enabled:
                 tracer.instant(
-                    "shed", cat="serve", queue_depth=self.batcher.pending
+                    "shed",
+                    cat="serve",
+                    reason="preempted",
+                    queue_depth=self.batcher.pending,
+                    n=victim.n,
+                    tier=victim.tier,
+                    tenant=victim.tenant,
                 )
-            raise ServiceOverloaded(
-                f"queue depth {self.batcher.pending} at its "
-                f"{self.policy.max_queue_depth}-request cap; request shed"
-            )
+            if not victim.future.done():
+                victim.future.set_exception(
+                    ServiceOverloaded(
+                        f"{victim.tier} request (n={victim.n}, tenant "
+                        f"{victim.tenant!r}) shed to admit a {tier} arrival"
+                    )
+                )
 
         loop = asyncio.get_running_loop()
         self._seq += 1
@@ -274,8 +339,16 @@ class SolveBroker:
             enqueued_at=loop.time(),
             submitted_at=t_submit,
         )
+        if tier is not None:
+            request.tier = tier
+        if tenant is not None:
+            request.tenant = tenant
+        if admission is not None:
+            admission.stamp(request)
         bucket = self.batcher.add(request)
         self.metrics.record_submit(self.batcher.pending)
+        if admission is not None:
+            self.metrics.record_tier_submit(request.tier, request.tenant)
         if tracer.enabled:
             tracer.record(
                 "submit",
@@ -290,6 +363,31 @@ class SolveBroker:
         if bucket.full:
             self._spawn_flush(bucket, "full")
         return await self._await_result(request)
+
+    def _account_shed(
+        self, n: int, tier: str | None, tenant: str | None, reason: str
+    ) -> None:
+        """Metrics and tracing for one shed arrival (never admitted)."""
+        tiered = self.admission is not None and tier is not None
+        self.metrics.record_submit(self.batcher.pending)
+        if tiered:
+            self.metrics.record_tier_submit(tier, tenant)
+        self.metrics.record_shed(
+            shard=self.shard_id,
+            n=n,
+            tier=tier if tiered else None,
+            tenant=tenant if tiered else None,
+        )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "shed",
+                cat="serve",
+                reason=reason,
+                queue_depth=self.batcher.pending,
+                n=n,
+                **({"tier": tier, "tenant": tenant} if tier else {}),
+            )
 
     def _validate(self, kind, a, b):
         if kind not in KINDS:
@@ -313,13 +411,19 @@ class SolveBroker:
     async def _await_result(self, request: PendingRequest) -> np.ndarray:
         timeout = self.policy.request_timeout_s
         if timeout is None:
-            return await request.future
+            # Shielded: cancelling the submit coroutine (a hedge race
+            # cancelling its loser) must detach the awaiter, not yank the
+            # request future out of its bucket — the request still flushes
+            # and is accounted for, keeping conservation exact.
+            return await asyncio.shield(request.future)
         try:
             return await asyncio.wait_for(asyncio.shield(request.future), timeout)
         except asyncio.TimeoutError:
             if self.batcher.discard(request):
                 request.future.cancel()
                 self.metrics.record_timeout()
+                if self.admission is not None:
+                    self.metrics.record_tier_failure(request.tier)
                 tracer = self.tracer
                 if tracer.enabled:
                     tracer.instant(
@@ -340,15 +444,26 @@ class SolveBroker:
     # ------------------------------------------------------------------
 
     def _spawn_flush(self, bucket: SizeBucket, reason: str) -> None:
-        requests = self.batcher.pop(bucket.n)
-        if not requests:
-            return
-        self._flushing.update(requests)
-        task = asyncio.get_running_loop().create_task(
-            self._run_flush(requests, reason, bucket.threshold)
-        )
-        self._inflight.add(task)
-        task.add_done_callback(self._inflight.discard)
+        # With admission attached, a flush takes at most one threshold's
+        # worth of requests in weighted-fair order (ascending vft), so a
+        # hot tenant's backlog cannot occupy every slot of every flush;
+        # leftovers keep their bucket and flush next.  Without admission
+        # the whole bucket drains, as ever.
+        limit = bucket.threshold if self.admission is not None else None
+        while True:
+            requests = self.batcher.pop(bucket.n, limit=limit)
+            if not requests:
+                return
+            if self.admission is not None:
+                self.admission.advance(max(r.vft for r in requests))
+            self._flushing.update(requests)
+            task = asyncio.get_running_loop().create_task(
+                self._run_flush(requests, reason, bucket.threshold)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            if limit is None or not bucket.full:
+                return
 
     async def _run_flush(
         self, requests: list[PendingRequest], reason: str, threshold: int
@@ -408,15 +523,27 @@ class SolveBroker:
     ) -> None:
         tracer = self.tracer
         scatter_t0 = tracer.now() if tracer.enabled else 0.0
-        for request, outcome in report.outcomes:
+        tiered = self.admission is not None
+        service_ms = report.service_s * 1e3 if report.service_s else None
+        for i, (request, outcome) in enumerate(report.outcomes):
             if request.future.done():  # timed out mid-flight; nobody listens
                 continue
             if isinstance(outcome, Exception):
                 request.future.set_exception(outcome)
                 self.metrics.record_failure()
+                if tiered:
+                    self.metrics.record_tier_failure(request.tier)
             else:
                 request.future.set_result(outcome)
                 self.metrics.record_completion()
+                if tiered:
+                    wait = waits[i] if i < len(waits) else None
+                    self.metrics.record_tier_completion(
+                        request.tier,
+                        request.tenant,
+                        wait_ms=None if wait is None else wait * 1e3,
+                        service_ms=service_ms,
+                    )
         for i in range(report.retried):
             self.metrics.record_retry(rescued=i < report.rescued)
         self.metrics.record_flush(

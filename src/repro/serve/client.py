@@ -36,6 +36,7 @@ from repro.obs.slo import (
     slo_from_env,
 )
 from repro.obs.tracer import get_tracer
+from repro.serve.admission import jain_index, make_admission
 from repro.serve.control.controller import (
     DEFAULT_INTERVAL_S,
     PolicyController,
@@ -70,6 +71,7 @@ class ServeClient:
         dispatcher: TunedDispatcher | None = None,
         executor: BatchExecutor | None = None,
         recorder: TraceRecorder | None = None,
+        tiers=None,
     ) -> None:
         self._closed = False
         self._loop = asyncio.new_event_loop()
@@ -82,7 +84,7 @@ class ServeClient:
         started.wait()
         self.broker = make_broker(
             policy=policy, dispatcher=dispatcher, executor=executor,
-            recorder=recorder,
+            recorder=recorder, tiers=tiers,
         )
         self._call(self.broker.start()).result()
 
@@ -101,19 +103,24 @@ class ServeClient:
     # Blocking API
     # ------------------------------------------------------------------
 
-    def factor(self, a: np.ndarray) -> np.ndarray:
+    def factor(self, a: np.ndarray, **kwargs) -> np.ndarray:
         """Factor one SPD matrix; blocks until its batch flushes."""
-        return self._call(self.broker.factor(a)).result()
+        return self._call(self.broker.factor(a, **kwargs)).result()
 
-    def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def solve(self, a: np.ndarray, b: np.ndarray, **kwargs) -> np.ndarray:
         """Solve ``A x = b``; blocks until its batch flushes."""
-        return self._call(self.broker.solve(a, b)).result()
+        return self._call(self.broker.solve(a, b, **kwargs)).result()
 
     def submit(
-        self, kind: str, a: np.ndarray, b: np.ndarray | None = None
+        self,
+        kind: str,
+        a: np.ndarray,
+        b: np.ndarray | None = None,
+        tier: str | None = None,
+        tenant: str | None = None,
     ) -> concurrent.futures.Future:
         """Fire-and-collect: returns a concurrent future for fan-out clients."""
-        return self._call(self.broker.submit(kind, a, b))
+        return self._call(self.broker.submit(kind, a, b, tier=tier, tenant=tenant))
 
     @property
     def metrics(self) -> ServeMetrics:
@@ -149,6 +156,10 @@ class TraceEvent:
     n: int
     seed: int
     nonspd: bool = False
+    #: SLA tagging (:mod:`repro.serve.admission`); ``None`` leaves the
+    #: admission layer's defaults in charge.
+    tier: str | None = None
+    tenant: str | None = None
 
 
 def synthetic_trace(
@@ -158,8 +169,16 @@ def synthetic_trace(
     solve_fraction: float = 0.4,
     nonspd_fraction: float = 0.0,
     seed: int = 0,
+    tiers: bool = False,
 ) -> list[TraceEvent]:
-    """A Poisson arrival trace of mixed-size factor/solve requests."""
+    """A Poisson arrival trace of mixed-size factor/solve requests.
+
+    With ``tiers`` every event is SLA-tagged in the canonical demo mix —
+    a gold trickle from one ``vip`` tenant, a silver midsection spread
+    over three teams, and a best-effort majority concentrated on one
+    ``hot`` tenant — drawn *after* the base trace's random draws, so the
+    untiered trace for a given seed is unchanged.
+    """
     if requests <= 0:
         raise ValueError(f"requests must be positive, got {requests}")
     if rate_hz <= 0:
@@ -170,6 +189,20 @@ def synthetic_trace(
     kinds = rng.random(requests) < solve_fraction
     sizes = rng.choice(ns, size=requests)
     nonspd = rng.random(requests) < nonspd_fraction
+    tier_of = [None] * requests
+    tenant_of = [None] * requests
+    if tiers:
+        draws = rng.random(requests)
+        spread = rng.integers(0, 3, size=requests)
+        hot = rng.random(requests) < 0.7
+        for i in range(requests):
+            if draws[i] < 0.10:
+                tier_of[i], tenant_of[i] = "gold", "vip"
+            elif draws[i] < 0.40:
+                tier_of[i], tenant_of[i] = "silver", f"team{int(spread[i])}"
+            else:
+                tier_of[i] = "best_effort"
+                tenant_of[i] = "hot" if hot[i] else f"spare{int(spread[i])}"
     return [
         TraceEvent(
             at=float(at[i]),
@@ -177,6 +210,8 @@ def synthetic_trace(
             n=int(sizes[i]),
             seed=seed * 100003 + i,
             nonspd=bool(nonspd[i]),
+            tier=tier_of[i],
+            tenant=tenant_of[i],
         )
         for i in range(requests)
     ]
@@ -221,6 +256,12 @@ class ReplaySummary:
     #: rode along (``None`` otherwise).
     slo: dict | None = None
     flight: object | None = None
+    #: Admission shape of the replay: the tier policy in force
+    #: (:meth:`~repro.serve.admission.AdmissionController.to_dict`) and
+    #: the fabric's hedge accounting (``None`` for untiered / unsharded
+    #: runs).  Per-tier/tenant outcomes live on ``metrics.tier_summary()``.
+    admission: dict | None = None
+    hedges: dict | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -280,6 +321,7 @@ def replay_trace(
     flight=None,
     kill_shard: int | None = None,
     kill_at_s: float | None = None,
+    tiers=None,
 ) -> ReplaySummary:
     """Replay an arrival trace through a fresh broker at real-time speed.
 
@@ -320,6 +362,13 @@ def replay_trace(
     ``kill_shard`` injects a fault: the named shard of a sharded broker
     is killed ``kill_at_s`` seconds after the replay clock starts — the
     breach-forcing lever the flight-recorder smoke test uses.
+
+    ``tiers`` puts the run under SLA admission control
+    (:mod:`repro.serve.admission`): a :class:`TierPolicy` spec string, a
+    policy/controller object, or ``None`` to consult
+    ``$REPRO_SERVE_TIERS``.  Each event's ``tier``/``tenant`` tags (v3
+    traces, tiered synthetic traces) ride its submission; untagged
+    events get the policy's default tier.
     """
     modes = {False: None, True: "wave", "wave": "wave", "sequential": "sequential"}
     if graph not in modes:
@@ -340,6 +389,7 @@ def replay_trace(
             dispatcher=dispatcher,
             executor=executor,
             recorder=recorder,
+            tiers=tiers,
         ) as broker:
             if warmup:
                 broker.warmup(e.n for e in events)
@@ -369,7 +419,13 @@ def replay_trace(
 
             async def _one(event, a, b):
                 await asyncio.sleep(max(0.0, event.at - (loop.time() - start)))
-                return await broker.submit(event.op, a, b)
+                return await broker.submit(
+                    event.op,
+                    a,
+                    b,
+                    tier=getattr(event, "tier", None),
+                    tenant=getattr(event, "tenant", None),
+                )
 
             graph_results = None
             if scheduler is None:
@@ -410,6 +466,11 @@ def replay_trace(
             shard_count = broker.shard_count if sharded else 1
             placement = broker.placement if sharded else None
             per_shard = broker.per_shard_metrics() if sharded else None
+            admission_ctl = broker.admission
+            admission_dict = (
+                admission_ctl.to_dict() if admission_ctl is not None else None
+            )
+            hedges = dict(broker.hedges) if sharded else None
         return ReplaySummary(
             requests=len(events),
             completed=completed,
@@ -428,6 +489,8 @@ def replay_trace(
             graph_results=graph_results,
             slo=monitor.status_dict() if monitor is not None else None,
             flight=flight,
+            admission=admission_dict,
+            hedges=hedges,
         )
 
     return asyncio.run(_replay())
@@ -502,6 +565,7 @@ def run_demo(
     flight=None,
     kill_shard: int | None = None,
     kill_at_ms: float | None = None,
+    tiers=None,
 ) -> tuple[str, ReplaySummary]:
     """Replay one synthetic trace and render the full metrics report.
 
@@ -513,7 +577,10 @@ def run_demo(
     decision summary; ``journal_out`` saves the full decision journal as
     JSONL.  ``slo``/``flight``/``kill_shard``/``kill_at_ms`` thread
     through to :func:`replay_trace`: burn-rate monitoring, the flight
-    recorder, and fault injection.
+    recorder, and fault injection.  ``tiers`` (or ``$REPRO_SERVE_TIERS``)
+    attaches SLA admission control *and* switches the synthetic traffic
+    to the tiered tenant mix, so the per-tier report section has
+    something to say.
     """
     policy = policy or ServePolicy(target_batch=64, max_delay_s=0.004)
     if backend is not None:
@@ -522,6 +589,10 @@ def run_demo(
         policy = replace(policy, shards=shards)
     if placement is not None:
         policy = replace(policy, placement=placement)
+    # Resolve admission up front: it decides whether the synthetic trace
+    # carries tier/tenant tags, and the same controller then serves the
+    # replay (one set of quota buckets, one fair-queue clock).
+    admission = make_admission(tiers)
     trace = synthetic_trace(
         requests=requests,
         ns=ns,
@@ -529,6 +600,7 @@ def run_demo(
         solve_fraction=solve_fraction,
         nonspd_fraction=nonspd_fraction,
         seed=seed,
+        tiers=admission is not None,
     )
     recorder = None
     if record_trace:
@@ -557,6 +629,7 @@ def run_demo(
         flight=flight,
         kill_shard=kill_shard,
         kill_at_s=kill_at_ms / 1e3 if kill_at_ms is not None else None,
+        tiers=admission,
     )
     if recorder is not None:
         recorder.save(record_trace)
@@ -594,6 +667,28 @@ def run_demo(
             f"slo     : {s['evaluations']} evaluations, "
             f"{s['breaches']} breaches; {states}"
         )
+    if summary.admission is not None:
+        tiers_summary = summary.metrics.tier_summary()
+        fairness = jain_index(tiers_summary.get("completed_by_tenant", {}).values())
+        lines.append(
+            f"tiers   : default={summary.admission['default_tier']}, "
+            f"tenant fairness (Jain) {fairness:.3f}"
+        )
+        for tier_name, row in tiers_summary.get("by_tier", {}).items():
+            extra = ""
+            if "coalesce_p99_ms" in row:
+                extra = f", coalesce p99 {row['coalesce_p99_ms']:.2f}ms"
+            lines.append(
+                f"  {tier_name}: {row['submitted']} submitted, "
+                f"{row['completed']} ok, {row['failed']} failed, "
+                f"{row['shed']} shed{extra}"
+            )
+        if summary.hedges is not None and summary.hedges["attempted"]:
+            h = summary.hedges
+            lines.append(
+                f"  hedges: {h['attempted']} raced, "
+                f"{h['won_hedge']} won by the hedge copy"
+            )
     if summary.per_shard is not None:
         lines.append(
             f"fabric  : {summary.shards} shards, placement={summary.placement}"

@@ -246,8 +246,27 @@ class AIMDStrategy:
             )
         # A burning latency SLO outranks throughput growth: flush sooner
         # so the tail comes back under the objective.  The bounds clamp
-        # enforces the deadline floor.
-        if window.max_burn_rate > self.burn_high:
+        # enforces the deadline floor.  Objective names carry their tier
+        # (``tier_gold_coalesce_p99_ms<50``), so when *only* best-effort
+        # objectives burn the response is the gentle additive trim —
+        # best-effort latency is the budget the admission layer spends
+        # first, not an emergency worth squeezing gold's batches for.
+        burning = [
+            name for name, burn in window.slo.items() if burn > self.burn_high
+        ]
+        if burning:
+            if all(name.startswith("tier_best_effort_") for name in burning):
+                softer = knobs.max_delay_ms - self.shrink_ms
+                if softer <= 0:
+                    return knobs, "hold"
+                return (
+                    Knobs(
+                        target_batch=knobs.target_batch,
+                        max_delay_ms=softer,
+                        placement=knobs.placement,
+                    ),
+                    "slo_burn_best_effort",
+                )
             return (
                 Knobs(
                     target_batch=knobs.target_batch,

@@ -178,9 +178,20 @@ _HISTOGRAMS = (
 _SKETCH_FAMILIES = frozenset({"coalesce_latency_ms", "flush_service_ms"})
 
 
+#: Dynamic per-tier family names: ``tier_{tier}_{family}`` for the two
+#: sketch-backed latency families, created lazily on first observation so
+#: tier-free brokers carry no extra state.  They live in the ordinary
+#: ``histograms`` dict — the SLO monitor's stream lookup, snapshotting,
+#: and the lossless cross-shard merge all apply unchanged.
+def tier_family_name(tier: str, family: str) -> str:
+    return f"tier_{tier}_{family}"
+
+
 def _make_family(name: str):
     """The right distribution type for one histogram family."""
-    if name in _SKETCH_FAMILIES:
+    if name in _SKETCH_FAMILIES or any(
+        name.endswith(f"_{family}") for family in _SKETCH_FAMILIES
+    ):
         return QuantileSketch()
     return Histogram()
 
@@ -205,6 +216,20 @@ class ServeMetrics:
         #: Empty for a standalone broker; the values always sum to at most
         #: ``counters["shed"]`` (exactly, when every shed was attributed).
         self.shed_by_shard: dict[int, int] = {}
+        #: Sheds broken out by the refused request's size bucket (``n``) —
+        #: cost-based admission needs to know *what* was dropped, not just
+        #: how much.
+        self.shed_by_bucket: dict[int, int] = {}
+        #: Per-tenant offered/served/refused attribution
+        #: (:mod:`repro.serve.admission`): fairness gates compute Jain's
+        #: index over ``completed_by_tenant``.  Empty without tiers.
+        self.submitted_by_tenant: dict[str, int] = {}
+        self.completed_by_tenant: dict[str, int] = {}
+        self.shed_by_tenant: dict[str, int] = {}
+        #: Tier names that have recorded at least one event, in first-seen
+        #: order (dict-as-ordered-set) — the Prometheus tier page and the
+        #: report iterate this instead of guessing from counter names.
+        self.tier_names: dict[str, None] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -214,16 +239,80 @@ class ServeMetrics:
         self.counters["submitted"] += 1
         self.histograms["queue_depth"].observe(queue_depth)
 
-    def record_shed(self, shard: int | None = None) -> None:
+    def record_shed(
+        self,
+        shard: int | None = None,
+        n: int | None = None,
+        tier: str | None = None,
+        tenant: str | None = None,
+    ) -> None:
+        """One refused request, attributed to where and what it was.
+
+        ``n`` tags the request's size bucket (every broker shed path
+        knows the matrix dimension before rejecting); ``tier``/``tenant``
+        are stamped by the admission layer.
+        """
         self.counters["shed"] += 1
         if shard is not None:
             self.shed_by_shard[shard] = self.shed_by_shard.get(shard, 0) + 1
+        if n is not None:
+            self.shed_by_bucket[n] = self.shed_by_bucket.get(n, 0) + 1
+        if tier is not None:
+            self._tier_counter(tier, "shed")
+        if tenant is not None:
+            self.shed_by_tenant[tenant] = self.shed_by_tenant.get(tenant, 0) + 1
 
     def record_completion(self) -> None:
         self.counters["completed"] += 1
 
     def record_failure(self) -> None:
         self.counters["failed"] += 1
+
+    # ------------------------------------------------------------------
+    # Per-tier recording (the admission layer's attribution plane)
+    # ------------------------------------------------------------------
+
+    def _tier_counter(self, tier: str, event: str, by: int = 1) -> None:
+        self.tier_names.setdefault(tier, None)
+        key = f"tier_{tier}_{event}"
+        self.counters[key] = self.counters.get(key, 0) + by
+
+    def tier_family(self, tier: str, family: str):
+        """Get-or-create one tier's sketch for a latency ``family``."""
+        self.tier_names.setdefault(tier, None)
+        name = tier_family_name(tier, family)
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = _make_family(name)
+        return hist
+
+    def record_tier_submit(self, tier: str, tenant: str) -> None:
+        self._tier_counter(tier, "submitted")
+        self.submitted_by_tenant[tenant] = (
+            self.submitted_by_tenant.get(tenant, 0) + 1
+        )
+
+    def record_tier_completion(
+        self,
+        tier: str,
+        tenant: str,
+        wait_ms: float | None = None,
+        service_ms: float | None = None,
+    ) -> None:
+        self._tier_counter(tier, "completed")
+        self.completed_by_tenant[tenant] = (
+            self.completed_by_tenant.get(tenant, 0) + 1
+        )
+        if wait_ms is not None:
+            self.tier_family(tier, "coalesce_latency_ms").observe(wait_ms)
+        if service_ms is not None:
+            self.tier_family(tier, "flush_service_ms").observe(service_ms)
+
+    def record_tier_failure(self, tier: str) -> None:
+        self._tier_counter(tier, "failed")
+
+    def tier_counter(self, tier: str, event: str) -> int:
+        return self.counters.get(f"tier_{tier}_{event}", 0)
 
     def record_timeout(self) -> None:
         # A timeout is a failure for accounting purposes; ``timed_out``
@@ -294,6 +383,17 @@ class ServeMetrics:
                 self.histograms[name] = _empty_like(hist).merge(hist)
         for shard, count in other.shed_by_shard.items():
             self.shed_by_shard[shard] = self.shed_by_shard.get(shard, 0) + count
+        for n, count in other.shed_by_bucket.items():
+            self.shed_by_bucket[n] = self.shed_by_bucket.get(n, 0) + count
+        for ours, theirs in (
+            (self.submitted_by_tenant, other.submitted_by_tenant),
+            (self.completed_by_tenant, other.completed_by_tenant),
+            (self.shed_by_tenant, other.shed_by_tenant),
+        ):
+            for tenant, count in theirs.items():
+                ours[tenant] = ours.get(tenant, 0) + count
+        for tier in other.tier_names:
+            self.tier_names.setdefault(tier, None)
         return self
 
     @classmethod
@@ -359,6 +459,47 @@ class ServeMetrics:
                 str(shard): count
                 for shard, count in sorted(self.shed_by_shard.items())
             }
+        if self.shed_by_bucket:
+            out["shed_by_bucket"] = {
+                str(n): count
+                for n, count in sorted(self.shed_by_bucket.items())
+            }
+        if self.tier_names:
+            out["tiers"] = self.tier_summary()
+        return out
+
+    def tier_summary(self) -> dict:
+        """Per-tier counters/tails plus per-tenant attribution, for JSON.
+
+        The replay harness embeds this as each run's ``tiers`` block; the
+        ``replay-check --tiers`` gate reads the per-tier p99s and the
+        per-tenant completions back out of it.
+        """
+        tiers: dict = {}
+        for tier in self.tier_names:
+            entry: dict = {
+                "submitted": self.tier_counter(tier, "submitted"),
+                "completed": self.tier_counter(tier, "completed"),
+                "failed": self.tier_counter(tier, "failed"),
+                "shed": self.tier_counter(tier, "shed"),
+            }
+            for family, label in (
+                ("coalesce_latency_ms", "coalesce"),
+                ("flush_service_ms", "service"),
+            ):
+                hist = self.histograms.get(tier_family_name(tier, family))
+                if hist is not None and hist.count:
+                    entry[f"{label}_p50_ms"] = hist.percentile(50)
+                    entry[f"{label}_p99_ms"] = hist.percentile(99)
+            tiers[tier] = entry
+        out: dict = {"by_tier": tiers}
+        for name, mapping in (
+            ("submitted_by_tenant", self.submitted_by_tenant),
+            ("completed_by_tenant", self.completed_by_tenant),
+            ("shed_by_tenant", self.shed_by_tenant),
+        ):
+            if mapping:
+                out[name] = dict(sorted(mapping.items()))
         return out
 
     def as_json(self, indent: int | None = 1) -> str:

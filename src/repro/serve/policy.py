@@ -60,6 +60,19 @@ class ServiceOverloaded(ServeError):
     """The pending-request queue is full; the request was shed."""
 
 
+class QuotaExceeded(ServiceOverloaded):
+    """The tenant's token-bucket quota is exhausted; the request was shed.
+
+    A subclass of :class:`ServiceOverloaded` so quota refusals count as
+    sheds everywhere sheds are counted — conservation
+    (``submitted == completed + failed + shed``) is unchanged.
+    """
+
+
+class HedgeFailed(ServeError):
+    """Every attempt of a hedged request failed (primary and hedge)."""
+
+
 class ShardDown(ServeError):
     """The broker shard holding this request died before resolving it.
 

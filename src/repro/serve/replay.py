@@ -26,6 +26,7 @@ from dataclasses import dataclass, replace
 
 from repro.obs import InMemorySink, Tracer, set_tracer, span_to_dict, stage_summary
 from repro.obs.slo import evaluate_objectives, parse_objectives
+from repro.serve.admission import jain_index
 from repro.serve.client import replay_trace
 from repro.serve.control.journal import verify_journal
 from repro.serve.policy import ServePolicy
@@ -41,7 +42,11 @@ from repro.serve.trace import RecordedTrace, normalize_events, trace_sha256
 #: sketch percentiles, see :mod:`repro.obs.sketch`) and the per-run
 #: ``slo`` block the ``replay-check --slo`` gate reads
 #: (:func:`~repro.obs.slo.evaluate_objectives`).  Every added field is
-#: additive, so older reports remain readable.
+#: additive, so older reports remain readable.  The per-run ``tiers``
+#: block (admission policy, per-tier counters/tails, per-tenant
+#: attribution, Jain's fairness, hedge counters — the ``replay-check
+#: --tiers`` gate's input) is additive within v3: untiered runs carry
+#: ``tiers: null`` and older v3 baselines stay valid.
 REPORT_SCHEMA = "repro.bench_serve_replay/v3"
 
 #: Schemas :func:`load_report` accepts.  Older baselines gate newer
@@ -68,7 +73,11 @@ class GridCell:
     cells still *start* from the cell's policy — the controller then
     adapts the hot knobs online.  ``graph`` honours the trace's v2 graph
     annotations through the :class:`~repro.serve.graph.GraphScheduler`
-    instead of replaying every event independently.
+    instead of replaying every event independently.  ``tiers`` attaches
+    an :class:`~repro.serve.admission.AdmissionController` (``"1"`` for
+    the default policy, or a :meth:`TierPolicy.parse` spec string);
+    ``None`` replays untiered *regardless* of ``$REPRO_SERVE_TIERS`` so
+    grid cells stay deterministic under the CI env matrix.
     """
 
     label: str
@@ -76,6 +85,7 @@ class GridCell:
     controller: str | None = None
     controller_interval_ms: float = 10.0
     graph: bool = False
+    tiers: str | None = None
 
 
 def policy_grid(
@@ -86,6 +96,7 @@ def policy_grid(
     placements=("size",),
     controllers=(None,),
     graphs=(False,),
+    tiers=(None,),
     base: ServePolicy | None = None,
 ) -> list[GridCell]:
     """The cross product of backends × batch targets × deadlines × shards.
@@ -111,6 +122,13 @@ def policy_grid(
     :class:`~repro.serve.graph.GraphScheduler`, honouring its v2 graph
     annotations.  Like the controlled dimension it is purely additive —
     dep-free cells and their labels are untouched.
+
+    ``tiers`` adds the admission dimension: each non-``None`` entry is a
+    tiers spec (``"1"`` for defaults, or a :meth:`TierPolicy.parse`
+    string) and suffixes the label with ``/tiers``.  Tiered cells carry
+    the per-tier ``tiers`` block :func:`compare_tiers` gates; untiered
+    cells and their labels stay byte-identical, so the v1/v2/v3
+    committed baselines keep matching.
     """
     base = base or ServePolicy(request_timeout_s=None)
     cells = []
@@ -121,28 +139,32 @@ def policy_grid(
                     for placement in placements if shard_count != 1 else (None,):
                         for controller in controllers:
                             for graph in graphs:
-                                label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
-                                if shard_count != 1:
-                                    label += f"/sh{shard_count}-{placement}"
-                                if controller is not None:
-                                    label += f"/ctl-{controller}"
-                                if graph:
-                                    label += "/graph"
-                                cells.append(
-                                    GridCell(
-                                        label=label,
-                                        policy=replace(
-                                            base,
-                                            backend=backend,
-                                            target_batch=tb,
-                                            max_delay_s=delay_ms / 1e3,
-                                            shards=shard_count,
-                                            placement=placement,
-                                        ),
-                                        controller=controller,
-                                        graph=bool(graph),
+                                for tier_spec in tiers:
+                                    label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
+                                    if shard_count != 1:
+                                        label += f"/sh{shard_count}-{placement}"
+                                    if controller is not None:
+                                        label += f"/ctl-{controller}"
+                                    if graph:
+                                        label += "/graph"
+                                    if tier_spec is not None:
+                                        label += "/tiers"
+                                    cells.append(
+                                        GridCell(
+                                            label=label,
+                                            policy=replace(
+                                                base,
+                                                backend=backend,
+                                                target_batch=tb,
+                                                max_delay_s=delay_ms / 1e3,
+                                                shards=shard_count,
+                                                placement=placement,
+                                            ),
+                                            controller=controller,
+                                            graph=bool(graph),
+                                            tiers=tier_spec,
+                                        )
                                     )
-                                )
     return cells
 
 
@@ -235,6 +257,7 @@ def run_record(
         "stages": stages or {},
         "controller": _controller_dict(summary),
         "graph": _graph_dict(summary),
+        "tiers": _tiers_dict(summary),
         "slo": _slo_dict(m, slo_objectives),
         "slo_monitor": getattr(summary, "slo", None),
     }
@@ -278,6 +301,28 @@ def _graph_dict(summary) -> dict | None:
         "graph_depth_mean": gm.histograms["graph_depth"].mean,
         "critical_path_ms_mean": critical.mean,
         "critical_path_ms_max": critical.max,
+    }
+
+
+def _tiers_dict(summary) -> dict | None:
+    """The run record's tiers block (``None`` for untiered replays).
+
+    Combines the admission policy the cell ran under (budgets included,
+    so the gate is self-describing), the per-tier counter/tail summary,
+    per-tenant attribution, Jain's fairness index over per-tenant
+    completions, and the fabric's hedge counters.  Everything the
+    ``replay-check --tiers`` gate reads lives here.
+    """
+    admission = getattr(summary, "admission", None)
+    if admission is None:
+        return None
+    tier_summary = summary.metrics.tier_summary()
+    completed_by_tenant = tier_summary.get("completed_by_tenant", {})
+    return {
+        "policy": admission,
+        "jain_fairness": jain_index(completed_by_tenant.values()),
+        "hedges": getattr(summary, "hedges", None),
+        **tier_summary,
     }
 
 
@@ -327,6 +372,10 @@ def run_replay_cell(
             controller=cell.controller or "off",
             controller_interval_s=cell.controller_interval_ms / 1e3,
             graph=cell.graph,
+            # "off" (not None) so an untiered cell ignores the
+            # $REPRO_SERVE_TIERS env knob — grid labels must stay
+            # deterministic under the CI env matrix.
+            tiers=cell.tiers if cell.tiers is not None else "off",
         )
     except Exception as exc:  # noqa: BLE001 - the gate judges failed cells
         return {
@@ -738,6 +787,190 @@ def render_slo(findings: list[str], report: dict) -> str:
     else:
         lines.append(
             f"ok: {len(with_slo)} run(s) within their error budgets"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TierGate:
+    """Floors and tolerances for the ``replay-check --tiers`` gate.
+
+    ``min_jain`` and ``min_best_effort_shed_frac`` are *absolute* floors
+    on the current report: the multi-tenant trace is built so a working
+    admission layer keeps tenant fairness high precisely *by* metering
+    the best-effort flood — if nothing sheds, fair queuing never
+    engaged.  Quota sheds are driven by trace arrival times against the
+    policy's refill rate, not machine speed, so the shed floor is stable
+    across hosts.  The baseline-relative checks (``jain_drop_abs``,
+    ``gold_shed_abs``) catch regressions the absolute floors would let
+    slide — and make a doctored baseline trip the gate.
+    """
+
+    min_jain: float = 0.9
+    min_best_effort_shed_frac: float = 0.30
+    jain_drop_abs: float = 0.005
+    gold_shed_abs: float = 0.02
+
+
+def compare_tiers(
+    baseline: dict, current: dict, tol: TierGate | None = None
+) -> list[str]:
+    """Gate the tiered cells of ``current`` against floors and a baseline.
+
+    Findings (any string fails the gate):
+
+    - no tiered run in the current report, or a tiered run that failed
+      or violated conservation;
+    - a tier whose coalesce p99 exceeded its policy ``p99_budget_ms``
+      (the gold budget is the headline acceptance check);
+    - tenant fairness (Jain's index over per-tenant completions) below
+      the absolute floor, or dropped more than ``jain_drop_abs`` below
+      the baseline's;
+    - a best-effort shed fraction under the floor — the flood was
+      admitted instead of metered;
+    - gold shedding more than ``gold_shed_abs`` above the baseline's
+      gold shed fraction (strict priority inverted);
+    - a tiered baseline run missing from the current report.
+    """
+    tol = tol or TierGate()
+    findings: list[str] = []
+    current_by_label = {
+        run.get("label", "?"): run
+        for run in current.get("runs", [])
+        if run.get("tiers")
+    }
+    if not current_by_label:
+        findings.append(
+            "no tiered runs in current report to gate "
+            "(regenerate with replay-check --tiers)"
+        )
+        return findings
+    base_by_label = {
+        run.get("label", "?"): run
+        for run in baseline.get("runs", [])
+        if run.get("tiers")
+    }
+    if not base_by_label:
+        findings.append(
+            "baseline has no tiered runs (regenerate the tiers baseline)"
+        )
+    for label, base_run in base_by_label.items():
+        if label not in current_by_label:
+            findings.append(f"{label}: tiered baseline run missing from report")
+    for label, run in sorted(current_by_label.items()):
+        if not run.get("ok", False):
+            findings.append(
+                f"{label}: failed run ({run.get('error', 'no error recorded')})"
+            )
+            continue
+        if not run.get("conservation_ok", False):
+            findings.append(f"{label}: request conservation violated")
+        tiers = run["tiers"]
+        by_tier = tiers.get("by_tier", {})
+        budgets = {
+            spec.get("name"): spec.get("p99_budget_ms")
+            for spec in tiers.get("policy", {}).get("tiers", [])
+        }
+        for tier_name, row in by_tier.items():
+            budget = budgets.get(tier_name)
+            p99 = row.get("coalesce_p99_ms")
+            if budget is not None and p99 is not None and p99 > budget:
+                findings.append(
+                    f"{label}: {tier_name} coalesce p99 {p99:.3f} ms over "
+                    f"its {budget:g} ms budget"
+                )
+        jain = tiers.get("jain_fairness", 0.0)
+        if jain < tol.min_jain:
+            findings.append(
+                f"{label}: tenant fairness (Jain) {jain:.3f} below the "
+                f"{tol.min_jain:g} floor"
+            )
+        best_effort = by_tier.get("best_effort", {})
+        if best_effort.get("submitted"):
+            shed_frac = best_effort.get("shed", 0) / best_effort["submitted"]
+            if shed_frac < tol.min_best_effort_shed_frac:
+                findings.append(
+                    f"{label}: best-effort shed fraction {shed_frac:.2f} "
+                    f"below the {tol.min_best_effort_shed_frac:g} floor — "
+                    "admission is not metering the flood"
+                )
+        base_run = base_by_label.get(label)
+        if base_run is None or not base_run.get("ok", False):
+            continue
+        base_tiers = base_run["tiers"]
+        base_jain = base_tiers.get("jain_fairness")
+        if base_jain is not None and jain < base_jain - tol.jain_drop_abs:
+            findings.append(
+                f"{label}: tenant fairness (Jain) {jain:.3f} regressed vs "
+                f"baseline {base_jain:.3f} (-{tol.jain_drop_abs:g} allowed)"
+            )
+        gold = by_tier.get("gold", {})
+        if gold.get("submitted"):
+            gold_frac = gold.get("shed", 0) / gold["submitted"]
+            base_gold = base_tiers.get("by_tier", {}).get("gold", {})
+            base_frac = (
+                base_gold.get("shed", 0) / base_gold["submitted"]
+                if base_gold.get("submitted")
+                else 0.0
+            )
+            if gold_frac > base_frac + tol.gold_shed_abs:
+                findings.append(
+                    f"{label}: gold shed fraction {gold_frac:.3f} vs "
+                    f"baseline {base_frac:.3f} (+{tol.gold_shed_abs:g} allowed)"
+                )
+    return findings
+
+
+def render_tiers(findings: list[str], report: dict) -> str:
+    """The tier gate's verdict: per-tier table first, then findings."""
+    from repro.utils.tables import format_table
+
+    lines = []
+    for run in report.get("runs", []):
+        tiers = run.get("tiers")
+        if not run.get("ok", False) or not tiers:
+            continue
+        rows = []
+        for tier_name, row in tiers.get("by_tier", {}).items():
+            rows.append(
+                [
+                    tier_name,
+                    row.get("submitted", 0),
+                    row.get("completed", 0),
+                    row.get("failed", 0),
+                    row.get("shed", 0),
+                    round(row.get("coalesce_p99_ms", 0.0), 3),
+                    round(row.get("service_p99_ms", 0.0), 3),
+                ]
+            )
+        table = format_table(
+            ["tier", "submitted", "completed", "failed", "shed",
+             "coalesce p99 ms", "service p99 ms"],
+            rows,
+        )
+        hedges = tiers.get("hedges") or {}
+        hedged = (
+            f", hedges {hedges['attempted']} "
+            f"(primary {hedges.get('won_primary', 0)}, "
+            f"hedge {hedges.get('won_hedge', 0)})"
+            if hedges.get("attempted")
+            else ""
+        )
+        lines.append(
+            f"{run.get('label', '?')}: tenant fairness (Jain) "
+            f"{tiers.get('jain_fairness', 0.0):.3f}{hedged}"
+        )
+        lines.append(table)
+    if findings:
+        lines.append(f"TIER GATE: {len(findings)} finding(s)")
+        lines.extend(f"  - {finding}" for finding in findings)
+    else:
+        gated = [
+            r for r in report.get("runs", []) if r.get("ok") and r.get("tiers")
+        ]
+        lines.append(
+            f"ok: {len(gated)} tiered run(s) within budget, fairness floor, "
+            "and baseline tolerance"
         )
     return "\n".join(lines)
 

@@ -48,10 +48,12 @@ import numpy as np
 
 from repro.autotune.dispatch import TunedDispatcher
 from repro.obs.tracer import TaggedTracer, get_tracer
+from repro.serve.admission import AdmissionController, make_admission
 from repro.serve.batcher import KINDS
 from repro.serve.broker import SolveBroker
 from repro.serve.metrics import ServeMetrics
 from repro.serve.policy import (
+    HedgeFailed,
     ServeError,
     ServePolicy,
     ServiceClosed,
@@ -80,6 +82,7 @@ class BrokerShard:
         dispatcher: TunedDispatcher | None = None,
         tracer=None,
         metrics: ServeMetrics | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.policy = policy
@@ -102,6 +105,9 @@ class BrokerShard:
             tracer=TaggedTracer({"shard": shard_id}, inner=tracer),
             recorder=None,  # the fabric records arrivals, with shard ids
             shard_id=shard_id,
+            # The fabric's shards share ONE controller: quotas and fair-
+            # queue clocks are fabric-wide facts, not per-shard ones.
+            admission=admission,
         )
 
     # ------------------------------------------------------------------
@@ -148,7 +154,9 @@ class BrokerShard:
     # Submission handoff
     # ------------------------------------------------------------------
 
-    def submit(self, kind, a, b=None) -> concurrent.futures.Future:
+    def submit(
+        self, kind, a, b=None, tier=None, tenant=None
+    ) -> concurrent.futures.Future:
         """Hand one request to this shard's broker; thread-safe.
 
         Raises :class:`ShardDown` immediately when the shard is already
@@ -159,7 +167,8 @@ class BrokerShard:
             raise ShardDown(f"shard {self.shard_id} is down")
         try:
             cf = asyncio.run_coroutine_threadsafe(
-                self.broker.submit(kind, a, b), self._loop
+                self.broker.submit(kind, a, b, tier=tier, tenant=tenant),
+                self._loop,
             )
         except RuntimeError:  # loop closed under us
             raise ShardDown(f"shard {self.shard_id} is down") from None
@@ -271,6 +280,7 @@ class ShardedBroker:
         shards: int | None = None,
         placement: str | None = None,
         ring_replicas: int = RING_REPLICAS,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.policy = policy or ServePolicy()
         count = shards if shards is not None else self.policy.shard_count()
@@ -281,12 +291,22 @@ class ShardedBroker:
         )
         self._tracer = tracer
         self.recorder = recorder
+        #: One :class:`~repro.serve.admission.AdmissionController` shared
+        #: by every shard broker (it is thread-safe by contract), plus
+        #: the fabric's own hedging of premium tiers (see :meth:`submit`).
+        self.admission = admission
+        #: Hedge accounting: attempts, and which copy won the race.
+        self.hedges = {"attempted": 0, "won_primary": 0, "won_hedge": 0}
         self.router = ShardRouter(
             range(count), placement=self.placement, replicas=ring_replicas
         )
         self.shards: dict[int, BrokerShard] = {
             k: BrokerShard(
-                k, self.policy, dispatcher=dispatcher, tracer=tracer
+                k,
+                self.policy,
+                dispatcher=dispatcher,
+                tracer=tracer,
+                admission=admission,
             )
             for k in range(count)
         }
@@ -351,16 +371,21 @@ class ShardedBroker:
     # Submission
     # ------------------------------------------------------------------
 
-    async def factor(self, a: np.ndarray) -> np.ndarray:
+    async def factor(self, a: np.ndarray, **kwargs) -> np.ndarray:
         """Factor one SPD matrix; resolves to its ``(n, n)`` lower factor."""
-        return await self.submit("factor", a)
+        return await self.submit("factor", a, **kwargs)
 
-    async def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    async def solve(self, a: np.ndarray, b: np.ndarray, **kwargs) -> np.ndarray:
         """Solve ``A x = b`` for one SPD matrix; resolves to ``x``."""
-        return await self.submit("solve", a, b)
+        return await self.submit("solve", a, b, **kwargs)
 
     async def submit(
-        self, kind: str, a: np.ndarray, b: np.ndarray | None = None
+        self,
+        kind: str,
+        a: np.ndarray,
+        b: np.ndarray | None = None,
+        tier: str | None = None,
+        tenant: str | None = None,
     ) -> np.ndarray:
         """Route one request to its shard and await the result.
 
@@ -368,20 +393,53 @@ class ShardedBroker:
         inputs, ``ServiceClosed`` after close, ``ServiceOverloaded`` when
         the target shard sheds, plus :class:`ShardDown` when the shard
         holding the request dies (or none are left to take it).
+
+        With an admission controller attached, a tier whose ``hedge_ms``
+        budget the primary shard's observed service p99 exceeds races a
+        second copy on another alive shard: first completion wins, the
+        loser is cancelled, and the caller still sees exactly one result
+        (or one error, when every copy fails).
         """
         n = self._check(kind, a, b)
         if self._closed:
             raise ServiceClosed("broker is closed")
+        if self.admission is not None:
+            tier, tenant = self.admission.resolve(tier, tenant)
         await self.start()
         self._seq += 1
         seq = self._seq
-        target, shard, cf = self._place(kind, a, b, n, seq)
+        target, shard, cf = self._place(kind, a, b, n, seq, tier, tenant)
         if self.recorder is not None:
             # Offered load, like the plain broker's hook — the event is
             # recorded whether the shard completes, fails, or sheds it,
             # and carries the shard the router chose.
             nrhs = 0 if b is None else (1 if np.ndim(b) == 1 else np.shape(b)[1])
-            self.recorder.record(kind, n, nrhs=nrhs, shard=target)
+            self.recorder.record(
+                kind, n, nrhs=nrhs, shard=target, tier=tier, tenant=tenant
+            )
+        hedge_target = self._hedge_target(tier, target)
+        if hedge_target is not None:
+            try:
+                hedge_cf = self.shards[hedge_target].submit(
+                    kind, a, b, tier=tier, tenant=tenant
+                )
+            except ShardDown:
+                self._note_down(hedge_target)
+            else:
+                self.hedges["attempted"] += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "hedge",
+                        cat="serve",
+                        tier=tier,
+                        n=n,
+                        primary=target,
+                        hedge=hedge_target,
+                    )
+                return await self._race(
+                    (target, cf), (hedge_target, hedge_cf), tier
+                )
         try:
             return await asyncio.wrap_future(cf)
         except asyncio.CancelledError:
@@ -402,7 +460,103 @@ class ShardedBroker:
                 raise ShardDown(f"shard {target} died mid-request") from None
             raise
 
-    def _place(self, kind, a, b, n: int, seq: int):
+    def _hedge_target(self, tier: str | None, primary: int) -> int | None:
+        """The shard to race a hedged copy on, or ``None`` for no hedge.
+
+        A hedge fires only when the request's tier carries a ``hedge_ms``
+        budget, the primary shard's *observed* flush-service p99 (its own
+        sketch, cumulative) already exceeds that budget, and another
+        alive shard exists to race on.  The second shard is the next one
+        on the alive ring, so repeated hedges of a struggling primary
+        spread deterministically.
+        """
+        if self.admission is None or tier is None:
+            return None
+        budget_ms = self.admission.hedge_budget_ms(tier)
+        if budget_ms is None:
+            return None
+        hist = self.shards[primary].broker.metrics.histograms.get(
+            "flush_service_ms"
+        )
+        if hist is None or not hist.count or hist.percentile(99) <= budget_ms:
+            return None
+        alive = self.router.alive
+        if primary in alive:
+            start = alive.index(primary)
+            ordered = alive[start + 1 :] + alive[:start]
+        else:
+            ordered = alive
+        for candidate in ordered:
+            if candidate != primary and not self.shards[candidate].dead.is_set():
+                return candidate
+        return None
+
+    async def _race(self, primary, hedge, tier: str | None) -> np.ndarray:
+        """Await two handoff futures; first success wins, loser cancelled.
+
+        The cancelled copy keeps flowing through its shard's broker (its
+        request future is shielded from the cancellation), so per-shard
+        accounting stays conserved — the fabric merely stops listening.
+        Shard-death errors mark the shard down exactly like the unhedged
+        path; when *every* copy fails, the caller gets the primary's
+        error if only shards died, else :class:`HedgeFailed`.
+        """
+        primary_id = primary[0]
+        entries = {}
+        for shard_id, cf in (primary, hedge):
+            wrapper = asyncio.wrap_future(cf)
+            entries[wrapper] = (shard_id, cf)
+        pending = set(entries)
+        errors: list[Exception] = []
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for wrapper in done:
+                shard_id, cf = entries[wrapper]
+                try:
+                    result = wrapper.result()
+                except asyncio.CancelledError:
+                    self._note_down(shard_id)
+                    errors.append(ShardDown(f"shard {shard_id} died mid-request"))
+                except ShardDown as exc:
+                    self._note_down(shard_id)
+                    errors.append(exc)
+                except ServiceClosed as exc:
+                    if self.shards[shard_id].dead.is_set():
+                        self._note_down(shard_id)
+                        errors.append(
+                            ShardDown(f"shard {shard_id} died mid-request")
+                        )
+                    else:
+                        errors.append(exc)
+                except Exception as exc:  # shed/numeric failure of one copy
+                    errors.append(exc)
+                else:
+                    for loser in pending:
+                        _, loser_cf = entries[loser]
+                        loser_cf.cancel()
+                    won = "won_primary" if shard_id == primary_id else "won_hedge"
+                    self.hedges[won] += 1
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.instant(
+                            "hedge_won",
+                            cat="serve",
+                            tier=tier,
+                            winner=shard_id,
+                            copy="primary" if shard_id == primary_id else "hedge",
+                        )
+                    return result
+        shard_down = [e for e in errors if isinstance(e, ShardDown)]
+        if len(shard_down) == len(errors):
+            raise shard_down[0]
+        raise HedgeFailed(
+            f"every copy of the hedged {tier} request failed: "
+            + "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+        ) from errors[0]
+
+    def _place(self, kind, a, b, n: int, seq: int, tier=None, tenant=None):
         """Pick an alive shard for the request and hand it off.
 
         Retries placement when the chosen shard turns out to be dead at
@@ -413,7 +567,11 @@ class ShardedBroker:
             target = self.router.place(n, seq)  # ShardDown when ring empty
             shard = self.shards[target]
             try:
-                return target, shard, shard.submit(kind, a, b)
+                return (
+                    target,
+                    shard,
+                    shard.submit(kind, a, b, tier=tier, tenant=tenant),
+                )
             except ShardDown:
                 self._note_down(target)
 
@@ -542,6 +700,7 @@ def make_broker(
     metrics: ServeMetrics | None = None,
     tracer=None,
     recorder=None,
+    tiers=None,
 ):
     """A broker shaped by the policy: plain at one shard, fabric above.
 
@@ -552,8 +711,14 @@ def make_broker(
     shard count — those objects are inherently single-broker (one backend
     instance, one counter set), and tests that inject them must keep
     meaning what they meant.
+
+    ``tiers`` attaches the admission layer
+    (:func:`~repro.serve.admission.make_admission` accepts ``None`` —
+    consult ``$REPRO_SERVE_TIERS`` — a spec string, a
+    :class:`~repro.serve.admission.TierPolicy`, or a ready controller).
     """
     policy = policy or ServePolicy()
+    admission = make_admission(tiers)
     count = policy.shard_count()
     if count <= 1 or executor is not None or metrics is not None:
         return SolveBroker(
@@ -563,6 +728,7 @@ def make_broker(
             metrics=metrics,
             tracer=tracer,
             recorder=recorder,
+            admission=admission,
         )
     return ShardedBroker(
         policy=policy,
@@ -571,4 +737,5 @@ def make_broker(
         recorder=recorder,
         shards=count,
         placement=policy.placement_name(),
+        admission=admission,
     )

@@ -64,10 +64,11 @@ from repro.utils.spd import make_spd
 TRACE_FORMAT = "repro-trace"
 
 #: Highest trace-format version this loader understands.  Version 2
-#: added the optional ``graph``/``deps`` event fields; writers emit a
-#: version-1 header whenever no event uses them, preserving the v1 byte
-#: fixed point for dep-free traces.
-TRACE_VERSION = 2
+#: added the optional ``graph``/``deps`` event fields; version 3 adds the
+#: optional ``tier``/``tenant`` admission fields.  Writers emit the lowest
+#: header version the events need (:func:`trace_version_for`), preserving
+#: the v1/v2 byte fixed points for traces that don't use the new fields.
+TRACE_VERSION = 3
 
 #: Multiplier used to derive per-event input seeds from a base seed —
 #: the same constant :func:`repro.serve.client.synthetic_trace` uses, so
@@ -113,6 +114,13 @@ class RecordedEvent:
     #: event sequence* (not global trace indices) — stable under any
     #: merge that preserves per-graph order.  Requires ``graph``.
     deps: tuple[int, ...] = ()
+    #: SLA tier of the arrival (``repro.serve.admission``).  Version-3
+    #: field; omitted when absent so tier-free traces keep the v1/v2 byte
+    #: layout.
+    tier: str | None = None
+    #: Tenant id of the arrival (quotas, weighted fair queuing).
+    #: Version-3 field, omitted when absent.
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -136,6 +144,10 @@ class RecordedEvent:
             raise ValueError(f"deps must be >= 0, got {self.deps}")
         if len(set(self.deps)) != len(self.deps):
             raise ValueError(f"duplicate deps {self.deps}")
+        if self.tier is not None and not self.tier:
+            raise ValueError("tier must be a non-empty string or None")
+        if self.tenant is not None and not self.tenant:
+            raise ValueError("tenant must be a non-empty string or None")
 
     def to_dict(self) -> dict:
         """Canonical JSON object: fixed key order, defaults omitted."""
@@ -151,17 +163,24 @@ class RecordedEvent:
             out["graph"] = self.graph
         if self.deps:
             out["deps"] = list(self.deps)
+        if self.tier is not None:
+            out["tier"] = self.tier
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
         return out
 
     @classmethod
     def from_dict(cls, obj: dict) -> "RecordedEvent":
         unknown = set(obj) - {
             "at", "op", "n", "nrhs", "seed", "nonspd", "shard", "graph", "deps",
+            "tier", "tenant",
         }
         if unknown:
             raise ValueError(f"unknown event field(s) {sorted(unknown)}")
         shard = obj.get("shard")
         graph = obj.get("graph")
+        tier = obj.get("tier")
+        tenant = obj.get("tenant")
         return cls(
             at=float(obj["at"]),
             op=str(obj["op"]),
@@ -172,6 +191,8 @@ class RecordedEvent:
             shard=None if shard is None else int(shard),
             graph=None if graph is None else int(graph),
             deps=tuple(int(d) for d in obj.get("deps", ())),
+            tier=None if tier is None else str(tier),
+            tenant=None if tenant is None else str(tenant),
         )
 
 
@@ -211,6 +232,8 @@ def as_recorded(event) -> RecordedEvent:
         nrhs=1 if op == "solve" else 0,
         seed=event.seed,
         nonspd=getattr(event, "nonspd", False),
+        tier=getattr(event, "tier", None),
+        tenant=getattr(event, "tenant", None),
     )
 
 
@@ -260,10 +283,12 @@ def _dumps(obj: dict) -> str:
 def trace_version_for(events) -> int:
     """The lowest header version that can express ``events``.
 
-    Graph annotations need version 2; everything else is version 1, so a
-    dep-free trace — whoever writes it — stays a byte fixed point of the
-    v1 format.
+    Tier/tenant annotations need version 3, graph annotations version 2;
+    everything else is version 1, so a trace that uses neither — whoever
+    writes it — stays a byte fixed point of the format it was born in.
     """
+    if any(e.tier is not None or e.tenant is not None for e in events):
+        return 3
     return 2 if any(e.graph is not None for e in events) else 1
 
 
@@ -324,6 +349,13 @@ def load_trace_file(path) -> RecordedTrace:
         raise ValueError(
             f"{path}: version {version} trace carries graph/deps fields "
             f"(they need version 2)"
+        )
+    if version < 3 and any(
+        e.tier is not None or e.tenant is not None for e in events
+    ):
+        raise ValueError(
+            f"{path}: version {version} trace carries tier/tenant fields "
+            f"(they need version 3)"
         )
     _check_sorted(events, path=path)
     _check_graph_deps(events, path=path)
@@ -425,6 +457,8 @@ class TraceRecorder:
         shard: int | None = None,
         graph: int | None = None,
         deps: tuple[int, ...] = (),
+        tier: str | None = None,
+        tenant: str | None = None,
     ) -> RecordedEvent:
         """Append one arrival; returns the event as recorded."""
         if at is None:
@@ -436,7 +470,7 @@ class TraceRecorder:
             seed = derive_seed(self.seed, len(self.events))
         event = RecordedEvent(
             at=at, op=op, n=n, nrhs=nrhs, seed=seed, nonspd=nonspd, shard=shard,
-            graph=graph, deps=deps,
+            graph=graph, deps=deps, tier=tier, tenant=tenant,
         )
         if self.events and event.at < self.events[-1].at:
             raise ValueError(
@@ -459,6 +493,8 @@ class TraceRecorder:
             shard=e.shard,
             graph=e.graph,
             deps=e.deps,
+            tier=e.tier,
+            tenant=e.tenant,
         )
 
     def save(self, path) -> int:

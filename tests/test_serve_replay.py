@@ -317,13 +317,17 @@ class TestBrokerRecording:
 
 class TestCanonicalTraces:
     @pytest.mark.parametrize(
-        "name", ["uniform_small", "bursty_mixed", "als_solves", "als_graph"]
+        "name",
+        ["uniform_small", "bursty_mixed", "als_solves", "als_graph",
+         "multi_tenant"],
     )
     def test_committed_trace_loads(self, name):
         trace = load_trace_file(TRACES_DIR / f"{name}.jsonl")
         assert len(trace) > 100
         assert trace.meta["name"] == name
-        if name == "als_graph":
+        if name == "multi_tenant":
+            assert trace.version == 3
+        elif name == "als_graph":
             assert trace.version == 2
         else:
             # The pre-graph canonical traces must stay v1 byte-for-byte.

@@ -1,0 +1,963 @@
+"""SLA tiers, admission control, fair queuing, hedging — and their gates.
+
+Covers ``repro.serve.admission`` end to end: tier policy parsing, token
+buckets, cost-based tier-ordered shedding, weighted fair queuing, quota
+recovery, gold-tier hedging on the sharded fabric (including a shard
+kill mid-hedge), the v3 trace fields, the per-tier Prometheus page, the
+tier-aware SLO/control plumbing, and the ``replay-check --tiers`` gate
+with its committed baseline.
+"""
+
+import asyncio
+import json
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.obs import (
+    FlightRecorder,
+    InMemorySink,
+    Tracer,
+    render_tier_prometheus,
+    set_tracer,
+)
+from repro.serve import (
+    SHED_ORDER,
+    TIERS,
+    AdmissionController,
+    PendingRequest,
+    QuotaExceeded,
+    ServeMetrics,
+    ServePolicy,
+    ShardedBroker,
+    SolveBroker,
+    TierGate,
+    TierPolicy,
+    TierSpec,
+    TokenBucket,
+    compare_tiers,
+    default_tier_policy,
+    jain_index,
+    load_report,
+    make_admission,
+    replay_trace,
+    shed_rank,
+    synthetic_trace,
+    trace_sha256,
+)
+from repro.serve.admission import DEFAULT_TENANT
+from repro.serve.batcher import AdaptiveBatcher
+from repro.serve.trace import RecordedEvent, load_trace_file, save_trace
+from repro.utils.spd import random_spd_batch
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TRACES_DIR = REPO / "benchmarks" / "traces"
+TIERS_BASELINE = REPO / "benchmarks" / "baselines" / "serve_replay_tiers_baseline.json"
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    return random_spd_batch(1, n, seed=seed)[0]
+
+
+def _policy(**overrides) -> ServePolicy:
+    defaults = dict(target_batch=16, max_delay_s=0.002, request_timeout_s=None)
+    defaults.update(overrides)
+    return ServePolicy(**defaults)
+
+
+def _request(seq, n=8, tier="silver", tenant="default", vft=0.0) -> PendingRequest:
+    return PendingRequest(
+        seq=seq,
+        kind="factor",
+        a=np.zeros((n, n)),
+        b=None,
+        future=None,
+        enqueued_at=0.0,
+        tier=tier,
+        tenant=tenant,
+        vft=vft,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tier policy and specs
+# ----------------------------------------------------------------------
+
+
+class TestTierPolicy:
+    def test_default_policy_names_and_shed_order(self):
+        policy = default_tier_policy()
+        assert policy.names() == TIERS == ("gold", "silver", "best_effort")
+        assert SHED_ORDER == ("best_effort", "silver", "gold")
+        assert shed_rank("best_effort") < shed_rank("silver") < shed_rank("gold")
+
+    def test_default_gold_has_deadline_hedge_and_budget(self):
+        gold = default_tier_policy().spec("gold")
+        assert gold.deadline_ms == 2.0
+        assert gold.hedge_ms == 250.0
+        assert gold.p99_budget_ms == 250.0
+        assert default_tier_policy().spec("best_effort").rate == 120.0
+
+    def test_parse_round_trips_through_to_dict(self):
+        spec = "gold:weight=4,deadline_ms=1.5;best_effort:rate=5,burst=2;default=best_effort"
+        policy = TierPolicy.parse(spec)
+        assert policy.default_tier == "best_effort"
+        assert policy.spec("gold").deadline_ms == 1.5
+        assert policy.spec("best_effort").burst == 2.0
+        again = TierPolicy(
+            tiers=tuple(TierSpec(**t) for t in policy.to_dict()["tiers"]),
+            default_tier=policy.to_dict()["default_tier"],
+        )
+        assert again.to_dict() == policy.to_dict()
+
+    def test_parse_none_clears_a_field(self):
+        policy = TierPolicy.parse("gold:hedge_ms=none")
+        assert policy.spec("gold").hedge_ms is None
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            default_tier_policy().spec("platinum")
+        with pytest.raises(ValueError):
+            TierPolicy.parse("default=platinum")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"weight": 0.0}, {"rate": -1.0}, {"deadline_ms": 0.0}],
+    )
+    def test_invalid_spec_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TierSpec(name="gold", **kwargs)
+
+    def test_make_admission_normalizes_every_shape(self):
+        assert make_admission("off") is None
+        assert make_admission("0") is None
+        ctl = make_admission("1")
+        assert isinstance(ctl, AdmissionController)
+        assert make_admission(ctl) is ctl
+        assert isinstance(make_admission(default_tier_policy()), AdmissionController)
+        with pytest.raises(TypeError):
+            make_admission(42)
+
+    def test_env_knob_resolves_when_tiers_is_none(self, monkeypatch):
+        from repro.serve.admission import TIERS_ENV
+
+        monkeypatch.setenv(TIERS_ENV, "off")
+        assert make_admission(None) is None
+        monkeypatch.setenv(TIERS_ENV, "1")
+        assert isinstance(make_admission(None), AdmissionController)
+        monkeypatch.setenv(TIERS_ENV, "best_effort:rate=5")
+        assert make_admission(None).policy.spec("best_effort").rate == 5.0
+
+
+class TestJainIndex:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_index([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_single_or_empty_population_is_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([7]) == pytest.approx(1.0)
+
+    def test_starvation_lowers_the_index_toward_one_over_n(self):
+        assert jain_index([100, 0, 0, 0]) == pytest.approx(0.25)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=16))
+    def test_index_is_always_in_unit_interval(self, xs):
+        assert 0.0 <= jain_index(xs) <= 1.0 + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Token buckets and quota conservation
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, capacity=3.0, now=0.0)
+        assert [bucket.consume(0.0) for _ in range(4)] == [True] * 3 + [False]
+        assert bucket.consume(0.1) is True  # one token refilled
+        assert bucket.available(10.0) == pytest.approx(3.0)  # capped
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0, now=5.0)
+        assert bucket.consume(5.0)
+        # A stale timestamp must not mint tokens or corrupt the clock.
+        assert not bucket.consume(4.0)
+        assert bucket.updated == 5.0
+
+    @given(
+        rate=st.floats(min_value=0.5, max_value=100.0),
+        capacity=st.floats(min_value=1.0, max_value=50.0),
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=60
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quota_conservation_property(self, rate, capacity, gaps):
+        # Grants over any consume schedule never exceed the initial
+        # burst plus what the refill rate minted over elapsed time.
+        bucket = TokenBucket(rate=rate, capacity=capacity, now=0.0)
+        t, granted = 0.0, 0
+        for gap in gaps:
+            t += gap
+            if bucket.consume(t):
+                granted += 1
+        assert granted <= capacity + rate * t + 1e-6
+        assert 0.0 <= bucket.tokens <= capacity + 1e-9
+
+
+class TestQuotaRecovery:
+    def _controller(self):
+        clock = {"t": 0.0}
+        policy = TierPolicy(
+            tiers=(
+                TierSpec(name="gold"),
+                TierSpec(name="silver"),
+                TierSpec(name="best_effort", rate=10.0, burst=2.0),
+            )
+        )
+        return AdmissionController(policy, time_fn=lambda: clock["t"]), clock
+
+    def test_exhausted_tenant_recovers_after_refill(self):
+        ctl, clock = self._controller()
+        ctl.check_quota("best_effort", "hot")
+        ctl.check_quota("best_effort", "hot")
+        with pytest.raises(QuotaExceeded, match="'hot' exhausted"):
+            ctl.check_quota("best_effort", "hot")
+        clock["t"] = 0.1  # 10/s refill: one token back
+        ctl.check_quota("best_effort", "hot")  # recovered
+
+    def test_quota_is_per_tenant(self):
+        ctl, _ = self._controller()
+        ctl.check_quota("best_effort", "hot")
+        ctl.check_quota("best_effort", "hot")
+        with pytest.raises(QuotaExceeded):
+            ctl.check_quota("best_effort", "hot")
+        # A different tenant's bucket is untouched.
+        ctl.check_quota("best_effort", "cold")
+
+    def test_unmetered_tiers_never_raise(self):
+        ctl, _ = self._controller()
+        for _ in range(100):
+            ctl.check_quota("gold", "vip")
+
+    def test_quota_exhaustion_is_a_shed_in_broker_accounting(self, tmp_path):
+        # Fault-injection drill: a quota-exhausted tenant's refusals
+        # must land in the shed counters (conservation stays exact), the
+        # flight record must name the tier, and the tenant must be
+        # admitted again after the bucket refills.
+        flight = FlightRecorder(capacity=64)
+        previous = set_tracer(Tracer([flight]))
+        admission = make_admission("best_effort:rate=5,burst=2")
+
+        async def scenario():
+            broker = SolveBroker(_policy(target_batch=4), admission=admission)
+            await broker.start()
+            outcomes = []
+            for i in range(4):
+                try:
+                    outcomes.append(
+                        await broker.submit(
+                            "factor", _spd(8, seed=i),
+                            tier="best_effort", tenant="hot",
+                        )
+                    )
+                except QuotaExceeded as exc:
+                    outcomes.append(exc)
+            await asyncio.sleep(0.25)  # 5/s refill: a token is back
+            recovered = await broker.submit(
+                "factor", _spd(8, seed=9), tier="best_effort", tenant="hot"
+            )
+            await broker.close()
+            return outcomes, recovered, broker.metrics
+
+        try:
+            outcomes, recovered, m = asyncio.run(scenario())
+        finally:
+            set_tracer(previous)
+        shed = [o for o in outcomes if isinstance(o, QuotaExceeded)]
+        assert len(shed) == 2
+        assert isinstance(recovered, np.ndarray)
+        assert m.counters["shed"] == 2
+        assert m.unaccounted == 0
+        assert m.tier_counter("best_effort", "shed") == 2
+        assert (
+            m.tier_counter("best_effort", "submitted")
+            == m.tier_counter("best_effort", "completed") + 2
+        )
+        dump = tmp_path / "flight.jsonl"
+        flight.dump(dump)
+        text = dump.read_text()
+        assert '"shed"' in text
+        assert '"tier": "best_effort"' in text
+        assert '"tenant": "hot"' in text
+
+
+# ----------------------------------------------------------------------
+# Cost model and tier-ordered shedding
+# ----------------------------------------------------------------------
+
+
+class TestCostModel:
+    def test_fallback_cost_is_cholesky_flops(self):
+        ctl = AdmissionController()
+        assert ctl.cost(8) == pytest.approx(8**3 / 3.0)
+        assert ctl.cost(8) < ctl.cost(16) < ctl.cost(32)
+
+    def test_bound_executor_cost_is_modelled_seconds(self):
+        from repro.serve import BatchExecutor
+
+        ctl = AdmissionController()
+        ctl.bind_executor(BatchExecutor())
+        # Modelled seconds per matrix: tiny, positive, monotone in n.
+        assert 0.0 < ctl.cost(8) < ctl.cost(32) < 1.0
+
+    def test_explicit_cost_fn_survives_bind(self):
+        ctl = AdmissionController(cost_fn=lambda n: float(n))
+        ctl.bind_executor(object())  # never consulted
+        assert ctl.cost(16) == 16.0
+
+
+class TestTierOrderedShedding:
+    @given(
+        queued=st.lists(
+            st.tuples(
+                st.sampled_from(TIERS), st.sampled_from((4, 8, 16, 32))
+            ),
+            max_size=24,
+        ),
+        incoming=st.sampled_from(TIERS),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_victim_is_cheapest_of_strictly_lower_tiers(self, queued, incoming):
+        ctl = AdmissionController()
+        requests = [
+            _request(seq=i, n=n, tier=tier) for i, (tier, n) in enumerate(queued)
+        ]
+        victim = ctl.victim(requests, incoming)
+        lower = [r for r in requests if shed_rank(r.tier) < shed_rank(incoming)]
+        if not lower:
+            assert victim is None
+        else:
+            assert victim in lower
+            min_rank = min(shed_rank(r.tier) for r in lower)
+            cheapest = min(
+                ctl.cost(r.n) for r in lower if shed_rank(r.tier) == min_rank
+            )
+            assert shed_rank(victim.tier) == min_rank
+            assert ctl.cost(victim.n) == cheapest
+
+    def test_gold_never_shed_while_best_effort_queued(self):
+        # The broker-level guarantee: under backpressure a gold arrival
+        # preempts queued best-effort work instead of being refused.
+        async def scenario():
+            broker = SolveBroker(
+                _policy(target_batch=64, max_delay_s=0.5, max_queue_depth=2),
+                admission=make_admission("1"),
+            )
+            await broker.start()
+            filler = [
+                asyncio.ensure_future(
+                    broker.submit("factor", _spd(8, seed=i), tier="best_effort")
+                )
+                for i in range(2)
+            ]
+            await asyncio.sleep(0)  # fillers reach the bucket
+            gold = await broker.submit("factor", _spd(8, seed=7), tier="gold")
+            shed = await asyncio.gather(*filler, return_exceptions=True)
+            await broker.close()
+            return gold, shed, broker.metrics
+
+        gold, shed, m = asyncio.run(scenario())
+        assert isinstance(gold, np.ndarray)
+        assert sum(1 for o in shed if isinstance(o, Exception)) == 1
+        assert m.tier_counter("gold", "shed") == 0
+        assert m.tier_counter("best_effort", "shed") == 1
+        assert m.unaccounted == 0
+
+    def test_best_effort_arrival_into_full_queue_sheds_itself(self):
+        async def scenario():
+            broker = SolveBroker(
+                _policy(target_batch=64, max_delay_s=0.5, max_queue_depth=1),
+                admission=make_admission("1"),
+            )
+            await broker.start()
+            holder = asyncio.ensure_future(
+                broker.submit("factor", _spd(8), tier="silver")
+            )
+            await asyncio.sleep(0)
+            with pytest.raises(Exception) as excinfo:
+                await broker.submit("factor", _spd(8, seed=1), tier="best_effort")
+            holder.cancel()
+            await broker.close(drain=False)
+            return excinfo.value, broker.metrics
+
+        exc, m = asyncio.run(scenario())
+        assert "best_effort" not in type(exc).__name__
+        assert m.tier_counter("best_effort", "shed") == 1
+        assert m.tier_counter("silver", "shed") == 0
+
+
+class TestPlainBrokerShedRecordsBucket:
+    def test_untiered_shed_records_the_size_bucket(self):
+        # Regression: the plain (no-admission) shed path must tag the
+        # refused request's size bucket in the shed metrics before
+        # rejecting, like every other outcome path does.
+        from repro.serve import ServiceOverloaded
+
+        async def scenario():
+            broker = SolveBroker(
+                _policy(target_batch=64, max_delay_s=0.5, max_queue_depth=1)
+            )
+            await broker.start()
+            holder = asyncio.ensure_future(broker.submit("factor", _spd(8)))
+            await asyncio.sleep(0)
+            with pytest.raises(ServiceOverloaded):
+                await broker.submit("factor", _spd(16, seed=1))
+            holder.cancel()
+            await broker.close(drain=False)
+            return broker.metrics
+
+        m = asyncio.run(scenario())
+        assert m.shed_by_bucket == {16: 1}
+        assert m.counters["shed"] == 1
+        # No admission layer: the tier planes must stay untouched.
+        assert m.tier_names == {}
+
+
+# ----------------------------------------------------------------------
+# Weighted fair queuing
+# ----------------------------------------------------------------------
+
+
+class TestWeightedFairQueue:
+    def test_stamp_sets_vft_and_tier_deadline(self):
+        ctl = AdmissionController()
+        request = _request(seq=1, tier="gold", tenant="vip")
+        ctl.stamp(request)
+        assert request.vft > 0.0
+        assert request.delay_s == pytest.approx(0.002)
+        silver = _request(seq=2, tier="silver")
+        ctl.stamp(silver)
+        assert silver.delay_s is None
+
+    def test_idle_tenant_reenters_at_global_virtual_time(self):
+        ctl = AdmissionController(cost_fn=lambda n: 1.0)
+        first = _request(seq=1, tenant="busy")
+        ctl.stamp(first)
+        ctl.advance(100.0)
+        late = _request(seq=2, tenant="idle")
+        ctl.stamp(late)
+        # No banked credit: the idle tenant starts at the global clock.
+        assert late.vft > 100.0
+
+    @given(
+        weights=st.tuples(
+            st.integers(min_value=1, max_value=8),
+            st.integers(min_value=1, max_value=8),
+            st.integers(min_value=1, max_value=8),
+        ),
+        limit=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wfq_drain_is_weight_proportional(self, weights, limit):
+        # One tenant per tier, equal-cost requests: a limited pop drains
+        # each tenant proportionally to its tier weight, within one
+        # flush slot per tenant of the ideal share.
+        specs = tuple(
+            TierSpec(name=name, weight=float(w))
+            for name, w in zip(TIERS, weights)
+        )
+        ctl = AdmissionController(
+            TierPolicy(tiers=specs), cost_fn=lambda n: 1.0
+        )
+        batcher = AdaptiveBatcher(threshold_for=lambda n: 4096)
+        seq = 0
+        for k in range(64):
+            for name in TIERS:
+                request = _request(seq=seq, n=8, tier=name, tenant=name)
+                ctl.stamp(request)
+                batcher.add(request)
+                seq += 1
+        taken = batcher.pop(8, limit=limit)
+        assert len(taken) == limit
+        total_weight = sum(weights)
+        counts = dict.fromkeys(TIERS, 0)
+        for request in taken:
+            counts[request.tenant] += 1
+        for name, w in zip(TIERS, weights):
+            ideal = limit * w / total_weight
+            assert abs(counts[name] - ideal) <= len(TIERS), (
+                weights, limit, counts,
+            )
+
+    def test_pop_without_limit_keeps_fifo(self):
+        batcher = AdaptiveBatcher(threshold_for=lambda n: 4)
+        requests = [_request(seq=i, vft=float(10 - i)) for i in range(3)]
+        for request in requests:
+            batcher.add(request)
+        assert batcher.pop(8) == requests  # arrival order, not vft order
+
+
+# ----------------------------------------------------------------------
+# Hedging on the sharded fabric
+# ----------------------------------------------------------------------
+
+
+def _hedge_admission() -> AdmissionController:
+    """Gold hedges as soon as the primary has any service history."""
+    return AdmissionController(
+        TierPolicy(
+            tiers=(
+                TierSpec(name="gold", weight=4.0, deadline_ms=3.0, hedge_ms=1e-4),
+                TierSpec(name="silver", weight=2.0),
+                TierSpec(name="best_effort"),
+            )
+        )
+    )
+
+
+class TestHedging:
+    def test_hedge_returns_exactly_one_result_and_conserves(self):
+        async def scenario():
+            broker = ShardedBroker(
+                _policy(target_batch=4096, max_delay_s=0.003),
+                shards=2,
+                placement="size",
+                admission=_hedge_admission(),
+            )
+            await broker.start()
+            first = await broker.factor(_spd(8, seed=0), tier="gold")
+            assert broker.hedges["attempted"] == 0  # no history yet
+            second = await broker.factor(_spd(8, seed=1), tier="gold")
+            await broker.close(drain=True)
+            return first, second, broker
+
+        first, second, broker = asyncio.run(scenario())
+        assert isinstance(first, np.ndarray) and isinstance(second, np.ndarray)
+        assert broker.hedges["attempted"] == 1
+        assert (
+            broker.hedges["won_primary"] + broker.hedges["won_hedge"]
+            == broker.hedges["attempted"]
+        )
+        m = broker.metrics
+        # Both copies of the hedged request complete on their shards;
+        # fabric-wide conservation stays exact with no double-count gaps.
+        assert m.unaccounted == 0
+        assert m.counters["submitted"] == 3  # 2 requests + 1 hedge copy
+        assert m.counters["completed"] == 3
+
+    def test_silver_never_hedges(self):
+        async def scenario():
+            broker = ShardedBroker(
+                _policy(target_batch=4096, max_delay_s=0.003),
+                shards=2,
+                placement="size",
+                admission=_hedge_admission(),
+            )
+            await broker.start()
+            for i in range(3):
+                await broker.factor(_spd(8, seed=i), tier="silver")
+            await broker.close(drain=True)
+            return broker.hedges
+
+        assert asyncio.run(scenario())["attempted"] == 0
+
+    def test_kill_primary_mid_hedge_winner_from_survivor(self, tmp_path):
+        # Fault injection: the primary shard dies while a hedged gold
+        # request is in flight on both shards.  The hedge copy must win,
+        # the caller sees exactly one result, accounting stays exact,
+        # and the flight record names the hedged tier.
+        flight = FlightRecorder(capacity=256)
+        previous = set_tracer(Tracer([flight]))
+
+        async def scenario():
+            broker = ShardedBroker(
+                _policy(target_batch=4096, max_delay_s=0.05),
+                shards=2,
+                placement="size",
+                admission=_hedge_admission(),
+            )
+            await broker.start()
+            primary = broker.router.place(8, 0)
+            await broker.factor(_spd(8, seed=0), tier="gold")  # service history
+            hedged = asyncio.ensure_future(
+                broker.factor(_spd(8, seed=1), tier="gold")
+            )
+            while broker.hedges["attempted"] == 0:  # hedge dispatched
+                await asyncio.sleep(0.0005)
+            broker.kill_shard(primary)
+            result = await hedged
+            await broker.close(drain=True)
+            return primary, result, broker
+
+        try:
+            primary, result, broker = asyncio.run(scenario())
+        finally:
+            set_tracer(previous)
+        assert isinstance(result, np.ndarray)
+        assert broker.hedges == {
+            "attempted": 1, "won_primary": 0, "won_hedge": 1,
+        }
+        assert primary not in broker.router.alive
+        assert broker.metrics.unaccounted == 0
+        dump = tmp_path / "flight.jsonl"
+        flight.dump(dump)
+        text = dump.read_text()
+        assert '"hedge"' in text and '"tier": "gold"' in text
+        assert '"shard_down"' in text
+
+
+# ----------------------------------------------------------------------
+# v3 traces and the tiered synthetic workload
+# ----------------------------------------------------------------------
+
+
+class TestTraceV3:
+    def test_tiered_events_round_trip_as_v3(self, tmp_path):
+        events = [
+            RecordedEvent(at=0.0, op="factor", n=8, seed=1,
+                          tier="gold", tenant="vip"),
+            RecordedEvent(at=0.001, op="factor", n=8, seed=2),
+        ]
+        path = tmp_path / "t.jsonl"
+        save_trace(path, events)
+        trace = load_trace_file(path)
+        assert trace.version == 3
+        assert trace.events[0].tier == "gold"
+        assert trace.events[0].tenant == "vip"
+        assert trace.events[1].tier is None
+
+    @pytest.mark.parametrize(
+        "name", ["uniform_small", "als_graph", "multi_tenant"]
+    )
+    def test_committed_traces_resave_byte_identically(self, name, tmp_path):
+        # v1 and v2 traces must stay byte fixed points of their own
+        # format after the v3 fields landed; v3 must round-trip too.
+        committed = TRACES_DIR / f"{name}.jsonl"
+        trace = load_trace_file(committed)
+        out = tmp_path / "again.jsonl"
+        save_trace(out, trace.events, meta=trace.meta)
+        assert out.read_bytes() == committed.read_bytes()
+
+    def test_synthetic_trace_tier_mix_is_seeded_and_additive(self):
+        tiered = synthetic_trace(requests=200, seed=5, tiers=True)
+        again = synthetic_trace(requests=200, seed=5, tiers=True)
+        assert [(e.tier, e.tenant) for e in tiered] == [
+            (e.tier, e.tenant) for e in again
+        ]
+        tiers_seen = {e.tier for e in tiered}
+        assert tiers_seen == {"gold", "silver", "best_effort"}
+        # The tier draws ride after the base draws: untiered synthesis
+        # for the same seed is unchanged by the tiers feature.
+        plain = synthetic_trace(requests=200, seed=5)
+        assert [(e.at, e.kind, e.n) for e in plain] == [
+            (e.at, e.kind, e.n) for e in tiered
+        ]
+        assert all(e.tier is None for e in plain)
+
+
+class TestMultiTenantTrace:
+    def test_committed_trace_shape(self):
+        trace = load_trace_file(TRACES_DIR / "multi_tenant.jsonl")
+        assert trace.version == 3
+        tenants = {e.tenant for e in trace.events}
+        assert tenants == {"vip", "team0", "team1", "team2", "hot"}
+        by_tier = {}
+        for e in trace.events:
+            by_tier[e.tier] = by_tier.get(e.tier, 0) + 1
+        assert by_tier == {"gold": 60, "silver": 180, "best_effort": 250}
+
+    def test_tiered_replay_meets_the_acceptance_floors(self):
+        trace = load_trace_file(TRACES_DIR / "multi_tenant.jsonl")
+        summary = replay_trace(
+            trace, policy=ServePolicy(request_timeout_s=None), tiers="1"
+        )
+        m = summary.metrics
+        assert m.unaccounted == 0
+        tiers = m.tier_summary()
+        best_effort = tiers["by_tier"]["best_effort"]
+        assert best_effort["shed"] / best_effort["submitted"] >= 0.30
+        assert tiers["by_tier"]["gold"]["shed"] == 0
+        fairness = jain_index(tiers["completed_by_tenant"].values())
+        assert fairness >= 0.9
+        budget = default_tier_policy().spec("gold").p99_budget_ms
+        assert tiers["by_tier"]["gold"]["coalesce_p99_ms"] <= budget
+
+
+# ----------------------------------------------------------------------
+# Per-tier observability: Prometheus, SLO streams, control
+# ----------------------------------------------------------------------
+
+
+class TestTierPrometheus:
+    def test_untiered_metrics_render_empty(self):
+        assert render_tier_prometheus(ServeMetrics()) == ""
+
+    def test_tiered_page_carries_counters_fairness_and_tails(self):
+        m = ServeMetrics()
+        m.record_tier_submit("gold", "vip")
+        m.record_tier_completion("gold", "vip", 1.5, 0.5)
+        m.record_tier_submit("best_effort", "hot")
+        m.record_shed(None, n=8, tier="best_effort", tenant="hot")
+        page = render_tier_prometheus(m)
+        assert 'repro_tier_submitted_total{tier="gold"} 1' in page
+        assert 'repro_tier_shed_total{tier="best_effort"} 1' in page
+        assert 'repro_tier_tenant_completed_total{tenant="vip"} 1' in page
+        assert "repro_tier_fairness_jain" in page
+        assert 'quantile="0.99"' in page
+        # One TYPE line per family, no duplicates.
+        type_lines = [l for l in page.splitlines() if l.startswith("# TYPE")]
+        assert len(type_lines) == len(set(type_lines))
+
+
+class TestTierSloStreams:
+    def test_per_tier_objective_resolves_to_sketch_family(self):
+        from repro.obs.slo import parse_objectives
+
+        (obj,) = parse_objectives("tier_gold_coalesce_p99_ms<50")
+        assert obj.stream == "tier_gold_coalesce_latency_ms"
+        (obj,) = parse_objectives("tier_best_effort_service_p95_ms<100")
+        assert obj.stream == "tier_best_effort_flush_service_ms"
+
+    def test_per_tier_objective_evaluates_against_tier_family(self):
+        from repro.obs.slo import evaluate_objectives, parse_objectives
+
+        m = ServeMetrics()
+        for wait in (1.0, 2.0, 100.0):
+            m.record_tier_completion("gold", "vip", wait, None)
+        results = evaluate_objectives(
+            m, parse_objectives("tier_gold_coalesce_p99_ms<50")
+        )
+        assert results[0]["ok"] is False  # the 100ms tail blows the budget
+
+
+class TestControlTierAwareness:
+    def _window(self, slo):
+        from repro.serve.metrics import SnapshotDelta
+
+        return SnapshotDelta(
+            dt=0.1,
+            counters={"submitted": 10, "completed": 10},
+            hists={},
+            slo=slo,
+        )
+
+    def test_best_effort_only_burn_softens_instead_of_tightening(self):
+        from repro.serve.control import AIMDStrategy, Knobs
+
+        s = AIMDStrategy()
+        knobs = Knobs(64, 2.0)
+        proposed, reason = s.propose(
+            self._window({"tier_best_effort_coalesce_p99_ms<250": 5.0}), knobs
+        )
+        assert reason == "slo_burn_best_effort"
+        assert proposed.max_delay_ms == pytest.approx(2.0 - s.shrink_ms)
+
+    def test_gold_burn_still_tightens_the_deadline(self):
+        from repro.serve.control import AIMDStrategy, Knobs
+
+        s = AIMDStrategy()
+        proposed, reason = s.propose(
+            self._window(
+                {
+                    "tier_gold_coalesce_p99_ms<50": 5.0,
+                    "tier_best_effort_coalesce_p99_ms<250": 5.0,
+                }
+            ),
+            Knobs(64, 2.0),
+        )
+        assert reason == "slo_burn"
+        assert proposed.max_delay_ms < 2.0
+
+
+# ----------------------------------------------------------------------
+# The replay-check --tiers gate and its committed baseline
+# ----------------------------------------------------------------------
+
+
+def _tier_run(label="inline/tb64/d2ms/tiers", **overrides):
+    by_tier = {
+        "gold": {"submitted": 60, "completed": 60, "failed": 0, "shed": 0,
+                 "coalesce_p99_ms": 30.0},
+        "silver": {"submitted": 180, "completed": 180, "failed": 0, "shed": 0},
+        "best_effort": {"submitted": 250, "completed": 70, "failed": 0,
+                        "shed": 180},
+    }
+    run = {
+        "label": label,
+        "ok": True,
+        "conservation_ok": True,
+        "tiers": {
+            "policy": default_tier_policy().to_dict(),
+            "jain_fairness": 0.99,
+            "hedges": None,
+            "by_tier": by_tier,
+            "completed_by_tenant": {"vip": 60, "hot": 70},
+        },
+    }
+    run["tiers"].update(
+        {k: v for k, v in overrides.items() if k != "label"}
+    )
+    return run
+
+
+def _tier_report(*runs):
+    return {"schema": "repro.bench_serve_replay/v3", "runs": list(runs)}
+
+
+class TestCompareTiers:
+    def test_clean_report_passes_against_itself(self):
+        report = _tier_report(_tier_run())
+        assert compare_tiers(report, report) == []
+
+    def test_no_tiered_runs_is_a_finding(self):
+        empty = _tier_report({"label": "x", "ok": True})
+        findings = compare_tiers(empty, empty)
+        assert any("no tiered runs" in f for f in findings)
+
+    def test_budget_violation_flagged(self):
+        bad = _tier_run()
+        bad["tiers"]["by_tier"]["gold"]["coalesce_p99_ms"] = 10_000.0
+        findings = compare_tiers(_tier_report(_tier_run()), _tier_report(bad))
+        assert any("over its" in f and "gold" in f for f in findings)
+
+    def test_fairness_floor_flagged(self):
+        bad = _tier_run(jain_fairness=0.5)
+        findings = compare_tiers(_tier_report(bad), _tier_report(bad))
+        assert any("below the 0.9 floor" in f for f in findings)
+
+    def test_best_effort_shed_floor_flagged(self):
+        bad = _tier_run()
+        bad["tiers"]["by_tier"]["best_effort"].update(
+            {"completed": 240, "shed": 10}
+        )
+        findings = compare_tiers(_tier_report(bad), _tier_report(bad))
+        assert any("not metering the flood" in f for f in findings)
+
+    def test_gold_shed_growth_vs_baseline_flagged(self):
+        current = _tier_run()
+        current["tiers"]["by_tier"]["gold"].update(
+            {"completed": 50, "shed": 10}
+        )
+        findings = compare_tiers(
+            _tier_report(_tier_run()), _tier_report(current)
+        )
+        assert any("gold shed fraction" in f for f in findings)
+
+    def test_doctored_baseline_fairness_trips_the_gate(self):
+        doctored = _tier_run(jain_fairness=1.0)
+        current = _tier_run(jain_fairness=0.93)
+        findings = compare_tiers(_tier_report(doctored), _tier_report(current))
+        assert any("regressed vs baseline" in f for f in findings)
+
+    def test_missing_tiered_run_flagged(self):
+        baseline = _tier_report(_tier_run())
+        current = _tier_report(_tier_run(label="other/tiers"))
+        findings = compare_tiers(baseline, current)
+        assert any("missing from report" in f for f in findings)
+
+    def test_gate_floors_validate(self):
+        gate = TierGate(min_jain=0.8)
+        assert gate.min_best_effort_shed_frac == 0.30
+
+
+class TestCommittedTiersBaseline:
+    def test_baseline_matches_schema_and_trace_fingerprint(self):
+        report = load_report(TIERS_BASELINE)
+        assert report["trace"]["sha256"] == trace_sha256(
+            TRACES_DIR / "multi_tenant.jsonl"
+        )
+        labels = [r["label"] for r in report["runs"]]
+        assert labels == ["inline/tb64/d2ms", "inline/tb64/d2ms/tiers"]
+        assert all(r["ok"] and r["conservation_ok"] for r in report["runs"])
+        untiered, tiered = report["runs"]
+        assert untiered["tiers"] is None
+        tiers = tiered["tiers"]
+        assert tiers["jain_fairness"] >= 0.9
+        best_effort = tiers["by_tier"]["best_effort"]
+        assert best_effort["shed"] / best_effort["submitted"] >= 0.30
+        assert tiers["by_tier"]["gold"]["shed"] == 0
+
+    def test_replay_check_passes_on_committed_tiers_baseline(self, capsys):
+        rc = cli_main(
+            [
+                "replay-check",
+                "--baseline", str(TIERS_BASELINE),
+                "--report", str(TIERS_BASELINE),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tiered run(s) within budget" in out
+
+    def test_replay_check_fails_on_doctored_tiers_baseline(
+        self, tmp_path, capsys
+    ):
+        doctored = json.loads(TIERS_BASELINE.read_text())
+        for run in doctored["runs"]:
+            if run.get("tiers"):
+                run["tiers"]["jain_fairness"] = 1.0
+                run["tiers"]["by_tier"]["gold"]["coalesce_p99_ms"] = 0.001
+        path = tmp_path / "doctored.json"
+        path.write_text(json.dumps(doctored))
+        rc = cli_main(
+            [
+                "replay-check",
+                "--baseline", str(path),
+                "--report", str(TIERS_BASELINE),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "regressed vs baseline" in out
+
+
+class TestReplayGridTiers:
+    def test_tiers_dimension_is_label_additive(self):
+        from repro.serve.replay import policy_grid
+
+        plain = [c.label for c in policy_grid()]
+        tiered = policy_grid(tiers=(None, "1"))
+        assert [c.label for c in tiered if c.tiers is None] == plain
+        assert [c.label for c in tiered if c.tiers] == [
+            f"{label}/tiers" for label in plain
+        ]
+
+    def test_untiered_cell_ignores_the_env_knob(self, monkeypatch):
+        from repro.serve.admission import TIERS_ENV
+        from repro.serve.replay import policy_grid, run_replay_cell
+
+        monkeypatch.setenv(TIERS_ENV, "1")
+        events = synthetic_trace(requests=12, rate_hz=20000, seed=3)
+        (cell,) = policy_grid()
+        run = run_replay_cell(events, cell, warmup=False)
+        assert run["ok"]
+        assert run["tiers"] is None
+
+
+class TestServeDemoTiers:
+    def test_demo_reports_tiers_and_prometheus_page(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        rc = cli_main(
+            [
+                "serve-demo",
+                "--requests", "80",
+                "--rate", "30000",
+                "--seed", "3",
+                "--timeout-ms", "0",
+                "--tiers", "best_effort:rate=40,burst=4",
+                "--prom-out", str(prom),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tiers   :" in out
+        assert "best_effort" in out
+        page = prom.read_text()
+        assert "repro_tier_submitted_total" in page
+        assert "repro_tier_fairness_jain" in page
+        assert 'repro_tier_shed_total{tier="best_effort"}' in page
