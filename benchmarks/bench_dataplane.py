@@ -1,0 +1,139 @@
+"""Flush data movement: the pickle path vs the shared-memory arena path.
+
+Run:  PYTHONPATH=src python benchmarks/bench_dataplane.py \
+          --trace benchmarks/traces/bursty_mixed.jsonl --out report.json
+
+Every flush on a classic worker-pool backend ships its whole dense batch
+through pickle twice — parent -> worker and factors back.  The zero-copy
+data plane (``repro.serve.arena``, docs/dataplane.md) stages matrices
+into shared-memory slabs in the paper's interleaved layout at enqueue
+time, so a flush hands workers slot *offsets* and only solo retries and
+fallbacks still move dense payloads.  This benchmark replays one trace
+through the same policy twice — ``--backend`` flat, then its
+``arena-process`` twin — and gates the copy bill:
+
+* **bytes copied** — the pickle cell's per-flush dense payloads vs the
+  arena cell's residual fallback copies, required to shrink by at least
+  ``--gate`` (default 2x, the acceptance floor; in practice the arena
+  cell copies ~0 bytes and the reduction is effectively unbounded);
+* **conservation** — both cells must account every request, and the
+  arena cell must stage > 0 bytes, leak zero slots, and hold throughput
+  within the usual replay tolerance of its pickle sibling.
+
+The report is a standard ``repro.bench_serve_replay/v4`` artifact — the
+same schema ``python -m repro replay-check --arena`` reads and gates —
+so ``--out`` output can be committed directly as the nightly arena
+baseline, and an existing baseline can be passed via ``--baseline`` to
+additionally gate copy-bill growth run-over-run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.serve.replay import (
+    ArenaGate,
+    compare_arena,
+    load_report,
+    policy_grid,
+    render_arena,
+    render_report,
+    run_replay_grid,
+    save_report,
+)
+from repro.serve.trace import load_trace_file
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        default="benchmarks/traces/bursty_mixed.jsonl",
+        help="recorded workload trace (JSONL)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="process",
+        help="pickle-path backend to compare against (its arena twin is "
+        "always arena-process)",
+    )
+    parser.add_argument(
+        "--target-batches", default="64", help="comma-separated target_batch values"
+    )
+    parser.add_argument(
+        "--max-delays-ms", default="2", help="comma-separated max_delay_s values (ms)"
+    )
+    parser.add_argument("--out", default="", help="write the v4 report JSON here")
+    parser.add_argument(
+        "--gate", type=float, default=2.0,
+        help="required flush-payload bytes-copied reduction, arena vs pickle",
+    )
+    parser.add_argument(
+        "--throughput-tolerance", type=float, default=0.6,
+        help="allowed arena-vs-pickle throughput drop; loose by default — "
+        "copied bytes are deterministic, wall clocks on process pools "
+        "are not (tighten on a quiet machine)",
+    )
+    parser.add_argument(
+        "--baseline", default="",
+        help="optional committed v4 report to gate copy-bill growth against",
+    )
+    args = parser.parse_args(argv)
+
+    grid = policy_grid(
+        backends=[args.backend],
+        target_batches=[int(v) for v in args.target_batches.split(",") if v.strip()],
+        max_delays_ms=[float(v) for v in args.max_delays_ms.split(",") if v.strip()],
+        arenas=(False, True),
+    )
+    trace = load_trace_file(args.trace)
+    report = run_replay_grid(
+        trace,
+        grid,
+        trace_path=args.trace,
+        progress=lambda label: print(f"replaying {label} ...", flush=True),
+    )
+    print()
+    print(render_report(report))
+
+    gate = ArenaGate(
+        min_copy_reduction=args.gate,
+        throughput_frac=args.throughput_tolerance,
+    )
+    baseline = load_report(args.baseline) if args.baseline else None
+    findings = compare_arena(report, gate, baseline=baseline)
+    print()
+    print(render_arena(findings, report))
+
+    # Headline number: total dense flush payload each data plane copied.
+    by_label = {r["label"]: r for r in report["runs"] if r.get("ok")}
+    for label, run in sorted(by_label.items()):
+        if not label.endswith("/arena"):
+            continue
+        sibling = by_label.get(label[: -len("/arena")])
+        if sibling is None:
+            continue
+        copied = (run.get("arena") or {}).get("bytes_copied_fallback", 0)
+        base = (sibling.get("arena") or {}).get("bytes_copied_fallback", 0)
+        staged = (run.get("arena") or {}).get("bytes_staged", 0)
+        reduction = base / copied if copied else float("inf")
+        print(
+            f"\n{label}: staged {staged} B zero-copy; copied {copied} B "
+            f"vs {base} B on the pickle path "
+            f"({reduction:.1f}x reduction; gate {args.gate:.1f}x)"
+        )
+
+    if args.out:
+        save_report(args.out, report)
+        print(f"\nwrote {pathlib.Path(args.out)}")
+
+    if findings:
+        print(f"\nFAIL: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

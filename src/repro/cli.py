@@ -193,6 +193,7 @@ def _cmd_serve_demo(args) -> int:
         FlightRecorder,
         JsonlSink,
         Tracer,
+        render_arena_prometheus,
         render_controller_prometheus,
         render_prometheus,
         render_prometheus_sharded,
@@ -286,6 +287,9 @@ def _cmd_serve_demo(args) -> int:
             prom += render_controller_prometheus(summary.journal.status())
         # Empty string for untiered runs, so plain demos are untouched.
         prom += render_tier_prometheus(summary.metrics)
+        # Likewise empty until some flush moved bytes through (or around)
+        # the data plane — repro_arena_* series appear on every backend.
+        prom += render_arena_prometheus(summary.metrics)
         with open(args.prom_out, "w", encoding="utf-8") as fh:
             fh.write(prom)
         written.append(args.prom_out)
@@ -357,14 +361,17 @@ def _graph_demo(args, policy, ns) -> int:
 
 def _cmd_replay_check(args) -> int:
     from repro.serve.replay import (
+        ArenaGate,
         ControllerGate,
         GateTolerances,
+        compare_arena,
         compare_controlled,
         compare_reports,
         compare_slo,
         compare_tiers,
         load_report,
         policy_grid,
+        render_arena,
         render_comparison,
         render_controlled,
         render_report,
@@ -397,6 +404,7 @@ def _cmd_replay_check(args) -> int:
             controllers=(None, *controllers),
             graphs=(False, True) if args.graph else (False,),
             tiers=(None, args.tiers) if args.tiers else (None,),
+            arenas=(False, True) if args.arena else (False,),
         )
         if controllers:
             from dataclasses import replace
@@ -464,6 +472,23 @@ def _cmd_replay_check(args) -> int:
         print()
         print(render_tiers(tier_findings, current))
         findings = list(findings) + list(tier_findings)
+
+    gate_arena = args.arena or any(
+        str(run.get("label", "")).endswith("/arena")
+        for run in current.get("runs", [])
+    )
+    if gate_arena:
+        # The copy bill is deterministic; wall clocks are not.  Reuse the
+        # report-level timing tolerance for the arena throughput check so
+        # CI's loose setting covers both.
+        arena_gate = ArenaGate(
+            min_copy_reduction=args.arena_copy_reduction,
+            throughput_frac=args.throughput_tolerance,
+        )
+        arena_findings = compare_arena(current, arena_gate, baseline=baseline)
+        print()
+        print(render_arena(arena_findings, current))
+        findings = list(findings) + list(arena_findings)
     return 1 if findings else 0
 
 
@@ -578,9 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--queue-depth", type=int, default=8192, help="shed beyond this")
     p.add_argument(
-        "--backend", choices=("inline", "process", "eventsim", "shadow"),
+        "--backend",
+        choices=("inline", "process", "eventsim", "shadow", "arena-process"),
         default=None,
-        help="flush executor backend (default: $REPRO_SERVE_BACKEND or inline)",
+        help="flush executor backend (default: $REPRO_SERVE_BACKEND; "
+             "arena-process when $REPRO_SERVE_ARENA is set, else inline)",
     )
     p.add_argument(
         "--workers", type=int, default=2,
@@ -792,6 +819,19 @@ def build_parser() -> argparse.ArgumentParser:
              "('1' for the default policy, or a TierPolicy spec) and "
              "gate per-tier p99 budgets, best-effort shedding, and "
              "tenant fairness with compare_tiers (see docs/tiers.md)",
+    )
+    p.add_argument(
+        "--arena", action="store_true",
+        help="add /arena grid cells replayed through the zero-copy "
+             "shared-memory data plane (backend arena-process) and gate "
+             "slot conservation plus the bytes-copied reduction against "
+             "each cell's pickle sibling with compare_arena "
+             "(see docs/dataplane.md)",
+    )
+    p.add_argument(
+        "--arena-copy-reduction", type=float, default=2.0,
+        help="minimum factor by which an /arena cell must cut flush-path "
+             "copied bytes vs its pickle sibling",
     )
     p.set_defaults(func=_cmd_replay_check)
 

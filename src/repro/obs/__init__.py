@@ -20,6 +20,7 @@ sliding windows and keeps the black-box flight recorder.  See
 
 from repro.obs.prom import (
     parse_prometheus_text,
+    render_arena_prometheus,
     render_controller_prometheus,
     render_graph_prometheus,
     render_prometheus,
@@ -104,6 +105,7 @@ __all__ = [
     "load_trace",
     "parse_objectives",
     "parse_prometheus_text",
+    "render_arena_prometheus",
     "render_controller_prometheus",
     "render_graph_prometheus",
     "render_prometheus",

@@ -312,6 +312,87 @@ def render_tier_prometheus(metrics, prefix: str = "repro_tier", labels=None) -> 
     return "\n".join(lines) + "\n"
 
 
+#: Arena (zero-copy data plane) families: metrics.arena key → (suffix,
+#: type, help).  Disjoint ``repro_arena`` prefix, same concatenation
+#: rule as the tier/controller pages.
+_ARENA_FAMILIES = (
+    (
+        "slots_staged",
+        "slots_staged_total",
+        "counter",
+        "Requests staged into shared-memory arena slots at enqueue time.",
+    ),
+    (
+        "slots_released",
+        "slots_released_total",
+        "counter",
+        "Arena slots returned to their pool (scatter and failure paths).",
+    ),
+    (
+        "stage_fallbacks",
+        "stage_fallbacks_total",
+        "counter",
+        "Requests the arena could not stage (disabled or unavailable).",
+    ),
+    (
+        "bytes_staged",
+        "bytes_staged_total",
+        "counter",
+        "Payload bytes written into arena slots (the coalescing write).",
+    ),
+    (
+        "bytes_copied_fallback",
+        "bytes_copied_fallback_total",
+        "counter",
+        "Flush-payload bytes moved by copy/pickle instead of the arena.",
+    ),
+    (
+        "generation_bumps",
+        "generation_bumps_total",
+        "counter",
+        "Slot generation bumps from worker-death re-staging.",
+    ),
+    (
+        "hwm_bytes",
+        "hwm_bytes",
+        "gauge",
+        "High-water mark of allocated arena segment bytes.",
+    ),
+)
+
+
+def render_arena_prometheus(metrics, prefix: str = "repro_arena", labels=None) -> str:
+    """Text exposition of the zero-copy data plane's accounting.
+
+    ``metrics`` is a :class:`~repro.serve.metrics.ServeMetrics` (duck
+    typed: anything with an ``arena`` dict).  Renders the
+    ``repro_arena_*`` counter/gauge families plus the
+    ``repro_arena_slots_leaked`` gauge — the conservation invariant
+    (``staged - released``) an operator alarms on, exactly what the
+    fault-injection gates hold at zero.  Empty (``""``) when no arena
+    event was ever recorded — the data plane was off and the run never
+    paid a copy, so the page carries no family at all.
+    """
+    if not _NAME_RE.match(prefix):
+        raise ValueError(f"invalid metric prefix {prefix!r}")
+    arena = dict(getattr(metrics, "arena", None) or {})
+    if not any(arena.values()):
+        return ""
+    label_s = _label_str(labels)
+    lines: list[str] = []
+    for key, suffix, kind, help_text in _ARENA_FAMILIES:
+        full = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} {kind}")
+        lines.append(f"{full}{label_s} {_fmt(arena.get(key, 0))}")
+    leaked = arena.get("slots_staged", 0) - arena.get("slots_released", 0)
+    full = f"{prefix}_slots_leaked"
+    lines.append(f"# HELP {full} Slots staged but never released (alarm on != 0).")
+    lines.append(f"# TYPE {full} gauge")
+    lines.append(f"{full}{label_s} {_fmt(leaked)}")
+    return "\n".join(lines) + "\n"
+
+
 #: Controller gauge families: report key → (suffix, help text).  The
 #: ``repro_control`` prefix is disjoint from ``repro_serve``, so a demo
 #: page that concatenates both expositions stays valid under the

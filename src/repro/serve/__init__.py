@@ -24,9 +24,23 @@ time from the broker's own metrics windows — see ``docs/control.md``.
 Multi-tenant deployments attach an admission layer
 (:mod:`repro.serve.admission`): SLA tiers with cost-based shedding,
 per-tenant token-bucket quotas, weighted fair queuing, and tail-latency
-hedging for the gold tier — see ``docs/tiers.md``.
+hedging for the gold tier — see ``docs/tiers.md``.  The zero-copy data
+plane (:mod:`repro.serve.arena`) stages request matrices straight into
+shared-memory arenas in the paper's interleaved layout at enqueue time,
+so the ``arena-process`` backend's flushes hand workers slot offsets
+instead of pickled arrays — see ``docs/dataplane.md``.
 See also ``docs/serving.md`` and ``docs/observability.md``.
 """
+
+from repro.serve.arena import (
+    ARENA_ENV,
+    ArenaError,
+    ArenaPool,
+    SlotLease,
+    StagedBatch,
+    StaleSlotError,
+    arena_requested,
+)
 
 from repro.serve.admission import (
     DEFAULT_TENANT,
@@ -47,6 +61,7 @@ from repro.serve.admission import (
 from repro.serve.backends import (
     BACKEND_ENV,
     BACKEND_NAMES,
+    ArenaProcessBackend,
     BackendError,
     BackendRun,
     EventSimBackend,
@@ -97,10 +112,12 @@ from repro.serve.graph import (
 )
 from repro.serve.metrics import Histogram, ServeMetrics, Snapshot, SnapshotDelta
 from repro.serve.replay import (
+    ArenaGate,
     ControllerGate,
     GateTolerances,
     GridCell,
     TierGate,
+    compare_arena,
     compare_controlled,
     compare_reports,
     compare_tiers,
@@ -143,8 +160,13 @@ from repro.serve.trace import (
 
 __all__ = [
     "AIMDStrategy",
+    "ARENA_ENV",
     "AdaptiveBatcher",
     "AdmissionController",
+    "ArenaError",
+    "ArenaGate",
+    "ArenaPool",
+    "ArenaProcessBackend",
     "DEFAULT_TENANT",
     "DEFAULT_TIER",
     "HedgeFailed",
@@ -156,6 +178,11 @@ __all__ = [
     "TierPolicy",
     "TierSpec",
     "TokenBucket",
+    "SlotLease",
+    "StagedBatch",
+    "StaleSlotError",
+    "arena_requested",
+    "compare_arena",
     "compare_tiers",
     "default_tier_policy",
     "jain_index",

@@ -1,0 +1,455 @@
+"""Shared-memory staging arenas: the zero-copy interleaved data plane.
+
+The process-pool backend historically pickled every dense ``(batch, n,
+n)`` block into the worker — a full copy plus serialization per flush on
+the hottest path, which is exactly the strided-traffic mistake the
+paper's interleaved layout exists to avoid, just relocated to the host.
+This module moves batch staging into ``multiprocessing.shared_memory``
+arenas laid out in the paper's own interleaved format
+(:mod:`repro.layouts.interleaved`), so coalescing happens at **enqueue
+time**: the batcher writes each request's matrix straight into its
+bucket's arena slot, and a flush hands the worker ``(arena_name,
+slot_ids, generation)`` — offsets, not bytes.
+
+Layout
+------
+Arenas are organised per ``(n, dtype)`` bucket as a list of fixed-size
+*slabs*.  One slab is one shared-memory segment::
+
+    [ generation header: capacity x uint64 ][ pad to 128 B ][ data ]
+
+The data region is a ``(n, n, capacity)`` C-order array of *lanes*:
+``lanes[j, i, b]`` holds element ``(i, j)`` of the matrix in slot ``b``,
+so the flat element offset is ``(j*n + i) * capacity + b`` — exactly
+:meth:`InterleavedLayout.element_offset` for a batch padded to
+``capacity`` (slab capacities are multiples of :data:`WARP_SIZE`, and
+the data region starts 128-byte aligned, the paper's alignment rule).
+Staging matrix ``A`` into slot ``b`` is ``lanes[:, :, b] = A.T``;
+reading it back is ``lanes[:, :, b].T``.  Both are exact element
+permutations, so the staged path is byte-identical to the pickle path.
+
+Generation protocol
+-------------------
+Every slot carries a generation counter in the slab header.  Acquiring a
+slot bumps it and stamps the lease; releasing (or re-staging after a
+worker death) bumps it again.  A worker checks the header against the
+lease generation *before* reading and *before* writing back — a recycled
+or re-staged slot therefore can never be read (or clobbered) by a stale
+worker: the check fails and the flush surfaces as a
+:class:`StaleSlotError`, which the backend converts into an ordinary
+:class:`~repro.serve.backends.BackendError` retry.
+
+Fallback
+--------
+Platforms where shared memory is unavailable (no ``/dev/shm``,
+restricted working dirs) must not error: the first failing allocation
+disables the pool and :meth:`ArenaPool.stage` returns ``None`` from then
+on, which callers treat as "use the pickle path" — accounted as
+``bytes_copied_fallback`` instead of crashing.  See ``docs/dataplane.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.layouts.base import WARP_SIZE
+from repro.serve.policy import ServeError
+
+#: Environment variable: any truthy value makes :func:`make_backend`
+#: (with no explicit backend) pick ``arena-process`` instead of the
+#: pickle-path process pool.  The CI serve matrix sets it.
+ARENA_ENV = "REPRO_SERVE_ARENA"
+
+#: Values of :data:`ARENA_ENV` that read as "off".
+_FALSY = ("", "0", "false", "no", "off")
+
+#: Data regions start on this alignment inside the segment (the paper's
+#: coalescing argument assumes 128-byte aligned buffers).
+ARENA_ALIGN = 128
+
+#: Default slots per slab.  Multiples of :data:`WARP_SIZE` keep the slab
+#: capacity equal to its own padded batch, so slab offsets *are*
+#: interleaved-layout offsets.
+DEFAULT_SLAB_SLOTS = 64
+
+
+def arena_requested() -> bool:
+    """Whether ``$REPRO_SERVE_ARENA`` asks for the arena data plane."""
+    import os
+
+    return os.environ.get(ARENA_ENV, "").strip().lower() not in _FALSY
+
+
+class ArenaError(ServeError):
+    """The arena data plane failed structurally (not a solve failure)."""
+
+
+class StaleSlotError(ArenaError):
+    """A worker touched a slot whose generation moved on without it."""
+
+
+@dataclass(eq=False)
+class SlotLease:
+    """One staged matrix's claim on an arena slot.
+
+    Mutable on purpose: :meth:`ArenaPool.restage` re-stamps the
+    generation *in place* after a worker death, so the
+    ``PendingRequest.lease`` reference held by the broker stays valid
+    across the retry.  ``released`` makes release idempotent — scatter,
+    error paths and ``fail_pending`` may race to clean the same request.
+    """
+
+    n: int
+    dtype: str
+    slab: int
+    slot: int
+    generation: int
+    nbytes: int
+    released: bool = False
+
+
+@dataclass
+class StagedBatch:
+    """A flush's worth of leases plus the host-side source matrices.
+
+    ``entries`` pairs each lease with the original dense matrix it was
+    staged from.  The sources are kept because workers factorize *in
+    place* over the staged inputs: if a worker dies mid-write the slot is
+    torn, and the retry must re-stage from the host copy (with a
+    generation bump) before running again.
+    """
+
+    n: int
+    dtype: str
+    entries: list[tuple[SlotLease, np.ndarray]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def leases(self) -> list[SlotLease]:
+        return [lease for lease, _ in self.entries]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(lease.nbytes for lease, _ in self.entries)
+
+
+class _Slab:
+    """One shared-memory segment holding ``capacity`` interleaved slots."""
+
+    def __init__(self, n: int, dtype: np.dtype, capacity: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.capacity = capacity
+        header = capacity * np.dtype(np.uint64).itemsize
+        self.data_offset = -(-header // ARENA_ALIGN) * ARENA_ALIGN
+        data = n * n * capacity * self.dtype.itemsize
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=self.data_offset + data
+        )
+        self.generations = np.ndarray(
+            (capacity,), dtype=np.uint64, buffer=self.shm.buf[:header]
+        )
+        self.generations[:] = 0
+        #: ``lanes[j, i, b]`` = element (i, j) of slot ``b`` — the
+        #: interleaved layout with the slab capacity as padded batch.
+        self.lanes = np.ndarray(
+            (n, n, capacity),
+            dtype=self.dtype,
+            buffer=self.shm.buf[self.data_offset : self.data_offset + data],
+        )
+        self.free: list[int] = list(range(capacity - 1, -1, -1))
+
+    @property
+    def nbytes(self) -> int:
+        return self.shm.size
+
+    def close(self) -> None:
+        # Views into shm.buf must be dropped before close() or the
+        # exported-pointer check in BufferWrapper raises.
+        self.generations = None
+        self.lanes = None
+        try:
+            self.shm.close()
+        except (OSError, ValueError):  # pragma: no cover - teardown race
+            pass
+        try:
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+class ArenaPool:
+    """Per-backend (hence per-shard) slab allocator over shared memory.
+
+    Thread-safe: staging happens on the broker's event-loop thread while
+    re-staging after a worker death runs on the executor thread, so every
+    mutation takes the pool lock.  All counters are monotonic; the live
+    invariant the conservation gates hold is
+    ``slots_staged == slots_released + leaked`` with ``leaked == 0`` once
+    the broker has drained.
+    """
+
+    def __init__(self, slab_slots: int = DEFAULT_SLAB_SLOTS) -> None:
+        if slab_slots <= 0:
+            raise ValueError(f"slab_slots must be positive, got {slab_slots}")
+        # Round up to a warp multiple so capacity == padded batch.
+        self.slab_slots = -(-slab_slots // WARP_SIZE) * WARP_SIZE
+        self._lock = threading.Lock()
+        self._buckets: dict[tuple[int, str], list[_Slab]] = {}
+        self._closed = False
+        self.disabled: str | None = None
+        self.slots_staged = 0
+        self.slots_released = 0
+        self.bytes_staged = 0
+        self.generation_bumps = 0
+        self.hwm_bytes = 0
+        self.segment_bytes = 0
+
+    # -- allocation ----------------------------------------------------
+
+    def _slabs(self, n: int, dtype: np.dtype) -> list[_Slab]:
+        return self._buckets.setdefault((n, np.dtype(dtype).str), [])
+
+    def _acquire(self, n: int, dtype: np.dtype) -> tuple[_Slab, int, int]:
+        slabs = self._slabs(n, dtype)
+        for index, slab in enumerate(slabs):
+            if slab.free:
+                return slab, index, slab.free.pop()
+        slab = _Slab(n, np.dtype(dtype), self.slab_slots)
+        slabs.append(slab)
+        self.segment_bytes += slab.nbytes
+        self.hwm_bytes = max(self.hwm_bytes, self.segment_bytes)
+        return slab, len(slabs) - 1, slab.free.pop()
+
+    def stage(self, a: np.ndarray) -> SlotLease | None:
+        """Write one dense ``(n, n)`` matrix into a slot; lease or ``None``.
+
+        ``None`` means "use the copy fallback": the pool is closed or
+        disabled, or shared memory could not be allocated on this
+        platform (the failure disables the pool so later requests skip
+        straight to the fallback instead of re-erroring).
+        """
+        a = np.asarray(a)
+        if (
+            self._closed
+            or self.disabled is not None
+            or a.ndim != 2
+            or a.shape[0] != a.shape[1]
+        ):
+            return None
+        n = int(a.shape[0])
+        with self._lock:
+            if self._closed or self.disabled is not None:
+                return None
+            try:
+                slab, slab_index, slot = self._acquire(n, a.dtype)
+            except (OSError, ValueError, ImportError) as exc:
+                self.disabled = f"{type(exc).__name__}: {exc}"
+                return None
+            slab.generations[slot] += 1
+            slab.lanes[:, :, slot] = a.T
+            lease = SlotLease(
+                n=n,
+                dtype=slab.dtype.str,
+                slab=slab_index,
+                slot=slot,
+                generation=int(slab.generations[slot]),
+                nbytes=int(a.nbytes),
+            )
+            self.slots_staged += 1
+            self.bytes_staged += lease.nbytes
+            return lease
+
+    def release(self, lease: SlotLease | None) -> bool:
+        """Return a slot to the free list; idempotent; ``True`` if freed."""
+        if lease is None or lease.released:
+            return False
+        with self._lock:
+            if lease.released:
+                return False
+            lease.released = True
+            self.slots_released += 1
+            if self._closed:
+                return True
+            slab = self._buckets[(lease.n, lease.dtype)][lease.slab]
+            # Invalidate before recycling: a stale worker holding the old
+            # generation must fail its check, never read the next tenant.
+            slab.generations[lease.slot] += 1
+            slab.free.append(lease.slot)
+            return True
+
+    def restage(self, staged: StagedBatch) -> None:
+        """Rewrite a flush's slots from host copies after a worker death.
+
+        Bumps every slot's generation (so a half-dead worker still
+        holding the old lease can neither read nor clobber it), rewrites
+        the staged bytes from the kept host sources — the worker may have
+        died mid-write, leaving torn factors — and re-stamps each lease
+        in place so broker-held references stay valid.
+        """
+        with self._lock:
+            for lease, source in staged.entries:
+                if lease.released:
+                    raise ArenaError("restage of a released lease")
+                slab = self._buckets[(lease.n, lease.dtype)][lease.slab]
+                slab.generations[lease.slot] += 1
+                slab.lanes[:, :, lease.slot] = np.asarray(source).T
+                lease.generation = int(slab.generations[lease.slot])
+                self.generation_bumps += 1
+                self.bytes_staged += lease.nbytes
+
+    def gather(self, staged: StagedBatch) -> np.ndarray:
+        """Dense ``(batch, n, n)`` read-back of a flush's slots (parent side)."""
+        with self._lock:
+            out = np.empty(
+                (len(staged.entries), staged.n, staged.n),
+                dtype=np.dtype(staged.dtype),
+            )
+            for k, (lease, _) in enumerate(staged.entries):
+                if lease.released:
+                    raise ArenaError("gather of a released lease")
+                slab = self._buckets[(lease.n, lease.dtype)][lease.slab]
+                if int(slab.generations[lease.slot]) != lease.generation:
+                    raise StaleSlotError(
+                        f"slot {lease.slot} generation moved under a gather"
+                    )
+                out[k] = slab.lanes[:, :, lease.slot].T
+            return out
+
+    def describe(self, staged: StagedBatch) -> tuple:
+        """Picklable handle a worker can attach from: offsets, not bytes."""
+        with self._lock:
+            entries = []
+            for lease, _ in staged.entries:
+                slab = self._buckets[(lease.n, lease.dtype)][lease.slab]
+                entries.append(
+                    (
+                        slab.shm.name,
+                        slab.data_offset,
+                        slab.capacity,
+                        lease.slot,
+                        lease.generation,
+                    )
+                )
+            return ("repro.arena/v1", staged.n, staged.dtype, tuple(entries))
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def leaked(self) -> int:
+        """Slots staged but never released — must be 0 after a drain."""
+        return self.slots_staged - self.slots_released
+
+    def stats(self) -> dict:
+        return {
+            "slots_staged": self.slots_staged,
+            "slots_released": self.slots_released,
+            "leaked": self.leaked,
+            "bytes_staged": self.bytes_staged,
+            "hwm_bytes": self.hwm_bytes,
+            "generation_bumps": self.generation_bumps,
+            "disabled": self.disabled,
+        }
+
+    def segment_names(self) -> list[str]:
+        """Names of all live segments (for pool initializer pre-attach)."""
+        with self._lock:
+            return [
+                slab.shm.name
+                for slabs in self._buckets.values()
+                for slab in slabs
+            ]
+
+    def close(self) -> None:
+        """Unlink every slab.  Idempotent; later stages hit the fallback."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for slabs in self._buckets.values():
+                for slab in slabs:
+                    slab.close()
+            self._buckets.clear()
+
+
+# -- worker side -------------------------------------------------------
+#
+# Everything below runs inside pool workers.  Attachment is cached per
+# segment per process: the pool initializer pre-attaches the segments
+# alive at pool creation, and slabs grown later attach lazily on first
+# use.  The parent owns segment lifecycle, so attaches must leave the
+# resource tracker alone: under forkserver the tracker process is
+# *shared* with the parent, so a worker-side register is deduped away
+# and a worker-side unregister would delete the parent's own
+# registration; under spawn a worker-side registration would make the
+# worker's tracker unlink (and warn about) segments it never owned.
+# Suppressing registration for the attach covers both.
+
+_ATTACHED: dict[str, object] = {}
+
+
+def worker_attach(name: str):
+    """Attach (once per process) to a parent-owned segment by name."""
+    shm = _ATTACHED.get(name)
+    if shm is not None:
+        return shm
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+    _ATTACHED[name] = shm
+    return shm
+
+
+def _worker_views(handle: tuple):
+    """Yield ``(gens, lanes, slot, generation)`` per handle entry."""
+    tag, n, dtype, entries = handle
+    if tag != "repro.arena/v1":
+        raise ArenaError(f"unknown arena handle tag {tag!r}")
+    dt = np.dtype(dtype)
+    for name, data_offset, capacity, slot, generation in entries:
+        shm = worker_attach(name)
+        gens = np.ndarray(
+            (capacity,), dtype=np.uint64, buffer=shm.buf[: capacity * 8]
+        )
+        data = n * n * capacity * dt.itemsize
+        lanes = np.ndarray(
+            (n, n, capacity),
+            dtype=dt,
+            buffer=shm.buf[data_offset : data_offset + data],
+        )
+        yield gens, lanes, slot, generation
+
+
+def worker_gather(handle: tuple) -> np.ndarray:
+    """Dense batch from a staged handle, generation-checked per slot."""
+    _, n, dtype, entries = handle
+    out = np.empty((len(entries), n, n), dtype=np.dtype(dtype))
+    for k, (gens, lanes, slot, generation) in enumerate(_worker_views(handle)):
+        if int(gens[slot]) != generation:
+            raise StaleSlotError(
+                f"slot {slot} generation moved before worker read"
+            )
+        out[k] = lanes[:, :, slot].T
+    return out
+
+
+def worker_write_back(handle: tuple, factors: np.ndarray) -> None:
+    """Write factors into the staged slots in place, generation-checked."""
+    for k, (gens, lanes, slot, generation) in enumerate(_worker_views(handle)):
+        if int(gens[slot]) != generation:
+            raise StaleSlotError(
+                f"slot {slot} generation moved before worker write-back"
+            )
+        lanes[:, :, slot] = np.asarray(factors[k]).T

@@ -32,12 +32,29 @@ seam.  Four backends implement it:
     reference (:mod:`repro.baselines.lapack`), compare factors within
     tolerance, and surface disagreements through the ``shadow_mismatch``
     metric — user futures still resolve from the primary factors.
+
+``arena-process``
+    The process pool plus the zero-copy data plane
+    (:mod:`repro.serve.arena`): batches are staged into shared-memory
+    arenas at enqueue time, and a flush ships the worker an offsets
+    handle instead of pickled bytes.  Workers attach once per pool
+    lifetime (via the pool initializer) and write factors back in
+    place.  Requests that could not be staged (arena disabled, shared
+    memory unavailable) fall back to the pickle path and are accounted
+    as ``bytes_copied_fallback``.
+
+Tuned configurations are *registered* with the pool rather than
+re-pickled per flush: the pool initializer ships the id → config table
+to every worker once, and each submit carries only a small config id
+(plus the config itself the first times a config not yet baked into the
+pool appears — see :meth:`ProcessPoolBackend._register_config`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -56,7 +73,7 @@ BACKEND_ENV = "REPRO_SERVE_BACKEND"
 
 #: Backend names accepted by :func:`make_backend`, the CLI, and the
 #: environment variable.
-BACKEND_NAMES = ("inline", "process", "eventsim", "shadow")
+BACKEND_NAMES = ("inline", "process", "eventsim", "shadow", "arena-process")
 
 
 class BackendError(ServeError):
@@ -72,6 +89,13 @@ class BackendRun:
     (which also supplies its own ``gflops``; ``None`` defers to the
     analytic model).  The shadow counters report how many matrices were
     mirrored through the LAPACK reference and how many disagreed.
+
+    ``bytes_copied`` is the flush-payload copy bill: bytes the run moved
+    by materialize/pickle (the stacked dense block inline, block out +
+    factors back for the process pool) rather than through the
+    shared-memory data plane.  Staged arena runs charge 0 — the whole
+    point — and the broker accounts whatever is charged as
+    ``bytes_copied_fallback``.
     """
 
     factors: np.ndarray
@@ -79,6 +103,7 @@ class BackendRun:
     gflops: float | None = None
     shadow_checked: int = 0
     shadow_mismatch: int = 0
+    bytes_copied: int = 0
 
 
 def _dense_cholesky(a: np.ndarray, config: KernelConfig) -> np.ndarray:
@@ -118,12 +143,70 @@ class InlineBackend(ExecutorBackend):
     def factorize(self, a: np.ndarray, config: KernelConfig) -> BackendRun:
         started = time.perf_counter()
         factors = _dense_cholesky(a, config)
-        return BackendRun(factors=factors, seconds=time.perf_counter() - started)
+        return BackendRun(
+            factors=factors,
+            seconds=time.perf_counter() - started,
+            bytes_copied=int(a.nbytes),
+        )
 
 
-def _process_worker(a: np.ndarray, config: KernelConfig) -> np.ndarray:
+#: Worker-process config registry, filled by :func:`_pool_initializer`
+#: at pool start and grown by :func:`_resolve_config` for configs first
+#: seen after the pool was built.
+_WORKER_CONFIGS: dict[int, KernelConfig] = {}
+
+
+def _pool_initializer(configs: dict, arena_segments: tuple = ()) -> None:
+    """Runs once per worker: install static per-run state.
+
+    ``configs`` is the parent's id → :class:`KernelConfig` table at pool
+    creation; per-flush submits then carry only the id.  For the arena
+    backend, ``arena_segments`` names the shared-memory slabs alive at
+    pool creation so workers attach exactly once per pool lifetime
+    (slabs grown later attach lazily on first use).
+    """
+    _WORKER_CONFIGS.update(configs)
+    from repro.serve import arena as arena_mod
+
+    for name in arena_segments:
+        try:
+            arena_mod.worker_attach(name)
+        except FileNotFoundError:  # pragma: no cover - slab died first
+            pass
+
+
+def _resolve_config(cid: int, config: KernelConfig | None) -> KernelConfig:
+    if config is not None:
+        return _WORKER_CONFIGS.setdefault(cid, config)
+    try:
+        return _WORKER_CONFIGS[cid]
+    except KeyError:
+        raise RuntimeError(
+            f"config id {cid} not registered in this worker"
+        ) from None
+
+
+def _process_worker(
+    a: np.ndarray, cid: int = -1, config: KernelConfig | None = None
+) -> np.ndarray:
     """Top-level worker entry point (must be picklable by reference)."""
-    return _dense_cholesky(a, config)
+    if cid < 0:  # direct call with an explicit config (tests, fallback)
+        return _dense_cholesky(a, config)
+    return _dense_cholesky(a, _resolve_config(cid, config))
+
+
+def _arena_worker(handle: tuple, cid: int, config: KernelConfig | None) -> int:
+    """Staged flush: gather from shared memory, factorize, write back.
+
+    Returns the batch size — the factors travel back through the arena,
+    not the pickle channel, so the future's payload stays tiny.
+    """
+    from repro.serve import arena as arena_mod
+
+    dense = arena_mod.worker_gather(handle)
+    factors = _dense_cholesky(dense, _resolve_config(cid, config))
+    arena_mod.worker_write_back(handle, factors)
+    return len(dense)
 
 
 class ProcessPoolBackend(ExecutorBackend):
@@ -158,6 +241,13 @@ class ProcessPoolBackend(ExecutorBackend):
         self.retry_fresh_worker = retry_fresh_worker
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
+        self._configs: dict[KernelConfig, int] = {}
+        self._pool_config_ids: frozenset[int] = frozenset()
+        # Flushes of different buckets can run concurrently on the
+        # broker's executor threads; pool creation and the config
+        # registry must agree on what the pool initializer actually
+        # shipped, so both mutate under one lock.
+        self._registry_lock = threading.Lock()
 
     def _context(self):
         if self._mp_context is not None:
@@ -167,15 +257,52 @@ class ProcessPoolBackend(ExecutorBackend):
         except ValueError:  # platform without forkserver
             return multiprocessing.get_context("spawn")
 
+    def _initargs(self) -> tuple:
+        table = {cid: config for config, cid in self._configs.items()}
+        return (table, ())
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=self._context()
-            )
-        return self._pool
+        with self._registry_lock:
+            if self._pool is None:
+                # _pool_config_ids must come from the *same snapshot*
+                # the initializer ships: a config registered by a
+                # concurrent flush between the two would otherwise be
+                # promoted to carry-nothing without any worker having
+                # it.
+                initargs = self._initargs()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._context(),
+                    initializer=_pool_initializer,
+                    initargs=initargs,
+                )
+                self._pool_config_ids = frozenset(initargs[0].keys())
+            return self._pool
+
+    def _register_config(
+        self, config: KernelConfig
+    ) -> tuple[int, KernelConfig | None]:
+        """Id for ``config`` plus what a submit must carry alongside it.
+
+        ``None`` when every worker already has the config (it was in the
+        pool initializer); the config itself otherwise — a late-seen
+        config must travel until a pool rebuild bakes it in, because
+        only the initializer reaches *all* workers.  :meth:`warmup`
+        registers before the pool exists, which is why warmed steady
+        state pickles nothing but the batch handle per flush.
+        """
+        with self._registry_lock:
+            cid = self._configs.get(config)
+            if cid is None:
+                cid = len(self._configs)
+                self._configs[config] = cid
+            if self._pool is not None and cid in self._pool_config_ids:
+                return cid, None
+            return cid, config
 
     def _dispose_pool(self) -> None:
-        pool, self._pool = self._pool, None
+        with self._registry_lock:
+            pool, self._pool = self._pool, None
         if pool is None:
             return
         # A hung worker would block an orderly shutdown forever, so
@@ -191,7 +318,9 @@ class ProcessPoolBackend(ExecutorBackend):
         try:
             # submit() itself raises BrokenExecutor when a worker already
             # died, so it sits inside the same conversion path.
-            future = self._ensure_pool().submit(_process_worker, a, config)
+            pool = self._ensure_pool()
+            cid, carry = self._register_config(config)
+            future = pool.submit(_process_worker, a, cid, carry)
             return future.result(timeout=self.flush_timeout_s)
         except FutureTimeoutError:
             if future is not None:
@@ -229,14 +358,29 @@ class ProcessPoolBackend(ExecutorBackend):
             # _attempt disposed the broken pool; this retry builds a
             # fresh one.  A second failure is the request's problem.
             factors = self._attempt(a, config)
-        return BackendRun(factors=factors, seconds=time.perf_counter() - started)
+        return BackendRun(
+            factors=factors,
+            seconds=time.perf_counter() - started,
+            # Pickle bill: dense block out plus factors back.
+            bytes_copied=2 * int(a.nbytes),
+        )
 
     def warmup(self, config: KernelConfig) -> None:
-        """Compile ``config``'s kernel in every worker, one tiny batch each."""
+        """Compile ``config``'s kernel in every worker, one tiny batch each.
+
+        Registering before the pool exists bakes the config into the
+        pool initializer, so warmed steady-state flushes pickle only
+        their batch payload (or, staged, only an offsets handle).
+        """
+        cid = self._configs.get(config)
+        if cid is None:
+            self._configs[config] = len(self._configs)
         pool = self._ensure_pool()
+        cid, carry = self._register_config(config)
         probe = np.eye(config.n, dtype=config.np_dtype())[None]
         futures = [
-            pool.submit(_process_worker, probe, config) for _ in range(self.workers)
+            pool.submit(_process_worker, probe, cid, carry)
+            for _ in range(self.workers)
         ]
         for future in futures:
             future.result(timeout=self.flush_timeout_s)
@@ -245,6 +389,109 @@ class ProcessPoolBackend(ExecutorBackend):
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ArenaProcessBackend(ProcessPoolBackend):
+    """Process pool fed through shared-memory arenas instead of pickles.
+
+    Owns an :class:`~repro.serve.arena.ArenaPool` (``self.arenas``) —
+    the presence of that attribute is how the batcher and executor
+    discover that staging is available.  Staged flushes ship an offsets
+    handle; the dense pickle path inherited from
+    :class:`ProcessPoolBackend` remains the fallback for solo retries
+    and for requests that could not be staged, charged as
+    ``bytes_copied``.  Worker death bumps every staged slot's generation
+    and re-stages from host copies before the fresh-pool retry, so a
+    retried flush can never read torn bytes.
+    """
+
+    name = "arena-process"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        flush_timeout_s: float | None = 30.0,
+        retry_fresh_worker: bool = True,
+        mp_context=None,
+        slab_slots: int | None = None,
+    ) -> None:
+        super().__init__(
+            workers=workers,
+            flush_timeout_s=flush_timeout_s,
+            retry_fresh_worker=retry_fresh_worker,
+            mp_context=mp_context,
+        )
+        from repro.serve.arena import DEFAULT_SLAB_SLOTS, ArenaPool
+
+        self.arenas = ArenaPool(slab_slots=slab_slots or DEFAULT_SLAB_SLOTS)
+
+    def _initargs(self) -> tuple:
+        table, _ = super()._initargs()
+        return (table, tuple(self.arenas.segment_names()))
+
+    def _staged_attempt(self, handle: tuple, config: KernelConfig) -> None:
+        from repro.serve.arena import ArenaError
+
+        future = None
+        try:
+            pool = self._ensure_pool()
+            cid, carry = self._register_config(config)
+            future = pool.submit(_arena_worker, handle, cid, carry)
+            future.result(timeout=self.flush_timeout_s)
+        except FutureTimeoutError:
+            if future is not None:
+                future.cancel()
+            self._dispose_pool()
+            raise BackendError(
+                f"staged flush ({len(handle[3])} slots, n={config.n}) timed "
+                f"out after {self.flush_timeout_s}s in a worker process"
+            ) from None
+        except ArenaError as exc:
+            # A stale-generation check fired in the worker: the slots
+            # moved under it.  The pool itself is healthy; re-stage and
+            # retry like any other backend failure.
+            raise BackendError(f"staged flush lost its slots: {exc}") from exc
+        except BrokenExecutor as exc:
+            self._dispose_pool()
+            from repro.obs.tracer import get_tracer
+
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "worker_death",
+                    cat="serve",
+                    batch=len(handle[3]),
+                    n=config.n,
+                    staged=True,
+                    error=str(exc),
+                )
+            raise BackendError(
+                f"worker process died mid-staged-flush: {exc}"
+            ) from exc
+
+    def factorize_staged(self, staged, config: KernelConfig) -> BackendRun:
+        """Run one fully staged flush; factors come back through the arena."""
+        started = time.perf_counter()
+        try:
+            self._staged_attempt(self.arenas.describe(staged), config)
+        except BackendError:
+            if not self.retry_fresh_worker:
+                raise
+            # Generation-bump + rewrite from host copies: the dead
+            # worker may have left torn factors in the slots, and a
+            # half-dead straggler must not clobber the retry.
+            self.arenas.restage(staged)
+            self._staged_attempt(self.arenas.describe(staged), config)
+        factors = self.arenas.gather(staged)
+        return BackendRun(
+            factors=factors,
+            seconds=time.perf_counter() - started,
+            bytes_copied=0,
+        )
+
+    def close(self) -> None:
+        super().close()
+        self.arenas.close()
 
 
 class EventSimBackend(ExecutorBackend):
@@ -286,6 +533,7 @@ class EventSimBackend(ExecutorBackend):
             gflops=gflops,
             shadow_checked=run.shadow_checked,
             shadow_mismatch=run.shadow_mismatch,
+            bytes_copied=run.bytes_copied,
         )
 
     def warmup(self, config: KernelConfig) -> None:
@@ -384,15 +632,25 @@ def make_backend(
     ``spec`` may be an :class:`ExecutorBackend` instance (returned as
     is), one of :data:`BACKEND_NAMES`, or ``None`` — which consults the
     ``REPRO_SERVE_BACKEND`` environment variable and falls back to
-    ``inline``.
+    ``inline``.  With no explicit spec or backend variable, a truthy
+    ``$REPRO_SERVE_ARENA`` selects ``arena-process`` — how the CI
+    matrix turns the data plane on without touching policy files.
     """
     if isinstance(spec, ExecutorBackend):
         return spec
-    name = spec or os.environ.get(BACKEND_ENV) or "inline"
+    name = spec or os.environ.get(BACKEND_ENV)
+    if name is None or name == "":
+        from repro.serve.arena import arena_requested
+
+        name = "arena-process" if arena_requested() else "inline"
     if name == "inline":
         return InlineBackend()
     if name == "process":
         return ProcessPoolBackend(workers=workers, flush_timeout_s=flush_timeout_s)
+    if name == "arena-process":
+        return ArenaProcessBackend(
+            workers=workers, flush_timeout_s=flush_timeout_s
+        )
     if name == "eventsim":
         return EventSimBackend(arch=arch)
     if name == "shadow":

@@ -56,6 +56,10 @@ class PendingRequest:
     #: Weighted-fair-queue virtual finish time, stamped at admission;
     #: flush selection drains requests in this order.
     vft: float = 0.0
+    #: Arena slot lease when the request was staged into the zero-copy
+    #: data plane at enqueue time (:mod:`repro.serve.arena`); ``None``
+    #: means the pickle/copy fallback carries this request's payload.
+    lease: Any = None
 
     @property
     def n(self) -> int:
@@ -101,12 +105,24 @@ class AdaptiveBatcher:
     ``threshold_for(n)`` supplies each bucket's flush threshold; it is
     called once per distinct size and cached, because resolving it walks
     the tuned dispatch table.
+
+    ``stager`` (optional) is an :class:`~repro.serve.arena.ArenaPool`:
+    when present, :meth:`add` stages each request's matrix into a
+    shared-memory slot *at enqueue time* — the coalescing write — and
+    stamps the lease on the request.  A ``None`` lease (arena disabled
+    or unavailable) simply means that request rides the copy fallback;
+    the batcher never fails an add over staging.  Releasing leases is
+    the broker's job (scatter, shed and failure paths), so the
+    conservation ledger lives in one place.
     """
 
-    def __init__(self, threshold_for: Callable[[int], int]) -> None:
+    def __init__(
+        self, threshold_for: Callable[[int], int], stager=None
+    ) -> None:
         self._threshold_for = threshold_for
         self._thresholds: dict[int, int] = {}
         self._buckets: dict[int, SizeBucket] = {}
+        self.stager = stager
         self.pending = 0
 
     def threshold(self, n: int) -> int:
@@ -123,6 +139,8 @@ class AdaptiveBatcher:
         bucket = self._buckets.get(n)
         if bucket is None:
             bucket = self._buckets[n] = SizeBucket(n=n, threshold=self.threshold(n))
+        if self.stager is not None and request.lease is None:
+            request.lease = self.stager.stage(request.a)
         bucket.requests.append(request)
         self.pending += 1
         return bucket

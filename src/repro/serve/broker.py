@@ -97,10 +97,17 @@ class SolveBroker:
         self.metrics = metrics or ServeMetrics()
         if admission is not None:
             admission.bind_executor(self.executor)
+        #: The backend's arena pool when the zero-copy data plane is on
+        #: (:mod:`repro.serve.arena`); ``None`` on pickle-path backends.
+        #: The batcher stages through it at enqueue time; the broker
+        #: owns every release so ``staged == released`` is provable from
+        #: one place.
+        self._stager = getattr(self.executor.backend, "arenas", None)
         self.batcher = AdaptiveBatcher(
             threshold_for=lambda n: self.policy.flush_threshold(
                 self.executor.config_for(n)
-            )
+            ),
+            stager=self._stager,
         )
         self._seq = 0
         self._closed = False
@@ -155,6 +162,11 @@ class SolveBroker:
             for bucket in self.batcher.pop_all():
                 self._flushing.update(bucket.requests)
                 await self._run_flush(bucket.requests, "drain", bucket.threshold)
+        else:
+            # Dropped requests still give their arena slots back, so the
+            # staged == released ledger balances even on a hard close.
+            for request in list(self.batcher.queued()):
+                self._release_lease(request)
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
         for attr in ("_ticker", "_snapshotter"):
@@ -184,6 +196,7 @@ class SolveBroker:
             abandoned.extend(bucket.requests)
         failed = 0
         for request in abandoned:
+            self._release_lease(request)
             if not request.future.done():
                 request.future.set_exception(exc)
                 self.metrics.record_failure()
@@ -304,6 +317,7 @@ class SolveBroker:
             # Cost-based preemption: drop the cheapest, lowest-tier
             # queued request to admit the more important arrival.
             self.batcher.discard(victim)
+            self._release_lease(victim)
             self.metrics.record_shed(
                 shard=self.shard_id,
                 n=victim.n,
@@ -345,7 +359,25 @@ class SolveBroker:
             request.tenant = tenant
         if admission is not None:
             admission.stamp(request)
+        stage_t0 = time.monotonic()
         bucket = self.batcher.add(request)
+        if self._stager is not None:
+            # The add staged the payload into shared memory (or fell
+            # back); the span is the coalescing write itself.
+            if request.lease is not None:
+                self.metrics.record_arena_stage(request.lease.nbytes)
+            else:
+                self.metrics.record_arena_stage_fallback()
+            if tracer.enabled:
+                tracer.record(
+                    "stage",
+                    stage_t0,
+                    tracer.now(),
+                    cat="request",
+                    request=request.seq,
+                    n=request.n,
+                    staged=request.lease is not None,
+                )
         self.metrics.record_submit(self.batcher.pending)
         if admission is not None:
             self.metrics.record_tier_submit(request.tier, request.tenant)
@@ -389,6 +421,11 @@ class SolveBroker:
                 **({"tier": tier, "tenant": tenant} if tier else {}),
             )
 
+    def _release_lease(self, request: PendingRequest) -> None:
+        """Return one request's arena slot (idempotent, fallback-safe)."""
+        if self._stager is not None and self._stager.release(request.lease):
+            self.metrics.record_arena_release()
+
     def _validate(self, kind, a, b):
         if kind not in KINDS:
             raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
@@ -420,6 +457,7 @@ class SolveBroker:
             return await asyncio.wait_for(asyncio.shield(request.future), timeout)
         except asyncio.TimeoutError:
             if self.batcher.discard(request):
+                self._release_lease(request)
                 request.future.cancel()
                 self.metrics.record_timeout()
                 if self.admission is not None:
@@ -498,6 +536,7 @@ class SolveBroker:
             )
         except Exception as exc:  # kernel/codegen failure: fail the bucket
             for request in requests:
+                self._release_lease(request)
                 if not request.future.done():
                     request.future.set_exception(exc)
                     self.metrics.record_failure()
@@ -526,6 +565,9 @@ class SolveBroker:
         tiered = self.admission is not None
         service_ms = report.service_s * 1e3 if report.service_s else None
         for i, (request, outcome) in enumerate(report.outcomes):
+            # Release first, listener or not: the slot's work is done
+            # either way, and conservation counts every staged slot.
+            self._release_lease(request)
             if request.future.done():  # timed out mid-flight; nobody listens
                 continue
             if isinstance(outcome, Exception):
@@ -546,6 +588,17 @@ class SolveBroker:
                     )
         for i in range(report.retried):
             self.metrics.record_retry(rescued=i < report.rescued)
+        # Copy bill of this flush (pickle/materialize payload bytes) and
+        # the pool's high-water marks.  Recorded for *every* backend —
+        # that is what lets a replay report compare an arena cell's
+        # fallback bytes against its pickle sibling directly.
+        if report.bytes_copied:
+            self.metrics.record_arena_fallback_bytes(report.bytes_copied)
+        if self._stager is not None:
+            self.metrics.record_arena_pool(
+                hwm_bytes=self._stager.hwm_bytes,
+                generation_bumps=self._stager.generation_bumps,
+            )
         self.metrics.record_flush(
             size=report.size,
             threshold=report.threshold,

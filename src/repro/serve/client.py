@@ -262,6 +262,13 @@ class ReplaySummary:
     #: runs).  Per-tier/tenant outcomes live on ``metrics.tier_summary()``.
     admission: dict | None = None
     hedges: dict | None = None
+    #: Data-plane shape of the replay: the merged arena summary
+    #: (:meth:`~repro.serve.metrics.ServeMetrics.arena_summary` — slot
+    #: conservation, staged vs fallback-copied bytes, pool high-water
+    #: mark) when any flush moved bytes, ``None`` otherwise.  Present on
+    #: *every* backend: pickle-path runs carry their copied bytes here,
+    #: which is the denominator the replay report's arena gate divides by.
+    arena: dict | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -471,6 +478,9 @@ def replay_trace(
                 admission_ctl.to_dict() if admission_ctl is not None else None
             )
             hedges = dict(broker.hedges) if sharded else None
+            arena_summary = (
+                metrics.arena_summary() if any(metrics.arena.values()) else None
+            )
         return ReplaySummary(
             requests=len(events),
             completed=completed,
@@ -491,6 +501,7 @@ def replay_trace(
             flight=flight,
             admission=admission_dict,
             hedges=hedges,
+            arena=arena_summary,
         )
 
     return asyncio.run(_replay())
@@ -648,6 +659,15 @@ def run_demo(
         f"{summary.shed} shed in {summary.elapsed_s * 1e3:.1f} ms "
         f"({summary.throughput_rps:.0f} req/s)",
     ]
+    if summary.arena is not None:
+        ar = summary.arena
+        lines.append(
+            f"arena   : {ar['slots_staged']} slots staged "
+            f"({ar['bytes_staged']} B zero-copy), "
+            f"{ar['slots_released']} released, leaked {ar['leaked']}, "
+            f"{ar['bytes_copied_fallback']} B copied via fallback, "
+            f"hwm {ar['hwm_bytes']} B"
+        )
     if summary.journal is not None:
         knobs = summary.journal.final_knobs()
         lines.append(

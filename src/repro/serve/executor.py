@@ -64,6 +64,13 @@ class FlushReport:
     #: Monotonic (t0, t1) of the primary backend run, for the tracing
     #: layer's per-request backend stage; ``None`` when untimed.
     backend_window: tuple[float, float] | None = None
+    #: Whether the primary run travelled through the shared-memory
+    #: arena (offsets, not bytes) and the copy bill it still paid —
+    #: solo retries and fallback requests move dense payloads even on
+    #: an arena backend.  The broker accounts this as
+    #: ``bytes_copied_fallback``.
+    staged: bool = False
+    bytes_copied: int = 0
 
     @property
     def fill(self) -> float:
@@ -140,9 +147,39 @@ class BatchExecutor:
         started = time.perf_counter()
         runs: list[BackendRun] = []
 
-        a = np.stack([r.a for r in requests])
+        # Zero-copy path: when the backend owns an arena pool and every
+        # request in the bucket was staged at enqueue time (same dtype —
+        # a mixed-dtype bucket would silently upcast through np.stack,
+        # which the slot bytes cannot represent), hand the backend the
+        # leases instead of a dense block.  Any unstaged straggler sends
+        # the whole bucket down the classic pickle path; its leases are
+        # still released at scatter.  The dtype must also match the
+        # kernel's compute dtype: the dense path returns factors in
+        # config.np_dtype() while staged factors come back through slots
+        # of the *request* dtype — staging a mismatched dtype would
+        # silently cast and break byte-identity with the pickle path.
+        staged_batch = None
+        arenas = getattr(self.backend, "arenas", None)
+        if (
+            arenas is not None
+            and all(r.lease is not None for r in requests)
+            and len({r.a.dtype.str for r in requests}) == 1
+            and requests[0].a.dtype == config.np_dtype()
+        ):
+            from repro.serve.arena import StagedBatch
+
+            staged_batch = StagedBatch(
+                n=n,
+                dtype=requests[0].a.dtype.str,
+                entries=[(r.lease, r.a) for r in requests],
+            )
+
         backend_t0 = time.monotonic()
-        run = self.backend.factorize(a, config)
+        if staged_batch is not None:
+            run = self.backend.factorize_staged(staged_batch, config)
+        else:
+            a = np.stack([r.a for r in requests])
+            run = self.backend.factorize(a, config)
         backend_t1 = time.monotonic()
         if tracer.enabled:
             tracer.record(
@@ -154,6 +191,7 @@ class BatchExecutor:
                 n=n,
                 batch=len(requests),
                 reason=reason,
+                staged=staged_batch is not None,
             )
         runs.append(run)
         factors = run.factors
@@ -253,4 +291,6 @@ class BatchExecutor:
             shadow_checked=sum(r.shadow_checked for r in runs),
             shadow_mismatch=sum(r.shadow_mismatch for r in runs),
             backend_window=(backend_t0, backend_t1),
+            staged=staged_batch is not None,
+            bytes_copied=sum(r.bytes_copied for r in runs),
         )

@@ -230,6 +230,24 @@ class ServeMetrics:
         #: order (dict-as-ordered-set) — the Prometheus tier page and the
         #: report iterate this instead of guessing from counter names.
         self.tier_names: dict[str, None] = {}
+        #: Zero-copy data-plane accounting (:mod:`repro.serve.arena`).
+        #: Kept out of ``counters`` on purpose: the legacy counter dict
+        #: (and every dashboard scraping it) is n-request accounting,
+        #: while this block is byte/slot accounting with its own
+        #: conservation invariant (``slots_staged == slots_released``
+        #: after a drain) and its own ``repro_arena_*`` Prometheus
+        #: family.  ``bytes_copied_fallback`` is charged on *every*
+        #: backend — it is the pickle/materialize copy bill an arena run
+        #: is measured against.
+        self.arena: dict[str, int] = {
+            "slots_staged": 0,
+            "slots_released": 0,
+            "stage_fallbacks": 0,
+            "bytes_staged": 0,
+            "bytes_copied_fallback": 0,
+            "hwm_bytes": 0,
+            "generation_bumps": 0,
+        }
 
     # ------------------------------------------------------------------
     # Recording
@@ -314,6 +332,43 @@ class ServeMetrics:
     def tier_counter(self, tier: str, event: str) -> int:
         return self.counters.get(f"tier_{tier}_{event}", 0)
 
+    # ------------------------------------------------------------------
+    # Arena recording (the zero-copy data plane's accounting)
+    # ------------------------------------------------------------------
+
+    def record_arena_stage(self, nbytes: int) -> None:
+        """One request staged into a shared-memory slot at enqueue time."""
+        self.arena["slots_staged"] += 1
+        self.arena["bytes_staged"] += int(nbytes)
+
+    def record_arena_stage_fallback(self) -> None:
+        """One request the arena could not stage (disabled/unavailable)."""
+        self.arena["stage_fallbacks"] += 1
+
+    def record_arena_release(self) -> None:
+        """One staged slot returned to its pool (scatter or failure path)."""
+        self.arena["slots_released"] += 1
+
+    def record_arena_fallback_bytes(self, nbytes: int) -> None:
+        """Flush-payload bytes moved by copy/pickle instead of the arena."""
+        self.arena["bytes_copied_fallback"] += int(nbytes)
+
+    def record_arena_pool(self, hwm_bytes: int, generation_bumps: int) -> None:
+        """Mirror the pool's monotonic high-water marks (idempotent)."""
+        self.arena["hwm_bytes"] = max(self.arena["hwm_bytes"], int(hwm_bytes))
+        self.arena["generation_bumps"] = max(
+            self.arena["generation_bumps"], int(generation_bumps)
+        )
+
+    @property
+    def arena_leaked(self) -> int:
+        """Slots staged but never released — 0 for any drained broker."""
+        return self.arena["slots_staged"] - self.arena["slots_released"]
+
+    def arena_summary(self) -> dict:
+        """The ``arena`` block of :meth:`as_dict` and the replay report."""
+        return {**self.arena, "leaked": self.arena_leaked}
+
     def record_timeout(self) -> None:
         # A timeout is a failure for accounting purposes; ``timed_out``
         # breaks out how many of the failures were latency-budget expiries.
@@ -394,6 +449,10 @@ class ServeMetrics:
                 ours[tenant] = ours.get(tenant, 0) + count
         for tier in other.tier_names:
             self.tier_names.setdefault(tier, None)
+        for key, value in other.arena.items():
+            # Sums compose for the fabric view: per-shard pools are
+            # disjoint, so the fabric high-water mark is the shard sum.
+            self.arena[key] = self.arena.get(key, 0) + value
         return self
 
     @classmethod
@@ -466,6 +525,8 @@ class ServeMetrics:
             }
         if self.tier_names:
             out["tiers"] = self.tier_summary()
+        if any(self.arena.values()):
+            out["arena"] = self.arena_summary()
         return out
 
     def tier_summary(self) -> dict:

@@ -152,9 +152,12 @@ class ServePolicy:
         to a quarter of ``max_delay_s``.
     backend:
         Executor backend name (``inline``, ``process``, ``eventsim``,
-        ``shadow`` — see :mod:`repro.serve.backends`).  ``None`` consults
-        the ``REPRO_SERVE_BACKEND`` environment variable and falls back
-        to ``inline``.
+        ``shadow``, ``arena-process`` — see :mod:`repro.serve.backends`).
+        ``None`` consults the ``REPRO_SERVE_BACKEND`` environment
+        variable; with that unset too, a truthy ``REPRO_SERVE_ARENA``
+        selects ``arena-process`` (the zero-copy shared-memory data
+        plane, :mod:`repro.serve.arena`) and the final fallback is
+        ``inline``.
     process_workers:
         Worker-process count of the ``process`` backend's pool.
     flush_timeout_s:

@@ -46,8 +46,13 @@ from repro.serve.trace import RecordedTrace, normalize_events, trace_sha256
 #: block (admission policy, per-tier counters/tails, per-tenant
 #: attribution, Jain's fairness, hedge counters — the ``replay-check
 #: --tiers`` gate's input) is additive within v3: untiered runs carry
-#: ``tiers: null`` and older v3 baselines stay valid.
-REPORT_SCHEMA = "repro.bench_serve_replay/v3"
+#: ``tiers: null`` and older v3 baselines stay valid.  v4 adds the
+#: zero-copy data-plane dimension: ``/arena`` grid cells replay through
+#: the shared-memory staging backend (:mod:`repro.serve.arena`) and every
+#: run carries an ``arena`` block (slot conservation, staged vs
+#: fallback-copied bytes) — ``None`` when staging never engaged — which
+#: the ``replay-check --arena`` gate reads.
+REPORT_SCHEMA = "repro.bench_serve_replay/v4"
 
 #: Schemas :func:`load_report` accepts.  Older baselines gate newer
 #: reports — the comparison matches runs by label and older labels are a
@@ -55,6 +60,7 @@ REPORT_SCHEMA = "repro.bench_serve_replay/v3"
 SUPPORTED_SCHEMAS = (
     "repro.bench_serve_replay/v1",
     "repro.bench_serve_replay/v2",
+    "repro.bench_serve_replay/v3",
     REPORT_SCHEMA,
 )
 
@@ -77,7 +83,10 @@ class GridCell:
     an :class:`~repro.serve.admission.AdmissionController` (``"1"`` for
     the default policy, or a :meth:`TierPolicy.parse` spec string);
     ``None`` replays untiered *regardless* of ``$REPRO_SERVE_TIERS`` so
-    grid cells stay deterministic under the CI env matrix.
+    grid cells stay deterministic under the CI env matrix.  ``arena``
+    marks a zero-copy data-plane cell: its policy's backend is already
+    rewritten to ``arena-process`` by :func:`policy_grid`, and the flag
+    lets :func:`compare_arena` pair the cell with its pickle sibling.
     """
 
     label: str
@@ -86,6 +95,7 @@ class GridCell:
     controller_interval_ms: float = 10.0
     graph: bool = False
     tiers: str | None = None
+    arena: bool = False
 
 
 def policy_grid(
@@ -97,6 +107,7 @@ def policy_grid(
     controllers=(None,),
     graphs=(False,),
     tiers=(None,),
+    arenas=(False,),
     base: ServePolicy | None = None,
 ) -> list[GridCell]:
     """The cross product of backends × batch targets × deadlines × shards.
@@ -129,6 +140,17 @@ def policy_grid(
     the per-tier ``tiers`` block :func:`compare_tiers` gates; untiered
     cells and their labels stay byte-identical, so the v1/v2/v3
     committed baselines keep matching.
+
+    ``arenas`` adds the zero-copy data-plane dimension: a ``True`` entry
+    suffixes ``/arena`` and rewrites the cell's backend to
+    ``arena-process`` — the shared-memory staging backend of
+    :mod:`repro.serve.arena` — while keeping the *original* backend name
+    in the label prefix.  An arena cell therefore pairs exactly with the
+    pickle sibling produced by the same cross-product row
+    (``process/tb64/d2ms`` ↔ ``process/tb64/d2ms/arena``), which is what
+    :func:`compare_arena` exploits to gate the bytes-copied reduction
+    within one report.  Like every other added dimension it is purely
+    additive: ``arenas=(False,)`` reproduces the old grid byte for byte.
     """
     base = base or ServePolicy(request_timeout_s=None)
     cells = []
@@ -140,31 +162,39 @@ def policy_grid(
                         for controller in controllers:
                             for graph in graphs:
                                 for tier_spec in tiers:
-                                    label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
-                                    if shard_count != 1:
-                                        label += f"/sh{shard_count}-{placement}"
-                                    if controller is not None:
-                                        label += f"/ctl-{controller}"
-                                    if graph:
-                                        label += "/graph"
-                                    if tier_spec is not None:
-                                        label += "/tiers"
-                                    cells.append(
-                                        GridCell(
-                                            label=label,
-                                            policy=replace(
-                                                base,
-                                                backend=backend,
-                                                target_batch=tb,
-                                                max_delay_s=delay_ms / 1e3,
-                                                shards=shard_count,
-                                                placement=placement,
-                                            ),
-                                            controller=controller,
-                                            graph=bool(graph),
-                                            tiers=tier_spec,
+                                    for arena in arenas:
+                                        label = f"{backend}/tb{tb}/d{delay_ms:g}ms"
+                                        if shard_count != 1:
+                                            label += f"/sh{shard_count}-{placement}"
+                                        if controller is not None:
+                                            label += f"/ctl-{controller}"
+                                        if graph:
+                                            label += "/graph"
+                                        if tier_spec is not None:
+                                            label += "/tiers"
+                                        if arena:
+                                            label += "/arena"
+                                        cells.append(
+                                            GridCell(
+                                                label=label,
+                                                policy=replace(
+                                                    base,
+                                                    backend=(
+                                                        "arena-process"
+                                                        if arena
+                                                        else backend
+                                                    ),
+                                                    target_batch=tb,
+                                                    max_delay_s=delay_ms / 1e3,
+                                                    shards=shard_count,
+                                                    placement=placement,
+                                                ),
+                                                controller=controller,
+                                                graph=bool(graph),
+                                                tiers=tier_spec,
+                                                arena=bool(arena),
+                                            )
                                         )
-                                    )
     return cells
 
 
@@ -258,6 +288,7 @@ def run_record(
         "controller": _controller_dict(summary),
         "graph": _graph_dict(summary),
         "tiers": _tiers_dict(summary),
+        "arena": _arena_dict(summary),
         "slo": _slo_dict(m, slo_objectives),
         "slo_monitor": getattr(summary, "slo", None),
     }
@@ -302,6 +333,27 @@ def _graph_dict(summary) -> dict | None:
         "critical_path_ms_mean": critical.mean,
         "critical_path_ms_max": critical.max,
     }
+
+
+def _arena_dict(summary) -> dict | None:
+    """The run record's arena block (``None`` when staging never engaged).
+
+    Mirrors :meth:`~repro.serve.metrics.ServeMetrics.arena_summary`:
+    slot conservation (``slots_staged``/``slots_released``/``leaked``),
+    bytes written straight into shared-memory slots (``bytes_staged``),
+    bytes the flush path still copied through pickling
+    (``bytes_copied_fallback`` — recorded on *every* backend, which is
+    what lets :func:`compare_arena` compare an arena cell against its
+    pickle sibling within one report), the pool high-water mark, and
+    generation bumps from fault recovery.  Flat pickle cells carry the
+    block too (their ``bytes_copied_fallback`` is the comparison
+    denominator); it is ``None`` only when no flush moved any bytes.
+    """
+    metrics = summary.metrics
+    arena = getattr(metrics, "arena", None)
+    if not arena or not any(arena.values()):
+        return None
+    return metrics.arena_summary()
 
 
 def _tiers_dict(summary) -> dict | None:
@@ -971,6 +1023,214 @@ def render_tiers(findings: list[str], report: dict) -> str:
         lines.append(
             f"ok: {len(gated)} tiered run(s) within budget, fairness floor, "
             "and baseline tolerance"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ArenaGate:
+    """Tolerances of the zero-copy data-plane gate.
+
+    ``min_copy_reduction`` is the headline acceptance check: an arena
+    cell's flush path must copy at least that factor fewer bytes than
+    its pickle sibling (same backend prefix, same policy knobs, same
+    report — machine speed cancels).  The staged path copies *zero*
+    bytes per flush, so in practice the arena side of the ratio is only
+    the dense fallbacks (mixed-dtype buckets, solo retries); a pool that
+    silently stopped staging fails this immediately.
+    ``throughput_frac`` bounds how much throughput an arena cell may
+    give up against that same sibling — zero-copy that costs more than
+    it saves is a regression, not a feature.  ``copy_growth_frac``
+    bounds fallback-byte growth against a committed baseline when one is
+    supplied: staged flushes contribute zero bytes deterministically, so
+    a creeping fallback share shows up as byte growth long before it
+    shows up in wall clocks.
+    """
+
+    min_copy_reduction: float = 2.0
+    throughput_frac: float = 0.2
+    copy_growth_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_copy_reduction < 1.0:
+            raise ValueError(
+                f"min_copy_reduction must be >= 1, got {self.min_copy_reduction}"
+            )
+        if not 0.0 <= self.throughput_frac < 1.0:
+            raise ValueError(
+                f"throughput_frac must be in [0, 1), got {self.throughput_frac}"
+            )
+        if self.copy_growth_frac < 0:
+            raise ValueError(
+                f"copy_growth_frac must be >= 0, got {self.copy_growth_frac}"
+            )
+
+
+def compare_arena(
+    report: dict, tol: ArenaGate | None = None, baseline: dict | None = None
+) -> list[str]:
+    """Gate every ``/arena`` run against its pickle sibling; empty = pass.
+
+    Like :func:`compare_controlled`, the gate works *within* one report:
+    :func:`policy_grid` emits each arena cell next to the flat cell of
+    the same cross-product row, so ``process/tb64/d2ms/arena`` is judged
+    against ``process/tb64/d2ms`` from the same grid run.  Findings:
+
+    - no arena runs in the report (regenerate with ``replay-check
+      --arena``), a failed arena run, or one violating request
+      conservation;
+    - a missing ``arena`` block, slot leakage (``slots_staged !=
+      slots_released`` — every lease must be released exactly once, on
+      scatter, failure, preemption, or close), or ``bytes_staged == 0``
+      (the pool disabled itself and every flush fell back to copies);
+    - a missing or byte-less pickle sibling (nothing to compare
+      against), flush-path copied bytes not at least
+      ``min_copy_reduction``× below the sibling's, or throughput more
+      than ``throughput_frac`` below the sibling's;
+    - with a ``baseline``: an arena baseline run missing from the
+      current report, or fallback-copied bytes grown more than
+      ``copy_growth_frac`` over the baseline's.
+    """
+    tol = tol or ArenaGate()
+    findings: list[str] = []
+    runs = report.get("runs", [])
+    by_label = {r.get("label", "?"): r for r in runs}
+    arena_runs = [r for r in runs if str(r.get("label", "")).endswith("/arena")]
+    if not arena_runs:
+        findings.append(
+            "no arena runs in report to gate (regenerate with replay-check --arena)"
+        )
+        return findings
+    for run in arena_runs:
+        label = run.get("label", "?")
+        if not run.get("ok", False):
+            findings.append(
+                f"{label}: failed run ({run.get('error', 'no error recorded')})"
+            )
+            continue
+        if not run.get("conservation_ok", False):
+            findings.append(f"{label}: request conservation violated")
+        arena = run.get("arena")
+        if not arena:
+            findings.append(
+                f"{label}: no arena block in report (staging never engaged)"
+            )
+            continue
+        leaked = arena.get("leaked", 0)
+        if leaked:
+            findings.append(
+                f"{label}: slot conservation violated — {leaked} lease(s) "
+                f"leaked ({arena.get('slots_staged', 0)} staged, "
+                f"{arena.get('slots_released', 0)} released)"
+            )
+        if not arena.get("bytes_staged", 0):
+            findings.append(
+                f"{label}: bytes_staged == 0 — the pool never staged a slot "
+                "(disabled or fallback-only); zero-copy is not engaged"
+            )
+            continue
+        sibling = by_label.get(label[: -len("/arena")])
+        if sibling is None or not sibling.get("ok", False):
+            findings.append(
+                f"{label}: no pickle sibling cell to gate the copy "
+                "reduction against"
+            )
+            continue
+        sibling_copied = (sibling.get("arena") or {}).get("bytes_copied_fallback", 0)
+        arena_copied = arena.get("bytes_copied_fallback", 0)
+        if not sibling_copied:
+            findings.append(
+                f"{label}: pickle sibling copied no flush bytes — nothing "
+                "to compare the staged path against"
+            )
+        elif arena_copied * tol.min_copy_reduction > sibling_copied:
+            ratio = sibling_copied / arena_copied if arena_copied else float("inf")
+            findings.append(
+                f"{label}: flush path copied {arena_copied} B vs sibling "
+                f"{sibling_copied} B — only {ratio:.2f}x below, "
+                f"{tol.min_copy_reduction:g}x required"
+            )
+        sib_tp, cur_tp = sibling["throughput_rps"], run["throughput_rps"]
+        if cur_tp < sib_tp * (1.0 - tol.throughput_frac):
+            findings.append(
+                f"{label}: throughput {cur_tp:.0f} req/s below pickle sibling "
+                f"{sib_tp:.0f} req/s "
+                f"(-{(1 - cur_tp / sib_tp) * 100:.1f}%, "
+                f"tolerance {tol.throughput_frac * 100:.0f}%)"
+            )
+    if baseline is not None:
+        base_arena = [
+            r
+            for r in baseline.get("runs", [])
+            if str(r.get("label", "")).endswith("/arena")
+        ]
+        if not base_arena:
+            findings.append(
+                "baseline has no arena runs (regenerate the arena baseline)"
+            )
+        for base_run in base_arena:
+            label = base_run.get("label", "?")
+            cur = by_label.get(label)
+            if cur is None:
+                findings.append(f"{label}: arena baseline run missing from report")
+                continue
+            if not base_run.get("ok", False) or not cur.get("ok", False):
+                continue
+            base_copied = (base_run.get("arena") or {}).get(
+                "bytes_copied_fallback", 0
+            )
+            cur_copied = (cur.get("arena") or {}).get("bytes_copied_fallback", 0)
+            allowed = base_copied * (1.0 + tol.copy_growth_frac)
+            if base_copied and cur_copied > allowed:
+                findings.append(
+                    f"{label}: fallback-copied bytes grew {cur_copied} B vs "
+                    f"baseline {base_copied} B "
+                    f"(allowed {allowed:.0f} B) — the staged share shrank"
+                )
+    return findings
+
+
+def render_arena(findings: list[str], report: dict) -> str:
+    """The arena gate's verdict: per-run data-plane table, then findings."""
+    from repro.utils.tables import format_table
+
+    lines = []
+    rows = []
+    for run in report.get("runs", []):
+        arena = run.get("arena")
+        if not run.get("ok", False) or not arena:
+            continue
+        rows.append(
+            [
+                run.get("label", "?"),
+                arena.get("slots_staged", 0),
+                arena.get("slots_released", 0),
+                arena.get("leaked", 0),
+                arena.get("bytes_staged", 0),
+                arena.get("bytes_copied_fallback", 0),
+                arena.get("hwm_bytes", 0),
+            ]
+        )
+    if rows:
+        lines.append(
+            format_table(
+                ["run", "staged", "released", "leaked", "bytes staged",
+                 "bytes copied", "hwm bytes"],
+                rows,
+            )
+        )
+    if findings:
+        lines.append(f"ARENA GATE: {len(findings)} finding(s)")
+        lines.extend(f"  - {finding}" for finding in findings)
+    else:
+        gated = [
+            r
+            for r in report.get("runs", [])
+            if str(r.get("label", "")).endswith("/arena")
+        ]
+        lines.append(
+            f"ok: {len(gated)} arena run(s) conserve slots and cut "
+            "flush-path copies vs their pickle siblings"
         )
     return "\n".join(lines)
 

@@ -254,7 +254,10 @@ class BrokerShard:
                 self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=10.0)
         # A killed shard's broker never ran close(), so its executor (and
-        # backend — worker pools!) is still open; release it here.
+        # backend — worker pools, and the arena-process backend's shared-
+        # memory segments, which the OS will NOT reclaim on its own) is
+        # still open; release it here.  Each shard's backend owns its own
+        # ArenaPool, so this unlinks exactly this shard's segments.
         with contextlib.suppress(Exception):
             self.broker.executor.close()
 

@@ -1,0 +1,465 @@
+"""The zero-copy data plane (repro.serve.arena) and its backend.
+
+Three layers of coverage:
+
+* the slab allocator and lease/generation protocol in isolation —
+  including the property the whole design rests on: a slab's flat
+  element offsets ARE the paper's interleaved-layout offsets
+  (:meth:`InterleavedLayout.element_offset`) for a batch padded to the
+  slab capacity, so staging/gathering are exact permutations and the
+  staged path stays byte-identical to the pickle path;
+* the ``arena-process`` backend under fault injection — a SIGKILLed
+  worker mid-flight must end in correct factors, bumped generations, and
+  exact slot conservation (``staged == released``, zero leaked);
+* the serving integrations: broker staging/releasing, the copy fallback
+  on platforms without shared memory, per-shard pools under
+  ``kill_shard``, metrics merge, and the Prometheus rendering.
+"""
+
+import asyncio
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import KernelConfig
+from repro.layouts.base import WARP_SIZE, BatchSpec
+from repro.layouts.interleaved import INTERLEAVED
+from repro.obs import render_arena_prometheus
+from repro.serve import (
+    ArenaError,
+    ArenaPool,
+    ArenaProcessBackend,
+    BatchExecutor,
+    InlineBackend,
+    ServeMetrics,
+    ServePolicy,
+    ShardedBroker,
+    SolveBroker,
+    StagedBatch,
+    StaleSlotError,
+    make_backend,
+)
+from repro.serve import arena as arena_mod
+from repro.serve.arena import ARENA_ENV, arena_requested
+from repro.utils.spd import random_spd_batch
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    # float32 on purpose: it matches the default KernelConfig compute
+    # dtype (Precision.SINGLE), so staged flushes stay byte-identical
+    # to the dense path.  The executor refuses to stage a bucket whose
+    # dtype differs from the config's.
+    return random_spd_batch(1, n, seed=seed)[0]
+
+
+def _staged(pool: ArenaPool, matrices) -> StagedBatch:
+    batch = StagedBatch(n=matrices[0].shape[0], dtype=matrices[0].dtype.str)
+    for a in matrices:
+        lease = pool.stage(a)
+        assert lease is not None
+        batch.entries.append((lease, a))
+    return batch
+
+
+def _release_all(pool: ArenaPool, staged: StagedBatch) -> None:
+    for lease in staged.leases:
+        pool.release(lease)
+
+
+# ----------------------------------------------------------------------
+# Slab layout == the paper's interleaved layout
+# ----------------------------------------------------------------------
+
+
+class TestSlabIsInterleavedLayout:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        b=st.integers(min_value=0, max_value=63),
+        i=st.integers(min_value=0, max_value=11),
+        j=st.integers(min_value=0, max_value=11),
+    )
+    def test_flat_slab_offset_matches_element_offset(self, n, b, i, j):
+        """lanes[j, i, b] sits at INTERLEAVED.element_offset(spec, b, i, j).
+
+        The slab capacity is a WARP_SIZE multiple, so the layout's padded
+        batch equals the capacity and the slab data region is literally
+        one interleaved block — the property that makes arena strides the
+        paper's strides.
+        """
+        i, j = i % n, j % n
+        pool = ArenaPool(slab_slots=64)
+        try:
+            lease = pool.stage(np.zeros((n, n), dtype=np.float64))
+            slab = pool._buckets[(n, "<f8")][lease.slab]
+            assert slab.capacity % WARP_SIZE == 0
+            flat = int(np.ravel_multi_index((j, i, b), slab.lanes.shape))
+            spec = BatchSpec(batch=slab.capacity, n=n, itemsize=8)
+            assert spec.padded_batch == slab.capacity
+            assert flat == INTERLEAVED.element_offset(spec, b, i, j)
+        finally:
+            pool.close()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        count=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_stage_gather_round_trip_is_byte_identical(self, n, count, seed):
+        """Host stage → parent gather and → worker view are exact permutations."""
+        rng = np.random.default_rng(seed)
+        matrices = [rng.standard_normal((n, n)) for _ in range(count)]
+        pool = ArenaPool(slab_slots=4)  # force multi-slab growth
+        try:
+            staged = _staged(pool, matrices)
+            gathered = pool.gather(staged)
+            for a, g in zip(matrices, gathered):
+                assert a.tobytes() == g.tobytes()
+            # The worker-side view (same attach path the pool workers
+            # run) must see the identical bytes through the handle.
+            via_worker = arena_mod.worker_gather(pool.describe(staged))
+            for a, w in zip(matrices, via_worker):
+                assert a.tobytes() == w.tobytes()
+            _release_all(pool, staged)
+            assert pool.leaked == 0
+        finally:
+            pool.close()
+
+    def test_worker_write_back_round_trips(self):
+        pool = ArenaPool(slab_slots=32)
+        try:
+            matrices = [_spd(6, seed=s) for s in range(3)]
+            staged = _staged(pool, matrices)
+            handle = pool.describe(staged)
+            factors = np.stack([np.tril(m) + s for s, m in enumerate(matrices)])
+            arena_mod.worker_write_back(handle, factors)
+            back = pool.gather(staged)
+            assert back.tobytes() == factors.tobytes()
+            _release_all(pool, staged)
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Allocator and lease protocol
+# ----------------------------------------------------------------------
+
+
+class TestArenaPool:
+    def test_capacity_rounds_up_to_warp_multiple(self):
+        pool = ArenaPool(slab_slots=5)
+        assert pool.slab_slots == WARP_SIZE
+        pool.close()
+        with pytest.raises(ValueError):
+            ArenaPool(slab_slots=0)
+
+    def test_grows_slabs_and_tracks_high_water_mark(self):
+        pool = ArenaPool(slab_slots=32)
+        try:
+            staged = _staged(pool, [_spd(4, seed=s) for s in range(33)])
+            assert len(pool._buckets[(4, "<f4")]) == 2
+            assert pool.hwm_bytes == pool.segment_bytes > 0
+            assert pool.slots_staged == 33
+            _release_all(pool, staged)
+            # Released slots recycle: no third slab, hwm unchanged.
+            again = _staged(pool, [_spd(4, seed=s) for s in range(33)])
+            assert len(pool._buckets[(4, "<f4")]) == 2
+            _release_all(pool, again)
+        finally:
+            pool.close()
+
+    def test_release_is_idempotent_and_conserves(self):
+        pool = ArenaPool()
+        try:
+            lease = pool.stage(_spd(4))
+            assert pool.release(lease) is True
+            assert pool.release(lease) is False  # double release: no-op
+            assert pool.release(None) is False
+            assert pool.slots_released == 1
+            assert pool.leaked == 0
+        finally:
+            pool.close()
+
+    def test_release_invalidates_before_recycling(self):
+        """A stale handle from before a release must fail its gen check."""
+        pool = ArenaPool()
+        try:
+            a = _spd(5, seed=1)
+            staged = _staged(pool, [a])
+            handle = pool.describe(staged)
+            _release_all(pool, staged)
+            with pytest.raises(StaleSlotError):
+                arena_mod.worker_gather(handle)
+            with pytest.raises(StaleSlotError):
+                arena_mod.worker_write_back(handle, a[None])
+        finally:
+            pool.close()
+
+    def test_restage_bumps_generations_and_restamps_leases(self):
+        pool = ArenaPool()
+        try:
+            matrices = [_spd(4, seed=s) for s in range(2)]
+            staged = _staged(pool, matrices)
+            old_handle = pool.describe(staged)
+            old_gens = [lease.generation for lease in staged.leases]
+            # Simulate a dead worker's torn write, then recover.
+            pool._buckets[(4, "<f4")][0].lanes[:, :, staged.leases[0].slot] = -1.0
+            pool.restage(staged)
+            assert [lease.generation for lease in staged.leases] == [
+                g + 1 for g in old_gens
+            ]
+            assert pool.generation_bumps == 2
+            with pytest.raises(StaleSlotError):
+                arena_mod.worker_gather(old_handle)  # straggler fenced out
+            fresh = pool.gather(staged)
+            for a, g in zip(matrices, fresh):
+                assert a.tobytes() == g.tobytes()
+            _release_all(pool, staged)
+        finally:
+            pool.close()
+
+    def test_gather_and_restage_reject_released_leases(self):
+        pool = ArenaPool()
+        try:
+            staged = _staged(pool, [_spd(4)])
+            _release_all(pool, staged)
+            with pytest.raises(ArenaError):
+                pool.gather(staged)
+            with pytest.raises(ArenaError):
+                pool.restage(staged)
+        finally:
+            pool.close()
+
+    def test_stage_rejects_non_square_and_closed(self):
+        pool = ArenaPool()
+        assert pool.stage(np.zeros((3, 4))) is None
+        assert pool.stage(np.zeros(3)) is None
+        pool.close()
+        assert pool.stage(_spd(4)) is None
+        pool.close()  # idempotent
+
+    def test_allocation_failure_disables_pool_cleanly(self, monkeypatch):
+        """Satellite: no shared memory → clean copy fallback, not a crash."""
+
+        def _boom(*args, **kwargs):
+            raise OSError("no /dev/shm on this platform")
+
+        pool = ArenaPool()
+        monkeypatch.setattr(arena_mod, "_Slab", _boom)
+        assert pool.stage(_spd(4)) is None
+        assert pool.disabled is not None
+        # Later stages short-circuit on the disabled flag.
+        assert pool.stage(_spd(4)) is None
+        assert pool.slots_staged == 0
+        pool.close()
+
+    def test_env_knob_parsing(self, monkeypatch):
+        for value in ("", "0", "false", "no", "off", "OFF"):
+            monkeypatch.setenv(ARENA_ENV, value)
+            assert arena_requested() is False
+        for value in ("1", "true", "yes", "on"):
+            monkeypatch.setenv(ARENA_ENV, value)
+            assert arena_requested() is True
+        monkeypatch.delenv(ARENA_ENV)
+        assert arena_requested() is False
+
+
+# ----------------------------------------------------------------------
+# The arena-process backend
+# ----------------------------------------------------------------------
+
+
+class TestArenaProcessBackend:
+    def test_env_default_selects_arena_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_BACKEND", raising=False)
+        monkeypatch.setenv(ARENA_ENV, "1")
+        backend = make_backend(None)
+        try:
+            assert isinstance(backend, ArenaProcessBackend)
+            assert backend.name == "arena-process"
+        finally:
+            backend.close()
+        monkeypatch.setenv(ARENA_ENV, "0")
+        assert make_backend(None).name == "inline"
+
+    def test_staged_flush_matches_inline_bytes_and_copies_nothing(self):
+        backend = ArenaProcessBackend(workers=1)
+        try:
+            config = KernelConfig(n=8)
+            matrices = [_spd(8, seed=s) for s in range(5)]
+            staged = _staged(backend.arenas, matrices)
+            run = backend.factorize_staged(staged, config)
+            assert run.bytes_copied == 0
+            expected = InlineBackend().factorize(np.stack(matrices), config)
+            assert run.factors.tobytes() == expected.factors.tobytes()
+            _release_all(backend.arenas, staged)
+            assert backend.arenas.leaked == 0
+        finally:
+            backend.close()
+
+    def test_sigkilled_worker_mid_flight_restages_and_conserves(self):
+        """SIGKILL the only worker: retry restages, factors stay correct."""
+        backend = ArenaProcessBackend(workers=1)
+        try:
+            config = KernelConfig(n=6)
+            warm = _staged(backend.arenas, [_spd(6, seed=9)])
+            backend.factorize_staged(warm, config)  # spin up the pool
+            _release_all(backend.arenas, warm)
+            for pid in list(backend._pool._processes.keys()):
+                os.kill(pid, signal.SIGKILL)
+            matrices = [_spd(6, seed=s) for s in range(4)]
+            staged = _staged(backend.arenas, matrices)
+            run = backend.factorize_staged(staged, config)
+            expected = InlineBackend().factorize(np.stack(matrices), config)
+            assert run.factors.tobytes() == expected.factors.tobytes()
+            # The retry path re-staged every slot with a generation bump.
+            assert backend.arenas.generation_bumps == len(matrices)
+            _release_all(backend.arenas, staged)
+            assert backend.arenas.slots_staged == backend.arenas.slots_released
+            assert backend.arenas.leaked == 0
+        finally:
+            backend.close()
+
+    def test_close_unlinks_segments(self):
+        backend = ArenaProcessBackend(workers=1)
+        staged = _staged(backend.arenas, [_spd(4)])
+        names = backend.arenas.segment_names()
+        assert names
+        _release_all(backend.arenas, staged)
+        backend.close()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Serving integration: broker, fallback, shards, metrics
+# ----------------------------------------------------------------------
+
+
+def _broker_scenario(backend, requests=8, n=8, **policy_kwargs):
+    async def scenario():
+        executor = BatchExecutor(backend=backend)
+        policy = ServePolicy(
+            target_batch=4, max_delay_s=0.005, **policy_kwargs
+        )
+        async with SolveBroker(policy=policy, executor=executor) as broker:
+            results = await asyncio.gather(
+                *(broker.factor(_spd(n, seed=i)) for i in range(requests))
+            )
+            return results, broker.metrics
+
+    return asyncio.run(scenario())
+
+
+class TestBrokerDataPlane:
+    def test_staged_serving_conserves_and_copies_nothing(self):
+        backend = ArenaProcessBackend(workers=1)
+        try:
+            results, metrics = _broker_scenario(backend)
+            assert all(isinstance(r, np.ndarray) for r in results)
+            assert metrics.unaccounted == 0
+            arena = metrics.arena
+            assert arena["slots_staged"] == 8
+            assert arena["slots_released"] == 8
+            assert metrics.arena_leaked == 0
+            assert arena["bytes_staged"] == 8 * 8 * 8 * 4
+            assert arena["bytes_copied_fallback"] == 0
+            assert arena["hwm_bytes"] > 0
+            assert metrics.as_dict()["arena"]["leaked"] == 0
+        finally:
+            backend.close()
+
+    def test_disabled_pool_falls_back_to_copies(self):
+        """Satellite: staging unavailable → identical results, copy accounting."""
+        backend = ArenaProcessBackend(workers=1)
+        backend.arenas.disabled = "forced by test"
+        try:
+            results, metrics = _broker_scenario(backend)
+            assert all(isinstance(r, np.ndarray) for r in results)
+            arena = metrics.arena
+            assert arena["slots_staged"] == 0
+            assert arena["stage_fallbacks"] == 8
+            assert arena["bytes_staged"] == 0
+            assert arena["bytes_copied_fallback"] > 0
+            assert metrics.unaccounted == 0
+        finally:
+            backend.close()
+
+    def test_pickle_backends_account_their_copied_bytes(self):
+        results, metrics = _broker_scenario(InlineBackend())
+        assert all(isinstance(r, np.ndarray) for r in results)
+        assert metrics.arena["bytes_copied_fallback"] == 8 * 8 * 8 * 4
+        assert metrics.arena["slots_staged"] == 0
+
+    def test_kill_shard_releases_that_shards_leases(self):
+        """Per-shard pools: an abrupt shard death leaks no slots anywhere."""
+
+        async def scenario():
+            policy = ServePolicy(
+                backend="arena-process",
+                target_batch=64,  # large: requests sit queued (staged)
+                max_delay_s=5.0,
+                request_timeout_s=None,
+                shards=2,
+            )
+            async with ShardedBroker(policy=policy, shards=2) as broker:
+                pending = [
+                    asyncio.ensure_future(broker.factor(_spd(8, seed=i)))
+                    for i in range(8)
+                ]
+                await asyncio.sleep(0.2)  # let submissions stage
+                broker.kill_shard(0)
+                results = await asyncio.gather(*pending, return_exceptions=True)
+                pools = [
+                    shard.broker.executor.backend.arenas
+                    for shard in broker.shards.values()
+                ]
+                metrics = broker.metrics
+            return results, metrics, pools
+
+        results, metrics, pools = asyncio.run(scenario())
+        assert len(results) == 8
+        for pool in pools:
+            assert pool.slots_staged == pool.slots_released
+            assert pool.leaked == 0
+        assert metrics.arena["slots_staged"] == metrics.arena["slots_released"]
+        assert metrics.unaccounted == 0
+
+    def test_metrics_merge_sums_arena_counters(self):
+        one, two = ServeMetrics(), ServeMetrics()
+        one.record_arena_stage(100)
+        one.record_arena_release()
+        one.record_arena_pool(hwm_bytes=512, generation_bumps=1)
+        two.record_arena_stage(50)
+        two.record_arena_stage_fallback()
+        two.record_arena_fallback_bytes(25)
+        two.record_arena_pool(hwm_bytes=256, generation_bumps=0)
+        merged = ServeMetrics.merged([one, two])
+        assert merged.arena["slots_staged"] == 2
+        assert merged.arena["bytes_staged"] == 150
+        assert merged.arena["stage_fallbacks"] == 1
+        assert merged.arena["bytes_copied_fallback"] == 25
+        # Disjoint per-shard pools: fabric hwm is the sum of the shards'.
+        assert merged.arena["hwm_bytes"] == 768
+        assert merged.arena_leaked == 1
+
+    def test_prometheus_rendering(self):
+        metrics = ServeMetrics()
+        assert render_arena_prometheus(metrics) == ""
+        metrics.record_arena_stage(64)
+        metrics.record_arena_pool(hwm_bytes=128, generation_bumps=2)
+        text = render_arena_prometheus(metrics)
+        assert "repro_arena_slots_staged_total 1" in text
+        assert "repro_arena_bytes_staged_total 64" in text
+        assert "repro_arena_hwm_bytes 128" in text
+        assert "repro_arena_generation_bumps_total 2" in text
+        assert "repro_arena_slots_leaked 1" in text

@@ -119,11 +119,14 @@ class _FailingBackend(ExecutorBackend):
 
 class TestBackendSelection:
     def test_every_registered_name_builds(self):
+        from repro.serve.backends import ArenaProcessBackend
+
         types = {
             "inline": InlineBackend,
             "process": ProcessPoolBackend,
             "eventsim": EventSimBackend,
             "shadow": ShadowLapackBackend,
+            "arena-process": ArenaProcessBackend,
         }
         assert set(types) == set(BACKEND_NAMES)
         for name, cls in types.items():
@@ -141,9 +144,14 @@ class TestBackendSelection:
             make_backend("quantum")
 
     def test_env_variable_supplies_default(self, monkeypatch):
+        from repro.serve.arena import ARENA_ENV
+
         monkeypatch.setenv(BACKEND_ENV, "eventsim")
         assert isinstance(make_backend(None), EventSimBackend)
         monkeypatch.delenv(BACKEND_ENV)
+        # The arena env supplies its own default; clear it so this
+        # asserts the bare fallback even inside the CI arena cells.
+        monkeypatch.delenv(ARENA_ENV, raising=False)
         assert isinstance(make_backend(None), InlineBackend)
 
     def test_explicit_name_beats_environment(self, monkeypatch):
@@ -387,6 +395,65 @@ class TestProcessPoolBackend:
     def test_worker_payload_is_picklable(self):
         config = KernelConfig(n=12, nb=4, looking="left", chunk_size=64)
         assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_warmed_config_ships_only_its_id_until_pool_rebuild(self):
+        """The pool initializer bakes pre-pool configs; later ones carry.
+
+        Warmed steady state must pickle nothing but the batch per
+        flush, a config first seen after pool creation must travel with
+        every submit (only the initializer reaches all workers), and a
+        pool rebuild re-bakes the full table.
+        """
+        backend = ProcessPoolBackend(workers=1)
+        try:
+            warm = KernelConfig(n=6)
+            backend.warmup(warm)
+            assert backend._register_config(warm)[1] is None
+            late = KernelConfig(n=8)
+            assert backend._register_config(late)[1] is late
+            assert backend._register_config(late)[1] is late  # every submit
+            backend._dispose_pool()
+            backend._ensure_pool()
+            assert backend._register_config(late)[1] is None
+        finally:
+            backend.close()
+
+    def test_config_registered_during_pool_build_still_travels(self, monkeypatch):
+        """Regression: flushes of different buckets race pool creation.
+
+        The initializer ships a snapshot of the config table; a config
+        registered by a concurrent flush while the pool is under
+        construction is not in that snapshot, so its submits must keep
+        carrying the config object — promoting it to carry-nothing left
+        workers resolving an id they were never given.
+        """
+        import repro.serve.backends as backends_mod
+
+        backend = ProcessPoolBackend(workers=1)
+        cfg = KernelConfig(n=6)
+        seen = {}
+        threads = []
+        real = backends_mod.ProcessPoolExecutor
+
+        def register():
+            seen["carry"] = backend._register_config(cfg)[1]
+
+        def hooked(*args, **kwargs):
+            t = threading.Thread(target=register)
+            t.start()  # blocks on the registry lock until creation ends
+            threads.append(t)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(backends_mod, "ProcessPoolExecutor", hooked)
+        try:
+            backend._ensure_pool()
+            for t in threads:
+                t.join(timeout=10)
+            assert seen["carry"] is cfg
+            a = _spd_batch(2, 6, seed=21)
+            _check_factors(a, backend.factorize(a, cfg).factors)
+        finally:
+            backend.close()
 
     def test_broker_end_to_end_with_worker_death(self):
         """Futures resolve correctly even after the pool's worker is killed."""

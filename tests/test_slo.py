@@ -687,11 +687,14 @@ class TestServeIntegration:
         assert summary.slo["evaluations"] >= 1
         assert summary.slo["breaches"] == 0
 
-    def test_replay_trace_kill_shard_validation(self):
+    def test_replay_trace_kill_shard_validation(self, monkeypatch):
         from repro.serve.client import replay_trace, synthetic_trace
-        from repro.serve.policy import ServePolicy
+        from repro.serve.policy import SHARDS_ENV, ServePolicy
 
         trace = synthetic_trace(requests=10, rate_hz=4000.0)
+        # The default policy reads $REPRO_SERVE_SHARDS; clear it so the
+        # unsharded-broker complaint fires even in CI's sharded cells.
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
         with pytest.raises(ValueError, match="sharded"):
             replay_trace(trace, kill_shard=0)
         with pytest.raises(Exception, match="no shard"):
@@ -803,7 +806,7 @@ class TestReplayV3:
         from repro.serve.replay import REPORT_SCHEMA
 
         report = self._report()
-        assert report["schema"] == REPORT_SCHEMA == "repro.bench_serve_replay/v3"
+        assert report["schema"] == REPORT_SCHEMA == "repro.bench_serve_replay/v4"
         run = report["runs"][0]
         assert run["coalesce_p999_ms"] >= run["coalesce_p99_ms"]
         assert run["service_p99_ms"] >= run["service_p95_ms"]

@@ -256,17 +256,23 @@ class TestQuotaRecovery:
         async def scenario():
             broker = SolveBroker(_policy(target_batch=4), admission=admission)
             await broker.start()
-            outcomes = []
-            for i in range(4):
-                try:
-                    outcomes.append(
-                        await broker.submit(
-                            "factor", _spd(8, seed=i),
-                            tier="best_effort", tenant="hot",
-                        )
+            # Submit concurrently: admission is decided at submit time,
+            # and awaiting each result in turn would let slow first
+            # flushes (process/arena pools spinning up) refill tokens
+            # between submits.
+            outcomes = await asyncio.gather(
+                *(
+                    broker.submit(
+                        "factor", _spd(8, seed=i),
+                        tier="best_effort", tenant="hot",
                     )
-                except QuotaExceeded as exc:
-                    outcomes.append(exc)
+                    for i in range(4)
+                ),
+                return_exceptions=True,
+            )
+            for o in outcomes:
+                if isinstance(o, Exception) and not isinstance(o, QuotaExceeded):
+                    raise o
             await asyncio.sleep(0.25)  # 5/s refill: a token is back
             recovered = await broker.submit(
                 "factor", _spd(8, seed=9), tier="best_effort", tenant="hot"
